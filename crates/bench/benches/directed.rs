@@ -1,0 +1,38 @@
+//! Criterion bench: the Table 1 "Directed Steiner Tree" row (Theorem 36).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_core::directed::enumerate_minimal_directed_steiner_trees;
+
+const CAP: u64 = 3_000;
+
+fn bench_directed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("directed_steiner_tree");
+    group.sample_size(10);
+    for (layers, width, t) in [(3, 3, 2), (3, 4, 3), (4, 3, 3), (4, 4, 4)] {
+        let (d, root, w) = workloads::directed_instance(layers, width, t);
+        let label = format!("{layers}x{width}t{}", w.len());
+        group.bench_with_input(
+            BenchmarkId::new("improved", label),
+            &(d, root, w),
+            |b, (d, root, w)| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    enumerate_minimal_directed_steiner_trees(d, *root, w, &mut |_| {
+                        count += 1;
+                        if count < CAP {
+                            ControlFlow::Continue(())
+                        } else {
+                            ControlFlow::Break(())
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_directed);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the Table 1 "Steiner Forest" row (Theorem 25), swept
+//! over the number of terminal pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_core::forest::enumerate_minimal_steiner_forests;
+
+const CAP: u64 = 3_000;
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_forest");
+    group.sample_size(10);
+    for pairs in [1, 2, 3, 4] {
+        let (g, sets) = workloads::forest_instance(3, 6, pairs);
+        group.bench_with_input(
+            BenchmarkId::new("improved", pairs),
+            &(g, sets),
+            |b, (g, sets)| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    enumerate_minimal_steiner_forests(g, sets, &mut |_| {
+                        count += 1;
+                        if count < CAP {
+                            ControlFlow::Continue(())
+                        } else {
+                            ControlFlow::Break(())
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: the Table 1 "Induced Steiner Subgraph on claw-free
+//! graphs" row (Theorem 42).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_induced::supergraph::enumerate_minimal_induced_steiner_subgraphs;
+
+const CAP: u64 = 200;
+
+fn bench_induced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("induced_steiner_clawfree");
+    group.sample_size(10);
+    for (r, cols) in [(2, 3), (2, 4), (2, 5)] {
+        let inst = workloads::claw_free_instance(r, cols);
+        group.bench_with_input(
+            BenchmarkId::new("supergraph", &inst.name),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    enumerate_minimal_induced_steiner_subgraphs(
+                        &inst.graph,
+                        &inst.terminals,
+                        &mut |_| {
+                            count += 1;
+                            if count < CAP {
+                                ControlFlow::Continue(())
+                            } else {
+                                ControlFlow::Break(())
+                            }
+                        },
+                    )
+                    .expect("claw-free instance")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_induced);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion bench: Algorithm 1 (linear delay) vs naive backtracking
+//! s-t path enumeration — the §3 engine that every Steiner enumerator
+//! drives (implicit row of Table 1, Theorem 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_graph::VertexId;
+
+const CAP: u64 = 5_000;
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("st_paths");
+    group.sample_size(10);
+    for (blocks, width) in [(6, 2), (6, 3), (8, 3)] {
+        let inst = workloads::theta_instance(blocks, width);
+        let (s, t) = (inst.terminals[0], inst.terminals[1]);
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1", &inst.name),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    steiner_paths::undirected::enumerate_st_paths(
+                        &inst.graph,
+                        s,
+                        t,
+                        None,
+                        &mut |_| {
+                            count += 1;
+                            if count < CAP {
+                                ControlFlow::Continue(())
+                            } else {
+                                ControlFlow::Break(())
+                            }
+                        },
+                    );
+                    count
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", &inst.name),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    steiner_paths::undirected::enumerate_st_paths_naive(
+                        &inst.graph,
+                        s,
+                        t,
+                        None,
+                        &mut |_| {
+                            count += 1;
+                            if count < CAP {
+                                ControlFlow::Continue(())
+                            } else {
+                                ControlFlow::Break(())
+                            }
+                        },
+                    );
+                    count
+                })
+            },
+        );
+    }
+    // Grid corner-to-corner: dead-end-rich, where pruning matters most.
+    let g = steiner_graph::generators::grid(4, 4);
+    let target = VertexId::new(g.num_vertices() - 1);
+    group.bench_function("algorithm1/grid4x4", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            steiner_paths::undirected::enumerate_st_paths(&g, VertexId(0), target, None, &mut |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            });
+            count
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench: the Table 1 "Steiner Tree" rows — simple Algorithm 2
+//! (the O(|W|(n+m))-delay baseline), the improved enumerator (Theorem 17),
+//! and the output-queue variant (Theorem 20), swept over |W| and over n+m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_core::improved::{
+    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_queued,
+};
+use steiner_core::simple::enumerate_minimal_steiner_trees_simple;
+use steiner_graph::EdgeId;
+
+const CAP: u64 = 3_000;
+
+fn capped_sink(count: &mut u64) -> impl FnMut(&[EdgeId]) -> ControlFlow<()> + '_ {
+    move |_| {
+        *count += 1;
+        if *count < CAP {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    }
+}
+
+fn bench_terminal_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_tree_terminal_sweep");
+    group.sample_size(10);
+    for t in [2, 4, 6, 8] {
+        let inst = workloads::grid_instance(4, 6, t);
+        group.bench_with_input(BenchmarkId::new("improved", t), &inst, |b, inst| {
+            b.iter(|| {
+                let mut count = 0u64;
+                let mut sink = capped_sink(&mut count);
+                enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut sink)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simple", t), &inst, |b, inst| {
+            b.iter(|| {
+                let mut count = 0u64;
+                let mut sink = capped_sink(&mut count);
+                enumerate_minimal_steiner_trees_simple(&inst.graph, &inst.terminals, &mut sink)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("queued", t), &inst, |b, inst| {
+            b.iter(|| {
+                let mut count = 0u64;
+                let mut sink = capped_sink(&mut count);
+                enumerate_minimal_steiner_trees_queued(
+                    &inst.graph,
+                    &inst.terminals,
+                    None,
+                    &mut sink,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_tree_size_sweep");
+    group.sample_size(10);
+    for (n, m) in [(50, 75), (100, 150), (200, 300)] {
+        let inst = workloads::random_instance(n, m, 4, 42);
+        group.bench_with_input(
+            BenchmarkId::new("improved", format!("n{n}m{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    let mut sink = capped_sink(&mut count);
+                    enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut sink)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_terminal_sweep, bench_size_sweep);
+criterion_main!(benches);

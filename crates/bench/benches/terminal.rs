@@ -1,0 +1,33 @@
+//! Criterion bench: the Table 1 "Terminal Steiner Tree" row (Theorem 31).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_core::terminal::enumerate_minimal_terminal_steiner_trees;
+
+const CAP: u64 = 3_000;
+
+fn bench_terminal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("terminal_steiner_tree");
+    group.sample_size(10);
+    for t in [2, 3, 4, 5] {
+        let inst = workloads::grid_instance(4, 6, t);
+        group.bench_with_input(BenchmarkId::new("improved", t), &inst, |b, inst| {
+            b.iter(|| {
+                let mut count = 0u64;
+                enumerate_minimal_terminal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
+                    count += 1;
+                    if count < CAP {
+                        ControlFlow::Continue(())
+                    } else {
+                        ControlFlow::Break(())
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_terminal);
+criterion_main!(benches);

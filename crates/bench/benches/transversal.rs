@@ -1,0 +1,40 @@
+//! Criterion bench: minimal hypergraph transversal enumeration — the §6
+//! hardness anchor (Theorem 38 ties group Steiner enumeration to it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_hardness::hypergraph::Hypergraph;
+use steiner_hardness::transversal::enumerate_minimal_transversals;
+
+const CAP: u64 = 5_000;
+
+fn bench_transversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimal_transversals");
+    group.sample_size(10);
+    for (n, m) in [(12, 8), (16, 10), (20, 12), (24, 14)] {
+        let mut rng = workloads::rng(7);
+        let h = Hypergraph::random(n, m, 4, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("mmcs", format!("H({n},{m})")),
+            &h,
+            |b, h| {
+                b.iter(|| {
+                    let mut count = 0u64;
+                    enumerate_minimal_transversals(h, &mut |_| {
+                        count += 1;
+                        if count < CAP {
+                            ControlFlow::Continue(())
+                        } else {
+                            ControlFlow::Break(())
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transversal);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Regenerates the structural content of the paper's **Figure 1**: the
+//! improved enumeration tree traversed by the output-queue method.
+//!
+//! Figure 1 illustrates (a) the path `P` from the root to the node where
+//! the n-th solution is found during the preprocessing phase, (b) the
+//! subtrees `T₁ … T_ℓ` explored afterwards, and (c) that internal nodes
+//! have ≥ 2 children so buffered solutions never run out. This binary
+//! prints those quantities for several instances: tree shape, warm-up
+//! (first n solutions) statistics, queue occupancy, and the max gaps with
+//! and without the queue.
+//!
+//! Usage: `cargo run --release -p steiner-bench --bin figure1`
+
+use std::ops::ControlFlow;
+use steiner_bench::workloads;
+use steiner_core::improved::{
+    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_with,
+};
+use steiner_core::queue::{OutputQueue, QueueConfig};
+
+fn main() {
+    for inst in [
+        workloads::grid_instance(3, 6, 3),
+        workloads::grid_instance(4, 6, 4),
+        workloads::theta_instance(6, 3),
+    ] {
+        let n = inst.graph.num_vertices();
+        let m = inst.graph.num_edges();
+        println!("== {} (n = {n}, m = {m}) ==", inst.name);
+
+        // Direct traversal: tree shape (Figure 1's skeleton).
+        let mut emitted_at_work: Vec<u64> = Vec::new();
+        let stats = {
+            let mut probe_count = 0u64;
+            let s = enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
+                probe_count += 1;
+                ControlFlow::Continue(())
+            });
+            emitted_at_work.push(probe_count);
+            s
+        };
+        println!(
+            "enumeration tree: {} nodes = {} internal + {} leaves; max depth {}",
+            stats.nodes, stats.internal_nodes, stats.leaf_nodes, stats.max_depth
+        );
+        println!(
+            "  internal nodes with < 2 children: {} (Theorem 17/20 requires 0)",
+            stats.deficient_internal_nodes
+        );
+        println!(
+            "  internal ≤ leaves: {} ({} ≤ {})",
+            stats.internal_nodes <= stats.leaf_nodes,
+            stats.internal_nodes,
+            stats.leaf_nodes
+        );
+        println!(
+            "  solutions: {}; total work: {}; max emission gap: {} work units ({:.2} × (n+m))",
+            stats.solutions,
+            stats.work,
+            stats.max_emission_gap,
+            stats.max_emission_gap as f64 / (n + m) as f64
+        );
+
+        // Queued traversal: warm-up of n solutions, then scheduled
+        // releases (the Figure 1 regime).
+        let config = QueueConfig::for_graph(n, m);
+        let mut released = 0u64;
+        let mut sink = |_: &[steiner_graph::EdgeId]| {
+            released += 1;
+            ControlFlow::Continue(())
+        };
+        let mut queue = OutputQueue::new(config, &mut sink);
+        let qstats =
+            enumerate_minimal_steiner_trees_with(&inst.graph, &inst.terminals, &mut queue);
+        println!(
+            "output queue: warm-up = {} solutions (= n), budget = {} work units (≈ 4(n+m))",
+            config.warmup, config.budget
+        );
+        println!(
+            "  peak buffered solutions: {} (Theorem 20 space: O(n) solutions ⇒ O(n²) words)",
+            queue.peak_buffered
+        );
+        println!(
+            "  released: {released} of {} (rest flushed at the end)",
+            qstats.solutions
+        );
+        println!();
+    }
+    println!(
+        "Reading: Figure 1 shows the preprocessing path P plus subtrees T₁…T_ℓ;\n\
+         the counters above confirm its premises — ≥2 children at internal nodes,\n\
+         internal ≤ leaves, warm-up buffer of n solutions, bounded release gaps."
+    );
+}

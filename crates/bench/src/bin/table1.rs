@@ -1,0 +1,419 @@
+//! Regenerates the measured analogue of the paper's **Table 1**: for each
+//! enumeration problem, the claimed delay bound next to measured totals,
+//! mean/max delays, and the max work gap normalized by n + m.
+//!
+//! Usage: `cargo run --release -p steiner-bench --bin table1 [-- section]`
+//! where `section` ∈ {all, paths, st, forest, terminal, directed, induced,
+//! hardness} (default: all).
+
+use std::ops::ControlFlow;
+use steiner_bench::measure::{record_delays, render_markdown, Row};
+use steiner_bench::workloads;
+use steiner_core::directed::enumerate_minimal_directed_steiner_trees;
+use steiner_core::forest::enumerate_minimal_steiner_forests;
+use steiner_core::improved::{
+    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_queued,
+};
+use steiner_core::simple::enumerate_minimal_steiner_trees_simple;
+use steiner_core::terminal::enumerate_minimal_terminal_steiner_trees;
+use steiner_graph::VertexId;
+
+const CAP: u64 = 20_000;
+
+fn flow(more: bool) -> ControlFlow<()> {
+    if more {
+        ControlFlow::Continue(())
+    } else {
+        ControlFlow::Break(())
+    }
+}
+
+fn paths_rows(rows: &mut Vec<Row>) {
+    for (blocks, width) in [(8, 2), (6, 3), (10, 3)] {
+        let inst = workloads::theta_instance(blocks, width);
+        let (n, m) = (inst.graph.num_vertices(), inst.graph.num_edges());
+        let (s, t) = (inst.terminals[0], inst.terminals[1]);
+        let mut work_gap = None;
+        let delays = record_delays(CAP, |emit| {
+            let stats = steiner_paths::undirected::enumerate_st_paths(
+                &inst.graph,
+                s,
+                t,
+                None,
+                &mut |_| flow(emit()),
+            );
+            work_gap = Some(stats.work);
+        });
+        rows.push(Row {
+            problem: "s-t Paths (§3)".into(),
+            algorithm: "Algorithm 1".into(),
+            claimed: "O(n+m) delay".into(),
+            instance: inst.name.clone(),
+            n,
+            m,
+            t: 2,
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        });
+        let delays = record_delays(CAP, |emit| {
+            steiner_paths::undirected::enumerate_st_paths_naive(
+                &inst.graph,
+                s,
+                t,
+                None,
+                &mut |_| flow(emit()),
+            );
+        });
+        rows.push(Row {
+            problem: "s-t Paths (§3)".into(),
+            algorithm: "naive backtracking".into(),
+            claimed: "(exponential delay)".into(),
+            instance: inst.name,
+            n,
+            m,
+            t: 2,
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        });
+    }
+}
+
+fn st_rows(rows: &mut Vec<Row>) {
+    // |W| sweep at fixed n+m: the simple baseline's delay grows with |W|,
+    // the improved enumerator's does not (Table 1's key contrast).
+    for t in [2, 4, 8] {
+        let inst = workloads::grid_instance(4, 8, t);
+        let (n, m) = (inst.graph.num_vertices(), inst.graph.num_edges());
+        let nm = (n + m) as f64;
+        let mut stats_holder = None;
+        let delays = record_delays(CAP, |emit| {
+            let s = enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
+                flow(emit())
+            });
+            stats_holder = Some(s);
+        });
+        let stats = stats_holder.unwrap();
+        rows.push(Row {
+            problem: "Steiner Tree (§4)".into(),
+            algorithm: "improved (Thm 17)".into(),
+            claimed: "O(n+m) amortized".into(),
+            instance: inst.name.clone(),
+            n,
+            m,
+            t: inst.terminals.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: Some(stats.max_emission_gap),
+            work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+        let mut stats_holder = None;
+        let delays = record_delays(CAP, |emit| {
+            let s = enumerate_minimal_steiner_trees_simple(
+                &inst.graph,
+                &inst.terminals,
+                &mut |_| flow(emit()),
+            );
+            stats_holder = Some(s);
+        });
+        let stats = stats_holder.unwrap();
+        rows.push(Row {
+            problem: "Steiner Tree (§4)".into(),
+            algorithm: "simple Alg. 2 (≈[26])".into(),
+            claimed: "O(t(n+m)) delay".into(),
+            instance: inst.name.clone(),
+            n,
+            m,
+            t: inst.terminals.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: Some(stats.max_emission_gap),
+            work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+        let mut stats_holder = None;
+        let delays = record_delays(CAP, |emit| {
+            let s = enumerate_minimal_steiner_trees_queued(
+                &inst.graph,
+                &inst.terminals,
+                None,
+                &mut |_| flow(emit()),
+            );
+            stats_holder = Some(s);
+        });
+        let _ = stats_holder.unwrap();
+        rows.push(Row {
+            problem: "Steiner Tree (§4)".into(),
+            algorithm: "improved + queue (Thm 20)".into(),
+            claimed: "O(n+m) delay".into(),
+            instance: inst.name,
+            n,
+            m,
+            t: inst.terminals.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        });
+    }
+    // n+m sweep at fixed |W|: delay should grow roughly linearly.
+    for (n, m) in [(60, 90), (120, 180), (240, 360)] {
+        let inst = workloads::random_instance(n, m, 4, 42);
+        let nm = (inst.graph.num_vertices() + inst.graph.num_edges()) as f64;
+        let mut stats_holder = None;
+        let delays = record_delays(CAP, |emit| {
+            let s = enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
+                flow(emit())
+            });
+            stats_holder = Some(s);
+        });
+        let stats = stats_holder.unwrap();
+        rows.push(Row {
+            problem: "Steiner Tree (§4)".into(),
+            algorithm: "improved (Thm 17)".into(),
+            claimed: "O(n+m) amortized".into(),
+            instance: inst.name,
+            n: inst.graph.num_vertices(),
+            m: inst.graph.num_edges(),
+            t: 4,
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: Some(stats.max_emission_gap),
+            work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+    }
+}
+
+fn minimum_rows(rows: &mut Vec<Row>) {
+    // The Table 1 "Minimum Steiner Tree [10]" baseline: Dreyfus–Wagner
+    // preprocessing + optimum-size filtering of the minimal enumeration.
+    for t in [3, 4, 5] {
+        let inst = workloads::grid_instance(3, 6, t);
+        let (n, m) = (inst.graph.num_vertices(), inst.graph.num_edges());
+        let mut opt = 0usize;
+        let delays = record_delays(CAP, |emit| {
+            if let Some((o, _)) = steiner_core::minimum::enumerate_minimum_steiner_trees(
+                &inst.graph,
+                &inst.terminals,
+                &mut |_| flow(emit()),
+            ) {
+                opt = o;
+            }
+        });
+        rows.push(Row {
+            problem: "Minimum Steiner Tree (≈[10])".into(),
+            algorithm: format!("Dreyfus–Wagner + filter (opt={opt})"),
+            claimed: "[10]: O(n) delay, exp(t) preproc".into(),
+            instance: inst.name,
+            n,
+            m,
+            t: inst.terminals.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        });
+    }
+}
+
+fn forest_rows(rows: &mut Vec<Row>) {
+    for pairs in [2, 3, 4] {
+        let (g, sets) = workloads::forest_instance(3, 6, pairs);
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let nm = (n + m) as f64;
+        let mut stats_holder = None;
+        let delays = record_delays(CAP, |emit| {
+            let s = enumerate_minimal_steiner_forests(&g, &sets, &mut |_| flow(emit()));
+            stats_holder = Some(s);
+        });
+        let stats = stats_holder.unwrap();
+        rows.push(Row {
+            problem: "Steiner Forest (§5)".into(),
+            algorithm: "improved (Thm 25)".into(),
+            claimed: "O(n+m) amortized".into(),
+            instance: format!("grid 3x6, {} pairs", sets.len()),
+            n,
+            m,
+            t: sets.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: Some(stats.max_emission_gap),
+            work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+    }
+}
+
+fn terminal_rows(rows: &mut Vec<Row>) {
+    for t in [3, 4, 5] {
+        let inst = workloads::grid_instance(4, 6, t);
+        let (n, m) = (inst.graph.num_vertices(), inst.graph.num_edges());
+        let nm = (n + m) as f64;
+        let mut stats_holder = None;
+        let delays = record_delays(CAP, |emit| {
+            let s = enumerate_minimal_terminal_steiner_trees(
+                &inst.graph,
+                &inst.terminals,
+                &mut |_| flow(emit()),
+            );
+            stats_holder = Some(s);
+        });
+        let stats = stats_holder.unwrap();
+        rows.push(Row {
+            problem: "Terminal Steiner Tree (§5.1)".into(),
+            algorithm: "improved (Thm 31)".into(),
+            claimed: "O(n+m) amortized".into(),
+            instance: inst.name,
+            n,
+            m,
+            t: inst.terminals.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: Some(stats.max_emission_gap),
+            work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+    }
+}
+
+fn directed_rows(rows: &mut Vec<Row>) {
+    for (layers, width, t) in [(3, 3, 2), (3, 4, 3), (4, 3, 3)] {
+        let (d, root, w) = workloads::directed_instance(layers, width, t);
+        let (n, m) = (d.num_vertices(), d.num_arcs());
+        let nm = (n + m) as f64;
+        let mut stats_holder = None;
+        let delays = record_delays(CAP, |emit| {
+            let s = enumerate_minimal_directed_steiner_trees(&d, root, &w, &mut |_| flow(emit()));
+            stats_holder = Some(s);
+        });
+        let stats = stats_holder.unwrap();
+        rows.push(Row {
+            problem: "Directed Steiner Tree (§5.2)".into(),
+            algorithm: "improved (Thm 36)".into(),
+            claimed: "O(n+m) amortized".into(),
+            instance: format!("layered {layers}x{width}"),
+            n,
+            m,
+            t: w.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: Some(stats.max_emission_gap),
+            work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+    }
+}
+
+fn induced_rows(rows: &mut Vec<Row>) {
+    for (r, c) in [(2, 4), (2, 5), (3, 4)] {
+        let inst = workloads::claw_free_instance(r, c);
+        let (n, m) = (inst.graph.num_vertices(), inst.graph.num_edges());
+        let delays = record_delays(2_000, |emit| {
+            steiner_induced::supergraph::enumerate_minimal_induced_steiner_subgraphs(
+                &inst.graph,
+                &inst.terminals,
+                &mut |_| flow(emit()),
+            )
+            .expect("claw-free instance");
+        });
+        rows.push(Row {
+            problem: "Induced Steiner, claw-free (§7)".into(),
+            algorithm: "supergraph (Thm 42)".into(),
+            claimed: "poly delay, exp space".into(),
+            instance: inst.name,
+            n,
+            m,
+            t: inst.terminals.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        });
+    }
+}
+
+fn hardness_rows(rows: &mut Vec<Row>) {
+    use steiner_hardness::hypergraph::Hypergraph;
+    use steiner_hardness::transversal::enumerate_minimal_transversals;
+    for (nv, ne) in [(12, 8), (16, 10), (20, 12)] {
+        let mut r = workloads::rng(7);
+        let h = Hypergraph::random(nv, ne, 4, &mut r);
+        let delays = record_delays(CAP, |emit| {
+            enumerate_minimal_transversals(&h, &mut |_| flow(emit()));
+        });
+        rows.push(Row {
+            problem: "Group Steiner ≡ Transversal (§6)".into(),
+            algorithm: "MMCS-style".into(),
+            claimed: "open (quasi-poly best known)".into(),
+            instance: format!("random H({nv},{ne})"),
+            n: nv,
+            m: ne,
+            t: 0,
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        });
+    }
+    // The Theorem 38 star reduction, end to end.
+    let mut r = workloads::rng(8);
+    let h = Hypergraph::random(10, 6, 3, &mut r);
+    let delays = record_delays(CAP, |emit| {
+        let sols = steiner_hardness::group_steiner::star_group_steiner_via_transversals(&h);
+        for _ in sols {
+            if !emit() {
+                break;
+            }
+        }
+    });
+    rows.push(Row {
+        problem: "Group Steiner ≡ Transversal (§6)".into(),
+        algorithm: "Thm 38 star reduction".into(),
+        claimed: "transversal-equivalent".into(),
+        instance: "star of H(10,6)".into(),
+        n: 11,
+        m: 10,
+        t: 6,
+        solutions: delays.solutions,
+        delays,
+        max_work_gap: None,
+        work_gap_over_nm: None,
+    });
+    let _ = VertexId(0);
+}
+
+fn main() {
+    let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut rows = Vec::new();
+    let want = |s: &str| section == "all" || section == s;
+    if want("paths") {
+        paths_rows(&mut rows);
+    }
+    if want("st") || want("st-baseline") {
+        st_rows(&mut rows);
+    }
+    if want("minimum") || want("st") {
+        minimum_rows(&mut rows);
+    }
+    if want("forest") {
+        forest_rows(&mut rows);
+    }
+    if want("terminal") {
+        terminal_rows(&mut rows);
+    }
+    if want("directed") {
+        directed_rows(&mut rows);
+    }
+    if want("induced") {
+        induced_rows(&mut rows);
+    }
+    if want("hardness") {
+        hardness_rows(&mut rows);
+    }
+    println!("# Table 1 (measured analogue)\n");
+    println!(
+        "Solutions capped at {CAP} per run; `max gap/(n+m)` is the largest\n\
+         work-unit gap between consecutive emissions divided by n+m — the\n\
+         empirical delay constant for the linear-delay claims.\n"
+    );
+    print!("{}", render_markdown(&rows));
+}

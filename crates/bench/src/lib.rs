@@ -1,0 +1,16 @@
+//! Benchmark harness regenerating the paper's Table 1 and Figure 1.
+//!
+//! The paper is analytical: Table 1 states delay/preprocessing/space
+//! bounds, Figure 1 illustrates the improved enumeration tree. This crate
+//! measures the implementation against those claims:
+//!
+//! * [`measure`] — runs an enumerator, recording wall-clock delay between
+//!   consecutive solutions (max/mean), the work-unit gap, and the
+//!   enumeration-tree shape; renders markdown rows;
+//! * [`workloads`] — the instance families (see DESIGN.md §10);
+//! * `table1` binary — prints a measured analogue of every Table 1 row;
+//! * `figure1` binary — prints the enumeration-tree shape and output-queue
+//!   trace that Figure 1 illustrates.
+
+pub mod measure;
+pub mod workloads;

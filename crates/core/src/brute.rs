@@ -1,0 +1,153 @@
+//! Exponential-time reference enumerators (test oracles).
+//!
+//! Each function enumerates *all* subsets of edges/arcs of a small graph
+//! and keeps those passing the corresponding [`crate::verify`] predicate.
+//! They are the ground truth for the property tests of the fast
+//! enumerators. Guarded against accidental use on large inputs.
+
+use crate::verify;
+use std::collections::BTreeSet;
+use steiner_graph::{ArcId, DiGraph, EdgeId, UndirectedGraph, VertexId};
+
+/// Maximum number of edges the brute-force enumerators accept.
+pub const MAX_BRUTE_EDGES: usize = 22;
+
+fn subset_edges(mask: u32, m: usize) -> Vec<EdgeId> {
+    (0..m).filter(|i| mask & (1 << i) != 0).map(EdgeId::new).collect()
+}
+
+fn subset_arcs(mask: u32, m: usize) -> Vec<ArcId> {
+    (0..m).filter(|i| mask & (1 << i) != 0).map(ArcId::new).collect()
+}
+
+/// All minimal Steiner trees of `(g, terminals)` as sorted edge sets.
+pub fn minimal_steiner_trees(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+) -> BTreeSet<Vec<EdgeId>> {
+    let m = g.num_edges();
+    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} edges");
+    let mut out = BTreeSet::new();
+    for mask in 0..(1u32 << m) {
+        let edges = subset_edges(mask, m);
+        if verify::is_minimal_steiner_tree(g, terminals, &edges) {
+            out.insert(edges);
+        }
+    }
+    out
+}
+
+/// All minimal terminal Steiner trees of `(g, terminals)`.
+pub fn minimal_terminal_steiner_trees(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+) -> BTreeSet<Vec<EdgeId>> {
+    let m = g.num_edges();
+    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} edges");
+    let mut out = BTreeSet::new();
+    for mask in 0..(1u32 << m) {
+        let edges = subset_edges(mask, m);
+        if verify::is_minimal_terminal_steiner_tree(g, terminals, &edges) {
+            out.insert(edges);
+        }
+    }
+    out
+}
+
+/// All minimal Steiner forests of `(g, sets)`.
+pub fn minimal_steiner_forests(
+    g: &UndirectedGraph,
+    sets: &[Vec<VertexId>],
+) -> BTreeSet<Vec<EdgeId>> {
+    let m = g.num_edges();
+    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} edges");
+    let mut out = BTreeSet::new();
+    for mask in 0..(1u32 << m) {
+        let edges = subset_edges(mask, m);
+        if verify::is_minimal_steiner_forest(g, sets, &edges) {
+            out.insert(edges);
+        }
+    }
+    out
+}
+
+/// All minimal directed Steiner subgraphs of `(d, terminals, root)` as
+/// sorted arc sets. By Proposition 32 these are exactly the minimal
+/// directed Steiner trees.
+pub fn minimal_directed_steiner_trees(
+    d: &DiGraph,
+    root: VertexId,
+    terminals: &[VertexId],
+) -> BTreeSet<Vec<ArcId>> {
+    let m = d.num_arcs();
+    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} arcs");
+    let mut out = BTreeSet::new();
+    for mask in 0..(1u32 << m) {
+        let arcs = subset_arcs(mask, m);
+        if verify::is_minimal_directed_steiner_subgraph(d, root, terminals, &arcs) {
+            out.insert(arcs);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_steiner_trees() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let w = [VertexId(0), VertexId(1)];
+        let sols = minimal_steiner_trees(&g, &w);
+        // Minimal Steiner trees joining 0 and 1: edge {0,1} and path 0-2-1.
+        let expected: BTreeSet<Vec<EdgeId>> =
+            [vec![EdgeId(0)], vec![EdgeId(1), EdgeId(2)]].into_iter().collect();
+        assert_eq!(sols, expected);
+    }
+
+    #[test]
+    fn triangle_all_terminals() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let w = [VertexId(0), VertexId(1), VertexId(2)];
+        let sols = minimal_steiner_trees(&g, &w);
+        // Spanning trees of the triangle: any two edges.
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn single_terminal_empty_tree() {
+        let g = UndirectedGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let sols = minimal_steiner_trees(&g, &[VertexId(0)]);
+        let expected: BTreeSet<Vec<EdgeId>> = [vec![]].into_iter().collect();
+        assert_eq!(sols, expected);
+    }
+
+    #[test]
+    fn terminal_steiner_trees_exclude_internal_terminals() {
+        // Star: center 0, leaves 1, 2, 3. Terminals {1, 2}: path 1-0-2.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let sols = minimal_terminal_steiner_trees(&g, &[VertexId(1), VertexId(2)]);
+        let expected: BTreeSet<Vec<EdgeId>> = [vec![EdgeId(0), EdgeId(1)]].into_iter().collect();
+        assert_eq!(sols, expected);
+    }
+
+    #[test]
+    fn forests_on_disjoint_pairs() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        let sols = minimal_steiner_forests(&g, &sets);
+        let expected: BTreeSet<Vec<EdgeId>> =
+            [vec![EdgeId(0), EdgeId(2)]].into_iter().collect();
+        assert_eq!(sols, expected);
+    }
+
+    #[test]
+    fn directed_diamond() {
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let sols = minimal_directed_steiner_trees(&d, VertexId(0), &[VertexId(3)]);
+        let expected: BTreeSet<Vec<ArcId>> =
+            [vec![ArcId(0), ArcId(2)], vec![ArcId(1), ArcId(3)]].into_iter().collect();
+        assert_eq!(sols, expected);
+    }
+}

@@ -1,0 +1,433 @@
+//! Minimal directed Steiner tree enumeration (§5.2, Theorems 34 & 36).
+//!
+//! A partial solution is a directed tree `T` rooted at `r` whose leaves are
+//! all terminals; children attach one directed `V(T)`-`w` path (Lemma 33
+//! guarantees extendibility). The improved node rule works in the
+//! contracted multigraph `D′ = D/E(T)` with super-vertex `r_T`:
+//!
+//! 1. build a DFS tree `T′` of `D′` from `r_T` and its postorder `≺`;
+//! 2. prune `T′` to the minimal directed Steiner tree `T*` spanning the
+//!    missing terminals;
+//! 3. **Lemma 35**: another minimal directed Steiner tree exists iff some
+//!    `v, u ∈ V(T*)` with `u ≺ v` admit a directed `v`-`u` path in
+//!    `D′ − E(T*)`. The paper's descending-postorder sweep finds such a
+//!    pair (or rules it out) in O(n + m): BFS from the largest remaining
+//!    vertex, stop on hitting an undeleted `T*` vertex, otherwise delete
+//!    everything reached and continue.
+//! 4. On a witness `(v, u)`: any terminal below `u` in `T*` has ≥ 2 valid
+//!    paths — branch on it. Otherwise `T + T*` is the unique completion:
+//!    emit it as a leaf.
+
+use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+use crate::stats::EnumStats;
+use std::ops::ControlFlow;
+use steiner_graph::connectivity::reachable_from;
+use steiner_graph::contraction::{contract_vertex_set, ContractedDigraph};
+use steiner_graph::traversal::di_dfs_postorder;
+use steiner_graph::{ArcId, DiGraph, VertexId};
+use steiner_paths::stsets::DiSourceSetInstance;
+
+struct DirectedEnumerator<'g, 'a> {
+    d: &'g DiGraph,
+    terminals: Vec<VertexId>,
+    is_terminal: Vec<bool>,
+    in_tree: Vec<bool>,
+    tree_vertices: Vec<VertexId>,
+    tree_arcs: Vec<ArcId>,
+    missing: usize,
+    stats: EnumStats,
+    scratch: Vec<ArcId>,
+    emitter: &'a mut dyn SolutionSink<ArcId>,
+}
+
+/// Outcome of the per-node analysis in the contracted graph.
+enum NodeAnalysis {
+    /// A terminal with ≥ 2 valid paths to branch on.
+    Branch(VertexId),
+    /// The unique completion's arcs (original ids), to append to `E(T)`.
+    Unique(Vec<ArcId>),
+}
+
+impl DirectedEnumerator<'_, '_> {
+    fn emit(&mut self, arcs: &[ArcId]) -> ControlFlow<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(arcs);
+        scratch.sort_unstable();
+        self.stats.note_emission();
+        let flow = self.emitter.solution(&scratch, self.stats.work);
+        self.scratch = scratch;
+        flow
+    }
+
+    /// Lemma 35 analysis of the contracted instance.
+    fn analyze(&mut self, c: &ContractedDigraph) -> NodeAnalysis {
+        let cn = c.graph.num_vertices();
+        let cm = c.graph.num_arcs();
+        self.stats.work += (cn + cm) as u64;
+        let dfs = di_dfs_postorder(&c.graph, c.super_vertex, None);
+        // T*: prune the DFS tree to the missing terminals. While marking,
+        // remember for every T* vertex a terminal in its subtree.
+        let mut in_tstar_vertex = vec![false; cn];
+        let mut in_tstar_arc = vec![false; cm];
+        let mut term_rep: Vec<Option<VertexId>> = vec![None; cn];
+        let mut tstar_vertices: Vec<VertexId> = Vec::new();
+        let mut tstar_arcs: Vec<ArcId> = Vec::new();
+        for &w in &self.terminals {
+            if self.in_tree[w.index()] {
+                continue;
+            }
+            let mut cur = c.vertex_map[w.index()];
+            while !in_tstar_vertex[cur.index()] {
+                self.stats.work += 1;
+                in_tstar_vertex[cur.index()] = true;
+                term_rep[cur.index()] = Some(w);
+                tstar_vertices.push(cur);
+                if cur == c.super_vertex {
+                    break;
+                }
+                let pa = dfs.parent_arc[cur.index()]
+                    .expect("terminals are reachable from the root (preprocessing)");
+                in_tstar_arc[pa.index()] = true;
+                tstar_arcs.push(pa);
+                cur = dfs.parent[cur.index()].expect("non-root has a parent");
+            }
+        }
+        // Descending-postorder sweep over V(T*).
+        tstar_vertices.sort_unstable_by_key(|v| std::cmp::Reverse(dfs.postorder[v.index()]));
+        let mut deleted = vec![false; cn];
+        let mut round: Vec<VertexId> = Vec::new();
+        for &v in &tstar_vertices {
+            if deleted[v.index()] {
+                continue;
+            }
+            round.clear();
+            round.push(v);
+            let mut head = 0;
+            let mut witness: Option<VertexId> = None;
+            let mut in_round = vec![false; cn];
+            in_round[v.index()] = true;
+            'bfs: while head < round.len() {
+                let x = round[head];
+                head += 1;
+                for (y, a) in c.graph.out_neighbors(x) {
+                    self.stats.work += 1;
+                    if in_tstar_arc[a.index()] || deleted[y.index()] || in_round[y.index()] {
+                        continue;
+                    }
+                    if in_tstar_vertex[y.index()] {
+                        witness = Some(y);
+                        break 'bfs;
+                    }
+                    in_round[y.index()] = true;
+                    round.push(y);
+                }
+            }
+            if let Some(u) = witness {
+                let w = term_rep[u.index()].expect("every T* vertex has a terminal below");
+                return NodeAnalysis::Branch(w);
+            }
+            for &x in &round {
+                deleted[x.index()] = true;
+            }
+        }
+        NodeAnalysis::Unique(tstar_arcs.iter().map(|a| c.orig_arc[a.index()]).collect())
+    }
+
+    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
+        self.emitter.tick(self.stats.work)?;
+        if self.missing == 0 {
+            self.stats.note_node(0, depth);
+            let arcs = self.tree_arcs.clone();
+            return self.emit(&arcs);
+        }
+        let c = contract_vertex_set(self.d, &self.in_tree);
+        self.stats.work += (self.d.num_vertices() + self.d.num_arcs()) as u64;
+        match self.analyze(&c) {
+            NodeAnalysis::Unique(extra) => {
+                self.stats.note_node(0, depth);
+                let mut arcs = self.tree_arcs.clone();
+                arcs.extend_from_slice(&extra);
+                self.emit(&arcs)
+            }
+            NodeAnalysis::Branch(w) => {
+                let inst = DiSourceSetInstance::new(self.d, &self.in_tree, None);
+                self.stats.work += (self.d.num_vertices() + self.d.num_arcs()) as u64;
+                let mut children = 0u64;
+                let mut flow = ControlFlow::Continue(());
+                let per_child = (self.d.num_vertices() + self.d.num_arcs()) as u64;
+                let _pstats = inst.enumerate(w, &mut |p| {
+                    children += 1;
+                    self.stats.work += per_child;
+                    let verts = p.vertices.to_vec();
+                    let arcs = p.arcs.to_vec();
+                    // Extend T.
+                    for &v in &verts[1..] {
+                        debug_assert!(!self.in_tree[v.index()]);
+                        self.in_tree[v.index()] = true;
+                        self.tree_vertices.push(v);
+                        if self.is_terminal[v.index()] {
+                            self.missing -= 1;
+                        }
+                    }
+                    let arc_base = self.tree_arcs.len();
+                    self.tree_arcs.extend_from_slice(&arcs);
+                    let f = self.recurse(depth + 1);
+                    // Retract.
+                    self.tree_arcs.truncate(arc_base);
+                    for &v in verts[1..].iter().rev() {
+                        self.tree_vertices.pop();
+                        self.in_tree[v.index()] = false;
+                        if self.is_terminal[v.index()] {
+                            self.missing += 1;
+                        }
+                    }
+                    if f.is_break() {
+                        flow = ControlFlow::Break(());
+                    }
+                    f
+                });
+                self.stats.note_node(children, depth);
+                debug_assert!(
+                    children >= 2 || flow.is_break(),
+                    "Lemma 35 witness guarantees two valid paths"
+                );
+                flow
+            }
+        }
+    }
+}
+
+/// Enumerates all minimal directed Steiner trees of `(d, terminals, root)`
+/// through an arbitrary [`SolutionSink`].
+///
+/// The root is dropped from `terminals` if present (it is trivially
+/// reached). With no (other) terminals the single empty tree is emitted.
+/// If some terminal is unreachable from the root there are no solutions.
+pub fn enumerate_minimal_directed_steiner_trees_with(
+    d: &DiGraph,
+    root: VertexId,
+    terminals: &[VertexId],
+    emitter: &mut dyn SolutionSink<ArcId>,
+) -> EnumStats {
+    let mut terminals: Vec<VertexId> =
+        terminals.iter().copied().filter(|&w| w != root).collect();
+    terminals.sort_unstable();
+    terminals.dedup();
+    let mut stats = EnumStats::default();
+    stats.preprocessing_work = (d.num_vertices() + d.num_arcs()) as u64;
+    let reach = reachable_from(d, root, None);
+    if terminals.iter().any(|w| !reach[w.index()]) {
+        return stats;
+    }
+    if terminals.is_empty() {
+        stats.note_emission();
+        let _ = emitter.solution(&[], stats.work);
+        let _ = emitter.finish();
+        stats.note_end();
+        return stats;
+    }
+    let n = d.num_vertices();
+    let mut is_terminal = vec![false; n];
+    for &w in &terminals {
+        is_terminal[w.index()] = true;
+    }
+    let mut in_tree = vec![false; n];
+    in_tree[root.index()] = true;
+    let missing = terminals.len();
+    let mut e = DirectedEnumerator {
+        d,
+        terminals,
+        is_terminal,
+        in_tree,
+        tree_vertices: vec![root],
+        tree_arcs: Vec::new(),
+        missing,
+        stats,
+        scratch: Vec::new(),
+        emitter,
+    };
+    let flow = e.recurse(0);
+    if flow.is_continue() {
+        let _ = e.emitter.finish();
+    }
+    e.stats.note_end();
+    e.stats
+}
+
+/// Enumerates all minimal directed Steiner trees with amortized O(n + m)
+/// time per solution (Theorem 36), emitting directly.
+///
+/// ```
+/// use steiner_core::directed::enumerate_minimal_directed_steiner_trees;
+/// use steiner_graph::{DiGraph, VertexId};
+/// use std::ops::ControlFlow;
+///
+/// // Diamond: two arc-disjoint ways from the root 0 to terminal 3.
+/// let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let mut count = 0;
+/// enumerate_minimal_directed_steiner_trees(&d, VertexId(0), &[VertexId(3)], &mut |arcs| {
+///     assert_eq!(arcs.len(), 2);
+///     count += 1;
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(count, 2);
+/// ```
+pub fn enumerate_minimal_directed_steiner_trees(
+    d: &DiGraph,
+    root: VertexId,
+    terminals: &[VertexId],
+    sink: &mut dyn FnMut(&[ArcId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let mut direct = DirectSink { sink };
+    enumerate_minimal_directed_steiner_trees_with(d, root, terminals, &mut direct)
+}
+
+/// Queued variant: worst-case O(n + m) delay with O(n²) space (Theorem 36).
+pub fn enumerate_minimal_directed_steiner_trees_queued(
+    d: &DiGraph,
+    root: VertexId,
+    terminals: &[VertexId],
+    config: Option<QueueConfig>,
+    sink: &mut dyn FnMut(&[ArcId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let config = config.unwrap_or_else(|| QueueConfig::for_graph(d.num_vertices(), d.num_arcs()));
+    let mut queue = OutputQueue::new(config, sink);
+    enumerate_minimal_directed_steiner_trees_with(d, root, terminals, &mut queue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use std::collections::BTreeSet;
+
+    fn collect(d: &DiGraph, r: VertexId, w: &[VertexId]) -> BTreeSet<Vec<ArcId>> {
+        let mut out = BTreeSet::new();
+        enumerate_minimal_directed_steiner_trees(d, r, w, &mut |arcs| {
+            assert!(out.insert(arcs.to_vec()), "duplicate solution {arcs:?}");
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn diamond_two_trees() {
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let got = collect(&d, VertexId(0), &[VertexId(3)]);
+        assert_eq!(got, brute::minimal_directed_steiner_trees(&d, VertexId(0), &[VertexId(3)]));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn chain_unique_tree() {
+        let d = DiGraph::from_arcs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let got = collect(&d, VertexId(0), &[VertexId(3)]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.iter().next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn branching_terminals_share_prefixes() {
+        // Root 0 -> {1, 2}; 1 -> 3, 2 -> 3; terminals {1, 3}.
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let w = [VertexId(1), VertexId(3)];
+        let got = collect(&d, VertexId(0), &w);
+        assert_eq!(got, brute::minimal_directed_steiner_trees(&d, VertexId(0), &w));
+    }
+
+    #[test]
+    fn unreachable_terminal_no_solutions() {
+        let d = DiGraph::from_arcs(3, &[(0, 1), (2, 1)]).unwrap();
+        assert!(collect(&d, VertexId(0), &[VertexId(2)]).is_empty());
+    }
+
+    #[test]
+    fn no_terminals_gives_empty_tree() {
+        let d = DiGraph::from_arcs(2, &[(0, 1)]).unwrap();
+        let got = collect(&d, VertexId(0), &[]);
+        assert_eq!(got.len(), 1);
+        assert!(got.contains(&Vec::new()));
+    }
+
+    #[test]
+    fn root_in_terminals_is_dropped() {
+        let d = DiGraph::from_arcs(2, &[(0, 1)]).unwrap();
+        let got = collect(&d, VertexId(0), &[VertexId(0), VertexId(1)]);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_dags() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xd1a6);
+        for case in 0..60 {
+            let n = 3 + case % 5;
+            let m = (n + rng.gen_range(0..6)).min(n * (n - 1) / 2);
+            let (d, root) = steiner_graph::generators::random_rooted_dag(n, m, &mut rng);
+            if d.num_arcs() > brute::MAX_BRUTE_EDGES {
+                continue;
+            }
+            let t = 1 + rng.gen_range(0..3usize).min(n - 1);
+            let mut w = steiner_graph::generators::random_terminals(n, t, &mut rng);
+            w.retain(|&v| v != root);
+            if w.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                collect(&d, root, &w),
+                brute::minimal_directed_steiner_trees(&d, root, &w),
+                "digraph {d:?} root {root} terminals {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_digraphs_with_cycles() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xc1c1e);
+        for case in 0..60 {
+            let n = 3 + case % 4;
+            let m = (n + rng.gen_range(0..6)).min(n * (n - 1));
+            let d = steiner_graph::generators::random_digraph(n, m.min(20), &mut rng);
+            let root = VertexId(0);
+            let t = 1 + rng.gen_range(0..3usize).min(n - 1);
+            let mut w = steiner_graph::generators::random_terminals(n, t, &mut rng);
+            w.retain(|&v| v != root);
+            if w.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                collect(&d, root, &w),
+                brute::minimal_directed_steiner_trees(&d, root, &w),
+                "digraph {d:?} root {root} terminals {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_verify_minimal() {
+        let (d, root) = steiner_graph::generators::layered_digraph(3, 2);
+        let w = [VertexId(5), VertexId(6)];
+        let mut count = 0;
+        enumerate_minimal_directed_steiner_trees(&d, root, &w, &mut |arcs| {
+            count += 1;
+            assert!(crate::verify::is_minimal_directed_steiner_subgraph(&d, root, &w, arcs));
+            ControlFlow::Continue(())
+        });
+        assert!(count > 1);
+    }
+
+    #[test]
+    fn queued_matches_direct() {
+        let (d, root) = steiner_graph::generators::layered_digraph(3, 2);
+        let w = [VertexId(5), VertexId(6)];
+        let direct = collect(&d, root, &w);
+        let mut queued = BTreeSet::new();
+        enumerate_minimal_directed_steiner_trees_queued(&d, root, &w, None, &mut |arcs| {
+            assert!(queued.insert(arcs.to_vec()));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(direct, queued);
+    }
+}

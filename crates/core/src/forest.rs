@@ -1,0 +1,426 @@
+//! Minimal Steiner forest enumeration (§5, Theorems 23 & 25).
+//!
+//! Terminal sets are reduced to pairs (`{w₁,…,w_k}` →
+//! `{w₁,w₂}, …, {w₁,w_k}` — the observation before Lemma 21). A partial
+//! solution is a forest `F` that is a union of paths for a subset of the
+//! pairs; children attach one `w`-`w′` path of the contracted multigraph
+//! `G/E(F)` for some still-disconnected pair (valid paths ↔ paths of
+//! `G/E(F)`, Lemma 24's surrounding discussion).
+//!
+//! The improved node rule (Theorem 25): a pair has a *unique* valid path
+//! iff its endpoints coincide after also contracting the bridges of
+//! `G/E(F)` (Lemma 24). If some disconnected pair does not coincide,
+//! branch on it (≥ 2 children guaranteed); otherwise `F` plus the bridges
+//! contains the unique minimal completion, which is extracted with the
+//! LCA-based marking procedure in linear time.
+
+use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+use crate::stats::EnumStats;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use steiner_graph::bridges::bridges;
+use steiner_graph::connectivity::all_in_one_component;
+use steiner_graph::contraction::contract_edge_set;
+use steiner_graph::lca::Lca;
+use steiner_graph::union_find::UnionFind;
+use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+use steiner_paths::undirected::enumerate_st_paths;
+
+/// Reduces terminal sets to deduplicated unordered pairs. Singleton and
+/// empty sets impose no constraint and vanish.
+pub fn pairs_from_sets(sets: &[Vec<VertexId>]) -> Vec<(VertexId, VertexId)> {
+    let mut pairs: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+    for set in sets {
+        let mut members = set.clone();
+        members.sort_unstable();
+        members.dedup();
+        if let Some((&first, rest)) = members.split_first() {
+            for &w in rest {
+                pairs.insert((first.min(w), first.max(w)));
+            }
+        }
+    }
+    pairs.into_iter().collect()
+}
+
+struct ForestEnumerator<'g, 'a> {
+    g: &'g UndirectedGraph,
+    pairs: Vec<(VertexId, VertexId)>,
+    uf: UnionFind,
+    forest_edges: Vec<EdgeId>,
+    stats: EnumStats,
+    scratch: Vec<EdgeId>,
+    emitter: &'a mut dyn SolutionSink<EdgeId>,
+}
+
+impl ForestEnumerator<'_, '_> {
+    fn emit(&mut self, edges: &[EdgeId]) -> ControlFlow<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(edges);
+        scratch.sort_unstable();
+        self.stats.note_emission();
+        let flow = self.emitter.solution(&scratch, self.stats.work);
+        self.scratch = scratch;
+        flow
+    }
+
+    /// The unique minimal Steiner forest containing `F`, given that every
+    /// disconnected pair has a unique valid path: mark, over the forest
+    /// `F + B`, the edges lying on some pair's tree path (the paper's
+    /// sorted-LCA marking), and return exactly those.
+    fn unique_completion(&mut self, forest_plus_bridges: &[EdgeId]) -> Vec<EdgeId> {
+        let n = self.g.num_vertices();
+        self.stats.work += (n + forest_plus_bridges.len()) as u64;
+        // Root the forest: BFS over the edge set.
+        let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut present = vec![false; n];
+        for &e in forest_plus_bridges {
+            let (u, v) = self.g.endpoints(e);
+            incident[u.index()].push(e);
+            incident[v.index()].push(e);
+            present[u.index()] = true;
+            present[v.index()] = true;
+        }
+        let mut parent: Vec<Option<VertexId>> = vec![None; n];
+        let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for v in 0..n {
+            if !present[v] || visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            queue.push_back(VertexId::new(v));
+            while let Some(u) = queue.pop_front() {
+                for &e in &incident[u.index()] {
+                    let w = self.g.other_endpoint(e, u);
+                    if !visited[w.index()] {
+                        visited[w.index()] = true;
+                        parent[w.index()] = Some(u);
+                        parent_edge[w.index()] = Some(e);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        let lca = Lca::from_parents(&parent, &present);
+        // Marking entries (depth of LCA, endpoint, LCA), processed with the
+        // shallowest LCAs first so early stopping is sound.
+        let mut entries: Vec<(u32, VertexId, VertexId)> = Vec::with_capacity(2 * self.pairs.len());
+        for &(w, w2) in &self.pairs {
+            let a = lca
+                .lca(w, w2)
+                .expect("every pair is connected in F + B at a unique-completion node");
+            let d = lca.depth_of(a);
+            entries.push((d, w, a));
+            entries.push((d, w2, a));
+        }
+        entries.sort_unstable();
+        let mut marked = vec![false; self.g.num_edges()];
+        for &(_, start, stop) in &entries {
+            let mut cur = start;
+            while cur != stop {
+                self.stats.work += 1;
+                let e = parent_edge[cur.index()].expect("stop is an ancestor of start");
+                if marked[e.index()] {
+                    break; // the rest of the walk is already marked
+                }
+                marked[e.index()] = true;
+                cur = parent[cur.index()].expect("stop is an ancestor of start");
+            }
+        }
+        forest_plus_bridges.iter().copied().filter(|e| marked[e.index()]).collect()
+    }
+
+    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
+        self.emitter.tick(self.stats.work)?;
+        self.stats.work += self.pairs.len() as u64;
+        if self.pairs.iter().all(|&(w, w2)| self.uf.same(w, w2)) {
+            // F is a minimal Steiner forest (Lemma 21).
+            self.stats.note_node(0, depth);
+            let edges = self.forest_edges.clone();
+            return self.emit(&edges);
+        }
+        // G′ = G/E(F); bridges of the multigraph; G″ = G′/B.
+        let contraction = contract_edge_set(self.g, &self.forest_edges);
+        let bridge = bridges(&contraction.graph, None);
+        self.stats.work += 2 * (self.g.num_vertices() + self.g.num_edges()) as u64;
+        let mut uf2 = UnionFind::new(contraction.graph.num_vertices());
+        for e in contraction.graph.edges() {
+            if bridge[e.index()] {
+                let (u, v) = contraction.graph.endpoints(e);
+                uf2.union(u, v);
+            }
+        }
+        // A disconnected pair whose images differ in G″ has ≥ 2 valid paths
+        // (Lemma 24): branch on the first such pair.
+        let branch = self.pairs.iter().copied().find(|&(w, w2)| {
+            !self.uf.same(w, w2)
+                && !uf2.same(contraction.image(w), contraction.image(w2))
+        });
+        let Some((w, w2)) = branch else {
+            // Every remaining pair goes through bridges only: unique
+            // completion inside F + B.
+            let mut fb = self.forest_edges.clone();
+            fb.extend(
+                contraction
+                    .graph
+                    .edges()
+                    .filter(|e| bridge[e.index()])
+                    .map(|e| contraction.orig_edge[e.index()]),
+            );
+            let completion = self.unique_completion(&fb);
+            self.stats.note_node(0, depth);
+            return self.emit(&completion);
+        };
+        let mut children = 0u64;
+        let mut flow = ControlFlow::Continue(());
+        let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
+        let _pstats = enumerate_st_paths(
+            &contraction.graph,
+            contraction.image(w),
+            contraction.image(w2),
+            None,
+            &mut |p| {
+                children += 1;
+                self.stats.work += per_child;
+                let orig: Vec<EdgeId> =
+                    p.edges.iter().map(|e| contraction.orig_edge[e.index()]).collect();
+                let snap = self.uf.snapshot();
+                for &e in &orig {
+                    let (u, v) = self.g.endpoints(e);
+                    let joined = self.uf.union(u, v);
+                    debug_assert!(joined, "a valid path never closes a cycle in F");
+                }
+                let base = self.forest_edges.len();
+                self.forest_edges.extend_from_slice(&orig);
+                let f = self.recurse(depth + 1);
+                self.forest_edges.truncate(base);
+                self.uf.rollback(snap);
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                }
+                f
+            },
+        );
+        self.stats.note_node(children, depth);
+        debug_assert!(
+            children >= 2 || flow.is_break(),
+            "Lemma 24 guarantees at least two valid paths on a branch pair"
+        );
+        flow
+    }
+}
+
+/// Enumerates all minimal Steiner forests of `(g, sets)` through an
+/// arbitrary [`SolutionSink`].
+pub fn enumerate_minimal_steiner_forests_with(
+    g: &UndirectedGraph,
+    sets: &[Vec<VertexId>],
+    emitter: &mut dyn SolutionSink<EdgeId>,
+) -> EnumStats {
+    let pairs = pairs_from_sets(sets);
+    let mut stats = EnumStats::default();
+    stats.preprocessing_work = (g.num_vertices() + g.num_edges()) as u64;
+    // Precondition: each terminal set inside one component.
+    for set in sets {
+        if !all_in_one_component(g, set, None) {
+            return stats;
+        }
+    }
+    if pairs.is_empty() {
+        // The empty forest is the unique minimal Steiner forest.
+        stats.note_emission();
+        let _ = emitter.solution(&[], stats.work);
+        let _ = emitter.finish();
+        stats.note_end();
+        return stats;
+    }
+    let mut e = ForestEnumerator {
+        g,
+        pairs,
+        uf: UnionFind::new(g.num_vertices()),
+        forest_edges: Vec::new(),
+        stats,
+        scratch: Vec::new(),
+        emitter,
+    };
+    let flow = e.recurse(0);
+    if flow.is_continue() {
+        let _ = e.emitter.finish();
+    }
+    e.stats.note_end();
+    e.stats
+}
+
+/// Enumerates all minimal Steiner forests of `(g, sets)` with amortized
+/// O(n + m) time per solution (Theorem 25), emitting directly.
+///
+/// ```
+/// use steiner_core::forest::enumerate_minimal_steiner_forests;
+/// use steiner_graph::{UndirectedGraph, VertexId};
+/// use std::ops::ControlFlow;
+///
+/// // Path 0-1-2-3 with pairs {0,1} and {2,3}: the unique minimal forest
+/// // takes the two outer edges.
+/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+/// let mut count = 0;
+/// enumerate_minimal_steiner_forests(&g, &sets, &mut |forest| {
+///     assert_eq!(forest.len(), 2);
+///     count += 1;
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(count, 1);
+/// ```
+pub fn enumerate_minimal_steiner_forests(
+    g: &UndirectedGraph,
+    sets: &[Vec<VertexId>],
+    sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let mut direct = DirectSink { sink };
+    enumerate_minimal_steiner_forests_with(g, sets, &mut direct)
+}
+
+/// Queued variant: worst-case O(m) delay via the output queue (Theorem 25).
+pub fn enumerate_minimal_steiner_forests_queued(
+    g: &UndirectedGraph,
+    sets: &[Vec<VertexId>],
+    config: Option<QueueConfig>,
+    sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let config = config.unwrap_or_else(|| QueueConfig::for_graph(g.num_vertices(), g.num_edges()));
+    let mut queue = OutputQueue::new(config, sink);
+    enumerate_minimal_steiner_forests_with(g, sets, &mut queue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+
+    fn collect(g: &UndirectedGraph, sets: &[Vec<VertexId>]) -> BTreeSet<Vec<EdgeId>> {
+        let mut out = BTreeSet::new();
+        enumerate_minimal_steiner_forests(g, sets, &mut |edges| {
+            assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn pairs_conversion() {
+        let sets = vec![
+            vec![VertexId(3), VertexId(1), VertexId(2)],
+            vec![VertexId(1), VertexId(3)],
+            vec![VertexId(5)],
+            vec![],
+        ];
+        let pairs = pairs_from_sets(&sets);
+        assert_eq!(
+            pairs,
+            vec![
+                (VertexId(1), VertexId(2)),
+                (VertexId(1), VertexId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_set_equals_steiner_tree_enumeration() {
+        use crate::improved::enumerate_minimal_steiner_trees;
+        let g = steiner_graph::generators::grid(2, 4);
+        let w = vec![VertexId(0), VertexId(7)];
+        let forests = collect(&g, std::slice::from_ref(&w));
+        let mut trees = BTreeSet::new();
+        enumerate_minimal_steiner_trees(&g, &w, &mut |edges| {
+            trees.insert(edges.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(forests, trees, "|W| = 1 set: forest == tree enumeration");
+    }
+
+    #[test]
+    fn empty_pairs_give_empty_forest() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let got = collect(&g, &[vec![VertexId(1)]]);
+        assert_eq!(got.len(), 1);
+        assert!(got.contains(&Vec::new()));
+    }
+
+    #[test]
+    fn two_disjoint_pairs_on_a_path() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        let got = collect(&g, &sets);
+        assert_eq!(got, brute::minimal_steiner_forests(&g, &sets));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_pairs_share_structure() {
+        // Square: pairs {0,2} and {1,3} interact heavily.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let sets = vec![vec![VertexId(0), VertexId(2)], vec![VertexId(1), VertexId(3)]];
+        let got = collect(&g, &sets);
+        assert_eq!(got, brute::minimal_steiner_forests(&g, &sets));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xf0123);
+        for case in 0..50 {
+            let n = 3 + case % 5;
+            let m = (n - 1 + rng.gen_range(0..4)).min(n * (n - 1) / 2);
+            let g = steiner_graph::generators::random_connected_graph(n, m, &mut rng);
+            let num_sets = 1 + rng.gen_range(0..3usize);
+            let sets: Vec<Vec<VertexId>> = (0..num_sets)
+                .map(|_| {
+                    let k = 2 + rng.gen_range(0..2usize).min(n - 2);
+                    steiner_graph::generators::random_terminals(n, k, &mut rng)
+                })
+                .collect();
+            assert_eq!(
+                collect(&g, &sets),
+                brute::minimal_steiner_forests(&g, &sets),
+                "graph {g:?} sets {sets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_outputs_verify_minimal() {
+        let g = steiner_graph::generators::grid(3, 3);
+        let sets =
+            vec![vec![VertexId(0), VertexId(8)], vec![VertexId(2), VertexId(6)]];
+        let mut count = 0;
+        enumerate_minimal_steiner_forests(&g, &sets, &mut |edges| {
+            count += 1;
+            assert!(crate::verify::is_minimal_steiner_forest(&g, &sets, edges));
+            ControlFlow::Continue(())
+        });
+        assert!(count > 1);
+    }
+
+    #[test]
+    fn queued_matches_direct() {
+        let g = steiner_graph::generators::grid(3, 3);
+        let sets = vec![vec![VertexId(0), VertexId(8)], vec![VertexId(2), VertexId(6)]];
+        let direct = collect(&g, &sets);
+        let mut queued = BTreeSet::new();
+        enumerate_minimal_steiner_forests_queued(&g, &sets, None, &mut |edges| {
+            assert!(queued.insert(edges.to_vec()));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(direct, queued);
+    }
+
+    #[test]
+    fn disconnected_set_yields_nothing() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let got = collect(&g, &[vec![VertexId(0), VertexId(2)]]);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,387 @@
+//! The improved minimal-Steiner-tree enumerator (§4.2, Theorems 17 & 20).
+//!
+//! The simple Algorithm 2 can build long chains of single-child nodes. The
+//! improvement guarantees **every internal node has at least two
+//! children**:
+//!
+//! * Lemma 16: a `V(T)`-`w` path is the unique one iff all its edges are
+//!   bridges of `G` — and bridges of `G` do not depend on `T`, so they are
+//!   computed **once** in preprocessing.
+//! * Per node, grow any minimal completion `T′ ⊇ T` (spanning tree +
+//!   Proposition 3 pruning, O(n + m)), then scan `E(T′) ∖ E(T)` for a
+//!   non-bridge edge. If none exists, `T′` is the *unique* minimal Steiner
+//!   tree containing `T`: emit it and close the node as a leaf. Otherwise a
+//!   terminal `w` behind the non-bridge edge has ≥ 2 valid paths: branch on
+//!   it.
+//!
+//! With the ≥2-children invariant, internal nodes never outnumber leaves,
+//! so total work is O((n + m) · #solutions) — amortized O(n + m) each
+//! (Theorem 17). Wiring the emissions through the
+//! [`crate::queue::OutputQueue`] yields the worst-case O(n + m) delay of
+//! Theorem 20 at O(n²) space.
+
+use crate::partial::PartialTree;
+use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+use crate::simple::normalize_terminals;
+use crate::stats::EnumStats;
+use std::ops::ControlFlow;
+use steiner_graph::bridges::bridges;
+use steiner_graph::connectivity::all_in_one_component;
+use steiner_graph::spanning::{grow_spanning_tree, prune_leaves};
+use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+use steiner_paths::stsets::SourceSetInstance;
+
+struct ImprovedEnumerator<'g, 'a> {
+    g: &'g UndirectedGraph,
+    t: PartialTree,
+    /// Edge membership in `E(T)`, kept in lockstep with `t.edges`.
+    edge_in_t: Vec<bool>,
+    /// Bridges of `G`, precomputed once (Lemma 16 is a property of `G`).
+    bridge: Vec<bool>,
+    stats: EnumStats,
+    scratch: Vec<EdgeId>,
+    emitter: &'a mut dyn SolutionSink<EdgeId>,
+}
+
+impl ImprovedEnumerator<'_, '_> {
+    fn emit(&mut self, edges: &[EdgeId]) -> ControlFlow<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(edges);
+        scratch.sort_unstable();
+        self.stats.note_emission();
+        let flow = self.emitter.solution(&scratch, self.stats.work);
+        self.scratch = scratch;
+        flow
+    }
+
+    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
+        self.emitter.tick(self.stats.work)?;
+        if self.t.complete() {
+            self.stats.note_node(0, depth);
+            let edges = self.t.edges.clone();
+            return self.emit(&edges);
+        }
+        // Minimal completion T' ⊇ T: spanning tree + Proposition 3 pruning.
+        let grown = grow_spanning_tree(self.g, &self.t.vertices, &self.t.edges, None);
+        self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;
+        let is_terminal = &self.t.is_terminal;
+        let in_tree = &self.t.in_tree;
+        let tprime = prune_leaves(self.g, &grown.edges, |v| {
+            is_terminal[v.index()] || in_tree[v.index()]
+        });
+        // A non-bridge edge of T' ∖ T ⇒ some missing terminal has ≥2 paths.
+        let candidate = tprime
+            .iter()
+            .copied()
+            .find(|e| !self.edge_in_t[e.index()] && !self.bridge[e.index()]);
+        let Some(e_star) = candidate else {
+            // T' is the unique minimal Steiner tree containing T (Lemma 16).
+            self.stats.note_node(0, depth);
+            return self.emit(&tprime);
+        };
+        let w = find_terminal_beyond(
+            self.g,
+            &tprime,
+            e_star,
+            &self.t.in_tree,
+            &self.t.is_terminal,
+            &mut self.stats.work,
+        );
+        let inst = SourceSetInstance::new(self.g, &self.t.in_tree, None);
+        self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;
+        let mut children = 0u64;
+        let mut flow = ControlFlow::Continue(());
+        let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
+        let _pstats = inst.enumerate(w, &mut |p| {
+            children += 1;
+            // The paper's accounting: each child is generated with
+            // O(n + m) delay (Theorem 12), charged here so the work
+            // counter advances in step with emissions.
+            self.stats.work += per_child;
+            let verts = p.vertices.to_vec();
+            let edges = p.edges.to_vec();
+            let ext = self.t.extend_path(&verts, &edges);
+            for &e in &edges {
+                self.edge_in_t[e.index()] = true;
+            }
+            let f = self.recurse(depth + 1);
+            for &e in &edges {
+                self.edge_in_t[e.index()] = false;
+            }
+            self.t.retract(ext);
+            if f.is_break() {
+                flow = ControlFlow::Break(());
+            }
+            f
+        });
+        self.stats.note_node(children, depth);
+        debug_assert!(
+            children >= 2 || flow.is_break(),
+            "improved enumeration tree: internal nodes have ≥ 2 children"
+        );
+        flow
+    }
+}
+
+/// Finds a terminal not yet in the partial tree on the far side of
+/// `e_star` within the tree `tprime` (the side not containing the partial
+/// tree). Such a terminal exists whenever `e_star ∈ E(T′) ∖ E(T)` (§4.2);
+/// shared with the terminal-Steiner variant.
+pub(crate) fn find_terminal_beyond(
+    g: &UndirectedGraph,
+    tprime: &[EdgeId],
+    e_star: EdgeId,
+    in_tree: &[bool],
+    is_terminal: &[bool],
+    work: &mut u64,
+) -> VertexId {
+    let n = g.num_vertices();
+    let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    for &e in tprime {
+        let (u, v) = g.endpoints(e);
+        incident[u.index()].push(e);
+        incident[v.index()].push(e);
+    }
+    let side_of = |start: VertexId, work: &mut u64| {
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        let mut side = Vec::new();
+        seen[start.index()] = true;
+        while let Some(u) = stack.pop() {
+            side.push(u);
+            for &e in &incident[u.index()] {
+                *work += 1;
+                if e == e_star {
+                    continue;
+                }
+                let v = g.other_endpoint(e, u);
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        side
+    };
+    let (a, b) = g.endpoints(e_star);
+    let side_a = side_of(a, work);
+    let far_side = if side_a.iter().any(|v| in_tree[v.index()]) {
+        side_of(b, work)
+    } else {
+        side_a
+    };
+    far_side
+        .into_iter()
+        .find(|v| is_terminal[v.index()] && !in_tree[v.index()])
+        .expect("the far side of a T'∖T edge contains a missing terminal")
+}
+
+/// Enumerates all minimal Steiner trees of `(g, terminals)` through an
+/// arbitrary [`SolutionSink`] — the building block for the direct and
+/// queued front ends.
+pub fn enumerate_minimal_steiner_trees_with(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    emitter: &mut dyn SolutionSink<EdgeId>,
+) -> EnumStats {
+    let terminals = normalize_terminals(terminals);
+    let mut stats = EnumStats::default();
+    if terminals.is_empty() {
+        return stats;
+    }
+    // Preprocessing: connectivity + bridges of G, O(n + m) each.
+    stats.preprocessing_work = 2 * (g.num_vertices() + g.num_edges()) as u64;
+    if !all_in_one_component(g, &terminals, None) {
+        return stats;
+    }
+    if terminals.len() == 1 {
+        stats.note_emission();
+        let _ = emitter.solution(&[], stats.work);
+        let _ = emitter.finish();
+        stats.note_end();
+        return stats;
+    }
+    let bridge = bridges(g, None);
+    let t = PartialTree::new(g.num_vertices(), &terminals, Some(terminals[0]));
+    let mut e = ImprovedEnumerator {
+        g,
+        t,
+        edge_in_t: vec![false; g.num_edges()],
+        bridge,
+        stats,
+        scratch: Vec::new(),
+        emitter,
+    };
+    let flow = e.recurse(0);
+    if flow.is_continue() {
+        let _ = e.emitter.finish();
+    }
+    e.stats.note_end();
+    e.stats
+}
+
+/// Enumerates all minimal Steiner trees with amortized O(n + m) time per
+/// solution (Theorem 17), emitting each solution the moment it is found.
+///
+/// ```
+/// use steiner_core::improved::enumerate_minimal_steiner_trees;
+/// use steiner_graph::{UndirectedGraph, VertexId};
+/// use std::ops::ControlFlow;
+///
+/// // Triangle; connect vertices 0 and 1: the direct edge or the detour.
+/// let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// let mut trees = Vec::new();
+/// enumerate_minimal_steiner_trees(&g, &[VertexId(0), VertexId(1)], &mut |t| {
+///     trees.push(t.to_vec());
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(trees.len(), 2);
+/// ```
+pub fn enumerate_minimal_steiner_trees(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let mut direct = DirectSink { sink };
+    enumerate_minimal_steiner_trees_with(g, terminals, &mut direct)
+}
+
+/// Enumerates all minimal Steiner trees with worst-case O(n + m) delay via
+/// the output-queue method (Theorem 20; O(n²) space for the buffer).
+pub fn enumerate_minimal_steiner_trees_queued(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    config: Option<QueueConfig>,
+    sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let config = config.unwrap_or_else(|| QueueConfig::for_graph(g.num_vertices(), g.num_edges()));
+    let mut queue = OutputQueue::new(config, sink);
+    enumerate_minimal_steiner_trees_with(g, terminals, &mut queue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use std::collections::BTreeSet;
+
+    fn collect(g: &UndirectedGraph, w: &[VertexId]) -> (BTreeSet<Vec<EdgeId>>, EnumStats) {
+        let mut out = BTreeSet::new();
+        let stats = enumerate_minimal_steiner_trees(g, w, &mut |edges| {
+            assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
+            ControlFlow::Continue(())
+        });
+        (out, stats)
+    }
+
+    #[test]
+    fn triangle_matches_brute() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let w = [VertexId(0), VertexId(1)];
+        let (got, _) = collect(&g, &w);
+        assert_eq!(got, brute::minimal_steiner_trees(&g, &w));
+    }
+
+    #[test]
+    fn unique_completion_on_a_tree() {
+        // On a tree there is exactly one minimal Steiner tree; the
+        // enumerator must find it without branching.
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        let w = [VertexId(0), VertexId(4), VertexId(2)];
+        let (got, stats) = collect(&g, &w);
+        assert_eq!(got.len(), 1);
+        assert_eq!(stats.nodes, 1, "single leaf node: unique completion");
+        assert_eq!(got, brute::minimal_steiner_trees(&g, &w));
+    }
+
+    #[test]
+    fn every_internal_node_has_two_children() {
+        let g = steiner_graph::generators::grid(3, 4);
+        let w = [VertexId(0), VertexId(11), VertexId(5)];
+        let (got, stats) = collect(&g, &w);
+        assert!(!got.is_empty());
+        assert_eq!(stats.deficient_internal_nodes, 0, "Theorem 17 invariant");
+        assert!(stats.internal_nodes <= stats.leaf_nodes);
+        assert_eq!(stats.leaf_nodes, stats.solutions);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x1dea);
+        for case in 0..60 {
+            let n = 3 + case % 5;
+            let m = (n - 1 + rng.gen_range(0..5)).min(n * (n - 1) / 2);
+            let g = steiner_graph::generators::random_connected_graph(n, m, &mut rng);
+            let t = 1 + rng.gen_range(0..n.min(4));
+            let w = steiner_graph::generators::random_terminals(n, t, &mut rng);
+            let (got, stats) = collect(&g, &w);
+            assert_eq!(
+                got,
+                brute::minimal_steiner_trees(&g, &w),
+                "graph {g:?} terminals {w:?}"
+            );
+            assert_eq!(stats.deficient_internal_nodes, 0, "graph {g:?} terminals {w:?}");
+        }
+    }
+
+    #[test]
+    fn matches_simple_enumerator() {
+        use rand::{Rng, SeedableRng};
+        use crate::simple::enumerate_minimal_steiner_trees_simple;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xf00d);
+        for _ in 0..30 {
+            let n = 4 + rng.gen_range(0..5usize);
+            let g = steiner_graph::generators::random_connected_graph(n, n + 2, &mut rng);
+            let t = 2 + rng.gen_range(0..3usize).min(n - 2);
+            let w = steiner_graph::generators::random_terminals(n, t, &mut rng);
+            let (fast, _) = collect(&g, &w);
+            let mut simple = BTreeSet::new();
+            enumerate_minimal_steiner_trees_simple(&g, &w, &mut |edges| {
+                simple.insert(edges.to_vec());
+                ControlFlow::Continue(())
+            });
+            assert_eq!(fast, simple, "graph {g:?} terminals {w:?}");
+        }
+    }
+
+    #[test]
+    fn queued_mode_emits_same_solutions() {
+        let g = steiner_graph::generators::theta_chain(3, 3);
+        let w = [VertexId(0), VertexId(3)];
+        let (direct, _) = collect(&g, &w);
+        let mut queued = BTreeSet::new();
+        enumerate_minimal_steiner_trees_queued(&g, &w, None, &mut |edges| {
+            assert!(queued.insert(edges.to_vec()));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(direct, queued);
+        assert_eq!(direct.len(), 27, "theta chain: width^blocks trees");
+    }
+
+    #[test]
+    fn all_outputs_verify_minimal() {
+        let g = steiner_graph::generators::grid(3, 3);
+        let w = [VertexId(0), VertexId(8), VertexId(2)];
+        enumerate_minimal_steiner_trees(&g, &w, &mut |edges| {
+            assert!(crate::verify::is_minimal_steiner_tree(&g, &w, edges));
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn break_stops_enumeration() {
+        let g = steiner_graph::generators::theta_chain(5, 3);
+        let mut count = 0;
+        enumerate_minimal_steiner_trees(&g, &[VertexId(0), VertexId(5)], &mut |_| {
+            count += 1;
+            if count == 7 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(count, 7);
+    }
+}

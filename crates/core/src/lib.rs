@@ -1,0 +1,46 @@
+//! Minimal Steiner enumeration — §4 and §5 of *Linear-Delay Enumeration
+//! for Minimal Steiner Problems* (PODS 2022).
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! | Problem | Simple (poly-delay) | Improved (amortized / linear delay) |
+//! |---|---|---|
+//! | minimal Steiner trees (§4) | [`simple::enumerate_minimal_steiner_trees_simple`] | [`improved::enumerate_minimal_steiner_trees`] |
+//! | minimal Steiner forests (§5) | — | [`forest::enumerate_minimal_steiner_forests`] |
+//! | minimal terminal Steiner trees (§5.1) | — | [`terminal::enumerate_minimal_terminal_steiner_trees`] |
+//! | minimal directed Steiner trees (§5.2) | — | [`directed::enumerate_minimal_directed_steiner_trees`] |
+//!
+//! All enumerators follow the same branching scheme (Algorithm 3): grow a
+//! partial solution by one valid path per child, where the paths come from
+//! the linear-delay enumerator of `steiner-paths`. The "improved"
+//! enumerators additionally guarantee that **every internal node of the
+//! enumeration tree has at least two children** (via the bridge
+//! characterisations of Lemmas 16, 24, 30 and the Lemma 35 reachability
+//! sweep), which yields amortized O(n + m) time per solution; the
+//! [`queue::OutputQueue`] (Uno's output-queue method, Theorem 20) converts
+//! that into a worst-case delay bound.
+//!
+//! Solutions are reported as **sorted edge-id (or arc-id) slices**;
+//! [`verify`] provides validity/minimality checkers and [`brute`] provides
+//! exponential-time reference enumerators used as test oracles.
+
+pub mod brute;
+pub mod directed;
+pub mod forest;
+pub mod improved;
+pub mod minimum;
+pub mod partial;
+pub mod queue;
+pub mod simple;
+pub mod stats;
+pub mod terminal;
+pub mod verify;
+
+pub use queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+pub use stats::EnumStats;
+
+/// A sink receiving each solution as a sorted slice of edge ids (arc ids
+/// for the directed problem). Return [`std::ops::ControlFlow::Break`] to
+/// stop the enumeration.
+pub type EdgeSetSink<'a> =
+    dyn FnMut(&[steiner_graph::EdgeId]) -> std::ops::ControlFlow<()> + 'a;

@@ -1,0 +1,268 @@
+//! The output-queue method (Uno \[33\], Theorem 20 of the paper).
+//!
+//! The improved enumerators run in **amortized** O(n + m) time per solution
+//! because their enumeration trees have at least as many leaves as internal
+//! nodes. The delay, however, can still spike to Θ(|W|(n + m)) on a long
+//! root-to-leaf descent. The paper fixes this by buffering the first `n`
+//! solutions and thereafter releasing buffered solutions on a fixed
+//! schedule tied to the traversal (rules R1–R3).
+//!
+//! We implement the schedule in its operational form (see DESIGN.md §9.2):
+//! the enumerator reports *work units*; once the warm-up buffer is full,
+//! the queue releases one solution every `budget` work units. Given the
+//! amortized bound and the ≥2-children invariant, the buffer can never run
+//! dry before the enumeration ends — the exact property Theorem 20 proves
+//! for rules R1–R3 — and the maximum release gap is directly measurable.
+//! Space: the buffer holds O(n) solutions of O(n) edges each, the paper's
+//! O(n²) bound.
+//!
+//! Everything is generic over the solution item type (`EdgeId` for the
+//! undirected problems, `ArcId` for directed Steiner trees).
+
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+
+/// How enumerators hand solutions onward: either directly to the user sink
+/// (amortized-time mode) or through an [`OutputQueue`] (linear-delay mode).
+pub trait SolutionSink<Id: Copy> {
+    /// A solution was found at work-counter value `work`.
+    fn solution(&mut self, items: &[Id], work: u64) -> ControlFlow<()>;
+    /// Periodic progress notification (called at least once per enumeration
+    /// tree node).
+    fn tick(&mut self, work: u64) -> ControlFlow<()> {
+        let _ = work;
+        ControlFlow::Continue(())
+    }
+    /// The enumeration finished; flush anything buffered.
+    fn finish(&mut self) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
+
+/// Pass-through sink: emits each solution the moment it is found.
+pub struct DirectSink<'a, Id: Copy> {
+    /// The user-facing sink.
+    pub sink: &'a mut dyn FnMut(&[Id]) -> ControlFlow<()>,
+}
+
+impl<Id: Copy> SolutionSink<Id> for DirectSink<'_, Id> {
+    fn solution(&mut self, items: &[Id], _work: u64) -> ControlFlow<()> {
+        (self.sink)(items)
+    }
+}
+
+/// Tuning for [`OutputQueue`].
+#[derive(Copy, Clone, Debug)]
+pub struct QueueConfig {
+    /// Warm-up buffer size; the paper uses `n` (number of vertices).
+    pub warmup: usize,
+    /// Work units between releases; the paper uses Θ(n + m).
+    pub budget: u64,
+    /// Hard cap on buffered solutions — the paper's rule R3 outputs a
+    /// solution directly once the queue holds `3n/2` of them, which is
+    /// what keeps the space at O(n) solutions (O(n²) words).
+    pub max_buffer: usize,
+}
+
+impl QueueConfig {
+    /// The paper's parameters for a graph with `n` vertices and `m` edges:
+    /// warm-up `n`, budget `c · (n + m)` with a small constant, buffer cap
+    /// `3n/2` (rule R3).
+    pub fn for_graph(n: usize, m: usize) -> Self {
+        QueueConfig {
+            warmup: n.max(1),
+            budget: (4 * (n + m) as u64).max(1),
+            max_buffer: (3 * n / 2).max(2),
+        }
+    }
+}
+
+/// The output queue: buffers solutions and releases them on the work-unit
+/// schedule, bounding the delay between consecutive emissions.
+pub struct OutputQueue<'a, Id: Copy> {
+    sink: &'a mut dyn FnMut(&[Id]) -> ControlFlow<()>,
+    config: QueueConfig,
+    buffer: VecDeque<Vec<Id>>,
+    last_release_work: u64,
+    /// Total number of solutions pushed (for warm-up accounting).
+    pushed: u64,
+    /// Largest number of buffered solutions seen (space accounting).
+    pub peak_buffered: usize,
+}
+
+impl<'a, Id: Copy> OutputQueue<'a, Id> {
+    /// Wraps `sink` with the queue.
+    pub fn new(config: QueueConfig, sink: &'a mut dyn FnMut(&[Id]) -> ControlFlow<()>) -> Self {
+        OutputQueue {
+            sink,
+            config,
+            buffer: VecDeque::new(),
+            last_release_work: 0,
+            pushed: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    fn release_due(&mut self, work: u64) -> ControlFlow<()> {
+        // Warm-up: hold the first `warmup` solutions entirely.
+        while self.pushed > self.config.warmup as u64
+            && !self.buffer.is_empty()
+            && work.saturating_sub(self.last_release_work) >= self.config.budget
+        {
+            let sol = self.buffer.pop_front().expect("nonempty buffer");
+            self.last_release_work += self.config.budget;
+            (self.sink)(&sol)?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+impl<Id: Copy> SolutionSink<Id> for OutputQueue<'_, Id> {
+    fn solution(&mut self, items: &[Id], work: u64) -> ControlFlow<()> {
+        self.buffer.push_back(items.to_vec());
+        self.pushed += 1;
+        if self.buffer.len() > self.peak_buffered {
+            self.peak_buffered = self.buffer.len();
+        }
+        if self.pushed == self.config.warmup as u64 + 1 {
+            // Warm-up just ended; start the release clock now.
+            self.last_release_work = work;
+        }
+        self.release_due(work)?;
+        // Rule R3's overflow clause: never hold more than `max_buffer`
+        // solutions — release the oldest immediately (an extra emission
+        // can only shrink gaps, so the delay bound is unaffected).
+        while self.buffer.len() > self.config.max_buffer {
+            let sol = self.buffer.pop_front().expect("nonempty buffer");
+            self.last_release_work = work;
+            (self.sink)(&sol)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn tick(&mut self, work: u64) -> ControlFlow<()> {
+        if self.pushed > self.config.warmup as u64 {
+            self.release_due(work)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn finish(&mut self) -> ControlFlow<()> {
+        while let Some(sol) = self.buffer.pop_front() {
+            (self.sink)(&sol)?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steiner_graph::EdgeId;
+
+    fn run_schedule(
+        config: QueueConfig,
+        events: &[(&str, u64)], // ("sol" | "tick" | "finish", work)
+    ) -> Vec<usize> {
+        // Returns, for each released solution, the index it was pushed with.
+        let mut released = Vec::new();
+        let mut sink = |edges: &[EdgeId]| {
+            released.push(edges[0].index());
+            ControlFlow::Continue(())
+        };
+        let mut q = OutputQueue::new(config, &mut sink);
+        let mut next_id = 0usize;
+        for &(kind, work) in events {
+            match kind {
+                "sol" => {
+                    let _ = q.solution(&[EdgeId::new(next_id)], work);
+                    next_id += 1;
+                }
+                "tick" => {
+                    let _ = q.tick(work);
+                }
+                "finish" => {
+                    let _ = q.finish();
+                }
+                _ => unreachable!(),
+            }
+        }
+        released
+    }
+
+    #[test]
+    fn warmup_holds_first_solutions() {
+        let cfg = QueueConfig { warmup: 3, budget: 10, max_buffer: 100 };
+        let released =
+            run_schedule(cfg, &[("sol", 1), ("sol", 2), ("sol", 3), ("tick", 100)]);
+        assert!(released.is_empty(), "still inside warm-up");
+    }
+
+    #[test]
+    fn releases_on_budget_after_warmup() {
+        let cfg = QueueConfig { warmup: 2, budget: 10, max_buffer: 100 };
+        let released = run_schedule(
+            cfg,
+            &[
+                ("sol", 0),
+                ("sol", 0),
+                ("sol", 5),   // warm-up ends here; clock starts at 5
+                ("tick", 14), // 9 < 10: nothing
+                ("tick", 15), // 10 elapsed: release #0
+                ("tick", 25), // another 10: release #1
+            ],
+        );
+        assert_eq!(released, vec![0, 1]);
+    }
+
+    #[test]
+    fn finish_flushes_everything() {
+        let cfg = QueueConfig { warmup: 5, budget: 1000, max_buffer: 100 };
+        let released = run_schedule(cfg, &[("sol", 1), ("sol", 2), ("finish", 0)]);
+        assert_eq!(released, vec![0, 1]);
+    }
+
+    #[test]
+    fn multiple_budgets_release_multiple() {
+        let cfg = QueueConfig { warmup: 1, budget: 10, max_buffer: 100 };
+        let released = run_schedule(
+            cfg,
+            &[
+                ("sol", 0),
+                ("sol", 0),
+                ("sol", 0),
+                ("sol", 0),
+                ("tick", 35), // 3 budgets elapsed: release 3 solutions
+            ],
+        );
+        assert_eq!(released.len(), 3);
+    }
+
+    #[test]
+    fn direct_sink_passes_through() {
+        let mut got = Vec::new();
+        let mut sink = |edges: &[EdgeId]| {
+            got.push(edges.to_vec());
+            ControlFlow::Continue(())
+        };
+        let mut direct = DirectSink { sink: &mut sink };
+        let _ = direct.solution(&[EdgeId(7)], 0);
+        let _ = direct.tick(5);
+        let _ = SolutionSink::<EdgeId>::finish(&mut direct);
+        assert_eq!(got, vec![vec![EdgeId(7)]]);
+    }
+
+    #[test]
+    fn break_propagates() {
+        let mut calls = 0;
+        let mut sink = |_: &[EdgeId]| {
+            calls += 1;
+            ControlFlow::Break(())
+        };
+        let mut q = OutputQueue::new(QueueConfig { warmup: 0, budget: 1, max_buffer: 100 }, &mut sink);
+        let _ = q.solution(&[EdgeId(0)], 0);
+        let flow = q.solution(&[EdgeId(1)], 100);
+        assert!(flow.is_break());
+        assert!(calls >= 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Enumeration statistics.
+//!
+//! Besides solution counts, the enumerators report the *shape* of their
+//! enumeration tree — the quantity Figure 1 of the paper illustrates and
+//! Theorems 17/20 rely on: in the improved enumerators every internal node
+//! has at least two children, so internal nodes never outnumber leaves and
+//! amortized work per solution is O(n + m).
+
+/// Counters describing one enumeration run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Solutions handed to the sink.
+    pub solutions: u64,
+    /// Work units (≈ vertices + arcs touched) spent after preprocessing.
+    pub work: u64,
+    /// Work units spent in preprocessing (before the first branching).
+    pub preprocessing_work: u64,
+    /// Nodes of the enumeration tree that were expanded.
+    pub nodes: u64,
+    /// Internal (branching) nodes.
+    pub internal_nodes: u64,
+    /// Leaf nodes (each emits exactly one solution).
+    pub leaf_nodes: u64,
+    /// Internal nodes that produced fewer than two children — the improved
+    /// enumerators must keep this at zero (Theorem 17's invariant), except
+    /// for the documented root special case of the terminal variant.
+    pub deficient_internal_nodes: u64,
+    /// Maximum recursion depth reached.
+    pub max_depth: u32,
+    /// Maximum work-unit gap between two consecutive emissions (the
+    /// empirical delay in work units).
+    pub max_emission_gap: u64,
+    /// Work units at the last emission (internal bookkeeping for the gap).
+    last_emission_work: u64,
+    /// Whether anything was emitted yet (the first gap counts from zero).
+    emitted_any: bool,
+}
+
+impl EnumStats {
+    /// Notes an emission at the current work counter, updating the gap
+    /// statistics.
+    pub fn note_emission(&mut self) {
+        let now = self.work;
+        let gap = now - self.last_emission_work;
+        if gap > self.max_emission_gap {
+            self.max_emission_gap = gap;
+        }
+        self.last_emission_work = now;
+        self.emitted_any = true;
+        self.solutions += 1;
+    }
+
+    /// Notes the end of the enumeration (the trailing gap also counts, per
+    /// the paper's delay definition).
+    pub fn note_end(&mut self) {
+        let gap = self.work - self.last_emission_work;
+        if self.emitted_any && gap > self.max_emission_gap {
+            self.max_emission_gap = gap;
+        }
+    }
+
+    /// Records one expanded node with its child count and depth.
+    pub fn note_node(&mut self, children: u64, depth: u32) {
+        self.nodes += 1;
+        if depth > self.max_depth {
+            self.max_depth = depth;
+        }
+        if children == 0 {
+            self.leaf_nodes += 1;
+        } else {
+            self.internal_nodes += 1;
+            if children < 2 {
+                self.deficient_internal_nodes += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emission_gaps_track_work() {
+        let mut s = EnumStats { work: 10, ..Default::default() };
+        let _ = &mut s;
+        s.note_emission();
+        s.work = 25;
+        s.note_emission();
+        s.work = 30;
+        s.note_end();
+        assert_eq!(s.solutions, 2);
+        assert_eq!(s.max_emission_gap, 15);
+    }
+
+    #[test]
+    fn trailing_gap_counts() {
+        let mut s = EnumStats { work: 5, ..Default::default() };
+        let _ = &mut s;
+        s.note_emission();
+        s.work = 105;
+        s.note_end();
+        assert_eq!(s.max_emission_gap, 100);
+    }
+
+    #[test]
+    fn node_shape_counters() {
+        let mut s = EnumStats::default();
+        s.note_node(3, 0);
+        s.note_node(0, 1);
+        s.note_node(1, 1);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.internal_nodes, 2);
+        assert_eq!(s.leaf_nodes, 1);
+        assert_eq!(s.deficient_internal_nodes, 1);
+        assert_eq!(s.max_depth, 1);
+    }
+}

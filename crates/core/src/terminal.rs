@@ -1,0 +1,534 @@
+//! Minimal terminal Steiner tree enumeration (§5.1, Theorems 29 & 31).
+//!
+//! A terminal Steiner tree is a Steiner tree in which **every terminal is a
+//! leaf** (Proposition 26 characterizes the minimal ones: every terminal is
+//! a leaf *and* every leaf is a terminal). For |W| = 2 the problem is plain
+//! `s`-`t` path enumeration. For |W| ≥ 3, Lemma 27 says solutions use no
+//! terminal-terminal edge and live inside `G[C ∪ W]` for a single
+//! component `C` of `G[V ∖ W]` with `W ⊆ N(C)` — so we
+//!
+//! 1. build a *cleaned* copy of `G` without terminal-terminal edges
+//!    (remembering original edge ids for emission),
+//! 2. enumerate each admissible component independently, and
+//! 3. inside a component run the improved branching: per node, grow a
+//!    minimal terminal completion `T′ ⊇ T` (a spanning tree of `C`
+//!    containing `T ∩ C`, one leaf edge per missing terminal, then
+//!    Proposition 26 pruning), scan `E(T′) ∖ E(T)` against the bridges of
+//!    `G[C ∪ W]` (Lemma 30), and either branch on a terminal behind a
+//!    non-bridge edge or emit the unique completion.
+//!
+//! The root of each component tree (case (1): the `w₀`-`w₁` paths of an
+//! empty partial tree) may legitimately have one child; the paper treats
+//! it as "linear-time preprocessing", and it is the one exception to the
+//! ≥2-children invariant that the stats report.
+
+use crate::improved::find_terminal_beyond;
+use crate::partial::PartialTree;
+use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+use crate::simple::normalize_terminals;
+use crate::stats::EnumStats;
+use std::ops::ControlFlow;
+use steiner_graph::bridges::bridges;
+use steiner_graph::connectivity::connected_components;
+use steiner_graph::spanning::{grow_spanning_tree, prune_leaves};
+use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+use steiner_paths::stsets::SourceSetInstance;
+use steiner_paths::undirected::enumerate_st_paths;
+
+/// `G` with all terminal-terminal edges removed, keeping original ids.
+struct CleanedGraph {
+    graph: UndirectedGraph,
+    orig_edge: Vec<EdgeId>,
+}
+
+fn clean_graph(g: &UndirectedGraph, is_terminal: &[bool]) -> CleanedGraph {
+    let mut graph = UndirectedGraph::with_capacity(g.num_vertices(), g.num_edges());
+    let mut orig_edge = Vec::with_capacity(g.num_edges());
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        if is_terminal[u.index()] && is_terminal[v.index()] {
+            continue; // Lemma 27: never part of a solution when |W| ≥ 3
+        }
+        graph.add_edge(u, v).expect("cleaned edge is valid");
+        orig_edge.push(e);
+    }
+    CleanedGraph { graph, orig_edge }
+}
+
+struct TerminalEnumerator<'c, 'a> {
+    gc: &'c UndirectedGraph,
+    orig_edge: &'c [EdgeId],
+    terminals: &'c [VertexId],
+    /// `comp_mask[v]` — whether `v` belongs to the current component `C`.
+    comp_mask: &'c [bool],
+    /// Bridges of `G[C ∪ W]` (cleaned graph, masked) — fixed per component.
+    bridge: Vec<bool>,
+    t: PartialTree,
+    edge_in_t: Vec<bool>,
+    stats: EnumStats,
+    scratch: Vec<EdgeId>,
+    emitter: &'a mut dyn SolutionSink<EdgeId>,
+}
+
+impl TerminalEnumerator<'_, '_> {
+    fn emit(&mut self, edges: &[EdgeId]) -> ControlFlow<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(edges.iter().map(|e| self.orig_edge[e.index()]));
+        scratch.sort_unstable();
+        self.stats.note_emission();
+        let flow = self.emitter.solution(&scratch, self.stats.work);
+        self.scratch = scratch;
+        flow
+    }
+
+    /// A minimal terminal Steiner tree `T′ ⊇ T` (Lemma 28's construction).
+    fn minimal_completion(&mut self) -> Vec<EdgeId> {
+        let n = self.gc.num_vertices();
+        self.stats.work += (n + self.gc.num_edges()) as u64;
+        // Stage 1: span C from the non-terminal part of T.
+        let seeds: Vec<VertexId> =
+            self.t.vertices.iter().copied().filter(|v| self.comp_mask[v.index()]).collect();
+        debug_assert!(!seeds.is_empty(), "a nonempty partial tree touches C");
+        let grown = grow_spanning_tree(self.gc, &seeds, &self.t.edges, Some(self.comp_mask));
+        let mut edges = grown.edges;
+        // Stage 2: one leaf edge per missing terminal.
+        for &w in self.terminals {
+            if self.t.in_tree[w.index()] {
+                continue;
+            }
+            let leaf_edge = self
+                .gc
+                .neighbors(w)
+                .filter(|(v, _)| self.comp_mask[v.index()])
+                .map(|(_, e)| e)
+                .min()
+                .expect("W ⊆ N(C) guarantees an attachment edge");
+            edges.push(leaf_edge);
+        }
+        // Stage 3: prune non-terminal leaves (Proposition 26).
+        let is_terminal = &self.t.is_terminal;
+        let in_tree = &self.t.in_tree;
+        prune_leaves(self.gc, &edges, |v| is_terminal[v.index()] || in_tree[v.index()])
+    }
+
+    /// Exact test: does `w` have at least two valid paths? A valid path is
+    /// an `(V(T) ∖ W)`-`w` path inside `G[C ∪ {w}]`. We apply Lemma 16 to
+    /// the graph augmented with a super-source wired to the source set by
+    /// one parallel edge per boundary edge: the valid path is unique iff
+    /// every edge of one super-source-to-`w` path is a bridge there.
+    ///
+    /// Note: this is stricter than the paper's Lemma 30 test (bridges of
+    /// `G[C ∪ W]`). That test can report a spurious second path whose
+    /// rerouting cycle passes through *another terminal* — which valid
+    /// paths must avoid. See DESIGN.md §9.6 (erratum note).
+    fn has_two_valid_paths(&mut self, w: VertexId) -> bool {
+        let n = self.gc.num_vertices();
+        self.stats.work += (n + self.gc.num_edges()) as u64;
+        // Vertices 0..n are gc's; vertex n is the super-source.
+        let mut aug = UndirectedGraph::new(n + 1);
+        let super_source = VertexId::new(n);
+        let in_c_or_w =
+            |v: VertexId| self.comp_mask[v.index()] || v == w;
+        let source = |v: VertexId| self.t.in_tree[v.index()] && self.comp_mask[v.index()];
+        for e in self.gc.edges() {
+            let (u, v) = self.gc.endpoints(e);
+            match (source(u), source(v)) {
+                (true, true) => {}
+                (true, false) if in_c_or_w(v) => {
+                    aug.add_edge(super_source, v).expect("augmented edge");
+                }
+                (false, true) if in_c_or_w(u) => {
+                    aug.add_edge(super_source, u).expect("augmented edge");
+                }
+                (false, false) if in_c_or_w(u) && in_c_or_w(v) => {
+                    aug.add_edge(u, v).expect("augmented edge");
+                }
+                _ => {}
+            }
+        }
+        let forest = steiner_graph::traversal::bfs(&aug, &[super_source], None);
+        if !forest.visited[w.index()] {
+            return false; // no valid path at all (cannot happen mid-run)
+        }
+        let bridge = bridges(&aug, None);
+        let (_, path_edges) = steiner_graph::traversal::forest_path_to(&forest, w)
+            .expect("w is reachable from the super-source");
+        // Unique iff every edge of this path is a bridge (Lemma 16 with
+        // T = {super-source}).
+        !path_edges.iter().all(|e| bridge[e.index()])
+    }
+
+    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
+        self.emitter.tick(self.stats.work)?;
+        if self.t.complete() {
+            self.stats.note_node(0, depth);
+            let edges = self.t.edges.clone();
+            return self.emit(&edges);
+        }
+        let tprime = self.minimal_completion();
+        // Fast certificate (Lemma 30 direction that *is* sound): if every
+        // edge of E(T') ∖ E(T) is a bridge of G[C ∪ W], the completion is
+        // unique.
+        let candidate = tprime
+            .iter()
+            .copied()
+            .find(|e| !self.edge_in_t[e.index()] && !self.bridge[e.index()]);
+        let branch_terminal = match candidate {
+            None => None,
+            Some(e_star) => {
+                // Primary candidate: the terminal behind the non-bridge
+                // edge; verified exactly, with a fallback scan over the
+                // remaining missing terminals (the Lemma 30 erratum case).
+                let primary = find_terminal_beyond(
+                    self.gc,
+                    &tprime,
+                    e_star,
+                    &self.t.in_tree,
+                    &self.t.is_terminal,
+                    &mut self.stats.work,
+                );
+                if self.has_two_valid_paths(primary) {
+                    Some(primary)
+                } else {
+                    let missing: Vec<VertexId> = self
+                        .terminals
+                        .iter()
+                        .copied()
+                        .filter(|v| !self.t.in_tree[v.index()] && *v != primary)
+                        .collect();
+                    missing.into_iter().find(|&w| self.has_two_valid_paths(w))
+                }
+            }
+        };
+        let Some(w) = branch_terminal else {
+            // No terminal branches: the completion is unique.
+            self.stats.note_node(0, depth);
+            return self.emit(&tprime);
+        };
+        // Valid paths for (T, w): (V(T) ∖ W)-w paths inside G[C ∪ {w}].
+        let n = self.gc.num_vertices();
+        let mut sources = vec![false; n];
+        for &v in &self.t.vertices {
+            if self.comp_mask[v.index()] {
+                sources[v.index()] = true;
+            }
+        }
+        let mut allowed: Vec<bool> = self.comp_mask.to_vec();
+        allowed[w.index()] = true;
+        let inst = SourceSetInstance::new(self.gc, &sources, Some(&allowed));
+        self.stats.work += (n + self.gc.num_edges()) as u64;
+        let mut children = 0u64;
+        let mut flow = ControlFlow::Continue(());
+        let per_child = (n + self.gc.num_edges()) as u64;
+        let _pstats = inst.enumerate(w, &mut |p| {
+            children += 1;
+            self.stats.work += per_child;
+            let verts = p.vertices.to_vec();
+            let edges = p.edges.to_vec();
+            let ext = self.t.extend_path(&verts, &edges);
+            for &e in &edges {
+                self.edge_in_t[e.index()] = true;
+            }
+            let f = self.recurse(depth + 1);
+            for &e in &edges {
+                self.edge_in_t[e.index()] = false;
+            }
+            self.t.retract(ext);
+            if f.is_break() {
+                flow = ControlFlow::Break(());
+            }
+            f
+        });
+        self.stats.note_node(children, depth);
+        debug_assert!(
+            children >= 2 || flow.is_break(),
+            "Lemma 30 guarantees two valid paths behind a non-bridge edge"
+        );
+        flow
+    }
+}
+
+/// Enumerates all minimal terminal Steiner trees of `(g, terminals)`
+/// through an arbitrary [`SolutionSink`].
+///
+/// Degenerate cases: |W| ≤ 1 has no solutions (every tree has a
+/// non-terminal leaf); |W| = 2 reduces to `s`-`t` path enumeration.
+pub fn enumerate_minimal_terminal_steiner_trees_with(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    emitter: &mut dyn SolutionSink<EdgeId>,
+) -> EnumStats {
+    let terminals = normalize_terminals(terminals);
+    let mut stats = EnumStats::default();
+    stats.preprocessing_work = (g.num_vertices() + g.num_edges()) as u64;
+    if terminals.len() < 2 {
+        return stats;
+    }
+    if terminals.len() == 2 {
+        // Minimal terminal Steiner trees with two terminals are exactly the
+        // w₀-w₁ paths (§5.1).
+        let mut scratch: Vec<EdgeId> = Vec::new();
+        let mut result = EnumStats::default();
+        let pstats = enumerate_st_paths(g, terminals[0], terminals[1], None, &mut |p| {
+            scratch.clear();
+            scratch.extend_from_slice(p.edges);
+            scratch.sort_unstable();
+            result.note_emission();
+            result.note_node(0, 0);
+            emitter.solution(&scratch, result.work)
+        });
+        result.work = pstats.work;
+        let _ = emitter.finish();
+        result.note_end();
+        return result;
+    }
+    // |W| ≥ 3: clean the graph, split into admissible components.
+    let n = g.num_vertices();
+    let mut is_terminal = vec![false; n];
+    for &w in &terminals {
+        is_terminal[w.index()] = true;
+    }
+    let cleaned = clean_graph(g, &is_terminal);
+    let gc = &cleaned.graph;
+    let non_terminal_mask: Vec<bool> = (0..n).map(|v| !is_terminal[v]).collect();
+    let comps = connected_components(gc, Some(&non_terminal_mask));
+    stats.preprocessing_work += (n + gc.num_edges()) as u64;
+    let mut enumerator_stats = stats;
+    for c in 0..comps.count {
+        // Admissibility: W ⊆ N(C) (Lemma 27).
+        let comp_mask: Vec<bool> = (0..n).map(|v| comps.comp[v] == Some(c as u32)).collect();
+        let mut covered = vec![false; n];
+        let mut cover_count = 0usize;
+        for (v, &in_comp) in comp_mask.iter().enumerate() {
+            if !in_comp {
+                continue;
+            }
+            for (u, _) in gc.neighbors(VertexId::new(v)) {
+                if is_terminal[u.index()] && !covered[u.index()] {
+                    covered[u.index()] = true;
+                    cover_count += 1;
+                }
+            }
+        }
+        enumerator_stats.preprocessing_work += (n + gc.num_edges()) as u64;
+        if cover_count < terminals.len() {
+            continue; // W ⊄ N(C): no solutions in this component
+        }
+        // Bridges of G[C ∪ W] — fixed for the whole component (Lemma 30).
+        let mut allowed_cw: Vec<bool> = comp_mask.clone();
+        for &w in &terminals {
+            allowed_cw[w.index()] = true;
+        }
+        let bridge = bridges(gc, Some(&allowed_cw));
+        // Case (1): the root branches on the w₀-w₁ paths inside G[C ∪ {w₀, w₁}].
+        let (w0, w1) = (terminals[0], terminals[1]);
+        let mut allowed01 = comp_mask.clone();
+        allowed01[w0.index()] = true;
+        allowed01[w1.index()] = true;
+        let mut e = TerminalEnumerator {
+            gc,
+            orig_edge: &cleaned.orig_edge,
+            terminals: &terminals,
+            comp_mask: &comp_mask,
+            bridge,
+            t: PartialTree::new(n, &terminals, None),
+            edge_in_t: vec![false; gc.num_edges()],
+            stats: enumerator_stats,
+            scratch: Vec::new(),
+            emitter: &mut *emitter,
+        };
+        let mut root_children = 0u64;
+        let mut flow = ControlFlow::Continue(());
+        let per_child = (n + gc.num_edges()) as u64;
+        let _pstats = enumerate_st_paths(gc, w0, w1, Some(&allowed01), &mut |p| {
+            root_children += 1;
+            e.stats.work += per_child;
+            let verts = p.vertices.to_vec();
+            let edges = p.edges.to_vec();
+            let ext = e.t.extend_path(&verts, &edges);
+            for &edge in &edges {
+                e.edge_in_t[edge.index()] = true;
+            }
+            let f = e.recurse(1);
+            for &edge in &edges {
+                e.edge_in_t[edge.index()] = false;
+            }
+            e.t.retract(ext);
+            if f.is_break() {
+                flow = ControlFlow::Break(());
+            }
+            f
+        });
+        e.stats.note_node(root_children, 0);
+        enumerator_stats = e.stats;
+        if flow.is_break() {
+            enumerator_stats.note_end();
+            return enumerator_stats;
+        }
+    }
+    let _ = emitter.finish();
+    enumerator_stats.note_end();
+    enumerator_stats
+}
+
+/// Enumerates all minimal terminal Steiner trees with amortized O(n + m)
+/// time per solution (Theorem 31), emitting directly.
+///
+/// ```
+/// use steiner_core::terminal::enumerate_minimal_terminal_steiner_trees;
+/// use steiner_graph::{UndirectedGraph, VertexId};
+/// use std::ops::ControlFlow;
+///
+/// // Star: terminals 1, 2, 3 must all be leaves; the full star is the
+/// // unique solution.
+/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+/// let w = [VertexId(1), VertexId(2), VertexId(3)];
+/// let mut count = 0;
+/// enumerate_minimal_terminal_steiner_trees(&g, &w, &mut |tree| {
+///     assert_eq!(tree.len(), 3);
+///     count += 1;
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(count, 1);
+/// ```
+pub fn enumerate_minimal_terminal_steiner_trees(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let mut direct = DirectSink { sink };
+    enumerate_minimal_terminal_steiner_trees_with(g, terminals, &mut direct)
+}
+
+/// Queued variant: worst-case O(n + m) delay (Theorem 31).
+pub fn enumerate_minimal_terminal_steiner_trees_queued(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    config: Option<QueueConfig>,
+    sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
+) -> EnumStats {
+    let config = config.unwrap_or_else(|| QueueConfig::for_graph(g.num_vertices(), g.num_edges()));
+    let mut queue = OutputQueue::new(config, sink);
+    enumerate_minimal_terminal_steiner_trees_with(g, terminals, &mut queue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use std::collections::BTreeSet;
+
+    fn collect(g: &UndirectedGraph, w: &[VertexId]) -> BTreeSet<Vec<EdgeId>> {
+        let mut out = BTreeSet::new();
+        enumerate_minimal_terminal_steiner_trees(g, w, &mut |edges| {
+            assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn two_terminals_are_paths() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let w = [VertexId(0), VertexId(2)];
+        let got = collect(&g, &w);
+        assert_eq!(got, brute::minimal_terminal_steiner_trees(&g, &w));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn direct_terminal_edge_counts_for_two() {
+        let g = UndirectedGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let got = collect(&g, &[VertexId(0), VertexId(1)]);
+        assert_eq!(got.len(), 1, "single edge is a valid 2-terminal solution");
+    }
+
+    #[test]
+    fn star_with_three_terminals() {
+        // Center 0, terminals 1, 2, 3: the star is the unique solution.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let w = [VertexId(1), VertexId(2), VertexId(3)];
+        let got = collect(&g, &w);
+        assert_eq!(got, brute::minimal_terminal_steiner_trees(&g, &w));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn terminal_terminal_edges_are_ignored() {
+        // Terminals 1, 2, 3 around center 0, plus edge {1, 2} which no
+        // solution may use (Lemma 27).
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        let w = [VertexId(1), VertexId(2), VertexId(3)];
+        let got = collect(&g, &w);
+        assert_eq!(got, brute::minimal_terminal_steiner_trees(&g, &w));
+        for sol in &got {
+            assert!(!sol.contains(&EdgeId(3)));
+        }
+    }
+
+    #[test]
+    fn multiple_components_enumerate_separately() {
+        // Terminals 0, 1, 2; two internal "hubs" 3 and 4, each adjacent to
+        // all terminals: two disjoint component solutions.
+        let g = UndirectedGraph::from_edges(
+            5,
+            &[(3, 0), (3, 1), (3, 2), (4, 0), (4, 1), (4, 2)],
+        )
+        .unwrap();
+        let w = [VertexId(0), VertexId(1), VertexId(2)];
+        let got = collect(&g, &w);
+        assert_eq!(got, brute::minimal_terminal_steiner_trees(&g, &w));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn single_terminal_has_no_solutions() {
+        let g = UndirectedGraph::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(collect(&g, &[VertexId(0)]).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7e51);
+        for case in 0..60 {
+            let n = 4 + case % 5;
+            let m = (n + rng.gen_range(0..5)).min(n * (n - 1) / 2);
+            let g = steiner_graph::generators::random_connected_graph(n, m, &mut rng);
+            let t = 2 + rng.gen_range(0..3usize).min(n - 2);
+            let w = steiner_graph::generators::random_terminals(n, t, &mut rng);
+            assert_eq!(
+                collect(&g, &w),
+                brute::minimal_terminal_steiner_trees(&g, &w),
+                "graph {g:?} terminals {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_verify_minimal_terminal() {
+        let g = steiner_graph::generators::grid(3, 4);
+        let w = [VertexId(0), VertexId(3), VertexId(8)];
+        let mut count = 0;
+        enumerate_minimal_terminal_steiner_trees(&g, &w, &mut |edges| {
+            count += 1;
+            assert!(crate::verify::is_minimal_terminal_steiner_tree(&g, &w, edges));
+            ControlFlow::Continue(())
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn queued_matches_direct() {
+        let g = steiner_graph::generators::grid(3, 4);
+        let w = [VertexId(0), VertexId(3), VertexId(8)];
+        let direct = collect(&g, &w);
+        let mut queued = BTreeSet::new();
+        enumerate_minimal_terminal_steiner_trees_queued(&g, &w, None, &mut |edges| {
+            assert!(queued.insert(edges.to_vec()));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(direct, queued);
+    }
+}

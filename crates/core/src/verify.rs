@@ -1,0 +1,306 @@
+//! Validity and minimality checkers for every solution kind.
+//!
+//! These encode the paper's characterisations (Propositions 3, 26 and 32,
+//! Lemma 21) and are used by unit tests, property tests, examples and the
+//! benchmark harness to validate every emitted solution.
+
+use std::collections::VecDeque;
+use steiner_graph::{ArcId, DiGraph, EdgeId, UndirectedGraph, VertexId};
+
+/// Whether `edges` forms a (possibly empty) tree: acyclic and connected on
+/// its spanned vertices. The empty edge set counts as a tree.
+pub fn is_tree(g: &UndirectedGraph, edges: &[EdgeId]) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    let verts = g.edge_set_vertices(edges);
+    // A connected graph with |V| - 1 edges is a tree; check connectivity by
+    // BFS over the edge subset.
+    if edges.len() + 1 != verts.len() {
+        return false;
+    }
+    connected_in_edge_set(g, edges, &verts)
+}
+
+fn connected_in_edge_set(g: &UndirectedGraph, edges: &[EdgeId], verts: &[VertexId]) -> bool {
+    if verts.is_empty() {
+        return true;
+    }
+    let mut incident: std::collections::HashMap<VertexId, Vec<EdgeId>> =
+        std::collections::HashMap::with_capacity(verts.len());
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        incident.entry(u).or_default().push(e);
+        incident.entry(v).or_default().push(e);
+    }
+    let mut seen: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(verts[0]);
+    queue.push_back(verts[0]);
+    while let Some(u) = queue.pop_front() {
+        if let Some(inc) = incident.get(&u) {
+            for &e in inc {
+                let v = g.other_endpoint(e, u);
+                if seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    verts.iter().all(|v| seen.contains(v))
+}
+
+/// Degrees of the vertices spanned by `edges`, as (vertex, degree) pairs.
+fn leaf_vertices(g: &UndirectedGraph, edges: &[EdgeId]) -> Vec<VertexId> {
+    let deg = g.degrees_in_edge_set(edges);
+    g.vertices().filter(|v| deg[v.index()] == 1).collect()
+}
+
+/// Whether `edges` is a Steiner tree of `(g, terminals)`: a tree containing
+/// every terminal. Terminal sets of size ≤ 1 accept the empty tree.
+pub fn is_steiner_tree(g: &UndirectedGraph, terminals: &[VertexId], edges: &[EdgeId]) -> bool {
+    if !is_tree(g, edges) {
+        return false;
+    }
+    if edges.is_empty() {
+        return terminals.len() <= 1;
+    }
+    let verts = g.edge_set_vertices(edges);
+    terminals.iter().all(|w| verts.binary_search(w).is_ok())
+}
+
+/// Proposition 3: a Steiner tree is minimal iff every leaf is a terminal.
+pub fn is_minimal_steiner_tree(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    edges: &[EdgeId],
+) -> bool {
+    if !is_steiner_tree(g, terminals, edges) {
+        return false;
+    }
+    let is_term = terminal_mask(g.num_vertices(), terminals);
+    leaf_vertices(g, edges).iter().all(|v| is_term[v.index()])
+}
+
+/// Proposition 26: a minimal *terminal* Steiner tree is a tree in which
+/// every terminal is a leaf and every leaf is a terminal.
+pub fn is_minimal_terminal_steiner_tree(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    edges: &[EdgeId],
+) -> bool {
+    if terminals.len() < 2 || !is_steiner_tree(g, terminals, edges) || edges.is_empty() {
+        return false;
+    }
+    let deg = g.degrees_in_edge_set(edges);
+    if terminals.iter().any(|w| deg[w.index()] != 1) {
+        return false;
+    }
+    let is_term = terminal_mask(g.num_vertices(), terminals);
+    leaf_vertices(g, edges).iter().all(|v| is_term[v.index()])
+}
+
+/// Whether `edges` is a Steiner forest of `(g, sets)`: a forest in which
+/// every pair of terminals within each set is connected.
+pub fn is_steiner_forest(
+    g: &UndirectedGraph,
+    sets: &[Vec<VertexId>],
+    edges: &[EdgeId],
+) -> bool {
+    // Forest check: no cycles.
+    let verts = g.edge_set_vertices(edges);
+    let mut uf = steiner_graph::union_find::UnionFind::new(g.num_vertices());
+    for &e in edges {
+        let (u, v) = g.endpoints(e);
+        if !uf.union(u, v) {
+            return false; // cycle
+        }
+    }
+    let _ = verts;
+    sets.iter().all(|set| {
+        set.windows(2).all(|w| uf.same(w[0], w[1]))
+    })
+}
+
+/// Lemma 21: a Steiner forest is minimal iff deleting any edge disconnects
+/// some required pair.
+pub fn is_minimal_steiner_forest(
+    g: &UndirectedGraph,
+    sets: &[Vec<VertexId>],
+    edges: &[EdgeId],
+) -> bool {
+    if !is_steiner_forest(g, sets, edges) {
+        return false;
+    }
+    for skip in 0..edges.len() {
+        let rest: Vec<EdgeId> =
+            edges.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &e)| e).collect();
+        if is_steiner_forest(g, sets, &rest) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `arcs` is a directed Steiner subgraph of `(d, terminals, root)`:
+/// every terminal is reachable from the root through `arcs`.
+pub fn is_directed_steiner_subgraph(
+    d: &DiGraph,
+    root: VertexId,
+    terminals: &[VertexId],
+    arcs: &[ArcId],
+) -> bool {
+    let mut out: std::collections::HashMap<VertexId, Vec<VertexId>> =
+        std::collections::HashMap::new();
+    for &a in arcs {
+        let (t, h) = d.arc(a);
+        out.entry(t).or_default().push(h);
+    }
+    let mut seen: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(root);
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        if let Some(heads) = out.get(&u) {
+            for &h in heads {
+                if seen.insert(h) {
+                    queue.push_back(h);
+                }
+            }
+        }
+    }
+    terminals.iter().all(|w| seen.contains(w))
+}
+
+/// Whether `arcs` is a *minimal* directed Steiner subgraph: deleting any
+/// arc breaks some terminal's reachability. By Proposition 32 the minimal
+/// subgraphs are exactly the directed Steiner trees whose leaves are all
+/// terminals.
+pub fn is_minimal_directed_steiner_subgraph(
+    d: &DiGraph,
+    root: VertexId,
+    terminals: &[VertexId],
+    arcs: &[ArcId],
+) -> bool {
+    if !is_directed_steiner_subgraph(d, root, terminals, arcs) {
+        return false;
+    }
+    for skip in 0..arcs.len() {
+        let rest: Vec<ArcId> =
+            arcs.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &a)| a).collect();
+        if is_directed_steiner_subgraph(d, root, terminals, &rest) {
+            return false;
+        }
+    }
+    true
+}
+
+fn terminal_mask(n: usize, terminals: &[VertexId]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &w in terminals {
+        mask[w.index()] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_with_diagonal() -> UndirectedGraph {
+        // 0-1, 1-2, 2-3, 3-0, 0-2.
+        UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn tree_checks() {
+        let g = square_with_diagonal();
+        assert!(is_tree(&g, &[]));
+        assert!(is_tree(&g, &[EdgeId(0), EdgeId(1)]));
+        assert!(!is_tree(&g, &[EdgeId(0), EdgeId(1), EdgeId(4)]), "triangle");
+        assert!(!is_tree(&g, &[EdgeId(0), EdgeId(2)]), "disconnected");
+    }
+
+    #[test]
+    fn steiner_tree_checks() {
+        let g = square_with_diagonal();
+        let w = [VertexId(1), VertexId(3)];
+        assert!(is_steiner_tree(&g, &w, &[EdgeId(0), EdgeId(3)]));
+        assert!(is_minimal_steiner_tree(&g, &w, &[EdgeId(0), EdgeId(3)]));
+        // Tree containing both terminals but with a non-terminal leaf... a
+        // path 1-2-3 plus edge 0-2 dangling: leaf 0 is not a terminal.
+        assert!(is_steiner_tree(&g, &w, &[EdgeId(1), EdgeId(2), EdgeId(4)]));
+        assert!(!is_minimal_steiner_tree(&g, &w, &[EdgeId(1), EdgeId(2), EdgeId(4)]));
+    }
+
+    #[test]
+    fn degenerate_terminal_counts() {
+        let g = square_with_diagonal();
+        assert!(is_steiner_tree(&g, &[], &[]));
+        assert!(is_steiner_tree(&g, &[VertexId(2)], &[]));
+        assert!(!is_steiner_tree(&g, &[VertexId(1), VertexId(2)], &[]));
+    }
+
+    #[test]
+    fn terminal_steiner_tree_checks() {
+        // Path 1-0-2 with terminals {1, 2}: both leaves — minimal terminal ST.
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let w = [VertexId(1), VertexId(2)];
+        assert!(is_minimal_terminal_steiner_tree(&g, &w, &[EdgeId(0), EdgeId(1)]));
+        // Terminal as internal vertex fails.
+        let g2 = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let w2 = [VertexId(0), VertexId(1)];
+        assert!(!is_minimal_terminal_steiner_tree(&g2, &w2, &[EdgeId(0), EdgeId(1)]));
+        // But {0, 2} with 1 internal is fine.
+        assert!(is_minimal_terminal_steiner_tree(
+            &g2,
+            &[VertexId(0), VertexId(2)],
+            &[EdgeId(0), EdgeId(1)]
+        ));
+    }
+
+    #[test]
+    fn steiner_forest_checks() {
+        // Path 0-1-2-3 and pairs {0,1}, {2,3}.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        assert!(is_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(2)]));
+        assert!(is_minimal_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(2)]));
+        // The full path also satisfies the pairs but is not minimal.
+        assert!(is_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(1), EdgeId(2)]));
+        assert!(!is_minimal_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(1), EdgeId(2)]));
+    }
+
+    #[test]
+    fn forest_rejects_cycles() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let sets = vec![vec![VertexId(0), VertexId(1)]];
+        assert!(!is_steiner_forest(
+            &g,
+            &sets,
+            &[EdgeId(0), EdgeId(1), EdgeId(2)]
+        ));
+    }
+
+    #[test]
+    fn directed_steiner_checks() {
+        // r=0 -> 1 -> 2; terminal {2}.
+        let d = DiGraph::from_arcs(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let w = [VertexId(2)];
+        assert!(is_directed_steiner_subgraph(&d, VertexId(0), &w, &[ArcId(2)]));
+        assert!(is_minimal_directed_steiner_subgraph(&d, VertexId(0), &w, &[ArcId(2)]));
+        assert!(is_minimal_directed_steiner_subgraph(
+            &d,
+            VertexId(0),
+            &w,
+            &[ArcId(0), ArcId(1)]
+        ));
+        assert!(!is_minimal_directed_steiner_subgraph(
+            &d,
+            VertexId(0),
+            &w,
+            &[ArcId(0), ArcId(1), ArcId(2)]
+        ));
+        assert!(!is_directed_steiner_subgraph(&d, VertexId(0), &w, &[ArcId(0)]));
+    }
+}

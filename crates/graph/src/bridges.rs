@@ -1,0 +1,199 @@
+//! Multigraph-aware bridge finding (Tarjan's low-link algorithm, the paper's reference \[32\]).
+//!
+//! A *bridge* is an edge whose removal increases the number of connected
+//! components. The Steiner enumerators use bridges to decide whether a
+//! partial solution extends uniquely (Lemmas 16, 24 and 30 of the paper).
+//!
+//! Two details matter for correctness here:
+//!
+//! * **parallel edges**: the DFS must skip only the *edge* it entered a
+//!   vertex through, not every edge to the parent vertex — a parallel pair
+//!   `{u, v}, {u, v}` contains no bridge, and an implementation keyed on
+//!   parent vertices would wrongly report both as bridges;
+//! * **recursion depth**: the DFS is iterative, since enumeration workloads
+//!   contain path-like graphs of depth Θ(n).
+
+use crate::ids::{EdgeId, VertexId};
+use crate::undirected::UndirectedGraph;
+
+/// Computes the bridges of the graph (restricted to `allowed` vertices if a
+/// mask is given). Returns a mask over edge ids: `true` means bridge.
+///
+/// Runs in O(n + m) time and space.
+pub fn bridges(g: &UndirectedGraph, allowed: Option<&[bool]>) -> Vec<bool> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut is_bridge = vec![false; m];
+    let mut disc = vec![u32::MAX; n]; // discovery time; MAX = unvisited
+    let mut low = vec![u32::MAX; n];
+    let mut timer: u32 = 0;
+    let ok = |v: VertexId| allowed.is_none_or(|mask| mask[v.index()]);
+
+    // Stack entries: (vertex, edge used to enter it, index of next incident
+    // edge to inspect).
+    let mut stack: Vec<(VertexId, Option<EdgeId>, usize)> = Vec::new();
+    for start in 0..n {
+        let start_v = VertexId::new(start);
+        if !ok(start_v) || disc[start] != u32::MAX {
+            continue;
+        }
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        stack.push((start_v, None, 0));
+        while let Some(&mut (u, entry_edge, ref mut next)) = stack.last_mut() {
+            if let Some(&(v, e)) = g.adjacency(u).get(*next) {
+                *next += 1;
+                if Some(e) == entry_edge {
+                    // The exact edge we came through; a *parallel* edge to
+                    // the parent falls through to the back-edge case below.
+                    continue;
+                }
+                if !ok(v) {
+                    continue;
+                }
+                if disc[v.index()] == u32::MAX {
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push((v, Some(e), 0));
+                } else {
+                    // Back edge (or forward edge to an already-finished
+                    // vertex): pull its discovery time into low(u).
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                // u is finished: propagate low-link to the parent and test
+                // the tree edge for bridge-ness.
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    let lu = low[u.index()];
+                    low[p.index()] = low[p.index()].min(lu);
+                    if lu > disc[p.index()] {
+                        is_bridge[entry_edge.expect("non-root has entry edge").index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    is_bridge
+}
+
+/// Brute-force bridge computation by edge removal, used as a test oracle.
+/// O(m · (n + m)).
+pub fn bridges_naive(g: &UndirectedGraph, allowed: Option<&[bool]>) -> Vec<bool> {
+    let base = components_ignoring_edge(g, allowed, None);
+    g.edges()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            let present = |w: VertexId| allowed.is_none_or(|mask| mask[w.index()]);
+            if !present(u) || !present(v) {
+                return false;
+            }
+            components_ignoring_edge(g, allowed, Some(e)) > base
+        })
+        .collect()
+}
+
+fn components_ignoring_edge(
+    g: &UndirectedGraph,
+    allowed: Option<&[bool]>,
+    skip: Option<EdgeId>,
+) -> usize {
+    let n = g.num_vertices();
+    let ok = |v: usize| allowed.is_none_or(|mask| mask[v]);
+    let mut seen = vec![false; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if !ok(s) || seen[s] {
+            continue;
+        }
+        count += 1;
+        seen[s] = true;
+        stack.push(VertexId::new(s));
+        while let Some(u) = stack.pop() {
+            for (v, e) in g.neighbors(u) {
+                if Some(e) == skip || !ok(v.index()) || seen[v.index()] {
+                    continue;
+                }
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_edges_are_all_bridges() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(bridges(&g, None), vec![true, true, true]);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(bridges(&g, None), vec![false; 4]);
+    }
+
+    #[test]
+    fn parallel_edges_are_never_bridges() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(bridges(&g, None), vec![false, false, true]);
+    }
+
+    #[test]
+    fn barbell_bridge() {
+        // Two triangles joined by one edge: only the joining edge is a bridge.
+        let g = UndirectedGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap();
+        let b = bridges(&g, None);
+        assert_eq!(b, vec![false, false, false, false, false, false, true]);
+    }
+
+    #[test]
+    fn mask_changes_bridges() {
+        // Square 0-1-2-3-0: no bridges; masking vertex 3 leaves a path.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mask = vec![true, true, true, false];
+        let b = bridges(&g, Some(&mask));
+        assert_eq!(b, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xb51d9e5);
+        for case in 0..60 {
+            let n = 2 + case % 12;
+            let extra = case % 7;
+            let g = generators::random_connected_graph(n, n - 1 + extra, &mut rng);
+            assert_eq!(bridges(&g, None), bridges_naive(&g, None), "graph: {g:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_masked_random_graphs() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x77aa);
+        for case in 0..40 {
+            let n = 3 + case % 10;
+            let g = generators::random_connected_graph(n, n + case % 5, &mut rng);
+            let mask: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.8)).collect();
+            assert_eq!(
+                bridges(&g, Some(&mask)),
+                bridges_naive(&g, Some(&mask)),
+                "graph: {g:?}, mask: {mask:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Claw (`K_{1,3}`) detection.
+//!
+//! §7's supergraph enumerator is correct only on claw-free graphs (the
+//! "exactly two components after deleting a cut vertex" argument). The
+//! enumerator validates its input with [`is_claw_free`]; [`find_claw`]
+//! additionally reports a witness for error messages and tests.
+
+use crate::ids::VertexId;
+use crate::undirected::UndirectedGraph;
+use std::collections::HashSet;
+
+/// Searches for an induced claw: a center `c` with three pairwise
+/// non-adjacent neighbors `x, y, z`. Returns `[c, x, y, z]` if one exists.
+///
+/// Runs in O(Σ_v deg(v)³) worst case with an O(m) adjacency set — fine for
+/// the moderate instances enumeration is feasible on anyway.
+pub fn find_claw(g: &UndirectedGraph) -> Option<[VertexId; 4]> {
+    // Adjacency set for O(1) pair tests; parallel edges collapse.
+    let mut adjacent: HashSet<(u32, u32)> = HashSet::with_capacity(2 * g.num_edges());
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        adjacent.insert((u.0, v.0));
+        adjacent.insert((v.0, u.0));
+    }
+    let is_adj = |a: VertexId, b: VertexId| adjacent.contains(&(a.0, b.0));
+    for c in g.vertices() {
+        // Deduplicated neighbor list (parallel edges repeat neighbors).
+        let mut nbrs: Vec<VertexId> = g.neighbors(c).map(|(v, _)| v).collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        let k = nbrs.len();
+        for i in 0..k {
+            for j in i + 1..k {
+                if is_adj(nbrs[i], nbrs[j]) {
+                    continue;
+                }
+                for l in j + 1..k {
+                    if !is_adj(nbrs[i], nbrs[l]) && !is_adj(nbrs[j], nbrs[l]) {
+                        return Some([c, nbrs[i], nbrs[j], nbrs[l]]);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the graph contains no induced `K_{1,3}`.
+pub fn is_claw_free(g: &UndirectedGraph) -> bool {
+    find_claw(g).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::line_graph::line_graph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_is_a_claw() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let claw = find_claw(&g).expect("K_{1,3} is a claw");
+        assert_eq!(claw[0], VertexId(0));
+        assert!(!is_claw_free(&g));
+    }
+
+    #[test]
+    fn cycle_and_complete_are_claw_free() {
+        assert!(is_claw_free(&generators::cycle(7)));
+        assert!(is_claw_free(&generators::complete(5)));
+        assert!(is_claw_free(&generators::path(6)));
+    }
+
+    #[test]
+    fn spider_with_long_legs_has_claw() {
+        // Center 0 with three legs of length 2.
+        let g = UndirectedGraph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)],
+        )
+        .unwrap();
+        assert!(!is_claw_free(&g));
+        let claw = find_claw(&g).unwrap();
+        assert_eq!(claw[0], VertexId(0));
+    }
+
+    #[test]
+    fn line_graphs_are_claw_free() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for case in 0..20 {
+            let n = 4 + case % 8;
+            let g = generators::random_connected_graph(n, n + case % 4, &mut rng);
+            assert!(is_claw_free(&line_graph(&g)), "line graphs are claw-free (Beineke)");
+        }
+    }
+
+    #[test]
+    fn claw_witness_is_an_induced_claw() {
+        let g = UndirectedGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (4, 5)],
+        )
+        .unwrap();
+        if let Some([c, x, y, z]) = find_claw(&g) {
+            for v in [x, y, z] {
+                assert!(g.has_edge_between(c, v));
+            }
+            assert!(!g.has_edge_between(x, y));
+            assert!(!g.has_edge_between(x, z));
+            assert!(!g.has_edge_between(y, z));
+        } else {
+            panic!("graph has a claw (center 0 with 1/3/4 or similar)");
+        }
+    }
+}

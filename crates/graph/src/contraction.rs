@@ -1,0 +1,212 @@
+//! Edge-set and vertex-set contraction producing multigraphs that remember
+//! original edge identities.
+//!
+//! The paper's §5 enumerators work on `G/E(F)` (Steiner forests) and
+//! `D/E(T)` (directed Steiner trees). Because there is a one-to-one
+//! correspondence between the non-contracted edges of `G` and the edges of
+//! `G/E(F)` (§5, after Lemma 22), each contracted graph carries a table
+//! mapping its edges back to original ids; paths found in the contracted
+//! graph translate to original edge sets for free.
+//!
+//! Contraction can create parallel edges — they are kept, with distinct
+//! original ids — and self-loops — they are dropped, since no simple path
+//! can use them.
+
+use crate::digraph::DiGraph;
+use crate::ids::{ArcId, EdgeId, VertexId};
+use crate::undirected::UndirectedGraph;
+use crate::union_find::UnionFind;
+
+/// The multigraph `G/F` with translation tables.
+#[derive(Clone, Debug)]
+pub struct ContractedGraph {
+    /// The contracted multigraph (fresh dense vertex and edge ids).
+    pub graph: UndirectedGraph,
+    /// `vertex_map[v]` — the contracted vertex that original vertex `v`
+    /// belongs to.
+    pub vertex_map: Vec<VertexId>,
+    /// `orig_edge[e']` — the original edge behind contracted edge `e'`.
+    pub orig_edge: Vec<EdgeId>,
+}
+
+impl ContractedGraph {
+    /// The contracted image of an original vertex.
+    #[inline]
+    pub fn image(&self, v: VertexId) -> VertexId {
+        self.vertex_map[v.index()]
+    }
+
+    /// Translates a set of contracted edge ids back to original ids.
+    pub fn to_original_edges(&self, edges: &[EdgeId]) -> Vec<EdgeId> {
+        edges.iter().map(|e| self.orig_edge[e.index()]).collect()
+    }
+}
+
+/// Contracts the edge set `contract` in `g` (i.e. computes `G/F`).
+///
+/// Original edges outside `contract` whose endpoints fall into different
+/// classes survive with their id recorded; self-loops are dropped.
+pub fn contract_edge_set(g: &UndirectedGraph, contract: &[EdgeId]) -> ContractedGraph {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    let mut contracted_mask = vec![false; g.num_edges()];
+    for &e in contract {
+        contracted_mask[e.index()] = true;
+        let (u, v) = g.endpoints(e);
+        uf.union(u, v);
+    }
+    // Compact class representatives to dense new ids.
+    let mut new_id: Vec<Option<VertexId>> = vec![None; n];
+    let mut vertex_map: Vec<VertexId> = Vec::with_capacity(n);
+    let mut count = 0usize;
+    for v in 0..n {
+        let rep = uf.find(VertexId::new(v));
+        let id = *new_id[rep.index()].get_or_insert_with(|| {
+            let id = VertexId::new(count);
+            count += 1;
+            id
+        });
+        vertex_map.push(id);
+    }
+    let mut graph = UndirectedGraph::new(count);
+    let mut orig_edge = Vec::new();
+    for e in g.edges() {
+        if contracted_mask[e.index()] {
+            continue;
+        }
+        let (u, v) = g.endpoints(e);
+        let (nu, nv) = (vertex_map[u.index()], vertex_map[v.index()]);
+        if nu == nv {
+            continue; // self-loop after contraction
+        }
+        graph.add_edge(nu, nv).expect("contracted edge is valid");
+        orig_edge.push(e);
+    }
+    ContractedGraph { graph, vertex_map, orig_edge }
+}
+
+/// The digraph `D` with a vertex set contracted into a single super-vertex,
+/// with translation tables.
+#[derive(Clone, Debug)]
+pub struct ContractedDigraph {
+    /// The contracted digraph (fresh dense vertex and arc ids).
+    pub graph: DiGraph,
+    /// `vertex_map[v]` — the contracted vertex original `v` maps to.
+    pub vertex_map: Vec<VertexId>,
+    /// `orig_arc[a']` — the original arc behind contracted arc `a'`.
+    pub orig_arc: Vec<ArcId>,
+    /// The super-vertex all contracted originals map to.
+    pub super_vertex: VertexId,
+}
+
+impl ContractedDigraph {
+    /// Translates a set of contracted arc ids back to original ids.
+    pub fn to_original_arcs(&self, arcs: &[ArcId]) -> Vec<ArcId> {
+        arcs.iter().map(|a| self.orig_arc[a.index()]).collect()
+    }
+}
+
+/// Contracts every vertex with `in_set[v] == true` into one super-vertex.
+///
+/// This implements `D/E(T)` for a connected directed tree `T`: contracting
+/// `T`'s edges identifies exactly `V(T)`. Arcs inside the set are dropped
+/// (self-loops); all other arcs survive with their id recorded. Vertices
+/// outside the set keep their relative order; the super-vertex is appended
+/// last.
+pub fn contract_vertex_set(d: &DiGraph, in_set: &[bool]) -> ContractedDigraph {
+    let n = d.num_vertices();
+    debug_assert_eq!(in_set.len(), n);
+    let mut vertex_map: Vec<VertexId> = Vec::with_capacity(n);
+    let mut outside = 0usize;
+    for &inside in in_set.iter() {
+        if inside {
+            vertex_map.push(VertexId(u32::MAX)); // patched below
+        } else {
+            vertex_map.push(VertexId::new(outside));
+            outside += 1;
+        }
+    }
+    let super_vertex = VertexId::new(outside);
+    for v in 0..n {
+        if in_set[v] {
+            vertex_map[v] = super_vertex;
+        }
+    }
+    let mut graph = DiGraph::new(outside + 1);
+    let mut orig_arc = Vec::new();
+    for a in d.arcs() {
+        let (t, h) = d.arc(a);
+        let (nt, nh) = (vertex_map[t.index()], vertex_map[h.index()]);
+        if nt == nh {
+            continue;
+        }
+        graph.add_arc(nt, nh).expect("contracted arc is valid");
+        orig_arc.push(a);
+    }
+    ContractedDigraph { graph, vertex_map, orig_arc, super_vertex }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contracting_a_path_merges_vertices() {
+        // Square 0-1-2-3-0, contract edge {0,1}.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let c = contract_edge_set(&g, &[EdgeId(0)]);
+        assert_eq!(c.graph.num_vertices(), 3);
+        assert_eq!(c.graph.num_edges(), 3);
+        assert_eq!(c.image(VertexId(0)), c.image(VertexId(1)));
+        assert_eq!(c.orig_edge, vec![EdgeId(1), EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn contraction_creates_parallel_edges() {
+        // Triangle; contract one edge -> two parallel edges remain.
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let c = contract_edge_set(&g, &[EdgeId(0)]);
+        assert_eq!(c.graph.num_vertices(), 2);
+        assert_eq!(c.graph.num_edges(), 2);
+        let (a, b) = c.graph.endpoints(EdgeId(0));
+        let (x, y) = c.graph.endpoints(EdgeId(1));
+        let norm = |p: VertexId, q: VertexId| (p.min(q), p.max(q));
+        assert_eq!(norm(a, b), norm(x, y), "both edges join the same pair");
+        assert_eq!(c.to_original_edges(&[EdgeId(0), EdgeId(1)]), vec![EdgeId(1), EdgeId(2)]);
+    }
+
+    #[test]
+    fn contraction_drops_self_loops() {
+        // Parallel pair {0,1}x2: contracting one drops the other.
+        let g = UndirectedGraph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        let c = contract_edge_set(&g, &[EdgeId(0)]);
+        assert_eq!(c.graph.num_vertices(), 1);
+        assert_eq!(c.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn empty_contraction_is_isomorphic_copy() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let c = contract_edge_set(&g, &[]);
+        assert_eq!(c.graph.num_vertices(), 3);
+        assert_eq!(c.graph.num_edges(), 2);
+        for v in g.vertices() {
+            assert_eq!(c.image(v), v);
+        }
+    }
+
+    #[test]
+    fn digraph_vertex_set_contraction() {
+        // 0 -> 1 -> 2 -> 3, 0 -> 2; contract {0, 1}.
+        let d = DiGraph::from_arcs(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]).unwrap();
+        let c = contract_vertex_set(&d, &[true, true, false, false]);
+        assert_eq!(c.graph.num_vertices(), 3);
+        assert_eq!(c.super_vertex, VertexId(2));
+        // Arc (0,1) became a self-loop and vanished; (1,2) and (0,2) became
+        // parallel super->2 arcs; (2,3) survived.
+        assert_eq!(c.graph.num_arcs(), 3);
+        assert_eq!(c.orig_arc, vec![ArcId(1), ArcId(2), ArcId(3)]);
+        assert_eq!(c.graph.out_degree(c.super_vertex), 2);
+        assert_eq!(c.vertex_map, vec![VertexId(2), VertexId(2), VertexId(0), VertexId(1)]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Lowest common ancestors in rooted forests.
+//!
+//! The Steiner-forest unique-completion step (§5, Theorem 25) computes the
+//! LCA of every terminal pair in the forest `F + B` and then marks the
+//! edges on terminal-to-LCA paths in descending LCA-height order. The paper
+//! uses the Harel–Tarjan O(n)-preprocessing structure \[16\]; we substitute
+//! the standard Euler-tour + sparse-table structure — O(n log n)
+//! preprocessing, identical O(1) queries (see DESIGN.md §9.1).
+
+use crate::ids::VertexId;
+
+/// Constant-time LCA queries over a rooted forest given by parent pointers.
+#[derive(Clone, Debug)]
+pub struct Lca {
+    /// `depth[v]` — depth of `v` in its tree (`u32::MAX` if absent).
+    pub depth: Vec<u32>,
+    /// `root[v]` — the root of `v`'s tree (`u32::MAX` if absent); used to
+    /// reject cross-tree queries.
+    root: Vec<u32>,
+    /// First occurrence of each vertex in the Euler tour (`u32::MAX` if absent).
+    first_occurrence: Vec<u32>,
+    /// Euler tour of vertices.
+    tour: Vec<u32>,
+    /// Sparse table of minimum-depth tour positions: `table[k][i]` is the
+    /// position of the minimum-depth vertex in `tour[i .. i + 2^k]`.
+    table: Vec<Vec<u32>>,
+}
+
+impl Lca {
+    /// Builds the structure from parent pointers. `parent[v] == None` marks
+    /// `v` as a root *if* `present[v]`, otherwise `v` is ignored entirely.
+    pub fn from_parents(parent: &[Option<VertexId>], present: &[bool]) -> Self {
+        let n = parent.len();
+        debug_assert_eq!(present.len(), n);
+        // Children lists.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut roots: Vec<u32> = Vec::new();
+        for v in 0..n {
+            if !present[v] {
+                continue;
+            }
+            match parent[v] {
+                Some(p) => {
+                    debug_assert!(present[p.index()], "parent of a present vertex is present");
+                    children[p.index()].push(v as u32);
+                }
+                None => roots.push(v as u32),
+            }
+        }
+        let mut depth = vec![u32::MAX; n];
+        let mut root = vec![u32::MAX; n];
+        let mut first_occurrence = vec![u32::MAX; n];
+        let mut tour: Vec<u32> = Vec::with_capacity(2 * n);
+        // Iterative Euler tour: (vertex, next child index).
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for &r in &roots {
+            depth[r as usize] = 0;
+            root[r as usize] = r;
+            stack.push((r, 0));
+            first_occurrence[r as usize] = tour.len() as u32;
+            tour.push(r);
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                if let Some(&c) = children[u as usize].get(*next) {
+                    *next += 1;
+                    depth[c as usize] = depth[u as usize] + 1;
+                    root[c as usize] = r;
+                    first_occurrence[c as usize] = tour.len() as u32;
+                    tour.push(c);
+                    stack.push((c, 0));
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        tour.push(p);
+                    }
+                }
+            }
+        }
+        // Sparse table over tour positions, comparing by vertex depth.
+        let len = tour.len();
+        let levels = if len <= 1 { 1 } else { len.ilog2() as usize + 1 };
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..len as u32).collect());
+        let min_pos = |depth: &[u32], tour: &[u32], a: u32, b: u32| -> u32 {
+            if depth[tour[a as usize] as usize] <= depth[tour[b as usize] as usize] {
+                a
+            } else {
+                b
+            }
+        };
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let width = 1usize << k;
+            let mut row = Vec::with_capacity(len.saturating_sub(width) + 1);
+            for i in 0..=len.saturating_sub(width) {
+                row.push(min_pos(&depth, &tour, prev[i], prev[i + half]));
+            }
+            table.push(row);
+        }
+        Lca { depth, root, first_occurrence, tour, table }
+    }
+
+    /// Whether `v` participates in the forest.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.first_occurrence[v.index()] != u32::MAX
+    }
+
+    /// The lowest common ancestor of `u` and `v`, or `None` if they live in
+    /// different trees (or either is absent). O(1).
+    pub fn lca(&self, u: VertexId, v: VertexId) -> Option<VertexId> {
+        if !self.contains(u) || !self.contains(v) {
+            return None;
+        }
+        if self.root[u.index()] != self.root[v.index()] {
+            return None;
+        }
+        let (mut a, mut b) = (self.first_occurrence[u.index()], self.first_occurrence[v.index()]);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let span = (b - a + 1) as usize;
+        let k = span.ilog2() as usize;
+        let left = self.table[k][a as usize];
+        let right = self.table[k][(b as usize + 1) - (1usize << k)];
+        let pos = if self.depth[self.tour[left as usize] as usize]
+            <= self.depth[self.tour[right as usize] as usize]
+        {
+            left
+        } else {
+            right
+        };
+        Some(VertexId(self.tour[pos as usize]))
+    }
+
+    /// Depth accessor (`u32::MAX` for absent vertices).
+    pub fn depth_of(&self, v: VertexId) -> u32 {
+        self.depth[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// parent array for:        0
+    ///                         / \
+    ///                        1   2
+    ///                       / \   \
+    ///                      3   4   5
+    ///                     /
+    ///                    6
+    fn sample_parents() -> Vec<Option<VertexId>> {
+        vec![
+            None,
+            Some(VertexId(0)),
+            Some(VertexId(0)),
+            Some(VertexId(1)),
+            Some(VertexId(1)),
+            Some(VertexId(2)),
+            Some(VertexId(3)),
+        ]
+    }
+
+    #[test]
+    fn basic_lca_queries() {
+        let parents = sample_parents();
+        let lca = Lca::from_parents(&parents, &[true; 7]);
+        assert_eq!(lca.lca(VertexId(3), VertexId(4)), Some(VertexId(1)));
+        assert_eq!(lca.lca(VertexId(6), VertexId(4)), Some(VertexId(1)));
+        assert_eq!(lca.lca(VertexId(6), VertexId(5)), Some(VertexId(0)));
+        assert_eq!(lca.lca(VertexId(3), VertexId(3)), Some(VertexId(3)));
+        assert_eq!(lca.lca(VertexId(6), VertexId(3)), Some(VertexId(3)));
+        assert_eq!(lca.depth_of(VertexId(6)), 3);
+    }
+
+    #[test]
+    fn cross_tree_queries_return_none() {
+        // Two trees: 0 -> 1 and 2 -> 3.
+        let parents = vec![None, Some(VertexId(0)), None, Some(VertexId(2))];
+        let lca = Lca::from_parents(&parents, &[true; 4]);
+        assert_eq!(lca.lca(VertexId(1), VertexId(3)), None);
+        assert_eq!(lca.lca(VertexId(0), VertexId(1)), Some(VertexId(0)));
+    }
+
+    #[test]
+    fn absent_vertices_are_rejected() {
+        let parents = vec![None, Some(VertexId(0)), None];
+        let present = vec![true, true, false];
+        let lca = Lca::from_parents(&parents, &present);
+        assert!(!lca.contains(VertexId(2)));
+        assert_eq!(lca.lca(VertexId(0), VertexId(2)), None);
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let n = 2 + rng.gen_range(0..40);
+            // Random recursive tree rooted at 0.
+            let mut parents: Vec<Option<VertexId>> = vec![None];
+            for v in 1..n {
+                parents.push(Some(VertexId::new(rng.gen_range(0..v))));
+            }
+            let lca = Lca::from_parents(&parents, &vec![true; n]);
+            // Naive ancestor-walk LCA.
+            let naive = |mut u: usize, mut v: usize| -> usize {
+                let depth = |mut x: usize| {
+                    let mut d = 0;
+                    while let Some(p) = parents[x] {
+                        x = p.index();
+                        d += 1;
+                    }
+                    d
+                };
+                let (mut du, mut dv) = (depth(u), depth(v));
+                while du > dv {
+                    u = parents[u].unwrap().index();
+                    du -= 1;
+                }
+                while dv > du {
+                    v = parents[v].unwrap().index();
+                    dv -= 1;
+                }
+                while u != v {
+                    u = parents[u].unwrap().index();
+                    v = parents[v].unwrap().index();
+                }
+                u
+            };
+            for _ in 0..50 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                assert_eq!(
+                    lca.lca(VertexId::new(u), VertexId::new(v)),
+                    Some(VertexId::new(naive(u, v))),
+                    "n={n} u={u} v={v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Graph substrate for the minimal-Steiner enumeration library.
+//!
+//! This crate implements, from scratch, every graph-theoretic primitive the
+//! paper *Linear-Delay Enumeration for Minimal Steiner Problems* (PODS 2022)
+//! relies on:
+//!
+//! * undirected and directed **multigraphs** (parallel edges allowed, no
+//!   self-loops — the paper's preliminaries, §2),
+//! * BFS/DFS traversals with vertex masks ([`traversal`]),
+//! * connected components and reachability ([`connectivity`]),
+//! * multigraph-aware **bridge** finding ([`bridges`], used by Lemmas 16, 24
+//!   and 30),
+//! * edge-set **contraction** `G/F` preserving original edge identities
+//!   ([`contraction`], used by the Steiner-forest and directed variants),
+//! * **lowest common ancestors** ([`lca`], used by the forest
+//!   unique-completion step),
+//! * spanning trees containing a required subtree and non-terminal leaf
+//!   pruning ([`spanning`], Propositions 3/26/32),
+//! * **line graphs** and the Theorem 39 construction ([`line_graph`]),
+//! * claw detection ([`clawfree`], §7),
+//! * workload **generators** ([`generators`]) and plain-text I/O ([`io`]).
+//!
+//! Vertices and edges are dense `u32` indices wrapped in [`VertexId`] /
+//! [`EdgeId`]; all algorithms are index-based and allocation-conscious.
+
+pub mod bridges;
+pub mod clawfree;
+pub mod connectivity;
+pub mod contraction;
+pub mod digraph;
+pub mod generators;
+pub mod ids;
+pub mod io;
+pub mod lca;
+pub mod line_graph;
+pub mod spanning;
+pub mod traversal;
+pub mod undirected;
+pub mod union_find;
+
+pub use digraph::DiGraph;
+pub use ids::{ArcId, EdgeId, VertexId};
+pub use undirected::UndirectedGraph;
+
+/// Errors produced when constructing or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A self-loop `{v, v}` was supplied; the paper's graphs have none (§2).
+    SelfLoop { vertex: usize },
+    /// A vertex index was at least the number of vertices.
+    VertexOutOfRange { vertex: usize, num_vertices: usize },
+    /// An edge index was at least the number of edges.
+    EdgeOutOfRange { edge: usize, num_edges: usize },
+    /// Input text could not be parsed.
+    Parse { line: usize, message: String },
+    /// A problem-specific precondition failed (e.g. the root of a directed
+    /// Steiner instance is itself a terminal).
+    Precondition { message: String },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed")
+            }
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {num_vertices} vertices)")
+            }
+            GraphError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge {edge} out of range (graph has {num_edges} edges)")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Precondition { message } => write!(f, "precondition failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,150 @@
+//! Line graphs and the Theorem 39 construction.
+//!
+//! §7 of the paper reduces Steiner Tree Enumeration to minimal *induced*
+//! Steiner subgraph enumeration on claw-free graphs: starting from the line
+//! graph `L(G)`, one attaches a fresh vertex `w'` for every terminal `w`,
+//! adjacent to the (clique of) edges incident to `w`. The resulting graph
+//! `H` is claw-free, and connected Steiner subgraphs of `(G, W)` correspond
+//! to connected induced Steiner subgraphs of `(H, W_H)`.
+
+use crate::ids::{EdgeId, VertexId};
+use crate::undirected::UndirectedGraph;
+use std::collections::HashSet;
+
+/// The line graph `L(G)`: one vertex per edge of `G` (vertex `i` is edge
+/// `i`), with vertices adjacent iff the edges share an endpoint. The result
+/// is simple even if `G` has parallel edges.
+pub fn line_graph(g: &UndirectedGraph) -> UndirectedGraph {
+    let mut lg = UndirectedGraph::new(g.num_edges());
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    for v in g.vertices() {
+        let incident = g.adjacency(v);
+        for i in 0..incident.len() {
+            for j in i + 1..incident.len() {
+                let (e, f) = (incident[i].1, incident[j].1);
+                let key = if e.0 < f.0 { (e.0, f.0) } else { (f.0, e.0) };
+                if seen.insert(key) {
+                    lg.add_edge(VertexId(e.0), VertexId(f.0)).expect("line graph edge");
+                }
+            }
+        }
+    }
+    lg
+}
+
+/// The Theorem 39 instance `(H, W_H)` built from `(G, W)`.
+#[derive(Clone, Debug)]
+pub struct Theorem39Instance {
+    /// The host graph `H` (line graph plus one pendant-clique vertex per
+    /// terminal). Vertices `0..m` are `G`'s edges; vertex `m + i` is the
+    /// terminal vertex for `terminals[i]`.
+    pub h: UndirectedGraph,
+    /// The terminals `W_H` of the induced-Steiner instance, aligned with
+    /// the `terminals` argument.
+    pub h_terminals: Vec<VertexId>,
+    /// The original terminal list.
+    pub g_terminals: Vec<VertexId>,
+    /// Number of edges of `G` (so `H` vertices `< edge_count` are edges).
+    pub edge_count: usize,
+}
+
+impl Theorem39Instance {
+    /// Builds `H` from `(G, W)` as in Theorem 39.
+    pub fn new(g: &UndirectedGraph, terminals: &[VertexId]) -> Self {
+        let mut h = line_graph(g);
+        let mut h_terminals = Vec::with_capacity(terminals.len());
+        for &w in terminals {
+            let wt = h.add_vertex();
+            h_terminals.push(wt);
+            for (_, e) in g.neighbors(w) {
+                h.add_edge(wt, VertexId(e.0)).expect("terminal attachment edge");
+            }
+        }
+        Theorem39Instance {
+            h,
+            h_terminals,
+            g_terminals: terminals.to_vec(),
+            edge_count: g.num_edges(),
+        }
+    }
+
+    /// Whether an `H` vertex represents an edge of `G`.
+    pub fn is_edge_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.edge_count
+    }
+
+    /// Maps an induced-Steiner solution of `(H, W_H)` — a vertex set — back
+    /// to the edge set of `G` it represents (dropping the terminal
+    /// vertices).
+    pub fn solution_to_edges(&self, solution: &[VertexId]) -> Vec<EdgeId> {
+        solution
+            .iter()
+            .filter(|v| self.is_edge_vertex(**v))
+            .map(|v| EdgeId(v.0))
+            .collect()
+    }
+
+    /// Maps an edge set of `G` to the corresponding `H` vertex set
+    /// (including all terminal vertices), sorted.
+    pub fn edges_to_solution(&self, edges: &[EdgeId]) -> Vec<VertexId> {
+        let mut sol: Vec<VertexId> = edges.iter().map(|e| VertexId(e.0)).collect();
+        sol.extend_from_slice(&self.h_terminals);
+        sol.sort_unstable();
+        sol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clawfree::is_claw_free;
+
+    #[test]
+    fn line_graph_of_path_is_path() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let lg = line_graph(&g);
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 2);
+        assert!(lg.has_edge_between(VertexId(0), VertexId(1)));
+        assert!(lg.has_edge_between(VertexId(1), VertexId(2)));
+        assert!(!lg.has_edge_between(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let lg = line_graph(&g);
+        assert_eq!(lg.num_vertices(), 3);
+        assert_eq!(lg.num_edges(), 3, "K_3");
+    }
+
+    #[test]
+    fn line_graph_of_parallel_edges_is_simple() {
+        let g = UndirectedGraph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        let lg = line_graph(&g);
+        assert_eq!(lg.num_vertices(), 2);
+        assert_eq!(lg.num_edges(), 1, "parallel edges meet at both endpoints but once in L(G)");
+    }
+
+    #[test]
+    fn theorem39_instance_is_claw_free() {
+        let g = UndirectedGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 5), (2, 5)],
+        )
+        .unwrap();
+        let inst = Theorem39Instance::new(&g, &[VertexId(0), VertexId(5)]);
+        assert!(is_claw_free(&inst.h), "Theorem 39 guarantees claw-freeness");
+        assert_eq!(inst.h.num_vertices(), g.num_edges() + 2);
+        assert_eq!(inst.h_terminals, vec![VertexId(7), VertexId(8)]);
+    }
+
+    #[test]
+    fn theorem39_round_trip_mapping() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let inst = Theorem39Instance::new(&g, &[VertexId(0), VertexId(2)]);
+        let edges = vec![EdgeId(0), EdgeId(1)];
+        let sol = inst.edges_to_solution(&edges);
+        assert_eq!(inst.solution_to_edges(&sol), edges);
+    }
+}

@@ -1,0 +1,215 @@
+//! Spanning trees containing a required subtree, and leaf pruning.
+//!
+//! These two operations implement the "completion" steps the paper uses
+//! over and over: Lemma 13 (grow a partial Steiner tree into a spanning
+//! tree, then remove non-terminal leaves — Proposition 3), Lemma 28
+//! (terminal Steiner trees, Proposition 26) and Lemma 33 (directed Steiner
+//! trees, Proposition 32).
+
+use crate::digraph::DiGraph;
+use crate::ids::{ArcId, EdgeId, VertexId};
+use crate::traversal::{bfs, BfsForest};
+use crate::undirected::UndirectedGraph;
+
+/// A tree grown from seed vertices around a base edge set.
+#[derive(Clone, Debug)]
+pub struct GrownTree {
+    /// All tree edges: the base edges plus BFS parent edges.
+    pub edges: Vec<EdgeId>,
+    /// The BFS forest used to grow the tree (parents point toward seeds).
+    pub forest: BfsForest,
+}
+
+/// Grows a tree that contains all `base_edges` and spans every `allowed`
+/// vertex reachable from `seeds`.
+///
+/// `seeds` must cover the vertex set of `base_edges`, and the base edges
+/// must form a forest — both hold for the partial Steiner trees the
+/// enumerators maintain. O(n + m).
+pub fn grow_spanning_tree(
+    g: &UndirectedGraph,
+    seeds: &[VertexId],
+    base_edges: &[EdgeId],
+    allowed: Option<&[bool]>,
+) -> GrownTree {
+    let forest = bfs(g, seeds, allowed);
+    let mut edges = Vec::with_capacity(base_edges.len() + forest.order.len());
+    edges.extend_from_slice(base_edges);
+    for &v in &forest.order {
+        if let Some(e) = forest.parent_edge[v.index()] {
+            edges.push(e);
+        }
+    }
+    GrownTree { edges, forest }
+}
+
+/// Repeatedly deletes degree-≤1 vertices not accepted by `keep` from the
+/// edge set `tree_edges`, returning the surviving edges (in their original
+/// order). This is the Proposition 3 reduction: the result's leaves all
+/// satisfy `keep`.
+///
+/// `tree_edges` must be a forest. O(n + |tree_edges|).
+pub fn prune_leaves(
+    g: &UndirectedGraph,
+    tree_edges: &[EdgeId],
+    keep: impl Fn(VertexId) -> bool,
+) -> Vec<EdgeId> {
+    let n = g.num_vertices();
+    // Incidence restricted to the tree edges.
+    let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    let mut degree = vec![0u32; n];
+    for &e in tree_edges {
+        let (u, v) = g.endpoints(e);
+        incident[u.index()].push(e);
+        incident[v.index()].push(e);
+        degree[u.index()] += 1;
+        degree[v.index()] += 1;
+    }
+    let mut removed_edge = vec![false; g.num_edges()];
+    let mut queue: Vec<VertexId> = Vec::new();
+    for &e in tree_edges {
+        let (u, v) = g.endpoints(e);
+        for w in [u, v] {
+            if degree[w.index()] == 1 && !keep(w) {
+                queue.push(w);
+            }
+        }
+    }
+    queue.sort_unstable();
+    queue.dedup();
+    while let Some(v) = queue.pop() {
+        if degree[v.index()] != 1 || keep(v) {
+            continue;
+        }
+        let e = *incident[v.index()]
+            .iter()
+            .find(|e| !removed_edge[e.index()])
+            .expect("degree-1 vertex has a live incident edge");
+        removed_edge[e.index()] = true;
+        degree[v.index()] = 0;
+        let u = g.other_endpoint(e, v);
+        degree[u.index()] -= 1;
+        if degree[u.index()] == 1 && !keep(u) {
+            queue.push(u);
+        }
+    }
+    tree_edges.iter().copied().filter(|e| !removed_edge[e.index()]).collect()
+}
+
+/// Repeatedly deletes sink leaves not accepted by `keep` from a directed
+/// tree given as an arc set, returning the surviving arcs. This is the
+/// Proposition 32 reduction for directed Steiner trees: afterwards every
+/// leaf (vertex without outgoing arcs) satisfies `keep`.
+///
+/// `tree_arcs` must form a directed tree (every non-root vertex has exactly
+/// one incoming arc). The root is never deleted. O(n + |tree_arcs|).
+pub fn prune_directed_leaves(
+    d: &DiGraph,
+    tree_arcs: &[ArcId],
+    keep: impl Fn(VertexId) -> bool,
+) -> Vec<ArcId> {
+    let n = d.num_vertices();
+    let mut out_degree = vec![0u32; n];
+    let mut in_arc: Vec<Option<ArcId>> = vec![None; n];
+    let mut in_tree = vec![false; n];
+    for &a in tree_arcs {
+        let (t, h) = d.arc(a);
+        out_degree[t.index()] += 1;
+        debug_assert!(in_arc[h.index()].is_none(), "directed tree: unique in-arc");
+        in_arc[h.index()] = Some(a);
+        in_tree[t.index()] = true;
+        in_tree[h.index()] = true;
+    }
+    let mut removed_arc = vec![false; d.num_arcs()];
+    let mut queue: Vec<VertexId> = Vec::new();
+    for v in 0..n {
+        let v = VertexId::new(v);
+        // A deletable leaf has no outgoing arcs and *does* have an incoming
+        // arc (so the root, which has none, is safe).
+        if in_tree[v.index()] && out_degree[v.index()] == 0 && in_arc[v.index()].is_some() && !keep(v) {
+            queue.push(v);
+        }
+    }
+    while let Some(v) = queue.pop() {
+        let a = in_arc[v.index()].expect("queued leaf has an in-arc");
+        if removed_arc[a.index()] {
+            continue;
+        }
+        removed_arc[a.index()] = true;
+        let t = d.tail(a);
+        out_degree[t.index()] -= 1;
+        if out_degree[t.index()] == 0 && in_arc[t.index()].is_some() && !keep(t) {
+            queue.push(t);
+        }
+    }
+    tree_arcs.iter().copied().filter(|a| !removed_arc[a.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_spans_component_and_contains_base() {
+        // Square with a pendant: 0-1-2-3-0, 3-4.
+        let g =
+            UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)]).unwrap();
+        let grown = grow_spanning_tree(&g, &[VertexId(0)], &[], None);
+        assert_eq!(grown.edges.len(), 4, "spanning tree of 5 vertices");
+        // Growing around base edge {1,2} keeps it.
+        let grown2 =
+            grow_spanning_tree(&g, &[VertexId(1), VertexId(2)], &[EdgeId(1)], None);
+        assert!(grown2.edges.contains(&EdgeId(1)));
+        assert_eq!(grown2.edges.len(), 4);
+    }
+
+    #[test]
+    fn prune_removes_non_terminal_branches() {
+        // Star with center 0, leaves 1..=3; keep only 1.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let keep = |v: VertexId| v == VertexId(1);
+        let pruned = prune_leaves(&g, &[EdgeId(0), EdgeId(1), EdgeId(2)], keep);
+        // 2 and 3 are pruned; then 0 has degree 1 but pruning it would make
+        // 1 isolated... 0 is degree-1 and not kept, so edge {0,1} also goes.
+        assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_kept_leaves() {
+        // Path 0-1-2-3; keep 0 and 2: edge {2,3} goes, rest stays.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let keep = |v: VertexId| v == VertexId(0) || v == VertexId(2);
+        let pruned = prune_leaves(&g, &[EdgeId(0), EdgeId(1), EdgeId(2)], keep);
+        assert_eq!(pruned, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn prune_spanning_tree_to_steiner_tree() {
+        // Grow a spanning tree of a path graph and prune to terminals {0, 2}.
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let grown = grow_spanning_tree(&g, &[VertexId(0)], &[], None);
+        let terminals = [VertexId(0), VertexId(2)];
+        let pruned = prune_leaves(&g, &grown.edges, |v| terminals.contains(&v));
+        assert_eq!(pruned.len(), 2);
+        let verts = g.edge_set_vertices(&pruned);
+        assert_eq!(verts, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn prune_directed_keeps_root() {
+        // r=0 -> 1 -> 2, 0 -> 3; keep terminal 2 only.
+        let d = DiGraph::from_arcs(4, &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let pruned =
+            prune_directed_leaves(&d, &[ArcId(0), ArcId(1), ArcId(2)], |v| v == VertexId(2));
+        assert_eq!(pruned, vec![ArcId(0), ArcId(1)]);
+    }
+
+    #[test]
+    fn prune_directed_cascades() {
+        // r=0 -> 1 -> 2 -> 3; keep only 1: arcs (2,3) then (1,2) go.
+        let d = DiGraph::from_arcs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let pruned =
+            prune_directed_leaves(&d, &[ArcId(0), ArcId(1), ArcId(2)], |v| v == VertexId(1));
+        assert_eq!(pruned, vec![ArcId(0)]);
+    }
+}

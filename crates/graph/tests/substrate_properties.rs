@@ -1,0 +1,131 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use steiner_graph::bridges::{bridges, bridges_naive};
+use steiner_graph::connectivity::connected_components;
+use steiner_graph::contraction::contract_edge_set;
+use steiner_graph::io::{parse_edge_list, write_edge_list};
+use steiner_graph::spanning::{grow_spanning_tree, prune_leaves};
+use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+
+/// Arbitrary multigraph: n ∈ [1, 10], up to 20 random edges (parallel
+/// edges allowed).
+fn multigraph() -> impl Strategy<Value = UndirectedGraph> {
+    (1usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..20).prop_map(move |pairs| {
+            let mut g = UndirectedGraph::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge_indices(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bridges_match_naive(g in multigraph()) {
+        prop_assert_eq!(bridges(&g, None), bridges_naive(&g, None));
+    }
+
+    #[test]
+    fn bridges_match_naive_masked(g in multigraph(), mask_bits in any::<u16>()) {
+        let n = g.num_vertices();
+        let mask: Vec<bool> = (0..n).map(|i| mask_bits & (1 << i) != 0).collect();
+        prop_assert_eq!(bridges(&g, Some(&mask)), bridges_naive(&g, Some(&mask)));
+    }
+
+    #[test]
+    fn removing_a_bridge_increases_components(g in multigraph()) {
+        let base = connected_components(&g, None).count;
+        for (e, is_bridge) in bridges(&g, None).into_iter().enumerate() {
+            if !is_bridge {
+                continue;
+            }
+            // Rebuild without edge e and recount.
+            let mut h = UndirectedGraph::new(g.num_vertices());
+            for e2 in g.edges() {
+                if e2.index() != e {
+                    let (u, v) = g.endpoints(e2);
+                    h.add_edge(u, v).unwrap();
+                }
+            }
+            prop_assert_eq!(connected_components(&h, None).count, base + 1);
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_component_count(g in multigraph(), pick in any::<u32>()) {
+        // Contracting any edge subset never changes the number of
+        // connected components (self-loops dropped, classes merged).
+        let m = g.num_edges();
+        let subset: Vec<EdgeId> =
+            (0..m).filter(|i| pick & (1 << (i % 32)) != 0).map(EdgeId::new).collect();
+        let c = contract_edge_set(&g, &subset);
+        prop_assert_eq!(
+            connected_components(&g, None).count,
+            connected_components(&c.graph, None).count
+        );
+        // Id translation stays within range and preserves endpoints.
+        for e in c.graph.edges() {
+            let orig = c.orig_edge[e.index()];
+            let (u, v) = g.endpoints(orig);
+            let (cu, cv) = c.graph.endpoints(e);
+            let (iu, iv) = (c.image(u), c.image(v));
+            prop_assert!((cu == iu && cv == iv) || (cu == iv && cv == iu));
+        }
+    }
+
+    #[test]
+    fn spanning_tree_spans_component(g in multigraph(), seed in 0usize..10) {
+        let n = g.num_vertices();
+        let seed = VertexId::new(seed % n);
+        let grown = grow_spanning_tree(&g, &[seed], &[], None);
+        // Edge count = reachable vertices - 1.
+        let reached = grown.forest.visited.iter().filter(|&&b| b).count();
+        prop_assert_eq!(grown.edges.len(), reached - 1);
+        // It is acyclic and connected on its span (a tree).
+        let verts = g.edge_set_vertices(&grown.edges);
+        if !grown.edges.is_empty() {
+            prop_assert_eq!(verts.len(), grown.edges.len() + 1);
+        }
+    }
+
+    #[test]
+    fn pruned_leaves_all_satisfy_keep(g in multigraph(), keep_bits in any::<u16>(), seed in 0usize..10) {
+        let n = g.num_vertices();
+        let seed = VertexId::new(seed % n);
+        let grown = grow_spanning_tree(&g, &[seed], &[], None);
+        let keep = move |v: VertexId| keep_bits & (1 << (v.index() % 16)) != 0;
+        let pruned = prune_leaves(&g, &grown.edges, keep);
+        let deg = g.degrees_in_edge_set(&pruned);
+        for v in g.vertices() {
+            if deg[v.index()] == 1 {
+                prop_assert!(keep(v), "leaf {v} survived pruning without keep");
+            }
+        }
+        // Pruning is a subset operation.
+        prop_assert!(pruned.iter().all(|e| grown.edges.contains(e)));
+    }
+
+    #[test]
+    fn io_round_trip(g in multigraph()) {
+        let text = write_edge_list(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for e in g.edges() {
+            prop_assert_eq!(g.endpoints(e), g2.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn line_graph_is_claw_free(g in multigraph()) {
+        let lg = steiner_graph::line_graph::line_graph(&g);
+        prop_assert!(steiner_graph::clawfree::is_claw_free(&lg));
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal group Steiner trees and the Theorem 38 reduction.
+//!
+//! A *group Steiner tree* of `(G, {W₁, …, W_s})` is a tree intersecting
+//! every group; minimality is subgraph-minimality. Theorem 38: on a star
+//! with a leaf `ℓ_u` per hypergraph vertex `u` and a group per hyperedge,
+//! the minimal group Steiner trees are exactly `G[X ∪ {r}]` for the
+//! minimal transversals `X` — so an output-polynomial group Steiner
+//! enumerator would solve minimal hypergraph transversal enumeration in
+//! output-polynomial time, a long-open problem. Both directions of the
+//! reduction are implemented and tested here.
+
+use crate::hypergraph::Hypergraph;
+use crate::transversal::enumerate_minimal_transversals;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+
+/// A group Steiner tree reported as its (sorted) vertex and edge sets.
+/// Single-vertex trees have an empty edge set, so vertices are needed to
+/// identify the solution.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroupSteinerTree {
+    /// The tree's vertices, sorted.
+    pub vertices: Vec<VertexId>,
+    /// The tree's edges, sorted.
+    pub edges: Vec<EdgeId>,
+}
+
+fn tree_hits_all_groups(
+    vertices: &[VertexId],
+    groups: &[Vec<VertexId>],
+) -> bool {
+    groups.iter().all(|g| g.iter().any(|w| vertices.binary_search(w).is_ok()))
+}
+
+/// Brute-force enumeration of all minimal group Steiner trees of
+/// `(g, groups)` (test oracle; `m ≤ 20`).
+///
+/// A tree is minimal iff removing any leaf (with its edge) breaks some
+/// group — group coverage is monotone in the vertex set, so checking the
+/// maximal proper subtrees suffices.
+pub fn minimal_group_steiner_trees_brute(
+    g: &UndirectedGraph,
+    groups: &[Vec<VertexId>],
+) -> BTreeSet<GroupSteinerTree> {
+    let m = g.num_edges();
+    assert!(m <= 20, "brute force limited to 20 edges");
+    let mut out = BTreeSet::new();
+    // Single-vertex trees.
+    for v in g.vertices() {
+        let vs = vec![v];
+        if tree_hits_all_groups(&vs, groups) {
+            out.insert(GroupSteinerTree { vertices: vs, edges: Vec::new() });
+        }
+    }
+    // Trees with at least one edge.
+    for mask in 1u32..(1 << m) {
+        let edges: Vec<EdgeId> =
+            (0..m).filter(|i| mask & (1 << i) != 0).map(EdgeId::new).collect();
+        if !steiner_core::verify::is_tree(g, &edges) {
+            continue;
+        }
+        let vertices = g.edge_set_vertices(&edges);
+        if !tree_hits_all_groups(&vertices, groups) {
+            continue;
+        }
+        // Minimality: every leaf removal must break coverage.
+        let deg = g.degrees_in_edge_set(&edges);
+        let minimal = vertices.iter().all(|&v| {
+            if deg[v.index()] != 1 {
+                return true;
+            }
+            let reduced: Vec<VertexId> =
+                vertices.iter().copied().filter(|&u| u != v).collect();
+            !tree_hits_all_groups(&reduced, groups)
+        });
+        if minimal {
+            out.insert(GroupSteinerTree { vertices, edges });
+        }
+    }
+    out
+}
+
+/// The Theorem 38 instance: a star with center `r = 0` and one leaf
+/// `ℓ_u = u + 1` per hypergraph vertex, with one group per hyperedge.
+pub struct StarInstance {
+    /// The star graph.
+    pub graph: UndirectedGraph,
+    /// One group per hyperedge: the leaves of that edge's vertices.
+    pub groups: Vec<Vec<VertexId>>,
+}
+
+impl StarInstance {
+    /// Builds the reduction instance from a hypergraph.
+    pub fn new(h: &Hypergraph) -> Self {
+        let graph = steiner_graph::generators::star(h.n);
+        let groups = h
+            .edges
+            .iter()
+            .map(|e| e.iter().map(|&u| VertexId::new(u + 1)).collect())
+            .collect();
+        StarInstance { graph, groups }
+    }
+
+    /// The leaf vertex representing hypergraph vertex `u`.
+    pub fn leaf(&self, u: usize) -> VertexId {
+        VertexId::new(u + 1)
+    }
+
+    /// Maps a transversal `X` to its group Steiner tree `G[X ∪ {r}]`.
+    /// Singleton transversals map to single-leaf trees (no center needed).
+    pub fn transversal_to_tree(&self, x: &[usize]) -> GroupSteinerTree {
+        if x.len() == 1 {
+            return GroupSteinerTree { vertices: vec![self.leaf(x[0])], edges: Vec::new() };
+        }
+        let mut vertices: Vec<VertexId> = x.iter().map(|&u| self.leaf(u)).collect();
+        vertices.push(VertexId(0));
+        vertices.sort_unstable();
+        // Star edge ids: edge u joins the center to leaf u + 1.
+        let mut edges: Vec<EdgeId> = x.iter().map(|&u| EdgeId::new(u)).collect();
+        edges.sort_unstable();
+        GroupSteinerTree { vertices, edges }
+    }
+
+    /// Maps a group Steiner tree of the star back to a vertex set of the
+    /// hypergraph.
+    pub fn tree_to_transversal(&self, t: &GroupSteinerTree) -> Vec<usize> {
+        t.vertices.iter().filter(|v| v.index() >= 1).map(|v| v.index() - 1).collect()
+    }
+}
+
+/// Solves Minimal Transversal Enumeration *through* group Steiner
+/// enumeration on the star instance (the hardness direction, executed):
+/// enumerate minimal group Steiner trees by brute force and map them back.
+pub fn minimal_transversals_via_group_steiner(h: &Hypergraph) -> BTreeSet<Vec<usize>> {
+    let inst = StarInstance::new(h);
+    minimal_group_steiner_trees_brute(&inst.graph, &inst.groups)
+        .iter()
+        .map(|t| inst.tree_to_transversal(t))
+        .collect()
+}
+
+/// Solves group Steiner enumeration on star instances *through* the
+/// transversal enumerator (the easy direction of the equivalence).
+pub fn star_group_steiner_via_transversals(h: &Hypergraph) -> BTreeSet<GroupSteinerTree> {
+    let inst = StarInstance::new(h);
+    let mut out = BTreeSet::new();
+    enumerate_minimal_transversals(h, &mut |x| {
+        out.insert(inst.transversal_to_tree(x));
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transversal::minimal_transversals_brute;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theorem38_equivalence_on_a_path_hypergraph() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert_eq!(minimal_transversals_via_group_steiner(&h), minimal_transversals_brute(&h));
+    }
+
+    #[test]
+    fn theorem38_equivalence_both_directions_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x38_38);
+        for case in 0..30 {
+            let n = 2 + case % 5;
+            let m = 1 + case % 4;
+            let h = Hypergraph::random(n, m, 3, &mut rng);
+            let via_gst = minimal_transversals_via_group_steiner(&h);
+            let brute = minimal_transversals_brute(&h);
+            assert_eq!(via_gst, brute, "hypergraph {h:?}");
+            // And the other direction: transversal enumerator solves the
+            // star group Steiner instance.
+            let inst = StarInstance::new(&h);
+            let gst_direct = minimal_group_steiner_trees_brute(&inst.graph, &inst.groups);
+            let gst_via_tr = star_group_steiner_via_transversals(&h);
+            assert_eq!(gst_direct, gst_via_tr, "hypergraph {h:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_transversal_is_a_single_leaf_tree() {
+        // Vertex 1 hits both edges: the tree {ℓ₁} has no center.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let inst = StarInstance::new(&h);
+        let trees = star_group_steiner_via_transversals(&h);
+        assert!(trees.contains(&GroupSteinerTree {
+            vertices: vec![inst.leaf(1)],
+            edges: vec![]
+        }));
+    }
+
+    #[test]
+    fn group_steiner_on_general_graph() {
+        // Square with groups on opposite corners: minimal group Steiner
+        // trees are single edges or vertices covering both groups.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let groups =
+            vec![vec![VertexId(0), VertexId(2)], vec![VertexId(1), VertexId(3)]];
+        let sols = minimal_group_steiner_trees_brute(&g, &groups);
+        // Every single edge covers one vertex of each group.
+        assert_eq!(sols.len(), 4);
+        assert!(sols.iter().all(|t| t.edges.len() == 1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Hypergraphs for the transversal-enumeration hardness results.
+
+use rand::Rng;
+
+/// A hypergraph over vertices `0..n`: a list of hyperedges, each a sorted
+/// set of vertex indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Hyperedges (each sorted and deduplicated; empty edges are rejected).
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph, normalizing each edge (sort + dedup).
+    ///
+    /// Panics on an empty edge (no transversal can hit it) or an
+    /// out-of-range vertex.
+    pub fn new(n: usize, edges: Vec<Vec<usize>>) -> Self {
+        let mut normalized = Vec::with_capacity(edges.len());
+        for mut e in edges {
+            e.sort_unstable();
+            e.dedup();
+            assert!(!e.is_empty(), "empty hyperedge has no transversal");
+            assert!(e.iter().all(|&v| v < n), "hyperedge vertex out of range");
+            normalized.push(e);
+        }
+        Hypergraph { n, edges: normalized }
+    }
+
+    /// Whether `set` (a sorted or unsorted vertex list) hits every edge.
+    pub fn is_transversal(&self, set: &[usize]) -> bool {
+        let mut mask = vec![false; self.n];
+        for &v in set {
+            mask[v] = true;
+        }
+        self.edges.iter().all(|e| e.iter().any(|&v| mask[v]))
+    }
+
+    /// Whether `set` is a minimal transversal: hits every edge, and every
+    /// member has a *critical* edge (an edge only it hits).
+    pub fn is_minimal_transversal(&self, set: &[usize]) -> bool {
+        if !self.is_transversal(set) {
+            return false;
+        }
+        let mut mask = vec![false; self.n];
+        for &v in set {
+            mask[v] = true;
+        }
+        set.iter().all(|&v| {
+            self.edges
+                .iter()
+                .any(|e| e.iter().all(|&u| u == v || !mask[u]) && e.contains(&v))
+        })
+    }
+
+    /// A random hypergraph with `m` edges of sizes in `2..=max_edge`.
+    pub fn random<R: Rng>(n: usize, m: usize, max_edge: usize, rng: &mut R) -> Self {
+        assert!(n >= 1 && max_edge >= 1);
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let k = rng.gen_range(1..=max_edge.min(n));
+            let mut e: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                e.swap(i, j);
+            }
+            e.truncate(k);
+            edges.push(e);
+        }
+        Hypergraph::new(n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transversal_checks() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert!(h.is_transversal(&[1, 2]));
+        assert!(h.is_minimal_transversal(&[1, 2]));
+        assert!(h.is_transversal(&[0, 1, 2]));
+        assert!(!h.is_minimal_transversal(&[0, 1, 2]), "0 has no critical edge");
+        assert!(!h.is_transversal(&[0, 3]), "misses edge {{1,2}}");
+    }
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let h = Hypergraph::new(3, vec![vec![2, 0, 2]]);
+        assert_eq!(h.edges, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty hyperedge")]
+    fn empty_edge_rejected() {
+        Hypergraph::new(3, vec![vec![]]);
+    }
+
+    #[test]
+    fn random_hypergraphs_have_valid_edges() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let h = Hypergraph::random(6, 5, 3, &mut rng);
+            assert_eq!(h.edges.len(), 5);
+            for e in &h.edges {
+                assert!(!e.is_empty() && e.len() <= 3);
+                assert!(e.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

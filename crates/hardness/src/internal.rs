@@ -1,0 +1,178 @@
+//! Internal Steiner trees and the Theorem 37 reduction.
+//!
+//! An *internal Steiner tree* of `(G, W)` is a Steiner tree in which every
+//! terminal is an internal (non-leaf) vertex — note that solutions are not
+//! required to be minimal (Definition 5). With `W = V ∖ {s, t}` an
+//! internal Steiner tree exists iff `G` has an `s`-`t` Hamiltonian path
+//! (any tree whose leaves are confined to `{s, t}` *is* such a path), so
+//! even deciding emptiness of the enumeration is NP-hard (Theorem 37) —
+//! no incremental-polynomial enumeration exists unless P = NP.
+
+use steiner_core::verify::is_tree;
+use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+
+/// Whether `g` has a Hamiltonian path from `s` to `t` (bitmask DP over
+/// vertex subsets; `n ≤ 24`).
+pub fn hamiltonian_st_path_exists(g: &UndirectedGraph, s: VertexId, t: VertexId) -> bool {
+    let n = g.num_vertices();
+    assert!(n <= 24, "bitmask DP limited to 24 vertices");
+    if n == 0 {
+        return false;
+    }
+    if n == 1 {
+        return s == t;
+    }
+    if s == t {
+        return false; // a Hamiltonian path with n ≥ 2 has distinct ends
+    }
+    // Adjacency bitmasks (parallel edges collapse).
+    let mut adj = vec![0u32; n];
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        adj[u.index()] |= 1 << v.index();
+        adj[v.index()] |= 1 << u.index();
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+    // dp[mask] = bitset of possible current endpoints of a simple path
+    // starting at s and visiting exactly `mask`.
+    let mut dp = vec![0u32; 1 << n];
+    dp[1 << s.index()] = 1 << s.index();
+    for mask in 0..=full {
+        let ends = dp[mask as usize];
+        if ends == 0 {
+            continue;
+        }
+        let mut rest = ends;
+        while rest != 0 {
+            let v = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let mut nexts = adj[v] & !mask;
+            while nexts != 0 {
+                let u = nexts.trailing_zeros() as usize;
+                nexts &= nexts - 1;
+                dp[(mask | (1 << u)) as usize] |= 1 << u;
+            }
+        }
+    }
+    dp[full as usize] & (1 << t.index()) != 0
+}
+
+/// Whether an internal Steiner tree of `(g, terminals)` exists, by brute
+/// force over edge subsets (`m ≤ 20`): a tree containing all terminals
+/// with every terminal of degree ≥ 2.
+pub fn internal_steiner_tree_exists_brute(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+) -> bool {
+    let m = g.num_edges();
+    assert!(m <= 20, "brute force limited to 20 edges");
+    for mask in 1u32..(1 << m) {
+        let edges: Vec<EdgeId> =
+            (0..m).filter(|i| mask & (1 << i) != 0).map(EdgeId::new).collect();
+        if !is_tree(g, &edges) {
+            continue;
+        }
+        let deg = g.degrees_in_edge_set(&edges);
+        if terminals.iter().all(|w| deg[w.index()] >= 2) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The Theorem 37 reduction: deciding whether `(g, V ∖ {s, t})` has an
+/// internal Steiner tree, answered through the Hamiltonian-path DP.
+pub fn internal_steiner_full_terminals_exists(
+    g: &UndirectedGraph,
+    s: VertexId,
+    t: VertexId,
+) -> bool {
+    hamiltonian_st_path_exists(g, s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steiner_graph::generators;
+
+    #[test]
+    fn path_graph_has_end_to_end_hamiltonian_path() {
+        let g = generators::path(5);
+        assert!(hamiltonian_st_path_exists(&g, VertexId(0), VertexId(4)));
+        assert!(!hamiltonian_st_path_exists(&g, VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn complete_graph_all_pairs() {
+        let g = generators::complete(5);
+        for s in 0..5 {
+            for t in 0..5 {
+                if s != t {
+                    assert!(hamiltonian_st_path_exists(
+                        &g,
+                        VertexId::new(s),
+                        VertexId::new(t)
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_has_no_hamiltonian_path() {
+        let g = generators::star(3);
+        assert!(!hamiltonian_st_path_exists(&g, VertexId(1), VertexId(2)));
+    }
+
+    #[test]
+    fn internal_tree_needs_terminal_degree_two() {
+        // Path 0-1-2: terminal {1} internal works; terminal {0} cannot be
+        // internal in any subtree of a path's end.
+        let g = generators::path(3);
+        assert!(internal_steiner_tree_exists_brute(&g, &[VertexId(1)]));
+        assert!(!internal_steiner_tree_exists_brute(&g, &[VertexId(0)]));
+    }
+
+    /// The executable content of Theorem 37: with W = V ∖ {s, t}, internal
+    /// Steiner tree existence coincides with s-t Hamiltonian path
+    /// existence, on every tested graph.
+    #[test]
+    fn theorem37_equivalence_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x37_37);
+        for case in 0..40 {
+            let n = 3 + case % 4;
+            let max_m = (n * (n - 1) / 2).min(18);
+            let m = rng.gen_range(n - 1..=max_m);
+            let g = generators::random_connected_graph(n, m, &mut rng);
+            if g.num_edges() > 18 {
+                continue;
+            }
+            let s = VertexId::new(rng.gen_range(0..n));
+            let t = VertexId::new(rng.gen_range(0..n));
+            if s == t {
+                continue;
+            }
+            let w: Vec<VertexId> =
+                g.vertices().filter(|&v| v != s && v != t).collect();
+            assert_eq!(
+                internal_steiner_tree_exists_brute(&g, &w),
+                hamiltonian_st_path_exists(&g, s, t),
+                "graph {g:?} s={s} t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem37_on_structured_graphs() {
+        for (g, s, t, expected) in [
+            (generators::cycle(6), VertexId(0), VertexId(1), true),
+            (generators::cycle(6), VertexId(0), VertexId(3), false),
+            (generators::grid(2, 3), VertexId(0), VertexId(5), true),
+        ] {
+            let w: Vec<VertexId> = g.vertices().filter(|&v| v != s && v != t).collect();
+            assert_eq!(internal_steiner_tree_exists_brute(&g, &w), expected);
+            assert_eq!(internal_steiner_full_terminals_exists(&g, s, t), expected);
+        }
+    }
+}

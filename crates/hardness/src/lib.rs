@@ -1,0 +1,20 @@
+//! Hardness constructions of §6 of *Linear-Delay Enumeration for Minimal
+//! Steiner Problems* (PODS 2022), made executable.
+//!
+//! * [`hypergraph`] — hypergraphs and generators;
+//! * [`transversal`] — minimal hypergraph transversal (hitting set)
+//!   enumeration: an MMCS-style branch-and-bound with critical-edge
+//!   pruning, plus a brute-force oracle. This is the problem Group
+//!   Steiner Tree Enumeration is at least as hard as (Theorem 38), and
+//!   whose output-polynomial solvability is a famous open problem \[13\];
+//! * [`group_steiner`] — minimal group Steiner trees: a brute-force
+//!   enumerator for small graphs and the **Theorem 38 star-graph
+//!   reduction** in both directions;
+//! * [`internal`] — internal Steiner trees (Definition 5) and the
+//!   **Theorem 37 equivalence** with `s`-`t` Hamiltonian paths
+//!   (`W = V ∖ {s, t}`), with a bitmask-DP Hamiltonian path solver.
+
+pub mod group_steiner;
+pub mod hypergraph;
+pub mod internal;
+pub mod transversal;

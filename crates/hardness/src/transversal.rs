@@ -1,0 +1,291 @@
+//! Minimal hypergraph transversal enumeration.
+//!
+//! Theorem 38 shows Group Steiner Tree Enumeration is at least as hard as
+//! this problem, whose output-polynomial solvability is one of the big
+//! open problems in enumeration (best known: quasi-polynomial, Fredman &
+//! Khachiyan \[13\]). To make the reduction executable we implement a
+//! practical enumerator in the style of Murakami & Uno's MMCS:
+//! depth-first search over candidate vertices with *critical-edge*
+//! maintenance — every chosen vertex must keep at least one hyperedge it
+//! alone hits, which prunes non-minimal branches early and guarantees
+//! every emitted set is a minimal transversal, each exactly once.
+
+use crate::hypergraph::Hypergraph;
+use std::ops::ControlFlow;
+
+/// Rollback journal entry for one vertex addition.
+struct Undo {
+    vertex: usize,
+    /// Edges whose unique hitter changed from `Some(u)` to shared.
+    demoted: Vec<(usize, usize)>, // (edge, previous unique hitter)
+    /// Edges that became covered (hits 0 → 1) with `vertex` critical.
+    promoted: Vec<usize>,
+}
+
+struct Mmcs<'h, 's> {
+    h: &'h Hypergraph,
+    /// Per-edge count of chosen vertices hitting it.
+    hits: Vec<u32>,
+    /// For edges with `hits == 1`: the unique hitter.
+    unique_hitter: Vec<usize>,
+    /// Per-vertex count of edges it critically covers.
+    crit_count: Vec<u32>,
+    /// Number of chosen vertices whose `crit_count` is zero (must be 0 for
+    /// the partial set to stay minimizable).
+    violations: usize,
+    chosen: Vec<usize>,
+    in_chosen: Vec<bool>,
+    cand: Vec<bool>,
+    uncovered: usize,
+    emitted: u64,
+    sink: &'s mut dyn FnMut(&[usize]) -> ControlFlow<()>,
+}
+
+impl Mmcs<'_, '_> {
+    fn add(&mut self, v: usize) -> Undo {
+        let mut undo = Undo { vertex: v, demoted: Vec::new(), promoted: Vec::new() };
+        self.chosen.push(v);
+        self.in_chosen[v] = true;
+        for (ei, e) in self.h.edges.iter().enumerate() {
+            if !e.contains(&v) {
+                continue;
+            }
+            match self.hits[ei] {
+                0 => {
+                    self.hits[ei] = 1;
+                    self.unique_hitter[ei] = v;
+                    self.crit_count[v] += 1;
+                    self.uncovered -= 1;
+                    undo.promoted.push(ei);
+                }
+                1 => {
+                    let u = self.unique_hitter[ei];
+                    self.hits[ei] = 2;
+                    self.crit_count[u] -= 1;
+                    if self.crit_count[u] == 0 {
+                        self.violations += 1;
+                    }
+                    undo.demoted.push((ei, u));
+                }
+                _ => {
+                    self.hits[ei] += 1;
+                }
+            }
+        }
+        undo
+    }
+
+    fn remove(&mut self, undo: Undo) {
+        let v = undo.vertex;
+        for &(ei, u) in undo.demoted.iter().rev() {
+            if self.crit_count[u] == 0 {
+                self.violations -= 1;
+            }
+            self.crit_count[u] += 1;
+            self.hits[ei] = 1;
+            self.unique_hitter[ei] = u;
+        }
+        for &ei in undo.promoted.iter().rev() {
+            self.hits[ei] = 0;
+            self.crit_count[v] -= 1;
+            self.uncovered += 1;
+        }
+        // Generic decrement for edges counted with `_ => hits += 1`.
+        for (ei, e) in self.h.edges.iter().enumerate() {
+            if e.contains(&v)
+                && self.hits[ei] >= 2
+                && !undo.demoted.iter().any(|&(d, _)| d == ei)
+            {
+                self.hits[ei] -= 1;
+            }
+        }
+        debug_assert_eq!(self.chosen.last(), Some(&v));
+        self.chosen.pop();
+        self.in_chosen[v] = false;
+    }
+
+    fn recurse(&mut self) -> ControlFlow<()> {
+        if self.uncovered == 0 {
+            debug_assert_eq!(self.violations, 0);
+            let mut out = self.chosen.clone();
+            out.sort_unstable();
+            self.emitted += 1;
+            return (self.sink)(&out);
+        }
+        // Choose the uncovered edge with the fewest candidates.
+        let mut best: Option<(usize, usize)> = None; // (candidate count, edge)
+        for (ei, e) in self.h.edges.iter().enumerate() {
+            if self.hits[ei] != 0 {
+                continue;
+            }
+            let c = e.iter().filter(|&&v| self.cand[v]).count();
+            if best.is_none_or(|(bc, _)| c < bc) {
+                best = Some((c, ei));
+            }
+        }
+        let (_, ei) = best.expect("uncovered > 0 implies an uncovered edge");
+        let branch: Vec<usize> =
+            self.h.edges[ei].iter().copied().filter(|&v| self.cand[v]).collect();
+        if branch.is_empty() {
+            return ControlFlow::Continue(()); // dead branch
+        }
+        // Remove the whole branch set from cand; re-add each vertex after
+        // its subtree so later siblings may use it (no-duplicate rule).
+        for &v in &branch {
+            self.cand[v] = false;
+        }
+        for &v in &branch {
+            let undo = self.add(v);
+            let flow = if self.violations == 0 {
+                self.recurse()
+            } else {
+                ControlFlow::Continue(())
+            };
+            self.remove(undo);
+            if flow.is_break() {
+                // Restore cand for the unprocessed part before unwinding.
+                for &u in &branch {
+                    self.cand[u] = true;
+                }
+                return ControlFlow::Break(());
+            }
+            self.cand[v] = true;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Enumerates all minimal transversals (minimal hitting sets) of `h`,
+/// invoking `sink` with each as a sorted vertex list. Returns the number
+/// emitted.
+///
+/// ```
+/// use steiner_hardness::hypergraph::Hypergraph;
+/// use steiner_hardness::transversal::enumerate_minimal_transversals;
+/// use std::ops::ControlFlow;
+///
+/// let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+/// let mut sols = Vec::new();
+/// enumerate_minimal_transversals(&h, &mut |t| {
+///     sols.push(t.to_vec());
+///     ControlFlow::Continue(())
+/// });
+/// sols.sort();
+/// assert_eq!(sols, vec![vec![0, 2], vec![1]]);
+/// ```
+pub fn enumerate_minimal_transversals(
+    h: &Hypergraph,
+    sink: &mut dyn FnMut(&[usize]) -> ControlFlow<()>,
+) -> u64 {
+    if h.edges.is_empty() {
+        // The empty set is the unique minimal transversal.
+        let _ = sink(&[]);
+        return 1;
+    }
+    let m = h.edges.len();
+    let mut mmcs = Mmcs {
+        h,
+        hits: vec![0; m],
+        unique_hitter: vec![usize::MAX; m],
+        crit_count: vec![0; h.n],
+        violations: 0,
+        chosen: Vec::new(),
+        in_chosen: vec![false; h.n],
+        cand: vec![true; h.n],
+        uncovered: m,
+        emitted: 0,
+        sink,
+    };
+    let _ = mmcs.recurse();
+    mmcs.emitted
+}
+
+/// Brute-force minimal transversal enumeration (test oracle), n ≤ 20.
+pub fn minimal_transversals_brute(h: &Hypergraph) -> std::collections::BTreeSet<Vec<usize>> {
+    assert!(h.n <= 20, "brute force limited to 20 vertices");
+    let mut out = std::collections::BTreeSet::new();
+    for mask in 0..(1u32 << h.n) {
+        let set: Vec<usize> = (0..h.n).filter(|i| mask & (1 << i) != 0).collect();
+        if h.is_minimal_transversal(&set) {
+            out.insert(set);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn collect(h: &Hypergraph) -> BTreeSet<Vec<usize>> {
+        let mut out = BTreeSet::new();
+        enumerate_minimal_transversals(h, &mut |s| {
+            assert!(out.insert(s.to_vec()), "duplicate transversal {s:?}");
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn path_hypergraph() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let got = collect(&h);
+        assert_eq!(got, minimal_transversals_brute(&h));
+        let expected: BTreeSet<Vec<usize>> =
+            [vec![0, 2], vec![1, 2], vec![1, 3]].into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn disjoint_edges_cross_product() {
+        let h = Hypergraph::new(6, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+        let got = collect(&h);
+        assert_eq!(got.len(), 8, "2 × 2 × 2 choices");
+        assert_eq!(got, minimal_transversals_brute(&h));
+    }
+
+    #[test]
+    fn empty_hypergraph_has_empty_transversal() {
+        let h = Hypergraph::new(3, vec![]);
+        let got = collect(&h);
+        assert_eq!(got.len(), 1);
+        assert!(got.contains(&Vec::new()));
+    }
+
+    #[test]
+    fn single_vertex_edges_force_inclusion() {
+        let h = Hypergraph::new(3, vec![vec![0], vec![1, 2]]);
+        let got = collect(&h);
+        let expected: BTreeSet<Vec<usize>> =
+            [vec![0, 1], vec![0, 2]].into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_hypergraphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7ab5);
+        for case in 0..60 {
+            let n = 3 + case % 6;
+            let m = 1 + case % 5;
+            let h = Hypergraph::random(n, m, 4, &mut rng);
+            assert_eq!(collect(&h), minimal_transversals_brute(&h), "hypergraph {h:?}");
+        }
+    }
+
+    #[test]
+    fn early_break_stops() {
+        let h = Hypergraph::new(8, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+        let mut count = 0;
+        enumerate_minimal_transversals(&h, &mut |_| {
+            count += 1;
+            if count == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(count, 3);
+    }
+}

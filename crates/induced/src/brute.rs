@@ -1,0 +1,65 @@
+//! Brute-force minimal induced Steiner subgraph enumeration (test oracle).
+
+use crate::verify::is_minimal_induced_steiner_subgraph;
+use std::collections::BTreeSet;
+use steiner_graph::{UndirectedGraph, VertexId};
+
+/// Maximum number of vertices the brute force accepts.
+pub const MAX_BRUTE_VERTICES: usize = 20;
+
+/// All minimal induced Steiner subgraphs of `(g, terminals)` as sorted
+/// vertex sets, by exhausting all vertex subsets containing the terminals.
+pub fn minimal_induced_steiner_subgraphs(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+) -> BTreeSet<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(n <= MAX_BRUTE_VERTICES, "brute force limited to {MAX_BRUTE_VERTICES} vertices");
+    let mut terminals = terminals.to_vec();
+    terminals.sort_unstable();
+    terminals.dedup();
+    let mut out = BTreeSet::new();
+    if terminals.is_empty() {
+        return out;
+    }
+    let term_mask: u32 = terminals.iter().map(|w| 1u32 << w.index()).sum();
+    for mask in 0..(1u32 << n) {
+        if mask & term_mask != term_mask {
+            continue;
+        }
+        let set: Vec<VertexId> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(VertexId::new).collect();
+        if is_minimal_induced_steiner_subgraph(g, &terminals, &set) {
+            out.insert(set);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_unique_solution() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sols = minimal_induced_steiner_subgraphs(&g, &[VertexId(0), VertexId(3)]);
+        assert_eq!(sols.len(), 1);
+        assert!(sols.contains(&vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]));
+    }
+
+    #[test]
+    fn square_two_solutions() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let sols = minimal_induced_steiner_subgraphs(&g, &[VertexId(0), VertexId(2)]);
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn adjacent_terminals_are_their_own_solution() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let sols = minimal_induced_steiner_subgraphs(&g, &[VertexId(0), VertexId(1)]);
+        assert_eq!(sols.len(), 1);
+        assert!(sols.contains(&vec![VertexId(0), VertexId(1)]));
+    }
+}

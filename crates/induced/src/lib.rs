@@ -1,0 +1,26 @@
+//! Minimal induced Steiner subgraph enumeration on claw-free graphs — §7
+//! of *Linear-Delay Enumeration for Minimal Steiner Problems* (PODS 2022).
+//!
+//! Solutions here are **vertex sets**: inclusion-wise minimal `U ⊇ W` such
+//! that `G[U]` connects all terminals. On general graphs the problem is
+//! transversal-hard even on split graphs \[8\]; the paper shows that on
+//! **claw-free** graphs the supergraph technique yields polynomial delay
+//! (Theorem 42) with exponential space (the visited set).
+//!
+//! * [`mu`] — the greedy minimizer μ(X, W);
+//! * [`neighbors`] — the neighbor relation of the solution supergraph
+//!   (one candidate per cut vertex `v` and attachment vertex `w`);
+//! * [`supergraph`] — DFS over the strongly connected supergraph
+//!   (Lemma 41);
+//! * [`reduction`] — Theorem 39: Steiner Tree Enumeration embeds into this
+//!   problem on line-graph-based instances;
+//! * [`brute`] / [`verify`] — oracles and checkers.
+
+pub mod brute;
+pub mod mu;
+pub mod neighbors;
+pub mod reduction;
+pub mod supergraph;
+pub mod verify;
+
+pub use supergraph::{enumerate_minimal_induced_steiner_subgraphs, InducedStats};

@@ -1,0 +1,142 @@
+//! The greedy minimizer μ(X, W) of §7.
+//!
+//! Given a vertex set `X` whose induced subgraph keeps the terminals `W`
+//! connected, μ repeatedly deletes a deletable non-terminal vertex until
+//! none remains, producing a *minimal* induced Steiner subgraph contained
+//! in `X`. The paper allows any implementation ("regardless of its
+//! implementation", proof of Lemma 41); ours scans candidate vertices in
+//! ascending id to a fixpoint, which makes every enumerator deterministic.
+
+use crate::verify::terminals_connected_within;
+use steiner_graph::{UndirectedGraph, VertexId};
+
+/// Computes μ(X, W): a minimal induced Steiner subgraph of `(g, terminals)`
+/// contained in `x`, as a sorted vertex set.
+///
+/// Requires that `x ⊇ terminals` and `G[x]` keeps the terminals connected
+/// (checked with a debug assertion).
+pub fn mu(g: &UndirectedGraph, x: &[VertexId], terminals: &[VertexId]) -> Vec<VertexId> {
+    debug_assert!(
+        terminals_connected_within(g, terminals, x),
+        "μ requires a valid induced Steiner subgraph as input"
+    );
+    let n = g.num_vertices();
+    let mut in_x = vec![false; n];
+    for &v in x {
+        in_x[v.index()] = true;
+    }
+    let mut is_terminal = vec![false; n];
+    for &w in terminals {
+        is_terminal[w.index()] = true;
+    }
+    let mut members: Vec<VertexId> = x.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    // Fixpoint loop: each pass tries every remaining non-terminal vertex in
+    // ascending order.
+    let mut changed = true;
+    let mut seen = vec![0u32; n];
+    let mut epoch = 0u32;
+    while changed {
+        changed = false;
+        let snapshot = members.clone();
+        for &v in &snapshot {
+            if is_terminal[v.index()] || !in_x[v.index()] {
+                continue;
+            }
+            // Tentatively remove v; accept if W stays in one component.
+            in_x[v.index()] = false;
+            epoch += 1;
+            let connected = if terminals.is_empty() {
+                true // no terminals: everything is deletable
+            } else {
+                let first = terminals[0];
+                let mut stack = vec![first];
+                seen[first.index()] = epoch;
+                let mut reached = 1usize;
+                while let Some(u) = stack.pop() {
+                    for (nb, _) in g.neighbors(u) {
+                        if in_x[nb.index()] && seen[nb.index()] != epoch {
+                            seen[nb.index()] = epoch;
+                            if is_terminal[nb.index()] {
+                                reached += 1;
+                            }
+                            stack.push(nb);
+                        }
+                    }
+                }
+                reached == terminals.len()
+            };
+            if connected {
+                changed = true;
+            } else {
+                in_x[v.index()] = true;
+            }
+        }
+        members.retain(|v| in_x[v.index()]);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_minimal_induced_steiner_subgraph;
+
+    #[test]
+    fn mu_strips_redundant_vertices() {
+        // Triangle 0-1-2 plus pendant 3 at 2; terminals {0, 3}.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let all: Vec<VertexId> = (0..4).map(VertexId::new).collect();
+        let w = [VertexId(0), VertexId(3)];
+        let result = mu(&g, &all, &w);
+        assert_eq!(result, vec![VertexId(0), VertexId(2), VertexId(3)]);
+        assert!(is_minimal_induced_steiner_subgraph(&g, &w, &result));
+    }
+
+    #[test]
+    fn mu_of_minimal_set_is_identity() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let w = [VertexId(0), VertexId(2)];
+        let minimal = vec![VertexId(0), VertexId(1), VertexId(2)];
+        assert_eq!(mu(&g, &minimal, &w), minimal);
+    }
+
+    #[test]
+    fn mu_respects_deterministic_order() {
+        // Square: terminals {0, 2}; both midpoints 1, 3 present. μ removes
+        // the smaller-id midpoint's *redundant* partner deterministically:
+        // removing 1 first succeeds (path through 3 remains).
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let all: Vec<VertexId> = (0..4).map(VertexId::new).collect();
+        let w = [VertexId(0), VertexId(2)];
+        let result = mu(&g, &all, &w);
+        assert_eq!(result, vec![VertexId(0), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn mu_single_terminal() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let w = [VertexId(1)];
+        let all: Vec<VertexId> = (0..3).map(VertexId::new).collect();
+        assert_eq!(mu(&g, &all, &w), vec![VertexId(1)]);
+    }
+
+    #[test]
+    fn mu_results_are_always_minimal() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x3333);
+        for _ in 0..40 {
+            let n = 4 + rng.gen_range(0..8usize);
+            let g = steiner_graph::generators::random_connected_graph(n, n + 3, &mut rng);
+            let t = 1 + rng.gen_range(0..3usize).min(n - 1);
+            let w = steiner_graph::generators::random_terminals(n, t, &mut rng);
+            let all: Vec<VertexId> = (0..n).map(VertexId::new).collect();
+            let result = mu(&g, &all, &w);
+            assert!(
+                is_minimal_induced_steiner_subgraph(&g, &w, &result),
+                "graph {g:?} terminals {w:?} -> {result:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Checkers for induced Steiner subgraphs.
+
+use steiner_graph::{UndirectedGraph, VertexId};
+
+/// Whether all terminals lie in one connected component of `G[set]`.
+/// (The definition of a Steiner subgraph, specialized to induced sets.)
+pub fn terminals_connected_within(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    set: &[VertexId],
+) -> bool {
+    let Some(&first) = terminals.first() else {
+        return true;
+    };
+    let mut in_set = vec![false; g.num_vertices()];
+    for &v in set {
+        in_set[v.index()] = true;
+    }
+    if terminals.iter().any(|w| !in_set[w.index()]) {
+        return false;
+    }
+    // BFS within the set.
+    let mut seen = vec![false; g.num_vertices()];
+    let mut stack = vec![first];
+    seen[first.index()] = true;
+    while let Some(u) = stack.pop() {
+        for (v, _) in g.neighbors(u) {
+            if in_set[v.index()] && !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    terminals.iter().all(|w| seen[w.index()])
+}
+
+/// Whether `set` is an induced Steiner subgraph of `(g, terminals)`:
+/// contains all terminals with all of them in one component of `G[set]`.
+pub fn is_induced_steiner_subgraph(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    set: &[VertexId],
+) -> bool {
+    terminals_connected_within(g, terminals, set)
+}
+
+/// Whether `set` is a **minimal** induced Steiner subgraph: it works, and
+/// removing any single non-terminal vertex breaks it. (Single-vertex
+/// removals suffice: if a proper subset `S′ ⊂ S` worked, then removing any
+/// one vertex of `S ∖ S′` would also work, since induced Steiner subgraphs
+/// are monotone under adding vertices back.)
+pub fn is_minimal_induced_steiner_subgraph(
+    g: &UndirectedGraph,
+    terminals: &[VertexId],
+    set: &[VertexId],
+) -> bool {
+    if !is_induced_steiner_subgraph(g, terminals, set) {
+        return false;
+    }
+    let mut term_mask = vec![false; g.num_vertices()];
+    for &w in terminals {
+        term_mask[w.index()] = true;
+    }
+    let mut reduced: Vec<VertexId> = Vec::with_capacity(set.len());
+    for &v in set {
+        if term_mask[v.index()] {
+            continue;
+        }
+        reduced.clear();
+        reduced.extend(set.iter().copied().filter(|&u| u != v));
+        if is_induced_steiner_subgraph(g, terminals, &reduced) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> UndirectedGraph {
+        UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn path_interior_is_required() {
+        let g = path5();
+        let w = [VertexId(0), VertexId(4)];
+        let all: Vec<VertexId> = (0..5).map(VertexId::new).collect();
+        assert!(is_induced_steiner_subgraph(&g, &w, &all));
+        assert!(is_minimal_induced_steiner_subgraph(&g, &w, &all));
+        let missing_middle = [VertexId(0), VertexId(1), VertexId(3), VertexId(4)];
+        assert!(!is_induced_steiner_subgraph(&g, &w, &missing_middle));
+    }
+
+    #[test]
+    fn superset_is_not_minimal() {
+        // Triangle plus pendant terminal pair.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap();
+        let w = [VertexId(0), VertexId(3)];
+        let minimal = [VertexId(0), VertexId(2), VertexId(3)];
+        assert!(is_minimal_induced_steiner_subgraph(&g, &w, &minimal));
+        let bloated = [VertexId(0), VertexId(1), VertexId(2), VertexId(3)];
+        assert!(is_induced_steiner_subgraph(&g, &w, &bloated));
+        assert!(!is_minimal_induced_steiner_subgraph(&g, &w, &bloated));
+    }
+
+    #[test]
+    fn missing_terminal_fails() {
+        let g = path5();
+        let w = [VertexId(0), VertexId(4)];
+        assert!(!is_induced_steiner_subgraph(&g, &w, &[VertexId(0)]));
+    }
+
+    #[test]
+    fn single_terminal_is_minimal_alone() {
+        let g = path5();
+        let w = [VertexId(2)];
+        assert!(is_minimal_induced_steiner_subgraph(&g, &w, &[VertexId(2)]));
+        assert!(!is_minimal_induced_steiner_subgraph(&g, &w, &[VertexId(2), VertexId(3)]));
+    }
+}

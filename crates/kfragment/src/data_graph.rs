@@ -1,0 +1,175 @@
+//! Data graphs: graphs whose nodes may carry keywords.
+
+use std::collections::HashMap;
+use steiner_graph::{DiGraph, EdgeId, GraphError, UndirectedGraph, VertexId};
+
+/// An undirected data graph: an [`UndirectedGraph`] whose nodes carry zero
+/// or more keywords. Nodes without keywords are *structural*.
+#[derive(Clone, Debug, Default)]
+pub struct DataGraph {
+    /// The underlying graph.
+    pub graph: UndirectedGraph,
+    /// Keywords per node.
+    labels: Vec<Vec<String>>,
+    /// Keyword → nodes carrying it.
+    index: HashMap<String, Vec<VertexId>>,
+}
+
+impl DataGraph {
+    /// Creates an empty data graph.
+    pub fn new() -> Self {
+        DataGraph::default()
+    }
+
+    /// Adds a node carrying the given keywords (empty for structural
+    /// nodes) and returns its id.
+    pub fn add_node(&mut self, keywords: &[&str]) -> VertexId {
+        let v = self.graph.add_vertex();
+        self.labels.push(keywords.iter().map(|k| k.to_string()).collect());
+        for k in keywords {
+            self.index.entry(k.to_string()).or_default().push(v);
+        }
+        v
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<EdgeId, GraphError> {
+        self.graph.add_edge(u, v)
+    }
+
+    /// Keywords of a node.
+    pub fn keywords_of(&self, v: VertexId) -> &[String] {
+        &self.labels[v.index()]
+    }
+
+    /// The nodes carrying a keyword (empty if unknown).
+    pub fn keyword_nodes(&self, keyword: &str) -> &[VertexId] {
+        self.index.get(keyword).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All keyword nodes for a query: the union of nodes of each keyword —
+    /// exactly the node set a K-fragment must contain. Errors if some
+    /// keyword occurs nowhere.
+    pub fn terminals_for(&self, keywords: &[&str]) -> Result<Vec<VertexId>, GraphError> {
+        let mut terminals = Vec::new();
+        for &k in keywords {
+            let nodes = self.keyword_nodes(k);
+            if nodes.is_empty() {
+                return Err(GraphError::Precondition {
+                    message: format!("keyword {k:?} occurs at no node"),
+                });
+            }
+            terminals.extend_from_slice(nodes);
+        }
+        terminals.sort_unstable();
+        terminals.dedup();
+        Ok(terminals)
+    }
+}
+
+/// A directed data graph (for directed K-fragments).
+#[derive(Clone, Debug, Default)]
+pub struct DirectedDataGraph {
+    /// The underlying digraph.
+    pub graph: DiGraph,
+    labels: Vec<Vec<String>>,
+    index: HashMap<String, Vec<VertexId>>,
+}
+
+impl DirectedDataGraph {
+    /// Creates an empty directed data graph.
+    pub fn new() -> Self {
+        DirectedDataGraph::default()
+    }
+
+    /// Adds a node carrying the given keywords and returns its id.
+    pub fn add_node(&mut self, keywords: &[&str]) -> VertexId {
+        let v = self.graph.add_vertex();
+        self.labels.push(keywords.iter().map(|k| k.to_string()).collect());
+        for k in keywords {
+            self.index.entry(k.to_string()).or_default().push(v);
+        }
+        v
+    }
+
+    /// Adds an arc.
+    pub fn add_arc(
+        &mut self,
+        tail: VertexId,
+        head: VertexId,
+    ) -> Result<steiner_graph::ArcId, GraphError> {
+        self.graph.add_arc(tail, head)
+    }
+
+    /// Keywords of a node.
+    pub fn keywords_of(&self, v: VertexId) -> &[String] {
+        &self.labels[v.index()]
+    }
+
+    /// The nodes carrying a keyword.
+    pub fn keyword_nodes(&self, keyword: &str) -> &[VertexId] {
+        self.index.get(keyword).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All keyword nodes for a query (see [`DataGraph::terminals_for`]).
+    pub fn terminals_for(&self, keywords: &[&str]) -> Result<Vec<VertexId>, GraphError> {
+        let mut terminals = Vec::new();
+        for &k in keywords {
+            let nodes = self.keyword_nodes(k);
+            if nodes.is_empty() {
+                return Err(GraphError::Precondition {
+                    message: format!("keyword {k:?} occurs at no node"),
+                });
+            }
+            terminals.extend_from_slice(nodes);
+        }
+        terminals.sort_unstable();
+        terminals.dedup();
+        Ok(terminals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_indexing() {
+        let mut dg = DataGraph::new();
+        let a = dg.add_node(&["db"]);
+        let b = dg.add_node(&[]);
+        let c = dg.add_node(&["db", "graph"]);
+        dg.add_edge(a, b).unwrap();
+        dg.add_edge(b, c).unwrap();
+        assert_eq!(dg.keyword_nodes("db"), &[a, c]);
+        assert_eq!(dg.keyword_nodes("graph"), &[c]);
+        assert!(dg.keyword_nodes("missing").is_empty());
+        assert_eq!(dg.keywords_of(b), &[] as &[String]);
+    }
+
+    #[test]
+    fn terminals_union_and_dedup() {
+        let mut dg = DataGraph::new();
+        let a = dg.add_node(&["x", "y"]);
+        let b = dg.add_node(&["y"]);
+        let t = dg.terminals_for(&["x", "y"]).unwrap();
+        assert_eq!(t, vec![a, b]);
+    }
+
+    #[test]
+    fn missing_keyword_is_an_error() {
+        let dg = DataGraph::new();
+        assert!(dg.terminals_for(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn directed_data_graph_basics() {
+        let mut dg = DirectedDataGraph::new();
+        let a = dg.add_node(&["root"]);
+        let b = dg.add_node(&["kw"]);
+        dg.add_arc(a, b).unwrap();
+        assert_eq!(dg.terminals_for(&["kw"]).unwrap(), vec![b]);
+        assert_eq!(dg.keywords_of(a), &["root".to_string()]);
+        assert_eq!(dg.keyword_nodes("kw"), &[b]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Keyword search over data graphs: K-fragment enumeration.
+//!
+//! Kimelfeld & Sagiv [25, 26] motivated minimal Steiner enumeration with
+//! keyword search: a *data graph* has structural nodes and keyword nodes,
+//! and the answers to a keyword query `K` are the **K-fragments** —
+//! subtrees containing all keyword nodes for `K` with no proper subtree
+//! doing so. In graph terms (paper §1):
+//!
+//! | keyword-search notion | Steiner notion | enumerator |
+//! |---|---|---|
+//! | undirected K-fragment | minimal Steiner tree | [`fragments::k_fragments`] |
+//! | strong K-fragment | minimal terminal Steiner tree | [`fragments::strong_k_fragments`] |
+//! | directed K-fragment | minimal directed Steiner tree | [`fragments::directed_k_fragments`] |
+//!
+//! [`ranking`] adds the "top-k smallest answers" post-processing that
+//! keyword search systems want (the paper's companion work \[25\] does this
+//! in approximate weight order; we collect-and-rank exactly).
+
+pub mod data_graph;
+pub mod fragments;
+pub mod ranking;
+
+pub use data_graph::{DataGraph, DirectedDataGraph};

@@ -1,0 +1,111 @@
+//! Ranking: the "top-k smallest answers" post-processing of keyword
+//! search.
+//!
+//! The enumerators emit answers in enumeration order, not size order
+//! (Kimelfeld & Sagiv's companion work \[25\] enumerates in *approximate*
+//! weight order). For the moderate answer counts keyword search keeps, an
+//! exact ranking is practical: stream the enumeration through a bounded
+//! max-heap, keeping the `k` smallest answers seen, optionally stopping
+//! after a scan budget.
+
+use std::collections::BinaryHeap;
+use std::ops::ControlFlow;
+use steiner_graph::EdgeId;
+
+/// A ranked answer: its size, then its (sorted) edge set as tiebreak.
+type Ranked = (usize, Vec<EdgeId>);
+
+/// Collects the `k` smallest solutions (by edge count, ties broken
+/// lexicographically) from a push enumeration, scanning at most
+/// `scan_limit` solutions if a limit is given. Returns answers sorted
+/// smallest-first.
+pub fn smallest_k(
+    k: usize,
+    scan_limit: Option<u64>,
+    run: impl FnOnce(&mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>),
+) -> Vec<Vec<EdgeId>> {
+    let mut heap: BinaryHeap<Ranked> = BinaryHeap::with_capacity(k + 1);
+    let mut scanned = 0u64;
+    run(&mut |edges| {
+        scanned += 1;
+        if k > 0 {
+            let item: Ranked = (edges.len(), edges.to_vec());
+            if heap.len() < k {
+                heap.push(item);
+            } else if let Some(top) = heap.peek() {
+                if item < *top {
+                    heap.pop();
+                    heap.push(item);
+                }
+            }
+        }
+        match scan_limit {
+            Some(limit) if scanned >= limit => ControlFlow::Break(()),
+            _ => ControlFlow::Continue(()),
+        }
+    });
+    let mut out: Vec<Ranked> = heap.into_vec();
+    out.sort_unstable();
+    out.into_iter().map(|(_, e)| e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::type_complexity)]
+    fn fake_run(sizes: &[usize]) -> impl FnOnce(&mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>) + '_ {
+        move |sink| {
+            for (i, &s) in sizes.iter().enumerate() {
+                let edges: Vec<EdgeId> = (0..s).map(|j| EdgeId::new(i * 100 + j)).collect();
+                if sink(&edges).is_break() {
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_the_smallest() {
+        let got = smallest_k(2, None, fake_run(&[5, 2, 4, 1, 3]));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].len(), 1);
+        assert_eq!(got[1].len(), 2);
+    }
+
+    #[test]
+    fn scan_limit_stops_early() {
+        let got = smallest_k(3, Some(2), fake_run(&[5, 2, 4, 1]));
+        assert_eq!(got.len(), 2, "only the first two were scanned");
+        assert_eq!(got[0].len(), 2);
+        assert_eq!(got[1].len(), 5);
+    }
+
+    #[test]
+    fn k_zero_collects_nothing() {
+        let got = smallest_k(0, None, fake_run(&[1, 2]));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn fewer_answers_than_k() {
+        let got = smallest_k(10, None, fake_run(&[3, 1]));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_on_a_real_enumeration() {
+        // Theta chain: many Steiner trees, all of the same size here, so
+        // ranking falls back to lexicographic order deterministically.
+        let g = steiner_graph::generators::theta_chain(3, 3);
+        let w = [steiner_graph::VertexId(0), steiner_graph::VertexId(3)];
+        let got = smallest_k(5, None, |sink| {
+            steiner_core::improved::enumerate_minimal_steiner_trees(&g, &w, sink);
+        });
+        assert_eq!(got.len(), 5);
+        for pair in got.windows(2) {
+            assert!(pair[0] <= pair[1], "sorted output");
+        }
+    }
+}

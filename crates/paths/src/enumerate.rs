@@ -1,0 +1,646 @@
+//! Algorithm 1: linear-delay directed *s*-*t* path enumeration.
+//!
+//! Structure of the implementation, mirroring the paper (§3):
+//!
+//! * `f_stp` — the subroutine `F-STP(D′, s′, t, e, f)`: one reverse BFS
+//!   from `t` (avoiding the masked vertices, the banned arc `e`, and `s′`
+//!   itself), then the smallest out-arc of `s′` beyond position `f` whose
+//!   head reaches `t`. Deterministic, O(n + m).
+//! * `extendible_indices` — Lemma 11: given the freshly found continuation
+//!   `Q = (v₁ … v_k)`, decide for every `i ∈ [2, k−1]` whether the prefix
+//!   `Q_i` is *extendible with P* (i.e. `D[V ∖ (V(P∘Q_i) ∖ {v_i})] −
+//!   (v_i, v_{i+1})` still has a `v_i`-`t` path). The sweep walks `i`
+//!   downward while the admissible graph only grows, maintaining the
+//!   reach-`t` flags `r(·)` monotonically — O(n + m) for the whole sweep.
+//! * `e_stp` — the recursion `E-STP(P, e, d, t)` with the alternating
+//!   output rule (pre-order at even depth, post-order at odd depth).
+//!
+//! The current path `P` lives in global state (`cur_vertices`/`cur_arcs`)
+//! and is masked except for its tip, exactly as in the paper's space
+//! analysis; each recursion frame stores only its own continuation `Q`.
+
+use crate::visit::PathEvent;
+use std::ops::ControlFlow;
+use steiner_graph::{ArcId, DiGraph, VertexId};
+
+/// Counters reported by a finished (or stopped) enumeration.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathEnumStats {
+    /// Number of paths handed to the sink.
+    pub emitted: u64,
+    /// Algorithmic work units (≈ arcs/vertices touched); the empirical
+    /// stand-in for the paper's O(n + m)-per-solution accounting.
+    pub work: u64,
+}
+
+/// Tuning knobs for [`enumerate_directed_st_paths_with`]; primarily the
+/// Lemma 11 ablation switch.
+#[derive(Copy, Clone, Debug)]
+pub struct EnumerateOptions {
+    /// Use the Lemma 11 *incremental* reachability sweep (O(n + m) for all
+    /// prefixes of a continuation together). When `false`, extendibility
+    /// is recomputed from scratch per prefix — O(k(n + m)) per
+    /// continuation of length k — which is the design choice the paper's
+    /// §3 revision of Read–Tarjan eliminates. Exposed for the ablation
+    /// bench (`cargo bench -p steiner-bench --bench ablation`).
+    pub incremental_extendibility: bool,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions { incremental_extendibility: true }
+    }
+}
+
+/// A continuation path `Q = (v₁ … v_k)` found by `F-STP`.
+struct QPath {
+    /// `v₁ … v_k` with `v₁ = s′` and `v_k = t`.
+    vertices: Vec<VertexId>,
+    /// The `k − 1` arcs of `Q`.
+    arcs: Vec<ArcId>,
+    /// Position of `arcs[0]` within `out_adjacency(v₁)` — the order `≺_{s′}`.
+    first_pos: usize,
+}
+
+struct Enumerator<'g, 's> {
+    d: &'g DiGraph,
+    t: VertexId,
+    /// Masked vertices: the current path `P` except its tip, plus any
+    /// vertices excluded by the caller.
+    removed: Vec<bool>,
+    cur_vertices: Vec<VertexId>,
+    cur_arcs: Vec<ArcId>,
+    /// Epoch-stamped reach-`t` flags (`stamp[v] == epoch` ⇔ `r(v)` true).
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// For `F-STP` path reconstruction: the arc leading one step closer to
+    /// `t` in the latest reverse BFS tree.
+    next_arc: Vec<ArcId>,
+    /// Scratch queues/buffers, reused across calls.
+    queue: Vec<VertexId>,
+    out_vertices: Vec<VertexId>,
+    out_arcs: Vec<ArcId>,
+    options: EnumerateOptions,
+    stats: PathEnumStats,
+    sink: &'s mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>,
+}
+
+impl<'g, 's> Enumerator<'g, 's> {
+    /// `F-STP`: the `s′`-`t` path minimizing its first arc in `≺_{s′}`,
+    /// restricted to arcs strictly beyond `f_pos`, avoiding `e`, the masked
+    /// vertices, and `s′` itself after the first step.
+    fn f_stp(&mut self, s1: VertexId, e: Option<ArcId>, f_pos: Option<usize>) -> Option<QPath> {
+        debug_assert!(!self.removed[s1.index()]);
+        self.epoch += 1;
+        let ep = self.epoch;
+        // Reverse BFS from t with s′ masked: r(v) ⇔ v reaches t avoiding P.
+        self.removed[s1.index()] = true;
+        self.stamp[self.t.index()] = ep;
+        self.queue.clear();
+        self.queue.push(self.t);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for (z, a) in self.d.in_neighbors(u) {
+                self.stats.work += 1;
+                if Some(a) == e || self.removed[z.index()] || self.stamp[z.index()] == ep {
+                    continue;
+                }
+                self.stamp[z.index()] = ep;
+                self.next_arc[z.index()] = a;
+                self.queue.push(z);
+            }
+        }
+        self.removed[s1.index()] = false;
+        // Smallest admissible first arc.
+        let start = f_pos.map_or(0, |p| p + 1);
+        for (pos, &(y, a)) in self.d.out_adjacency(s1).iter().enumerate().skip(start) {
+            self.stats.work += 1;
+            if Some(a) == e || self.removed[y.index()] || self.stamp[y.index()] != ep {
+                continue;
+            }
+            // Reconstruct s′ → y → … → t along the reverse-BFS tree.
+            let mut vertices = vec![s1, y];
+            let mut arcs = vec![a];
+            let mut cur = y;
+            while cur != self.t {
+                let na = self.next_arc[cur.index()];
+                arcs.push(na);
+                cur = self.d.head(na);
+                vertices.push(cur);
+            }
+            return Some(QPath { vertices, arcs, first_pos: pos });
+        }
+        None
+    }
+
+    /// Lemma 11 sweep: the descending list of indices `i ∈ [2, k−1]` whose
+    /// prefix `Q_i` is extendible with the current path `P`.
+    fn extendible_indices(&mut self, q: &QPath) -> Vec<usize> {
+        let k = q.vertices.len();
+        if k < 3 {
+            return Vec::new();
+        }
+        // Mask v₁ … v_{k−2} (0-indexed 0..=k−3); v_{k−1} is the first tip.
+        for j in 0..=k - 3 {
+            self.removed[q.vertices[j].index()] = true;
+        }
+        self.epoch += 1;
+        let ep = self.epoch;
+        // Initial reverse BFS from t in D_{k−1}, skipping b_{k−1}.
+        let mut banned = q.arcs[k - 2];
+        self.stamp[self.t.index()] = ep;
+        self.queue.clear();
+        self.queue.push(self.t);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for (z, a) in self.d.in_neighbors(u) {
+                self.stats.work += 1;
+                if a == banned || self.removed[z.index()] || self.stamp[z.index()] == ep {
+                    continue;
+                }
+                self.stamp[z.index()] = ep;
+                self.queue.push(z);
+            }
+        }
+        let mut ext = Vec::new();
+        let mut worklist: Vec<VertexId> = Vec::new();
+        let mut i = k - 1;
+        loop {
+            if self.stamp[q.vertices[i - 1].index()] == ep {
+                ext.push(i);
+            }
+            if i == 2 {
+                break;
+            }
+            // Transition D_i → D_{i−1}: unmask v_{i−1}, re-allow b_i, ban b_{i−1}.
+            let old_banned = banned;
+            banned = q.arcs[i - 2];
+            let v_prev = q.vertices[i - 2];
+            self.removed[v_prev.index()] = false;
+            worklist.clear();
+            // (a) the re-allowed arc b_i = (v_i, v_{i+1}) may connect its tail.
+            let (bt, bh) = self.d.arc(old_banned);
+            if self.stamp[bh.index()] == ep
+                && self.stamp[bt.index()] != ep
+                && !self.removed[bt.index()]
+            {
+                self.stamp[bt.index()] = ep;
+                worklist.push(bt);
+            }
+            // (b) the newly unmasked v_{i−1} may now reach t directly.
+            if self.stamp[v_prev.index()] != ep {
+                for (y, a) in self.d.out_neighbors(v_prev) {
+                    self.stats.work += 1;
+                    if a == banned || self.removed[y.index()] {
+                        continue;
+                    }
+                    if self.stamp[y.index()] == ep {
+                        self.stamp[v_prev.index()] = ep;
+                        worklist.push(v_prev);
+                        break;
+                    }
+                }
+            }
+            // Propagate the new r-flags backwards over in-arcs.
+            while let Some(x) = worklist.pop() {
+                for (z, a) in self.d.in_neighbors(x) {
+                    self.stats.work += 1;
+                    if a == banned || self.removed[z.index()] || self.stamp[z.index()] == ep {
+                        continue;
+                    }
+                    self.stamp[z.index()] = ep;
+                    worklist.push(z);
+                }
+            }
+            i -= 1;
+        }
+        // Only v₁ is still masked by this sweep (the loop unmasked the rest).
+        self.removed[q.vertices[0].index()] = false;
+        ext
+    }
+
+    /// Ablation variant of [`Self::extendible_indices`]: recomputes the
+    /// reach-`t` flags from scratch for every prefix — O(k(n + m)) per
+    /// continuation instead of O(n + m). Identical results.
+    fn extendible_indices_naive(&mut self, q: &QPath) -> Vec<usize> {
+        let k = q.vertices.len();
+        if k < 3 {
+            return Vec::new();
+        }
+        for j in 0..=k - 3 {
+            self.removed[q.vertices[j].index()] = true;
+        }
+        let mut ext = Vec::new();
+        let mut i = k - 1;
+        loop {
+            // Fresh reverse BFS from t in D_i, skipping b_i.
+            let banned = q.arcs[i - 1];
+            self.epoch += 1;
+            let ep = self.epoch;
+            self.stamp[self.t.index()] = ep;
+            self.queue.clear();
+            self.queue.push(self.t);
+            let mut head = 0;
+            while head < self.queue.len() {
+                let u = self.queue[head];
+                head += 1;
+                for (z, a) in self.d.in_neighbors(u) {
+                    self.stats.work += 1;
+                    if a == banned || self.removed[z.index()] || self.stamp[z.index()] == ep {
+                        continue;
+                    }
+                    self.stamp[z.index()] = ep;
+                    self.queue.push(z);
+                }
+            }
+            if self.stamp[q.vertices[i - 1].index()] == ep {
+                ext.push(i);
+            }
+            if i == 2 {
+                break;
+            }
+            self.removed[q.vertices[i - 2].index()] = false;
+            i -= 1;
+        }
+        self.removed[q.vertices[0].index()] = false;
+        ext
+    }
+
+    /// Extends the global path `P` by the prefix `Q_i` (vertices `v₂…v_i`),
+    /// masking everything but the new tip `v_i`.
+    fn push_prefix(&mut self, q: &QPath, i: usize) {
+        self.removed[q.vertices[0].index()] = true;
+        for j in 1..i {
+            let v = q.vertices[j];
+            self.cur_vertices.push(v);
+            self.cur_arcs.push(q.arcs[j - 1]);
+            if j < i - 1 {
+                self.removed[v.index()] = true;
+            }
+        }
+    }
+
+    /// Undoes [`Self::push_prefix`].
+    fn pop_prefix(&mut self, q: &QPath, i: usize) {
+        for j in (1..i).rev() {
+            let v = q.vertices[j];
+            self.cur_vertices.pop();
+            self.cur_arcs.pop();
+            if j < i - 1 {
+                self.removed[v.index()] = false;
+            }
+        }
+        self.removed[q.vertices[0].index()] = false;
+    }
+
+    /// Emits `P ∘ Q` to the sink.
+    fn emit(&mut self, q: &QPath) -> ControlFlow<()> {
+        let mut out_vertices = std::mem::take(&mut self.out_vertices);
+        let mut out_arcs = std::mem::take(&mut self.out_arcs);
+        out_vertices.clear();
+        out_arcs.clear();
+        out_vertices.extend_from_slice(&self.cur_vertices);
+        out_vertices.extend_from_slice(&q.vertices[1..]);
+        out_arcs.extend_from_slice(&self.cur_arcs);
+        out_arcs.extend_from_slice(&q.arcs);
+        self.stats.emitted += 1;
+        let flow = (self.sink)(PathEvent { vertices: &out_vertices, arcs: &out_arcs });
+        self.out_vertices = out_vertices;
+        self.out_arcs = out_arcs;
+        flow
+    }
+
+    /// `E-STP(P, e, d, t)` — the recursion of Algorithm 1.
+    fn e_stp(&mut self, e: Option<ArcId>, depth: u32) -> ControlFlow<()> {
+        let s1 = *self.cur_vertices.last().expect("P is nonempty");
+        let mut f_pos: Option<usize> = None;
+        loop {
+            self.stats.work += 1;
+            let Some(q) = self.f_stp(s1, e, f_pos) else { break };
+            if depth.is_multiple_of(2) {
+                self.emit(&q)?;
+            }
+            let ext = if self.options.incremental_extendibility {
+                self.extendible_indices(&q)
+            } else {
+                self.extendible_indices_naive(&q)
+            };
+            for &i in &ext {
+                let banned_child = q.arcs[i - 1]; // (v_i, v_{i+1})
+                self.push_prefix(&q, i);
+                let flow = self.e_stp(Some(banned_child), depth + 1);
+                self.pop_prefix(&q, i);
+                flow?;
+            }
+            if depth % 2 == 1 {
+                self.emit(&q)?;
+            }
+            f_pos = Some(q.first_pos);
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Enumerates every directed simple `s`-`t` path of `d` whose vertices all
+/// satisfy `allowed` (if given), invoking `sink` once per path with
+/// O(n + m) delay (Theorem 12). Returns emission/work counters.
+///
+/// If `s == t` the single trivial path is emitted. The sink may stop the
+/// enumeration by returning [`ControlFlow::Break`].
+///
+/// ```
+/// use steiner_paths::enumerate::enumerate_directed_st_paths;
+/// use steiner_graph::{DiGraph, VertexId};
+/// use std::ops::ControlFlow;
+///
+/// let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let stats = enumerate_directed_st_paths(&d, VertexId(0), VertexId(3), None, &mut |p| {
+///     assert_eq!(p.vertices.len(), 3);
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(stats.emitted, 2);
+/// ```
+pub fn enumerate_directed_st_paths(
+    d: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    allowed: Option<&[bool]>,
+    sink: &mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>,
+) -> PathEnumStats {
+    enumerate_directed_st_paths_with(d, s, t, allowed, EnumerateOptions::default(), sink)
+}
+
+/// As [`enumerate_directed_st_paths`], with explicit [`EnumerateOptions`]
+/// (used by the Lemma 11 ablation bench).
+pub fn enumerate_directed_st_paths_with(
+    d: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    allowed: Option<&[bool]>,
+    options: EnumerateOptions,
+    sink: &mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>,
+) -> PathEnumStats {
+    let n = d.num_vertices();
+    let mut removed = match allowed {
+        Some(mask) => {
+            debug_assert_eq!(mask.len(), n);
+            mask.iter().map(|&a| !a).collect::<Vec<bool>>()
+        }
+        None => vec![false; n],
+    };
+    let mut stats = PathEnumStats::default();
+    if removed[s.index()] || removed[t.index()] {
+        return stats;
+    }
+    if s == t {
+        stats.emitted = 1;
+        let _ = sink(PathEvent { vertices: &[s], arcs: &[] });
+        return stats;
+    }
+    // The tip of P must be unmasked; `removed` currently masks only the
+    // caller-excluded vertices, and P = (s).
+    debug_assert!(!removed[s.index()]);
+    removed[t.index()] = false;
+    let mut enumerator = Enumerator {
+        d,
+        t,
+        removed,
+        cur_vertices: vec![s],
+        cur_arcs: Vec::new(),
+        stamp: vec![0; n],
+        epoch: 0,
+        next_arc: vec![ArcId(u32::MAX); n],
+        queue: Vec::with_capacity(n),
+        out_vertices: Vec::with_capacity(n),
+        out_arcs: Vec::with_capacity(n),
+        options,
+        stats,
+        sink,
+    };
+    let _ = enumerator.e_stp(None, 0);
+    enumerator.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visit::{collect_arc_paths, count_paths, first_k_arc_paths};
+    use std::collections::HashSet;
+
+    fn paths_of(d: &DiGraph, s: VertexId, t: VertexId) -> Vec<Vec<ArcId>> {
+        collect_arc_paths(|sink| {
+            enumerate_directed_st_paths(d, s, t, None, sink);
+        })
+    }
+
+    #[test]
+    fn single_arc() {
+        let d = DiGraph::from_arcs(2, &[(0, 1)]).unwrap();
+        let paths = paths_of(&d, VertexId(0), VertexId(1));
+        assert_eq!(paths, vec![vec![ArcId(0)]]);
+    }
+
+    #[test]
+    fn no_path() {
+        let d = DiGraph::from_arcs(3, &[(0, 1)]).unwrap();
+        assert!(paths_of(&d, VertexId(0), VertexId(2)).is_empty());
+        // Arc in the wrong direction.
+        let d2 = DiGraph::from_arcs(2, &[(1, 0)]).unwrap();
+        assert!(paths_of(&d2, VertexId(0), VertexId(1)).is_empty());
+    }
+
+    #[test]
+    fn trivial_path() {
+        let d = DiGraph::new(1);
+        let paths = paths_of(&d, VertexId(0), VertexId(0));
+        assert_eq!(paths, vec![Vec::<ArcId>::new()]);
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3.
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let paths: HashSet<Vec<ArcId>> = paths_of(&d, VertexId(0), VertexId(3)).into_iter().collect();
+        let expected: HashSet<Vec<ArcId>> =
+            [vec![ArcId(0), ArcId(2)], vec![ArcId(1), ArcId(3)]].into_iter().collect();
+        assert_eq!(paths, expected);
+    }
+
+    #[test]
+    fn parallel_arcs_are_distinct_paths() {
+        let d = DiGraph::from_arcs(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        let paths = paths_of(&d, VertexId(0), VertexId(1));
+        assert_eq!(paths.len(), 3);
+        let firsts: HashSet<ArcId> = paths.iter().map(|p| p[0]).collect();
+        assert_eq!(firsts.len(), 3);
+    }
+
+    #[test]
+    fn complete_dag_path_count() {
+        // Complete DAG on n vertices: number of 0 -> (n-1) paths is 2^(n-2).
+        for n in 2..8usize {
+            let mut arcs = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    arcs.push((u, v));
+                }
+            }
+            let d = DiGraph::from_arcs(n, &arcs).unwrap();
+            let count = count_paths(|sink| {
+                enumerate_directed_st_paths(&d, VertexId(0), VertexId::new(n - 1), None, sink);
+            });
+            assert_eq!(count, 1u64 << (n - 2), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_on_dense_digraph() {
+        // Bidirected K_5: every permutation path is found exactly once.
+        let mut arcs = Vec::new();
+        for u in 0..5usize {
+            for v in 0..5usize {
+                if u != v {
+                    arcs.push((u, v));
+                }
+            }
+        }
+        let d = DiGraph::from_arcs(5, &arcs).unwrap();
+        let paths = paths_of(&d, VertexId(0), VertexId(4));
+        let unique: HashSet<&Vec<ArcId>> = paths.iter().collect();
+        assert_eq!(unique.len(), paths.len(), "no duplicates");
+        // Count: sum over k of P(3, k) simple paths through k intermediates:
+        // 1 + 3 + 6 + 6 = 16.
+        assert_eq!(paths.len(), 16);
+    }
+
+    #[test]
+    fn paths_are_simple_and_well_formed() {
+        let mut arcs = Vec::new();
+        for u in 0..6usize {
+            for v in 0..6usize {
+                if u != v {
+                    arcs.push((u, v));
+                }
+            }
+        }
+        let d = DiGraph::from_arcs(6, &arcs).unwrap();
+        enumerate_directed_st_paths(&d, VertexId(0), VertexId(5), None, &mut |p| {
+            assert_eq!(p.vertices.len(), p.arcs.len() + 1);
+            assert_eq!(p.vertices[0], VertexId(0));
+            assert_eq!(*p.vertices.last().unwrap(), VertexId(5));
+            let distinct: HashSet<VertexId> = p.vertices.iter().copied().collect();
+            assert_eq!(distinct.len(), p.vertices.len(), "simple path");
+            for (i, &a) in p.arcs.iter().enumerate() {
+                assert_eq!(d.tail(a), p.vertices[i]);
+                assert_eq!(d.head(a), p.vertices[i + 1]);
+            }
+            ControlFlow::Continue(())
+        });
+    }
+
+    #[test]
+    fn allowed_mask_restricts_paths() {
+        // Diamond with both midpoints; forbid vertex 1.
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let allowed = vec![true, false, true, true];
+        let paths = collect_arc_paths(|sink| {
+            enumerate_directed_st_paths(&d, VertexId(0), VertexId(3), Some(&allowed), sink);
+        });
+        assert_eq!(paths, vec![vec![ArcId(1), ArcId(3)]]);
+    }
+
+    #[test]
+    fn early_termination_stops_quickly() {
+        let mut arcs = Vec::new();
+        for u in 0..7usize {
+            for v in u + 1..7usize {
+                arcs.push((u, v));
+            }
+        }
+        let d = DiGraph::from_arcs(7, &arcs).unwrap();
+        let got = first_k_arc_paths(3, |sink| {
+            enumerate_directed_st_paths(&d, VertexId(0), VertexId(6), None, sink);
+        });
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn naive_extendibility_gives_identical_output() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x11_11);
+        for _ in 0..40 {
+            let n = 3 + rng.gen_range(0..5usize);
+            let m = rng.gen_range(0..=(n * (n - 1)).min(16));
+            let d = steiner_graph::generators::random_digraph(n, m, &mut rng);
+            let (s, t) = (VertexId(0), VertexId::new(n - 1));
+            let fast = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths_with(
+                    &d,
+                    s,
+                    t,
+                    None,
+                    EnumerateOptions { incremental_extendibility: true },
+                    sink,
+                );
+            });
+            let slow = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths_with(
+                    &d,
+                    s,
+                    t,
+                    None,
+                    EnumerateOptions { incremental_extendibility: false },
+                    sink,
+                );
+            });
+            assert_eq!(fast, slow, "identical order and content; digraph {d:?}");
+        }
+    }
+
+    #[test]
+    fn lemma11_sweep_does_less_work() {
+        // On a long-path-rich instance the naive per-prefix recomputation
+        // must cost measurably more work units.
+        let g = steiner_graph::generators::grid(4, 5);
+        let doubled = steiner_graph::digraph::DoubledDigraph::new(&g);
+        let d = &doubled.digraph;
+        let (s, t) = (VertexId(0), VertexId::new(g.num_vertices() - 1));
+        let run = |incremental: bool| {
+            let mut sink = |_: PathEvent<'_>| ControlFlow::Continue(());
+            enumerate_directed_st_paths_with(
+                d,
+                s,
+                t,
+                None,
+                EnumerateOptions { incremental_extendibility: incremental },
+                &mut sink,
+            )
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast.emitted, slow.emitted);
+        assert!(
+            slow.work > fast.work,
+            "naive {} should exceed incremental {}",
+            slow.work,
+            fast.work
+        );
+    }
+
+    #[test]
+    fn stats_count_emissions() {
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut seen = 0;
+        let stats = enumerate_directed_st_paths(&d, VertexId(0), VertexId(3), None, &mut |_| {
+            seen += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(stats.emitted, 2);
+        assert_eq!(seen, 2);
+        assert!(stats.work > 0);
+    }
+}

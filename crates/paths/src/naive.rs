@@ -1,0 +1,188 @@
+//! Naive backtracking *s*-*t* path enumeration.
+//!
+//! The classic depth-first enumeration without reachability pruning: it
+//! explores dead-end branches, so its delay can be exponential even though
+//! each emitted path is correct. It serves two roles in this repository:
+//!
+//! * **correctness oracle** — property tests check that Algorithm 1 emits
+//!   exactly the same path set;
+//! * **baseline** — the benchmark harness contrasts its delay profile with
+//!   the linear-delay enumerator (the qualitative axis of the paper's
+//!   Table 1).
+
+use crate::visit::PathEvent;
+use std::ops::ControlFlow;
+use steiner_graph::{ArcId, DiGraph, VertexId};
+
+struct Naive<'g, 's> {
+    d: &'g DiGraph,
+    t: VertexId,
+    on_path: Vec<bool>,
+    vertices: Vec<VertexId>,
+    arcs: Vec<ArcId>,
+    emitted: u64,
+    sink: &'s mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>,
+}
+
+impl Naive<'_, '_> {
+    fn recurse(&mut self) -> ControlFlow<()> {
+        let u = *self.vertices.last().expect("path is nonempty");
+        if u == self.t {
+            self.emitted += 1;
+            return (self.sink)(PathEvent { vertices: &self.vertices, arcs: &self.arcs });
+        }
+        for (v, a) in self.d.out_neighbors(u) {
+            if self.on_path[v.index()] {
+                continue;
+            }
+            self.on_path[v.index()] = true;
+            self.vertices.push(v);
+            self.arcs.push(a);
+            let flow = self.recurse();
+            self.arcs.pop();
+            self.vertices.pop();
+            self.on_path[v.index()] = false;
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Enumerates all directed simple `s`-`t` paths by plain backtracking.
+/// Returns the number of paths emitted.
+pub fn enumerate_directed_st_paths_naive(
+    d: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    allowed: Option<&[bool]>,
+    sink: &mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>,
+) -> u64 {
+    let n = d.num_vertices();
+    let mut on_path = match allowed {
+        Some(mask) => mask.iter().map(|&a| !a).collect::<Vec<bool>>(),
+        None => vec![false; n],
+    };
+    if on_path[s.index()] || on_path[t.index()] {
+        return 0;
+    }
+    on_path[s.index()] = true;
+    let mut naive = Naive { d, t, on_path, vertices: vec![s], arcs: Vec::new(), emitted: 0, sink };
+    let _ = naive.recurse();
+    naive.emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_directed_st_paths;
+    use crate::visit::collect_arc_paths;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn naive_finds_diamond_paths() {
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let paths = collect_arc_paths(|sink| {
+            enumerate_directed_st_paths_naive(&d, VertexId(0), VertexId(3), None, sink);
+        });
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn trivial_path_when_s_equals_t() {
+        let d = DiGraph::from_arcs(2, &[(0, 1)]).unwrap();
+        let paths = collect_arc_paths(|sink| {
+            enumerate_directed_st_paths_naive(&d, VertexId(0), VertexId(0), None, sink);
+        });
+        assert_eq!(paths, vec![Vec::<ArcId>::new()]);
+    }
+
+    /// The load-bearing test of this crate: Algorithm 1 and the naive
+    /// enumerator produce identical path sets on random digraphs.
+    #[test]
+    fn algorithm1_matches_naive_on_random_digraphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5e_37);
+        for case in 0..120 {
+            let n = 2 + case % 7;
+            let m = rng.gen_range(0..=(n * (n - 1)).min(18));
+            let d = steiner_graph::generators::random_digraph(n, m, &mut rng);
+            let s = VertexId::new(rng.gen_range(0..n));
+            let t = VertexId::new(rng.gen_range(0..n));
+            if s == t {
+                continue;
+            }
+            let fast: HashSet<Vec<ArcId>> = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths(&d, s, t, None, sink);
+            })
+            .into_iter()
+            .collect();
+            let slow: HashSet<Vec<ArcId>> = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths_naive(&d, s, t, None, sink);
+            })
+            .into_iter()
+            .collect();
+            assert_eq!(fast, slow, "digraph {d:?}, s={s}, t={t}");
+        }
+    }
+
+    #[test]
+    fn algorithm1_matches_naive_with_masks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xa11e);
+        for case in 0..60 {
+            let n = 3 + case % 6;
+            let m = rng.gen_range(0..=(n * (n - 1)).min(16));
+            let d = steiner_graph::generators::random_digraph(n, m, &mut rng);
+            let allowed: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.8)).collect();
+            let s = VertexId::new(rng.gen_range(0..n));
+            let t = VertexId::new(rng.gen_range(0..n));
+            if s == t {
+                continue;
+            }
+            let fast: HashSet<Vec<ArcId>> = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths(&d, s, t, Some(&allowed), sink);
+            })
+            .into_iter()
+            .collect();
+            let slow: HashSet<Vec<ArcId>> = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths_naive(&d, s, t, Some(&allowed), sink);
+            })
+            .into_iter()
+            .collect();
+            assert_eq!(fast, slow, "digraph {d:?}, allowed {allowed:?}, s={s}, t={t}");
+        }
+    }
+
+    #[test]
+    fn algorithm1_matches_naive_with_parallel_arcs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9a9a);
+        for _ in 0..40 {
+            let n = 2 + rng.gen_range(0..4usize);
+            let m = rng.gen_range(1..=12usize);
+            // Multigraph: arcs drawn with replacement.
+            let mut arcs = Vec::new();
+            for _ in 0..m {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    arcs.push((u, v));
+                }
+            }
+            let d = DiGraph::from_arcs(n, &arcs).unwrap();
+            let (s, t) = (VertexId(0), VertexId::new(n - 1));
+            if s == t {
+                continue;
+            }
+            let fast: HashSet<Vec<ArcId>> = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths(&d, s, t, None, sink);
+            })
+            .into_iter()
+            .collect();
+            let slow: HashSet<Vec<ArcId>> = collect_arc_paths(|sink| {
+                enumerate_directed_st_paths_naive(&d, s, t, None, sink);
+            })
+            .into_iter()
+            .collect();
+            assert_eq!(fast, slow, "digraph {d:?}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Pull-based iteration over push-based enumerations.
+//!
+//! Enumerators in this workspace are recursive and push solutions into a
+//! sink. This module runs such an enumeration on a dedicated worker thread
+//! with a large stack (recursion depth is O(n)) and streams owned solutions
+//! through a bounded channel, yielding a normal [`Iterator`]. Dropping the
+//! iterator stops the producer at its next emission.
+
+use crossbeam_channel::{bounded, Receiver};
+use std::ops::ControlFlow;
+use std::thread::JoinHandle;
+
+/// Default worker stack: enumeration recursion is O(n) frames.
+pub const DEFAULT_STACK_BYTES: usize = 64 * 1024 * 1024;
+
+/// Default channel capacity: enough to decouple producer and consumer
+/// without buffering unbounded output.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 256;
+
+/// An iterator over the items produced by a background enumeration.
+pub struct Enumeration<T> {
+    rx: Option<Receiver<T>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Enumeration<T> {
+    /// Spawns `producer` on a worker thread. The producer receives a sink;
+    /// it should forward each solution (as an owned `T`) and honour a
+    /// `Break` result by returning promptly.
+    pub fn spawn(
+        producer: impl FnOnce(&mut dyn FnMut(T) -> ControlFlow<()>) + Send + 'static,
+    ) -> Self {
+        Self::spawn_with(DEFAULT_STACK_BYTES, DEFAULT_CHANNEL_CAPACITY, producer)
+    }
+
+    /// As [`Self::spawn`] with explicit stack size and channel capacity.
+    pub fn spawn_with(
+        stack_bytes: usize,
+        capacity: usize,
+        producer: impl FnOnce(&mut dyn FnMut(T) -> ControlFlow<()>) + Send + 'static,
+    ) -> Self {
+        let (tx, rx) = bounded::<T>(capacity);
+        let handle = std::thread::Builder::new()
+            .name("steiner-enumeration".to_string())
+            .stack_size(stack_bytes)
+            .spawn(move || {
+                producer(&mut |item| {
+                    // A send error means the consumer hung up: stop.
+                    if tx.send(item).is_err() {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+            })
+            .expect("spawn enumeration worker");
+        Enumeration { rx: Some(rx), handle: Some(handle) }
+    }
+}
+
+impl<T> Iterator for Enumeration<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl<T> Drop for Enumeration<T> {
+    fn drop(&mut self) {
+        // Close the channel so the producer's next send fails, then join.
+        self.rx = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_directed_st_paths;
+    use steiner_graph::{ArcId, DiGraph, VertexId};
+
+    #[test]
+    fn streams_all_paths() {
+        let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let iter = Enumeration::spawn(move |sink| {
+            enumerate_directed_st_paths(&d, VertexId(0), VertexId(3), None, &mut |p| {
+                sink(p.arcs.to_vec())
+            });
+        });
+        let all: Vec<Vec<ArcId>> = iter.collect();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn dropping_iterator_stops_producer() {
+        // A graph with many paths; take 2 and drop.
+        let g = steiner_graph::generators::theta_chain(8, 3);
+        let doubled = steiner_graph::digraph::DoubledDigraph::new(&g);
+        let d = doubled.digraph;
+        let mut iter = Enumeration::spawn(move |sink| {
+            enumerate_directed_st_paths(&d, VertexId(0), VertexId(8), None, &mut |p| {
+                sink(p.arcs.to_vec())
+            });
+        });
+        assert!(iter.next().is_some());
+        assert!(iter.next().is_some());
+        drop(iter); // must not hang
+    }
+
+    #[test]
+    fn empty_enumeration_yields_nothing() {
+        let d = DiGraph::new(2);
+        let iter = Enumeration::spawn(move |sink| {
+            enumerate_directed_st_paths(&d, VertexId(0), VertexId(1), None, &mut |p| {
+                sink(p.arcs.to_vec())
+            });
+        });
+        assert_eq!(iter.count(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Undirected wrappers for the directed enumerator.
+//!
+//! As in the paper (after Theorem 12): "the algorithm can be applied to
+//! undirected graphs by simply replacing each undirected edge with two
+//! directed edges with opposite directions". Each simple undirected path is
+//! found exactly once (in its s → t orientation).
+
+use crate::enumerate::{enumerate_directed_st_paths, PathEnumStats};
+use crate::naive::enumerate_directed_st_paths_naive;
+use crate::visit::UndirectedPathEvent;
+use std::ops::ControlFlow;
+use steiner_graph::digraph::DoubledDigraph;
+use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+
+/// Enumerates all simple `s`-`t` paths of an undirected multigraph with
+/// O(n + m) delay, reporting undirected edge ids.
+///
+/// ```
+/// use steiner_paths::undirected::enumerate_st_paths;
+/// use steiner_graph::{UndirectedGraph, VertexId};
+/// use std::ops::ControlFlow;
+///
+/// // Square: two ways between opposite corners.
+/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// let stats = enumerate_st_paths(&g, VertexId(0), VertexId(2), None, &mut |p| {
+///     assert_eq!(p.edges.len(), 2);
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(stats.emitted, 2);
+/// ```
+pub fn enumerate_st_paths(
+    g: &UndirectedGraph,
+    s: VertexId,
+    t: VertexId,
+    allowed: Option<&[bool]>,
+    sink: &mut dyn FnMut(UndirectedPathEvent<'_>) -> ControlFlow<()>,
+) -> PathEnumStats {
+    let doubled = DoubledDigraph::new(g);
+    let mut edges: Vec<EdgeId> = Vec::new();
+    enumerate_directed_st_paths(&doubled.digraph, s, t, allowed, &mut |p| {
+        edges.clear();
+        edges.extend(p.arcs.iter().map(|&a| doubled.arc_to_edge(a)));
+        sink(UndirectedPathEvent { vertices: p.vertices, edges: &edges })
+    })
+}
+
+/// Naive backtracking undirected `s`-`t` path enumeration (test oracle).
+pub fn enumerate_st_paths_naive(
+    g: &UndirectedGraph,
+    s: VertexId,
+    t: VertexId,
+    allowed: Option<&[bool]>,
+    sink: &mut dyn FnMut(UndirectedPathEvent<'_>) -> ControlFlow<()>,
+) -> u64 {
+    let doubled = DoubledDigraph::new(g);
+    let mut edges: Vec<EdgeId> = Vec::new();
+    enumerate_directed_st_paths_naive(&doubled.digraph, s, t, allowed, &mut |p| {
+        edges.clear();
+        edges.extend(p.arcs.iter().map(|&a| doubled.arc_to_edge(a)));
+        sink(UndirectedPathEvent { vertices: p.vertices, edges: &edges })
+    })
+}
+
+/// Collects every emitted undirected path as an edge sequence.
+pub fn collect_edge_paths(
+    run: impl FnOnce(&mut dyn FnMut(UndirectedPathEvent<'_>) -> ControlFlow<()>),
+) -> Vec<Vec<EdgeId>> {
+    let mut out = Vec::new();
+    run(&mut |p| {
+        out.push(p.edges.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+    use steiner_graph::generators;
+
+    #[test]
+    fn square_has_two_paths() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let paths = collect_edge_paths(|sink| {
+            enumerate_st_paths(&g, VertexId(0), VertexId(2), None, sink);
+        });
+        let set: HashSet<Vec<EdgeId>> = paths.into_iter().collect();
+        let expected: HashSet<Vec<EdgeId>> =
+            [vec![EdgeId(0), EdgeId(1)], vec![EdgeId(3), EdgeId(2)]].into_iter().collect();
+        assert_eq!(set, expected);
+    }
+
+    #[test]
+    fn theta_graph_path_count() {
+        // θ(k, len): exactly k s-t paths.
+        for k in 1..6 {
+            let g = generators::theta_graph(k, 3);
+            let paths = collect_edge_paths(|sink| {
+                enumerate_st_paths(&g, VertexId(0), VertexId(1), None, sink);
+            });
+            assert_eq!(paths.len(), k);
+        }
+    }
+
+    #[test]
+    fn theta_chain_path_count_is_width_pow_blocks() {
+        let g = generators::theta_chain(3, 3);
+        let paths = collect_edge_paths(|sink| {
+            enumerate_st_paths(&g, VertexId(0), VertexId(3), None, sink);
+        });
+        assert_eq!(paths.len(), 27);
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xdead);
+        for case in 0..80 {
+            let n = 2 + case % 7;
+            let g = generators::random_connected_graph(n, n - 1 + rng.gen_range(0..4), &mut rng);
+            let s = VertexId::new(rng.gen_range(0..n));
+            let t = VertexId::new(rng.gen_range(0..n));
+            if s == t {
+                continue;
+            }
+            let fast: HashSet<Vec<EdgeId>> = collect_edge_paths(|sink| {
+                enumerate_st_paths(&g, s, t, None, sink);
+            })
+            .into_iter()
+            .collect();
+            let slow: HashSet<Vec<EdgeId>> = collect_edge_paths(|sink| {
+                enumerate_st_paths_naive(&g, s, t, None, sink);
+            })
+            .into_iter()
+            .collect();
+            assert_eq!(fast, slow, "graph {g:?} s={s} t={t}");
+        }
+    }
+
+    #[test]
+    fn grid_path_counts_are_consistent() {
+        let g = generators::grid(3, 3);
+        let fast = collect_edge_paths(|sink| {
+            enumerate_st_paths(&g, VertexId(0), VertexId(8), None, sink);
+        });
+        let slow = collect_edge_paths(|sink| {
+            enumerate_st_paths_naive(&g, VertexId(0), VertexId(8), None, sink);
+        });
+        assert_eq!(fast.len(), slow.len());
+        let set: HashSet<Vec<EdgeId>> = fast.iter().cloned().collect();
+        assert_eq!(set.len(), fast.len(), "no duplicates");
+        // Known count of simple corner-to-corner paths in the 3x3 grid.
+        assert_eq!(fast.len(), 12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Visitor plumbing: path events, sinks, collectors and delay recorders.
+//!
+//! Enumeration is push-based so that the delay guarantee is *observable*:
+//! the algorithm invokes a sink the instant a solution is complete, and the
+//! sink may stop the enumeration early by returning
+//! [`ControlFlow::Break`] — the basis for top-k queries.
+
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+use steiner_graph::{ArcId, EdgeId, VertexId};
+
+/// A directed path reported by an enumerator. Slices borrow enumerator
+/// scratch space: copy what you need to keep.
+#[derive(Copy, Clone, Debug)]
+pub struct PathEvent<'a> {
+    /// The path's vertices, source first, target last (`arcs.len() + 1` of
+    /// them; a trivial `s = t` path has one vertex and no arcs).
+    pub vertices: &'a [VertexId],
+    /// The arcs traversed, in order.
+    pub arcs: &'a [ArcId],
+}
+
+/// An undirected path reported via [`crate::undirected`]. Slices borrow
+/// enumerator scratch space.
+#[derive(Copy, Clone, Debug)]
+pub struct UndirectedPathEvent<'a> {
+    /// The path's vertices, source first.
+    pub vertices: &'a [VertexId],
+    /// The undirected edges traversed, in order.
+    pub edges: &'a [EdgeId],
+}
+
+/// Collects every emitted arc sequence.
+pub fn collect_arc_paths(
+    run: impl FnOnce(&mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>),
+) -> Vec<Vec<ArcId>> {
+    let mut out = Vec::new();
+    run(&mut |p| {
+        out.push(p.arcs.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Counts emitted paths without storing them.
+pub fn count_paths(run: impl FnOnce(&mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>)) -> u64 {
+    let mut count = 0;
+    run(&mut |_| {
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    count
+}
+
+/// Collects at most `k` arc sequences, then stops the enumeration.
+#[allow(clippy::type_complexity)]
+pub fn first_k_arc_paths(
+    k: usize,
+    run: impl FnOnce(&mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>),
+) -> Vec<Vec<ArcId>> {
+    let mut out = Vec::with_capacity(k);
+    run(&mut |p| {
+        if out.len() < k {
+            out.push(p.arcs.to_vec());
+        }
+        if out.len() < k {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    });
+    out
+}
+
+/// Records the wall-clock gaps between consecutive emissions — the
+/// empirical *delay* that the benchmark harness reports against the
+/// paper's O(n + m) claim.
+#[derive(Debug)]
+pub struct DelayRecorder {
+    start: Instant,
+    last: Instant,
+    /// Number of solutions seen.
+    pub count: u64,
+    /// Largest gap between consecutive solutions (including the gap from
+    /// start to the first solution).
+    pub max_gap: Duration,
+    /// Sum of all gaps (≈ total runtime up to the last solution).
+    pub total: Duration,
+}
+
+impl DelayRecorder {
+    /// Starts the clock.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        DelayRecorder { start: now, last: now, count: 0, max_gap: Duration::ZERO, total: Duration::ZERO }
+    }
+
+    /// Notes one emitted solution.
+    pub fn record(&mut self) {
+        let now = Instant::now();
+        let gap = now - self.last;
+        self.last = now;
+        self.count += 1;
+        if gap > self.max_gap {
+            self.max_gap = gap;
+        }
+        self.total = now - self.start;
+    }
+
+    /// Mean gap between solutions.
+    pub fn mean_gap(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+impl Default for DelayRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::type_complexity)]
+    fn fake_run(n: usize) -> impl FnOnce(&mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>) {
+        move |sink| {
+            let vertices = [VertexId(0), VertexId(1)];
+            let arcs = [ArcId(0)];
+            for _ in 0..n {
+                if sink(PathEvent { vertices: &vertices, arcs: &arcs }).is_break() {
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collect_and_count() {
+        assert_eq!(collect_arc_paths(fake_run(3)).len(), 3);
+        assert_eq!(count_paths(fake_run(5)), 5);
+    }
+
+    #[test]
+    fn first_k_stops_early() {
+        let got = first_k_arc_paths(2, fake_run(100));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn first_k_with_fewer_available() {
+        let got = first_k_arc_paths(10, fake_run(4));
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn delay_recorder_counts() {
+        let mut rec = DelayRecorder::new();
+        rec.record();
+        rec.record();
+        assert_eq!(rec.count, 2);
+        assert!(rec.max_gap >= Duration::ZERO);
+        assert!(rec.mean_gap() <= rec.total);
+    }
+}

@@ -1,0 +1,82 @@
+//! Keyword search on a data graph — the paper's motivating application
+//! (Kimelfeld & Sagiv's K-fragments).
+//!
+//! Builds a small movie database as a data graph and answers keyword
+//! queries by enumerating K-fragments: undirected (minimal Steiner
+//! trees), strong (keyword nodes as leaves), and directed fragments, with
+//! top-k-smallest ranking.
+//!
+//! Run with: `cargo run --example keyword_search`
+
+use minimal_steiner::kfragment::data_graph::{DataGraph, DirectedDataGraph};
+use minimal_steiner::kfragment::fragments::{
+    directed_k_fragments, k_fragments, strong_k_fragments,
+};
+use minimal_steiner::kfragment::ranking::smallest_k;
+use std::ops::ControlFlow;
+
+fn main() {
+    // Movie database: movies, people, genres as nodes; roles as edges.
+    let mut db = DataGraph::new();
+    let heat = db.add_node(&["Heat", "1995"]);
+    let ronin = db.add_node(&["Ronin"]);
+    let deniro = db.add_node(&["DeNiro"]);
+    let pacino = db.add_node(&["Pacino"]);
+    let mann = db.add_node(&["Mann"]);
+    let crime = db.add_node(&["crime"]);
+    let thriller = db.add_node(&["thriller"]);
+    db.add_edge(heat, deniro).unwrap();
+    db.add_edge(heat, pacino).unwrap();
+    db.add_edge(heat, mann).unwrap();
+    db.add_edge(heat, crime).unwrap();
+    db.add_edge(ronin, deniro).unwrap();
+    db.add_edge(ronin, thriller).unwrap();
+    db.add_edge(crime, thriller).unwrap();
+
+    println!("query: DeNiro AND Pacino");
+    let mut answers = Vec::new();
+    k_fragments(&db, &["DeNiro", "Pacino"], &mut |edges| {
+        answers.push(edges.to_vec());
+        ControlFlow::Continue(())
+    })
+    .expect("keywords exist");
+    println!("  {} K-fragments:", answers.len());
+    for a in &answers {
+        println!("    edges {a:?}");
+    }
+
+    println!("\nquery: Pacino AND thriller (top-2 smallest fragments)");
+    let top = smallest_k(2, None, |sink| {
+        k_fragments(&db, &["Pacino", "thriller"], sink).expect("keywords exist");
+    });
+    for (rank, a) in top.iter().enumerate() {
+        println!("  #{} ({} edges): {a:?}", rank + 1, a.len());
+    }
+
+    println!("\nquery (strong): DeNiro AND Pacino AND Mann — keyword nodes must be leaves");
+    let mut strong = 0;
+    strong_k_fragments(&db, &["DeNiro", "Pacino", "Mann"], &mut |edges| {
+        strong += 1;
+        println!("  strong fragment: {edges:?}");
+        ControlFlow::Continue(())
+    })
+    .expect("keywords exist");
+    println!("  ({strong} strong fragments)");
+
+    // Directed variant: citations database.
+    let mut cite = DirectedDataGraph::new();
+    let survey = cite.add_node(&["survey"]);
+    let a = cite.add_node(&["enumeration"]);
+    let b = cite.add_node(&["steiner"]);
+    let c = cite.add_node(&[]);
+    cite.add_arc(survey, a).unwrap();
+    cite.add_arc(survey, c).unwrap();
+    cite.add_arc(c, b).unwrap();
+    cite.add_arc(a, b).unwrap();
+    println!("\ndirected query: enumeration AND steiner (rooted fragments)");
+    directed_k_fragments(&cite, &["enumeration", "steiner"], &mut |f| {
+        println!("  root {} arcs {:?}", f.root, f.arcs);
+        ControlFlow::Continue(())
+    })
+    .expect("keywords exist");
+}

@@ -1,0 +1,59 @@
+//! Minimal Steiner forests for multicast group provisioning.
+//!
+//! A network operator must provision links so that each multicast group's
+//! members can reach each other; different groups may share links. The
+//! inclusion-minimal link sets are exactly the minimal Steiner forests of
+//! §5 of the paper. This example enumerates them on a small backbone
+//! topology and reports the cheapest options.
+//!
+//! Run with: `cargo run --example steiner_forest_multicast`
+
+use minimal_steiner::graph::{generators, VertexId};
+use minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests;
+use minimal_steiner::steiner::verify::is_minimal_steiner_forest;
+use std::ops::ControlFlow;
+
+fn main() {
+    // Backbone: a 3×5 grid of routers.
+    let g = generators::grid(3, 5);
+    println!("backbone: 3x5 grid (n = {}, m = {})", g.num_vertices(), g.num_edges());
+
+    // Two multicast groups.
+    let groups = vec![
+        vec![VertexId(0), VertexId(4), VertexId(14)], // group A: three sites
+        vec![VertexId(10), VertexId(2)],              // group B: two sites
+    ];
+    println!("group A: {:?}", groups[0]);
+    println!("group B: {:?}", groups[1]);
+
+    let mut count = 0u64;
+    let mut best: Option<Vec<_>> = None;
+    let mut sizes: Vec<usize> = Vec::new();
+    let stats = enumerate_minimal_steiner_forests(&g, &groups, &mut |edges| {
+        assert!(is_minimal_steiner_forest(&g, &groups, edges));
+        count += 1;
+        sizes.push(edges.len());
+        if best.as_ref().is_none_or(|b: &Vec<_>| edges.len() < b.len()) {
+            best = Some(edges.to_vec());
+        }
+        ControlFlow::Continue(())
+    });
+
+    println!("\n{count} minimal provisioning plans (minimal Steiner forests)");
+    sizes.sort_unstable();
+    println!(
+        "link counts: min {}, median {}, max {}",
+        sizes.first().unwrap(),
+        sizes[sizes.len() / 2],
+        sizes.last().unwrap()
+    );
+    println!("a cheapest plan uses {} links: {:?}", best.as_ref().unwrap().len(), best.unwrap());
+    println!(
+        "enumeration: {} nodes, {} work units, max inter-solution gap {} units",
+        stats.nodes, stats.work, stats.max_emission_gap
+    );
+    println!(
+        "every internal node branched (Theorem 25 invariant): {}",
+        stats.deficient_internal_nodes == 0
+    );
+}

@@ -1,0 +1,60 @@
+//! Minimal terminal Steiner trees for VLSI-style pin routing.
+//!
+//! In VLSI routing (Lin & Xue [28], cited by the paper), the terminals are
+//! I/O pins that must connect through the routing fabric but may not be
+//! used as through-vertices — i.e. they must be **leaves**: exactly the
+//! terminal Steiner tree problem (§5.1). This example enumerates all
+//! minimal routings of a pin set over a grid fabric.
+//!
+//! Run with: `cargo run --example terminal_steiner_vlsi`
+
+use minimal_steiner::graph::{generators, UndirectedGraph, VertexId};
+use minimal_steiner::steiner::terminal::enumerate_minimal_terminal_steiner_trees;
+use minimal_steiner::steiner::verify::is_minimal_terminal_steiner_tree;
+use std::ops::ControlFlow;
+
+fn main() {
+    // Routing fabric: a 4×4 grid; pins are attached to fabric cells.
+    let mut g: UndirectedGraph = generators::grid(4, 4);
+    let pin_a = g.add_vertex();
+    let pin_b = g.add_vertex();
+    let pin_c = g.add_vertex();
+    // Each pin attaches to two fabric cells (redundant taps).
+    g.add_edge(pin_a, VertexId(0)).unwrap();
+    g.add_edge(pin_a, VertexId(1)).unwrap();
+    g.add_edge(pin_b, VertexId(15)).unwrap();
+    g.add_edge(pin_b, VertexId(14)).unwrap();
+    g.add_edge(pin_c, VertexId(12)).unwrap();
+    g.add_edge(pin_c, VertexId(8)).unwrap();
+    let pins = [pin_a, pin_b, pin_c];
+    println!(
+        "fabric: 4x4 grid + 3 pins with redundant taps (n = {}, m = {})",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!("pins: {pins:?} (must be leaves of every routing)");
+
+    let mut count = 0u64;
+    let mut min_len = usize::MAX;
+    let stats = enumerate_minimal_terminal_steiner_trees(&g, &pins, &mut |edges| {
+        assert!(is_minimal_terminal_steiner_tree(&g, &pins, edges));
+        count += 1;
+        min_len = min_len.min(edges.len());
+        ControlFlow::Continue(())
+    });
+    println!("\n{count} minimal routings (minimal terminal Steiner trees)");
+    println!("shortest routing uses {min_len} wires");
+    println!(
+        "enumeration: {} nodes, {} solutions, max gap {} work units",
+        stats.nodes, stats.solutions, stats.max_emission_gap
+    );
+
+    // Contrast with plain Steiner trees, where pins may be through-routed:
+    let mut plain = 0u64;
+    minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees(&g, &pins, &mut |_| {
+        plain += 1;
+        ControlFlow::Continue(())
+    });
+    println!("\n(for contrast, plain minimal Steiner trees: {plain} — a superset count,");
+    println!(" since those may route *through* a pin)");
+}

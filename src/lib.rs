@@ -1,0 +1,49 @@
+//! **minimal-steiner** — a complete implementation of *Linear-Delay
+//! Enumeration for Minimal Steiner Problems* (Kobayashi, Kurita, Wasa —
+//! PODS 2022).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — graph substrate (multigraphs, digraphs, bridges,
+//!   contraction, LCA, generators, I/O);
+//! * [`paths`] — linear-delay *s*-*t* path enumeration (paper §3,
+//!   Algorithm 1);
+//! * [`steiner`] — minimal Steiner tree / forest / terminal / directed
+//!   enumeration with amortized-linear time and linear delay via the
+//!   output queue (paper §4–§5);
+//! * [`induced`] — minimal induced Steiner subgraphs on claw-free graphs
+//!   via the supergraph technique (paper §7);
+//! * [`hardness`] — the §6 hardness constructions, executable (minimal
+//!   transversals, group Steiner trees, internal Steiner trees);
+//! * [`kfragment`] — the keyword-search application layer (K-fragments).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use minimal_steiner::graph::{UndirectedGraph, VertexId};
+//! use minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees;
+//! use std::ops::ControlFlow;
+//!
+//! // A square: two ways to connect opposite corners.
+//! let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! let terminals = [VertexId(0), VertexId(2)];
+//! let mut count = 0;
+//! enumerate_minimal_steiner_trees(&g, &terminals, &mut |tree| {
+//!     count += 1;
+//!     assert_eq!(tree.len(), 2); // each solution is one side of the square
+//!     ControlFlow::Continue(())
+//! });
+//! assert_eq!(count, 2);
+//! ```
+//!
+//! Every enumerator is push-based (a sink receives each solution the
+//! moment it is emitted; return `ControlFlow::Break` to stop early), and
+//! [`paths::streaming::Enumeration`] converts any of them into a plain
+//! `Iterator` running on a worker thread.
+
+pub use steiner_core as steiner;
+pub use steiner_graph as graph;
+pub use steiner_hardness as hardness;
+pub use steiner_induced as induced;
+pub use steiner_kfragment as kfragment;
+pub use steiner_paths as paths;

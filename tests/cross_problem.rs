@@ -1,0 +1,204 @@
+//! Cross-crate integration tests: the equivalences the paper states
+//! between its problems, checked end to end.
+
+use minimal_steiner::graph::line_graph::Theorem39Instance;
+use minimal_steiner::graph::{generators, DiGraph, EdgeId, UndirectedGraph, VertexId};
+use minimal_steiner::induced::reduction::minimal_steiner_trees_via_induced;
+use minimal_steiner::induced::supergraph::enumerate_minimal_induced_steiner_subgraphs;
+use minimal_steiner::steiner::directed::enumerate_minimal_directed_steiner_trees;
+use minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests;
+use minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees;
+use minimal_steiner::steiner::terminal::enumerate_minimal_terminal_steiner_trees;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+fn steiner_trees(g: &UndirectedGraph, w: &[VertexId]) -> BTreeSet<Vec<EdgeId>> {
+    let mut out = BTreeSet::new();
+    enumerate_minimal_steiner_trees(g, w, &mut |e| {
+        assert!(out.insert(e.to_vec()), "duplicate");
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// A Steiner forest instance with a single terminal set is exactly a
+/// Steiner tree instance (§5: "when |W| = 1, Steiner Forest Enumeration is
+/// equivalent to Steiner Tree Enumeration").
+#[test]
+fn forest_with_one_set_equals_tree_enumeration() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    for _ in 0..25 {
+        let n = 4 + rng.gen_range(0..5usize);
+        let g = generators::random_connected_graph(n, n + rng.gen_range(0..4), &mut rng);
+        let t = 2 + rng.gen_range(0..3usize).min(n - 2);
+        let w = generators::random_terminals(n, t, &mut rng);
+        let trees = steiner_trees(&g, &w);
+        let mut forests = BTreeSet::new();
+        enumerate_minimal_steiner_forests(&g, std::slice::from_ref(&w), &mut |e| {
+            assert!(forests.insert(e.to_vec()));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(trees, forests, "graph {g:?} terminals {w:?}");
+    }
+}
+
+/// Steiner tree enumeration with |W| = 2 is s-t path enumeration
+/// (§3: "s-t paths ... is indeed a special case").
+#[test]
+fn two_terminals_equals_path_enumeration() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+    for _ in 0..25 {
+        let n = 4 + rng.gen_range(0..6usize);
+        let g = generators::random_connected_graph(n, n + rng.gen_range(0..5), &mut rng);
+        let s = VertexId(0);
+        let t = VertexId::new(n - 1);
+        let trees = steiner_trees(&g, &[s, t]);
+        let mut paths: BTreeSet<Vec<EdgeId>> = BTreeSet::new();
+        minimal_steiner::paths::undirected::enumerate_st_paths(&g, s, t, None, &mut |p| {
+            let mut edges = p.edges.to_vec();
+            edges.sort_unstable();
+            assert!(paths.insert(edges));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(trees, paths, "graph {g:?}");
+    }
+}
+
+/// Theorem 39 round trip on random instances: minimal Steiner trees of
+/// (G, W) equal the mapped-back minimal induced Steiner subgraphs of
+/// (H, W_H).
+#[test]
+fn theorem39_round_trip_random() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+    for _ in 0..20 {
+        let n = 4 + rng.gen_range(0..3usize);
+        let g = generators::random_connected_graph(n, n + rng.gen_range(0..3), &mut rng);
+        if g.num_edges() > 11 {
+            continue;
+        }
+        let t = 2 + rng.gen_range(0..2usize).min(n - 2);
+        let w = generators::random_terminals(n, t, &mut rng);
+        let direct = steiner_trees(&g, &w);
+        let via = minimal_steiner_trees_via_induced(&g, &w).expect("claw-free construction");
+        assert_eq!(direct, via, "graph {g:?} terminals {w:?}");
+    }
+}
+
+/// Theorem 39 instances are always claw-free, so the §7 enumerator accepts
+/// them even when the base graph has large stars.
+#[test]
+fn theorem39_instance_on_star_base() {
+    let g = generators::star(6); // very claw-ful base graph
+    let w = [VertexId(1), VertexId(4), VertexId(6)];
+    let inst = Theorem39Instance::new(&g, &w);
+    let mut count = 0;
+    enumerate_minimal_induced_steiner_subgraphs(&inst.h, &inst.h_terminals, &mut |set| {
+        let edges = inst.solution_to_edges(set);
+        count += 1;
+        // The unique minimal Steiner tree of a star: the terminal edges.
+        assert_eq!(edges, vec![EdgeId(0), EdgeId(3), EdgeId(5)]);
+        ControlFlow::Continue(())
+    })
+    .expect("claw-free instance");
+    assert_eq!(count, 1);
+}
+
+/// The directed enumerator on a symmetrized digraph (every undirected edge
+/// becomes an arc pair) with root at a terminal's side finds trees whose
+/// undirected projections are Steiner trees containing the root.
+#[test]
+fn directed_on_symmetrized_graph_projects_to_undirected_trees() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+    for _ in 0..15 {
+        let n = 4 + rng.gen_range(0..4usize);
+        let g = generators::random_connected_graph(n, n + rng.gen_range(0..3), &mut rng);
+        let mut d = DiGraph::new(n);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            d.add_arc(u, v).unwrap();
+            d.add_arc(v, u).unwrap();
+        }
+        let root = VertexId(0);
+        let t = 1 + rng.gen_range(0..2usize).min(n - 1);
+        let mut w = generators::random_terminals(n, t, &mut rng);
+        w.retain(|&v| v != root);
+        if w.is_empty() {
+            continue;
+        }
+        // Undirected minimal Steiner trees over {root} ∪ W.
+        let mut undirected_terms = w.clone();
+        undirected_terms.push(root);
+        let trees = steiner_trees(&g, &undirected_terms);
+        // Directed trees, projected to undirected edge sets.
+        let mut projected = BTreeSet::new();
+        enumerate_minimal_directed_steiner_trees(&d, root, &w, &mut |arcs| {
+            let mut edges: Vec<EdgeId> =
+                arcs.iter().map(|a| EdgeId::new(a.index() / 2)).collect();
+            edges.sort_unstable();
+            edges.dedup();
+            projected.insert(edges);
+            ControlFlow::Continue(())
+        });
+        // Every undirected minimal Steiner tree containing the root arises
+        // as exactly one directed tree (orient away from root), and every
+        // directed tree projects to such an undirected tree.
+        assert_eq!(projected, trees, "graph {g:?} root {root} terminals {w:?}");
+    }
+}
+
+/// Terminal Steiner trees are Steiner trees; when no terminal is ever
+/// internal in any minimal Steiner tree, the two solution sets coincide.
+#[test]
+fn terminal_trees_are_a_subset_of_steiner_trees() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(105);
+    for _ in 0..25 {
+        let n = 4 + rng.gen_range(0..5usize);
+        let g = generators::random_connected_graph(n, n + rng.gen_range(0..4), &mut rng);
+        let t = 2 + rng.gen_range(0..3usize).min(n - 2);
+        let w = generators::random_terminals(n, t, &mut rng);
+        let trees = steiner_trees(&g, &w);
+        let mut terminal_trees = BTreeSet::new();
+        enumerate_minimal_terminal_steiner_trees(&g, &w, &mut |e| {
+            terminal_trees.insert(e.to_vec());
+            ControlFlow::Continue(())
+        });
+        for t in &terminal_trees {
+            assert!(
+                trees.contains(t),
+                "terminal Steiner tree {t:?} must be a minimal Steiner tree; graph {g:?} w {w:?}"
+            );
+        }
+    }
+}
+
+/// K-fragments agree with the core enumerator run on the extracted
+/// terminal set.
+#[test]
+fn kfragments_match_core_enumeration() {
+    use minimal_steiner::kfragment::data_graph::DataGraph;
+    use minimal_steiner::kfragment::fragments::k_fragments;
+    let mut dg = DataGraph::new();
+    let nodes: Vec<VertexId> = (0..8)
+        .map(|i| {
+            if i % 3 == 0 {
+                dg.add_node(&["k"])
+            } else {
+                dg.add_node(&[])
+            }
+        })
+        .collect();
+    for i in 0..nodes.len() {
+        dg.add_edge(nodes[i], nodes[(i + 1) % nodes.len()]).unwrap();
+    }
+    dg.add_edge(nodes[0], nodes[4]).unwrap();
+    let terminals = dg.terminals_for(&["k"]).unwrap();
+    let direct = steiner_trees(&dg.graph, &terminals);
+    let mut via = BTreeSet::new();
+    k_fragments(&dg, &["k"], &mut |e| {
+        via.insert(e.to_vec());
+        ControlFlow::Continue(())
+    })
+    .unwrap();
+    assert_eq!(direct, via);
+}

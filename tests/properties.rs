@@ -1,0 +1,222 @@
+//! Property-based tests (proptest): the fast enumerators agree with the
+//! brute-force oracles on arbitrary small instances, and every output
+//! passes its validity checker.
+
+use minimal_steiner::graph::{DiGraph, UndirectedGraph, VertexId};
+use minimal_steiner::steiner::{brute, verify};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+/// Strategy: a connected graph on `n ∈ [2, 7]` vertices — a path backbone
+/// plus up to 8 random extra edges (parallel edges allowed, exercising the
+/// multigraph code paths).
+fn connected_graph() -> impl Strategy<Value = UndirectedGraph> {
+    (2usize..=7).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n), 0..8);
+        extra.prop_map(move |pairs| {
+            let mut g = UndirectedGraph::new(n);
+            for i in 1..n {
+                g.add_edge_indices(i - 1, i).unwrap();
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge_indices(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a digraph on `n ∈ [2, 6]` vertices with random arcs.
+fn digraph() -> impl Strategy<Value = DiGraph> {
+    (2usize..=6).prop_flat_map(|n| {
+        let arcs = proptest::collection::vec((0..n, 0..n), 0..12);
+        arcs.prop_map(move |pairs| {
+            let mut d = DiGraph::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    d.add_arc_indices(u, v).unwrap();
+                }
+            }
+            d
+        })
+    })
+}
+
+fn terminal_subset(n: usize, mask: u8, max: usize) -> Vec<VertexId> {
+    let mask = mask as u64;
+    let mut w: Vec<VertexId> = (0..n.min(63))
+        .filter(|i| mask & (1u64 << i) != 0)
+        .map(VertexId::new)
+        .collect();
+    w.truncate(max);
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn improved_steiner_matches_brute(g in connected_graph(), mask in 1u8..128) {
+        prop_assume!(g.num_edges() <= 18);
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        prop_assume!(!w.is_empty());
+        let mut got = BTreeSet::new();
+        let mut all_valid = true;
+        let mut duplicate = false;
+        minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees(&g, &w, &mut |e| {
+            all_valid &= verify::is_minimal_steiner_tree(&g, &w, e);
+            duplicate |= !got.insert(e.to_vec());
+            ControlFlow::Continue(())
+        });
+        prop_assert!(all_valid, "invalid solution emitted");
+        prop_assert!(!duplicate, "duplicate solution emitted");
+        prop_assert_eq!(got, brute::minimal_steiner_trees(&g, &w));
+    }
+
+    #[test]
+    fn queued_steiner_matches_direct(g in connected_graph(), mask in 1u8..128) {
+        prop_assume!(g.num_edges() <= 18);
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        prop_assume!(w.len() >= 2);
+        let mut direct = BTreeSet::new();
+        minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees(&g, &w, &mut |e| {
+            direct.insert(e.to_vec());
+            ControlFlow::Continue(())
+        });
+        let mut queued = BTreeSet::new();
+        minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees_queued(
+            &g, &w, None, &mut |e| {
+                queued.insert(e.to_vec());
+                ControlFlow::Continue(())
+            });
+        prop_assert_eq!(direct, queued);
+    }
+
+    #[test]
+    fn terminal_steiner_matches_brute(g in connected_graph(), mask in 1u8..128) {
+        prop_assume!(g.num_edges() <= 18);
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        prop_assume!(w.len() >= 2);
+        let mut got = BTreeSet::new();
+        let mut all_valid = true;
+        let mut duplicate = false;
+        minimal_steiner::steiner::terminal::enumerate_minimal_terminal_steiner_trees(
+            &g, &w, &mut |e| {
+                all_valid &= verify::is_minimal_terminal_steiner_tree(&g, &w, e);
+                duplicate |= !got.insert(e.to_vec());
+                ControlFlow::Continue(())
+            });
+        prop_assert!(all_valid, "invalid solution emitted");
+        prop_assert!(!duplicate, "duplicate solution emitted");
+        prop_assert_eq!(got, brute::minimal_terminal_steiner_trees(&g, &w));
+    }
+
+    #[test]
+    fn forest_matches_brute(g in connected_graph(), m1 in 1u8..128, m2 in 1u8..128) {
+        prop_assume!(g.num_edges() <= 16);
+        let n = g.num_vertices();
+        let s1 = terminal_subset(n, m1, 3);
+        let s2 = terminal_subset(n, m2, 3);
+        let sets = vec![s1, s2];
+        let mut got = BTreeSet::new();
+        let mut all_valid = true;
+        let mut duplicate = false;
+        minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests(&g, &sets, &mut |e| {
+            all_valid &= verify::is_minimal_steiner_forest(&g, &sets, e);
+            duplicate |= !got.insert(e.to_vec());
+            ControlFlow::Continue(())
+        });
+        prop_assert!(all_valid, "invalid solution emitted");
+        prop_assert!(!duplicate, "duplicate solution emitted");
+        prop_assert_eq!(got, brute::minimal_steiner_forests(&g, &sets));
+    }
+
+    #[test]
+    fn directed_matches_brute(d in digraph(), mask in 1u8..64) {
+        prop_assume!(d.num_arcs() <= 16);
+        let n = d.num_vertices();
+        let root = VertexId(0);
+        let mut w = terminal_subset(n, mask, 3);
+        w.retain(|&v| v != root);
+        prop_assume!(!w.is_empty());
+        let mut got = BTreeSet::new();
+        let mut all_valid = true;
+        let mut duplicate = false;
+        minimal_steiner::steiner::directed::enumerate_minimal_directed_steiner_trees(
+            &d, root, &w, &mut |a| {
+                all_valid &= verify::is_minimal_directed_steiner_subgraph(&d, root, &w, a);
+                duplicate |= !got.insert(a.to_vec());
+                ControlFlow::Continue(())
+            });
+        prop_assert!(all_valid, "invalid solution emitted");
+        prop_assert!(!duplicate, "duplicate solution emitted");
+        prop_assert_eq!(got, brute::minimal_directed_steiner_trees(&d, root, &w));
+    }
+
+    #[test]
+    fn path_enumeration_matches_naive(d in digraph()) {
+        let n = d.num_vertices();
+        let s = VertexId(0);
+        let t = VertexId::new(n - 1);
+        let fast: BTreeSet<Vec<_>> =
+            minimal_steiner::paths::visit::collect_arc_paths(|sink| {
+                minimal_steiner::paths::enumerate_directed_st_paths(&d, s, t, None, sink);
+            }).into_iter().collect();
+        let slow: BTreeSet<Vec<_>> =
+            minimal_steiner::paths::visit::collect_arc_paths(|sink| {
+                minimal_steiner::paths::naive::enumerate_directed_st_paths_naive(
+                    &d, s, t, None, sink);
+            }).into_iter().collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn induced_on_line_graphs_matches_brute(g in connected_graph(), mask in 1u8..128) {
+        // Work on the line graph (claw-free); terminals are edge-vertices.
+        prop_assume!(g.num_edges() >= 2 && g.num_edges() <= 9);
+        let lg = minimal_steiner::graph::line_graph::line_graph(&g);
+        let n = lg.num_vertices();
+        let w = terminal_subset(n, mask, 3);
+        prop_assume!(!w.is_empty());
+        let mut got = BTreeSet::new();
+        let res = minimal_steiner::induced::supergraph::
+            enumerate_minimal_induced_steiner_subgraphs(&lg, &w, &mut |s| {
+                got.insert(s.to_vec());
+                ControlFlow::Continue(())
+            });
+        prop_assert!(res.is_ok());
+        prop_assert_eq!(
+            got,
+            minimal_steiner::induced::brute::minimal_induced_steiner_subgraphs(&lg, &w)
+        );
+    }
+
+    #[test]
+    fn transversals_match_brute(
+        n in 2usize..6,
+        edges in proptest::collection::vec(proptest::collection::vec(0usize..6, 1..4), 1..5),
+    ) {
+        let edges: Vec<Vec<usize>> = edges
+            .into_iter()
+            .map(|e| e.into_iter().map(|v| v % n).collect())
+            .collect();
+        let h = minimal_steiner::hardness::hypergraph::Hypergraph::new(n, edges);
+        let mut got = BTreeSet::new();
+        let mut all_valid = true;
+        let mut duplicate = false;
+        minimal_steiner::hardness::transversal::enumerate_minimal_transversals(&h, &mut |t| {
+            all_valid &= h.is_minimal_transversal(t);
+            duplicate |= !got.insert(t.to_vec());
+            ControlFlow::Continue(())
+        });
+        prop_assert!(all_valid, "invalid transversal emitted");
+        prop_assert!(!duplicate, "duplicate transversal emitted");
+        prop_assert_eq!(
+            got,
+            minimal_steiner::hardness::transversal::minimal_transversals_brute(&h)
+        );
+    }
+}
