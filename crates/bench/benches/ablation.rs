@@ -33,7 +33,9 @@ fn bench_lemma11(c: &mut Criterion) {
                         VertexId(0),
                         t,
                         None,
-                        EnumerateOptions { incremental_extendibility: incremental },
+                        EnumerateOptions {
+                            incremental_extendibility: incremental,
+                        },
                         &mut |_| {
                             count += 1;
                             if count < CAP {
@@ -60,27 +62,14 @@ fn bench_branching(c: &mut Criterion) {
         let inst = workloads::theta_instance(blocks, 2);
         // Terminals at every hub maximize the depth of the simple tree.
         let w: Vec<VertexId> = (0..=blocks).map(VertexId::new).collect();
-        group.bench_with_input(
-            BenchmarkId::new("improved", blocks),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut count = 0u64;
-                    steiner_core::improved::enumerate_minimal_steiner_trees(
-                        &inst.graph,
-                        &w,
-                        &mut |_| {
-                            count += 1;
-                            if count < CAP {
-                                ControlFlow::Continue(())
-                            } else {
-                                ControlFlow::Break(())
-                            }
-                        },
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("improved", blocks), &inst, |b, inst| {
+            b.iter(|| {
+                steiner_core::Enumeration::new(steiner_core::SteinerTree::new(&inst.graph, &w))
+                    .with_limit(CAP)
+                    .count()
+                    .unwrap()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("simple", blocks), &inst, |b, inst| {
             b.iter(|| {
                 let mut count = 0u64;

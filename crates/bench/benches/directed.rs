@@ -1,9 +1,8 @@
 //! Criterion bench: the Table 1 "Directed Steiner Tree" row (Theorem 36).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::ops::ControlFlow;
 use steiner_bench::workloads;
-use steiner_core::directed::enumerate_minimal_directed_steiner_trees;
+use steiner_core::{DirectedSteinerTree, Enumeration};
 
 const CAP: u64 = 3_000;
 
@@ -18,15 +17,10 @@ fn bench_directed(c: &mut Criterion) {
             &(d, root, w),
             |b, (d, root, w)| {
                 b.iter(|| {
-                    let mut count = 0u64;
-                    enumerate_minimal_directed_steiner_trees(d, *root, w, &mut |_| {
-                        count += 1;
-                        if count < CAP {
-                            ControlFlow::Continue(())
-                        } else {
-                            ControlFlow::Break(())
-                        }
-                    })
+                    Enumeration::new(DirectedSteinerTree::new(d, *root, w))
+                        .with_limit(CAP)
+                        .count()
+                        .unwrap()
                 })
             },
         );

@@ -2,9 +2,8 @@
 //! over the number of terminal pairs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::ops::ControlFlow;
 use steiner_bench::workloads;
-use steiner_core::forest::enumerate_minimal_steiner_forests;
+use steiner_core::{Enumeration, SteinerForest};
 
 const CAP: u64 = 3_000;
 
@@ -18,15 +17,10 @@ fn bench_forest(c: &mut Criterion) {
             &(g, sets),
             |b, (g, sets)| {
                 b.iter(|| {
-                    let mut count = 0u64;
-                    enumerate_minimal_steiner_forests(g, sets, &mut |_| {
-                        count += 1;
-                        if count < CAP {
-                            ControlFlow::Continue(())
-                        } else {
-                            ControlFlow::Break(())
-                        }
-                    })
+                    Enumeration::new(SteinerForest::new(g, sets))
+                        .with_limit(CAP)
+                        .count()
+                        .unwrap()
                 })
             },
         );

@@ -39,30 +39,26 @@ fn bench_paths(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("naive", &inst.name),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut count = 0u64;
-                    steiner_paths::undirected::enumerate_st_paths_naive(
-                        &inst.graph,
-                        s,
-                        t,
-                        None,
-                        &mut |_| {
-                            count += 1;
-                            if count < CAP {
-                                ControlFlow::Continue(())
-                            } else {
-                                ControlFlow::Break(())
-                            }
-                        },
-                    );
-                    count
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("naive", &inst.name), &inst, |b, inst| {
+            b.iter(|| {
+                let mut count = 0u64;
+                steiner_paths::undirected::enumerate_st_paths_naive(
+                    &inst.graph,
+                    s,
+                    t,
+                    None,
+                    &mut |_| {
+                        count += 1;
+                        if count < CAP {
+                            ControlFlow::Continue(())
+                        } else {
+                            ControlFlow::Break(())
+                        }
+                    },
+                );
+                count
+            })
+        });
     }
     // Grid corner-to-corner: dead-end-rich, where pruning matters most.
     let g = steiner_graph::generators::grid(4, 4);
@@ -70,10 +66,16 @@ fn bench_paths(c: &mut Criterion) {
     group.bench_function("algorithm1/grid4x4", |b| {
         b.iter(|| {
             let mut count = 0u64;
-            steiner_paths::undirected::enumerate_st_paths(&g, VertexId(0), target, None, &mut |_| {
-                count += 1;
-                ControlFlow::Continue(())
-            });
+            steiner_paths::undirected::enumerate_st_paths(
+                &g,
+                VertexId(0),
+                target,
+                None,
+                &mut |_| {
+                    count += 1;
+                    ControlFlow::Continue(())
+                },
+            );
             count
         })
     });

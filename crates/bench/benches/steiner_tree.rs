@@ -5,24 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::ops::ControlFlow;
 use steiner_bench::workloads;
-use steiner_core::improved::{
-    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_queued,
-};
 use steiner_core::simple::enumerate_minimal_steiner_trees_simple;
-use steiner_graph::EdgeId;
+use steiner_core::{Enumeration, SteinerTree};
 
 const CAP: u64 = 3_000;
-
-fn capped_sink(count: &mut u64) -> impl FnMut(&[EdgeId]) -> ControlFlow<()> + '_ {
-    move |_| {
-        *count += 1;
-        if *count < CAP {
-            ControlFlow::Continue(())
-        } else {
-            ControlFlow::Break(())
-        }
-    }
-}
 
 fn bench_terminal_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("steiner_tree_terminal_sweep");
@@ -31,28 +17,32 @@ fn bench_terminal_sweep(c: &mut Criterion) {
         let inst = workloads::grid_instance(4, 6, t);
         group.bench_with_input(BenchmarkId::new("improved", t), &inst, |b, inst| {
             b.iter(|| {
-                let mut count = 0u64;
-                let mut sink = capped_sink(&mut count);
-                enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut sink)
+                Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                    .with_limit(CAP)
+                    .count()
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("simple", t), &inst, |b, inst| {
             b.iter(|| {
                 let mut count = 0u64;
-                let mut sink = capped_sink(&mut count);
-                enumerate_minimal_steiner_trees_simple(&inst.graph, &inst.terminals, &mut sink)
+                enumerate_minimal_steiner_trees_simple(&inst.graph, &inst.terminals, &mut |_| {
+                    count += 1;
+                    if count < CAP {
+                        ControlFlow::Continue(())
+                    } else {
+                        ControlFlow::Break(())
+                    }
+                })
             })
         });
         group.bench_with_input(BenchmarkId::new("queued", t), &inst, |b, inst| {
             b.iter(|| {
-                let mut count = 0u64;
-                let mut sink = capped_sink(&mut count);
-                enumerate_minimal_steiner_trees_queued(
-                    &inst.graph,
-                    &inst.terminals,
-                    None,
-                    &mut sink,
-                )
+                Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                    .with_default_queue()
+                    .with_limit(CAP)
+                    .count()
+                    .unwrap()
             })
         });
     }
@@ -69,9 +59,10 @@ fn bench_size_sweep(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    let mut count = 0u64;
-                    let mut sink = capped_sink(&mut count);
-                    enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut sink)
+                    Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                        .with_limit(CAP)
+                        .count()
+                        .unwrap()
                 })
             },
         );

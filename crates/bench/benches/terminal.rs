@@ -1,9 +1,8 @@
 //! Criterion bench: the Table 1 "Terminal Steiner Tree" row (Theorem 31).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::ops::ControlFlow;
 use steiner_bench::workloads;
-use steiner_core::terminal::enumerate_minimal_terminal_steiner_trees;
+use steiner_core::{Enumeration, TerminalSteinerTree};
 
 const CAP: u64 = 3_000;
 
@@ -14,15 +13,10 @@ fn bench_terminal(c: &mut Criterion) {
         let inst = workloads::grid_instance(4, 6, t);
         group.bench_with_input(BenchmarkId::new("improved", t), &inst, |b, inst| {
             b.iter(|| {
-                let mut count = 0u64;
-                enumerate_minimal_terminal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
-                    count += 1;
-                    if count < CAP {
-                        ControlFlow::Continue(())
-                    } else {
-                        ControlFlow::Break(())
-                    }
-                })
+                Enumeration::new(TerminalSteinerTree::new(&inst.graph, &inst.terminals))
+                    .with_limit(CAP)
+                    .count()
+                    .unwrap()
             })
         });
     }

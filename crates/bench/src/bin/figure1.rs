@@ -13,10 +13,9 @@
 
 use std::ops::ControlFlow;
 use steiner_bench::workloads;
-use steiner_core::improved::{
-    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_with,
-};
 use steiner_core::queue::{OutputQueue, QueueConfig};
+use steiner_core::solver::run_with_sink;
+use steiner_core::{Enumeration, SteinerTree};
 
 fn main() {
     for inst in [
@@ -32,10 +31,12 @@ fn main() {
         let mut emitted_at_work: Vec<u64> = Vec::new();
         let stats = {
             let mut probe_count = 0u64;
-            let s = enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
-                probe_count += 1;
-                ControlFlow::Continue(())
-            });
+            let s = Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                .for_each(|_| {
+                    probe_count += 1;
+                    ControlFlow::Continue(())
+                })
+                .expect("valid instance");
             emitted_at_work.push(probe_count);
             s
         };
@@ -70,8 +71,8 @@ fn main() {
             ControlFlow::Continue(())
         };
         let mut queue = OutputQueue::new(config, &mut sink);
-        let qstats =
-            enumerate_minimal_steiner_trees_with(&inst.graph, &inst.terminals, &mut queue);
+        let mut problem = SteinerTree::new(&inst.graph, &inst.terminals);
+        let qstats = run_with_sink(&mut problem, &mut queue).expect("valid instance");
         println!(
             "output queue: warm-up = {} solutions (= n), budget = {} work units (≈ 4(n+m))",
             config.warmup, config.budget

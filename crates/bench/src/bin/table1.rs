@@ -9,13 +9,10 @@
 use std::ops::ControlFlow;
 use steiner_bench::measure::{record_delays, render_markdown, Row};
 use steiner_bench::workloads;
-use steiner_core::directed::enumerate_minimal_directed_steiner_trees;
-use steiner_core::forest::enumerate_minimal_steiner_forests;
-use steiner_core::improved::{
-    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_queued,
-};
 use steiner_core::simple::enumerate_minimal_steiner_trees_simple;
-use steiner_core::terminal::enumerate_minimal_terminal_steiner_trees;
+use steiner_core::{
+    DirectedSteinerTree, Enumeration, SteinerForest, SteinerTree, TerminalSteinerTree,
+};
 use steiner_graph::VertexId;
 
 const CAP: u64 = 20_000;
@@ -35,13 +32,10 @@ fn paths_rows(rows: &mut Vec<Row>) {
         let (s, t) = (inst.terminals[0], inst.terminals[1]);
         let mut work_gap = None;
         let delays = record_delays(CAP, |emit| {
-            let stats = steiner_paths::undirected::enumerate_st_paths(
-                &inst.graph,
-                s,
-                t,
-                None,
-                &mut |_| flow(emit()),
-            );
+            let stats =
+                steiner_paths::undirected::enumerate_st_paths(&inst.graph, s, t, None, &mut |_| {
+                    flow(emit())
+                });
             work_gap = Some(stats.work);
         });
         rows.push(Row {
@@ -89,14 +83,12 @@ fn st_rows(rows: &mut Vec<Row>) {
         let inst = workloads::grid_instance(4, 8, t);
         let (n, m) = (inst.graph.num_vertices(), inst.graph.num_edges());
         let nm = (n + m) as f64;
-        let mut stats_holder = None;
+        let (run, stats) =
+            Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals)).with_stats();
         let delays = record_delays(CAP, |emit| {
-            let s = enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
-                flow(emit())
-            });
-            stats_holder = Some(s);
+            run.for_each(|_| flow(emit())).expect("valid instance");
         });
-        let stats = stats_holder.unwrap();
+        let stats = stats.get();
         rows.push(Row {
             problem: "Steiner Tree (§4)".into(),
             algorithm: "improved (Thm 17)".into(),
@@ -112,14 +104,13 @@ fn st_rows(rows: &mut Vec<Row>) {
         });
         let mut stats_holder = None;
         let delays = record_delays(CAP, |emit| {
-            let s = enumerate_minimal_steiner_trees_simple(
-                &inst.graph,
-                &inst.terminals,
-                &mut |_| flow(emit()),
-            );
+            let s =
+                enumerate_minimal_steiner_trees_simple(&inst.graph, &inst.terminals, &mut |_| {
+                    flow(emit())
+                });
             stats_holder = Some(s);
         });
-        let stats = stats_holder.unwrap();
+        let stats = stats_holder.expect("simple baseline keeps the free-function API");
         rows.push(Row {
             problem: "Steiner Tree (§4)".into(),
             algorithm: "simple Alg. 2 (≈[26])".into(),
@@ -133,17 +124,11 @@ fn st_rows(rows: &mut Vec<Row>) {
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
         });
-        let mut stats_holder = None;
+        let run =
+            Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals)).with_default_queue();
         let delays = record_delays(CAP, |emit| {
-            let s = enumerate_minimal_steiner_trees_queued(
-                &inst.graph,
-                &inst.terminals,
-                None,
-                &mut |_| flow(emit()),
-            );
-            stats_holder = Some(s);
+            run.for_each(|_| flow(emit())).expect("valid instance");
         });
-        let _ = stats_holder.unwrap();
         rows.push(Row {
             problem: "Steiner Tree (§4)".into(),
             algorithm: "improved + queue (Thm 20)".into(),
@@ -162,14 +147,12 @@ fn st_rows(rows: &mut Vec<Row>) {
     for (n, m) in [(60, 90), (120, 180), (240, 360)] {
         let inst = workloads::random_instance(n, m, 4, 42);
         let nm = (inst.graph.num_vertices() + inst.graph.num_edges()) as f64;
-        let mut stats_holder = None;
+        let (run, stats) =
+            Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals)).with_stats();
         let delays = record_delays(CAP, |emit| {
-            let s = enumerate_minimal_steiner_trees(&inst.graph, &inst.terminals, &mut |_| {
-                flow(emit())
-            });
-            stats_holder = Some(s);
+            run.for_each(|_| flow(emit())).expect("valid instance");
         });
-        let stats = stats_holder.unwrap();
+        let stats = stats.get();
         rows.push(Row {
             problem: "Steiner Tree (§4)".into(),
             algorithm: "improved (Thm 17)".into(),
@@ -223,12 +206,11 @@ fn forest_rows(rows: &mut Vec<Row>) {
         let (g, sets) = workloads::forest_instance(3, 6, pairs);
         let (n, m) = (g.num_vertices(), g.num_edges());
         let nm = (n + m) as f64;
-        let mut stats_holder = None;
+        let (run, stats) = Enumeration::new(SteinerForest::new(&g, &sets)).with_stats();
         let delays = record_delays(CAP, |emit| {
-            let s = enumerate_minimal_steiner_forests(&g, &sets, &mut |_| flow(emit()));
-            stats_holder = Some(s);
+            run.for_each(|_| flow(emit())).expect("valid instance");
         });
-        let stats = stats_holder.unwrap();
+        let stats = stats.get();
         rows.push(Row {
             problem: "Steiner Forest (§5)".into(),
             algorithm: "improved (Thm 25)".into(),
@@ -250,16 +232,12 @@ fn terminal_rows(rows: &mut Vec<Row>) {
         let inst = workloads::grid_instance(4, 6, t);
         let (n, m) = (inst.graph.num_vertices(), inst.graph.num_edges());
         let nm = (n + m) as f64;
-        let mut stats_holder = None;
+        let (run, stats) =
+            Enumeration::new(TerminalSteinerTree::new(&inst.graph, &inst.terminals)).with_stats();
         let delays = record_delays(CAP, |emit| {
-            let s = enumerate_minimal_terminal_steiner_trees(
-                &inst.graph,
-                &inst.terminals,
-                &mut |_| flow(emit()),
-            );
-            stats_holder = Some(s);
+            run.for_each(|_| flow(emit())).expect("valid instance");
         });
-        let stats = stats_holder.unwrap();
+        let stats = stats.get();
         rows.push(Row {
             problem: "Terminal Steiner Tree (§5.1)".into(),
             algorithm: "improved (Thm 31)".into(),
@@ -281,12 +259,11 @@ fn directed_rows(rows: &mut Vec<Row>) {
         let (d, root, w) = workloads::directed_instance(layers, width, t);
         let (n, m) = (d.num_vertices(), d.num_arcs());
         let nm = (n + m) as f64;
-        let mut stats_holder = None;
+        let (run, stats) = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).with_stats();
         let delays = record_delays(CAP, |emit| {
-            let s = enumerate_minimal_directed_steiner_trees(&d, root, &w, &mut |_| flow(emit()));
-            stats_holder = Some(s);
+            run.for_each(|_| flow(emit())).expect("valid instance");
         });
-        let stats = stats_holder.unwrap();
+        let stats = stats.get();
         rows.push(Row {
             problem: "Directed Steiner Tree (§5.2)".into(),
             algorithm: "improved (Thm 36)".into(),

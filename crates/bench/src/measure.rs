@@ -39,7 +39,11 @@ pub fn record_delays(cap: u64, run: impl FnOnce(&mut dyn FnMut() -> bool)) -> De
         solutions: count,
         total,
         max_gap,
-        mean_gap: if count > 0 { total / count as u32 } else { Duration::ZERO },
+        mean_gap: if count > 0 {
+            total / count as u32
+        } else {
+            Duration::ZERO
+        },
     }
 }
 
@@ -77,9 +81,7 @@ pub fn render_markdown(rows: &[Row]) -> String {
     out.push_str(
         "| Problem | Algorithm | Claimed delay | Instance | n | m | t | #sols | total | mean delay | max delay | max gap/(n+m) |\n",
     );
-    out.push_str(
-        "|---|---|---|---|---|---|---|---|---|---|---|---|\n",
-    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for r in rows {
         out.push_str(&format!(
             "| {} | {} | {} | {} | {} | {} | {} | {} | {:.1?} | {:.1?} | {:.1?} | {} |\n",

@@ -25,12 +25,17 @@ pub fn grid_instance(rows: usize, cols: usize, t: usize) -> Instance {
     let graph = generators::grid(rows, cols);
     let n = graph.num_vertices();
     assert!(t >= 2 && t <= n);
-    let terminals: Vec<VertexId> =
-        (0..t).map(|i| VertexId::new(i * (n - 1) / (t - 1))).collect();
+    let terminals: Vec<VertexId> = (0..t)
+        .map(|i| VertexId::new(i * (n - 1) / (t - 1)))
+        .collect();
     let mut terminals = terminals;
     terminals.sort_unstable();
     terminals.dedup();
-    Instance { name: format!("grid {rows}x{cols}, t={}", terminals.len()), graph, terminals }
+    Instance {
+        name: format!("grid {rows}x{cols}, t={}", terminals.len()),
+        graph,
+        terminals,
+    }
 }
 
 /// Theta-chain instances: `width^blocks` solutions with tiny n+m — the
@@ -49,11 +54,19 @@ pub fn random_instance(n: usize, m: usize, t: usize, seed: u64) -> Instance {
     let mut r = rng(seed);
     let graph = generators::random_connected_graph(n, m, &mut r);
     let terminals = generators::random_terminals(n, t, &mut r);
-    Instance { name: format!("G({n},{m}), t={t}"), graph, terminals }
+    Instance {
+        name: format!("G({n},{m}), t={t}"),
+        graph,
+        terminals,
+    }
 }
 
 /// A Steiner forest instance: `pairs` random disjoint-ish pairs on a grid.
-pub fn forest_instance(rows: usize, cols: usize, pairs: usize) -> (UndirectedGraph, Vec<Vec<VertexId>>) {
+pub fn forest_instance(
+    rows: usize,
+    cols: usize,
+    pairs: usize,
+) -> (UndirectedGraph, Vec<Vec<VertexId>>) {
     let graph = generators::grid(rows, cols);
     let n = graph.num_vertices();
     let sets: Vec<Vec<VertexId>> = (0..pairs)
@@ -69,11 +82,16 @@ pub fn forest_instance(rows: usize, cols: usize, pairs: usize) -> (UndirectedGra
 
 /// A directed instance: layered DAG plus random terminals in the last
 /// layers.
-pub fn directed_instance(layers: usize, width: usize, t: usize) -> (DiGraph, VertexId, Vec<VertexId>) {
+pub fn directed_instance(
+    layers: usize,
+    width: usize,
+    t: usize,
+) -> (DiGraph, VertexId, Vec<VertexId>) {
     let (d, root) = generators::layered_digraph(layers, width);
     let n = d.num_vertices();
-    let terminals: Vec<VertexId> =
-        (0..t).map(|i| VertexId::new(n - 1 - (i * width) % (2 * width).min(n - 1))).collect();
+    let terminals: Vec<VertexId> = (0..t)
+        .map(|i| VertexId::new(n - 1 - (i * width) % (2 * width).min(n - 1)))
+        .collect();
     let mut terminals = terminals;
     terminals.sort_unstable();
     terminals.dedup();

@@ -13,20 +13,26 @@ use steiner_graph::{ArcId, DiGraph, EdgeId, UndirectedGraph, VertexId};
 pub const MAX_BRUTE_EDGES: usize = 22;
 
 fn subset_edges(mask: u32, m: usize) -> Vec<EdgeId> {
-    (0..m).filter(|i| mask & (1 << i) != 0).map(EdgeId::new).collect()
+    (0..m)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(EdgeId::new)
+        .collect()
 }
 
 fn subset_arcs(mask: u32, m: usize) -> Vec<ArcId> {
-    (0..m).filter(|i| mask & (1 << i) != 0).map(ArcId::new).collect()
+    (0..m)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(ArcId::new)
+        .collect()
 }
 
 /// All minimal Steiner trees of `(g, terminals)` as sorted edge sets.
-pub fn minimal_steiner_trees(
-    g: &UndirectedGraph,
-    terminals: &[VertexId],
-) -> BTreeSet<Vec<EdgeId>> {
+pub fn minimal_steiner_trees(g: &UndirectedGraph, terminals: &[VertexId]) -> BTreeSet<Vec<EdgeId>> {
     let m = g.num_edges();
-    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} edges");
+    assert!(
+        m <= MAX_BRUTE_EDGES,
+        "brute force limited to {MAX_BRUTE_EDGES} edges"
+    );
     let mut out = BTreeSet::new();
     for mask in 0..(1u32 << m) {
         let edges = subset_edges(mask, m);
@@ -43,7 +49,10 @@ pub fn minimal_terminal_steiner_trees(
     terminals: &[VertexId],
 ) -> BTreeSet<Vec<EdgeId>> {
     let m = g.num_edges();
-    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} edges");
+    assert!(
+        m <= MAX_BRUTE_EDGES,
+        "brute force limited to {MAX_BRUTE_EDGES} edges"
+    );
     let mut out = BTreeSet::new();
     for mask in 0..(1u32 << m) {
         let edges = subset_edges(mask, m);
@@ -60,7 +69,10 @@ pub fn minimal_steiner_forests(
     sets: &[Vec<VertexId>],
 ) -> BTreeSet<Vec<EdgeId>> {
     let m = g.num_edges();
-    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} edges");
+    assert!(
+        m <= MAX_BRUTE_EDGES,
+        "brute force limited to {MAX_BRUTE_EDGES} edges"
+    );
     let mut out = BTreeSet::new();
     for mask in 0..(1u32 << m) {
         let edges = subset_edges(mask, m);
@@ -80,7 +92,10 @@ pub fn minimal_directed_steiner_trees(
     terminals: &[VertexId],
 ) -> BTreeSet<Vec<ArcId>> {
     let m = d.num_arcs();
-    assert!(m <= MAX_BRUTE_EDGES, "brute force limited to {MAX_BRUTE_EDGES} arcs");
+    assert!(
+        m <= MAX_BRUTE_EDGES,
+        "brute force limited to {MAX_BRUTE_EDGES} arcs"
+    );
     let mut out = BTreeSet::new();
     for mask in 0..(1u32 << m) {
         let arcs = subset_arcs(mask, m);
@@ -101,8 +116,9 @@ mod tests {
         let w = [VertexId(0), VertexId(1)];
         let sols = minimal_steiner_trees(&g, &w);
         // Minimal Steiner trees joining 0 and 1: edge {0,1} and path 0-2-1.
-        let expected: BTreeSet<Vec<EdgeId>> =
-            [vec![EdgeId(0)], vec![EdgeId(1), EdgeId(2)]].into_iter().collect();
+        let expected: BTreeSet<Vec<EdgeId>> = [vec![EdgeId(0)], vec![EdgeId(1), EdgeId(2)]]
+            .into_iter()
+            .collect();
         assert_eq!(sols, expected);
     }
 
@@ -135,10 +151,12 @@ mod tests {
     #[test]
     fn forests_on_disjoint_pairs() {
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        let sets = vec![
+            vec![VertexId(0), VertexId(1)],
+            vec![VertexId(2), VertexId(3)],
+        ];
         let sols = minimal_steiner_forests(&g, &sets);
-        let expected: BTreeSet<Vec<EdgeId>> =
-            [vec![EdgeId(0), EdgeId(2)]].into_iter().collect();
+        let expected: BTreeSet<Vec<EdgeId>> = [vec![EdgeId(0), EdgeId(2)]].into_iter().collect();
         assert_eq!(sols, expected);
     }
 
@@ -146,8 +164,9 @@ mod tests {
     fn directed_diamond() {
         let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let sols = minimal_directed_steiner_trees(&d, VertexId(0), &[VertexId(3)]);
-        let expected: BTreeSet<Vec<ArcId>> =
-            [vec![ArcId(0), ArcId(2)], vec![ArcId(1), ArcId(3)]].into_iter().collect();
+        let expected: BTreeSet<Vec<ArcId>> = [vec![ArcId(0), ArcId(2)], vec![ArcId(1), ArcId(3)]]
+            .into_iter()
+            .collect();
         assert_eq!(sols, expected);
     }
 }

@@ -1,4 +1,6 @@
-//! Minimal directed Steiner tree enumeration (§5.2, Theorems 34 & 36).
+//! Minimal directed Steiner tree enumeration (§5.2, Theorems 34 & 36),
+//! exposed as the [`DirectedSteinerTree`] problem type for the generic
+//! [`crate::solver::Enumeration`] engine.
 //!
 //! A partial solution is a directed tree `T` rooted at `r` whose leaves are
 //! all terminals; children attach one directed `V(T)`-`w` path (Lemma 33
@@ -18,8 +20,11 @@
 //!    paths — branch on it. Otherwise `T + T*` is the unique completion:
 //!    emit it as a leaf.
 
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use std::borrow::Cow;
 use std::ops::ControlFlow;
 use steiner_graph::connectivity::reachable_from;
 use steiner_graph::contraction::{contract_vertex_set, ContractedDigraph};
@@ -27,174 +32,324 @@ use steiner_graph::traversal::di_dfs_postorder;
 use steiner_graph::{ArcId, DiGraph, VertexId};
 use steiner_paths::stsets::DiSourceSetInstance;
 
-struct DirectedEnumerator<'g, 'a> {
-    d: &'g DiGraph,
+/// The minimal directed Steiner tree problem (§5.2): find all
+/// inclusion-minimal out-trees of `d` rooted at `root` spanning
+/// `terminals`.
+///
+/// The root is dropped from `terminals` if present (it is trivially
+/// reached), so `terminals == [root]` yields the single empty tree as the
+/// unique solution. A literally empty terminal list is reported as
+/// [`SteinerError::EmptyInstance`].
+///
+/// ```
+/// use steiner_core::{DirectedSteinerTree, Enumeration};
+/// use steiner_graph::{DiGraph, VertexId};
+///
+/// // Diamond: two arc-disjoint ways from the root 0 to terminal 3.
+/// let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let trees = Enumeration::new(DirectedSteinerTree::new(&d, VertexId(0), &[VertexId(3)]))
+///     .collect_vec()
+///     .unwrap();
+/// assert_eq!(trees.len(), 2);
+/// assert!(trees.iter().all(|t| t.len() == 2));
+/// ```
+pub struct DirectedSteinerTree<'g> {
+    d: Cow<'g, DiGraph>,
+    root: VertexId,
+    terminals: Vec<VertexId>,
+    stats: EnumStats,
+    search: Option<DirectedSearch>,
+}
+
+/// Mutable search state installed by `prepare`.
+struct DirectedSearch {
     terminals: Vec<VertexId>,
     is_terminal: Vec<bool>,
     in_tree: Vec<bool>,
     tree_vertices: Vec<VertexId>,
     tree_arcs: Vec<ArcId>,
     missing: usize,
-    stats: EnumStats,
-    scratch: Vec<ArcId>,
-    emitter: &'a mut dyn SolutionSink<ArcId>,
 }
 
-/// Outcome of the per-node analysis in the contracted graph.
+impl<'g> DirectedSteinerTree<'g> {
+    /// A problem instance borrowing the digraph.
+    pub fn new(d: &'g DiGraph, root: VertexId, terminals: &[VertexId]) -> Self {
+        DirectedSteinerTree {
+            d: Cow::Borrowed(d),
+            root,
+            terminals: terminals.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
+        }
+    }
+
+    /// A problem instance owning the digraph.
+    pub fn from_graph(
+        d: DiGraph,
+        root: VertexId,
+        terminals: &[VertexId],
+    ) -> DirectedSteinerTree<'static> {
+        DirectedSteinerTree {
+            d: Cow::Owned(d),
+            root,
+            terminals: terminals.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
+        }
+    }
+
+    /// Clones the borrowed digraph (if any) so the instance becomes
+    /// `'static` for the iterator front-end.
+    pub fn into_owned(self) -> DirectedSteinerTree<'static> {
+        DirectedSteinerTree {
+            d: Cow::Owned(self.d.into_owned()),
+            root: self.root,
+            terminals: self.terminals,
+            stats: self.stats,
+            search: self.search,
+        }
+    }
+}
+
+/// Outcome of the per-node Lemma 35 analysis in the contracted graph.
 enum NodeAnalysis {
     /// A terminal with ≥ 2 valid paths to branch on.
     Branch(VertexId),
-    /// The unique completion's arcs (original ids), to append to `E(T)`.
+    /// The unique completion's extra arcs (original ids), to append to
+    /// `E(T)`.
     Unique(Vec<ArcId>),
 }
 
-impl DirectedEnumerator<'_, '_> {
-    fn emit(&mut self, arcs: &[ArcId]) -> ControlFlow<()> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.extend_from_slice(arcs);
-        scratch.sort_unstable();
-        self.stats.note_emission();
-        let flow = self.emitter.solution(&scratch, self.stats.work);
-        self.scratch = scratch;
-        flow
+/// Lemma 35 analysis of the contracted instance.
+fn analyze(
+    c: &ContractedDigraph,
+    terminals: &[VertexId],
+    in_tree: &[bool],
+    work: &mut u64,
+) -> NodeAnalysis {
+    let cn = c.graph.num_vertices();
+    let cm = c.graph.num_arcs();
+    *work += (cn + cm) as u64;
+    let dfs = di_dfs_postorder(&c.graph, c.super_vertex, None);
+    // T*: prune the DFS tree to the missing terminals. While marking,
+    // remember for every T* vertex a terminal in its subtree.
+    let mut in_tstar_vertex = vec![false; cn];
+    let mut in_tstar_arc = vec![false; cm];
+    let mut term_rep: Vec<Option<VertexId>> = vec![None; cn];
+    let mut tstar_vertices: Vec<VertexId> = Vec::new();
+    let mut tstar_arcs: Vec<ArcId> = Vec::new();
+    for &w in terminals {
+        if in_tree[w.index()] {
+            continue;
+        }
+        let mut cur = c.vertex_map[w.index()];
+        while !in_tstar_vertex[cur.index()] {
+            *work += 1;
+            in_tstar_vertex[cur.index()] = true;
+            term_rep[cur.index()] = Some(w);
+            tstar_vertices.push(cur);
+            if cur == c.super_vertex {
+                break;
+            }
+            let pa = dfs.parent_arc[cur.index()]
+                .expect("terminals are reachable from the root (preprocessing)");
+            in_tstar_arc[pa.index()] = true;
+            tstar_arcs.push(pa);
+            cur = dfs.parent[cur.index()].expect("non-root has a parent");
+        }
+    }
+    // Descending-postorder sweep over V(T*).
+    tstar_vertices.sort_unstable_by_key(|v| std::cmp::Reverse(dfs.postorder[v.index()]));
+    let mut deleted = vec![false; cn];
+    let mut round: Vec<VertexId> = Vec::new();
+    for &v in &tstar_vertices {
+        if deleted[v.index()] {
+            continue;
+        }
+        round.clear();
+        round.push(v);
+        let mut head = 0;
+        let mut witness: Option<VertexId> = None;
+        let mut in_round = vec![false; cn];
+        in_round[v.index()] = true;
+        'bfs: while head < round.len() {
+            let x = round[head];
+            head += 1;
+            for (y, a) in c.graph.out_neighbors(x) {
+                *work += 1;
+                if in_tstar_arc[a.index()] || deleted[y.index()] || in_round[y.index()] {
+                    continue;
+                }
+                if in_tstar_vertex[y.index()] {
+                    witness = Some(y);
+                    break 'bfs;
+                }
+                in_round[y.index()] = true;
+                round.push(y);
+            }
+        }
+        if let Some(u) = witness {
+            let w = term_rep[u.index()].expect("every T* vertex has a terminal below");
+            return NodeAnalysis::Branch(w);
+        }
+        for &x in &round {
+            deleted[x.index()] = true;
+        }
+    }
+    NodeAnalysis::Unique(tstar_arcs.iter().map(|a| c.orig_arc[a.index()]).collect())
+}
+
+impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
+    type Item = ArcId;
+    type Branch = VertexId;
+
+    const NAME: &'static str = "minimal directed Steiner tree";
+
+    fn validate(&self) -> Result<(), SteinerError> {
+        let n = self.d.num_vertices();
+        if self.root.index() >= n {
+            return Err(SteinerError::RootOutOfRange {
+                root: self.root,
+                num_vertices: n,
+            });
+        }
+        crate::problem::validate_terminal_list(&self.terminals, n)
     }
 
-    /// Lemma 35 analysis of the contracted instance.
-    fn analyze(&mut self, c: &ContractedDigraph) -> NodeAnalysis {
-        let cn = c.graph.num_vertices();
-        let cm = c.graph.num_arcs();
-        self.stats.work += (cn + cm) as u64;
-        let dfs = di_dfs_postorder(&c.graph, c.super_vertex, None);
-        // T*: prune the DFS tree to the missing terminals. While marking,
-        // remember for every T* vertex a terminal in its subtree.
-        let mut in_tstar_vertex = vec![false; cn];
-        let mut in_tstar_arc = vec![false; cm];
-        let mut term_rep: Vec<Option<VertexId>> = vec![None; cn];
-        let mut tstar_vertices: Vec<VertexId> = Vec::new();
-        let mut tstar_arcs: Vec<ArcId> = Vec::new();
-        for &w in &self.terminals {
-            if self.in_tree[w.index()] {
-                continue;
-            }
-            let mut cur = c.vertex_map[w.index()];
-            while !in_tstar_vertex[cur.index()] {
-                self.stats.work += 1;
-                in_tstar_vertex[cur.index()] = true;
-                term_rep[cur.index()] = Some(w);
-                tstar_vertices.push(cur);
-                if cur == c.super_vertex {
-                    break;
-                }
-                let pa = dfs.parent_arc[cur.index()]
-                    .expect("terminals are reachable from the root (preprocessing)");
-                in_tstar_arc[pa.index()] = true;
-                tstar_arcs.push(pa);
-                cur = dfs.parent[cur.index()].expect("non-root has a parent");
-            }
+    fn prepare(&mut self) -> Result<Prepared<ArcId>, SteinerError> {
+        self.validate()?;
+        let d = &*self.d;
+        let mut terminals: Vec<VertexId> = self
+            .terminals
+            .iter()
+            .copied()
+            .filter(|&w| w != self.root)
+            .collect();
+        terminals.sort_unstable();
+        self.stats.preprocessing_work = (d.num_vertices() + d.num_arcs()) as u64;
+        let reach = reachable_from(d, self.root, None);
+        if let Some(&w) = terminals.iter().find(|w| !reach[w.index()]) {
+            return Err(SteinerError::UnreachableTerminal(w));
         }
-        // Descending-postorder sweep over V(T*).
-        tstar_vertices.sort_unstable_by_key(|v| std::cmp::Reverse(dfs.postorder[v.index()]));
-        let mut deleted = vec![false; cn];
-        let mut round: Vec<VertexId> = Vec::new();
-        for &v in &tstar_vertices {
-            if deleted[v.index()] {
-                continue;
-            }
-            round.clear();
-            round.push(v);
-            let mut head = 0;
-            let mut witness: Option<VertexId> = None;
-            let mut in_round = vec![false; cn];
-            in_round[v.index()] = true;
-            'bfs: while head < round.len() {
-                let x = round[head];
-                head += 1;
-                for (y, a) in c.graph.out_neighbors(x) {
-                    self.stats.work += 1;
-                    if in_tstar_arc[a.index()] || deleted[y.index()] || in_round[y.index()] {
-                        continue;
-                    }
-                    if in_tstar_vertex[y.index()] {
-                        witness = Some(y);
-                        break 'bfs;
-                    }
-                    in_round[y.index()] = true;
-                    round.push(y);
-                }
-            }
-            if let Some(u) = witness {
-                let w = term_rep[u.index()].expect("every T* vertex has a terminal below");
-                return NodeAnalysis::Branch(w);
-            }
-            for &x in &round {
-                deleted[x.index()] = true;
-            }
+        if terminals.is_empty() {
+            // The empty tree {root} is the unique solution.
+            return Ok(Prepared::Single(Vec::new()));
         }
-        NodeAnalysis::Unique(tstar_arcs.iter().map(|a| c.orig_arc[a.index()]).collect())
+        let n = d.num_vertices();
+        let mut is_terminal = vec![false; n];
+        for &w in &terminals {
+            is_terminal[w.index()] = true;
+        }
+        let mut in_tree = vec![false; n];
+        in_tree[self.root.index()] = true;
+        let missing = terminals.len();
+        self.search = Some(DirectedSearch {
+            terminals,
+            is_terminal,
+            in_tree,
+            tree_vertices: vec![self.root],
+            tree_arcs: Vec::new(),
+            missing,
+        });
+        Ok(Prepared::Search)
     }
 
-    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
-        self.emitter.tick(self.stats.work)?;
-        if self.missing == 0 {
-            self.stats.note_node(0, depth);
-            let arcs = self.tree_arcs.clone();
-            return self.emit(&arcs);
+    fn instance_size(&self) -> (usize, usize) {
+        (self.d.num_vertices(), self.d.num_arcs())
+    }
+
+    fn stats(&self) -> &EnumStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut EnumStats {
+        &mut self.stats
+    }
+
+    fn classify(&mut self) -> NodeStep<ArcId, VertexId> {
+        let d: &DiGraph = &self.d;
+        let stats = &mut self.stats;
+        let search = self
+            .search
+            .as_mut()
+            .expect("prepare() runs before the search");
+        if search.missing == 0 {
+            return NodeStep::Complete;
         }
-        let c = contract_vertex_set(self.d, &self.in_tree);
-        self.stats.work += (self.d.num_vertices() + self.d.num_arcs()) as u64;
-        match self.analyze(&c) {
+        let c = contract_vertex_set(d, &search.in_tree);
+        stats.work += (d.num_vertices() + d.num_arcs()) as u64;
+        match analyze(&c, &search.terminals, &search.in_tree, &mut stats.work) {
+            NodeAnalysis::Branch(w) => NodeStep::Branch(w),
             NodeAnalysis::Unique(extra) => {
-                self.stats.note_node(0, depth);
-                let mut arcs = self.tree_arcs.clone();
+                let mut arcs = search.tree_arcs.clone();
                 arcs.extend_from_slice(&extra);
-                self.emit(&arcs)
-            }
-            NodeAnalysis::Branch(w) => {
-                let inst = DiSourceSetInstance::new(self.d, &self.in_tree, None);
-                self.stats.work += (self.d.num_vertices() + self.d.num_arcs()) as u64;
-                let mut children = 0u64;
-                let mut flow = ControlFlow::Continue(());
-                let per_child = (self.d.num_vertices() + self.d.num_arcs()) as u64;
-                let _pstats = inst.enumerate(w, &mut |p| {
-                    children += 1;
-                    self.stats.work += per_child;
-                    let verts = p.vertices.to_vec();
-                    let arcs = p.arcs.to_vec();
-                    // Extend T.
-                    for &v in &verts[1..] {
-                        debug_assert!(!self.in_tree[v.index()]);
-                        self.in_tree[v.index()] = true;
-                        self.tree_vertices.push(v);
-                        if self.is_terminal[v.index()] {
-                            self.missing -= 1;
-                        }
-                    }
-                    let arc_base = self.tree_arcs.len();
-                    self.tree_arcs.extend_from_slice(&arcs);
-                    let f = self.recurse(depth + 1);
-                    // Retract.
-                    self.tree_arcs.truncate(arc_base);
-                    for &v in verts[1..].iter().rev() {
-                        self.tree_vertices.pop();
-                        self.in_tree[v.index()] = false;
-                        if self.is_terminal[v.index()] {
-                            self.missing += 1;
-                        }
-                    }
-                    if f.is_break() {
-                        flow = ControlFlow::Break(());
-                    }
-                    f
-                });
-                self.stats.note_node(children, depth);
-                debug_assert!(
-                    children >= 2 || flow.is_break(),
-                    "Lemma 35 witness guarantees two valid paths"
-                );
-                flow
+                NodeStep::Unique(arcs)
             }
         }
+    }
+
+    fn solution(&self, out: &mut Vec<ArcId>) {
+        let search = self
+            .search
+            .as_ref()
+            .expect("prepare() runs before the search");
+        out.extend_from_slice(&search.tree_arcs);
+    }
+
+    fn branch(
+        &mut self,
+        w: VertexId,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> (u64, ControlFlow<()>) {
+        let per_child = (self.d.num_vertices() + self.d.num_arcs()) as u64;
+        let inst = {
+            let search = self
+                .search
+                .as_ref()
+                .expect("prepare() runs before the search");
+            DiSourceSetInstance::new(&self.d, &search.in_tree, None)
+        };
+        self.stats.work += per_child;
+        let mut children = 0u64;
+        let mut flow = ControlFlow::Continue(());
+        let _pstats = inst.enumerate(w, &mut |p| {
+            children += 1;
+            self.stats.work += per_child;
+            let verts = p.vertices.to_vec();
+            let arcs = p.arcs.to_vec();
+            let search = self.search.as_mut().expect("search state");
+            // Extend T.
+            for &v in &verts[1..] {
+                debug_assert!(!search.in_tree[v.index()]);
+                search.in_tree[v.index()] = true;
+                search.tree_vertices.push(v);
+                if search.is_terminal[v.index()] {
+                    search.missing -= 1;
+                }
+            }
+            let arc_base = search.tree_arcs.len();
+            search.tree_arcs.extend_from_slice(&arcs);
+            let f = child(self);
+            // Retract.
+            let search = self.search.as_mut().expect("search state");
+            search.tree_arcs.truncate(arc_base);
+            for &v in verts[1..].iter().rev() {
+                search.tree_vertices.pop();
+                search.in_tree[v.index()] = false;
+                if search.is_terminal[v.index()] {
+                    search.missing += 1;
+                }
+            }
+            if f.is_break() {
+                flow = ControlFlow::Break(());
+            }
+            f
+        });
+        debug_assert!(
+            children >= 2 || flow.is_break(),
+            "Lemma 35 witness guarantees two valid paths"
+        );
+        (children, flow)
     }
 }
 
@@ -204,75 +359,48 @@ impl DirectedEnumerator<'_, '_> {
 /// The root is dropped from `terminals` if present (it is trivially
 /// reached). With no (other) terminals the single empty tree is emitted.
 /// If some terminal is unreachable from the root there are no solutions.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(DirectedSteinerTree::new(d, root, terminals))` with a custom sink"
+)]
 pub fn enumerate_minimal_directed_steiner_trees_with(
     d: &DiGraph,
     root: VertexId,
     terminals: &[VertexId],
     emitter: &mut dyn SolutionSink<ArcId>,
 ) -> EnumStats {
-    let mut terminals: Vec<VertexId> =
-        terminals.iter().copied().filter(|&w| w != root).collect();
+    let mut terminals = terminals.to_vec();
     terminals.sort_unstable();
     terminals.dedup();
-    let mut stats = EnumStats::default();
-    stats.preprocessing_work = (d.num_vertices() + d.num_arcs()) as u64;
-    let reach = reachable_from(d, root, None);
-    if terminals.iter().any(|w| !reach[w.index()]) {
-        return stats;
-    }
-    if terminals.is_empty() {
+    // The historical contract panicked on an out-of-range root (indexing
+    // inside the reachability sweep) even with no terminals; keep that on
+    // the early-return path too.
+    assert!(
+        root.index() < d.num_vertices(),
+        "root {root} out of range (digraph has {} vertices)",
+        d.num_vertices()
+    );
+    if terminals.is_empty() || terminals == [root] {
+        // Historical lenient contract: the empty tree is the unique
+        // solution when no terminal besides the root is requested.
+        let mut stats = EnumStats::default();
+        stats.preprocessing_work = (d.num_vertices() + d.num_arcs()) as u64;
         stats.note_emission();
         let _ = emitter.solution(&[], stats.work);
         let _ = emitter.finish();
         stats.note_end();
         return stats;
     }
-    let n = d.num_vertices();
-    let mut is_terminal = vec![false; n];
-    for &w in &terminals {
-        is_terminal[w.index()] = true;
-    }
-    let mut in_tree = vec![false; n];
-    in_tree[root.index()] = true;
-    let missing = terminals.len();
-    let mut e = DirectedEnumerator {
-        d,
-        terminals,
-        is_terminal,
-        in_tree,
-        tree_vertices: vec![root],
-        tree_arcs: Vec::new(),
-        missing,
-        stats,
-        scratch: Vec::new(),
-        emitter,
-    };
-    let flow = e.recurse(0);
-    if flow.is_continue() {
-        let _ = e.emitter.finish();
-    }
-    e.stats.note_end();
-    e.stats
+    let mut problem = DirectedSteinerTree::new(d, root, &terminals);
+    run_sink_lenient(&mut problem, emitter)
 }
 
 /// Enumerates all minimal directed Steiner trees with amortized O(n + m)
 /// time per solution (Theorem 36), emitting directly.
-///
-/// ```
-/// use steiner_core::directed::enumerate_minimal_directed_steiner_trees;
-/// use steiner_graph::{DiGraph, VertexId};
-/// use std::ops::ControlFlow;
-///
-/// // Diamond: two arc-disjoint ways from the root 0 to terminal 3.
-/// let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
-/// let mut count = 0;
-/// enumerate_minimal_directed_steiner_trees(&d, VertexId(0), &[VertexId(3)], &mut |arcs| {
-///     assert_eq!(arcs.len(), 2);
-///     count += 1;
-///     ControlFlow::Continue(())
-/// });
-/// assert_eq!(count, 2);
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(DirectedSteinerTree::new(d, root, terminals)).for_each(sink)`"
+)]
 pub fn enumerate_minimal_directed_steiner_trees(
     d: &DiGraph,
     root: VertexId,
@@ -280,10 +408,15 @@ pub fn enumerate_minimal_directed_steiner_trees(
     sink: &mut dyn FnMut(&[ArcId]) -> ControlFlow<()>,
 ) -> EnumStats {
     let mut direct = DirectSink { sink };
+    #[allow(deprecated)]
     enumerate_minimal_directed_steiner_trees_with(d, root, terminals, &mut direct)
 }
 
 /// Queued variant: worst-case O(n + m) delay with O(n²) space (Theorem 36).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(DirectedSteinerTree::new(d, root, terminals)).with_queue(config).for_each(sink)`"
+)]
 pub fn enumerate_minimal_directed_steiner_trees_queued(
     d: &DiGraph,
     root: VertexId,
@@ -293,6 +426,7 @@ pub fn enumerate_minimal_directed_steiner_trees_queued(
 ) -> EnumStats {
     let config = config.unwrap_or_else(|| QueueConfig::for_graph(d.num_vertices(), d.num_arcs()));
     let mut queue = OutputQueue::new(config, sink);
+    #[allow(deprecated)]
     enumerate_minimal_directed_steiner_trees_with(d, root, terminals, &mut queue)
 }
 
@@ -300,14 +434,17 @@ pub fn enumerate_minimal_directed_steiner_trees_queued(
 mod tests {
     use super::*;
     use crate::brute;
+    use crate::solver::Enumeration;
     use std::collections::BTreeSet;
 
     fn collect(d: &DiGraph, r: VertexId, w: &[VertexId]) -> BTreeSet<Vec<ArcId>> {
         let mut out = BTreeSet::new();
-        enumerate_minimal_directed_steiner_trees(d, r, w, &mut |arcs| {
-            assert!(out.insert(arcs.to_vec()), "duplicate solution {arcs:?}");
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(DirectedSteinerTree::new(d, r, w))
+            .for_each(|arcs| {
+                assert!(out.insert(arcs.to_vec()), "duplicate solution {arcs:?}");
+                ControlFlow::Continue(())
+            })
+            .expect("valid instance");
         out
     }
 
@@ -315,7 +452,10 @@ mod tests {
     fn diamond_two_trees() {
         let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let got = collect(&d, VertexId(0), &[VertexId(3)]);
-        assert_eq!(got, brute::minimal_directed_steiner_trees(&d, VertexId(0), &[VertexId(3)]));
+        assert_eq!(
+            got,
+            brute::minimal_directed_steiner_trees(&d, VertexId(0), &[VertexId(3)])
+        );
         assert_eq!(got.len(), 2);
     }
 
@@ -333,19 +473,30 @@ mod tests {
         let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let w = [VertexId(1), VertexId(3)];
         let got = collect(&d, VertexId(0), &w);
-        assert_eq!(got, brute::minimal_directed_steiner_trees(&d, VertexId(0), &w));
+        assert_eq!(
+            got,
+            brute::minimal_directed_steiner_trees(&d, VertexId(0), &w)
+        );
     }
 
     #[test]
-    fn unreachable_terminal_no_solutions() {
+    fn unreachable_terminal_is_an_error() {
         let d = DiGraph::from_arcs(3, &[(0, 1), (2, 1)]).unwrap();
-        assert!(collect(&d, VertexId(0), &[VertexId(2)]).is_empty());
+        let err = Enumeration::new(DirectedSteinerTree::new(&d, VertexId(0), &[VertexId(2)]))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SteinerError::UnreachableTerminal(VertexId(2)));
     }
 
     #[test]
-    fn no_terminals_gives_empty_tree() {
+    fn no_terminals_gives_empty_tree_via_shim() {
+        #![allow(deprecated)]
         let d = DiGraph::from_arcs(2, &[(0, 1)]).unwrap();
-        let got = collect(&d, VertexId(0), &[]);
+        let mut got = BTreeSet::new();
+        enumerate_minimal_directed_steiner_trees(&d, VertexId(0), &[], &mut |arcs| {
+            got.insert(arcs.to_vec());
+            ControlFlow::Continue(())
+        });
         assert_eq!(got.len(), 1);
         assert!(got.contains(&Vec::new()));
     }
@@ -397,11 +548,20 @@ mod tests {
             if w.is_empty() {
                 continue;
             }
-            assert_eq!(
-                collect(&d, root, &w),
-                brute::minimal_directed_steiner_trees(&d, root, &w),
-                "digraph {d:?} root {root} terminals {w:?}"
-            );
+            let mut got = BTreeSet::new();
+            let run = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).for_each(|arcs| {
+                assert!(got.insert(arcs.to_vec()), "duplicate solution {arcs:?}");
+                ControlFlow::Continue(())
+            });
+            let oracle = brute::minimal_directed_steiner_trees(&d, root, &w);
+            match run {
+                Ok(_) => {}
+                // Random digraphs can leave a terminal unreachable: the
+                // strict API reports it, the oracle has no solutions.
+                Err(SteinerError::UnreachableTerminal(_)) => assert!(oracle.is_empty()),
+                Err(e) => panic!("unexpected error {e} on digraph {d:?}"),
+            }
+            assert_eq!(got, oracle, "digraph {d:?} root {root} terminals {w:?}");
         }
     }
 
@@ -410,11 +570,15 @@ mod tests {
         let (d, root) = steiner_graph::generators::layered_digraph(3, 2);
         let w = [VertexId(5), VertexId(6)];
         let mut count = 0;
-        enumerate_minimal_directed_steiner_trees(&d, root, &w, &mut |arcs| {
-            count += 1;
-            assert!(crate::verify::is_minimal_directed_steiner_subgraph(&d, root, &w, arcs));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(DirectedSteinerTree::new(&d, root, &w))
+            .for_each(|arcs| {
+                count += 1;
+                assert!(crate::verify::is_minimal_directed_steiner_subgraph(
+                    &d, root, &w, arcs
+                ));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
         assert!(count > 1);
     }
 
@@ -424,10 +588,26 @@ mod tests {
         let w = [VertexId(5), VertexId(6)];
         let direct = collect(&d, root, &w);
         let mut queued = BTreeSet::new();
-        enumerate_minimal_directed_steiner_trees_queued(&d, root, &w, None, &mut |arcs| {
-            assert!(queued.insert(arcs.to_vec()));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(DirectedSteinerTree::new(&d, root, &w))
+            .with_default_queue()
+            .for_each(|arcs| {
+                assert!(queued.insert(arcs.to_vec()));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
         assert_eq!(direct, queued);
+    }
+
+    #[test]
+    fn iterator_front_end_matches_direct() {
+        let (d, root) = steiner_graph::generators::layered_digraph(3, 2);
+        let w = [VertexId(5), VertexId(6)];
+        let direct = collect(&d, root, &w);
+        let iterated: BTreeSet<Vec<ArcId>> =
+            Enumeration::new(DirectedSteinerTree::from_graph(d.clone(), root, &w))
+                .into_iter()
+                .unwrap()
+                .collect();
+        assert_eq!(direct, iterated);
     }
 }

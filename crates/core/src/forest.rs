@@ -1,4 +1,6 @@
-//! Minimal Steiner forest enumeration (§5, Theorems 23 & 25).
+//! Minimal Steiner forest enumeration (§5, Theorems 23 & 25), exposed as
+//! the [`SteinerForest`] problem type for the generic
+//! [`crate::solver::Enumeration`] engine.
 //!
 //! Terminal sets are reduced to pairs (`{w₁,…,w_k}` →
 //! `{w₁,w₂}, …, {w₁,w_k}` — the observation before Lemma 21). A partial
@@ -14,13 +16,16 @@
 //! contains the unique minimal completion, which is extracted with the
 //! LCA-based marking procedure in linear time.
 
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use steiner_graph::bridges::bridges;
 use steiner_graph::connectivity::all_in_one_component;
-use steiner_graph::contraction::contract_edge_set;
+use steiner_graph::contraction::{contract_edge_set, ContractedGraph};
 use steiner_graph::lca::Lca;
 use steiner_graph::union_find::UnionFind;
 use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
@@ -43,109 +48,225 @@ pub fn pairs_from_sets(sets: &[Vec<VertexId>]) -> Vec<(VertexId, VertexId)> {
     pairs.into_iter().collect()
 }
 
-struct ForestEnumerator<'g, 'a> {
-    g: &'g UndirectedGraph,
+/// The minimal Steiner forest problem (§5): find all inclusion-minimal
+/// edge sets connecting every terminal set of `sets` (each set within
+/// itself; different sets may or may not share trees).
+///
+/// ```
+/// use steiner_core::{Enumeration, SteinerForest};
+/// use steiner_graph::{UndirectedGraph, VertexId};
+///
+/// // Path 0-1-2-3 with pairs {0,1} and {2,3}: the unique minimal forest
+/// // takes the two outer edges.
+/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+/// let forests = Enumeration::new(SteinerForest::new(&g, &sets)).collect_vec().unwrap();
+/// assert_eq!(forests.len(), 1);
+/// assert_eq!(forests[0].len(), 2);
+/// ```
+pub struct SteinerForest<'g> {
+    g: Cow<'g, UndirectedGraph>,
+    sets: Vec<Vec<VertexId>>,
+    stats: EnumStats,
+    search: Option<ForestSearch>,
+}
+
+/// Mutable search state installed by `prepare`.
+struct ForestSearch {
     pairs: Vec<(VertexId, VertexId)>,
     uf: UnionFind,
     forest_edges: Vec<EdgeId>,
-    stats: EnumStats,
-    scratch: Vec<EdgeId>,
-    emitter: &'a mut dyn SolutionSink<EdgeId>,
+    /// Contraction computed by `classify`, consumed by the matching
+    /// `branch` call (avoids recomputing `G/E(F)`).
+    pending: Option<PendingBranch>,
 }
 
-impl ForestEnumerator<'_, '_> {
-    fn emit(&mut self, edges: &[EdgeId]) -> ControlFlow<()> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.extend_from_slice(edges);
-        scratch.sort_unstable();
-        self.stats.note_emission();
-        let flow = self.emitter.solution(&scratch, self.stats.work);
-        self.scratch = scratch;
-        flow
+struct PendingBranch {
+    contraction: ContractedGraph,
+    pair: (VertexId, VertexId),
+}
+
+impl<'g> SteinerForest<'g> {
+    /// A problem instance borrowing the graph.
+    pub fn new(g: &'g UndirectedGraph, sets: &[Vec<VertexId>]) -> Self {
+        SteinerForest {
+            g: Cow::Borrowed(g),
+            sets: sets.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
+        }
     }
 
-    /// The unique minimal Steiner forest containing `F`, given that every
-    /// disconnected pair has a unique valid path: mark, over the forest
-    /// `F + B`, the edges lying on some pair's tree path (the paper's
-    /// sorted-LCA marking), and return exactly those.
-    fn unique_completion(&mut self, forest_plus_bridges: &[EdgeId]) -> Vec<EdgeId> {
+    /// A problem instance owning the graph.
+    pub fn from_graph(g: UndirectedGraph, sets: &[Vec<VertexId>]) -> SteinerForest<'static> {
+        SteinerForest {
+            g: Cow::Owned(g),
+            sets: sets.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
+        }
+    }
+
+    /// Clones the borrowed graph (if any) so the instance becomes
+    /// `'static` for the iterator front-end.
+    pub fn into_owned(self) -> SteinerForest<'static> {
+        SteinerForest {
+            g: Cow::Owned(self.g.into_owned()),
+            sets: self.sets,
+            stats: self.stats,
+            search: self.search,
+        }
+    }
+}
+
+/// The unique minimal Steiner forest containing `F`, given that every
+/// disconnected pair has a unique valid path: mark, over the forest
+/// `F + B`, the edges lying on some pair's tree path (the paper's
+/// sorted-LCA marking), and return exactly those.
+fn unique_completion(
+    g: &UndirectedGraph,
+    pairs: &[(VertexId, VertexId)],
+    forest_plus_bridges: &[EdgeId],
+    work: &mut u64,
+) -> Vec<EdgeId> {
+    let n = g.num_vertices();
+    *work += (n + forest_plus_bridges.len()) as u64;
+    // Root the forest: BFS over the edge set.
+    let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+    let mut present = vec![false; n];
+    for &e in forest_plus_bridges {
+        let (u, v) = g.endpoints(e);
+        incident[u.index()].push(e);
+        incident[v.index()].push(e);
+        present[u.index()] = true;
+        present[v.index()] = true;
+    }
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n {
+        if !present[v] || visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        queue.push_back(VertexId::new(v));
+        while let Some(u) = queue.pop_front() {
+            for &e in &incident[u.index()] {
+                let w = g.other_endpoint(e, u);
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    parent[w.index()] = Some(u);
+                    parent_edge[w.index()] = Some(e);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let lca = Lca::from_parents(&parent, &present);
+    // Marking entries (depth of LCA, endpoint, LCA), processed with the
+    // shallowest LCAs first so early stopping is sound.
+    let mut entries: Vec<(u32, VertexId, VertexId)> = Vec::with_capacity(2 * pairs.len());
+    for &(w, w2) in pairs {
+        let a = lca
+            .lca(w, w2)
+            .expect("every pair is connected in F + B at a unique-completion node");
+        let d = lca.depth_of(a);
+        entries.push((d, w, a));
+        entries.push((d, w2, a));
+    }
+    entries.sort_unstable();
+    let mut marked = vec![false; g.num_edges()];
+    for &(_, start, stop) in &entries {
+        let mut cur = start;
+        while cur != stop {
+            *work += 1;
+            let e = parent_edge[cur.index()].expect("stop is an ancestor of start");
+            if marked[e.index()] {
+                break; // the rest of the walk is already marked
+            }
+            marked[e.index()] = true;
+            cur = parent[cur.index()].expect("stop is an ancestor of start");
+        }
+    }
+    forest_plus_bridges
+        .iter()
+        .copied()
+        .filter(|e| marked[e.index()])
+        .collect()
+}
+
+impl MinimalSteinerProblem for SteinerForest<'_> {
+    type Item = EdgeId;
+    type Branch = (VertexId, VertexId);
+
+    const NAME: &'static str = "minimal Steiner forest";
+
+    fn validate(&self) -> Result<(), SteinerError> {
+        if self.sets.is_empty() {
+            return Err(SteinerError::EmptyInstance);
+        }
         let n = self.g.num_vertices();
-        self.stats.work += (n + forest_plus_bridges.len()) as u64;
-        // Root the forest: BFS over the edge set.
-        let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        let mut present = vec![false; n];
-        for &e in forest_plus_bridges {
-            let (u, v) = self.g.endpoints(e);
-            incident[u.index()].push(e);
-            incident[v.index()].push(e);
-            present[u.index()] = true;
-            present[v.index()] = true;
+        for set in &self.sets {
+            // Empty sets are valid (they impose no constraint), so only
+            // the member checks apply.
+            crate::problem::validate_terminal_members(set, n)?;
         }
-        let mut parent: Vec<Option<VertexId>> = vec![None; n];
-        let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
-        let mut visited = vec![false; n];
-        let mut queue = std::collections::VecDeque::new();
-        for v in 0..n {
-            if !present[v] || visited[v] {
-                continue;
-            }
-            visited[v] = true;
-            queue.push_back(VertexId::new(v));
-            while let Some(u) = queue.pop_front() {
-                for &e in &incident[u.index()] {
-                    let w = self.g.other_endpoint(e, u);
-                    if !visited[w.index()] {
-                        visited[w.index()] = true;
-                        parent[w.index()] = Some(u);
-                        parent_edge[w.index()] = Some(e);
-                        queue.push_back(w);
-                    }
-                }
-            }
-        }
-        let lca = Lca::from_parents(&parent, &present);
-        // Marking entries (depth of LCA, endpoint, LCA), processed with the
-        // shallowest LCAs first so early stopping is sound.
-        let mut entries: Vec<(u32, VertexId, VertexId)> = Vec::with_capacity(2 * self.pairs.len());
-        for &(w, w2) in &self.pairs {
-            let a = lca
-                .lca(w, w2)
-                .expect("every pair is connected in F + B at a unique-completion node");
-            let d = lca.depth_of(a);
-            entries.push((d, w, a));
-            entries.push((d, w2, a));
-        }
-        entries.sort_unstable();
-        let mut marked = vec![false; self.g.num_edges()];
-        for &(_, start, stop) in &entries {
-            let mut cur = start;
-            while cur != stop {
-                self.stats.work += 1;
-                let e = parent_edge[cur.index()].expect("stop is an ancestor of start");
-                if marked[e.index()] {
-                    break; // the rest of the walk is already marked
-                }
-                marked[e.index()] = true;
-                cur = parent[cur.index()].expect("stop is an ancestor of start");
-            }
-        }
-        forest_plus_bridges.iter().copied().filter(|e| marked[e.index()]).collect()
+        Ok(())
     }
 
-    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
-        self.emitter.tick(self.stats.work)?;
-        self.stats.work += self.pairs.len() as u64;
-        if self.pairs.iter().all(|&(w, w2)| self.uf.same(w, w2)) {
+    fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
+        self.validate()?;
+        let g = &*self.g;
+        self.stats.preprocessing_work = (g.num_vertices() + g.num_edges()) as u64;
+        // Precondition: each terminal set inside one component.
+        for (i, set) in self.sets.iter().enumerate() {
+            if !all_in_one_component(g, set, None) {
+                return Err(SteinerError::DisconnectedTerminals { set: i });
+            }
+        }
+        let pairs = pairs_from_sets(&self.sets);
+        if pairs.is_empty() {
+            // The empty forest is the unique minimal Steiner forest.
+            return Ok(Prepared::Single(Vec::new()));
+        }
+        self.search = Some(ForestSearch {
+            pairs,
+            uf: UnionFind::new(g.num_vertices()),
+            forest_edges: Vec::new(),
+            pending: None,
+        });
+        Ok(Prepared::Search)
+    }
+
+    fn instance_size(&self) -> (usize, usize) {
+        (self.g.num_vertices(), self.g.num_edges())
+    }
+
+    fn stats(&self) -> &EnumStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut EnumStats {
+        &mut self.stats
+    }
+
+    fn classify(&mut self) -> NodeStep<EdgeId, (VertexId, VertexId)> {
+        let g: &UndirectedGraph = &self.g;
+        let stats = &mut self.stats;
+        let search = self
+            .search
+            .as_mut()
+            .expect("prepare() runs before the search");
+        stats.work += search.pairs.len() as u64;
+        if search.pairs.iter().all(|&(w, w2)| search.uf.same(w, w2)) {
             // F is a minimal Steiner forest (Lemma 21).
-            self.stats.note_node(0, depth);
-            let edges = self.forest_edges.clone();
-            return self.emit(&edges);
+            return NodeStep::Complete;
         }
         // G′ = G/E(F); bridges of the multigraph; G″ = G′/B.
-        let contraction = contract_edge_set(self.g, &self.forest_edges);
+        let contraction = contract_edge_set(g, &search.forest_edges);
         let bridge = bridges(&contraction.graph, None);
-        self.stats.work += 2 * (self.g.num_vertices() + self.g.num_edges()) as u64;
+        stats.work += 2 * (g.num_vertices() + g.num_edges()) as u64;
         let mut uf2 = UnionFind::new(contraction.graph.num_vertices());
         for e in contraction.graph.edges() {
             if bridge[e.index()] {
@@ -155,28 +276,62 @@ impl ForestEnumerator<'_, '_> {
         }
         // A disconnected pair whose images differ in G″ has ≥ 2 valid paths
         // (Lemma 24): branch on the first such pair.
-        let branch = self.pairs.iter().copied().find(|&(w, w2)| {
-            !self.uf.same(w, w2)
-                && !uf2.same(contraction.image(w), contraction.image(w2))
+        let branch = search.pairs.iter().copied().find(|&(w, w2)| {
+            !search.uf.same(w, w2) && !uf2.same(contraction.image(w), contraction.image(w2))
         });
-        let Some((w, w2)) = branch else {
-            // Every remaining pair goes through bridges only: unique
-            // completion inside F + B.
-            let mut fb = self.forest_edges.clone();
-            fb.extend(
-                contraction
-                    .graph
-                    .edges()
-                    .filter(|e| bridge[e.index()])
-                    .map(|e| contraction.orig_edge[e.index()]),
-            );
-            let completion = self.unique_completion(&fb);
-            self.stats.note_node(0, depth);
-            return self.emit(&completion);
+        match branch {
+            Some(pair) => {
+                search.pending = Some(PendingBranch { contraction, pair });
+                NodeStep::Branch(pair)
+            }
+            None => {
+                // Every remaining pair goes through bridges only: unique
+                // completion inside F + B.
+                let mut fb = search.forest_edges.clone();
+                fb.extend(
+                    contraction
+                        .graph
+                        .edges()
+                        .filter(|e| bridge[e.index()])
+                        .map(|e| contraction.orig_edge[e.index()]),
+                );
+                NodeStep::Unique(unique_completion(g, &search.pairs, &fb, &mut stats.work))
+            }
+        }
+    }
+
+    fn solution(&self, out: &mut Vec<EdgeId>) {
+        let search = self
+            .search
+            .as_ref()
+            .expect("prepare() runs before the search");
+        out.extend_from_slice(&search.forest_edges);
+    }
+
+    fn branch(
+        &mut self,
+        pair: (VertexId, VertexId),
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> (u64, ControlFlow<()>) {
+        let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
+        let pending = {
+            let search = self
+                .search
+                .as_mut()
+                .expect("prepare() runs before the search");
+            search
+                .pending
+                .take()
+                .expect("classify() stashes the contraction")
         };
+        debug_assert_eq!(
+            pending.pair, pair,
+            "branch target matches the classified pair"
+        );
+        let (w, w2) = pair;
+        let contraction = pending.contraction;
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
-        let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
         let _pstats = enumerate_st_paths(
             &contraction.graph,
             contraction.image(w),
@@ -185,105 +340,96 @@ impl ForestEnumerator<'_, '_> {
             &mut |p| {
                 children += 1;
                 self.stats.work += per_child;
-                let orig: Vec<EdgeId> =
-                    p.edges.iter().map(|e| contraction.orig_edge[e.index()]).collect();
-                let snap = self.uf.snapshot();
+                let orig: Vec<EdgeId> = p
+                    .edges
+                    .iter()
+                    .map(|e| contraction.orig_edge[e.index()])
+                    .collect();
+                let search = self.search.as_mut().expect("search state");
+                let snap = search.uf.snapshot();
                 for &e in &orig {
                     let (u, v) = self.g.endpoints(e);
-                    let joined = self.uf.union(u, v);
+                    let joined = search.uf.union(u, v);
                     debug_assert!(joined, "a valid path never closes a cycle in F");
                 }
-                let base = self.forest_edges.len();
-                self.forest_edges.extend_from_slice(&orig);
-                let f = self.recurse(depth + 1);
-                self.forest_edges.truncate(base);
-                self.uf.rollback(snap);
+                let base = search.forest_edges.len();
+                search.forest_edges.extend_from_slice(&orig);
+                let f = child(self);
+                let search = self.search.as_mut().expect("search state");
+                search.forest_edges.truncate(base);
+                search.uf.rollback(snap);
                 if f.is_break() {
                     flow = ControlFlow::Break(());
                 }
                 f
             },
         );
-        self.stats.note_node(children, depth);
         debug_assert!(
             children >= 2 || flow.is_break(),
             "Lemma 24 guarantees at least two valid paths on a branch pair"
         );
-        flow
+        (children, flow)
     }
 }
 
 /// Enumerates all minimal Steiner forests of `(g, sets)` through an
 /// arbitrary [`SolutionSink`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(SteinerForest::new(g, sets))` with a custom sink"
+)]
 pub fn enumerate_minimal_steiner_forests_with(
     g: &UndirectedGraph,
     sets: &[Vec<VertexId>],
     emitter: &mut dyn SolutionSink<EdgeId>,
 ) -> EnumStats {
-    let pairs = pairs_from_sets(sets);
-    let mut stats = EnumStats::default();
-    stats.preprocessing_work = (g.num_vertices() + g.num_edges()) as u64;
-    // Precondition: each terminal set inside one component.
-    for set in sets {
-        if !all_in_one_component(g, set, None) {
-            return stats;
-        }
-    }
-    if pairs.is_empty() {
-        // The empty forest is the unique minimal Steiner forest.
+    if sets.is_empty() {
+        // Historical lenient contract: no constraints, so the empty forest
+        // is the unique minimal Steiner forest.
+        let mut stats = EnumStats::default();
+        stats.preprocessing_work = (g.num_vertices() + g.num_edges()) as u64;
         stats.note_emission();
         let _ = emitter.solution(&[], stats.work);
         let _ = emitter.finish();
         stats.note_end();
         return stats;
     }
-    let mut e = ForestEnumerator {
-        g,
-        pairs,
-        uf: UnionFind::new(g.num_vertices()),
-        forest_edges: Vec::new(),
-        stats,
-        scratch: Vec::new(),
-        emitter,
-    };
-    let flow = e.recurse(0);
-    if flow.is_continue() {
-        let _ = e.emitter.finish();
-    }
-    e.stats.note_end();
-    e.stats
+    // Historical lenient contract: duplicate members within a set were
+    // silently deduplicated (the strict API reports them).
+    let deduped: Vec<Vec<VertexId>> = sets
+        .iter()
+        .map(|set| {
+            let mut s = set.clone();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    let mut problem = SteinerForest::new(g, &deduped);
+    run_sink_lenient(&mut problem, emitter)
 }
 
 /// Enumerates all minimal Steiner forests of `(g, sets)` with amortized
 /// O(n + m) time per solution (Theorem 25), emitting directly.
-///
-/// ```
-/// use steiner_core::forest::enumerate_minimal_steiner_forests;
-/// use steiner_graph::{UndirectedGraph, VertexId};
-/// use std::ops::ControlFlow;
-///
-/// // Path 0-1-2-3 with pairs {0,1} and {2,3}: the unique minimal forest
-/// // takes the two outer edges.
-/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-/// let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
-/// let mut count = 0;
-/// enumerate_minimal_steiner_forests(&g, &sets, &mut |forest| {
-///     assert_eq!(forest.len(), 2);
-///     count += 1;
-///     ControlFlow::Continue(())
-/// });
-/// assert_eq!(count, 1);
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(SteinerForest::new(g, sets)).for_each(sink)`"
+)]
 pub fn enumerate_minimal_steiner_forests(
     g: &UndirectedGraph,
     sets: &[Vec<VertexId>],
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> EnumStats {
     let mut direct = DirectSink { sink };
+    #[allow(deprecated)]
     enumerate_minimal_steiner_forests_with(g, sets, &mut direct)
 }
 
 /// Queued variant: worst-case O(m) delay via the output queue (Theorem 25).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(SteinerForest::new(g, sets)).with_queue(config).for_each(sink)`"
+)]
 pub fn enumerate_minimal_steiner_forests_queued(
     g: &UndirectedGraph,
     sets: &[Vec<VertexId>],
@@ -292,6 +438,7 @@ pub fn enumerate_minimal_steiner_forests_queued(
 ) -> EnumStats {
     let config = config.unwrap_or_else(|| QueueConfig::for_graph(g.num_vertices(), g.num_edges()));
     let mut queue = OutputQueue::new(config, sink);
+    #[allow(deprecated)]
     enumerate_minimal_steiner_forests_with(g, sets, &mut queue)
 }
 
@@ -299,13 +446,16 @@ pub fn enumerate_minimal_steiner_forests_queued(
 mod tests {
     use super::*;
     use crate::brute;
+    use crate::solver::Enumeration;
 
     fn collect(g: &UndirectedGraph, sets: &[Vec<VertexId>]) -> BTreeSet<Vec<EdgeId>> {
         let mut out = BTreeSet::new();
-        enumerate_minimal_steiner_forests(g, sets, &mut |edges| {
-            assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerForest::new(g, sets))
+            .for_each(|edges| {
+                assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
+                ControlFlow::Continue(())
+            })
+            .expect("valid instance");
         out
     }
 
@@ -320,24 +470,21 @@ mod tests {
         let pairs = pairs_from_sets(&sets);
         assert_eq!(
             pairs,
-            vec![
-                (VertexId(1), VertexId(2)),
-                (VertexId(1), VertexId(3)),
-            ]
+            vec![(VertexId(1), VertexId(2)), (VertexId(1), VertexId(3)),]
         );
     }
 
     #[test]
     fn single_set_equals_steiner_tree_enumeration() {
-        use crate::improved::enumerate_minimal_steiner_trees;
+        use crate::improved::SteinerTree;
         let g = steiner_graph::generators::grid(2, 4);
         let w = vec![VertexId(0), VertexId(7)];
         let forests = collect(&g, std::slice::from_ref(&w));
-        let mut trees = BTreeSet::new();
-        enumerate_minimal_steiner_trees(&g, &w, &mut |edges| {
-            trees.insert(edges.to_vec());
-            ControlFlow::Continue(())
-        });
+        let trees: BTreeSet<Vec<EdgeId>> = Enumeration::new(SteinerTree::new(&g, &w))
+            .collect_vec()
+            .unwrap()
+            .into_iter()
+            .collect();
         assert_eq!(forests, trees, "|W| = 1 set: forest == tree enumeration");
     }
 
@@ -352,7 +499,10 @@ mod tests {
     #[test]
     fn two_disjoint_pairs_on_a_path() {
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        let sets = vec![
+            vec![VertexId(0), VertexId(1)],
+            vec![VertexId(2), VertexId(3)],
+        ];
         let got = collect(&g, &sets);
         assert_eq!(got, brute::minimal_steiner_forests(&g, &sets));
         assert_eq!(got.len(), 1);
@@ -362,7 +512,10 @@ mod tests {
     fn overlapping_pairs_share_structure() {
         // Square: pairs {0,2} and {1,3} interact heavily.
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
-        let sets = vec![vec![VertexId(0), VertexId(2)], vec![VertexId(1), VertexId(3)]];
+        let sets = vec![
+            vec![VertexId(0), VertexId(2)],
+            vec![VertexId(1), VertexId(3)],
+        ];
         let got = collect(&g, &sets);
         assert_eq!(got, brute::minimal_steiner_forests(&g, &sets));
     }
@@ -393,34 +546,74 @@ mod tests {
     #[test]
     fn all_outputs_verify_minimal() {
         let g = steiner_graph::generators::grid(3, 3);
-        let sets =
-            vec![vec![VertexId(0), VertexId(8)], vec![VertexId(2), VertexId(6)]];
+        let sets = vec![
+            vec![VertexId(0), VertexId(8)],
+            vec![VertexId(2), VertexId(6)],
+        ];
         let mut count = 0;
-        enumerate_minimal_steiner_forests(&g, &sets, &mut |edges| {
-            count += 1;
-            assert!(crate::verify::is_minimal_steiner_forest(&g, &sets, edges));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerForest::new(&g, &sets))
+            .for_each(|edges| {
+                count += 1;
+                assert!(crate::verify::is_minimal_steiner_forest(&g, &sets, edges));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
         assert!(count > 1);
     }
 
     #[test]
     fn queued_matches_direct() {
         let g = steiner_graph::generators::grid(3, 3);
-        let sets = vec![vec![VertexId(0), VertexId(8)], vec![VertexId(2), VertexId(6)]];
+        let sets = vec![
+            vec![VertexId(0), VertexId(8)],
+            vec![VertexId(2), VertexId(6)],
+        ];
         let direct = collect(&g, &sets);
         let mut queued = BTreeSet::new();
-        enumerate_minimal_steiner_forests_queued(&g, &sets, None, &mut |edges| {
-            assert!(queued.insert(edges.to_vec()));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerForest::new(&g, &sets))
+            .with_default_queue()
+            .for_each(|edges| {
+                assert!(queued.insert(edges.to_vec()));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
         assert_eq!(direct, queued);
     }
 
     #[test]
-    fn disconnected_set_yields_nothing() {
+    fn iterator_front_end_matches_direct() {
+        let g = steiner_graph::generators::grid(3, 3);
+        let sets = vec![
+            vec![VertexId(0), VertexId(8)],
+            vec![VertexId(2), VertexId(6)],
+        ];
+        let direct = collect(&g, &sets);
+        let iterated: BTreeSet<Vec<EdgeId>> =
+            Enumeration::new(SteinerForest::from_graph(g.clone(), &sets))
+                .into_iter()
+                .unwrap()
+                .collect();
+        assert_eq!(direct, iterated);
+    }
+
+    #[test]
+    fn disconnected_set_is_an_error() {
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        let got = collect(&g, &[vec![VertexId(0), VertexId(2)]]);
+        let err = Enumeration::new(SteinerForest::new(&g, &[vec![VertexId(0), VertexId(2)]]))
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SteinerError::DisconnectedTerminals { set: 0 });
+    }
+
+    #[test]
+    fn deprecated_shim_treats_disconnected_as_empty() {
+        #![allow(deprecated)]
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut got = BTreeSet::new();
+        enumerate_minimal_steiner_forests(&g, &[vec![VertexId(0), VertexId(2)]], &mut |e| {
+            got.insert(e.to_vec());
+            ControlFlow::Continue(())
+        });
         assert!(got.is_empty());
     }
 }

@@ -1,4 +1,6 @@
-//! The improved minimal-Steiner-tree enumerator (§4.2, Theorems 17 & 20).
+//! The improved minimal-Steiner-tree enumerator (§4.2, Theorems 17 & 20),
+//! exposed as the [`SteinerTree`] problem type for the generic
+//! [`crate::solver::Enumeration`] engine.
 //!
 //! The simple Algorithm 2 can build long chains of single-child nodes. The
 //! improvement guarantees **every internal node has at least two
@@ -16,14 +18,20 @@
 //!
 //! With the ≥2-children invariant, internal nodes never outnumber leaves,
 //! so total work is O((n + m) · #solutions) — amortized O(n + m) each
-//! (Theorem 17). Wiring the emissions through the
-//! [`crate::queue::OutputQueue`] yields the worst-case O(n + m) delay of
-//! Theorem 20 at O(n²) space.
+//! (Theorem 17). Running the enumeration through
+//! [`Enumeration::with_queue`](crate::solver::Enumeration::with_queue)
+//! yields the worst-case delay bound of Theorem 20 at O(n²) space.
+//!
+//! The free functions at the bottom are the pre-`Enumeration` entry
+//! points, kept as deprecated shims.
 
 use crate::partial::PartialTree;
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
+use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use std::borrow::Cow;
 use std::ops::ControlFlow;
 use steiner_graph::bridges::bridges;
 use steiner_graph::connectivity::all_in_one_component;
@@ -31,68 +39,179 @@ use steiner_graph::spanning::{grow_spanning_tree, prune_leaves};
 use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
 use steiner_paths::stsets::SourceSetInstance;
 
-struct ImprovedEnumerator<'g, 'a> {
-    g: &'g UndirectedGraph,
+/// The minimal Steiner tree problem (§4): find all inclusion-minimal
+/// subtrees of `g` spanning `terminals`.
+///
+/// ```
+/// use steiner_core::{Enumeration, SteinerTree};
+/// use steiner_graph::{UndirectedGraph, VertexId};
+///
+/// // Triangle; connect vertices 0 and 1: the direct edge or the detour.
+/// let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// let trees = Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(1)]))
+///     .collect_vec()
+///     .unwrap();
+/// assert_eq!(trees.len(), 2);
+/// ```
+pub struct SteinerTree<'g> {
+    g: Cow<'g, UndirectedGraph>,
+    terminals: Vec<VertexId>,
+    stats: EnumStats,
+    search: Option<TreeSearch>,
+}
+
+/// Mutable search state installed by `prepare`.
+struct TreeSearch {
     t: PartialTree,
     /// Edge membership in `E(T)`, kept in lockstep with `t.edges`.
     edge_in_t: Vec<bool>,
     /// Bridges of `G`, precomputed once (Lemma 16 is a property of `G`).
     bridge: Vec<bool>,
-    stats: EnumStats,
-    scratch: Vec<EdgeId>,
-    emitter: &'a mut dyn SolutionSink<EdgeId>,
 }
 
-impl ImprovedEnumerator<'_, '_> {
-    fn emit(&mut self, edges: &[EdgeId]) -> ControlFlow<()> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.extend_from_slice(edges);
-        scratch.sort_unstable();
-        self.stats.note_emission();
-        let flow = self.emitter.solution(&scratch, self.stats.work);
-        self.scratch = scratch;
-        flow
+impl<'g> SteinerTree<'g> {
+    /// A problem instance borrowing the graph (zero-copy; use
+    /// [`Self::from_graph`] or [`Self::into_owned`] for the iterator
+    /// front-end, which needs `'static` data).
+    pub fn new(g: &'g UndirectedGraph, terminals: &[VertexId]) -> Self {
+        SteinerTree {
+            g: Cow::Borrowed(g),
+            terminals: terminals.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
+        }
     }
 
-    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
-        self.emitter.tick(self.stats.work)?;
-        if self.t.complete() {
-            self.stats.note_node(0, depth);
-            let edges = self.t.edges.clone();
-            return self.emit(&edges);
+    /// A problem instance owning the graph.
+    pub fn from_graph(g: UndirectedGraph, terminals: &[VertexId]) -> SteinerTree<'static> {
+        SteinerTree {
+            g: Cow::Owned(g),
+            terminals: terminals.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
+        }
+    }
+
+    /// Clones the borrowed graph (if any) so the instance becomes
+    /// `'static` and can move to the iterator front-end's worker thread.
+    pub fn into_owned(self) -> SteinerTree<'static> {
+        SteinerTree {
+            g: Cow::Owned(self.g.into_owned()),
+            terminals: self.terminals,
+            stats: self.stats,
+            search: self.search,
+        }
+    }
+}
+
+impl MinimalSteinerProblem for SteinerTree<'_> {
+    type Item = EdgeId;
+    type Branch = VertexId;
+
+    const NAME: &'static str = "minimal Steiner tree";
+
+    fn validate(&self) -> Result<(), SteinerError> {
+        crate::problem::validate_terminal_list(&self.terminals, self.g.num_vertices())
+    }
+
+    fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
+        self.validate()?;
+        self.terminals.sort_unstable();
+        let g = &*self.g;
+        // Preprocessing: connectivity + bridges of G, O(n + m) each.
+        self.stats.preprocessing_work = 2 * (g.num_vertices() + g.num_edges()) as u64;
+        if !all_in_one_component(g, &self.terminals, None) {
+            return Err(SteinerError::DisconnectedTerminals { set: 0 });
+        }
+        if self.terminals.len() == 1 {
+            // The empty tree on the terminal itself is the unique solution.
+            return Ok(Prepared::Single(Vec::new()));
+        }
+        let bridge = bridges(g, None);
+        let t = PartialTree::new(g.num_vertices(), &self.terminals, Some(self.terminals[0]));
+        self.search = Some(TreeSearch {
+            t,
+            edge_in_t: vec![false; g.num_edges()],
+            bridge,
+        });
+        Ok(Prepared::Search)
+    }
+
+    fn instance_size(&self) -> (usize, usize) {
+        (self.g.num_vertices(), self.g.num_edges())
+    }
+
+    fn stats(&self) -> &EnumStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut EnumStats {
+        &mut self.stats
+    }
+
+    fn classify(&mut self) -> NodeStep<EdgeId, VertexId> {
+        let g: &UndirectedGraph = &self.g;
+        let stats = &mut self.stats;
+        let search = self
+            .search
+            .as_mut()
+            .expect("prepare() runs before the search");
+        if search.t.complete() {
+            return NodeStep::Complete;
         }
         // Minimal completion T' ⊇ T: spanning tree + Proposition 3 pruning.
-        let grown = grow_spanning_tree(self.g, &self.t.vertices, &self.t.edges, None);
-        self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;
-        let is_terminal = &self.t.is_terminal;
-        let in_tree = &self.t.in_tree;
-        let tprime = prune_leaves(self.g, &grown.edges, |v| {
+        let grown = grow_spanning_tree(g, &search.t.vertices, &search.t.edges, None);
+        stats.work += (g.num_vertices() + g.num_edges()) as u64;
+        let is_terminal = &search.t.is_terminal;
+        let in_tree = &search.t.in_tree;
+        let tprime = prune_leaves(g, &grown.edges, |v| {
             is_terminal[v.index()] || in_tree[v.index()]
         });
         // A non-bridge edge of T' ∖ T ⇒ some missing terminal has ≥2 paths.
         let candidate = tprime
             .iter()
             .copied()
-            .find(|e| !self.edge_in_t[e.index()] && !self.bridge[e.index()]);
-        let Some(e_star) = candidate else {
+            .find(|e| !search.edge_in_t[e.index()] && !search.bridge[e.index()]);
+        match candidate {
             // T' is the unique minimal Steiner tree containing T (Lemma 16).
-            self.stats.note_node(0, depth);
-            return self.emit(&tprime);
+            None => NodeStep::Unique(tprime),
+            Some(e_star) => NodeStep::Branch(find_terminal_beyond(
+                g,
+                &tprime,
+                e_star,
+                &search.t.in_tree,
+                &search.t.is_terminal,
+                &mut stats.work,
+            )),
+        }
+    }
+
+    fn solution(&self, out: &mut Vec<EdgeId>) {
+        let search = self
+            .search
+            .as_ref()
+            .expect("prepare() runs before the search");
+        out.extend_from_slice(&search.t.edges);
+    }
+
+    fn branch(
+        &mut self,
+        w: VertexId,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> (u64, ControlFlow<()>) {
+        let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
+        // The instance snapshots V(T), so mutations during recursion are
+        // safe (it owns its doubled digraph).
+        let inst = {
+            let search = self
+                .search
+                .as_ref()
+                .expect("prepare() runs before the search");
+            SourceSetInstance::new(&self.g, &search.t.in_tree, None)
         };
-        let w = find_terminal_beyond(
-            self.g,
-            &tprime,
-            e_star,
-            &self.t.in_tree,
-            &self.t.is_terminal,
-            &mut self.stats.work,
-        );
-        let inst = SourceSetInstance::new(self.g, &self.t.in_tree, None);
-        self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;
+        self.stats.work += per_child;
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
-        let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
         let _pstats = inst.enumerate(w, &mut |p| {
             children += 1;
             // The paper's accounting: each child is generated with
@@ -101,26 +220,27 @@ impl ImprovedEnumerator<'_, '_> {
             self.stats.work += per_child;
             let verts = p.vertices.to_vec();
             let edges = p.edges.to_vec();
-            let ext = self.t.extend_path(&verts, &edges);
+            let search = self.search.as_mut().expect("search state");
+            let ext = search.t.extend_path(&verts, &edges);
             for &e in &edges {
-                self.edge_in_t[e.index()] = true;
+                search.edge_in_t[e.index()] = true;
             }
-            let f = self.recurse(depth + 1);
+            let f = child(self);
+            let search = self.search.as_mut().expect("search state");
             for &e in &edges {
-                self.edge_in_t[e.index()] = false;
+                search.edge_in_t[e.index()] = false;
             }
-            self.t.retract(ext);
+            search.t.retract(ext);
             if f.is_break() {
                 flow = ControlFlow::Break(());
             }
             f
         });
-        self.stats.note_node(children, depth);
         debug_assert!(
             children >= 2 || flow.is_break(),
             "improved enumeration tree: internal nodes have ≥ 2 children"
         );
-        flow
+        (children, flow)
     }
 }
 
@@ -178,77 +298,42 @@ pub(crate) fn find_terminal_beyond(
 }
 
 /// Enumerates all minimal Steiner trees of `(g, terminals)` through an
-/// arbitrary [`SolutionSink`] — the building block for the direct and
-/// queued front ends.
+/// arbitrary [`SolutionSink`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(SteinerTree::new(g, terminals))` with a custom sink"
+)]
 pub fn enumerate_minimal_steiner_trees_with(
     g: &UndirectedGraph,
     terminals: &[VertexId],
     emitter: &mut dyn SolutionSink<EdgeId>,
 ) -> EnumStats {
-    let terminals = normalize_terminals(terminals);
-    let mut stats = EnumStats::default();
-    if terminals.is_empty() {
-        return stats;
-    }
-    // Preprocessing: connectivity + bridges of G, O(n + m) each.
-    stats.preprocessing_work = 2 * (g.num_vertices() + g.num_edges()) as u64;
-    if !all_in_one_component(g, &terminals, None) {
-        return stats;
-    }
-    if terminals.len() == 1 {
-        stats.note_emission();
-        let _ = emitter.solution(&[], stats.work);
-        let _ = emitter.finish();
-        stats.note_end();
-        return stats;
-    }
-    let bridge = bridges(g, None);
-    let t = PartialTree::new(g.num_vertices(), &terminals, Some(terminals[0]));
-    let mut e = ImprovedEnumerator {
-        g,
-        t,
-        edge_in_t: vec![false; g.num_edges()],
-        bridge,
-        stats,
-        scratch: Vec::new(),
-        emitter,
-    };
-    let flow = e.recurse(0);
-    if flow.is_continue() {
-        let _ = e.emitter.finish();
-    }
-    e.stats.note_end();
-    e.stats
+    let mut problem = SteinerTree::new(g, &normalize_terminals(terminals));
+    run_sink_lenient(&mut problem, emitter)
 }
 
 /// Enumerates all minimal Steiner trees with amortized O(n + m) time per
 /// solution (Theorem 17), emitting each solution the moment it is found.
-///
-/// ```
-/// use steiner_core::improved::enumerate_minimal_steiner_trees;
-/// use steiner_graph::{UndirectedGraph, VertexId};
-/// use std::ops::ControlFlow;
-///
-/// // Triangle; connect vertices 0 and 1: the direct edge or the detour.
-/// let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
-/// let mut trees = Vec::new();
-/// enumerate_minimal_steiner_trees(&g, &[VertexId(0), VertexId(1)], &mut |t| {
-///     trees.push(t.to_vec());
-///     ControlFlow::Continue(())
-/// });
-/// assert_eq!(trees.len(), 2);
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(SteinerTree::new(g, terminals)).for_each(sink)`"
+)]
 pub fn enumerate_minimal_steiner_trees(
     g: &UndirectedGraph,
     terminals: &[VertexId],
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> EnumStats {
+    let mut problem = SteinerTree::new(g, &normalize_terminals(terminals));
     let mut direct = DirectSink { sink };
-    enumerate_minimal_steiner_trees_with(g, terminals, &mut direct)
+    run_sink_lenient(&mut problem, &mut direct)
 }
 
 /// Enumerates all minimal Steiner trees with worst-case O(n + m) delay via
 /// the output-queue method (Theorem 20; O(n²) space for the buffer).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(SteinerTree::new(g, terminals)).with_queue(config).for_each(sink)`"
+)]
 pub fn enumerate_minimal_steiner_trees_queued(
     g: &UndirectedGraph,
     terminals: &[VertexId],
@@ -256,22 +341,26 @@ pub fn enumerate_minimal_steiner_trees_queued(
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> EnumStats {
     let config = config.unwrap_or_else(|| QueueConfig::for_graph(g.num_vertices(), g.num_edges()));
+    let mut problem = SteinerTree::new(g, &normalize_terminals(terminals));
     let mut queue = OutputQueue::new(config, sink);
-    enumerate_minimal_steiner_trees_with(g, terminals, &mut queue)
+    run_sink_lenient(&mut problem, &mut queue)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::brute;
+    use crate::solver::Enumeration;
     use std::collections::BTreeSet;
 
     fn collect(g: &UndirectedGraph, w: &[VertexId]) -> (BTreeSet<Vec<EdgeId>>, EnumStats) {
         let mut out = BTreeSet::new();
-        let stats = enumerate_minimal_steiner_trees(g, w, &mut |edges| {
-            assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
-            ControlFlow::Continue(())
-        });
+        let stats = Enumeration::new(SteinerTree::new(g, w))
+            .for_each(|edges| {
+                assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
+                ControlFlow::Continue(())
+            })
+            .expect("valid instance");
         (out, stats)
     }
 
@@ -322,14 +411,17 @@ mod tests {
                 brute::minimal_steiner_trees(&g, &w),
                 "graph {g:?} terminals {w:?}"
             );
-            assert_eq!(stats.deficient_internal_nodes, 0, "graph {g:?} terminals {w:?}");
+            assert_eq!(
+                stats.deficient_internal_nodes, 0,
+                "graph {g:?} terminals {w:?}"
+            );
         }
     }
 
     #[test]
     fn matches_simple_enumerator() {
-        use rand::{Rng, SeedableRng};
         use crate::simple::enumerate_minimal_steiner_trees_simple;
+        use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xf00d);
         for _ in 0..30 {
             let n = 4 + rng.gen_range(0..5usize);
@@ -352,10 +444,13 @@ mod tests {
         let w = [VertexId(0), VertexId(3)];
         let (direct, _) = collect(&g, &w);
         let mut queued = BTreeSet::new();
-        enumerate_minimal_steiner_trees_queued(&g, &w, None, &mut |edges| {
-            assert!(queued.insert(edges.to_vec()));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerTree::new(&g, &w))
+            .with_default_queue()
+            .for_each(|edges| {
+                assert!(queued.insert(edges.to_vec()));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
         assert_eq!(direct, queued);
         assert_eq!(direct.len(), 27, "theta chain: width^blocks trees");
     }
@@ -364,24 +459,71 @@ mod tests {
     fn all_outputs_verify_minimal() {
         let g = steiner_graph::generators::grid(3, 3);
         let w = [VertexId(0), VertexId(8), VertexId(2)];
-        enumerate_minimal_steiner_trees(&g, &w, &mut |edges| {
-            assert!(crate::verify::is_minimal_steiner_tree(&g, &w, edges));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerTree::new(&g, &w))
+            .for_each(|edges| {
+                assert!(crate::verify::is_minimal_steiner_tree(&g, &w, edges));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
     }
 
     #[test]
     fn break_stops_enumeration() {
         let g = steiner_graph::generators::theta_chain(5, 3);
         let mut count = 0;
-        enumerate_minimal_steiner_trees(&g, &[VertexId(0), VertexId(5)], &mut |_| {
-            count += 1;
-            if count == 7 {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
+        Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(5)]))
+            .for_each(|_| {
+                count += 1;
+                if count == 7 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
         assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn limit_front_end_stops_early() {
+        let g = steiner_graph::generators::theta_chain(5, 3);
+        let n = Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(5)]))
+            .with_limit(7)
+            .count()
+            .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn iterator_front_end_streams_all_solutions() {
+        let g = steiner_graph::generators::theta_chain(3, 3);
+        let w = [VertexId(0), VertexId(3)];
+        let (direct, _) = collect(&g, &w);
+        let iterated: BTreeSet<Vec<EdgeId>> =
+            Enumeration::new(SteinerTree::from_graph(g.clone(), &w))
+                .into_iter()
+                .unwrap()
+                .collect();
+        assert_eq!(direct, iterated);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let g = steiner_graph::generators::theta_chain(3, 3);
+        let w = [VertexId(0), VertexId(3)];
+        let (new_api, _) = collect(&g, &w);
+        let mut old_api = BTreeSet::new();
+        enumerate_minimal_steiner_trees(&g, &w, &mut |edges| {
+            old_api.insert(edges.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(new_api, old_api);
+        let mut queued = BTreeSet::new();
+        enumerate_minimal_steiner_trees_queued(&g, &w, None, &mut |edges| {
+            queued.insert(edges.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(new_api, queued);
     }
 }

@@ -16,8 +16,10 @@
 //!   *delay* is not bounded (reproducing \[10\]'s delay bound would need
 //!   its full DP-graph machinery, which the paper itself does not use).
 
-use crate::improved::enumerate_minimal_steiner_trees;
+use crate::improved::SteinerTree;
+use crate::queue::DirectSink;
 use crate::simple::normalize_terminals;
+use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
 use std::ops::ControlFlow;
 use steiner_graph::traversal::bfs;
@@ -30,16 +32,16 @@ pub const MAX_DW_TERMINALS: usize = 14;
 /// `None` when the terminals are not connected. Unweighted Dreyfus–Wagner.
 ///
 /// Degenerate cases: zero or one terminal → `Some(0)`.
-pub fn minimum_steiner_tree_size(
-    g: &UndirectedGraph,
-    terminals: &[VertexId],
-) -> Option<usize> {
+pub fn minimum_steiner_tree_size(g: &UndirectedGraph, terminals: &[VertexId]) -> Option<usize> {
     let terminals = normalize_terminals(terminals);
     let t = terminals.len();
     if t <= 1 {
         return Some(0);
     }
-    assert!(t <= MAX_DW_TERMINALS, "Dreyfus–Wagner limited to {MAX_DW_TERMINALS} terminals");
+    assert!(
+        t <= MAX_DW_TERMINALS,
+        "Dreyfus–Wagner limited to {MAX_DW_TERMINALS} terminals"
+    );
     let n = g.num_vertices();
     const INF: u32 = u32::MAX / 4;
     // All-terminal-sources BFS distances: dist[i][v] from terminal i.
@@ -47,7 +49,10 @@ pub fn minimum_steiner_tree_size(
         .iter()
         .map(|&w| {
             let f = bfs(g, &[w], None);
-            f.dist.iter().map(|&d| if d == u32::MAX { INF } else { d }).collect()
+            f.dist
+                .iter()
+                .map(|&d| if d == u32::MAX { INF } else { d })
+                .collect()
         })
         .collect();
     // Pairwise vertex distances are needed for the relaxation step; we run
@@ -55,7 +60,10 @@ pub fn minimum_steiner_tree_size(
     let vdist: Vec<Vec<u32>> = (0..n)
         .map(|v| {
             let f = bfs(g, &[VertexId::new(v)], None);
-            f.dist.iter().map(|&d| if d == u32::MAX { INF } else { d }).collect()
+            f.dist
+                .iter()
+                .map(|&d| if d == u32::MAX { INF } else { d })
+                .collect()
         })
         .collect();
     // dp[mask][v]: minimum edges of a tree connecting {terminals in mask} ∪ {v}.
@@ -120,19 +128,18 @@ pub fn enumerate_minimum_steiner_trees(
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> Option<(usize, EnumStats)> {
     let opt = minimum_steiner_tree_size(g, terminals)?;
-    let mut flow_broke = false;
-    let stats = enumerate_minimal_steiner_trees(g, terminals, &mut |edges| {
+    let mut filtered = |edges: &[EdgeId]| {
         if edges.len() == opt {
-            let f = sink(edges);
-            if f.is_break() {
-                flow_broke = true;
-            }
-            f
+            sink(edges)
         } else {
             ControlFlow::Continue(())
         }
-    });
-    let _ = flow_broke;
+    };
+    let mut problem = SteinerTree::new(g, &normalize_terminals(terminals));
+    let mut direct = DirectSink {
+        sink: &mut filtered,
+    };
+    let stats = run_sink_lenient(&mut problem, &mut direct);
     Some((opt, stats))
 }
 
@@ -142,7 +149,10 @@ mod tests {
     use crate::brute;
     use std::collections::BTreeSet;
 
-    fn brute_minimum(g: &UndirectedGraph, w: &[VertexId]) -> Option<(usize, BTreeSet<Vec<EdgeId>>)> {
+    fn brute_minimum(
+        g: &UndirectedGraph,
+        w: &[VertexId],
+    ) -> Option<(usize, BTreeSet<Vec<EdgeId>>)> {
         let all = brute::minimal_steiner_trees(g, w);
         let opt = all.iter().map(|t| t.len()).min()?;
         let min_trees = all.into_iter().filter(|t| t.len() == opt).collect();
@@ -175,13 +185,16 @@ mod tests {
     #[test]
     fn disconnected_terminals_have_no_minimum() {
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        assert_eq!(minimum_steiner_tree_size(&g, &[VertexId(0), VertexId(2)]), None);
-        assert!(enumerate_minimum_steiner_trees(
-            &g,
-            &[VertexId(0), VertexId(2)],
-            &mut |_| ControlFlow::Continue(())
-        )
-        .is_none());
+        assert_eq!(
+            minimum_steiner_tree_size(&g, &[VertexId(0), VertexId(2)]),
+            None
+        );
+        assert!(
+            enumerate_minimum_steiner_trees(&g, &[VertexId(0), VertexId(2)], &mut |_| {
+                ControlFlow::Continue(())
+            })
+            .is_none()
+        );
     }
 
     #[test]
@@ -242,10 +255,12 @@ mod tests {
             let t = 2 + rng.gen_range(0..3usize).min(n - 2);
             let w = steiner_graph::generators::random_terminals(n, t, &mut rng);
             let opt = minimum_steiner_tree_size(&g, &w).unwrap();
-            enumerate_minimal_steiner_trees(&g, &w, &mut |e| {
-                assert!(e.len() >= opt);
-                ControlFlow::Continue(())
-            });
+            crate::solver::Enumeration::new(SteinerTree::new(&g, &w))
+                .for_each(|e| {
+                    assert!(e.len() >= opt);
+                    ControlFlow::Continue(())
+                })
+                .unwrap();
         }
     }
 }

@@ -82,7 +82,10 @@ impl PartialTree {
             self.add_vertex(v);
         }
         self.edges.extend_from_slice(path_edges);
-        Extension { added_vertices: path_vertices.len() - start, added_edges: path_edges.len() }
+        Extension {
+            added_vertices: path_vertices.len() - start,
+            added_edges: path_edges.len(),
+        }
     }
 
     /// Undoes the matching [`Self::extend_path`] call (LIFO discipline).
@@ -152,8 +155,14 @@ mod tests {
     fn nested_extensions_restore_in_order() {
         let terminals = [VertexId(0), VertexId(2), VertexId(4)];
         let mut t = PartialTree::new(5, &terminals, Some(VertexId(0)));
-        let e1 = t.extend_path(&[VertexId(0), VertexId(1), VertexId(2)], &[EdgeId(0), EdgeId(1)]);
-        let e2 = t.extend_path(&[VertexId(2), VertexId(3), VertexId(4)], &[EdgeId(2), EdgeId(3)]);
+        let e1 = t.extend_path(
+            &[VertexId(0), VertexId(1), VertexId(2)],
+            &[EdgeId(0), EdgeId(1)],
+        );
+        let e2 = t.extend_path(
+            &[VertexId(2), VertexId(3), VertexId(4)],
+            &[EdgeId(2), EdgeId(3)],
+        );
         assert!(t.complete());
         t.retract(e2);
         assert_eq!(t.missing_terminals, 1);

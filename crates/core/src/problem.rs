@@ -1,0 +1,272 @@
+//! The [`MinimalSteinerProblem`] trait: the Algorithm-3 contract shared by
+//! every minimal Steiner enumeration in the paper.
+//!
+//! §4–§5 instantiate one branching scheme four times (trees, forests,
+//! terminal trees, directed trees). Each instantiation supplies the same
+//! three ingredients:
+//!
+//! 1. a **validity check** — is the current partial solution already a
+//!    solution? ([`NodeStep::Complete`]);
+//! 2. a **minimal completion** with a uniqueness certificate — when only
+//!    one minimal solution contains the partial one, emit it and close the
+//!    node as a leaf ([`NodeStep::Unique`], the Lemma 16/24/30/35 tests);
+//! 3. a **branching-vertex selection** — otherwise pick a branch target
+//!    with at least two valid extensions ([`NodeStep::Branch`]).
+//!
+//! The generic engine in [`crate::solver`] drives any implementation
+//! through the shared recursion, so all four problems (plus any future
+//! variant) get the push, pull, queued, and limited front-ends from a
+//! single code path.
+//!
+//! Instance preconditions are reported as typed [`SteinerError`]s instead
+//! of the panics/silent-`false` mix of the original free functions.
+
+use crate::stats::EnumStats;
+use std::ops::ControlFlow;
+use steiner_graph::VertexId;
+
+/// Invalid-instance conditions, reported by [`MinimalSteinerProblem::validate`]
+/// and [`MinimalSteinerProblem::prepare`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SteinerError {
+    /// No terminals (or no terminal sets) were supplied.
+    EmptyInstance,
+    /// The same terminal appears twice in a terminal list.
+    DuplicateTerminal(VertexId),
+    /// A terminal id is not a vertex of the graph.
+    TerminalOutOfRange {
+        /// The offending terminal.
+        terminal: VertexId,
+        /// The number of vertices in the instance graph.
+        num_vertices: usize,
+    },
+    /// The root id of a directed instance is not a vertex of the graph.
+    RootOutOfRange {
+        /// The offending root.
+        root: VertexId,
+        /// The number of vertices in the instance graph.
+        num_vertices: usize,
+    },
+    /// A terminal set spans more than one connected component, so no
+    /// solution exists. `set` is the index of the offending terminal set
+    /// (always 0 for single-set problems).
+    DisconnectedTerminals {
+        /// Index of the terminal set that is not connected.
+        set: usize,
+    },
+    /// Directed instances: a terminal is unreachable from the root.
+    UnreachableTerminal(VertexId),
+}
+
+impl std::fmt::Display for SteinerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SteinerError::EmptyInstance => write!(f, "the instance has no terminals"),
+            SteinerError::DuplicateTerminal(w) => {
+                write!(f, "terminal {w} appears more than once")
+            }
+            SteinerError::TerminalOutOfRange {
+                terminal,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "terminal {terminal} out of range (graph has {num_vertices} vertices)"
+                )
+            }
+            SteinerError::RootOutOfRange { root, num_vertices } => {
+                write!(
+                    f,
+                    "root {root} out of range (graph has {num_vertices} vertices)"
+                )
+            }
+            SteinerError::DisconnectedTerminals { set } => {
+                write!(f, "terminal set {set} spans multiple connected components")
+            }
+            SteinerError::UnreachableTerminal(w) => {
+                write!(f, "terminal {w} is unreachable from the root")
+            }
+        }
+    }
+}
+
+impl SteinerError {
+    /// Whether this error describes a *valid* instance that simply has no
+    /// solutions (empty, disconnected, or unreachable), as opposed to a
+    /// malformed one (duplicate or out-of-range ids). The deprecated
+    /// pre-0.2 entry points and the keyword-search layer treat the former
+    /// as "enumerate nothing".
+    pub fn means_no_solutions(&self) -> bool {
+        matches!(
+            self,
+            SteinerError::EmptyInstance
+                | SteinerError::DisconnectedTerminals { .. }
+                | SteinerError::UnreachableTerminal(_)
+        )
+    }
+}
+
+impl std::error::Error for SteinerError {}
+
+/// Outcome of [`MinimalSteinerProblem::prepare`]: what the engine should do
+/// after validation and preprocessing succeed.
+#[derive(Debug, Clone)]
+pub enum Prepared<Item> {
+    /// The instance is valid but has no solutions (e.g. a terminal Steiner
+    /// instance with a single terminal, or no admissible component).
+    Empty,
+    /// The instance has exactly this one solution, found without search
+    /// (e.g. a Steiner tree instance with one terminal: the empty tree).
+    Single(Vec<Item>),
+    /// Run the branching engine from the root node.
+    Search,
+}
+
+/// The per-node analysis of Algorithm 3, as computed by
+/// [`MinimalSteinerProblem::classify`].
+#[derive(Debug, Clone)]
+pub enum NodeStep<Item, Branch> {
+    /// The partial solution is itself a solution: emit it (via
+    /// [`MinimalSteinerProblem::solution`]) and close the node as a leaf.
+    Complete,
+    /// Exactly one minimal solution contains the partial one — the
+    /// uniqueness certificates of Lemmas 16/24/30/35. The payload is the
+    /// full solution; the node closes as a leaf.
+    Unique(Vec<Item>),
+    /// At least two valid extensions exist for this branch target
+    /// (a missing terminal, a disconnected pair, …): recurse per child.
+    Branch(Branch),
+}
+
+/// The Algorithm-3 contract: everything the generic engine in
+/// [`crate::solver`] needs to enumerate all minimal solutions of one
+/// problem instance with amortized-linear time per solution.
+///
+/// Implementations hold the full instance *and* the mutable search state
+/// (partial solution, scratch structures, [`EnumStats`]); the engine owns
+/// the recursion, emission, queueing, and early termination.
+pub trait MinimalSteinerProblem {
+    /// Solution item: [`steiner_graph::EdgeId`] for the undirected
+    /// problems, [`steiner_graph::ArcId`] for directed Steiner trees.
+    /// Solutions are emitted as sorted `Item` slices.
+    type Item: Copy + Ord + std::fmt::Debug;
+
+    /// Branch target chosen by [`Self::classify`] and consumed by
+    /// [`Self::branch`] — a missing terminal for the tree problems, a
+    /// disconnected terminal pair for forests, or a problem-specific root
+    /// marker.
+    type Branch;
+
+    /// Problem name for diagnostics and reports.
+    const NAME: &'static str;
+
+    /// Checks the structural preconditions (terminal list shape, id
+    /// ranges) without touching the graph structure. Cheap; called by
+    /// [`Self::prepare`].
+    fn validate(&self) -> Result<(), SteinerError>;
+
+    /// Validates, preprocesses (connectivity, bridges, graph cleaning, …)
+    /// and installs the root search state. Must be called exactly once,
+    /// before any other search method.
+    fn prepare(&mut self) -> Result<Prepared<Self::Item>, SteinerError>;
+
+    /// `(n, m)` of the instance graph — sizes the default
+    /// [`crate::queue::QueueConfig`] and the engine's work accounting.
+    fn instance_size(&self) -> (usize, usize);
+
+    /// The enumeration statistics recorded so far.
+    fn stats(&self) -> &EnumStats;
+
+    /// Mutable access for the engine's node/emission accounting.
+    fn stats_mut(&mut self) -> &mut EnumStats;
+
+    /// The Algorithm-3 node analysis: complete / unique completion /
+    /// branch target (ingredients 1–3 above).
+    fn classify(&mut self) -> NodeStep<Self::Item, Self::Branch>;
+
+    /// Writes the current complete partial solution into `out`
+    /// (unsorted; the engine sorts before emission). Only called when
+    /// [`Self::classify`] returned [`NodeStep::Complete`].
+    fn solution(&self, out: &mut Vec<Self::Item>);
+
+    /// Applies each valid extension for `at` in turn: extend the partial
+    /// solution, invoke `child`, retract. Stops early when `child` breaks.
+    /// Returns the number of children generated and the resulting flow.
+    fn branch(
+        &mut self,
+        at: Self::Branch,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> (u64, ControlFlow<()>)
+    where
+        Self: Sized;
+}
+
+/// Shared structural validation for the members of one terminal list or
+/// set: all in range, no duplicates. (Emptiness is problem-specific:
+/// forests allow empty sets.)
+pub(crate) fn validate_terminal_members(
+    terminals: &[VertexId],
+    num_vertices: usize,
+) -> Result<(), SteinerError> {
+    for &w in terminals {
+        if w.index() >= num_vertices {
+            return Err(SteinerError::TerminalOutOfRange {
+                terminal: w,
+                num_vertices,
+            });
+        }
+    }
+    let mut sorted = terminals.to_vec();
+    sorted.sort_unstable();
+    for pair in sorted.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(SteinerError::DuplicateTerminal(pair[0]));
+        }
+    }
+    Ok(())
+}
+
+/// Shared structural validation for a list of terminals: non-empty, all in
+/// range, no duplicates.
+pub(crate) fn validate_terminal_list(
+    terminals: &[VertexId],
+    num_vertices: usize,
+) -> Result<(), SteinerError> {
+    if terminals.is_empty() {
+        return Err(SteinerError::EmptyInstance);
+    }
+    validate_terminal_members(terminals, num_vertices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let cases: Vec<(SteinerError, &str)> = vec![
+            (SteinerError::EmptyInstance, "no terminals"),
+            (SteinerError::DuplicateTerminal(VertexId(3)), "3"),
+            (
+                SteinerError::TerminalOutOfRange {
+                    terminal: VertexId(9),
+                    num_vertices: 4,
+                },
+                "9",
+            ),
+            (
+                SteinerError::RootOutOfRange {
+                    root: VertexId(7),
+                    num_vertices: 2,
+                },
+                "7",
+            ),
+            (SteinerError::DisconnectedTerminals { set: 1 }, "set 1"),
+            (SteinerError::UnreachableTerminal(VertexId(5)), "5"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+        }
+    }
+}

@@ -192,15 +192,22 @@ mod tests {
 
     #[test]
     fn warmup_holds_first_solutions() {
-        let cfg = QueueConfig { warmup: 3, budget: 10, max_buffer: 100 };
-        let released =
-            run_schedule(cfg, &[("sol", 1), ("sol", 2), ("sol", 3), ("tick", 100)]);
+        let cfg = QueueConfig {
+            warmup: 3,
+            budget: 10,
+            max_buffer: 100,
+        };
+        let released = run_schedule(cfg, &[("sol", 1), ("sol", 2), ("sol", 3), ("tick", 100)]);
         assert!(released.is_empty(), "still inside warm-up");
     }
 
     #[test]
     fn releases_on_budget_after_warmup() {
-        let cfg = QueueConfig { warmup: 2, budget: 10, max_buffer: 100 };
+        let cfg = QueueConfig {
+            warmup: 2,
+            budget: 10,
+            max_buffer: 100,
+        };
         let released = run_schedule(
             cfg,
             &[
@@ -217,14 +224,22 @@ mod tests {
 
     #[test]
     fn finish_flushes_everything() {
-        let cfg = QueueConfig { warmup: 5, budget: 1000, max_buffer: 100 };
+        let cfg = QueueConfig {
+            warmup: 5,
+            budget: 1000,
+            max_buffer: 100,
+        };
         let released = run_schedule(cfg, &[("sol", 1), ("sol", 2), ("finish", 0)]);
         assert_eq!(released, vec![0, 1]);
     }
 
     #[test]
     fn multiple_budgets_release_multiple() {
-        let cfg = QueueConfig { warmup: 1, budget: 10, max_buffer: 100 };
+        let cfg = QueueConfig {
+            warmup: 1,
+            budget: 10,
+            max_buffer: 100,
+        };
         let released = run_schedule(
             cfg,
             &[
@@ -259,7 +274,14 @@ mod tests {
             calls += 1;
             ControlFlow::Break(())
         };
-        let mut q = OutputQueue::new(QueueConfig { warmup: 0, budget: 1, max_buffer: 100 }, &mut sink);
+        let mut q = OutputQueue::new(
+            QueueConfig {
+                warmup: 0,
+                budget: 1,
+                max_buffer: 100,
+            },
+            &mut sink,
+        );
         let _ = q.solution(&[EdgeId(0)], 0);
         let flow = q.solution(&[EdgeId(1)], 100);
         assert!(flow.is_break());

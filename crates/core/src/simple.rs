@@ -109,7 +109,14 @@ pub fn enumerate_minimal_steiner_trees_simple(
         return stats;
     }
     let t = PartialTree::new(g.num_vertices(), &terminals, Some(terminals[0]));
-    let mut e = SimpleEnumerator { g, terminals, t, stats, scratch: Vec::new(), sink };
+    let mut e = SimpleEnumerator {
+        g,
+        terminals,
+        t,
+        stats,
+        scratch: Vec::new(),
+        sink,
+    };
     let _ = e.recurse(0);
     e.stats.note_end();
     e.stats
@@ -166,18 +173,14 @@ mod tests {
     fn early_break_stops() {
         let g = steiner_graph::generators::theta_chain(4, 3);
         let mut seen = 0;
-        enumerate_minimal_steiner_trees_simple(
-            &g,
-            &[VertexId(0), VertexId(4)],
-            &mut |_| {
-                seen += 1;
-                if seen >= 5 {
-                    ControlFlow::Break(())
-                } else {
-                    ControlFlow::Continue(())
-                }
-            },
-        );
+        enumerate_minimal_steiner_trees_simple(&g, &[VertexId(0), VertexId(4)], &mut |_| {
+            seen += 1;
+            if seen >= 5 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
         assert_eq!(seen, 5);
     }
 

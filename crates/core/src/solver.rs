@@ -1,0 +1,356 @@
+//! The generic Algorithm-3 engine and the [`Enumeration`] builder.
+//!
+//! [`Enumeration`] drives any [`MinimalSteinerProblem`] through one shared
+//! recursion and offers three interchangeable front-ends:
+//!
+//! * **push** — [`Enumeration::for_each`] hands each solution to a sink
+//!   closure the moment it is emitted (return
+//!   [`ControlFlow::Break`](std::ops::ControlFlow) to stop early);
+//! * **pull** — [`Enumeration::into_iter`] runs the enumeration on a
+//!   dedicated large-stack worker thread (via
+//!   [`steiner_paths::streaming`]) and yields owned solutions through a
+//!   plain [`Iterator`]; dropping the iterator stops the producer;
+//! * **bounded** — [`Enumeration::with_limit`] caps the number of
+//!   delivered solutions, and [`Enumeration::with_queue`] /
+//!   [`Enumeration::with_default_queue`] interpose the Theorem-20 output
+//!   queue for a worst-case (rather than amortized) delay bound.
+//!
+//! ```
+//! use steiner_core::{Enumeration, SteinerTree};
+//! use steiner_graph::{UndirectedGraph, VertexId};
+//!
+//! // A square: two ways to connect opposite corners.
+//! let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! let trees = Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(2)]))
+//!     .collect_vec()
+//!     .unwrap();
+//! assert_eq!(trees.len(), 2);
+//! ```
+
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
+use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+use crate::stats::EnumStats;
+use std::ops::ControlFlow;
+use std::sync::{Arc, Mutex};
+
+/// A shared, clonable handle to the statistics of one enumeration run,
+/// produced by [`Enumeration::with_stats`]. The final [`EnumStats`] are
+/// published when the run finishes (also on early termination); for the
+/// iterator front-end that happens on the worker thread, so read the
+/// handle only after the iterator is exhausted or dropped.
+#[derive(Clone, Default)]
+pub struct StatsHandle(Arc<Mutex<EnumStats>>);
+
+impl StatsHandle {
+    /// The most recently published statistics.
+    pub fn get(&self) -> EnumStats {
+        *self.0.lock().expect("stats handle poisoned")
+    }
+
+    fn set(&self, stats: EnumStats) {
+        *self.0.lock().expect("stats handle poisoned") = stats;
+    }
+}
+
+/// The shared Algorithm-3 recursion: classify the node, emit leaves,
+/// branch internal nodes.
+#[allow(clippy::ptr_arg)] // the scratch buffer is grown by `emit`
+fn recurse<P: MinimalSteinerProblem>(
+    p: &mut P,
+    depth: u32,
+    emitter: &mut dyn SolutionSink<P::Item>,
+    scratch: &mut Vec<P::Item>,
+) -> ControlFlow<()> {
+    emitter.tick(p.stats().work)?;
+    match p.classify() {
+        NodeStep::Complete => {
+            p.stats_mut().note_node(0, depth);
+            scratch.clear();
+            p.solution(scratch);
+            emit(p, emitter, scratch)
+        }
+        NodeStep::Unique(items) => {
+            p.stats_mut().note_node(0, depth);
+            scratch.clear();
+            scratch.extend_from_slice(&items);
+            emit(p, emitter, scratch)
+        }
+        NodeStep::Branch(at) => {
+            let (children, flow) = p.branch(at, &mut |q| recurse(q, depth + 1, emitter, scratch));
+            p.stats_mut().note_node(children, depth);
+            flow
+        }
+    }
+}
+
+fn emit<P: MinimalSteinerProblem>(
+    p: &mut P,
+    emitter: &mut dyn SolutionSink<P::Item>,
+    scratch: &mut [P::Item],
+) -> ControlFlow<()> {
+    scratch.sort_unstable();
+    p.stats_mut().note_emission();
+    emitter.solution(scratch, p.stats().work)
+}
+
+/// Runs a prepared problem to completion through `emitter`, finishing and
+/// sealing the statistics. This is the engine under every front-end; the
+/// deprecated free-function shims call it directly.
+pub fn run_prepared<P: MinimalSteinerProblem>(
+    p: &mut P,
+    prepared: Prepared<P::Item>,
+    emitter: &mut dyn SolutionSink<P::Item>,
+) -> EnumStats {
+    let flow = match prepared {
+        Prepared::Empty => ControlFlow::Continue(()),
+        Prepared::Single(items) => {
+            let mut scratch = items;
+            scratch.sort_unstable();
+            p.stats_mut().note_emission();
+            emitter.solution(&scratch, p.stats().work)
+        }
+        Prepared::Search => {
+            let mut scratch = Vec::new();
+            recurse(p, 0, emitter, &mut scratch)
+        }
+    };
+    if flow.is_continue() {
+        let _ = emitter.finish();
+    }
+    p.stats_mut().note_end();
+    *p.stats()
+}
+
+/// Prepares and runs `p` through an arbitrary [`SolutionSink`].
+pub fn run_with_sink<P: MinimalSteinerProblem>(
+    p: &mut P,
+    emitter: &mut dyn SolutionSink<P::Item>,
+) -> Result<EnumStats, SteinerError> {
+    let prepared = p.prepare()?;
+    Ok(run_prepared(p, prepared, emitter))
+}
+
+/// Backwards-compatibility runner for the deprecated free functions: their
+/// lenient contract treated empty, disconnected, and unreachable instances
+/// as "no solutions" rather than errors (and panicked on ids out of
+/// range). New code should use [`Enumeration`] and match on
+/// [`SteinerError`] instead.
+pub(crate) fn run_sink_lenient<P: MinimalSteinerProblem>(
+    p: &mut P,
+    emitter: &mut dyn SolutionSink<P::Item>,
+) -> EnumStats {
+    match run_with_sink(p, emitter) {
+        Ok(stats) => stats,
+        Err(e) if e.means_no_solutions() => *p.stats(),
+        Err(e) => panic!("invalid {} instance: {e}", P::NAME),
+    }
+}
+
+enum QueueOpt {
+    Direct,
+    DefaultQueue,
+    Explicit(QueueConfig),
+}
+
+/// Builder over a [`MinimalSteinerProblem`]: configure the run, then pick
+/// a front-end. See the [module documentation](self) for an example.
+pub struct Enumeration<P: MinimalSteinerProblem> {
+    problem: P,
+    queue: QueueOpt,
+    limit: Option<u64>,
+    stats_handle: Option<StatsHandle>,
+}
+
+impl<P: MinimalSteinerProblem> Enumeration<P> {
+    /// Wraps a problem instance with the default configuration: direct
+    /// emission (amortized-linear time per solution), no limit.
+    pub fn new(problem: P) -> Self {
+        Enumeration {
+            problem,
+            queue: QueueOpt::Direct,
+            limit: None,
+            stats_handle: None,
+        }
+    }
+
+    /// Routes emissions through the Theorem-20 output queue with an
+    /// explicit configuration, turning the amortized per-solution bound
+    /// into a worst-case delay bound (at O(n²) buffer space).
+    pub fn with_queue(mut self, config: QueueConfig) -> Self {
+        self.queue = QueueOpt::Explicit(config);
+        self
+    }
+
+    /// Routes emissions through the output queue with the paper's default
+    /// parameters for this instance's size ([`QueueConfig::for_graph`]).
+    pub fn with_default_queue(mut self) -> Self {
+        self.queue = QueueOpt::DefaultQueue;
+        self
+    }
+
+    /// Stops after delivering `n` solutions (early termination without
+    /// writing a breaking sink).
+    pub fn with_limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Publishes the run's [`EnumStats`] through a clonable handle —
+    /// useful when the statistics are needed outside the sink (benches,
+    /// the iterator front-end).
+    pub fn with_stats(mut self) -> (Self, StatsHandle) {
+        let handle = StatsHandle::default();
+        self.stats_handle = Some(handle.clone());
+        (self, handle)
+    }
+
+    /// A shared reference to the wrapped problem.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    fn queue_config(&self) -> Option<QueueConfig> {
+        match self.queue {
+            QueueOpt::Direct => None,
+            QueueOpt::DefaultQueue => {
+                let (n, m) = self.problem.instance_size();
+                Some(QueueConfig::for_graph(n, m))
+            }
+            QueueOpt::Explicit(config) => Some(config),
+        }
+    }
+
+    /// **Push front-end.** Runs the enumeration, handing each solution (a
+    /// sorted item slice) to `sink`; return
+    /// [`ControlFlow::Break`](std::ops::ControlFlow) to stop early.
+    pub fn for_each(
+        mut self,
+        mut sink: impl FnMut(&[P::Item]) -> ControlFlow<()>,
+    ) -> Result<EnumStats, SteinerError> {
+        let prepared = self.problem.prepare()?;
+        let queue = self.queue_config();
+        let stats = run_configured(&mut self.problem, prepared, queue, self.limit, &mut sink);
+        if let Some(handle) = &self.stats_handle {
+            handle.set(stats);
+        }
+        Ok(stats)
+    }
+
+    /// Runs the enumeration for its statistics alone (every solution is
+    /// generated and discarded).
+    pub fn run(self) -> Result<EnumStats, SteinerError> {
+        self.for_each(|_| ControlFlow::Continue(()))
+    }
+
+    /// Collects every solution into a vector of sorted item sets.
+    pub fn collect_vec(self) -> Result<Vec<Vec<P::Item>>, SteinerError> {
+        let mut out = Vec::new();
+        self.for_each(|items| {
+            out.push(items.to_vec());
+            ControlFlow::Continue(())
+        })?;
+        Ok(out)
+    }
+
+    /// Counts the solutions (respecting [`Self::with_limit`]).
+    pub fn count(self) -> Result<u64, SteinerError> {
+        let mut n = 0u64;
+        self.for_each(|_| {
+            n += 1;
+            ControlFlow::Continue(())
+        })?;
+        Ok(n)
+    }
+
+    /// **Pull front-end.** Validates and preprocesses on the calling
+    /// thread (so instance errors are returned synchronously), then runs
+    /// the enumeration on a dedicated large-stack worker thread, yielding
+    /// owned solutions through a bounded channel. Dropping the iterator
+    /// stops the producer at its next emission.
+    ///
+    /// The problem must own its instance data (`P: 'static`); use the
+    /// problems' `from_graph` constructors or `into_owned` adapters.
+    ///
+    /// Named after `IntoIterator::into_iter` deliberately — the trait
+    /// itself cannot be implemented because preparation is fallible.
+    #[allow(clippy::should_implement_trait)]
+    pub fn into_iter(mut self) -> Result<Solutions<P::Item>, SteinerError>
+    where
+        P: Send + 'static,
+        P::Item: Send + 'static,
+    {
+        let prepared = self.problem.prepare()?;
+        let queue = self.queue_config();
+        let limit = self.limit;
+        let handle = self.stats_handle.clone();
+        let mut problem = self.problem;
+        let inner = steiner_paths::streaming::Enumeration::spawn(move |send| {
+            let stats = run_configured(
+                &mut problem,
+                prepared,
+                queue,
+                limit,
+                &mut |items: &[P::Item]| send(items.to_vec()),
+            );
+            if let Some(handle) = handle {
+                handle.set(stats);
+            }
+        });
+        Ok(Solutions { inner })
+    }
+}
+
+/// Assembles the sink chain (limit cap, optional output queue) and runs
+/// the prepared problem.
+fn run_configured<P: MinimalSteinerProblem>(
+    p: &mut P,
+    prepared: Prepared<P::Item>,
+    queue: Option<QueueConfig>,
+    limit: Option<u64>,
+    sink: &mut dyn FnMut(&[P::Item]) -> ControlFlow<()>,
+) -> EnumStats {
+    let mut remaining = limit;
+    let mut limited = |items: &[P::Item]| -> ControlFlow<()> {
+        if remaining == Some(0) {
+            return ControlFlow::Break(());
+        }
+        let flow = sink(items);
+        if let Some(r) = &mut remaining {
+            *r -= 1;
+            if *r == 0 {
+                return ControlFlow::Break(());
+            }
+        }
+        flow
+    };
+    if limit == Some(0) {
+        // Nothing may be delivered; skip the search entirely.
+        p.stats_mut().note_end();
+        return *p.stats();
+    }
+    match queue {
+        None => {
+            let mut direct = DirectSink { sink: &mut limited };
+            run_prepared(p, prepared, &mut direct)
+        }
+        Some(config) => {
+            let mut queued = OutputQueue::new(config, &mut limited);
+            run_prepared(p, prepared, &mut queued)
+        }
+    }
+}
+
+/// Iterator over the solutions of a background enumeration, returned by
+/// [`Enumeration::into_iter`]. Each item is a sorted `Vec` of edge/arc
+/// ids.
+pub struct Solutions<Item> {
+    inner: steiner_paths::streaming::Enumeration<Vec<Item>>,
+}
+
+impl<Item> Iterator for Solutions<Item> {
+    type Item = Vec<Item>;
+
+    fn next(&mut self) -> Option<Vec<Item>> {
+        self.inner.next()
+    }
+}

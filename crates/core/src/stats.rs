@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn emission_gaps_track_work() {
-        let mut s = EnumStats { work: 10, ..Default::default() };
+        let mut s = EnumStats {
+            work: 10,
+            ..Default::default()
+        };
         let _ = &mut s;
         s.note_emission();
         s.work = 25;
@@ -95,7 +98,10 @@ mod tests {
 
     #[test]
     fn trailing_gap_counts() {
-        let mut s = EnumStats { work: 5, ..Default::default() };
+        let mut s = EnumStats {
+            work: 5,
+            ..Default::default()
+        };
         let _ = &mut s;
         s.note_emission();
         s.work = 105;

@@ -1,251 +1,599 @@
-//! Minimal terminal Steiner tree enumeration (§5.1, Theorems 29 & 31).
+//! Minimal terminal Steiner tree enumeration (§5.1, Theorems 29 & 31),
+//! exposed as the [`TerminalSteinerTree`] problem type for the generic
+//! [`crate::solver::Enumeration`] engine.
 //!
 //! A terminal Steiner tree is a Steiner tree in which **every terminal is a
 //! leaf** (Proposition 26 characterizes the minimal ones: every terminal is
 //! a leaf *and* every leaf is a terminal). For |W| = 2 the problem is plain
 //! `s`-`t` path enumeration. For |W| ≥ 3, Lemma 27 says solutions use no
 //! terminal-terminal edge and live inside `G[C ∪ W]` for a single
-//! component `C` of `G[V ∖ W]` with `W ⊆ N(C)` — so we
+//! component `C` of `G[V ∖ W]` with `W ⊆ N(C)` — so `prepare`
 //!
-//! 1. build a *cleaned* copy of `G` without terminal-terminal edges
-//!    (remembering original edge ids for emission),
-//! 2. enumerate each admissible component independently, and
-//! 3. inside a component run the improved branching: per node, grow a
-//!    minimal terminal completion `T′ ⊇ T` (a spanning tree of `C`
-//!    containing `T ∩ C`, one leaf edge per missing terminal, then
-//!    Proposition 26 pruning), scan `E(T′) ∖ E(T)` against the bridges of
-//!    `G[C ∪ W]` (Lemma 30), and either branch on a terminal behind a
-//!    non-bridge edge or emit the unique completion.
+//! 1. builds a *cleaned* copy of `G` without terminal-terminal edges
+//!    (remembering original edge ids for emission), and
+//! 2. splits it into admissible components, each with its own bridge set.
 //!
-//! The root of each component tree (case (1): the `w₀`-`w₁` paths of an
-//! empty partial tree) may legitimately have one child; the paper treats
-//! it as "linear-time preprocessing", and it is the one exception to the
-//! ≥2-children invariant that the stats report.
+//! The engine's root node branches over all admissible components (the
+//! [`TerminalBranch::Root`] target: the `w₀`-`w₁` paths of an empty
+//! partial tree, per component); deeper nodes run the improved branching:
+//! grow a minimal terminal completion `T′ ⊇ T` (a spanning tree of `C`
+//! containing `T ∩ C`, one leaf edge per missing terminal, then
+//! Proposition 26 pruning), scan `E(T′) ∖ E(T)` against the bridges of
+//! `G[C ∪ W]` (Lemma 30), and either branch on a terminal behind a
+//! non-bridge edge or emit the unique completion.
+//!
+//! The root (case (1) of the paper) may legitimately have one child; the
+//! paper treats it as "linear-time preprocessing", and it is the one
+//! exception to the ≥2-children invariant that the stats report.
 
 use crate::improved::find_terminal_beyond;
 use crate::partial::PartialTree;
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
+use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use std::borrow::Cow;
 use std::ops::ControlFlow;
 use steiner_graph::bridges::bridges;
-use steiner_graph::connectivity::connected_components;
+use steiner_graph::connectivity::{all_in_one_component, connected_components};
 use steiner_graph::spanning::{grow_spanning_tree, prune_leaves};
 use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
 use steiner_paths::stsets::SourceSetInstance;
-use steiner_paths::undirected::enumerate_st_paths;
 
-/// `G` with all terminal-terminal edges removed, keeping original ids.
-struct CleanedGraph {
-    graph: UndirectedGraph,
+/// Branch targets of the terminal variant: the component-and-first-path
+/// root expansion, or a missing terminal with ≥ 2 valid paths.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TerminalBranch {
+    /// The root node: branch over every admissible component's `w₀`-`w₁`
+    /// paths (|W| = 2: over the `w₀`-`w₁` paths of `G` itself).
+    Root,
+    /// A missing terminal with at least two valid paths.
+    Terminal(VertexId),
+}
+
+/// The minimal terminal Steiner tree problem (§5.1): find all
+/// inclusion-minimal Steiner trees in which every terminal is a leaf.
+///
+/// ```
+/// use steiner_core::{Enumeration, TerminalSteinerTree};
+/// use steiner_graph::{UndirectedGraph, VertexId};
+///
+/// // Star: terminals 1, 2, 3 must all be leaves; the full star is the
+/// // unique solution.
+/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+/// let w = [VertexId(1), VertexId(2), VertexId(3)];
+/// let trees = Enumeration::new(TerminalSteinerTree::new(&g, &w)).collect_vec().unwrap();
+/// assert_eq!(trees.len(), 1);
+/// assert_eq!(trees[0].len(), 3);
+/// ```
+pub struct TerminalSteinerTree<'g> {
+    g: Cow<'g, UndirectedGraph>,
+    terminals: Vec<VertexId>,
+    stats: EnumStats,
+    search: Option<TerminalSearch>,
+}
+
+enum TerminalSearch {
+    /// |W| = 2: solutions are exactly the `w₀`-`w₁` paths of `G`.
+    TwoTerminals {
+        /// The path currently being emitted (set during the root branch).
+        current: Option<Vec<EdgeId>>,
+    },
+    /// |W| ≥ 3: per-component search over the cleaned graph (boxed: this
+    /// variant is much larger than the two-terminal one).
+    Components(Box<ComponentSearch>),
+}
+
+struct ComponentSearch {
+    /// `G` with all terminal-terminal edges removed (Lemma 27), same
+    /// vertex ids as `G`.
+    gc: UndirectedGraph,
+    /// For each cleaned edge: the original edge id (for emission).
     orig_edge: Vec<EdgeId>,
-}
-
-fn clean_graph(g: &UndirectedGraph, is_terminal: &[bool]) -> CleanedGraph {
-    let mut graph = UndirectedGraph::with_capacity(g.num_vertices(), g.num_edges());
-    let mut orig_edge = Vec::with_capacity(g.num_edges());
-    for e in g.edges() {
-        let (u, v) = g.endpoints(e);
-        if is_terminal[u.index()] && is_terminal[v.index()] {
-            continue; // Lemma 27: never part of a solution when |W| ≥ 3
-        }
-        graph.add_edge(u, v).expect("cleaned edge is valid");
-        orig_edge.push(e);
-    }
-    CleanedGraph { graph, orig_edge }
-}
-
-struct TerminalEnumerator<'c, 'a> {
-    gc: &'c UndirectedGraph,
-    orig_edge: &'c [EdgeId],
-    terminals: &'c [VertexId],
-    /// `comp_mask[v]` — whether `v` belongs to the current component `C`.
-    comp_mask: &'c [bool],
-    /// Bridges of `G[C ∪ W]` (cleaned graph, masked) — fixed per component.
-    bridge: Vec<bool>,
+    /// The admissible components (`W ⊆ N(C)`).
+    comps: Vec<ComponentCtx>,
+    /// Index into `comps` of the component being enumerated; set by the
+    /// root branch.
+    active: Option<usize>,
     t: PartialTree,
     edge_in_t: Vec<bool>,
-    stats: EnumStats,
-    scratch: Vec<EdgeId>,
-    emitter: &'a mut dyn SolutionSink<EdgeId>,
 }
 
-impl TerminalEnumerator<'_, '_> {
-    fn emit(&mut self, edges: &[EdgeId]) -> ControlFlow<()> {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.extend(edges.iter().map(|e| self.orig_edge[e.index()]));
-        scratch.sort_unstable();
-        self.stats.note_emission();
-        let flow = self.emitter.solution(&scratch, self.stats.work);
-        self.scratch = scratch;
-        flow
+struct ComponentCtx {
+    /// `comp_mask[v]` — whether `v` belongs to this component `C`.
+    comp_mask: Vec<bool>,
+    /// Bridges of `G[C ∪ W]` (cleaned graph, masked) — fixed per component
+    /// (Lemma 30).
+    bridge: Vec<bool>,
+}
+
+impl<'g> TerminalSteinerTree<'g> {
+    /// A problem instance borrowing the graph.
+    pub fn new(g: &'g UndirectedGraph, terminals: &[VertexId]) -> Self {
+        TerminalSteinerTree {
+            g: Cow::Borrowed(g),
+            terminals: terminals.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
+        }
     }
 
-    /// A minimal terminal Steiner tree `T′ ⊇ T` (Lemma 28's construction).
-    fn minimal_completion(&mut self) -> Vec<EdgeId> {
-        let n = self.gc.num_vertices();
-        self.stats.work += (n + self.gc.num_edges()) as u64;
-        // Stage 1: span C from the non-terminal part of T.
-        let seeds: Vec<VertexId> =
-            self.t.vertices.iter().copied().filter(|v| self.comp_mask[v.index()]).collect();
-        debug_assert!(!seeds.is_empty(), "a nonempty partial tree touches C");
-        let grown = grow_spanning_tree(self.gc, &seeds, &self.t.edges, Some(self.comp_mask));
-        let mut edges = grown.edges;
-        // Stage 2: one leaf edge per missing terminal.
-        for &w in self.terminals {
-            if self.t.in_tree[w.index()] {
-                continue;
-            }
-            let leaf_edge = self
-                .gc
-                .neighbors(w)
-                .filter(|(v, _)| self.comp_mask[v.index()])
-                .map(|(_, e)| e)
-                .min()
-                .expect("W ⊆ N(C) guarantees an attachment edge");
-            edges.push(leaf_edge);
+    /// A problem instance owning the graph.
+    pub fn from_graph(g: UndirectedGraph, terminals: &[VertexId]) -> TerminalSteinerTree<'static> {
+        TerminalSteinerTree {
+            g: Cow::Owned(g),
+            terminals: terminals.to_vec(),
+            stats: EnumStats::default(),
+            search: None,
         }
-        // Stage 3: prune non-terminal leaves (Proposition 26).
-        let is_terminal = &self.t.is_terminal;
-        let in_tree = &self.t.in_tree;
-        prune_leaves(self.gc, &edges, |v| is_terminal[v.index()] || in_tree[v.index()])
     }
 
-    /// Exact test: does `w` have at least two valid paths? A valid path is
-    /// an `(V(T) ∖ W)`-`w` path inside `G[C ∪ {w}]`. We apply Lemma 16 to
-    /// the graph augmented with a super-source wired to the source set by
-    /// one parallel edge per boundary edge: the valid path is unique iff
-    /// every edge of one super-source-to-`w` path is a bridge there.
-    ///
-    /// Note: this is stricter than the paper's Lemma 30 test (bridges of
-    /// `G[C ∪ W]`). That test can report a spurious second path whose
-    /// rerouting cycle passes through *another terminal* — which valid
-    /// paths must avoid. See DESIGN.md §9.6 (erratum note).
-    fn has_two_valid_paths(&mut self, w: VertexId) -> bool {
-        let n = self.gc.num_vertices();
-        self.stats.work += (n + self.gc.num_edges()) as u64;
-        // Vertices 0..n are gc's; vertex n is the super-source.
-        let mut aug = UndirectedGraph::new(n + 1);
-        let super_source = VertexId::new(n);
-        let in_c_or_w =
-            |v: VertexId| self.comp_mask[v.index()] || v == w;
-        let source = |v: VertexId| self.t.in_tree[v.index()] && self.comp_mask[v.index()];
-        for e in self.gc.edges() {
-            let (u, v) = self.gc.endpoints(e);
-            match (source(u), source(v)) {
-                (true, true) => {}
-                (true, false) if in_c_or_w(v) => {
-                    aug.add_edge(super_source, v).expect("augmented edge");
-                }
-                (false, true) if in_c_or_w(u) => {
-                    aug.add_edge(super_source, u).expect("augmented edge");
-                }
-                (false, false) if in_c_or_w(u) && in_c_or_w(v) => {
-                    aug.add_edge(u, v).expect("augmented edge");
-                }
-                _ => {}
+    /// Clones the borrowed graph (if any) so the instance becomes
+    /// `'static` for the iterator front-end.
+    pub fn into_owned(self) -> TerminalSteinerTree<'static> {
+        TerminalSteinerTree {
+            g: Cow::Owned(self.g.into_owned()),
+            terminals: self.terminals,
+            stats: self.stats,
+            search: self.search,
+        }
+    }
+}
+
+/// A minimal terminal Steiner tree `T′ ⊇ T` (Lemma 28's construction).
+fn minimal_completion(
+    gc: &UndirectedGraph,
+    comp_mask: &[bool],
+    terminals: &[VertexId],
+    t: &PartialTree,
+    work: &mut u64,
+) -> Vec<EdgeId> {
+    let n = gc.num_vertices();
+    *work += (n + gc.num_edges()) as u64;
+    // Stage 1: span C from the non-terminal part of T.
+    let seeds: Vec<VertexId> = t
+        .vertices
+        .iter()
+        .copied()
+        .filter(|v| comp_mask[v.index()])
+        .collect();
+    debug_assert!(!seeds.is_empty(), "a nonempty partial tree touches C");
+    let grown = grow_spanning_tree(gc, &seeds, &t.edges, Some(comp_mask));
+    let mut edges = grown.edges;
+    // Stage 2: one leaf edge per missing terminal.
+    for &w in terminals {
+        if t.in_tree[w.index()] {
+            continue;
+        }
+        let leaf_edge = gc
+            .neighbors(w)
+            .filter(|(v, _)| comp_mask[v.index()])
+            .map(|(_, e)| e)
+            .min()
+            .expect("W ⊆ N(C) guarantees an attachment edge");
+        edges.push(leaf_edge);
+    }
+    // Stage 3: prune non-terminal leaves (Proposition 26).
+    let is_terminal = &t.is_terminal;
+    let in_tree = &t.in_tree;
+    prune_leaves(gc, &edges, |v| is_terminal[v.index()] || in_tree[v.index()])
+}
+
+/// Exact test: does `w` have at least two valid paths? A valid path is
+/// an `(V(T) ∖ W)`-`w` path inside `G[C ∪ {w}]`. We apply Lemma 16 to
+/// the graph augmented with a super-source wired to the source set by
+/// one parallel edge per boundary edge: the valid path is unique iff
+/// every edge of one super-source-to-`w` path is a bridge there.
+///
+/// Note: this is stricter than the paper's Lemma 30 test (bridges of
+/// `G[C ∪ W]`). That test can report a spurious second path whose
+/// rerouting cycle passes through *another terminal* — which valid
+/// paths must avoid. See DESIGN.md §9.6 (erratum note).
+fn has_two_valid_paths(
+    gc: &UndirectedGraph,
+    comp_mask: &[bool],
+    t: &PartialTree,
+    w: VertexId,
+    work: &mut u64,
+) -> bool {
+    let n = gc.num_vertices();
+    *work += (n + gc.num_edges()) as u64;
+    // Vertices 0..n are gc's; vertex n is the super-source.
+    let mut aug = UndirectedGraph::new(n + 1);
+    let super_source = VertexId::new(n);
+    let in_c_or_w = |v: VertexId| comp_mask[v.index()] || v == w;
+    let source = |v: VertexId| t.in_tree[v.index()] && comp_mask[v.index()];
+    for e in gc.edges() {
+        let (u, v) = gc.endpoints(e);
+        match (source(u), source(v)) {
+            (true, true) => {}
+            (true, false) if in_c_or_w(v) => {
+                aug.add_edge(super_source, v).expect("augmented edge");
             }
+            (false, true) if in_c_or_w(u) => {
+                aug.add_edge(super_source, u).expect("augmented edge");
+            }
+            (false, false) if in_c_or_w(u) && in_c_or_w(v) => {
+                aug.add_edge(u, v).expect("augmented edge");
+            }
+            _ => {}
         }
-        let forest = steiner_graph::traversal::bfs(&aug, &[super_source], None);
-        if !forest.visited[w.index()] {
-            return false; // no valid path at all (cannot happen mid-run)
-        }
-        let bridge = bridges(&aug, None);
-        let (_, path_edges) = steiner_graph::traversal::forest_path_to(&forest, w)
-            .expect("w is reachable from the super-source");
-        // Unique iff every edge of this path is a bridge (Lemma 16 with
-        // T = {super-source}).
-        !path_edges.iter().all(|e| bridge[e.index()])
+    }
+    let forest = steiner_graph::traversal::bfs(&aug, &[super_source], None);
+    if !forest.visited[w.index()] {
+        return false; // no valid path at all (cannot happen mid-run)
+    }
+    let bridge = bridges(&aug, None);
+    let (_, path_edges) = steiner_graph::traversal::forest_path_to(&forest, w)
+        .expect("w is reachable from the super-source");
+    // Unique iff every edge of this path is a bridge (Lemma 16 with
+    // T = {super-source}).
+    !path_edges.iter().all(|e| bridge[e.index()])
+}
+
+impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
+    type Item = EdgeId;
+    type Branch = TerminalBranch;
+
+    const NAME: &'static str = "minimal terminal Steiner tree";
+
+    fn validate(&self) -> Result<(), SteinerError> {
+        crate::problem::validate_terminal_list(&self.terminals, self.g.num_vertices())
     }
 
-    fn recurse(&mut self, depth: u32) -> ControlFlow<()> {
-        self.emitter.tick(self.stats.work)?;
-        if self.t.complete() {
-            self.stats.note_node(0, depth);
-            let edges = self.t.edges.clone();
-            return self.emit(&edges);
+    fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
+        self.validate()?;
+        self.terminals.sort_unstable();
+        let g = &*self.g;
+        let n = g.num_vertices();
+        self.stats.preprocessing_work = (n + g.num_edges()) as u64;
+        if !all_in_one_component(g, &self.terminals, None) {
+            return Err(SteinerError::DisconnectedTerminals { set: 0 });
         }
-        let tprime = self.minimal_completion();
-        // Fast certificate (Lemma 30 direction that *is* sound): if every
-        // edge of E(T') ∖ E(T) is a bridge of G[C ∪ W], the completion is
-        // unique.
-        let candidate = tprime
-            .iter()
-            .copied()
-            .find(|e| !self.edge_in_t[e.index()] && !self.bridge[e.index()]);
-        let branch_terminal = match candidate {
-            None => None,
-            Some(e_star) => {
-                // Primary candidate: the terminal behind the non-bridge
-                // edge; verified exactly, with a fallback scan over the
-                // remaining missing terminals (the Lemma 30 erratum case).
-                let primary = find_terminal_beyond(
-                    self.gc,
-                    &tprime,
-                    e_star,
-                    &self.t.in_tree,
-                    &self.t.is_terminal,
-                    &mut self.stats.work,
-                );
-                if self.has_two_valid_paths(primary) {
-                    Some(primary)
-                } else {
-                    let missing: Vec<VertexId> = self
-                        .terminals
-                        .iter()
-                        .copied()
-                        .filter(|v| !self.t.in_tree[v.index()] && *v != primary)
-                        .collect();
-                    missing.into_iter().find(|&w| self.has_two_valid_paths(w))
+        if self.terminals.len() == 1 {
+            // Every tree with one terminal has a non-terminal leaf.
+            return Ok(Prepared::Empty);
+        }
+        if self.terminals.len() == 2 {
+            // Minimal terminal Steiner trees with two terminals are exactly
+            // the w₀-w₁ paths (§5.1).
+            self.search = Some(TerminalSearch::TwoTerminals { current: None });
+            return Ok(Prepared::Search);
+        }
+        // |W| ≥ 3: clean the graph, split into admissible components.
+        let mut is_terminal = vec![false; n];
+        for &w in &self.terminals {
+            is_terminal[w.index()] = true;
+        }
+        let mut gc = UndirectedGraph::with_capacity(n, g.num_edges());
+        let mut orig_edge = Vec::with_capacity(g.num_edges());
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            if is_terminal[u.index()] && is_terminal[v.index()] {
+                continue; // Lemma 27: never part of a solution when |W| ≥ 3
+            }
+            gc.add_edge(u, v).expect("cleaned edge is valid");
+            orig_edge.push(e);
+        }
+        let non_terminal_mask: Vec<bool> = (0..n).map(|v| !is_terminal[v]).collect();
+        let comps = connected_components(&gc, Some(&non_terminal_mask));
+        self.stats.preprocessing_work += (n + gc.num_edges()) as u64;
+        let mut admissible = Vec::new();
+        for c in 0..comps.count {
+            // Admissibility: W ⊆ N(C) (Lemma 27).
+            let comp_mask: Vec<bool> = (0..n).map(|v| comps.comp[v] == Some(c as u32)).collect();
+            let mut covered = vec![false; n];
+            let mut cover_count = 0usize;
+            for (v, &in_comp) in comp_mask.iter().enumerate() {
+                if !in_comp {
+                    continue;
+                }
+                for (u, _) in gc.neighbors(VertexId::new(v)) {
+                    if is_terminal[u.index()] && !covered[u.index()] {
+                        covered[u.index()] = true;
+                        cover_count += 1;
+                    }
                 }
             }
-        };
-        let Some(w) = branch_terminal else {
-            // No terminal branches: the completion is unique.
-            self.stats.note_node(0, depth);
-            return self.emit(&tprime);
-        };
-        // Valid paths for (T, w): (V(T) ∖ W)-w paths inside G[C ∪ {w}].
-        let n = self.gc.num_vertices();
-        let mut sources = vec![false; n];
-        for &v in &self.t.vertices {
-            if self.comp_mask[v.index()] {
-                sources[v.index()] = true;
+            self.stats.preprocessing_work += (n + gc.num_edges()) as u64;
+            if cover_count < self.terminals.len() {
+                continue; // W ⊄ N(C): no solutions in this component
+            }
+            // Bridges of G[C ∪ W] — fixed for the whole component (Lemma 30).
+            let mut allowed_cw: Vec<bool> = comp_mask.clone();
+            for &w in &self.terminals {
+                allowed_cw[w.index()] = true;
+            }
+            let bridge = bridges(&gc, Some(&allowed_cw));
+            admissible.push(ComponentCtx { comp_mask, bridge });
+        }
+        if admissible.is_empty() {
+            return Ok(Prepared::Empty);
+        }
+        let num_edges = gc.num_edges();
+        self.search = Some(TerminalSearch::Components(Box::new(ComponentSearch {
+            gc,
+            orig_edge,
+            comps: admissible,
+            active: None,
+            t: PartialTree::new(n, &self.terminals, None),
+            edge_in_t: vec![false; num_edges],
+        })));
+        Ok(Prepared::Search)
+    }
+
+    fn instance_size(&self) -> (usize, usize) {
+        (self.g.num_vertices(), self.g.num_edges())
+    }
+
+    fn stats(&self) -> &EnumStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut EnumStats {
+        &mut self.stats
+    }
+
+    fn classify(&mut self) -> NodeStep<EdgeId, TerminalBranch> {
+        let stats = &mut self.stats;
+        let terminals = &self.terminals;
+        match self
+            .search
+            .as_mut()
+            .expect("prepare() runs before the search")
+        {
+            TerminalSearch::TwoTerminals { current } => match current {
+                Some(_) => NodeStep::Complete,
+                None => NodeStep::Branch(TerminalBranch::Root),
+            },
+            TerminalSearch::Components(cs) => {
+                let Some(active) = cs.active else {
+                    return NodeStep::Branch(TerminalBranch::Root);
+                };
+                if cs.t.complete() {
+                    return NodeStep::Complete;
+                }
+                let ctx = &cs.comps[active];
+                let tprime =
+                    minimal_completion(&cs.gc, &ctx.comp_mask, terminals, &cs.t, &mut stats.work);
+                // Fast certificate (Lemma 30 direction that *is* sound): if
+                // every edge of E(T') ∖ E(T) is a bridge of G[C ∪ W], the
+                // completion is unique.
+                let candidate = tprime
+                    .iter()
+                    .copied()
+                    .find(|e| !cs.edge_in_t[e.index()] && !ctx.bridge[e.index()]);
+                let branch_terminal = match candidate {
+                    None => None,
+                    Some(e_star) => {
+                        // Primary candidate: the terminal behind the
+                        // non-bridge edge; verified exactly, with a fallback
+                        // scan over the remaining missing terminals (the
+                        // Lemma 30 erratum case).
+                        let primary = find_terminal_beyond(
+                            &cs.gc,
+                            &tprime,
+                            e_star,
+                            &cs.t.in_tree,
+                            &cs.t.is_terminal,
+                            &mut stats.work,
+                        );
+                        if has_two_valid_paths(
+                            &cs.gc,
+                            &ctx.comp_mask,
+                            &cs.t,
+                            primary,
+                            &mut stats.work,
+                        ) {
+                            Some(primary)
+                        } else {
+                            let missing: Vec<VertexId> = terminals
+                                .iter()
+                                .copied()
+                                .filter(|v| !cs.t.in_tree[v.index()] && *v != primary)
+                                .collect();
+                            missing.into_iter().find(|&w| {
+                                has_two_valid_paths(
+                                    &cs.gc,
+                                    &ctx.comp_mask,
+                                    &cs.t,
+                                    w,
+                                    &mut stats.work,
+                                )
+                            })
+                        }
+                    }
+                };
+                match branch_terminal {
+                    Some(w) => NodeStep::Branch(TerminalBranch::Terminal(w)),
+                    // No terminal branches: the completion is unique.
+                    None => {
+                        NodeStep::Unique(tprime.iter().map(|e| cs.orig_edge[e.index()]).collect())
+                    }
+                }
             }
         }
-        let mut allowed: Vec<bool> = self.comp_mask.to_vec();
-        allowed[w.index()] = true;
-        let inst = SourceSetInstance::new(self.gc, &sources, Some(&allowed));
-        self.stats.work += (n + self.gc.num_edges()) as u64;
+    }
+
+    fn solution(&self, out: &mut Vec<EdgeId>) {
+        match self
+            .search
+            .as_ref()
+            .expect("prepare() runs before the search")
+        {
+            TerminalSearch::TwoTerminals { current } => {
+                out.extend_from_slice(current.as_ref().expect("emitting inside the root branch"));
+            }
+            TerminalSearch::Components(cs) => {
+                out.extend(cs.t.edges.iter().map(|e| cs.orig_edge[e.index()]));
+            }
+        }
+    }
+
+    fn branch(
+        &mut self,
+        at: TerminalBranch,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> (u64, ControlFlow<()>) {
+        match at {
+            TerminalBranch::Root => self.branch_root(child),
+            TerminalBranch::Terminal(w) => self.branch_terminal(w, child),
+        }
+    }
+}
+
+impl TerminalSteinerTree<'_> {
+    /// The component-mode search state; panics outside |W| ≥ 3 mode
+    /// (the mode is fixed by `prepare()`).
+    fn components_mut(&mut self) -> &mut ComponentSearch {
+        match self.search.as_mut() {
+            Some(TerminalSearch::Components(cs)) => cs,
+            _ => unreachable!("component mode is fixed by prepare()"),
+        }
+    }
+
+    /// The |W| = 2 path slot; panics outside two-terminal mode.
+    fn two_terminal_current_mut(&mut self) -> &mut Option<Vec<EdgeId>> {
+        match self.search.as_mut() {
+            Some(TerminalSearch::TwoTerminals { current }) => current,
+            _ => unreachable!("two-terminal mode is fixed by prepare()"),
+        }
+    }
+
+    /// Root expansion: |W| = 2 branches on the `w₀`-`w₁` paths of `G`;
+    /// |W| ≥ 3 on the `w₀`-`w₁` paths inside `G[C ∪ {w₀, w₁}]` of every
+    /// admissible component.
+    fn branch_root(
+        &mut self,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> (u64, ControlFlow<()>) {
+        let (w0, w1) = (self.terminals[0], self.terminals[1]);
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
-        let per_child = (n + self.gc.num_edges()) as u64;
+        match self
+            .search
+            .as_ref()
+            .expect("prepare() runs before the search")
+        {
+            TerminalSearch::TwoTerminals { .. } => {
+                let n = self.g.num_vertices();
+                let per_child = (n + self.g.num_edges()) as u64;
+                let mut in_sources = vec![false; n];
+                in_sources[w0.index()] = true;
+                let inst = SourceSetInstance::new(&self.g, &in_sources, None);
+                let _pstats = inst.enumerate(w1, &mut |p| {
+                    children += 1;
+                    self.stats.work += per_child;
+                    *self.two_terminal_current_mut() = Some(p.edges.to_vec());
+                    let f = child(self);
+                    *self.two_terminal_current_mut() = None;
+                    if f.is_break() {
+                        flow = ControlFlow::Break(());
+                    }
+                    f
+                });
+            }
+            TerminalSearch::Components(cs) => {
+                let num_comps = cs.comps.len();
+                let n = cs.gc.num_vertices();
+                let per_child = (n + cs.gc.num_edges()) as u64;
+                for ci in 0..num_comps {
+                    // Case (1): the w₀-w₁ paths inside G[C ∪ {w₀, w₁}].
+                    let inst = {
+                        let cs = self.components_mut();
+                        let mut allowed01 = cs.comps[ci].comp_mask.clone();
+                        allowed01[w0.index()] = true;
+                        allowed01[w1.index()] = true;
+                        let mut in_sources = vec![false; n];
+                        in_sources[w0.index()] = true;
+                        SourceSetInstance::new(&cs.gc, &in_sources, Some(&allowed01))
+                    };
+                    self.components_mut().active = Some(ci);
+                    let _pstats = inst.enumerate(w1, &mut |p| {
+                        children += 1;
+                        self.stats.work += per_child;
+                        let verts = p.vertices.to_vec();
+                        let edges = p.edges.to_vec();
+                        let cs = self.components_mut();
+                        let ext = cs.t.extend_path(&verts, &edges);
+                        for &e in &edges {
+                            cs.edge_in_t[e.index()] = true;
+                        }
+                        let f = child(self);
+                        let cs = self.components_mut();
+                        for &e in &edges {
+                            cs.edge_in_t[e.index()] = false;
+                        }
+                        cs.t.retract(ext);
+                        if f.is_break() {
+                            flow = ControlFlow::Break(());
+                        }
+                        f
+                    });
+                    if flow.is_break() {
+                        break;
+                    }
+                }
+                self.components_mut().active = None;
+            }
+        }
+        (children, flow)
+    }
+
+    /// Valid paths for `(T, w)`: `(V(T) ∖ W)`-`w` paths inside
+    /// `G[C ∪ {w}]`.
+    fn branch_terminal(
+        &mut self,
+        w: VertexId,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> (u64, ControlFlow<()>) {
+        let (inst, per_child) = {
+            let cs = self.components_mut();
+            let ctx = &cs.comps[cs.active.expect("active component set by the root branch")];
+            let n = cs.gc.num_vertices();
+            let mut sources = vec![false; n];
+            for &v in &cs.t.vertices {
+                if ctx.comp_mask[v.index()] {
+                    sources[v.index()] = true;
+                }
+            }
+            let mut allowed: Vec<bool> = ctx.comp_mask.clone();
+            allowed[w.index()] = true;
+            (
+                SourceSetInstance::new(&cs.gc, &sources, Some(&allowed)),
+                (n + cs.gc.num_edges()) as u64,
+            )
+        };
+        self.stats.work += per_child;
+        let mut children = 0u64;
+        let mut flow = ControlFlow::Continue(());
         let _pstats = inst.enumerate(w, &mut |p| {
             children += 1;
             self.stats.work += per_child;
             let verts = p.vertices.to_vec();
             let edges = p.edges.to_vec();
-            let ext = self.t.extend_path(&verts, &edges);
+            let cs = self.components_mut();
+            let ext = cs.t.extend_path(&verts, &edges);
             for &e in &edges {
-                self.edge_in_t[e.index()] = true;
+                cs.edge_in_t[e.index()] = true;
             }
-            let f = self.recurse(depth + 1);
+            let f = child(self);
+            let cs = self.components_mut();
             for &e in &edges {
-                self.edge_in_t[e.index()] = false;
+                cs.edge_in_t[e.index()] = false;
             }
-            self.t.retract(ext);
+            cs.t.retract(ext);
             if f.is_break() {
                 flow = ControlFlow::Break(());
             }
             f
         });
-        self.stats.note_node(children, depth);
         debug_assert!(
             children >= 2 || flow.is_break(),
             "Lemma 30 guarantees two valid paths behind a non-bridge edge"
         );
-        flow
+        (children, flow)
     }
 }
 
@@ -254,154 +602,40 @@ impl TerminalEnumerator<'_, '_> {
 ///
 /// Degenerate cases: |W| ≤ 1 has no solutions (every tree has a
 /// non-terminal leaf); |W| = 2 reduces to `s`-`t` path enumeration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(TerminalSteinerTree::new(g, terminals))` with a custom sink"
+)]
 pub fn enumerate_minimal_terminal_steiner_trees_with(
     g: &UndirectedGraph,
     terminals: &[VertexId],
     emitter: &mut dyn SolutionSink<EdgeId>,
 ) -> EnumStats {
-    let terminals = normalize_terminals(terminals);
-    let mut stats = EnumStats::default();
-    stats.preprocessing_work = (g.num_vertices() + g.num_edges()) as u64;
-    if terminals.len() < 2 {
-        return stats;
-    }
-    if terminals.len() == 2 {
-        // Minimal terminal Steiner trees with two terminals are exactly the
-        // w₀-w₁ paths (§5.1).
-        let mut scratch: Vec<EdgeId> = Vec::new();
-        let mut result = EnumStats::default();
-        let pstats = enumerate_st_paths(g, terminals[0], terminals[1], None, &mut |p| {
-            scratch.clear();
-            scratch.extend_from_slice(p.edges);
-            scratch.sort_unstable();
-            result.note_emission();
-            result.note_node(0, 0);
-            emitter.solution(&scratch, result.work)
-        });
-        result.work = pstats.work;
-        let _ = emitter.finish();
-        result.note_end();
-        return result;
-    }
-    // |W| ≥ 3: clean the graph, split into admissible components.
-    let n = g.num_vertices();
-    let mut is_terminal = vec![false; n];
-    for &w in &terminals {
-        is_terminal[w.index()] = true;
-    }
-    let cleaned = clean_graph(g, &is_terminal);
-    let gc = &cleaned.graph;
-    let non_terminal_mask: Vec<bool> = (0..n).map(|v| !is_terminal[v]).collect();
-    let comps = connected_components(gc, Some(&non_terminal_mask));
-    stats.preprocessing_work += (n + gc.num_edges()) as u64;
-    let mut enumerator_stats = stats;
-    for c in 0..comps.count {
-        // Admissibility: W ⊆ N(C) (Lemma 27).
-        let comp_mask: Vec<bool> = (0..n).map(|v| comps.comp[v] == Some(c as u32)).collect();
-        let mut covered = vec![false; n];
-        let mut cover_count = 0usize;
-        for (v, &in_comp) in comp_mask.iter().enumerate() {
-            if !in_comp {
-                continue;
-            }
-            for (u, _) in gc.neighbors(VertexId::new(v)) {
-                if is_terminal[u.index()] && !covered[u.index()] {
-                    covered[u.index()] = true;
-                    cover_count += 1;
-                }
-            }
-        }
-        enumerator_stats.preprocessing_work += (n + gc.num_edges()) as u64;
-        if cover_count < terminals.len() {
-            continue; // W ⊄ N(C): no solutions in this component
-        }
-        // Bridges of G[C ∪ W] — fixed for the whole component (Lemma 30).
-        let mut allowed_cw: Vec<bool> = comp_mask.clone();
-        for &w in &terminals {
-            allowed_cw[w.index()] = true;
-        }
-        let bridge = bridges(gc, Some(&allowed_cw));
-        // Case (1): the root branches on the w₀-w₁ paths inside G[C ∪ {w₀, w₁}].
-        let (w0, w1) = (terminals[0], terminals[1]);
-        let mut allowed01 = comp_mask.clone();
-        allowed01[w0.index()] = true;
-        allowed01[w1.index()] = true;
-        let mut e = TerminalEnumerator {
-            gc,
-            orig_edge: &cleaned.orig_edge,
-            terminals: &terminals,
-            comp_mask: &comp_mask,
-            bridge,
-            t: PartialTree::new(n, &terminals, None),
-            edge_in_t: vec![false; gc.num_edges()],
-            stats: enumerator_stats,
-            scratch: Vec::new(),
-            emitter: &mut *emitter,
-        };
-        let mut root_children = 0u64;
-        let mut flow = ControlFlow::Continue(());
-        let per_child = (n + gc.num_edges()) as u64;
-        let _pstats = enumerate_st_paths(gc, w0, w1, Some(&allowed01), &mut |p| {
-            root_children += 1;
-            e.stats.work += per_child;
-            let verts = p.vertices.to_vec();
-            let edges = p.edges.to_vec();
-            let ext = e.t.extend_path(&verts, &edges);
-            for &edge in &edges {
-                e.edge_in_t[edge.index()] = true;
-            }
-            let f = e.recurse(1);
-            for &edge in &edges {
-                e.edge_in_t[edge.index()] = false;
-            }
-            e.t.retract(ext);
-            if f.is_break() {
-                flow = ControlFlow::Break(());
-            }
-            f
-        });
-        e.stats.note_node(root_children, 0);
-        enumerator_stats = e.stats;
-        if flow.is_break() {
-            enumerator_stats.note_end();
-            return enumerator_stats;
-        }
-    }
-    let _ = emitter.finish();
-    enumerator_stats.note_end();
-    enumerator_stats
+    let mut problem = TerminalSteinerTree::new(g, &normalize_terminals(terminals));
+    run_sink_lenient(&mut problem, emitter)
 }
 
 /// Enumerates all minimal terminal Steiner trees with amortized O(n + m)
 /// time per solution (Theorem 31), emitting directly.
-///
-/// ```
-/// use steiner_core::terminal::enumerate_minimal_terminal_steiner_trees;
-/// use steiner_graph::{UndirectedGraph, VertexId};
-/// use std::ops::ControlFlow;
-///
-/// // Star: terminals 1, 2, 3 must all be leaves; the full star is the
-/// // unique solution.
-/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
-/// let w = [VertexId(1), VertexId(2), VertexId(3)];
-/// let mut count = 0;
-/// enumerate_minimal_terminal_steiner_trees(&g, &w, &mut |tree| {
-///     assert_eq!(tree.len(), 3);
-///     count += 1;
-///     ControlFlow::Continue(())
-/// });
-/// assert_eq!(count, 1);
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(TerminalSteinerTree::new(g, terminals)).for_each(sink)`"
+)]
 pub fn enumerate_minimal_terminal_steiner_trees(
     g: &UndirectedGraph,
     terminals: &[VertexId],
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> EnumStats {
+    let mut problem = TerminalSteinerTree::new(g, &normalize_terminals(terminals));
     let mut direct = DirectSink { sink };
-    enumerate_minimal_terminal_steiner_trees_with(g, terminals, &mut direct)
+    run_sink_lenient(&mut problem, &mut direct)
 }
 
 /// Queued variant: worst-case O(n + m) delay (Theorem 31).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Enumeration::new(TerminalSteinerTree::new(g, terminals)).with_queue(config).for_each(sink)`"
+)]
 pub fn enumerate_minimal_terminal_steiner_trees_queued(
     g: &UndirectedGraph,
     terminals: &[VertexId],
@@ -409,22 +643,26 @@ pub fn enumerate_minimal_terminal_steiner_trees_queued(
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> EnumStats {
     let config = config.unwrap_or_else(|| QueueConfig::for_graph(g.num_vertices(), g.num_edges()));
+    let mut problem = TerminalSteinerTree::new(g, &normalize_terminals(terminals));
     let mut queue = OutputQueue::new(config, sink);
-    enumerate_minimal_terminal_steiner_trees_with(g, terminals, &mut queue)
+    run_sink_lenient(&mut problem, &mut queue)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::brute;
+    use crate::solver::Enumeration;
     use std::collections::BTreeSet;
 
     fn collect(g: &UndirectedGraph, w: &[VertexId]) -> BTreeSet<Vec<EdgeId>> {
         let mut out = BTreeSet::new();
-        enumerate_minimal_terminal_steiner_trees(g, w, &mut |edges| {
-            assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(TerminalSteinerTree::new(g, w))
+            .for_each(|edges| {
+                assert!(out.insert(edges.to_vec()), "duplicate solution {edges:?}");
+                ControlFlow::Continue(())
+            })
+            .expect("valid instance");
         out
     }
 
@@ -471,11 +709,8 @@ mod tests {
     fn multiple_components_enumerate_separately() {
         // Terminals 0, 1, 2; two internal "hubs" 3 and 4, each adjacent to
         // all terminals: two disjoint component solutions.
-        let g = UndirectedGraph::from_edges(
-            5,
-            &[(3, 0), (3, 1), (3, 2), (4, 0), (4, 1), (4, 2)],
-        )
-        .unwrap();
+        let g = UndirectedGraph::from_edges(5, &[(3, 0), (3, 1), (3, 2), (4, 0), (4, 1), (4, 2)])
+            .unwrap();
         let w = [VertexId(0), VertexId(1), VertexId(2)];
         let got = collect(&g, &w);
         assert_eq!(got, brute::minimal_terminal_steiner_trees(&g, &w));
@@ -485,7 +720,10 @@ mod tests {
     #[test]
     fn single_terminal_has_no_solutions() {
         let g = UndirectedGraph::from_edges(2, &[(0, 1)]).unwrap();
-        assert!(collect(&g, &[VertexId(0)]).is_empty());
+        let trees = Enumeration::new(TerminalSteinerTree::new(&g, &[VertexId(0)]))
+            .collect_vec()
+            .unwrap();
+        assert!(trees.is_empty());
     }
 
     #[test]
@@ -511,11 +749,15 @@ mod tests {
         let g = steiner_graph::generators::grid(3, 4);
         let w = [VertexId(0), VertexId(3), VertexId(8)];
         let mut count = 0;
-        enumerate_minimal_terminal_steiner_trees(&g, &w, &mut |edges| {
-            count += 1;
-            assert!(crate::verify::is_minimal_terminal_steiner_tree(&g, &w, edges));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(TerminalSteinerTree::new(&g, &w))
+            .for_each(|edges| {
+                count += 1;
+                assert!(crate::verify::is_minimal_terminal_steiner_tree(
+                    &g, &w, edges
+                ));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
         assert!(count > 0);
     }
 
@@ -525,10 +767,40 @@ mod tests {
         let w = [VertexId(0), VertexId(3), VertexId(8)];
         let direct = collect(&g, &w);
         let mut queued = BTreeSet::new();
-        enumerate_minimal_terminal_steiner_trees_queued(&g, &w, None, &mut |edges| {
-            assert!(queued.insert(edges.to_vec()));
+        Enumeration::new(TerminalSteinerTree::new(&g, &w))
+            .with_default_queue()
+            .for_each(|edges| {
+                assert!(queued.insert(edges.to_vec()));
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        assert_eq!(direct, queued);
+    }
+
+    #[test]
+    fn iterator_front_end_matches_direct() {
+        let g = steiner_graph::generators::grid(3, 4);
+        let w = [VertexId(0), VertexId(3), VertexId(8)];
+        let direct = collect(&g, &w);
+        let iterated: BTreeSet<Vec<EdgeId>> =
+            Enumeration::new(TerminalSteinerTree::from_graph(g.clone(), &w))
+                .into_iter()
+                .unwrap()
+                .collect();
+        assert_eq!(direct, iterated);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let g = steiner_graph::generators::grid(3, 4);
+        let w = [VertexId(0), VertexId(3), VertexId(8)];
+        let new_api = collect(&g, &w);
+        let mut old_api = BTreeSet::new();
+        enumerate_minimal_terminal_steiner_trees(&g, &w, &mut |edges| {
+            old_api.insert(edges.to_vec());
             ControlFlow::Continue(())
         });
-        assert_eq!(direct, queued);
+        assert_eq!(new_api, old_api);
     }
 }

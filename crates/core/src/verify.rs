@@ -102,11 +102,7 @@ pub fn is_minimal_terminal_steiner_tree(
 
 /// Whether `edges` is a Steiner forest of `(g, sets)`: a forest in which
 /// every pair of terminals within each set is connected.
-pub fn is_steiner_forest(
-    g: &UndirectedGraph,
-    sets: &[Vec<VertexId>],
-    edges: &[EdgeId],
-) -> bool {
+pub fn is_steiner_forest(g: &UndirectedGraph, sets: &[Vec<VertexId>], edges: &[EdgeId]) -> bool {
     // Forest check: no cycles.
     let verts = g.edge_set_vertices(edges);
     let mut uf = steiner_graph::union_find::UnionFind::new(g.num_vertices());
@@ -117,9 +113,8 @@ pub fn is_steiner_forest(
         }
     }
     let _ = verts;
-    sets.iter().all(|set| {
-        set.windows(2).all(|w| uf.same(w[0], w[1]))
-    })
+    sets.iter()
+        .all(|set| set.windows(2).all(|w| uf.same(w[0], w[1])))
 }
 
 /// Lemma 21: a Steiner forest is minimal iff deleting any edge disconnects
@@ -133,8 +128,12 @@ pub fn is_minimal_steiner_forest(
         return false;
     }
     for skip in 0..edges.len() {
-        let rest: Vec<EdgeId> =
-            edges.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &e)| e).collect();
+        let rest: Vec<EdgeId> = edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, &e)| e)
+            .collect();
         if is_steiner_forest(g, sets, &rest) {
             return false;
         }
@@ -186,8 +185,12 @@ pub fn is_minimal_directed_steiner_subgraph(
         return false;
     }
     for skip in 0..arcs.len() {
-        let rest: Vec<ArcId> =
-            arcs.iter().enumerate().filter(|(i, _)| *i != skip).map(|(_, &a)| a).collect();
+        let rest: Vec<ArcId> = arcs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, &a)| a)
+            .collect();
         if is_directed_steiner_subgraph(d, root, terminals, &rest) {
             return false;
         }
@@ -230,7 +233,11 @@ mod tests {
         // Tree containing both terminals but with a non-terminal leaf... a
         // path 1-2-3 plus edge 0-2 dangling: leaf 0 is not a terminal.
         assert!(is_steiner_tree(&g, &w, &[EdgeId(1), EdgeId(2), EdgeId(4)]));
-        assert!(!is_minimal_steiner_tree(&g, &w, &[EdgeId(1), EdgeId(2), EdgeId(4)]));
+        assert!(!is_minimal_steiner_tree(
+            &g,
+            &w,
+            &[EdgeId(1), EdgeId(2), EdgeId(4)]
+        ));
     }
 
     #[test]
@@ -246,11 +253,19 @@ mod tests {
         // Path 1-0-2 with terminals {1, 2}: both leaves — minimal terminal ST.
         let g = UndirectedGraph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
         let w = [VertexId(1), VertexId(2)];
-        assert!(is_minimal_terminal_steiner_tree(&g, &w, &[EdgeId(0), EdgeId(1)]));
+        assert!(is_minimal_terminal_steiner_tree(
+            &g,
+            &w,
+            &[EdgeId(0), EdgeId(1)]
+        ));
         // Terminal as internal vertex fails.
         let g2 = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
         let w2 = [VertexId(0), VertexId(1)];
-        assert!(!is_minimal_terminal_steiner_tree(&g2, &w2, &[EdgeId(0), EdgeId(1)]));
+        assert!(!is_minimal_terminal_steiner_tree(
+            &g2,
+            &w2,
+            &[EdgeId(0), EdgeId(1)]
+        ));
         // But {0, 2} with 1 internal is fine.
         assert!(is_minimal_terminal_steiner_tree(
             &g2,
@@ -263,12 +278,27 @@ mod tests {
     fn steiner_forest_checks() {
         // Path 0-1-2-3 and pairs {0,1}, {2,3}.
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        let sets = vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2), VertexId(3)]];
+        let sets = vec![
+            vec![VertexId(0), VertexId(1)],
+            vec![VertexId(2), VertexId(3)],
+        ];
         assert!(is_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(2)]));
-        assert!(is_minimal_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(2)]));
+        assert!(is_minimal_steiner_forest(
+            &g,
+            &sets,
+            &[EdgeId(0), EdgeId(2)]
+        ));
         // The full path also satisfies the pairs but is not minimal.
-        assert!(is_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(1), EdgeId(2)]));
-        assert!(!is_minimal_steiner_forest(&g, &sets, &[EdgeId(0), EdgeId(1), EdgeId(2)]));
+        assert!(is_steiner_forest(
+            &g,
+            &sets,
+            &[EdgeId(0), EdgeId(1), EdgeId(2)]
+        ));
+        assert!(!is_minimal_steiner_forest(
+            &g,
+            &sets,
+            &[EdgeId(0), EdgeId(1), EdgeId(2)]
+        ));
     }
 
     #[test]
@@ -287,8 +317,18 @@ mod tests {
         // r=0 -> 1 -> 2; terminal {2}.
         let d = DiGraph::from_arcs(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
         let w = [VertexId(2)];
-        assert!(is_directed_steiner_subgraph(&d, VertexId(0), &w, &[ArcId(2)]));
-        assert!(is_minimal_directed_steiner_subgraph(&d, VertexId(0), &w, &[ArcId(2)]));
+        assert!(is_directed_steiner_subgraph(
+            &d,
+            VertexId(0),
+            &w,
+            &[ArcId(2)]
+        ));
+        assert!(is_minimal_directed_steiner_subgraph(
+            &d,
+            VertexId(0),
+            &w,
+            &[ArcId(2)]
+        ));
         assert!(is_minimal_directed_steiner_subgraph(
             &d,
             VertexId(0),
@@ -301,6 +341,11 @@ mod tests {
             &w,
             &[ArcId(0), ArcId(1), ArcId(2)]
         ));
-        assert!(!is_directed_steiner_subgraph(&d, VertexId(0), &w, &[ArcId(0)]));
+        assert!(!is_directed_steiner_subgraph(
+            &d,
+            VertexId(0),
+            &w,
+            &[ArcId(0)]
+        ));
     }
 }

@@ -75,11 +75,8 @@ mod tests {
     #[test]
     fn spider_with_long_legs_has_claw() {
         // Center 0 with three legs of length 2.
-        let g = UndirectedGraph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)],
-        )
-        .unwrap();
+        let g = UndirectedGraph::from_edges(7, &[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)])
+            .unwrap();
         assert!(!is_claw_free(&g));
         let claw = find_claw(&g).unwrap();
         assert_eq!(claw[0], VertexId(0));
@@ -91,17 +88,17 @@ mod tests {
         for case in 0..20 {
             let n = 4 + case % 8;
             let g = generators::random_connected_graph(n, n + case % 4, &mut rng);
-            assert!(is_claw_free(&line_graph(&g)), "line graphs are claw-free (Beineke)");
+            assert!(
+                is_claw_free(&line_graph(&g)),
+                "line graphs are claw-free (Beineke)"
+            );
         }
     }
 
     #[test]
     fn claw_witness_is_an_induced_claw() {
-        let g = UndirectedGraph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (4, 5)],
-        )
-        .unwrap();
+        let g = UndirectedGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (4, 5)])
+            .unwrap();
         if let Some([c, x, y, z]) = find_claw(&g) {
             for v in [x, y, z] {
                 assert!(g.has_edge_between(c, v));

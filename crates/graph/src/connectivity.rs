@@ -62,7 +62,11 @@ pub fn connected_components(g: &UndirectedGraph, allowed: Option<&[bool]>) -> Co
             }
         }
     }
-    Components { comp, count: sizes.len(), sizes }
+    Components {
+        comp,
+        count: sizes.len(),
+        sizes,
+    }
 }
 
 /// Whether all of `vertices` lie in one connected component of the masked
@@ -100,11 +104,8 @@ mod tests {
 
     #[test]
     fn components_of_two_triangles() {
-        let g = UndirectedGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
         let c = connected_components(&g, None);
         assert_eq!(c.count, 2);
         assert!(c.same(VertexId(0), VertexId(2)));
@@ -132,7 +133,11 @@ mod tests {
         assert!(all_in_one_component(&g, &[], None));
         assert!(all_in_one_component(&g, &[VertexId(3)], None));
         let mask = vec![true, false, true, true];
-        assert!(!all_in_one_component(&g, &[VertexId(0), VertexId(1)], Some(&mask)));
+        assert!(!all_in_one_component(
+            &g,
+            &[VertexId(0), VertexId(1)],
+            Some(&mask)
+        ));
     }
 
     #[test]

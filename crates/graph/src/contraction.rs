@@ -82,7 +82,11 @@ pub fn contract_edge_set(g: &UndirectedGraph, contract: &[EdgeId]) -> Contracted
         graph.add_edge(nu, nv).expect("contracted edge is valid");
         orig_edge.push(e);
     }
-    ContractedGraph { graph, vertex_map, orig_edge }
+    ContractedGraph {
+        graph,
+        vertex_map,
+        orig_edge,
+    }
 }
 
 /// The digraph `D` with a vertex set contracted into a single super-vertex,
@@ -143,7 +147,12 @@ pub fn contract_vertex_set(d: &DiGraph, in_set: &[bool]) -> ContractedDigraph {
         graph.add_arc(nt, nh).expect("contracted arc is valid");
         orig_arc.push(a);
     }
-    ContractedDigraph { graph, vertex_map, orig_arc, super_vertex }
+    ContractedDigraph {
+        graph,
+        vertex_map,
+        orig_arc,
+        super_vertex,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +181,10 @@ mod tests {
         let (x, y) = c.graph.endpoints(EdgeId(1));
         let norm = |p: VertexId, q: VertexId| (p.min(q), p.max(q));
         assert_eq!(norm(a, b), norm(x, y), "both edges join the same pair");
-        assert_eq!(c.to_original_edges(&[EdgeId(0), EdgeId(1)]), vec![EdgeId(1), EdgeId(2)]);
+        assert_eq!(
+            c.to_original_edges(&[EdgeId(0), EdgeId(1)]),
+            vec![EdgeId(1), EdgeId(2)]
+        );
     }
 
     #[test]
@@ -207,6 +219,9 @@ mod tests {
         assert_eq!(c.graph.num_arcs(), 3);
         assert_eq!(c.orig_arc, vec![ArcId(1), ArcId(2), ArcId(3)]);
         assert_eq!(c.graph.out_degree(c.super_vertex), 2);
-        assert_eq!(c.vertex_map, vec![VertexId(2), VertexId(2), VertexId(0), VertexId(1)]);
+        assert_eq!(
+            c.vertex_map,
+            vec![VertexId(2), VertexId(2), VertexId(0), VertexId(1)]
+        );
     }
 }

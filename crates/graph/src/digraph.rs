@@ -58,10 +58,16 @@ impl DiGraph {
     pub fn add_arc_indices(&mut self, tail: usize, head: usize) -> Result<ArcId> {
         let n = self.num_vertices();
         if tail >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: tail, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: tail,
+                num_vertices: n,
+            });
         }
         if head >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: head, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: head,
+                num_vertices: n,
+            });
         }
         if tail == head {
             return Err(GraphError::SelfLoop { vertex: tail });
@@ -231,7 +237,10 @@ mod tests {
     #[test]
     fn rejects_self_loop_and_out_of_range() {
         let mut d = DiGraph::new(2);
-        assert!(matches!(d.add_arc_indices(0, 0), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            d.add_arc_indices(0, 0),
+            Err(GraphError::SelfLoop { .. })
+        ));
         assert!(matches!(
             d.add_arc_indices(0, 9),
             Err(GraphError::VertexOutOfRange { .. })

@@ -312,7 +312,10 @@ mod tests {
         for n in 1..30 {
             let g = random_tree(n, &mut rng);
             assert_eq!(g.num_edges(), n - 1);
-            assert_eq!(connected_components(&g, None).count, 1.min(n).max(usize::from(n > 0)));
+            assert_eq!(
+                connected_components(&g, None).count,
+                1.min(n).max(usize::from(n > 0))
+            );
         }
     }
 
@@ -327,7 +330,10 @@ mod tests {
             for e in g.edges() {
                 let (u, v) = g.endpoints(e);
                 let key = (u.0.min(v.0), u.0.max(v.0));
-                assert!(seen.insert(key), "no parallel edges in the generator output");
+                assert!(
+                    seen.insert(key),
+                    "no parallel edges in the generator output"
+                );
             }
         }
     }

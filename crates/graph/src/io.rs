@@ -51,7 +51,10 @@ fn parse_pairs(text: &str) -> Result<ParsedPairs> {
                     message: "expected two integers".to_string(),
                 })?
                 .parse::<usize>()
-                .map_err(|e| GraphError::Parse { line: line_no, message: e.to_string() })
+                .map_err(|e| GraphError::Parse {
+                    line: line_no,
+                    message: e.to_string(),
+                })
         };
         let a = parse_field(fields.next())?;
         let b = parse_field(fields.next())?;
@@ -111,7 +114,10 @@ pub fn to_dot(
     let mut out = String::from("graph g {\n  node [shape=circle];\n");
     for v in g.vertices() {
         if term[v.index()] {
-            out.push_str(&format!("  {} [shape=box style=filled fillcolor=gold];\n", v.0));
+            out.push_str(&format!(
+                "  {} [shape=box style=filled fillcolor=gold];\n",
+                v.0
+            ));
         }
     }
     for e in g.edges() {
@@ -144,7 +150,10 @@ pub fn to_dot_directed(
     let mut out = String::from("digraph g {\n  node [shape=circle];\n");
     for v in d.vertices() {
         if term[v.index()] {
-            out.push_str(&format!("  {} [shape=box style=filled fillcolor=gold];\n", v.0));
+            out.push_str(&format!(
+                "  {} [shape=box style=filled fillcolor=gold];\n",
+                v.0
+            ));
         }
     }
     for a in d.arcs() {
@@ -201,21 +210,33 @@ mod tests {
     #[test]
     fn header_mismatch_is_an_error() {
         let text = "3 5\n0 1\n";
-        assert!(matches!(parse_edge_list(text), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            parse_edge_list(text),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
     fn junk_line_is_an_error() {
         let text = "2 1\n0 1 junk\n";
-        assert!(matches!(parse_edge_list(text), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            parse_edge_list(text),
+            Err(GraphError::Parse { .. })
+        ));
         let text2 = "2 1\nzero one\n";
-        assert!(matches!(parse_edge_list(text2), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            parse_edge_list(text2),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]
     fn self_loop_in_file_is_rejected() {
         let text = "2 1\n1 1\n";
-        assert!(matches!(parse_edge_list(text), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            parse_edge_list(text),
+            Err(GraphError::SelfLoop { .. })
+        ));
     }
 
     #[test]

@@ -77,7 +77,11 @@ impl Lca {
         }
         // Sparse table over tour positions, comparing by vertex depth.
         let len = tour.len();
-        let levels = if len <= 1 { 1 } else { len.ilog2() as usize + 1 };
+        let levels = if len <= 1 {
+            1
+        } else {
+            len.ilog2() as usize + 1
+        };
         let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
         table.push((0..len as u32).collect());
         let min_pos = |depth: &[u32], tour: &[u32], a: u32, b: u32| -> u32 {
@@ -97,7 +101,13 @@ impl Lca {
             }
             table.push(row);
         }
-        Lca { depth, root, first_occurrence, tour, table }
+        Lca {
+            depth,
+            root,
+            first_occurrence,
+            tour,
+            table,
+        }
     }
 
     /// Whether `v` participates in the forest.
@@ -114,7 +124,10 @@ impl Lca {
         if self.root[u.index()] != self.root[v.index()] {
             return None;
         }
-        let (mut a, mut b) = (self.first_occurrence[u.index()], self.first_occurrence[v.index()]);
+        let (mut a, mut b) = (
+            self.first_occurrence[u.index()],
+            self.first_occurrence[v.index()],
+        );
         if a > b {
             std::mem::swap(&mut a, &mut b);
         }

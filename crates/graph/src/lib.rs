@@ -64,8 +64,14 @@ impl std::fmt::Display for GraphError {
             GraphError::SelfLoop { vertex } => {
                 write!(f, "self-loop at vertex {vertex} is not allowed")
             }
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range (graph has {num_vertices} vertices)")
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range (graph has {num_vertices} vertices)"
+                )
             }
             GraphError::EdgeOutOfRange { edge, num_edges } => {
                 write!(f, "edge {edge} out of range (graph has {num_edges} edges)")

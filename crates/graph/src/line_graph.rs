@@ -24,7 +24,8 @@ pub fn line_graph(g: &UndirectedGraph) -> UndirectedGraph {
                 let (e, f) = (incident[i].1, incident[j].1);
                 let key = if e.0 < f.0 { (e.0, f.0) } else { (f.0, e.0) };
                 if seen.insert(key) {
-                    lg.add_edge(VertexId(e.0), VertexId(f.0)).expect("line graph edge");
+                    lg.add_edge(VertexId(e.0), VertexId(f.0))
+                        .expect("line graph edge");
                 }
             }
         }
@@ -57,7 +58,8 @@ impl Theorem39Instance {
             let wt = h.add_vertex();
             h_terminals.push(wt);
             for (_, e) in g.neighbors(w) {
-                h.add_edge(wt, VertexId(e.0)).expect("terminal attachment edge");
+                h.add_edge(wt, VertexId(e.0))
+                    .expect("terminal attachment edge");
             }
         }
         Theorem39Instance {
@@ -123,7 +125,11 @@ mod tests {
         let g = UndirectedGraph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
         let lg = line_graph(&g);
         assert_eq!(lg.num_vertices(), 2);
-        assert_eq!(lg.num_edges(), 1, "parallel edges meet at both endpoints but once in L(G)");
+        assert_eq!(
+            lg.num_edges(),
+            1,
+            "parallel edges meet at both endpoints but once in L(G)"
+        );
     }
 
     #[test]

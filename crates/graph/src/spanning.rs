@@ -93,7 +93,11 @@ pub fn prune_leaves(
             queue.push(u);
         }
     }
-    tree_edges.iter().copied().filter(|e| !removed_edge[e.index()]).collect()
+    tree_edges
+        .iter()
+        .copied()
+        .filter(|e| !removed_edge[e.index()])
+        .collect()
 }
 
 /// Repeatedly deletes sink leaves not accepted by `keep` from a directed
@@ -126,7 +130,11 @@ pub fn prune_directed_leaves(
         let v = VertexId::new(v);
         // A deletable leaf has no outgoing arcs and *does* have an incoming
         // arc (so the root, which has none, is safe).
-        if in_tree[v.index()] && out_degree[v.index()] == 0 && in_arc[v.index()].is_some() && !keep(v) {
+        if in_tree[v.index()]
+            && out_degree[v.index()] == 0
+            && in_arc[v.index()].is_some()
+            && !keep(v)
+        {
             queue.push(v);
         }
     }
@@ -142,7 +150,11 @@ pub fn prune_directed_leaves(
             queue.push(t);
         }
     }
-    tree_arcs.iter().copied().filter(|a| !removed_arc[a.index()]).collect()
+    tree_arcs
+        .iter()
+        .copied()
+        .filter(|a| !removed_arc[a.index()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -152,13 +164,11 @@ mod tests {
     #[test]
     fn grow_spans_component_and_contains_base() {
         // Square with a pendant: 0-1-2-3-0, 3-4.
-        let g =
-            UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)]).unwrap();
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)]).unwrap();
         let grown = grow_spanning_tree(&g, &[VertexId(0)], &[], None);
         assert_eq!(grown.edges.len(), 4, "spanning tree of 5 vertices");
         // Growing around base edge {1,2} keeps it.
-        let grown2 =
-            grow_spanning_tree(&g, &[VertexId(1), VertexId(2)], &[EdgeId(1)], None);
+        let grown2 = grow_spanning_tree(&g, &[VertexId(1), VertexId(2)], &[EdgeId(1)], None);
         assert!(grown2.edges.contains(&EdgeId(1)));
         assert_eq!(grown2.edges.len(), 4);
     }

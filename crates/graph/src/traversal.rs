@@ -134,7 +134,10 @@ pub fn di_bfs(
         }
     }
     while let Some(u) = queue.pop_front() {
-        let step = |v: VertexId, a: ArcId, forest: &mut DiBfsForest, queue: &mut std::collections::VecDeque<VertexId>| {
+        let step = |v: VertexId,
+                    a: ArcId,
+                    forest: &mut DiBfsForest,
+                    queue: &mut std::collections::VecDeque<VertexId>| {
             if ok(v) && !forest.visited[v.index()] {
                 forest.visited[v.index()] = true;
                 forest.parent[v.index()] = Some(u);
@@ -257,7 +260,10 @@ mod tests {
         let g = path_graph(4);
         let f = bfs(&g, &[VertexId(0)], None);
         let (verts, edges) = forest_path_to(&f, VertexId(3)).unwrap();
-        assert_eq!(verts, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(
+            verts,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
         assert_eq!(edges, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
     }
 

@@ -25,12 +25,18 @@ pub struct UndirectedGraph {
 impl UndirectedGraph {
     /// Creates a graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        UndirectedGraph { endpoints: Vec::new(), adj: vec![Vec::new(); n] }
+        UndirectedGraph {
+            endpoints: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Creates a graph with `n` isolated vertices, reserving room for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        UndirectedGraph { endpoints: Vec::with_capacity(m), adj: vec![Vec::new(); n] }
+        UndirectedGraph {
+            endpoints: Vec::with_capacity(m),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from `(u, v)` pairs. Edge ids follow input order.
@@ -52,10 +58,16 @@ impl UndirectedGraph {
     pub fn add_edge_indices(&mut self, u: usize, v: usize) -> Result<EdgeId> {
         let n = self.num_vertices();
         if u >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                num_vertices: n,
+            });
         }
         if v >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -98,7 +110,10 @@ impl UndirectedGraph {
     #[inline]
     pub fn other_endpoint(&self, e: EdgeId, v: VertexId) -> VertexId {
         let (a, b) = self.endpoints[e.index()];
-        debug_assert!(v == a || v == b, "vertex {v} is not an endpoint of edge {e}");
+        debug_assert!(
+            v == a || v == b,
+            "vertex {v} is not an endpoint of edge {e}"
+        );
         if v == a {
             b
         } else {
@@ -138,8 +153,11 @@ impl UndirectedGraph {
 
     /// Whether at least one edge joins `u` and `v` (O(min degree) scan).
     pub fn has_edge_between(&self, u: VertexId, v: VertexId) -> bool {
-        let (a, b) =
-            if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).any(|(w, _)| w == b)
     }
 
@@ -178,7 +196,12 @@ impl UndirectedGraph {
                 edge_to_old.push(e);
             }
         }
-        InducedSubgraph { graph, vertex_to_old: new_to_old, edge_to_old, old_to_new }
+        InducedSubgraph {
+            graph,
+            vertex_to_old: new_to_old,
+            edge_to_old,
+            old_to_new,
+        }
     }
 
     /// Degree of every vertex restricted to an edge subset, as a vector.
@@ -237,7 +260,10 @@ mod tests {
         let mut g = UndirectedGraph::new(2);
         assert_eq!(
             g.add_edge_indices(0, 5),
-            Err(GraphError::VertexOutOfRange { vertex: 5, num_vertices: 2 })
+            Err(GraphError::VertexOutOfRange {
+                vertex: 5,
+                num_vertices: 2
+            })
         );
     }
 
@@ -271,7 +297,10 @@ mod tests {
         assert_eq!(sub.graph.num_vertices(), 3);
         assert_eq!(sub.graph.num_edges(), 2);
         assert_eq!(sub.edge_to_old, vec![EdgeId(0), EdgeId(1)]);
-        assert_eq!(sub.vertex_to_old, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(
+            sub.vertex_to_old,
+            vec![VertexId(0), VertexId(1), VertexId(2)]
+        );
         assert_eq!(sub.old_to_new[3], None);
     }
 

@@ -120,7 +120,10 @@ mod tests {
         uf.union(VertexId(0), VertexId(2));
         assert!(uf.same(VertexId(1), VertexId(3)));
         uf.rollback(snap);
-        assert!(uf.same(VertexId(0), VertexId(1)), "pre-snapshot union survives");
+        assert!(
+            uf.same(VertexId(0), VertexId(1)),
+            "pre-snapshot union survives"
+        );
         assert!(!uf.same(VertexId(2), VertexId(3)));
         assert!(!uf.same(VertexId(0), VertexId(2)));
         assert_eq!(uf.num_components(), 5);

@@ -26,11 +26,10 @@ pub struct GroupSteinerTree {
     pub edges: Vec<EdgeId>,
 }
 
-fn tree_hits_all_groups(
-    vertices: &[VertexId],
-    groups: &[Vec<VertexId>],
-) -> bool {
-    groups.iter().all(|g| g.iter().any(|w| vertices.binary_search(w).is_ok()))
+fn tree_hits_all_groups(vertices: &[VertexId], groups: &[Vec<VertexId>]) -> bool {
+    groups
+        .iter()
+        .all(|g| g.iter().any(|w| vertices.binary_search(w).is_ok()))
 }
 
 /// Brute-force enumeration of all minimal group Steiner trees of
@@ -50,13 +49,18 @@ pub fn minimal_group_steiner_trees_brute(
     for v in g.vertices() {
         let vs = vec![v];
         if tree_hits_all_groups(&vs, groups) {
-            out.insert(GroupSteinerTree { vertices: vs, edges: Vec::new() });
+            out.insert(GroupSteinerTree {
+                vertices: vs,
+                edges: Vec::new(),
+            });
         }
     }
     // Trees with at least one edge.
     for mask in 1u32..(1 << m) {
-        let edges: Vec<EdgeId> =
-            (0..m).filter(|i| mask & (1 << i) != 0).map(EdgeId::new).collect();
+        let edges: Vec<EdgeId> = (0..m)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(EdgeId::new)
+            .collect();
         if !steiner_core::verify::is_tree(g, &edges) {
             continue;
         }
@@ -70,8 +74,7 @@ pub fn minimal_group_steiner_trees_brute(
             if deg[v.index()] != 1 {
                 return true;
             }
-            let reduced: Vec<VertexId> =
-                vertices.iter().copied().filter(|&u| u != v).collect();
+            let reduced: Vec<VertexId> = vertices.iter().copied().filter(|&u| u != v).collect();
             !tree_hits_all_groups(&reduced, groups)
         });
         if minimal {
@@ -111,7 +114,10 @@ impl StarInstance {
     /// Singleton transversals map to single-leaf trees (no center needed).
     pub fn transversal_to_tree(&self, x: &[usize]) -> GroupSteinerTree {
         if x.len() == 1 {
-            return GroupSteinerTree { vertices: vec![self.leaf(x[0])], edges: Vec::new() };
+            return GroupSteinerTree {
+                vertices: vec![self.leaf(x[0])],
+                edges: Vec::new(),
+            };
         }
         let mut vertices: Vec<VertexId> = x.iter().map(|&u| self.leaf(u)).collect();
         vertices.push(VertexId(0));
@@ -125,7 +131,11 @@ impl StarInstance {
     /// Maps a group Steiner tree of the star back to a vertex set of the
     /// hypergraph.
     pub fn tree_to_transversal(&self, t: &GroupSteinerTree) -> Vec<usize> {
-        t.vertices.iter().filter(|v| v.index() >= 1).map(|v| v.index() - 1).collect()
+        t.vertices
+            .iter()
+            .filter(|v| v.index() >= 1)
+            .map(|v| v.index() - 1)
+            .collect()
     }
 }
 
@@ -161,7 +171,10 @@ mod tests {
     #[test]
     fn theorem38_equivalence_on_a_path_hypergraph() {
         let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
-        assert_eq!(minimal_transversals_via_group_steiner(&h), minimal_transversals_brute(&h));
+        assert_eq!(
+            minimal_transversals_via_group_steiner(&h),
+            minimal_transversals_brute(&h)
+        );
     }
 
     #[test]
@@ -200,8 +213,10 @@ mod tests {
         // Square with groups on opposite corners: minimal group Steiner
         // trees are single edges or vertices covering both groups.
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
-        let groups =
-            vec![vec![VertexId(0), VertexId(2)], vec![VertexId(1), VertexId(3)]];
+        let groups = vec![
+            vec![VertexId(0), VertexId(2)],
+            vec![VertexId(1), VertexId(3)],
+        ];
         let sols = minimal_group_steiner_trees_brute(&g, &groups);
         // Every single edge covers one vertex of each group.
         assert_eq!(sols.len(), 4);

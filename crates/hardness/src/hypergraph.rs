@@ -26,7 +26,10 @@ impl Hypergraph {
             assert!(e.iter().all(|&v| v < n), "hyperedge vertex out of range");
             normalized.push(e);
         }
-        Hypergraph { n, edges: normalized }
+        Hypergraph {
+            n,
+            edges: normalized,
+        }
     }
 
     /// Whether `set` (a sorted or unsorted vertex list) hits every edge.
@@ -84,7 +87,10 @@ mod tests {
         assert!(h.is_transversal(&[1, 2]));
         assert!(h.is_minimal_transversal(&[1, 2]));
         assert!(h.is_transversal(&[0, 1, 2]));
-        assert!(!h.is_minimal_transversal(&[0, 1, 2]), "0 has no critical edge");
+        assert!(
+            !h.is_minimal_transversal(&[0, 1, 2]),
+            "0 has no critical edge"
+        );
         assert!(!h.is_transversal(&[0, 3]), "misses edge {{1,2}}");
     }
 

@@ -60,15 +60,14 @@ pub fn hamiltonian_st_path_exists(g: &UndirectedGraph, s: VertexId, t: VertexId)
 /// Whether an internal Steiner tree of `(g, terminals)` exists, by brute
 /// force over edge subsets (`m ≤ 20`): a tree containing all terminals
 /// with every terminal of degree ≥ 2.
-pub fn internal_steiner_tree_exists_brute(
-    g: &UndirectedGraph,
-    terminals: &[VertexId],
-) -> bool {
+pub fn internal_steiner_tree_exists_brute(g: &UndirectedGraph, terminals: &[VertexId]) -> bool {
     let m = g.num_edges();
     assert!(m <= 20, "brute force limited to 20 edges");
     for mask in 1u32..(1 << m) {
-        let edges: Vec<EdgeId> =
-            (0..m).filter(|i| mask & (1 << i) != 0).map(EdgeId::new).collect();
+        let edges: Vec<EdgeId> = (0..m)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(EdgeId::new)
+            .collect();
         if !is_tree(g, &edges) {
             continue;
         }
@@ -153,8 +152,7 @@ mod tests {
             if s == t {
                 continue;
             }
-            let w: Vec<VertexId> =
-                g.vertices().filter(|&v| v != s && v != t).collect();
+            let w: Vec<VertexId> = g.vertices().filter(|&v| v != s && v != t).collect();
             assert_eq!(
                 internal_steiner_tree_exists_brute(&g, &w),
                 hamiltonian_st_path_exists(&g, s, t),

@@ -43,7 +43,11 @@ struct Mmcs<'h, 's> {
 
 impl Mmcs<'_, '_> {
     fn add(&mut self, v: usize) -> Undo {
-        let mut undo = Undo { vertex: v, demoted: Vec::new(), promoted: Vec::new() };
+        let mut undo = Undo {
+            vertex: v,
+            demoted: Vec::new(),
+            promoted: Vec::new(),
+        };
         self.chosen.push(v);
         self.in_chosen[v] = true;
         for (ei, e) in self.h.edges.iter().enumerate() {
@@ -92,10 +96,7 @@ impl Mmcs<'_, '_> {
         }
         // Generic decrement for edges counted with `_ => hits += 1`.
         for (ei, e) in self.h.edges.iter().enumerate() {
-            if e.contains(&v)
-                && self.hits[ei] >= 2
-                && !undo.demoted.iter().any(|&(d, _)| d == ei)
-            {
+            if e.contains(&v) && self.hits[ei] >= 2 && !undo.demoted.iter().any(|&(d, _)| d == ei) {
                 self.hits[ei] -= 1;
             }
         }
@@ -124,8 +125,11 @@ impl Mmcs<'_, '_> {
             }
         }
         let (_, ei) = best.expect("uncovered > 0 implies an uncovered edge");
-        let branch: Vec<usize> =
-            self.h.edges[ei].iter().copied().filter(|&v| self.cand[v]).collect();
+        let branch: Vec<usize> = self.h.edges[ei]
+            .iter()
+            .copied()
+            .filter(|&v| self.cand[v])
+            .collect();
         if branch.is_empty() {
             return ControlFlow::Continue(()); // dead branch
         }
@@ -258,8 +262,7 @@ mod tests {
     fn single_vertex_edges_force_inclusion() {
         let h = Hypergraph::new(3, vec![vec![0], vec![1, 2]]);
         let got = collect(&h);
-        let expected: BTreeSet<Vec<usize>> =
-            [vec![0, 1], vec![0, 2]].into_iter().collect();
+        let expected: BTreeSet<Vec<usize>> = [vec![0, 1], vec![0, 2]].into_iter().collect();
         assert_eq!(got, expected);
     }
 
@@ -270,7 +273,11 @@ mod tests {
             let n = 3 + case % 6;
             let m = 1 + case % 5;
             let h = Hypergraph::random(n, m, 4, &mut rng);
-            assert_eq!(collect(&h), minimal_transversals_brute(&h), "hypergraph {h:?}");
+            assert_eq!(
+                collect(&h),
+                minimal_transversals_brute(&h),
+                "hypergraph {h:?}"
+            );
         }
     }
 

@@ -14,7 +14,10 @@ pub fn minimal_induced_steiner_subgraphs(
     terminals: &[VertexId],
 ) -> BTreeSet<Vec<VertexId>> {
     let n = g.num_vertices();
-    assert!(n <= MAX_BRUTE_VERTICES, "brute force limited to {MAX_BRUTE_VERTICES} vertices");
+    assert!(
+        n <= MAX_BRUTE_VERTICES,
+        "brute force limited to {MAX_BRUTE_VERTICES} vertices"
+    );
     let mut terminals = terminals.to_vec();
     terminals.sort_unstable();
     terminals.dedup();
@@ -27,8 +30,10 @@ pub fn minimal_induced_steiner_subgraphs(
         if mask & term_mask != term_mask {
             continue;
         }
-        let set: Vec<VertexId> =
-            (0..n).filter(|i| mask & (1 << i) != 0).map(VertexId::new).collect();
+        let set: Vec<VertexId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(VertexId::new)
+            .collect();
         if is_minimal_induced_steiner_subgraph(g, &terminals, &set) {
             out.insert(set);
         }

@@ -126,10 +126,16 @@ fn candidates_for(
     }
     attachments.sort_unstable();
     // Terminal subsets of the two components.
-    let w_c1: Vec<VertexId> =
-        c1.iter().copied().filter(|u| is_terminal[u.index()]).collect();
-    let w_c2: Vec<VertexId> =
-        c2.iter().copied().filter(|u| is_terminal[u.index()]).collect();
+    let w_c1: Vec<VertexId> = c1
+        .iter()
+        .copied()
+        .filter(|u| is_terminal[u.index()])
+        .collect();
+    let w_c2: Vec<VertexId> = c2
+        .iter()
+        .copied()
+        .filter(|u| is_terminal[u.index()])
+        .collect();
     let c2_min = mu(g, c2, &w_c2);
     for w in attachments {
         // C₁ʷ = μ(C₁ ∪ {w}, (W ∩ C₁) ∪ {w}).
@@ -172,20 +178,21 @@ fn candidates_for(
                 base_allowed[u.index()] = false;
             }
         }
-        let try_level = |relax: Option<VertexId>, all: bool, paths: &mut BTreeSet<Vec<VertexId>>| {
-            let mut allowed = base_allowed.clone();
-            if !all {
-                for &b in &blockers {
-                    if Some(b) != relax {
-                        allowed[b.index()] = false;
+        let try_level =
+            |relax: Option<VertexId>, all: bool, paths: &mut BTreeSet<Vec<VertexId>>| {
+                let mut allowed = base_allowed.clone();
+                if !all {
+                    for &b in &blockers {
+                        if Some(b) != relax {
+                            allowed[b.index()] = false;
+                        }
                     }
                 }
-            }
-            allowed[w.index()] = true;
-            if let Some(path) = shortest_path_to_set(g, w, &in_c2w, &allowed) {
-                paths.insert(path);
-            }
-        };
+                allowed[w.index()] = true;
+                if let Some(path) = shortest_path_to_set(g, w, &in_c2w, &allowed) {
+                    paths.insert(path);
+                }
+            };
         try_level(None, false, &mut paths); // the paper's rule
         try_level(None, true, &mut paths); // fully relaxed
         for &b in &blockers.clone() {
@@ -320,8 +327,7 @@ mod tests {
                 continue;
             }
             let comp = steiner_graph::traversal::bfs(&g, &[w[0]], None);
-            let x0: Vec<VertexId> =
-                g.vertices().filter(|v| comp.visited[v.index()]).collect();
+            let x0: Vec<VertexId> = g.vertices().filter(|v| comp.visited[v.index()]).collect();
             let x = mu(&g, &x0, &w);
             for z in neighbors_of(&g, &x, &w) {
                 assert!(

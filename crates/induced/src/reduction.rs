@@ -61,8 +61,7 @@ mod tests {
 
     #[test]
     fn reduction_matches_on_square_with_diagonal() {
-        let g =
-            UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
         let w = [VertexId(1), VertexId(3)];
         let via = minimal_steiner_trees_via_induced(&g, &w).unwrap();
         assert_eq!(via, brute::minimal_steiner_trees(&g, &w));

@@ -165,11 +165,8 @@ mod tests {
     #[test]
     fn disconnected_terminals_no_solutions() {
         // Two disjoint triangles (claw-free).
-        let g = UndirectedGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+            .unwrap();
         assert!(collect(&g, &[VertexId(0), VertexId(3)]).is_empty());
     }
 
@@ -197,8 +194,14 @@ mod tests {
     #[test]
     fn matches_brute_force_on_structured_claw_free() {
         for (g, w) in [
-            (steiner_graph::generators::cycle(7), vec![VertexId(0), VertexId(2), VertexId(5)]),
-            (steiner_graph::generators::complete(4), vec![VertexId(0), VertexId(3)]),
+            (
+                steiner_graph::generators::cycle(7),
+                vec![VertexId(0), VertexId(2), VertexId(5)],
+            ),
+            (
+                steiner_graph::generators::complete(4),
+                vec![VertexId(0), VertexId(3)],
+            ),
             (
                 steiner_graph::line_graph::line_graph(&steiner_graph::generators::grid(2, 3)),
                 vec![VertexId(0), VertexId(6)],

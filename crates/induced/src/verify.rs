@@ -118,6 +118,10 @@ mod tests {
         let g = path5();
         let w = [VertexId(2)];
         assert!(is_minimal_induced_steiner_subgraph(&g, &w, &[VertexId(2)]));
-        assert!(!is_minimal_induced_steiner_subgraph(&g, &w, &[VertexId(2), VertexId(3)]));
+        assert!(!is_minimal_induced_steiner_subgraph(
+            &g,
+            &w,
+            &[VertexId(2), VertexId(3)]
+        ));
     }
 }

@@ -25,7 +25,8 @@ impl DataGraph {
     /// nodes) and returns its id.
     pub fn add_node(&mut self, keywords: &[&str]) -> VertexId {
         let v = self.graph.add_vertex();
-        self.labels.push(keywords.iter().map(|k| k.to_string()).collect());
+        self.labels
+            .push(keywords.iter().map(|k| k.to_string()).collect());
         for k in keywords {
             self.index.entry(k.to_string()).or_default().push(v);
         }
@@ -85,7 +86,8 @@ impl DirectedDataGraph {
     /// Adds a node carrying the given keywords and returns its id.
     pub fn add_node(&mut self, keywords: &[&str]) -> VertexId {
         let v = self.graph.add_vertex();
-        self.labels.push(keywords.iter().map(|k| k.to_string()).collect());
+        self.labels
+            .push(keywords.iter().map(|k| k.to_string()).collect());
         for k in keywords {
             self.index.entry(k.to_string()).or_default().push(v);
         }

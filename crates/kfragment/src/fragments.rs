@@ -2,12 +2,22 @@
 
 use crate::data_graph::{DataGraph, DirectedDataGraph};
 use std::ops::ControlFlow;
-use steiner_core::directed::enumerate_minimal_directed_steiner_trees;
-use steiner_core::improved::enumerate_minimal_steiner_trees;
 use steiner_core::stats::EnumStats;
-use steiner_core::terminal::enumerate_minimal_terminal_steiner_trees;
+use steiner_core::{
+    DirectedSteinerTree, Enumeration, SteinerError, SteinerTree, TerminalSteinerTree,
+};
 use steiner_graph::connectivity::reachable_from;
 use steiner_graph::{ArcId, EdgeId, GraphError, VertexId};
+
+/// Keyword queries keep the historical lenient contract: an instance whose
+/// keywords cannot be connected simply has no fragments.
+fn lenient(result: Result<EnumStats, SteinerError>) -> EnumStats {
+    match result {
+        Ok(stats) => stats,
+        Err(e) if e.means_no_solutions() => EnumStats::default(),
+        Err(e) => panic!("invalid keyword-search instance: {e}"),
+    }
+}
 
 /// Enumerates the (undirected) K-fragments of a keyword query: the minimal
 /// Steiner trees over all keyword nodes of `keywords`. Solutions are
@@ -39,7 +49,9 @@ pub fn k_fragments(
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> Result<EnumStats, GraphError> {
     let terminals = dg.terminals_for(keywords)?;
-    Ok(enumerate_minimal_steiner_trees(&dg.graph, &terminals, sink))
+    Ok(lenient(
+        Enumeration::new(SteinerTree::new(&dg.graph, &terminals)).for_each(|edges| sink(edges)),
+    ))
 }
 
 /// Enumerates the strong K-fragments: K-fragments in which every keyword
@@ -50,7 +62,10 @@ pub fn strong_k_fragments(
     sink: &mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>,
 ) -> Result<EnumStats, GraphError> {
     let terminals = dg.terminals_for(keywords)?;
-    Ok(enumerate_minimal_terminal_steiner_trees(&dg.graph, &terminals, sink))
+    Ok(lenient(
+        Enumeration::new(TerminalSteinerTree::new(&dg.graph, &terminals))
+            .for_each(|edges| sink(edges)),
+    ))
 }
 
 /// A directed K-fragment: a root plus the arcs of a minimal directed
@@ -85,18 +100,20 @@ pub fn directed_k_fragments(
             continue;
         }
         let mut stopped = false;
-        let stats = enumerate_minimal_directed_steiner_trees(
-            &dg.graph,
-            root,
-            &terminals,
-            &mut |arcs| {
-                let fragment = DirectedFragment { root, arcs: arcs.to_vec() };
-                let flow = sink(&fragment);
-                if flow.is_break() {
-                    stopped = true;
-                }
-                flow
-            },
+        let stats = lenient(
+            Enumeration::new(DirectedSteinerTree::new(&dg.graph, root, &terminals)).for_each(
+                |arcs| {
+                    let fragment = DirectedFragment {
+                        root,
+                        arcs: arcs.to_vec(),
+                    };
+                    let flow = sink(&fragment);
+                    if flow.is_break() {
+                        stopped = true;
+                    }
+                    flow
+                },
+            ),
         );
         total.solutions += stats.solutions;
         total.work += stats.work + stats.preprocessing_work;
@@ -164,13 +181,18 @@ mod tests {
             ControlFlow::Continue(())
         })
         .unwrap();
-        assert_eq!(via_fragments, steiner_core::brute::minimal_steiner_trees(&dg.graph, &terminals));
+        assert_eq!(
+            via_fragments,
+            steiner_core::brute::minimal_steiner_trees(&dg.graph, &terminals)
+        );
     }
 
     #[test]
     fn strong_fragments_keep_keywords_as_leaves() {
         let (dg, _) = bibliography();
-        let terminals = dg.terminals_for(&["enumeration", "steiner", "alice"]).unwrap();
+        let terminals = dg
+            .terminals_for(&["enumeration", "steiner", "alice"])
+            .unwrap();
         let mut count = 0;
         strong_k_fragments(&dg, &["enumeration", "steiner", "alice"], &mut |edges| {
             count += 1;

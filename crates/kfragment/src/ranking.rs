@@ -101,7 +101,9 @@ mod tests {
         let g = steiner_graph::generators::theta_chain(3, 3);
         let w = [steiner_graph::VertexId(0), steiner_graph::VertexId(3)];
         let got = smallest_k(5, None, |sink| {
-            steiner_core::improved::enumerate_minimal_steiner_trees(&g, &w, sink);
+            steiner_core::Enumeration::new(steiner_core::SteinerTree::new(&g, &w))
+                .for_each(|edges| sink(edges))
+                .unwrap();
         });
         assert_eq!(got.len(), 5);
         for pair in got.windows(2) {

@@ -48,7 +48,9 @@ pub struct EnumerateOptions {
 
 impl Default for EnumerateOptions {
     fn default() -> Self {
-        EnumerateOptions { incremental_extendibility: true }
+        EnumerateOptions {
+            incremental_extendibility: true,
+        }
     }
 }
 
@@ -130,7 +132,11 @@ impl<'g, 's> Enumerator<'g, 's> {
                 cur = self.d.head(na);
                 vertices.push(cur);
             }
-            return Some(QPath { vertices, arcs, first_pos: pos });
+            return Some(QPath {
+                vertices,
+                arcs,
+                first_pos: pos,
+            });
         }
         None
     }
@@ -308,7 +314,10 @@ impl<'g, 's> Enumerator<'g, 's> {
         out_arcs.extend_from_slice(&self.cur_arcs);
         out_arcs.extend_from_slice(&q.arcs);
         self.stats.emitted += 1;
-        let flow = (self.sink)(PathEvent { vertices: &out_vertices, arcs: &out_arcs });
+        let flow = (self.sink)(PathEvent {
+            vertices: &out_vertices,
+            arcs: &out_arcs,
+        });
         self.out_vertices = out_vertices;
         self.out_arcs = out_arcs;
         flow
@@ -320,7 +329,9 @@ impl<'g, 's> Enumerator<'g, 's> {
         let mut f_pos: Option<usize> = None;
         loop {
             self.stats.work += 1;
-            let Some(q) = self.f_stp(s1, e, f_pos) else { break };
+            let Some(q) = self.f_stp(s1, e, f_pos) else {
+                break;
+            };
             if depth.is_multiple_of(2) {
                 self.emit(&q)?;
             }
@@ -398,7 +409,10 @@ pub fn enumerate_directed_st_paths_with(
     }
     if s == t {
         stats.emitted = 1;
-        let _ = sink(PathEvent { vertices: &[s], arcs: &[] });
+        let _ = sink(PathEvent {
+            vertices: &[s],
+            arcs: &[],
+        });
         return stats;
     }
     // The tip of P must be unmasked; `removed` currently masks only the
@@ -464,9 +478,11 @@ mod tests {
     fn diamond_has_two_paths() {
         // 0 -> 1 -> 3 and 0 -> 2 -> 3.
         let d = DiGraph::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
-        let paths: HashSet<Vec<ArcId>> = paths_of(&d, VertexId(0), VertexId(3)).into_iter().collect();
-        let expected: HashSet<Vec<ArcId>> =
-            [vec![ArcId(0), ArcId(2)], vec![ArcId(1), ArcId(3)]].into_iter().collect();
+        let paths: HashSet<Vec<ArcId>> =
+            paths_of(&d, VertexId(0), VertexId(3)).into_iter().collect();
+        let expected: HashSet<Vec<ArcId>> = [vec![ArcId(0), ArcId(2)], vec![ArcId(1), ArcId(3)]]
+            .into_iter()
+            .collect();
         assert_eq!(paths, expected);
     }
 
@@ -583,7 +599,9 @@ mod tests {
                     s,
                     t,
                     None,
-                    EnumerateOptions { incremental_extendibility: true },
+                    EnumerateOptions {
+                        incremental_extendibility: true,
+                    },
                     sink,
                 );
             });
@@ -593,7 +611,9 @@ mod tests {
                     s,
                     t,
                     None,
-                    EnumerateOptions { incremental_extendibility: false },
+                    EnumerateOptions {
+                        incremental_extendibility: false,
+                    },
                     sink,
                 );
             });
@@ -616,7 +636,9 @@ mod tests {
                 s,
                 t,
                 None,
-                EnumerateOptions { incremental_extendibility: incremental },
+                EnumerateOptions {
+                    incremental_extendibility: incremental,
+                },
                 &mut sink,
             )
         };

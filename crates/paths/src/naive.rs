@@ -29,7 +29,10 @@ impl Naive<'_, '_> {
         let u = *self.vertices.last().expect("path is nonempty");
         if u == self.t {
             self.emitted += 1;
-            return (self.sink)(PathEvent { vertices: &self.vertices, arcs: &self.arcs });
+            return (self.sink)(PathEvent {
+                vertices: &self.vertices,
+                arcs: &self.arcs,
+            });
         }
         for (v, a) in self.d.out_neighbors(u) {
             if self.on_path[v.index()] {
@@ -66,7 +69,15 @@ pub fn enumerate_directed_st_paths_naive(
         return 0;
     }
     on_path[s.index()] = true;
-    let mut naive = Naive { d, t, on_path, vertices: vec![s], arcs: Vec::new(), emitted: 0, sink };
+    let mut naive = Naive {
+        d,
+        t,
+        on_path,
+        vertices: vec![s],
+        arcs: Vec::new(),
+        emitted: 0,
+        sink,
+    };
     let _ = naive.recurse();
     naive.emitted
 }
@@ -148,7 +159,10 @@ mod tests {
             })
             .into_iter()
             .collect();
-            assert_eq!(fast, slow, "digraph {d:?}, allowed {allowed:?}, s={s}, t={t}");
+            assert_eq!(
+                fast, slow,
+                "digraph {d:?}, allowed {allowed:?}, s={s}, t={t}"
+            );
         }
     }
 

@@ -54,7 +54,10 @@ impl<T: Send + 'static> Enumeration<T> {
                 });
             })
             .expect("spawn enumeration worker");
-        Enumeration { rx: Some(rx), handle: Some(handle) }
+        Enumeration {
+            rx: Some(rx),
+            handle: Some(handle),
+        }
     }
 }
 

@@ -77,7 +77,12 @@ impl SourceSetInstance {
                 }
             }
         }
-        SourceSetInstance { digraph: d, arc_edge, arc_source, super_source }
+        SourceSetInstance {
+            digraph: d,
+            arc_edge,
+            arc_source,
+            super_source,
+        }
     }
 
     /// Enumerates all `S`-`w` paths with O(n + m) delay, reporting each as
@@ -97,12 +102,14 @@ impl SourceSetInstance {
             edges.clear();
             vertices.clear();
             let first = p.arcs[0];
-            vertices.push(
-                self.arc_source[first.index()].expect("first arc leaves the super-source"),
-            );
+            vertices
+                .push(self.arc_source[first.index()].expect("first arc leaves the super-source"));
             vertices.extend_from_slice(&p.vertices[1..]);
             edges.extend(p.arcs.iter().map(|&a| self.arc_edge[a.index()]));
-            sink(UndirectedPathEvent { vertices: &vertices, edges: &edges })
+            sink(UndirectedPathEvent {
+                vertices: &vertices,
+                edges: &edges,
+            })
         })
     }
 
@@ -153,7 +160,12 @@ impl DiSourceSetInstance {
                 }
             }
         }
-        DiSourceSetInstance { digraph: dd, arc_orig, arc_source, super_source }
+        DiSourceSetInstance {
+            digraph: dd,
+            arc_orig,
+            arc_source,
+            super_source,
+        }
     }
 
     /// Enumerates all directed `S`-`w` paths, reporting original arc ids.
@@ -169,12 +181,14 @@ impl DiSourceSetInstance {
             arcs.clear();
             vertices.clear();
             let first = p.arcs[0];
-            vertices.push(
-                self.arc_source[first.index()].expect("first arc leaves the super-source"),
-            );
+            vertices
+                .push(self.arc_source[first.index()].expect("first arc leaves the super-source"));
             vertices.extend_from_slice(&p.vertices[1..]);
             arcs.extend(p.arcs.iter().map(|&a| self.arc_orig[a.index()]));
-            sink(crate::visit::PathEvent { vertices: &vertices, arcs: &arcs })
+            sink(crate::visit::PathEvent {
+                vertices: &vertices,
+                arcs: &arcs,
+            })
         })
     }
 }
@@ -188,8 +202,7 @@ mod tests {
     fn source_set_paths_in_a_square() {
         // Square 0-1-2-3-0; S = {0}; w = 2. Paths: (0,1,2) and (0,3,2).
         let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
-        let inst =
-            SourceSetInstance::new(&g, &[true, false, false, false], None);
+        let inst = SourceSetInstance::new(&g, &[true, false, false, false], None);
         let mut got: Vec<(Vec<VertexId>, Vec<EdgeId>)> = Vec::new();
         inst.enumerate(VertexId(2), &mut |p| {
             got.push((p.vertices.to_vec(), p.edges.to_vec()));
@@ -254,8 +267,9 @@ mod tests {
             got.insert(p.arcs.to_vec());
             ControlFlow::Continue(())
         });
-        let expected: HashSet<Vec<ArcId>> =
-            [vec![ArcId(0), ArcId(1)], vec![ArcId(3)]].into_iter().collect();
+        let expected: HashSet<Vec<ArcId>> = [vec![ArcId(0), ArcId(1)], vec![ArcId(3)]]
+            .into_iter()
+            .collect();
         assert_eq!(got, expected);
     }
 

@@ -40,7 +40,10 @@ pub fn enumerate_st_paths(
     enumerate_directed_st_paths(&doubled.digraph, s, t, allowed, &mut |p| {
         edges.clear();
         edges.extend(p.arcs.iter().map(|&a| doubled.arc_to_edge(a)));
-        sink(UndirectedPathEvent { vertices: p.vertices, edges: &edges })
+        sink(UndirectedPathEvent {
+            vertices: p.vertices,
+            edges: &edges,
+        })
     })
 }
 
@@ -57,7 +60,10 @@ pub fn enumerate_st_paths_naive(
     enumerate_directed_st_paths_naive(&doubled.digraph, s, t, allowed, &mut |p| {
         edges.clear();
         edges.extend(p.arcs.iter().map(|&a| doubled.arc_to_edge(a)));
-        sink(UndirectedPathEvent { vertices: p.vertices, edges: &edges })
+        sink(UndirectedPathEvent {
+            vertices: p.vertices,
+            edges: &edges,
+        })
     })
 }
 
@@ -88,7 +94,9 @@ mod tests {
         });
         let set: HashSet<Vec<EdgeId>> = paths.into_iter().collect();
         let expected: HashSet<Vec<EdgeId>> =
-            [vec![EdgeId(0), EdgeId(1)], vec![EdgeId(3), EdgeId(2)]].into_iter().collect();
+            [vec![EdgeId(0), EdgeId(1)], vec![EdgeId(3), EdgeId(2)]]
+                .into_iter()
+                .collect();
         assert_eq!(set, expected);
     }
 

@@ -92,7 +92,13 @@ impl DelayRecorder {
     /// Starts the clock.
     pub fn new() -> Self {
         let now = Instant::now();
-        DelayRecorder { start: now, last: now, count: 0, max_gap: Duration::ZERO, total: Duration::ZERO }
+        DelayRecorder {
+            start: now,
+            last: now,
+            count: 0,
+            max_gap: Duration::ZERO,
+            total: Duration::ZERO,
+        }
     }
 
     /// Notes one emitted solution.
@@ -133,7 +139,12 @@ mod tests {
             let vertices = [VertexId(0), VertexId(1)];
             let arcs = [ArcId(0)];
             for _ in 0..n {
-                if sink(PathEvent { vertices: &vertices, arcs: &arcs }).is_break() {
+                if sink(PathEvent {
+                    vertices: &vertices,
+                    arcs: &arcs,
+                })
+                .is_break()
+                {
                     return;
                 }
             }

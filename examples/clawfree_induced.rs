@@ -38,14 +38,14 @@ fn main() {
 
     // Part 2: Theorem 39 — Steiner Tree Enumeration through the claw-free
     // enumerator.
-    let host = UndirectedGraph::from_edges(
-        5,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)],
-    )
-    .unwrap();
+    let host =
+        UndirectedGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
     let w = [VertexId(0), VertexId(2), VertexId(4)];
     let inst = Theorem39Instance::new(&host, &w);
-    assert!(clawfree::is_claw_free(&inst.h), "Theorem 39 construction is claw-free");
+    assert!(
+        clawfree::is_claw_free(&inst.h),
+        "Theorem 39 construction is claw-free"
+    );
     println!(
         "\nTheorem 39: (G, W) with n = {} -> claw-free H with n = {}",
         host.num_vertices(),
@@ -64,12 +64,14 @@ fn main() {
     }
 
     // Cross-check against the direct enumerator of §4.
-    let mut direct = Vec::new();
-    minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees(&host, &w, &mut |t| {
-        direct.push(t.to_vec());
-        ControlFlow::Continue(())
-    });
+    let mut direct =
+        minimal_steiner::Enumeration::new(minimal_steiner::SteinerTree::new(&host, &w))
+            .collect_vec()
+            .expect("valid instance");
     direct.sort();
-    assert_eq!(trees, direct, "Theorem 39 round trip agrees with the direct enumerator");
+    assert_eq!(
+        trees, direct,
+        "Theorem 39 round trip agrees with the direct enumerator"
+    );
     println!("(matches the direct §4 enumerator: {} trees)", direct.len());
 }

@@ -10,9 +10,8 @@
 //! Run with: `cargo run --example directed_dependencies`
 
 use minimal_steiner::graph::{generators, VertexId};
-use minimal_steiner::paths::streaming::Enumeration;
-use minimal_steiner::steiner::directed::enumerate_minimal_directed_steiner_trees;
 use minimal_steiner::steiner::verify::is_minimal_directed_steiner_subgraph;
+use minimal_steiner::{DirectedSteinerTree, Enumeration};
 use std::ops::ControlFlow;
 
 fn main() {
@@ -29,26 +28,28 @@ fn main() {
 
     let mut count = 0u64;
     let mut smallest = usize::MAX;
-    let stats = enumerate_minimal_directed_steiner_trees(&d, root, &targets, &mut |arcs| {
-        assert!(is_minimal_directed_steiner_subgraph(&d, root, &targets, arcs));
-        count += 1;
-        smallest = smallest.min(arcs.len());
-        ControlFlow::Continue(())
-    });
+    let stats = Enumeration::new(DirectedSteinerTree::new(&d, root, &targets))
+        .for_each(|arcs| {
+            assert!(is_minimal_directed_steiner_subgraph(
+                &d, root, &targets, arcs
+            ));
+            count += 1;
+            smallest = smallest.min(arcs.len());
+            ControlFlow::Continue(())
+        })
+        .expect("targets are derivable from the root");
     println!("\n{count} minimal derivation plans; smallest uses {smallest} steps");
     println!(
         "enumeration tree: {} nodes, deficient internal nodes: {} (Lemma 35 invariant)",
         stats.nodes, stats.deficient_internal_nodes
     );
 
-    // Streaming consumption on a worker thread: take 5 plans lazily.
-    let d2 = d.clone();
-    let iter = Enumeration::spawn(move |sink| {
-        enumerate_minimal_directed_steiner_trees(&d2, root, &targets, &mut |arcs| {
-            sink(arcs.to_vec())
-        });
-    });
-    println!("\nfirst 5 plans via the streaming iterator:");
+    // Streaming consumption on a worker thread: take 5 plans lazily. The
+    // problem owns a clone of the DAG so it can move to the worker.
+    let iter = Enumeration::new(DirectedSteinerTree::from_graph(d.clone(), root, &targets))
+        .into_iter()
+        .expect("targets are derivable from the root");
+    println!("\nfirst 5 plans via the iterator front-end:");
     for (i, plan) in iter.take(5).enumerate() {
         println!("  plan {}: {:?}", i + 1, plan);
     }

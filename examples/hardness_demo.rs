@@ -40,7 +40,10 @@ fn main() {
         inst.groups.len()
     );
     let via_gst = minimal_transversals_via_group_steiner(&h);
-    println!("transversals recovered from group Steiner trees: {}", via_gst.len());
+    println!(
+        "transversals recovered from group Steiner trees: {}",
+        via_gst.len()
+    );
     assert_eq!(via_gst.len() as u64, count);
 
     let gst = star_group_steiner_via_transversals(&h);

@@ -1,15 +1,14 @@
-//! Quickstart: enumerate minimal Steiner trees of a small graph, three
-//! ways — simple Algorithm 2, the improved linear-delay enumerator, and
-//! the output-queue variant — and show the enumeration statistics.
+//! Quickstart: enumerate minimal Steiner trees of a small graph through
+//! the unified `Enumeration` builder — push sink, bounded run, output
+//! queue, pull iterator, and typed errors — plus the simple Algorithm 2
+//! baseline for contrast.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use minimal_steiner::graph::{generators, VertexId};
-use minimal_steiner::steiner::improved::{
-    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_queued,
-};
+use minimal_steiner::graph::{generators, UndirectedGraph, VertexId};
 use minimal_steiner::steiner::simple::enumerate_minimal_steiner_trees_simple;
 use minimal_steiner::steiner::verify::is_minimal_steiner_tree;
+use minimal_steiner::{Enumeration, SteinerError, SteinerTree};
 use std::ops::ControlFlow;
 
 fn main() {
@@ -23,18 +22,21 @@ fn main() {
         terminals
     );
 
-    // 1. The improved enumerator (amortized O(n + m) per solution).
+    // 1. Push front-end: a sink sees each solution the moment it is
+    //    emitted, with amortized O(n + m) time per solution (Theorem 17).
     let mut count = 0u64;
     let mut first: Option<Vec<_>> = None;
-    let stats = enumerate_minimal_steiner_trees(&g, &terminals, &mut |tree| {
-        assert!(is_minimal_steiner_tree(&g, &terminals, tree));
-        if first.is_none() {
-            first = Some(tree.to_vec());
-        }
-        count += 1;
-        ControlFlow::Continue(())
-    });
-    println!("\nimproved enumerator: {count} minimal Steiner trees");
+    let stats = Enumeration::new(SteinerTree::new(&g, &terminals))
+        .for_each(|tree| {
+            assert!(is_minimal_steiner_tree(&g, &terminals, tree));
+            if first.is_none() {
+                first = Some(tree.to_vec());
+            }
+            count += 1;
+            ControlFlow::Continue(())
+        })
+        .expect("terminals are connected");
+    println!("\npush front-end: {count} minimal Steiner trees");
     println!("  first solution (edge ids): {:?}", first.unwrap());
     println!(
         "  enumeration tree: {} nodes ({} internal / {} leaves), max depth {}",
@@ -61,25 +63,39 @@ fn main() {
     );
 
     // 3. The output queue smooths the delay further (Theorem 20).
-    let mut queued_count = 0u64;
-    enumerate_minimal_steiner_trees_queued(&g, &terminals, None, &mut |_| {
-        queued_count += 1;
-        ControlFlow::Continue(())
-    });
-    println!("output-queue variant: {queued_count} trees (same set, bounded delay)");
+    let queued_count = Enumeration::new(SteinerTree::new(&g, &terminals))
+        .with_default_queue()
+        .count()
+        .expect("terminals are connected");
+    println!("output-queue front-end: {queued_count} trees (same set, bounded delay)");
 
-    // 4. Early termination: the first 3 solutions only.
-    let mut top = Vec::new();
-    enumerate_minimal_steiner_trees(&g, &terminals, &mut |tree| {
-        top.push(tree.to_vec());
-        if top.len() == 3 {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    });
+    // 4. Early termination: the first 3 solutions via `with_limit`.
+    let top = Enumeration::new(SteinerTree::new(&g, &terminals))
+        .with_limit(3)
+        .collect_vec()
+        .expect("terminals are connected");
     println!("\nfirst 3 solutions:");
     for t in &top {
         println!("  {t:?}");
     }
+
+    // 5. Pull front-end: a plain Iterator on a worker thread. The problem
+    //    owns its graph (`from_graph`) so it can move to the worker.
+    let lazy: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g.clone(), &terminals))
+        .into_iter()
+        .expect("terminals are connected")
+        .take(2)
+        .collect();
+    println!(
+        "\npull front-end: took {} solutions lazily from the iterator",
+        lazy.len()
+    );
+
+    // 6. Invalid instances are typed errors, not panics.
+    let disconnected = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    let err = Enumeration::new(SteinerTree::new(&disconnected, &[VertexId(0), VertexId(2)]))
+        .run()
+        .unwrap_err();
+    assert_eq!(err, SteinerError::DisconnectedTerminals { set: 0 });
+    println!("\ninvalid instance reports a typed error: \"{err}\"");
 }

@@ -9,14 +9,18 @@
 //! Run with: `cargo run --example steiner_forest_multicast`
 
 use minimal_steiner::graph::{generators, VertexId};
-use minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests;
 use minimal_steiner::steiner::verify::is_minimal_steiner_forest;
+use minimal_steiner::{Enumeration, SteinerForest};
 use std::ops::ControlFlow;
 
 fn main() {
     // Backbone: a 3×5 grid of routers.
     let g = generators::grid(3, 5);
-    println!("backbone: 3x5 grid (n = {}, m = {})", g.num_vertices(), g.num_edges());
+    println!(
+        "backbone: 3x5 grid (n = {}, m = {})",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Two multicast groups.
     let groups = vec![
@@ -29,15 +33,17 @@ fn main() {
     let mut count = 0u64;
     let mut best: Option<Vec<_>> = None;
     let mut sizes: Vec<usize> = Vec::new();
-    let stats = enumerate_minimal_steiner_forests(&g, &groups, &mut |edges| {
-        assert!(is_minimal_steiner_forest(&g, &groups, edges));
-        count += 1;
-        sizes.push(edges.len());
-        if best.as_ref().is_none_or(|b: &Vec<_>| edges.len() < b.len()) {
-            best = Some(edges.to_vec());
-        }
-        ControlFlow::Continue(())
-    });
+    let stats = Enumeration::new(SteinerForest::new(&g, &groups))
+        .for_each(|edges| {
+            assert!(is_minimal_steiner_forest(&g, &groups, edges));
+            count += 1;
+            sizes.push(edges.len());
+            if best.as_ref().is_none_or(|b: &Vec<_>| edges.len() < b.len()) {
+                best = Some(edges.to_vec());
+            }
+            ControlFlow::Continue(())
+        })
+        .expect("every multicast group is connected");
 
     println!("\n{count} minimal provisioning plans (minimal Steiner forests)");
     sizes.sort_unstable();
@@ -47,7 +53,11 @@ fn main() {
         sizes[sizes.len() / 2],
         sizes.last().unwrap()
     );
-    println!("a cheapest plan uses {} links: {:?}", best.as_ref().unwrap().len(), best.unwrap());
+    println!(
+        "a cheapest plan uses {} links: {:?}",
+        best.as_ref().unwrap().len(),
+        best.unwrap()
+    );
     println!(
         "enumeration: {} nodes, {} work units, max inter-solution gap {} units",
         stats.nodes, stats.work, stats.max_emission_gap

@@ -9,8 +9,8 @@
 //! Run with: `cargo run --example terminal_steiner_vlsi`
 
 use minimal_steiner::graph::{generators, UndirectedGraph, VertexId};
-use minimal_steiner::steiner::terminal::enumerate_minimal_terminal_steiner_trees;
 use minimal_steiner::steiner::verify::is_minimal_terminal_steiner_tree;
+use minimal_steiner::{Enumeration, SteinerTree, TerminalSteinerTree};
 use std::ops::ControlFlow;
 
 fn main() {
@@ -36,12 +36,14 @@ fn main() {
 
     let mut count = 0u64;
     let mut min_len = usize::MAX;
-    let stats = enumerate_minimal_terminal_steiner_trees(&g, &pins, &mut |edges| {
-        assert!(is_minimal_terminal_steiner_tree(&g, &pins, edges));
-        count += 1;
-        min_len = min_len.min(edges.len());
-        ControlFlow::Continue(())
-    });
+    let stats = Enumeration::new(TerminalSteinerTree::new(&g, &pins))
+        .for_each(|edges| {
+            assert!(is_minimal_terminal_steiner_tree(&g, &pins, edges));
+            count += 1;
+            min_len = min_len.min(edges.len());
+            ControlFlow::Continue(())
+        })
+        .expect("pins are connected through the fabric");
     println!("\n{count} minimal routings (minimal terminal Steiner trees)");
     println!("shortest routing uses {min_len} wires");
     println!(
@@ -50,11 +52,9 @@ fn main() {
     );
 
     // Contrast with plain Steiner trees, where pins may be through-routed:
-    let mut plain = 0u64;
-    minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees(&g, &pins, &mut |_| {
-        plain += 1;
-        ControlFlow::Continue(())
-    });
+    let plain = Enumeration::new(SteinerTree::new(&g, &pins))
+        .count()
+        .expect("pins are connected through the fabric");
     println!("\n(for contrast, plain minimal Steiner trees: {plain} — a superset count,");
     println!(" since those may route *through* a pin)");
 }

@@ -5,20 +5,21 @@ use minimal_steiner::graph::line_graph::Theorem39Instance;
 use minimal_steiner::graph::{generators, DiGraph, EdgeId, UndirectedGraph, VertexId};
 use minimal_steiner::induced::reduction::minimal_steiner_trees_via_induced;
 use minimal_steiner::induced::supergraph::enumerate_minimal_induced_steiner_subgraphs;
-use minimal_steiner::steiner::directed::enumerate_minimal_directed_steiner_trees;
-use minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests;
-use minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees;
-use minimal_steiner::steiner::terminal::enumerate_minimal_terminal_steiner_trees;
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, SteinerForest, SteinerTree, TerminalSteinerTree,
+};
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
 fn steiner_trees(g: &UndirectedGraph, w: &[VertexId]) -> BTreeSet<Vec<EdgeId>> {
     let mut out = BTreeSet::new();
-    enumerate_minimal_steiner_trees(g, w, &mut |e| {
-        assert!(out.insert(e.to_vec()), "duplicate");
-        ControlFlow::Continue(())
-    });
+    Enumeration::new(SteinerTree::new(g, w))
+        .for_each(|e| {
+            assert!(out.insert(e.to_vec()), "duplicate");
+            ControlFlow::Continue(())
+        })
+        .expect("valid instance");
     out
 }
 
@@ -35,10 +36,12 @@ fn forest_with_one_set_equals_tree_enumeration() {
         let w = generators::random_terminals(n, t, &mut rng);
         let trees = steiner_trees(&g, &w);
         let mut forests = BTreeSet::new();
-        enumerate_minimal_steiner_forests(&g, std::slice::from_ref(&w), &mut |e| {
-            assert!(forests.insert(e.to_vec()));
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerForest::new(&g, std::slice::from_ref(&w)))
+            .for_each(|e| {
+                assert!(forests.insert(e.to_vec()));
+                ControlFlow::Continue(())
+            })
+            .expect("valid instance");
         assert_eq!(trees, forests, "graph {g:?} terminals {w:?}");
     }
 }
@@ -132,14 +135,16 @@ fn directed_on_symmetrized_graph_projects_to_undirected_trees() {
         let trees = steiner_trees(&g, &undirected_terms);
         // Directed trees, projected to undirected edge sets.
         let mut projected = BTreeSet::new();
-        enumerate_minimal_directed_steiner_trees(&d, root, &w, &mut |arcs| {
-            let mut edges: Vec<EdgeId> =
-                arcs.iter().map(|a| EdgeId::new(a.index() / 2)).collect();
-            edges.sort_unstable();
-            edges.dedup();
-            projected.insert(edges);
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(DirectedSteinerTree::new(&d, root, &w))
+            .for_each(|arcs| {
+                let mut edges: Vec<EdgeId> =
+                    arcs.iter().map(|a| EdgeId::new(a.index() / 2)).collect();
+                edges.sort_unstable();
+                edges.dedup();
+                projected.insert(edges);
+                ControlFlow::Continue(())
+            })
+            .expect("valid instance");
         // Every undirected minimal Steiner tree containing the root arises
         // as exactly one directed tree (orient away from root), and every
         // directed tree projects to such an undirected tree.
@@ -159,10 +164,12 @@ fn terminal_trees_are_a_subset_of_steiner_trees() {
         let w = generators::random_terminals(n, t, &mut rng);
         let trees = steiner_trees(&g, &w);
         let mut terminal_trees = BTreeSet::new();
-        enumerate_minimal_terminal_steiner_trees(&g, &w, &mut |e| {
-            terminal_trees.insert(e.to_vec());
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(TerminalSteinerTree::new(&g, &w))
+            .for_each(|e| {
+                terminal_trees.insert(e.to_vec());
+                ControlFlow::Continue(())
+            })
+            .expect("valid instance");
         for t in &terminal_trees {
             assert!(
                 trees.contains(t),

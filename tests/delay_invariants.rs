@@ -8,23 +8,27 @@
 //! bounds the worst-case work gap between consecutive emissions.
 
 use minimal_steiner::graph::{generators, VertexId};
-use minimal_steiner::steiner::directed::enumerate_minimal_directed_steiner_trees;
-use minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests;
-use minimal_steiner::steiner::improved::{
-    enumerate_minimal_steiner_trees, enumerate_minimal_steiner_trees_queued,
-};
 use minimal_steiner::steiner::queue::QueueConfig;
 use minimal_steiner::steiner::simple::enumerate_minimal_steiner_trees_simple;
+use minimal_steiner::steiner::EnumStats;
+use minimal_steiner::{DirectedSteinerTree, Enumeration, SteinerForest, SteinerTree};
 use std::ops::ControlFlow;
+
+fn run_tree(g: &minimal_steiner::graph::UndirectedGraph, w: &[VertexId]) -> EnumStats {
+    Enumeration::new(SteinerTree::new(g, w))
+        .run()
+        .expect("valid instance")
+}
 
 #[test]
 fn improved_tree_shape_invariants_on_grids() {
     for (rows, cols, t) in [(3, 4, 3), (3, 5, 4), (4, 4, 3)] {
         let g = generators::grid(rows, cols);
         let n = g.num_vertices();
-        let w: Vec<VertexId> =
-            (0..t).map(|i| VertexId::new(i * (n - 1) / (t - 1))).collect();
-        let stats = enumerate_minimal_steiner_trees(&g, &w, &mut |_| ControlFlow::Continue(()));
+        let w: Vec<VertexId> = (0..t)
+            .map(|i| VertexId::new(i * (n - 1) / (t - 1)))
+            .collect();
+        let stats = run_tree(&g, &w);
         assert!(stats.solutions > 0);
         assert_eq!(stats.deficient_internal_nodes, 0, "{rows}x{cols} t={t}");
         assert!(
@@ -46,8 +50,7 @@ fn amortized_work_per_solution_is_linear() {
         for blocks in [4, 6] {
             let g = generators::theta_chain(blocks, width);
             let w = [VertexId(0), VertexId::new(blocks)];
-            let stats =
-                enumerate_minimal_steiner_trees(&g, &w, &mut |_| ControlFlow::Continue(()));
+            let stats = run_tree(&g, &w);
             let nm = (g.num_vertices() + g.num_edges()) as u64;
             assert_eq!(stats.solutions, (width as u64).pow(blocks as u32));
             let per_solution = stats.work / stats.solutions;
@@ -69,15 +72,20 @@ fn queue_bounds_worst_case_gap() {
     // schedule is driven by the same counter recorded in stats.
     let g = generators::grid(3, 6);
     let w = [VertexId(0), VertexId(5), VertexId(12), VertexId(17)];
-    let direct = enumerate_minimal_steiner_trees(&g, &w, &mut |_| ControlFlow::Continue(()));
+    let direct = run_tree(&g, &w);
     let nm = (g.num_vertices() + g.num_edges()) as u64;
     // Direct mode: gap bounded by depth * (n+m)-ish; just record it.
     assert!(direct.solutions > 100, "instance is solution-dense");
     // Queued mode with an explicit budget.
-    let config = QueueConfig { warmup: g.num_vertices(), budget: 4 * nm, max_buffer: 2 * g.num_vertices() };
-    let queued = enumerate_minimal_steiner_trees_queued(&g, &w, Some(config), &mut |_| {
-        ControlFlow::Continue(())
-    });
+    let config = QueueConfig {
+        warmup: g.num_vertices(),
+        budget: 4 * nm,
+        max_buffer: 2 * g.num_vertices(),
+    };
+    let queued = Enumeration::new(SteinerTree::new(&g, &w))
+        .with_queue(config)
+        .run()
+        .expect("valid instance");
     assert_eq!(queued.solutions, direct.solutions);
 }
 
@@ -90,9 +98,8 @@ fn simple_vs_improved_delay_grows_with_terminals() {
     // is deterministic.
     let g = generators::theta_chain(8, 2);
     let w: Vec<VertexId> = (0..=8).map(VertexId::new).collect(); // all hubs
-    let simple =
-        enumerate_minimal_steiner_trees_simple(&g, &w, &mut |_| ControlFlow::Continue(()));
-    let improved = enumerate_minimal_steiner_trees(&g, &w, &mut |_| ControlFlow::Continue(()));
+    let simple = enumerate_minimal_steiner_trees_simple(&g, &w, &mut |_| ControlFlow::Continue(()));
+    let improved = run_tree(&g, &w);
     assert_eq!(simple.solutions, improved.solutions);
     assert_eq!(improved.deficient_internal_nodes, 0);
     // The simple tree has single-child chains; the improved one does not.
@@ -106,14 +113,17 @@ fn forest_and_directed_invariants() {
         vec![VertexId(0), VertexId(14)],
         vec![VertexId(4), VertexId(10)],
     ];
-    let fstats = enumerate_minimal_steiner_forests(&g, &sets, &mut |_| ControlFlow::Continue(()));
+    let fstats = Enumeration::new(SteinerForest::new(&g, &sets))
+        .run()
+        .expect("valid instance");
     assert!(fstats.solutions > 0);
     assert_eq!(fstats.deficient_internal_nodes, 0, "Lemma 24 invariant");
 
     let (d, root) = generators::layered_digraph(3, 3);
     let w = [VertexId(7), VertexId(8), VertexId(9)];
-    let dstats =
-        enumerate_minimal_directed_steiner_trees(&d, root, &w, &mut |_| ControlFlow::Continue(()));
+    let dstats = Enumeration::new(DirectedSteinerTree::new(&d, root, &w))
+        .run()
+        .expect("valid instance");
     assert!(dstats.solutions > 0);
     assert_eq!(dstats.deficient_internal_nodes, 0, "Lemma 35 invariant");
 }
@@ -126,9 +136,9 @@ fn preprocessing_then_first_solution_is_prompt() {
     let g = generators::theta_chain(10, 3); // ~59k solutions
     let w = [VertexId(0), VertexId(10)];
     let mut first_work = None;
-    let stats = enumerate_minimal_steiner_trees(&g, &w, &mut |_| {
-        ControlFlow::Break(()) // stop at the very first solution
-    });
+    let stats = Enumeration::new(SteinerTree::new(&g, &w))
+        .for_each(|_| ControlFlow::Break(())) // stop at the very first solution
+        .expect("valid instance");
     first_work.get_or_insert(stats.work);
     let nm = (g.num_vertices() + g.num_edges()) as u64;
     assert!(

@@ -1,0 +1,253 @@
+//! Error-path tests for the typed [`SteinerError`] reporting of the
+//! unified solver API: every variant is produced by the appropriate
+//! invalid instance, for every problem type and front-end.
+
+use minimal_steiner::graph::{DiGraph, UndirectedGraph, VertexId};
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
+};
+
+fn path3() -> UndirectedGraph {
+    UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+}
+
+#[test]
+fn empty_instance_is_reported() {
+    let g = path3();
+    assert_eq!(
+        Enumeration::new(SteinerTree::new(&g, &[]))
+            .run()
+            .unwrap_err(),
+        SteinerError::EmptyInstance
+    );
+    assert_eq!(
+        Enumeration::new(TerminalSteinerTree::new(&g, &[]))
+            .run()
+            .unwrap_err(),
+        SteinerError::EmptyInstance
+    );
+    assert_eq!(
+        Enumeration::new(SteinerForest::new(&g, &[]))
+            .run()
+            .unwrap_err(),
+        SteinerError::EmptyInstance
+    );
+    let d = DiGraph::from_arcs(2, &[(0, 1)]).unwrap();
+    assert_eq!(
+        Enumeration::new(DirectedSteinerTree::new(&d, VertexId(0), &[]))
+            .run()
+            .unwrap_err(),
+        SteinerError::EmptyInstance
+    );
+}
+
+#[test]
+fn duplicate_terminals_are_reported() {
+    let g = path3();
+    let dup = [VertexId(0), VertexId(2), VertexId(0)];
+    assert_eq!(
+        Enumeration::new(SteinerTree::new(&g, &dup))
+            .run()
+            .unwrap_err(),
+        SteinerError::DuplicateTerminal(VertexId(0))
+    );
+    assert_eq!(
+        Enumeration::new(TerminalSteinerTree::new(&g, &dup))
+            .run()
+            .unwrap_err(),
+        SteinerError::DuplicateTerminal(VertexId(0))
+    );
+    assert_eq!(
+        Enumeration::new(SteinerForest::new(
+            &g,
+            &[vec![VertexId(0), VertexId(0), VertexId(2)]]
+        ))
+        .run()
+        .unwrap_err(),
+        SteinerError::DuplicateTerminal(VertexId(0))
+    );
+    let d = DiGraph::from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
+    assert_eq!(
+        Enumeration::new(DirectedSteinerTree::new(
+            &d,
+            VertexId(0),
+            &[VertexId(2), VertexId(2)]
+        ))
+        .run()
+        .unwrap_err(),
+        SteinerError::DuplicateTerminal(VertexId(2))
+    );
+}
+
+#[test]
+fn out_of_range_terminals_are_reported() {
+    let g = path3();
+    assert_eq!(
+        Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(9)]))
+            .run()
+            .unwrap_err(),
+        SteinerError::TerminalOutOfRange {
+            terminal: VertexId(9),
+            num_vertices: 3
+        }
+    );
+    assert_eq!(
+        Enumeration::new(SteinerForest::new(&g, &[vec![VertexId(0), VertexId(9)]]))
+            .run()
+            .unwrap_err(),
+        SteinerError::TerminalOutOfRange {
+            terminal: VertexId(9),
+            num_vertices: 3
+        }
+    );
+    assert_eq!(
+        Enumeration::new(TerminalSteinerTree::new(&g, &[VertexId(0), VertexId(9)]))
+            .run()
+            .unwrap_err(),
+        SteinerError::TerminalOutOfRange {
+            terminal: VertexId(9),
+            num_vertices: 3
+        }
+    );
+    let d = DiGraph::from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
+    assert_eq!(
+        Enumeration::new(DirectedSteinerTree::new(&d, VertexId(0), &[VertexId(9)]))
+            .run()
+            .unwrap_err(),
+        SteinerError::TerminalOutOfRange {
+            terminal: VertexId(9),
+            num_vertices: 3
+        }
+    );
+}
+
+#[test]
+fn out_of_range_root_is_reported() {
+    let d = DiGraph::from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
+    assert_eq!(
+        Enumeration::new(DirectedSteinerTree::new(&d, VertexId(7), &[VertexId(2)]))
+            .run()
+            .unwrap_err(),
+        SteinerError::RootOutOfRange {
+            root: VertexId(7),
+            num_vertices: 3
+        }
+    );
+}
+
+#[test]
+fn disconnected_terminals_are_reported_with_the_set_index() {
+    let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    assert_eq!(
+        Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(2)]))
+            .run()
+            .unwrap_err(),
+        SteinerError::DisconnectedTerminals { set: 0 }
+    );
+    assert_eq!(
+        Enumeration::new(TerminalSteinerTree::new(&g, &[VertexId(0), VertexId(2)]))
+            .run()
+            .unwrap_err(),
+        SteinerError::DisconnectedTerminals { set: 0 }
+    );
+    // Forests name the offending set: set 0 is fine, set 1 is not.
+    let sets = vec![
+        vec![VertexId(0), VertexId(1)],
+        vec![VertexId(1), VertexId(3)],
+    ];
+    assert_eq!(
+        Enumeration::new(SteinerForest::new(&g, &sets))
+            .run()
+            .unwrap_err(),
+        SteinerError::DisconnectedTerminals { set: 1 }
+    );
+}
+
+#[test]
+fn unreachable_directed_terminal_is_reported() {
+    // 2 -> 1 only: vertex 2 cannot be reached from 0.
+    let d = DiGraph::from_arcs(3, &[(0, 1), (2, 1)]).unwrap();
+    assert_eq!(
+        Enumeration::new(DirectedSteinerTree::new(&d, VertexId(0), &[VertexId(2)]))
+            .run()
+            .unwrap_err(),
+        SteinerError::UnreachableTerminal(VertexId(2))
+    );
+}
+
+#[test]
+fn iterator_front_end_reports_errors_synchronously() {
+    let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    let err = Enumeration::new(SteinerTree::from_graph(g, &[VertexId(0), VertexId(2)]))
+        .into_iter()
+        .err()
+        .expect("disconnected instance must not spawn a worker");
+    assert_eq!(err, SteinerError::DisconnectedTerminals { set: 0 });
+}
+
+#[test]
+fn errors_display_and_propagate_as_std_error() {
+    let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    let err = Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(2)]))
+        .run()
+        .unwrap_err();
+    let boxed: Box<dyn std::error::Error> = Box::new(err);
+    assert!(boxed.to_string().contains("connected components"));
+}
+
+/// The deprecated shims keep the historical lenient contract for the
+/// conditions that used to be silent (and still panic on what used to
+/// panic, e.g. out-of-range ids).
+#[test]
+#[allow(deprecated)]
+fn shims_keep_lenient_semantics() {
+    use minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees;
+    use std::ops::ControlFlow;
+
+    let g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    let mut count = 0u64;
+    // Disconnected: silently no solutions.
+    enumerate_minimal_steiner_trees(&g, &[VertexId(0), VertexId(2)], &mut |_| {
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    assert_eq!(count, 0);
+    // Empty terminal list: silently no solutions.
+    enumerate_minimal_steiner_trees(&g, &[], &mut |_| {
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    assert_eq!(count, 0);
+    // Duplicates: silently deduplicated (one terminal -> one empty tree).
+    enumerate_minimal_steiner_trees(&g, &[VertexId(0), VertexId(0)], &mut |e| {
+        assert!(e.is_empty());
+        count += 1;
+        ControlFlow::Continue(())
+    });
+    assert_eq!(count, 1);
+    // Forest sets with duplicate members: silently deduplicated.
+    use minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests;
+    let mut forests = 0u64;
+    enumerate_minimal_steiner_forests(
+        &g,
+        &[vec![VertexId(0), VertexId(0), VertexId(1)]],
+        &mut |e| {
+            assert_eq!(e.len(), 1);
+            forests += 1;
+            ControlFlow::Continue(())
+        },
+    );
+    assert_eq!(forests, 1);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+#[allow(deprecated)]
+fn shims_still_panic_on_out_of_range_ids() {
+    use minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees;
+    use std::ops::ControlFlow;
+    let g = path3();
+    enumerate_minimal_steiner_trees(&g, &[VertexId(0), VertexId(9)], &mut |_| {
+        ControlFlow::Continue(())
+    });
+}

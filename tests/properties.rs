@@ -4,6 +4,9 @@
 
 use minimal_steiner::graph::{DiGraph, UndirectedGraph, VertexId};
 use minimal_steiner::steiner::{brute, verify};
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
+};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -66,11 +69,13 @@ proptest! {
         let mut got = BTreeSet::new();
         let mut all_valid = true;
         let mut duplicate = false;
-        minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees(&g, &w, &mut |e| {
-            all_valid &= verify::is_minimal_steiner_tree(&g, &w, e);
-            duplicate |= !got.insert(e.to_vec());
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerTree::new(&g, &w))
+            .for_each(|e| {
+                all_valid &= verify::is_minimal_steiner_tree(&g, &w, e);
+                duplicate |= !got.insert(e.to_vec());
+                ControlFlow::Continue(())
+            })
+            .expect("strategy generates connected graphs");
         prop_assert!(all_valid, "invalid solution emitted");
         prop_assert!(!duplicate, "duplicate solution emitted");
         prop_assert_eq!(got, brute::minimal_steiner_trees(&g, &w));
@@ -82,17 +87,29 @@ proptest! {
         let w = terminal_subset(g.num_vertices(), mask, 4);
         prop_assume!(w.len() >= 2);
         let mut direct = BTreeSet::new();
-        minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees(&g, &w, &mut |e| {
-            direct.insert(e.to_vec());
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerTree::new(&g, &w))
+            .for_each(|e| {
+                direct.insert(e.to_vec());
+                ControlFlow::Continue(())
+            })
+            .expect("strategy generates connected graphs");
         let mut queued = BTreeSet::new();
-        minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees_queued(
-            &g, &w, None, &mut |e| {
+        Enumeration::new(SteinerTree::new(&g, &w))
+            .with_default_queue()
+            .for_each(|e| {
                 queued.insert(e.to_vec());
                 ControlFlow::Continue(())
-            });
-        prop_assert_eq!(direct, queued);
+            })
+            .expect("strategy generates connected graphs");
+        let mut pulled = BTreeSet::new();
+        for e in Enumeration::new(SteinerTree::from_graph(g.clone(), &w))
+            .into_iter()
+            .expect("strategy generates connected graphs")
+        {
+            pulled.insert(e);
+        }
+        prop_assert_eq!(&direct, &queued);
+        prop_assert_eq!(&direct, &pulled);
     }
 
     #[test]
@@ -103,12 +120,13 @@ proptest! {
         let mut got = BTreeSet::new();
         let mut all_valid = true;
         let mut duplicate = false;
-        minimal_steiner::steiner::terminal::enumerate_minimal_terminal_steiner_trees(
-            &g, &w, &mut |e| {
+        Enumeration::new(TerminalSteinerTree::new(&g, &w))
+            .for_each(|e| {
                 all_valid &= verify::is_minimal_terminal_steiner_tree(&g, &w, e);
                 duplicate |= !got.insert(e.to_vec());
                 ControlFlow::Continue(())
-            });
+            })
+            .expect("strategy generates connected graphs");
         prop_assert!(all_valid, "invalid solution emitted");
         prop_assert!(!duplicate, "duplicate solution emitted");
         prop_assert_eq!(got, brute::minimal_terminal_steiner_trees(&g, &w));
@@ -124,11 +142,13 @@ proptest! {
         let mut got = BTreeSet::new();
         let mut all_valid = true;
         let mut duplicate = false;
-        minimal_steiner::steiner::forest::enumerate_minimal_steiner_forests(&g, &sets, &mut |e| {
-            all_valid &= verify::is_minimal_steiner_forest(&g, &sets, e);
-            duplicate |= !got.insert(e.to_vec());
-            ControlFlow::Continue(())
-        });
+        Enumeration::new(SteinerForest::new(&g, &sets))
+            .for_each(|e| {
+                all_valid &= verify::is_minimal_steiner_forest(&g, &sets, e);
+                duplicate |= !got.insert(e.to_vec());
+                ControlFlow::Continue(())
+            })
+            .expect("strategy generates connected graphs");
         prop_assert!(all_valid, "invalid solution emitted");
         prop_assert!(!duplicate, "duplicate solution emitted");
         prop_assert_eq!(got, brute::minimal_steiner_forests(&g, &sets));
@@ -145,12 +165,18 @@ proptest! {
         let mut got = BTreeSet::new();
         let mut all_valid = true;
         let mut duplicate = false;
-        minimal_steiner::steiner::directed::enumerate_minimal_directed_steiner_trees(
-            &d, root, &w, &mut |a| {
-                all_valid &= verify::is_minimal_directed_steiner_subgraph(&d, root, &w, a);
-                duplicate |= !got.insert(a.to_vec());
-                ControlFlow::Continue(())
-            });
+        let run = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).for_each(|a| {
+            all_valid &= verify::is_minimal_directed_steiner_subgraph(&d, root, &w, a);
+            duplicate |= !got.insert(a.to_vec());
+            ControlFlow::Continue(())
+        });
+        match run {
+            Ok(_) => {}
+            // Random digraphs can leave a terminal unreachable: the strict
+            // API reports it, and the brute oracle has no solutions.
+            Err(SteinerError::UnreachableTerminal(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
         prop_assert!(all_valid, "invalid solution emitted");
         prop_assert!(!duplicate, "duplicate solution emitted");
         prop_assert_eq!(got, brute::minimal_directed_steiner_trees(&d, root, &w));

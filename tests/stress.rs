@@ -3,8 +3,8 @@
 //! streaming) without unbounded runtimes.
 
 use minimal_steiner::graph::{generators, VertexId};
-use minimal_steiner::paths::streaming::Enumeration;
-use minimal_steiner::steiner::improved::enumerate_minimal_steiner_trees;
+use minimal_steiner::paths::streaming::Enumeration as StreamingEnumeration;
+use minimal_steiner::{Enumeration, SteinerTree};
 use std::ops::ControlFlow;
 
 /// Long path graphs exercise Θ(n) recursion depth in every enumerator.
@@ -16,11 +16,13 @@ fn deep_recursion_on_long_paths() {
     let mut count = 0u64;
     // Unique solution (the whole path), found through a unique-completion
     // leaf — but the s-t path enumerator underneath still recurses.
-    let stats = enumerate_minimal_steiner_trees(&g, &w, &mut |tree| {
-        count += 1;
-        assert_eq!(tree.len(), n - 1);
-        ControlFlow::Continue(())
-    });
+    let stats = Enumeration::new(SteinerTree::new(&g, &w))
+        .for_each(|tree| {
+            count += 1;
+            assert_eq!(tree.len(), n - 1);
+            ControlFlow::Continue(())
+        })
+        .expect("valid instance");
     assert_eq!(count, 1);
     assert_eq!(stats.nodes, 1);
 }
@@ -31,7 +33,7 @@ fn deep_recursion_on_long_paths() {
 fn deep_path_enumeration_streams() {
     let n = 30_000;
     let g = generators::path(n);
-    let iter = Enumeration::spawn(move |sink| {
+    let iter = StreamingEnumeration::spawn(move |sink| {
         minimal_steiner::paths::undirected::enumerate_st_paths(
             &g,
             VertexId(0),
@@ -50,12 +52,10 @@ fn deep_path_enumeration_streams() {
 fn theta_chain_full_output() {
     let g = generators::theta_chain(8, 4);
     let w = [VertexId(0), VertexId(8)];
-    let mut count = 0u64;
-    let stats = enumerate_minimal_steiner_trees(&g, &w, &mut |_| {
-        count += 1;
-        ControlFlow::Continue(())
-    });
-    assert_eq!(count, 4u64.pow(8));
+    let stats = Enumeration::new(SteinerTree::new(&g, &w))
+        .run()
+        .expect("valid instance");
+    assert_eq!(stats.solutions, 4u64.pow(8));
     assert_eq!(stats.deficient_internal_nodes, 0);
     assert!(stats.internal_nodes <= stats.leaf_nodes);
 }
@@ -67,14 +67,16 @@ fn grid_many_terminals_bounded_amortized_work() {
     let g = generators::grid(4, 7);
     let w: Vec<VertexId> = vec![VertexId(0), VertexId(6), VertexId(21), VertexId(27)];
     let mut count = 0u64;
-    let stats = enumerate_minimal_steiner_trees(&g, &w, &mut |_| {
-        count += 1;
-        if count >= 50_000 {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    });
+    let stats = Enumeration::new(SteinerTree::new(&g, &w))
+        .for_each(|_| {
+            count += 1;
+            if count >= 50_000 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .expect("valid instance");
     assert!(stats.solutions >= 50_000 || stats.solutions == count);
     let nm = (g.num_vertices() + g.num_edges()) as u64;
     assert!(stats.work / stats.solutions.max(1) <= 20 * nm);
@@ -88,7 +90,7 @@ fn deep_nested_branching_on_ladders() {
     let k = 1_500;
     let g = generators::ladder(k);
     let target = VertexId::new(g.num_vertices() - 1);
-    let iter = Enumeration::spawn(move |sink| {
+    let iter = StreamingEnumeration::spawn(move |sink| {
         minimal_steiner::paths::undirected::enumerate_st_paths(
             &g,
             VertexId(0),
@@ -114,9 +116,9 @@ fn induced_on_larger_line_graph() {
         &g,
         &w,
         &mut |set| {
-            assert!(minimal_steiner::induced::verify::is_minimal_induced_steiner_subgraph(
-                &g, &w, set
-            ));
+            assert!(
+                minimal_steiner::induced::verify::is_minimal_induced_steiner_subgraph(&g, &w, set)
+            );
             count += 1;
             if count >= 200 {
                 ControlFlow::Break(())

@@ -1,0 +1,127 @@
+//! Offline stand-in for `crossbeam-channel`, implementing the bounded
+//! MPSC subset this workspace uses on top of [`std::sync::mpsc`].
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. Semantics relevant to the streaming adapters are preserved:
+//! [`bounded`] blocks the sender once `cap` items are queued, [`Sender::send`]
+//! errors after every receiver is dropped, and [`Receiver::recv`] errors
+//! after every sender is dropped and the queue is drained.
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError};
+
+/// Sending half of a bounded channel.
+pub struct Sender<T> {
+    inner: mpsc::SyncSender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is queued; errors when the channel is
+    /// disconnected (all receivers dropped).
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner.send(msg)
+    }
+}
+
+/// Receiving half of a bounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives; errors when the channel is
+    /// disconnected (all senders dropped) and empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    /// Draining iterator (blocks between items, ends on disconnect).
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Borrowing iterator over received messages.
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Creates a bounded channel of capacity `cap` (`0` = rendezvous).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn recv_fails_after_sender_drop() {
+        let (tx, rx) = bounded::<i32>(1);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}
