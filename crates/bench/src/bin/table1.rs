@@ -2,12 +2,15 @@
 //! enumeration problem, the claimed delay bound next to measured totals,
 //! mean/max delays, and the max work gap normalized by n + m.
 //!
-//! Usage: `cargo run --release -p steiner-bench --bin table1 [-- section]`
+//! Usage: `cargo run --release -p steiner-bench --bin table1 [-- section] [--json path]`
 //! where `section` ∈ {all, paths, st, forest, terminal, directed, induced,
-//! hardness} (default: all).
+//! hardness} (default: all). With `--json path`, a machine-readable
+//! `BENCH_core.json` (per-row solutions/sec and observed delays, plus the
+//! criterion reference medians) is also written — CI uploads it as a
+//! per-PR perf artifact.
 
 use std::ops::ControlFlow;
-use steiner_bench::measure::{record_delays, render_markdown, Row};
+use steiner_bench::measure::{record_delays, render_json, render_markdown, Row};
 use steiner_bench::workloads;
 use steiner_core::simple::enumerate_minimal_steiner_trees_simple;
 use steiner_core::{
@@ -224,6 +227,23 @@ fn forest_rows(rows: &mut Vec<Row>) {
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
         });
+        let run = Enumeration::new(SteinerForest::new(&g, &sets)).with_default_queue();
+        let delays = record_delays(CAP, |emit| {
+            run.for_each(|_| flow(emit())).expect("valid instance");
+        });
+        rows.push(Row {
+            problem: "Steiner Forest (§5)".into(),
+            algorithm: "improved + queue (Thm 25)".into(),
+            claimed: "O(n+m) delay".into(),
+            instance: format!("grid 3x6, {} pairs", sets.len()),
+            n,
+            m,
+            t: sets.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        });
     }
 }
 
@@ -242,7 +262,7 @@ fn terminal_rows(rows: &mut Vec<Row>) {
             problem: "Terminal Steiner Tree (§5.1)".into(),
             algorithm: "improved (Thm 31)".into(),
             claimed: "O(n+m) amortized".into(),
-            instance: inst.name,
+            instance: inst.name.clone(),
             n,
             m,
             t: inst.terminals.len(),
@@ -250,6 +270,24 @@ fn terminal_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+        let run = Enumeration::new(TerminalSteinerTree::new(&inst.graph, &inst.terminals))
+            .with_default_queue();
+        let delays = record_delays(CAP, |emit| {
+            run.for_each(|_| flow(emit())).expect("valid instance");
+        });
+        rows.push(Row {
+            problem: "Terminal Steiner Tree (§5.1)".into(),
+            algorithm: "improved + queue (Thm 31)".into(),
+            claimed: "O(n+m) delay".into(),
+            instance: inst.name,
+            n,
+            m,
+            t: inst.terminals.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
         });
     }
 }
@@ -276,6 +314,23 @@ fn directed_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+        let run = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).with_default_queue();
+        let delays = record_delays(CAP, |emit| {
+            run.for_each(|_| flow(emit())).expect("valid instance");
+        });
+        rows.push(Row {
+            problem: "Directed Steiner Tree (§5.2)".into(),
+            algorithm: "improved + queue (Thm 36)".into(),
+            claimed: "O(n+m) delay".into(),
+            instance: format!("layered {layers}x{width}"),
+            n,
+            m,
+            t: w.len(),
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
         });
     }
 }
@@ -358,8 +413,47 @@ fn hardness_rows(rows: &mut Vec<Row>) {
     let _ = VertexId(0);
 }
 
+/// Criterion medians recorded across this repo's perf-relevant PRs
+/// (milliseconds; `cargo bench -p steiner-bench --bench steiner_tree` /
+/// `--bench forest` on the reference machine). `pre` is the last commit
+/// before the zero-allocation CSR/trail engine; `post` is with it.
+fn criterion_reference() -> Vec<(String, f64, Option<f64>)> {
+    [
+        ("steiner_tree_terminal_sweep/improved/2", 2.389, 1.80),
+        ("steiner_tree_terminal_sweep/improved/4", 3.581, 1.88),
+        ("steiner_tree_terminal_sweep/improved/6", 3.798, 1.90),
+        ("steiner_tree_terminal_sweep/improved/8", 4.146, 1.86),
+        ("steiner_tree_size_sweep/improved/n50m75", 4.543, 2.55),
+        ("steiner_tree_size_sweep/improved/n100m150", 5.922, 4.70),
+        ("steiner_tree_size_sweep/improved/n200m300", 8.328, 6.90),
+        ("steiner_forest/improved/1", 0.277, 0.19),
+        ("steiner_forest/improved/2", 2.675, 1.60),
+        ("steiner_forest/improved/3", 3.439, 1.84),
+        ("steiner_forest/improved/4", 2.510, 1.44),
+    ]
+    .into_iter()
+    .map(|(n, pre, post)| (n.to_string(), pre, Some(post)))
+    .collect()
+}
+
 fn main() {
-    let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut section = "all".to_string();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            json_path = Some(
+                args.get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| "BENCH_core.json".to_string()),
+            );
+            i += 2;
+        } else {
+            section = args[i].clone();
+            i += 1;
+        }
+    }
     let mut rows = Vec::new();
     let want = |s: &str| section == "all" || section == s;
     if want("paths") {
@@ -393,4 +487,9 @@ fn main() {
          empirical delay constant for the linear-delay claims.\n"
     );
     print!("{}", render_markdown(&rows));
+    if let Some(path) = json_path {
+        let json = render_json(&rows, &criterion_reference());
+        std::fs::write(&path, json).expect("write BENCH_core.json");
+        eprintln!("wrote {path}");
+    }
 }

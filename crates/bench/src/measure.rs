@@ -103,9 +103,99 @@ pub fn render_markdown(rows: &[Row]) -> String {
     out
 }
 
+/// Renders rows as the machine-readable `BENCH_core.json` document: one
+/// object per row with solutions/second and the observed delays, so CI can
+/// archive a perf trajectory per PR. Hand-rolled (no serde in this
+/// workspace); all strings are plain ASCII.
+pub fn render_json(rows: &[Row], criterion_reference: &[(String, f64, Option<f64>)]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"BENCH_core/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let secs = r.delays.total.as_secs_f64();
+        let sols_per_sec = if secs > 0.0 {
+            r.solutions as f64 / secs
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"problem\": \"{}\", \"algorithm\": \"{}\", \"instance\": \"{}\", \
+             \"n\": {}, \"m\": {}, \"t\": {}, \"solutions\": {}, \"total_secs\": {:.6}, \
+             \"solutions_per_sec\": {:.1}, \"mean_delay_us\": {:.3}, \"max_delay_us\": {:.3}, \
+             \"max_work_gap\": {}, \"work_gap_over_nm\": {}}}{}\n",
+            esc(&r.problem),
+            esc(&r.algorithm),
+            esc(&r.instance),
+            r.n,
+            r.m,
+            r.t,
+            r.solutions,
+            secs,
+            sols_per_sec,
+            r.delays.mean_gap.as_secs_f64() * 1e6,
+            r.delays.max_gap.as_secs_f64() * 1e6,
+            r.max_work_gap.map_or("null".to_string(), |v| v.to_string()),
+            r.work_gap_over_nm
+                .map_or("null".to_string(), |v| format!("{v:.3}")),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(
+        "  ],\n  \"criterion_reference_note\": \"static medians recorded when the \
+         zero-allocation engine landed (not re-measured per run); the live per-run \
+         data is in rows[]\",\n  \"criterion_reference_ms\": [\n",
+    );
+    for (i, (name, pre, post)) in criterion_reference.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"pre_pr_median_ms\": {:.3}, \"post_pr_median_ms\": {}}}{}\n",
+            esc(name),
+            pre,
+            post.map_or("null".to_string(), |v| format!("{v:.3}")),
+            if i + 1 < criterion_reference.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let row = Row {
+            problem: "Steiner Tree".into(),
+            algorithm: "improved".into(),
+            claimed: "O(n+m)".into(),
+            instance: "grid".into(),
+            n: 10,
+            m: 20,
+            t: 3,
+            solutions: 5,
+            delays: DelayStats::default(),
+            max_work_gap: Some(30),
+            work_gap_over_nm: Some(1.0),
+        };
+        let json = render_json(
+            &[row],
+            &[("steiner_tree/improved/4".into(), 3.58, Some(1.78))],
+        );
+        assert!(json.contains("\"schema\": \"BENCH_core/v1\""));
+        assert!(json.contains("\"solutions\": 5"));
+        assert!(json.contains("\"pre_pr_median_ms\": 3.580"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
 
     #[test]
     fn record_delays_counts_and_caps() {

@@ -24,13 +24,15 @@ use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use crate::trail::ScratchUsage;
 use std::borrow::Cow;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use steiner_graph::connectivity::reachable_from;
-use steiner_graph::contraction::{contract_vertex_set, ContractedDigraph};
-use steiner_graph::traversal::di_dfs_postorder;
-use steiner_graph::{ArcId, DiGraph, VertexId};
-use steiner_paths::stsets::DiSourceSetInstance;
+use steiner_graph::csr::grow;
+use steiner_graph::{ArcId, CsrDigraph, DiGraph, VertexId};
+use steiner_paths::enumerate::{EnumerateOptions, PathScratch};
+use steiner_paths::stsets::enumerate_source_set_paths_csr;
 
 /// The minimal directed Steiner tree problem (§5.2): find all
 /// inclusion-minimal out-trees of `d` rooted at `root` spanning
@@ -61,7 +63,8 @@ pub struct DirectedSteinerTree<'g> {
     search: Option<DirectedSearch>,
 }
 
-/// Mutable search state installed by `prepare`.
+/// Mutable search state installed by `prepare`. All hot-path buffers are
+/// preallocated; `classify`/`branch` never allocate.
 struct DirectedSearch {
     terminals: Vec<VertexId>,
     is_terminal: Vec<bool>,
@@ -69,6 +72,253 @@ struct DirectedSearch {
     tree_vertices: Vec<VertexId>,
     tree_arcs: Vec<ArcId>,
     missing: usize,
+    /// Flat CSR of `D` (arc ids preserved; built once, shared with the
+    /// nested branch levels).
+    csr: Arc<CsrDigraph>,
+    /// Reusable `D/E(T)` contraction (rebuilt in place per node).
+    con: ContractionScratch,
+    /// Reusable Lemma-35 analysis buffers.
+    ana: AnalyzeScratch,
+    /// One path-enumeration scratch per branch depth.
+    pool: Vec<DirBranchScratch>,
+    depth: usize,
+    extra_allocs: u64,
+    baseline_allocs: u64,
+}
+
+/// Per-branch-depth reusable path-enumeration state.
+#[derive(Default)]
+struct DirBranchScratch {
+    path: PathScratch,
+    boundary: Vec<(VertexId, ArcId)>,
+    sources: Vec<VertexId>,
+}
+
+impl DirBranchScratch {
+    fn preallocate(&mut self, n: usize, m: usize) {
+        self.path.preallocate(n + 2, m + 2);
+        if self.boundary.capacity() < m + 2 {
+            self.boundary.reserve(m + 2 - self.boundary.capacity());
+        }
+        if self.sources.capacity() < n + 1 {
+            self.sources.reserve(n + 1 - self.sources.capacity());
+        }
+    }
+
+    fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.path.alloc_events(),
+            self.path.capacity_bytes()
+                + (self.boundary.capacity() * std::mem::size_of::<(VertexId, ArcId)>()
+                    + self.sources.capacity() * std::mem::size_of::<VertexId>())
+                    as u64,
+        )
+    }
+}
+
+/// The contracted digraph `D′ = D/E(T)` in reusable out-CSR form: outside
+/// vertices keep their relative order, the super-vertex `r_T` is appended
+/// last, arcs inside `V(T)` are dropped, and every surviving arc remembers
+/// its original id — the same semantics as
+/// [`steiner_graph::contraction::contract_vertex_set`], without the per-node
+/// allocations.
+#[derive(Default)]
+struct ContractionScratch {
+    vertex_map: Vec<VertexId>,
+    /// `(tail, head)` per contracted arc (dense contracted ids).
+    arcs: Vec<(VertexId, VertexId)>,
+    /// Original arc behind each contracted arc.
+    orig_arc: Vec<ArcId>,
+    out_off: Vec<u32>,
+    out_adj: Vec<(VertexId, ArcId)>,
+    super_vertex: VertexId,
+    cn: usize,
+    allocs: u64,
+}
+
+impl ContractionScratch {
+    fn preallocate(&mut self, n: usize, m: usize) {
+        grow(&mut self.vertex_map, n, VertexId(0), &mut self.allocs);
+        grow(
+            &mut self.arcs,
+            m,
+            (VertexId(0), VertexId(0)),
+            &mut self.allocs,
+        );
+        grow(&mut self.orig_arc, m, ArcId(0), &mut self.allocs);
+        grow(&mut self.out_off, n + 2, 0u32, &mut self.allocs);
+        grow(
+            &mut self.out_adj,
+            m,
+            (VertexId(0), ArcId(0)),
+            &mut self.allocs,
+        );
+        self.allocs = 0;
+    }
+
+    fn rebuild(&mut self, d: &CsrDigraph, in_set: &[bool]) {
+        let n = d.num_vertices();
+        grow(&mut self.vertex_map, n, VertexId(0), &mut self.allocs);
+        let mut outside = 0usize;
+        for (v, &inside) in in_set.iter().enumerate() {
+            if !inside {
+                self.vertex_map[v] = VertexId::new(outside);
+                outside += 1;
+            }
+        }
+        let super_vertex = VertexId::new(outside);
+        for (v, &inside) in in_set.iter().enumerate() {
+            if inside {
+                self.vertex_map[v] = super_vertex;
+            }
+        }
+        self.super_vertex = super_vertex;
+        self.cn = outside + 1;
+        self.arcs.clear();
+        self.orig_arc.clear();
+        for i in 0..d.num_arcs() {
+            let a = ArcId::new(i);
+            let (t, h) = d.arc(a);
+            let (nt, nh) = (self.vertex_map[t.index()], self.vertex_map[h.index()]);
+            if nt == nh {
+                continue;
+            }
+            if self.arcs.len() == self.arcs.capacity() {
+                self.allocs += 1;
+            }
+            self.arcs.push((nt, nh));
+            if self.orig_arc.len() == self.orig_arc.capacity() {
+                self.allocs += 1;
+            }
+            self.orig_arc.push(a);
+        }
+        // Counting sort into the out-CSR (arc-id order per vertex).
+        let cn = self.cn;
+        grow(&mut self.out_off, cn + 1, 0u32, &mut self.allocs);
+        for &(t, _) in &self.arcs {
+            self.out_off[t.index() + 1] += 1;
+        }
+        for i in 0..cn {
+            self.out_off[i + 1] += self.out_off[i];
+        }
+        grow(
+            &mut self.out_adj,
+            self.arcs.len(),
+            (VertexId(0), ArcId(0)),
+            &mut self.allocs,
+        );
+        for (i, &(t, h)) in self.arcs.iter().enumerate() {
+            self.out_adj[self.out_off[t.index()] as usize] = (h, ArcId::new(i));
+            self.out_off[t.index()] += 1;
+        }
+        for v in (1..=cn).rev() {
+            self.out_off[v] = self.out_off[v - 1];
+        }
+        self.out_off[0] = 0;
+    }
+
+    #[inline]
+    fn out_adjacency(&self, v: VertexId) -> &[(VertexId, ArcId)] {
+        &self.out_adj[self.out_off[v.index()] as usize..self.out_off[v.index() + 1] as usize]
+    }
+
+    fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.allocs,
+            (self.vertex_map.capacity() * std::mem::size_of::<VertexId>()
+                + self.arcs.capacity() * std::mem::size_of::<(VertexId, VertexId)>()
+                + self.orig_arc.capacity() * std::mem::size_of::<ArcId>()
+                + self.out_off.capacity() * std::mem::size_of::<u32>()
+                + self.out_adj.capacity() * std::mem::size_of::<(VertexId, ArcId)>())
+                as u64,
+        )
+    }
+}
+
+/// Reusable buffers for the Lemma-35 analysis.
+#[derive(Default)]
+struct AnalyzeScratch {
+    // DFS tree of D′ from r_T with postorder.
+    visited: Vec<bool>,
+    parent: Vec<u32>,
+    parent_arc: Vec<u32>,
+    postorder: Vec<u32>,
+    dfs_stack: Vec<(VertexId, u32)>,
+    // T* marking.
+    in_tstar_vertex: Vec<bool>,
+    in_tstar_arc: Vec<bool>,
+    term_rep: Vec<u32>,
+    tstar_vertices: Vec<VertexId>,
+    /// Contracted arc ids of `E(T*)`; translated via `orig_arc` at a
+    /// unique leaf.
+    tstar_arcs: Vec<ArcId>,
+    // Descending-postorder sweep.
+    deleted: Vec<bool>,
+    round: Vec<VertexId>,
+    round_stamp: Vec<u32>,
+    round_epoch: u32,
+    allocs: u64,
+}
+
+impl AnalyzeScratch {
+    fn preallocate(&mut self, n: usize, m: usize) {
+        grow(&mut self.visited, n + 1, false, &mut self.allocs);
+        grow(&mut self.parent, n + 1, 0u32, &mut self.allocs);
+        grow(&mut self.parent_arc, n + 1, 0u32, &mut self.allocs);
+        grow(&mut self.postorder, n + 1, 0u32, &mut self.allocs);
+        grow(
+            &mut self.dfs_stack,
+            n + 1,
+            (VertexId(0), 0u32),
+            &mut self.allocs,
+        );
+        grow(&mut self.in_tstar_vertex, n + 1, false, &mut self.allocs);
+        grow(&mut self.in_tstar_arc, m, false, &mut self.allocs);
+        grow(&mut self.term_rep, n + 1, 0u32, &mut self.allocs);
+        grow(
+            &mut self.tstar_vertices,
+            n + 1,
+            VertexId(0),
+            &mut self.allocs,
+        );
+        grow(&mut self.tstar_arcs, n + 1, ArcId(0), &mut self.allocs);
+        grow(&mut self.deleted, n + 1, false, &mut self.allocs);
+        grow(&mut self.round, n + 1, VertexId(0), &mut self.allocs);
+        grow(&mut self.round_stamp, n + 1, 0u32, &mut self.allocs);
+        self.allocs = 0;
+    }
+
+    fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.allocs,
+            ((self.visited.capacity()
+                + self.in_tstar_vertex.capacity()
+                + self.in_tstar_arc.capacity()
+                + self.deleted.capacity())
+                * std::mem::size_of::<bool>()
+                + (self.parent.capacity()
+                    + self.parent_arc.capacity()
+                    + self.postorder.capacity()
+                    + self.term_rep.capacity()
+                    + self.round_stamp.capacity())
+                    * std::mem::size_of::<u32>()
+                + self.dfs_stack.capacity() * std::mem::size_of::<(VertexId, u32)>()
+                + (self.tstar_vertices.capacity() + self.round.capacity())
+                    * std::mem::size_of::<VertexId>()
+                + self.tstar_arcs.capacity() * std::mem::size_of::<ArcId>()) as u64,
+        )
+    }
+}
+
+impl DirectedSearch {
+    fn usage(&self) -> ScratchUsage {
+        let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
+        ScratchUsage::new(self.csr.alloc_events(), self.csr.capacity_bytes())
+            + self.con.usage()
+            + self.ana.usage()
+            + pool
+            + ScratchUsage::new(self.extra_allocs, 0)
+    }
 }
 
 impl<'g> DirectedSteinerTree<'g> {
@@ -115,88 +365,127 @@ impl<'g> DirectedSteinerTree<'g> {
 enum NodeAnalysis {
     /// A terminal with ≥ 2 valid paths to branch on.
     Branch(VertexId),
-    /// The unique completion's extra arcs (original ids), to append to
-    /// `E(T)`.
-    Unique(Vec<ArcId>),
+    /// The unique completion: `E(T*)` was left in `scratch.tstar_arcs`
+    /// (contracted ids, translated by the caller).
+    Unique,
 }
 
-/// Lemma 35 analysis of the contracted instance.
+/// Lemma 35 analysis of the contracted instance, allocation-free over the
+/// reusable `scratch`.
 fn analyze(
-    c: &ContractedDigraph,
+    c: &ContractionScratch,
     terminals: &[VertexId],
     in_tree: &[bool],
+    s: &mut AnalyzeScratch,
     work: &mut u64,
 ) -> NodeAnalysis {
-    let cn = c.graph.num_vertices();
-    let cm = c.graph.num_arcs();
+    let cn = c.cn;
+    let cm = c.arcs.len();
     *work += (cn + cm) as u64;
-    let dfs = di_dfs_postorder(&c.graph, c.super_vertex, None);
+    const NONE: u32 = u32::MAX;
+    // Iterative DFS from r_T with postorder (arcs in adjacency order).
+    grow(&mut s.visited, cn, false, &mut s.allocs);
+    grow(&mut s.parent, cn, NONE, &mut s.allocs);
+    grow(&mut s.parent_arc, cn, NONE, &mut s.allocs);
+    grow(&mut s.postorder, cn, NONE, &mut s.allocs);
+    s.dfs_stack.clear();
+    s.dfs_stack.push((c.super_vertex, 0));
+    s.visited[c.super_vertex.index()] = true;
+    let mut post_counter = 0u32;
+    while let Some(&mut (u, ref mut next)) = s.dfs_stack.last_mut() {
+        let out = c.out_adjacency(u).get(*next as usize).copied();
+        match out {
+            Some((v, a)) => {
+                *next += 1;
+                if !s.visited[v.index()] {
+                    s.visited[v.index()] = true;
+                    s.parent[v.index()] = u.0;
+                    s.parent_arc[v.index()] = a.0;
+                    s.dfs_stack.push((v, 0));
+                }
+            }
+            None => {
+                s.postorder[u.index()] = post_counter;
+                post_counter += 1;
+                s.dfs_stack.pop();
+            }
+        }
+    }
     // T*: prune the DFS tree to the missing terminals. While marking,
     // remember for every T* vertex a terminal in its subtree.
-    let mut in_tstar_vertex = vec![false; cn];
-    let mut in_tstar_arc = vec![false; cm];
-    let mut term_rep: Vec<Option<VertexId>> = vec![None; cn];
-    let mut tstar_vertices: Vec<VertexId> = Vec::new();
-    let mut tstar_arcs: Vec<ArcId> = Vec::new();
+    grow(&mut s.in_tstar_vertex, cn, false, &mut s.allocs);
+    grow(&mut s.in_tstar_arc, cm, false, &mut s.allocs);
+    grow(&mut s.term_rep, cn, NONE, &mut s.allocs);
+    s.tstar_vertices.clear();
+    s.tstar_arcs.clear();
     for &w in terminals {
         if in_tree[w.index()] {
             continue;
         }
         let mut cur = c.vertex_map[w.index()];
-        while !in_tstar_vertex[cur.index()] {
+        while !s.in_tstar_vertex[cur.index()] {
             *work += 1;
-            in_tstar_vertex[cur.index()] = true;
-            term_rep[cur.index()] = Some(w);
-            tstar_vertices.push(cur);
+            s.in_tstar_vertex[cur.index()] = true;
+            s.term_rep[cur.index()] = w.0;
+            s.tstar_vertices.push(cur);
             if cur == c.super_vertex {
                 break;
             }
-            let pa = dfs.parent_arc[cur.index()]
-                .expect("terminals are reachable from the root (preprocessing)");
-            in_tstar_arc[pa.index()] = true;
-            tstar_arcs.push(pa);
-            cur = dfs.parent[cur.index()].expect("non-root has a parent");
+            let pa = s.parent_arc[cur.index()];
+            debug_assert_ne!(pa, NONE, "terminals are reachable from the root");
+            s.in_tstar_arc[pa as usize] = true;
+            s.tstar_arcs.push(ArcId(pa));
+            cur = VertexId(s.parent[cur.index()]);
         }
     }
     // Descending-postorder sweep over V(T*).
-    tstar_vertices.sort_unstable_by_key(|v| std::cmp::Reverse(dfs.postorder[v.index()]));
-    let mut deleted = vec![false; cn];
-    let mut round: Vec<VertexId> = Vec::new();
-    for &v in &tstar_vertices {
-        if deleted[v.index()] {
+    let postorder = &s.postorder;
+    s.tstar_vertices
+        .sort_unstable_by_key(|v| std::cmp::Reverse(postorder[v.index()]));
+    grow(&mut s.deleted, cn, false, &mut s.allocs);
+    grow(&mut s.round_stamp, cn, 0u32, &mut s.allocs);
+    s.round_epoch = 0;
+    for ti in 0..s.tstar_vertices.len() {
+        let v = s.tstar_vertices[ti];
+        if s.deleted[v.index()] {
             continue;
         }
-        round.clear();
-        round.push(v);
+        s.round.clear();
+        s.round.push(v);
         let mut head = 0;
         let mut witness: Option<VertexId> = None;
-        let mut in_round = vec![false; cn];
-        in_round[v.index()] = true;
-        'bfs: while head < round.len() {
-            let x = round[head];
+        s.round_epoch += 1;
+        let ep = s.round_epoch;
+        s.round_stamp[v.index()] = ep;
+        'bfs: while head < s.round.len() {
+            let x = s.round[head];
             head += 1;
-            for (y, a) in c.graph.out_neighbors(x) {
+            for &(y, a) in c.out_adjacency(x) {
                 *work += 1;
-                if in_tstar_arc[a.index()] || deleted[y.index()] || in_round[y.index()] {
+                if s.in_tstar_arc[a.index()]
+                    || s.deleted[y.index()]
+                    || s.round_stamp[y.index()] == ep
+                {
                     continue;
                 }
-                if in_tstar_vertex[y.index()] {
+                if s.in_tstar_vertex[y.index()] {
                     witness = Some(y);
                     break 'bfs;
                 }
-                in_round[y.index()] = true;
-                round.push(y);
+                s.round_stamp[y.index()] = ep;
+                s.round.push(y);
             }
         }
         if let Some(u) = witness {
-            let w = term_rep[u.index()].expect("every T* vertex has a terminal below");
-            return NodeAnalysis::Branch(w);
+            let w = s.term_rep[u.index()];
+            debug_assert_ne!(w, NONE, "every T* vertex has a terminal below");
+            return NodeAnalysis::Branch(VertexId(w));
         }
-        for &x in &round {
-            deleted[x.index()] = true;
+        for &x in &s.round {
+            s.deleted[x.index()] = true;
         }
     }
-    NodeAnalysis::Unique(tstar_arcs.iter().map(|a| c.orig_arc[a.index()]).collect())
+    NodeAnalysis::Unique
 }
 
 impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
@@ -243,14 +532,39 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         let mut in_tree = vec![false; n];
         in_tree[self.root.index()] = true;
         let missing = terminals.len();
-        self.search = Some(DirectedSearch {
+        let m = d.num_arcs();
+        // Build the flat CSR once and size every scratch buffer now, so
+        // the search never allocates (asserted via `scratch_allocs`).
+        let csr = Arc::new(CsrDigraph::from_digraph(d));
+        let mut con = ContractionScratch::default();
+        con.preallocate(n, m);
+        let mut ana = AnalyzeScratch::default();
+        ana.preallocate(n, m);
+        let mut pool = Vec::with_capacity(terminals.len() + 1);
+        for _ in 0..terminals.len() + 1 {
+            let mut bs = DirBranchScratch::default();
+            bs.preallocate(n, m);
+            pool.push(bs);
+        }
+        let mut tree_vertices = Vec::with_capacity(n + 1);
+        tree_vertices.push(self.root);
+        let mut search = DirectedSearch {
             terminals,
             is_terminal,
             in_tree,
-            tree_vertices: vec![self.root],
-            tree_arcs: Vec::new(),
+            tree_vertices,
+            tree_arcs: Vec::with_capacity(n + 1),
             missing,
-        });
+            csr,
+            con,
+            ana,
+            pool,
+            depth: 0,
+            extra_allocs: 0,
+            baseline_allocs: 0,
+        };
+        search.baseline_allocs = search.usage().allocs;
+        self.search = Some(search);
         Ok(Prepared::Search)
     }
 
@@ -266,8 +580,7 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         &mut self.stats
     }
 
-    fn classify(&mut self) -> NodeStep<ArcId, VertexId> {
-        let d: &DiGraph = &self.d;
+    fn classify(&mut self, out: &mut Vec<ArcId>) -> NodeStep<VertexId> {
         let stats = &mut self.stats;
         let search = self
             .search
@@ -276,14 +589,26 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         if search.missing == 0 {
             return NodeStep::Complete;
         }
-        let c = contract_vertex_set(d, &search.in_tree);
-        stats.work += (d.num_vertices() + d.num_arcs()) as u64;
-        match analyze(&c, &search.terminals, &search.in_tree, &mut stats.work) {
+        search.con.rebuild(&search.csr, &search.in_tree);
+        stats.work += (search.csr.num_vertices() + search.csr.num_arcs()) as u64;
+        match analyze(
+            &search.con,
+            &search.terminals,
+            &search.in_tree,
+            &mut search.ana,
+            &mut stats.work,
+        ) {
             NodeAnalysis::Branch(w) => NodeStep::Branch(w),
-            NodeAnalysis::Unique(extra) => {
-                let mut arcs = search.tree_arcs.clone();
-                arcs.extend_from_slice(&extra);
-                NodeStep::Unique(arcs)
+            NodeAnalysis::Unique => {
+                out.extend_from_slice(&search.tree_arcs);
+                out.extend(
+                    search
+                        .ana
+                        .tstar_arcs
+                        .iter()
+                        .map(|a| search.con.orig_arc[a.index()]),
+                );
+                NodeStep::Unique
             }
         }
     }
@@ -296,55 +621,94 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         out.extend_from_slice(&search.tree_arcs);
     }
 
+    fn seal_stats(&mut self) {
+        if let Some(search) = &self.search {
+            let usage = search.usage();
+            self.stats.note_scratch(ScratchUsage::new(
+                usage.allocs - search.baseline_allocs,
+                usage.bytes,
+            ));
+        }
+    }
+
     fn branch(
         &mut self,
         w: VertexId,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> (u64, ControlFlow<()>) {
         let per_child = (self.d.num_vertices() + self.d.num_arcs()) as u64;
-        let inst = {
+        self.stats.work += per_child;
+        // Take this depth's scratch so the enumeration can borrow it while
+        // the sink mutates `self`; snapshot V(T) as the source set.
+        let (mut bs, csr, depth) = {
             let search = self
                 .search
-                .as_ref()
+                .as_mut()
                 .expect("prepare() runs before the search");
-            DiSourceSetInstance::new(&self.d, &search.in_tree, None)
+            let depth = search.depth;
+            if search.pool.len() <= depth {
+                search.extra_allocs += 1;
+                let mut fresh = DirBranchScratch::default();
+                fresh.preallocate(search.csr.num_vertices(), search.csr.num_arcs());
+                search.pool.push(fresh);
+            }
+            search.depth = depth + 1;
+            let mut bs = std::mem::take(&mut search.pool[depth]);
+            bs.sources.clear();
+            bs.sources.extend_from_slice(&search.tree_vertices);
+            bs.path.begin(search.csr.num_vertices() + 1);
+            (bs, Arc::clone(&search.csr), depth)
         };
-        self.stats.work += per_child;
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
-        let _pstats = inst.enumerate(w, &mut |p| {
-            children += 1;
-            self.stats.work += per_child;
-            let verts = p.vertices.to_vec();
-            let arcs = p.arcs.to_vec();
-            let search = self.search.as_mut().expect("search state");
-            // Extend T.
-            for &v in &verts[1..] {
-                debug_assert!(!search.in_tree[v.index()]);
-                search.in_tree[v.index()] = true;
-                search.tree_vertices.push(v);
-                if search.is_terminal[v.index()] {
-                    search.missing -= 1;
+        let DirBranchScratch {
+            path,
+            boundary,
+            sources,
+        } = &mut bs;
+        let _pstats = enumerate_source_set_paths_csr(
+            &csr,
+            sources,
+            w,
+            EnumerateOptions::default(),
+            path,
+            boundary,
+            &mut |p| {
+                children += 1;
+                self.stats.work += per_child;
+                let search = self.search.as_mut().expect("search state");
+                // Extend T.
+                for &v in &p.vertices[1..] {
+                    debug_assert!(!search.in_tree[v.index()]);
+                    search.in_tree[v.index()] = true;
+                    search.tree_vertices.push(v);
+                    if search.is_terminal[v.index()] {
+                        search.missing -= 1;
+                    }
                 }
-            }
-            let arc_base = search.tree_arcs.len();
-            search.tree_arcs.extend_from_slice(&arcs);
-            let f = child(self);
-            // Retract.
-            let search = self.search.as_mut().expect("search state");
-            search.tree_arcs.truncate(arc_base);
-            for &v in verts[1..].iter().rev() {
-                search.tree_vertices.pop();
-                search.in_tree[v.index()] = false;
-                if search.is_terminal[v.index()] {
-                    search.missing += 1;
+                let added = p.vertices.len() - 1;
+                let arc_base = search.tree_arcs.len();
+                search.tree_arcs.extend_from_slice(p.arcs);
+                let f = child(self);
+                // Retract.
+                let search = self.search.as_mut().expect("search state");
+                search.tree_arcs.truncate(arc_base);
+                for _ in 0..added {
+                    let v = search.tree_vertices.pop().expect("tree vertex stack");
+                    search.in_tree[v.index()] = false;
+                    if search.is_terminal[v.index()] {
+                        search.missing += 1;
+                    }
                 }
-            }
-            if f.is_break() {
-                flow = ControlFlow::Break(());
-            }
-            f
-        });
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                }
+                f
+            },
+        );
+        let search = self.search.as_mut().expect("search state");
+        search.pool[depth] = bs;
+        search.depth = depth;
         debug_assert!(
             children >= 2 || flow.is_break(),
             "Lemma 35 witness guarantees two valid paths"
@@ -563,6 +927,21 @@ mod tests {
             }
             assert_eq!(got, oracle, "digraph {d:?} root {root} terminals {w:?}");
         }
+    }
+
+    #[test]
+    fn search_does_not_allocate_after_prepare() {
+        let (d, root) = steiner_graph::generators::layered_digraph(3, 3);
+        let w = [VertexId(7), VertexId(8), VertexId(9)];
+        let (run, stats) = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).with_stats();
+        run.run().unwrap();
+        let stats = stats.get();
+        assert!(stats.solutions > 0);
+        assert_eq!(
+            stats.scratch_allocs, 0,
+            "the search must not allocate after prepare()"
+        );
+        assert!(stats.peak_scratch_bytes > 0, "scratch accounting is live");
     }
 
     #[test]

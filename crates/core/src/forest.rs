@@ -20,16 +20,16 @@ use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use crate::trail::ScratchUsage;
 use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
-use steiner_graph::bridges::bridges;
+use steiner_graph::bridges::{bridges_csr_into, BridgeScratch};
 use steiner_graph::connectivity::all_in_one_component;
-use steiner_graph::contraction::{contract_edge_set, ContractedGraph};
-use steiner_graph::lca::Lca;
+use steiner_graph::csr::{grow, IncidenceCsr};
 use steiner_graph::union_find::UnionFind;
-use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
-use steiner_paths::undirected::enumerate_st_paths;
+use steiner_graph::{CsrDigraph, CsrUndirected, EdgeId, UndirectedGraph, VertexId};
+use steiner_paths::enumerate::{enumerate_paths_view, EnumerateOptions, PathScratch};
 
 /// Reduces terminal sets to deduplicated unordered pairs. Singleton and
 /// empty sets impose no constraint and vanish.
@@ -71,19 +71,229 @@ pub struct SteinerForest<'g> {
     search: Option<ForestSearch>,
 }
 
-/// Mutable search state installed by `prepare`.
+/// Mutable search state installed by `prepare`. All hot-path buffers are
+/// preallocated; `classify`/`branch` never allocate.
 struct ForestSearch {
     pairs: Vec<(VertexId, VertexId)>,
     uf: UnionFind,
     forest_edges: Vec<EdgeId>,
-    /// Contraction computed by `classify`, consumed by the matching
-    /// `branch` call (avoids recomputing `G/E(F)`).
-    pending: Option<PendingBranch>,
+    /// Pair classified for branching; the matching contraction sits in
+    /// `pool[depth]` (avoids recomputing `G/E(F)`).
+    pending: Option<(VertexId, VertexId)>,
+    /// Flat CSR of the original graph (built once).
+    gcsr: CsrUndirected,
+    /// Dense-id assignment per union–find representative (per classify).
+    rep_id: Vec<u32>,
+    /// Bridge-contracted connectivity `G″ = G′/B` (per classify).
+    uf2: UnionFind,
+    bridge: BridgeScratch,
+    uc: UniqueCompletionScratch,
+    /// Per-branch-depth contraction + path-enumeration scratch.
+    pool: Vec<ForestDepthScratch>,
+    depth: usize,
+    extra_allocs: u64,
+    baseline_allocs: u64,
 }
 
-struct PendingBranch {
-    contraction: ContractedGraph,
-    pair: (VertexId, VertexId),
+/// Per-branch-depth reusable state: the contracted multigraph `G/E(F)` in
+/// CSR form with its translation tables, its doubled digraph, and the path
+/// enumerator's scratch. The contraction must survive the whole branch
+/// (children recurse while it is in use), hence one per depth.
+#[derive(Default)]
+struct ForestDepthScratch {
+    endpoints_buf: Vec<(VertexId, VertexId)>,
+    orig_edge: Vec<EdgeId>,
+    vertex_map: Vec<VertexId>,
+    cg: CsrUndirected,
+    doubled: CsrDigraph,
+    path: PathScratch,
+    allocs: u64,
+}
+
+impl ForestDepthScratch {
+    fn preallocate(&mut self, n: usize, m: usize) {
+        if self.endpoints_buf.capacity() < m {
+            self.endpoints_buf
+                .reserve(m - self.endpoints_buf.capacity());
+        }
+        if self.orig_edge.capacity() < m {
+            self.orig_edge.reserve(m - self.orig_edge.capacity());
+        }
+        grow(&mut self.vertex_map, n, VertexId(0), &mut self.allocs);
+        self.cg.preallocate(n, m);
+        self.doubled.preallocate(n, 2 * m);
+        self.path.preallocate(n + 2, 2 * m + 2);
+        self.allocs = 0;
+    }
+
+    fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.allocs
+                + self.cg.alloc_events()
+                + self.doubled.alloc_events()
+                + self.path.alloc_events(),
+            self.cg.capacity_bytes()
+                + self.doubled.capacity_bytes()
+                + self.path.capacity_bytes()
+                + (self.endpoints_buf.capacity() * std::mem::size_of::<(VertexId, VertexId)>()
+                    + self.orig_edge.capacity() * std::mem::size_of::<EdgeId>()
+                    + self.vertex_map.capacity() * std::mem::size_of::<VertexId>())
+                    as u64,
+        )
+    }
+
+    /// Rebuilds `G/E(F)` in place: `classes[v]` is the contracted image of
+    /// `v` (computed by the caller from the union–find; normally this
+    /// scratch's own `vertex_map`, temporarily moved out). Surviving edges
+    /// keep their relative order and remember their original ids.
+    fn rebuild_contraction(&mut self, g: &CsrUndirected, classes: &[VertexId], cn: usize) {
+        self.endpoints_buf.clear();
+        self.orig_edge.clear();
+        for i in 0..g.num_edges() {
+            let e = EdgeId::new(i);
+            let (u, v) = g.endpoints(e);
+            let (nu, nv) = (classes[u.index()], classes[v.index()]);
+            if nu == nv {
+                continue; // contracted or self-loop after contraction
+            }
+            if self.endpoints_buf.len() == self.endpoints_buf.capacity() {
+                self.allocs += 1;
+            }
+            self.endpoints_buf.push((nu, nv));
+            if self.orig_edge.len() == self.orig_edge.capacity() {
+                self.allocs += 1;
+            }
+            self.orig_edge.push(e);
+        }
+        self.cg.rebuild_from_edges(cn, &self.endpoints_buf);
+    }
+}
+
+/// Reusable buffers for the unique-completion marking (offline
+/// Tarjan LCA over the forest `F + B`, replacing the sparse-table
+/// structure that allocated per leaf).
+#[derive(Default)]
+struct UniqueCompletionScratch {
+    /// `F + B` (original edge ids).
+    fb: Vec<EdgeId>,
+    inc: IncidenceCsr,
+    parent: Vec<u32>,
+    parent_edge: Vec<u32>,
+    depthv: Vec<u32>,
+    visited: Vec<bool>,
+    present: Vec<bool>,
+    dfs_stack: Vec<(VertexId, u32)>,
+    // Offline-LCA state.
+    ufp: Vec<u32>,
+    ufsz: Vec<u32>,
+    ancestor: Vec<u32>,
+    black: Vec<bool>,
+    lca: Vec<u32>,
+    entries: Vec<(u32, VertexId, VertexId)>,
+    marked: Vec<bool>,
+    // Pair queries by endpoint (CSR, built once in `prepare`).
+    q_off: Vec<u32>,
+    q_items: Vec<u32>,
+    allocs: u64,
+}
+
+impl UniqueCompletionScratch {
+    fn preallocate(&mut self, n: usize, m: usize, pairs: &[(VertexId, VertexId)]) {
+        grow(
+            &mut self.fb,
+            n + m.min(n * 2) + 4,
+            EdgeId(0),
+            &mut self.allocs,
+        );
+        self.fb.clear();
+        self.inc.preallocate(n, n + m.min(2 * n) + 4);
+        grow(&mut self.parent, n, 0u32, &mut self.allocs);
+        grow(&mut self.parent_edge, n, 0u32, &mut self.allocs);
+        grow(&mut self.depthv, n, 0u32, &mut self.allocs);
+        grow(&mut self.visited, n, false, &mut self.allocs);
+        grow(&mut self.present, n, false, &mut self.allocs);
+        grow(
+            &mut self.dfs_stack,
+            n + 1,
+            (VertexId(0), 0u32),
+            &mut self.allocs,
+        );
+        self.dfs_stack.clear();
+        grow(&mut self.ufp, n, 0u32, &mut self.allocs);
+        grow(&mut self.ufsz, n, 0u32, &mut self.allocs);
+        grow(&mut self.ancestor, n, 0u32, &mut self.allocs);
+        grow(&mut self.black, n, false, &mut self.allocs);
+        grow(&mut self.lca, pairs.len(), 0u32, &mut self.allocs);
+        grow(
+            &mut self.entries,
+            2 * pairs.len(),
+            (0u32, VertexId(0), VertexId(0)),
+            &mut self.allocs,
+        );
+        self.entries.clear();
+        grow(&mut self.marked, m, false, &mut self.allocs);
+        // Pair-query CSR by endpoint: static for the whole enumeration.
+        grow(&mut self.q_off, n + 1, 0u32, &mut self.allocs);
+        for &(w, w2) in pairs {
+            self.q_off[w.index() + 1] += 1;
+            self.q_off[w2.index() + 1] += 1;
+        }
+        for i in 0..n {
+            self.q_off[i + 1] += self.q_off[i];
+        }
+        grow(&mut self.q_items, 2 * pairs.len(), 0u32, &mut self.allocs);
+        for (k, &(w, w2)) in pairs.iter().enumerate() {
+            for v in [w, w2] {
+                self.q_items[self.q_off[v.index()] as usize] = k as u32;
+                self.q_off[v.index()] += 1;
+            }
+        }
+        for v in (1..=n).rev() {
+            self.q_off[v] = self.q_off[v - 1];
+        }
+        self.q_off[0] = 0;
+        self.allocs = 0;
+    }
+
+    fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.allocs + self.inc.alloc_events(),
+            self.inc.capacity_bytes()
+                + (self.fb.capacity() * std::mem::size_of::<EdgeId>()
+                    + (self.parent.capacity()
+                        + self.parent_edge.capacity()
+                        + self.depthv.capacity()
+                        + self.ufp.capacity()
+                        + self.ufsz.capacity()
+                        + self.ancestor.capacity()
+                        + self.lca.capacity()
+                        + self.q_off.capacity()
+                        + self.q_items.capacity())
+                        * std::mem::size_of::<u32>()
+                    + (self.visited.capacity()
+                        + self.present.capacity()
+                        + self.black.capacity()
+                        + self.marked.capacity())
+                        * std::mem::size_of::<bool>()
+                    + self.dfs_stack.capacity() * std::mem::size_of::<(VertexId, u32)>()
+                    + self.entries.capacity() * std::mem::size_of::<(u32, VertexId, VertexId)>())
+                    as u64,
+        )
+    }
+}
+
+impl ForestSearch {
+    fn usage(&self) -> ScratchUsage {
+        let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
+        ScratchUsage::new(
+            self.gcsr.alloc_events() + self.bridge.alloc_events(),
+            self.gcsr.capacity_bytes()
+                + self.bridge.capacity_bytes()
+                + (self.rep_id.capacity() * std::mem::size_of::<u32>()) as u64,
+        ) + self.uc.usage()
+            + pool
+            + ScratchUsage::new(self.extra_allocs, 0)
+    }
 }
 
 impl<'g> SteinerForest<'g> {
@@ -121,79 +331,136 @@ impl<'g> SteinerForest<'g> {
 
 /// The unique minimal Steiner forest containing `F`, given that every
 /// disconnected pair has a unique valid path: mark, over the forest
-/// `F + B`, the edges lying on some pair's tree path (the paper's
-/// sorted-LCA marking), and return exactly those.
-fn unique_completion(
-    g: &UndirectedGraph,
+/// `F + B` (in `s.fb`), the edges lying on some pair's tree path and
+/// append exactly those to `out`.
+///
+/// LCAs come from one offline Tarjan sweep over the forest (union–find
+/// with path halving), replacing the per-leaf Euler-tour/sparse-table
+/// build; entries are then processed shallowest-LCA-first so the
+/// marked-edge early stop stays sound. Allocation-free over `s`.
+fn unique_completion_csr(
+    g: &CsrUndirected,
     pairs: &[(VertexId, VertexId)],
-    forest_plus_bridges: &[EdgeId],
+    s: &mut UniqueCompletionScratch,
+    out: &mut Vec<EdgeId>,
     work: &mut u64,
-) -> Vec<EdgeId> {
+) {
     let n = g.num_vertices();
-    *work += (n + forest_plus_bridges.len()) as u64;
-    // Root the forest: BFS over the edge set.
-    let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-    let mut present = vec![false; n];
-    for &e in forest_plus_bridges {
+    const NONE: u32 = u32::MAX;
+    *work += (n + s.fb.len()) as u64;
+    s.inc.rebuild(n, &s.fb, |e| g.endpoints(e));
+    grow(&mut s.present, n, false, &mut s.allocs);
+    for &e in &s.fb {
         let (u, v) = g.endpoints(e);
-        incident[u.index()].push(e);
-        incident[v.index()].push(e);
-        present[u.index()] = true;
-        present[v.index()] = true;
+        s.present[u.index()] = true;
+        s.present[v.index()] = true;
     }
-    let mut parent: Vec<Option<VertexId>> = vec![None; n];
-    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
-    let mut visited = vec![false; n];
-    let mut queue = std::collections::VecDeque::new();
-    for v in 0..n {
-        if !present[v] || visited[v] {
+    grow(&mut s.parent, n, NONE, &mut s.allocs);
+    grow(&mut s.parent_edge, n, NONE, &mut s.allocs);
+    grow(&mut s.depthv, n, 0u32, &mut s.allocs);
+    grow(&mut s.visited, n, false, &mut s.allocs);
+    grow(&mut s.black, n, false, &mut s.allocs);
+    grow(&mut s.ufsz, n, 1u32, &mut s.allocs);
+    grow(&mut s.ancestor, n, NONE, &mut s.allocs);
+    grow(&mut s.lca, pairs.len(), NONE, &mut s.allocs);
+    s.ufp.clear();
+    s.ufp.extend(0..n as u32);
+    // Union–find with path halving (no rollback needed here).
+    fn find(ufp: &mut [u32], mut x: u32) -> u32 {
+        while ufp[x as usize] != x {
+            ufp[x as usize] = ufp[ufp[x as usize] as usize];
+            x = ufp[x as usize];
+        }
+        x
+    }
+    // One DFS per tree of F + B; Tarjan's offline LCA answers each pair
+    // at its second-finished endpoint.
+    for root in 0..n {
+        if !s.present[root] || s.visited[root] {
             continue;
         }
-        visited[v] = true;
-        queue.push_back(VertexId::new(v));
-        while let Some(u) = queue.pop_front() {
-            for &e in &incident[u.index()] {
-                let w = g.other_endpoint(e, u);
-                if !visited[w.index()] {
-                    visited[w.index()] = true;
-                    parent[w.index()] = Some(u);
-                    parent_edge[w.index()] = Some(e);
-                    queue.push_back(w);
+        s.visited[root] = true;
+        s.depthv[root] = 0;
+        s.ancestor[root] = root as u32;
+        s.dfs_stack.clear();
+        s.dfs_stack.push((VertexId::new(root), 0));
+        while let Some(&mut (u, ref mut next)) = s.dfs_stack.last_mut() {
+            let slot = s.inc.incident(u).get(*next as usize).copied();
+            match slot {
+                Some(e) => {
+                    *next += 1;
+                    *work += 1;
+                    let v = g.other_endpoint(e, u);
+                    if !s.visited[v.index()] {
+                        s.visited[v.index()] = true;
+                        s.parent[v.index()] = u.0;
+                        s.parent_edge[v.index()] = e.0;
+                        s.depthv[v.index()] = s.depthv[u.index()] + 1;
+                        s.ancestor[v.index()] = v.0;
+                        s.dfs_stack.push((v, 0));
+                    }
+                }
+                None => {
+                    s.dfs_stack.pop();
+                    s.black[u.index()] = true;
+                    let (q_lo, q_hi) = (s.q_off[u.index()], s.q_off[u.index() + 1]);
+                    for qi in q_lo..q_hi {
+                        let k = s.q_items[qi as usize] as usize;
+                        let (a, b) = pairs[k];
+                        let other = if a == u { b } else { a };
+                        if s.black[other.index()] {
+                            s.lca[k] = s.ancestor[find(&mut s.ufp, other.0) as usize];
+                        }
+                    }
+                    if let Some(&(p, _)) = s.dfs_stack.last() {
+                        // Union by size, then re-anchor the class ancestor.
+                        let (ru, rp) = (find(&mut s.ufp, u.0), find(&mut s.ufp, p.0));
+                        if ru != rp {
+                            let (big, small) = if s.ufsz[rp as usize] >= s.ufsz[ru as usize] {
+                                (rp, ru)
+                            } else {
+                                (ru, rp)
+                            };
+                            s.ufp[small as usize] = big;
+                            s.ufsz[big as usize] += s.ufsz[small as usize];
+                        }
+                        s.ancestor[find(&mut s.ufp, p.0) as usize] = p.0;
+                    }
                 }
             }
         }
     }
-    let lca = Lca::from_parents(&parent, &present);
     // Marking entries (depth of LCA, endpoint, LCA), processed with the
     // shallowest LCAs first so early stopping is sound.
-    let mut entries: Vec<(u32, VertexId, VertexId)> = Vec::with_capacity(2 * pairs.len());
-    for &(w, w2) in pairs {
-        let a = lca
-            .lca(w, w2)
-            .expect("every pair is connected in F + B at a unique-completion node");
-        let d = lca.depth_of(a);
-        entries.push((d, w, a));
-        entries.push((d, w2, a));
+    s.entries.clear();
+    for (k, &(w, w2)) in pairs.iter().enumerate() {
+        let a = s.lca[k];
+        debug_assert_ne!(
+            a, NONE,
+            "every pair is connected in F + B at a unique-completion node"
+        );
+        let a = VertexId(a);
+        let d = s.depthv[a.index()];
+        s.entries.push((d, w, a));
+        s.entries.push((d, w2, a));
     }
-    entries.sort_unstable();
-    let mut marked = vec![false; g.num_edges()];
-    for &(_, start, stop) in &entries {
+    s.entries.sort_unstable();
+    grow(&mut s.marked, g.num_edges(), false, &mut s.allocs);
+    for i in 0..s.entries.len() {
+        let (_, start, stop) = s.entries[i];
         let mut cur = start;
         while cur != stop {
             *work += 1;
-            let e = parent_edge[cur.index()].expect("stop is an ancestor of start");
-            if marked[e.index()] {
+            let e = s.parent_edge[cur.index()];
+            debug_assert_ne!(e, NONE, "stop is an ancestor of start");
+            if s.marked[e as usize] {
                 break; // the rest of the walk is already marked
             }
-            marked[e.index()] = true;
-            cur = parent[cur.index()].expect("stop is an ancestor of start");
+            s.marked[e as usize] = true;
+            cur = VertexId(s.parent[cur.index()]);
         }
     }
-    forest_plus_bridges
-        .iter()
-        .copied()
-        .filter(|e| marked[e.index()])
-        .collect()
+    out.extend(s.fb.iter().copied().filter(|e| s.marked[e.index()]));
 }
 
 impl MinimalSteinerProblem for SteinerForest<'_> {
@@ -230,12 +497,41 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             // The empty forest is the unique minimal Steiner forest.
             return Ok(Prepared::Single(Vec::new()));
         }
-        self.search = Some(ForestSearch {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        // Build the flat CSR once and size every scratch buffer now, so
+        // the search never allocates (asserted via `scratch_allocs`).
+        let gcsr = CsrUndirected::from_graph(g);
+        let mut uf = UnionFind::new(n);
+        uf.reserve_history(n + 1);
+        let mut uf2 = UnionFind::new(n);
+        uf2.reserve_history(m + 1);
+        let mut bridge = BridgeScratch::default();
+        bridge.preallocate(n, m);
+        let mut uc = UniqueCompletionScratch::default();
+        uc.preallocate(n, m, &pairs);
+        let mut pool = Vec::with_capacity(pairs.len() + 1);
+        for _ in 0..pairs.len() + 1 {
+            let mut ds = ForestDepthScratch::default();
+            ds.preallocate(n, m);
+            pool.push(ds);
+        }
+        let mut search = ForestSearch {
             pairs,
-            uf: UnionFind::new(g.num_vertices()),
-            forest_edges: Vec::new(),
+            uf,
+            forest_edges: Vec::with_capacity(n + 1),
             pending: None,
-        });
+            gcsr,
+            rep_id: Vec::with_capacity(n),
+            uf2,
+            bridge,
+            uc,
+            pool,
+            depth: 0,
+            extra_allocs: 0,
+            baseline_allocs: 0,
+        };
+        search.baseline_allocs = search.usage().allocs;
+        self.search = Some(search);
         Ok(Prepared::Search)
     }
 
@@ -251,8 +547,7 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         &mut self.stats
     }
 
-    fn classify(&mut self) -> NodeStep<EdgeId, (VertexId, VertexId)> {
-        let g: &UndirectedGraph = &self.g;
+    fn classify(&mut self, out: &mut Vec<EdgeId>) -> NodeStep<(VertexId, VertexId)> {
         let stats = &mut self.stats;
         let search = self
             .search
@@ -263,39 +558,77 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             // F is a minimal Steiner forest (Lemma 21).
             return NodeStep::Complete;
         }
-        // G′ = G/E(F); bridges of the multigraph; G″ = G′/B.
-        let contraction = contract_edge_set(g, &search.forest_edges);
-        let bridge = bridges(&contraction.graph, None);
-        stats.work += 2 * (g.num_vertices() + g.num_edges()) as u64;
-        let mut uf2 = UnionFind::new(contraction.graph.num_vertices());
-        for e in contraction.graph.edges() {
-            if bridge[e.index()] {
-                let (u, v) = contraction.graph.endpoints(e);
-                uf2.union(u, v);
+        let n = search.gcsr.num_vertices();
+        // G′ = G/E(F): contracted classes come straight from the search's
+        // union–find (it records exactly the forest-edge unions); dense
+        // ids are assigned in first-member order, as before.
+        search.rep_id.clear();
+        search.rep_id.resize(n, u32::MAX);
+        let depth = search.depth;
+        if search.pool.len() <= depth {
+            search.extra_allocs += 1;
+            let mut fresh = ForestDepthScratch::default();
+            fresh.preallocate(n, search.gcsr.num_edges());
+            search.pool.push(fresh);
+        }
+        let ds = &mut search.pool[depth];
+        ds.vertex_map.clear();
+        let mut count = 0u32;
+        for v in 0..n {
+            let rep = search.uf.find(VertexId::new(v));
+            if search.rep_id[rep.index()] == u32::MAX {
+                search.rep_id[rep.index()] = count;
+                count += 1;
+            }
+            ds.vertex_map.push(VertexId(search.rep_id[rep.index()]));
+        }
+        let cn = count as usize;
+        // Rebuild the contraction in place (classes are in vertex_map
+        // already, so rebuild_contraction reuses it verbatim).
+        let classes = std::mem::take(&mut ds.vertex_map);
+        ds.rebuild_contraction(&search.gcsr, &classes, cn);
+        ds.vertex_map = classes;
+        // Bridges of the multigraph G′; G″ = G′/B.
+        bridges_csr_into(&ds.cg, None, &mut search.bridge);
+        stats.work += 2 * (n + search.gcsr.num_edges()) as u64;
+        search.uf2.reset(cn);
+        for i in 0..ds.cg.num_edges() {
+            if search.bridge.is_bridge[i] {
+                let (u, v) = ds.cg.endpoints(EdgeId::new(i));
+                search.uf2.union(u, v);
             }
         }
         // A disconnected pair whose images differ in G″ has ≥ 2 valid paths
         // (Lemma 24): branch on the first such pair.
+        let vertex_map = &ds.vertex_map;
+        let uf = &search.uf;
+        let uf2 = &search.uf2;
         let branch = search.pairs.iter().copied().find(|&(w, w2)| {
-            !search.uf.same(w, w2) && !uf2.same(contraction.image(w), contraction.image(w2))
+            !uf.same(w, w2) && !uf2.same(vertex_map[w.index()], vertex_map[w2.index()])
         });
         match branch {
             Some(pair) => {
-                search.pending = Some(PendingBranch { contraction, pair });
+                search.pending = Some(pair);
                 NodeStep::Branch(pair)
             }
             None => {
                 // Every remaining pair goes through bridges only: unique
                 // completion inside F + B.
-                let mut fb = search.forest_edges.clone();
-                fb.extend(
-                    contraction
-                        .graph
-                        .edges()
-                        .filter(|e| bridge[e.index()])
-                        .map(|e| contraction.orig_edge[e.index()]),
+                search.uc.fb.clear();
+                search.uc.fb.extend_from_slice(&search.forest_edges);
+                for i in 0..ds.cg.num_edges() {
+                    if search.bridge.is_bridge[i] {
+                        search.uc.fb.push(ds.orig_edge[i]);
+                    }
+                }
+                unique_completion_csr(
+                    &search.gcsr,
+                    &search.pairs,
+                    &mut search.uc,
+                    out,
+                    &mut stats.work,
                 );
-                NodeStep::Unique(unique_completion(g, &search.pairs, &fb, &mut stats.work))
+                NodeStep::Unique
             }
         }
     }
@@ -308,52 +641,72 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         out.extend_from_slice(&search.forest_edges);
     }
 
+    fn seal_stats(&mut self) {
+        if let Some(search) = &self.search {
+            let usage = search.usage();
+            self.stats.note_scratch(ScratchUsage::new(
+                usage.allocs - search.baseline_allocs,
+                usage.bytes,
+            ));
+        }
+    }
+
     fn branch(
         &mut self,
         pair: (VertexId, VertexId),
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> (u64, ControlFlow<()>) {
         let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
-        let pending = {
+        // Take this depth's scratch — it holds the contraction classify
+        // just built — so the enumeration can borrow it while the sink
+        // mutates `self` (children rebuild deeper pool entries).
+        let (mut ds, depth) = {
             let search = self
                 .search
                 .as_mut()
                 .expect("prepare() runs before the search");
-            search
+            let pending = search
                 .pending
                 .take()
-                .expect("classify() stashes the contraction")
+                .expect("classify() stashes the branch pair");
+            debug_assert_eq!(pending, pair, "branch target matches the classified pair");
+            let depth = search.depth;
+            search.depth = depth + 1;
+            (std::mem::take(&mut search.pool[depth]), depth)
         };
-        debug_assert_eq!(
-            pending.pair, pair,
-            "branch target matches the classified pair"
-        );
         let (w, w2) = pair;
-        let contraction = pending.contraction;
+        let (cw, cw2) = (ds.vertex_map[w.index()], ds.vertex_map[w2.index()]);
+        ds.doubled.rebuild_doubled_from_csr(&ds.cg);
+        ds.path.begin(ds.doubled.num_vertices());
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
-        let _pstats = enumerate_st_paths(
-            &contraction.graph,
-            contraction.image(w),
-            contraction.image(w2),
-            None,
+        let ForestDepthScratch {
+            doubled,
+            path,
+            orig_edge,
+            ..
+        } = &mut ds;
+        let _pstats = enumerate_paths_view(
+            doubled,
+            cw,
+            cw2,
+            EnumerateOptions::default(),
+            false,
+            path,
             &mut |p| {
                 children += 1;
                 self.stats.work += per_child;
-                let orig: Vec<EdgeId> = p
-                    .edges
-                    .iter()
-                    .map(|e| contraction.orig_edge[e.index()])
-                    .collect();
                 let search = self.search.as_mut().expect("search state");
                 let snap = search.uf.snapshot();
-                for &e in &orig {
-                    let (u, v) = self.g.endpoints(e);
+                let base = search.forest_edges.len();
+                for &a in p.arcs {
+                    // Doubled arc → contracted edge → original edge.
+                    let e = orig_edge[a.index() / 2];
+                    let (u, v) = search.gcsr.endpoints(e);
                     let joined = search.uf.union(u, v);
                     debug_assert!(joined, "a valid path never closes a cycle in F");
+                    search.forest_edges.push(e);
                 }
-                let base = search.forest_edges.len();
-                search.forest_edges.extend_from_slice(&orig);
                 let f = child(self);
                 let search = self.search.as_mut().expect("search state");
                 search.forest_edges.truncate(base);
@@ -364,6 +717,9 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
                 f
             },
         );
+        let search = self.search.as_mut().expect("search state");
+        search.pool[depth] = ds;
+        search.depth = depth;
         debug_assert!(
             children >= 2 || flow.is_break(),
             "Lemma 24 guarantees at least two valid paths on a branch pair"
@@ -594,6 +950,24 @@ mod tests {
                 .unwrap()
                 .collect();
         assert_eq!(direct, iterated);
+    }
+
+    #[test]
+    fn search_does_not_allocate_after_prepare() {
+        let g = steiner_graph::generators::grid(3, 4);
+        let sets = vec![
+            vec![VertexId(0), VertexId(11)],
+            vec![VertexId(3), VertexId(8)],
+        ];
+        let (run, stats) = Enumeration::new(SteinerForest::new(&g, &sets)).with_stats();
+        run.run().unwrap();
+        let stats = stats.get();
+        assert!(stats.solutions > 0);
+        assert_eq!(
+            stats.scratch_allocs, 0,
+            "the search must not allocate after prepare()"
+        );
+        assert!(stats.peak_scratch_bytes > 0, "scratch accounting is live");
     }
 
     #[test]

@@ -31,13 +31,17 @@ use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use crate::trail::{ScratchUsage, Trail};
 use std::borrow::Cow;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use steiner_graph::bridges::bridges;
 use steiner_graph::connectivity::all_in_one_component;
-use steiner_graph::spanning::{grow_spanning_tree, prune_leaves};
-use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
-use steiner_paths::stsets::SourceSetInstance;
+use steiner_graph::csr::IncidenceCsr;
+use steiner_graph::spanning::{grow_spanning_tree_csr, prune_leaves_csr, CompletionScratch};
+use steiner_graph::{CsrDigraph, CsrUndirected, EdgeId, UndirectedGraph, VertexId};
+use steiner_paths::enumerate::{EnumerateOptions, PathScratch};
+use steiner_paths::stsets::enumerate_source_set_paths_csr;
 
 /// The minimal Steiner tree problem (§4): find all inclusion-minimal
 /// subtrees of `g` spanning `terminals`.
@@ -60,13 +64,122 @@ pub struct SteinerTree<'g> {
     search: Option<TreeSearch>,
 }
 
-/// Mutable search state installed by `prepare`.
+/// Mutable search state installed by `prepare`. Everything the hot path
+/// touches is preallocated here: `classify`/`branch` never allocate.
 struct TreeSearch {
     t: PartialTree,
-    /// Edge membership in `E(T)`, kept in lockstep with `t.edges`.
+    /// Edge membership in `E(T)`, maintained through the [`Trail`].
     edge_in_t: Vec<bool>,
+    /// Undo log for `edge_in_t` (rolled back per child).
+    trail: Trail,
     /// Bridges of `G`, precomputed once (Lemma 16 is a property of `G`).
     bridge: Vec<bool>,
+    /// Flat CSR view of `G` (built once).
+    csr: CsrUndirected,
+    /// Doubled CSR digraph of `G` for `V(T)`-`w` path enumeration (built
+    /// once; shared with the nested branch levels, hence the `Arc`).
+    doubled: Arc<CsrDigraph>,
+    /// Minimal-completion scratch (spanning growth + leaf pruning).
+    completion: CompletionScratch,
+    /// Branch-target search scratch.
+    beyond: BeyondScratch,
+    /// One path-enumeration scratch per branch depth (`branch` is
+    /// re-entrant through the engine's recursion).
+    pool: Vec<BranchScratch>,
+    /// Current branch nesting depth (indexes `pool`).
+    depth: usize,
+    /// Growth events outside the component scratches (pool growth).
+    extra_allocs: u64,
+    /// Scratch-allocation baseline at the end of `prepare()`.
+    baseline_allocs: u64,
+}
+
+/// Per-branch-depth reusable state: the path enumerator's scratch, the
+/// virtual-source boundary buffer, the source-set snapshot, and the
+/// arc→edge mapping buffer. Shared with the terminal-Steiner variant.
+#[derive(Default)]
+pub(crate) struct BranchScratch {
+    pub(crate) path: PathScratch,
+    pub(crate) boundary: Vec<(VertexId, steiner_graph::ArcId)>,
+    pub(crate) sources: Vec<VertexId>,
+    pub(crate) edges: Vec<EdgeId>,
+}
+
+impl BranchScratch {
+    pub(crate) fn preallocate(&mut self, n: usize, m: usize) {
+        self.path.preallocate(n + 2, 2 * m + 2);
+        if self.boundary.capacity() < 2 * m + 2 {
+            self.boundary.reserve(2 * m + 2 - self.boundary.capacity());
+        }
+        if self.sources.capacity() < n + 1 {
+            self.sources.reserve(n + 1 - self.sources.capacity());
+        }
+        if self.edges.capacity() < n + 1 {
+            self.edges.reserve(n + 1 - self.edges.capacity());
+        }
+    }
+
+    pub(crate) fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.path.alloc_events(),
+            self.path.capacity_bytes()
+                + (self.boundary.capacity()
+                    * std::mem::size_of::<(VertexId, steiner_graph::ArcId)>()
+                    + self.sources.capacity() * std::mem::size_of::<VertexId>()
+                    + self.edges.capacity() * std::mem::size_of::<EdgeId>())
+                    as u64,
+        )
+    }
+}
+
+/// Reusable buffers for [`find_terminal_beyond_csr`] (shared with the
+/// terminal-Steiner variant).
+#[derive(Default)]
+pub(crate) struct BeyondScratch {
+    inc: IncidenceCsr,
+    seen: Vec<bool>,
+    stack: Vec<VertexId>,
+    allocs: u64,
+}
+
+impl BeyondScratch {
+    pub(crate) fn preallocate(&mut self, n: usize, max_edges: usize) {
+        self.inc.preallocate(n, max_edges);
+        if self.seen.capacity() < n {
+            self.seen.reserve(n - self.seen.capacity());
+        }
+        if self.stack.capacity() < n {
+            self.stack.reserve(n - self.stack.capacity());
+        }
+    }
+
+    pub(crate) fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.allocs + self.inc.alloc_events(),
+            self.inc.capacity_bytes()
+                + (self.seen.capacity() * std::mem::size_of::<bool>()
+                    + self.stack.capacity() * std::mem::size_of::<VertexId>())
+                    as u64,
+        )
+    }
+}
+
+impl TreeSearch {
+    fn usage(&self) -> ScratchUsage {
+        let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
+        self.trail.usage()
+            + ScratchUsage::new(
+                self.csr.alloc_events() + self.doubled.alloc_events(),
+                self.csr.capacity_bytes() + self.doubled.capacity_bytes(),
+            )
+            + ScratchUsage::new(
+                self.completion.alloc_events(),
+                self.completion.capacity_bytes(),
+            )
+            + self.beyond.usage()
+            + pool
+            + ScratchUsage::new(self.extra_allocs, 0)
+    }
 }
 
 impl<'g> SteinerTree<'g> {
@@ -128,12 +241,40 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             return Ok(Prepared::Single(Vec::new()));
         }
         let bridge = bridges(g, None);
-        let t = PartialTree::new(g.num_vertices(), &self.terminals, Some(self.terminals[0]));
-        self.search = Some(TreeSearch {
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let t = PartialTree::new(n, &self.terminals, Some(self.terminals[0]));
+        // Build the flat views once and size every scratch buffer now, so
+        // the search never allocates (asserted via `scratch_allocs`).
+        let csr = CsrUndirected::from_graph(g);
+        let doubled = Arc::new(CsrDigraph::doubled(g));
+        let mut completion = CompletionScratch::default();
+        completion.preallocate(n, m);
+        let mut beyond = BeyondScratch::default();
+        beyond.preallocate(n, m);
+        let mut trail = Trail::new();
+        trail.preallocate(2 * n + 2);
+        let mut pool = Vec::with_capacity(self.terminals.len() + 1);
+        for _ in 0..self.terminals.len() + 1 {
+            let mut bs = BranchScratch::default();
+            bs.preallocate(n, m);
+            pool.push(bs);
+        }
+        let mut search = TreeSearch {
             t,
-            edge_in_t: vec![false; g.num_edges()],
+            edge_in_t: vec![false; m],
+            trail,
             bridge,
-        });
+            csr,
+            doubled,
+            completion,
+            beyond,
+            pool,
+            depth: 0,
+            extra_allocs: 0,
+            baseline_allocs: 0,
+        };
+        search.baseline_allocs = search.usage().allocs;
+        self.search = Some(search);
         Ok(Prepared::Search)
     }
 
@@ -149,8 +290,7 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         &mut self.stats
     }
 
-    fn classify(&mut self) -> NodeStep<EdgeId, VertexId> {
-        let g: &UndirectedGraph = &self.g;
+    fn classify(&mut self, out: &mut Vec<EdgeId>) -> NodeStep<VertexId> {
         let stats = &mut self.stats;
         let search = self
             .search
@@ -159,14 +299,24 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         if search.t.complete() {
             return NodeStep::Complete;
         }
-        // Minimal completion T' ⊇ T: spanning tree + Proposition 3 pruning.
-        let grown = grow_spanning_tree(g, &search.t.vertices, &search.t.edges, None);
-        stats.work += (g.num_vertices() + g.num_edges()) as u64;
+        // Minimal completion T' ⊇ T: spanning tree + Proposition 3 pruning,
+        // in the preallocated completion scratch.
+        grow_spanning_tree_csr(
+            &search.csr,
+            &search.t.vertices,
+            &search.t.edges,
+            None,
+            &mut search.completion,
+        );
+        stats.work += (search.csr.num_vertices() + search.csr.num_edges()) as u64;
         let is_terminal = &search.t.is_terminal;
         let in_tree = &search.t.in_tree;
-        let tprime = prune_leaves(g, &grown.edges, |v| {
-            is_terminal[v.index()] || in_tree[v.index()]
-        });
+        prune_leaves_csr(
+            &search.csr,
+            |v| is_terminal[v.index()] || in_tree[v.index()],
+            &mut search.completion,
+        );
+        let tprime = &search.completion.edges;
         // A non-bridge edge of T' ∖ T ⇒ some missing terminal has ≥2 paths.
         let candidate = tprime
             .iter()
@@ -174,13 +324,17 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             .find(|e| !search.edge_in_t[e.index()] && !search.bridge[e.index()]);
         match candidate {
             // T' is the unique minimal Steiner tree containing T (Lemma 16).
-            None => NodeStep::Unique(tprime),
-            Some(e_star) => NodeStep::Branch(find_terminal_beyond(
-                g,
-                &tprime,
+            None => {
+                out.extend_from_slice(tprime);
+                NodeStep::Unique
+            }
+            Some(e_star) => NodeStep::Branch(find_terminal_beyond_csr(
+                &search.csr,
+                tprime,
                 e_star,
                 &search.t.in_tree,
                 &search.t.is_terminal,
+                &mut search.beyond,
                 &mut stats.work,
             )),
         }
@@ -194,48 +348,89 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         out.extend_from_slice(&search.t.edges);
     }
 
+    fn seal_stats(&mut self) {
+        if let Some(search) = &self.search {
+            let usage = search.usage();
+            self.stats.note_scratch(ScratchUsage::new(
+                usage.allocs - search.baseline_allocs,
+                usage.bytes,
+            ));
+        }
+    }
+
     fn branch(
         &mut self,
         w: VertexId,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> (u64, ControlFlow<()>) {
         let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
-        // The instance snapshots V(T), so mutations during recursion are
-        // safe (it owns its doubled digraph).
-        let inst = {
+        self.stats.work += per_child;
+        // Take this depth's scratch out of the pool so the enumeration can
+        // borrow it while the sink mutates `self` (deeper branches use
+        // deeper pool entries).
+        let (mut bs, doubled, depth) = {
             let search = self
                 .search
-                .as_ref()
+                .as_mut()
                 .expect("prepare() runs before the search");
-            SourceSetInstance::new(&self.g, &search.t.in_tree, None)
+            let depth = search.depth;
+            if search.pool.len() <= depth {
+                search.extra_allocs += 1;
+                let mut fresh = BranchScratch::default();
+                fresh.preallocate(search.csr.num_vertices(), search.csr.num_edges());
+                search.pool.push(fresh);
+            }
+            search.depth = depth + 1;
+            let mut bs = std::mem::take(&mut search.pool[depth]);
+            // Snapshot V(T) — the source set of this branch's valid paths —
+            // before the children mutate it.
+            bs.sources.clear();
+            bs.sources.extend_from_slice(&search.t.vertices);
+            bs.path.begin(search.csr.num_vertices() + 1);
+            (bs, Arc::clone(&search.doubled), depth)
         };
-        self.stats.work += per_child;
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
-        let _pstats = inst.enumerate(w, &mut |p| {
-            children += 1;
-            // The paper's accounting: each child is generated with
-            // O(n + m) delay (Theorem 12), charged here so the work
-            // counter advances in step with emissions.
-            self.stats.work += per_child;
-            let verts = p.vertices.to_vec();
-            let edges = p.edges.to_vec();
-            let search = self.search.as_mut().expect("search state");
-            let ext = search.t.extend_path(&verts, &edges);
-            for &e in &edges {
-                search.edge_in_t[e.index()] = true;
-            }
-            let f = child(self);
-            let search = self.search.as_mut().expect("search state");
-            for &e in &edges {
-                search.edge_in_t[e.index()] = false;
-            }
-            search.t.retract(ext);
-            if f.is_break() {
-                flow = ControlFlow::Break(());
-            }
-            f
-        });
+        let BranchScratch {
+            path,
+            boundary,
+            sources,
+            edges,
+        } = &mut bs;
+        let _pstats = enumerate_source_set_paths_csr(
+            &doubled,
+            sources,
+            w,
+            EnumerateOptions::default(),
+            path,
+            boundary,
+            &mut |p| {
+                children += 1;
+                // The paper's accounting: each child is generated with
+                // O(n + m) delay (Theorem 12), charged here so the work
+                // counter advances in step with emissions.
+                self.stats.work += per_child;
+                edges.clear();
+                edges.extend(p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)));
+                let search = self.search.as_mut().expect("search state");
+                let ext = search.t.extend_path(p.vertices, edges);
+                let mark = search.trail.mark();
+                for &e in edges.iter() {
+                    search.trail.set(&mut search.edge_in_t, e.index());
+                }
+                let f = child(self);
+                let search = self.search.as_mut().expect("search state");
+                search.trail.undo_to(&mut search.edge_in_t, mark);
+                search.t.retract(ext);
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                }
+                f
+            },
+        );
+        let search = self.search.as_mut().expect("search state");
+        search.pool[depth] = bs;
+        search.depth = depth;
         debug_assert!(
             children >= 2 || flow.is_break(),
             "improved enumeration tree: internal nodes have ≥ 2 children"
@@ -247,54 +442,54 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
 /// Finds a terminal not yet in the partial tree on the far side of
 /// `e_star` within the tree `tprime` (the side not containing the partial
 /// tree). Such a terminal exists whenever `e_star ∈ E(T′) ∖ E(T)` (§4.2);
-/// shared with the terminal-Steiner variant.
-pub(crate) fn find_terminal_beyond(
-    g: &UndirectedGraph,
+/// shared with the terminal-Steiner variant. Allocation-free: all state
+/// lives in `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn find_terminal_beyond_csr(
+    g: &CsrUndirected,
     tprime: &[EdgeId],
     e_star: EdgeId,
     in_tree: &[bool],
     is_terminal: &[bool],
+    scratch: &mut BeyondScratch,
     work: &mut u64,
 ) -> VertexId {
     let n = g.num_vertices();
-    let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-    for &e in tprime {
-        let (u, v) = g.endpoints(e);
-        incident[u.index()].push(e);
-        incident[v.index()].push(e);
-    }
-    let side_of = |start: VertexId, work: &mut u64| {
-        let mut seen = vec![false; n];
-        let mut stack = vec![start];
-        let mut side = Vec::new();
-        seen[start.index()] = true;
-        while let Some(u) = stack.pop() {
-            side.push(u);
-            for &e in &incident[u.index()] {
+    scratch.inc.rebuild(n, tprime, |e| g.endpoints(e));
+    let (a, b) = g.endpoints(e_star);
+    // Explore the side of `a`; if it touches the partial tree, the far
+    // side is `b`'s. T′ is a tree, so exactly one side avoids V(T).
+    for start in [a, b] {
+        steiner_graph::csr::grow(&mut scratch.seen, n, false, &mut scratch.allocs);
+        scratch.stack.clear();
+        scratch.seen[start.index()] = true;
+        scratch.stack.push(start);
+        let mut has_tree_vertex = false;
+        let mut missing: Option<VertexId> = None;
+        while let Some(u) = scratch.stack.pop() {
+            if in_tree[u.index()] {
+                has_tree_vertex = true;
+            }
+            if missing.is_none() && is_terminal[u.index()] && !in_tree[u.index()] {
+                missing = Some(u);
+            }
+            for &e in scratch.inc.incident(u) {
                 *work += 1;
                 if e == e_star {
                     continue;
                 }
                 let v = g.other_endpoint(e, u);
-                if !seen[v.index()] {
-                    seen[v.index()] = true;
-                    stack.push(v);
+                if !scratch.seen[v.index()] {
+                    scratch.seen[v.index()] = true;
+                    scratch.stack.push(v);
                 }
             }
         }
-        side
-    };
-    let (a, b) = g.endpoints(e_star);
-    let side_a = side_of(a, work);
-    let far_side = if side_a.iter().any(|v| in_tree[v.index()]) {
-        side_of(b, work)
-    } else {
-        side_a
-    };
-    far_side
-        .into_iter()
-        .find(|v| is_terminal[v.index()] && !in_tree[v.index()])
-        .expect("the far side of a T'∖T edge contains a missing terminal")
+        if !has_tree_vertex {
+            return missing.expect("the far side of a T'∖T edge contains a missing terminal");
+        }
+    }
+    unreachable!("one side of a tree edge avoids the partial tree")
 }
 
 /// Enumerates all minimal Steiner trees of `(g, terminals)` through an
@@ -505,6 +700,30 @@ mod tests {
                 .unwrap()
                 .collect();
         assert_eq!(direct, iterated);
+    }
+
+    #[test]
+    fn search_does_not_allocate_after_prepare() {
+        for (g, w) in [
+            (
+                steiner_graph::generators::grid(3, 4),
+                vec![VertexId(0), VertexId(11), VertexId(5)],
+            ),
+            (
+                steiner_graph::generators::theta_chain(5, 3),
+                vec![VertexId(0), VertexId(5)],
+            ),
+        ] {
+            let (run, stats) = Enumeration::new(SteinerTree::new(&g, &w)).with_stats();
+            run.run().unwrap();
+            let stats = stats.get();
+            assert!(stats.solutions > 0);
+            assert_eq!(
+                stats.scratch_allocs, 0,
+                "terminals {w:?}: the search must not allocate after prepare()"
+            );
+            assert!(stats.peak_scratch_bytes > 0, "scratch accounting is live");
+        }
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod simple;
 pub mod solver;
 pub mod stats;
 pub mod terminal;
+pub mod trail;
 pub mod verify;
 
 pub use directed::DirectedSteinerTree;
@@ -81,6 +82,7 @@ pub use queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 pub use solver::{Enumeration, Solutions, StatsHandle};
 pub use stats::EnumStats;
 pub use terminal::TerminalSteinerTree;
+pub use trail::{ScratchUsage, Trail, TrailMark};
 
 /// A sink receiving each solution as a sorted slice of edge ids (arc ids
 /// for the directed problem). Return [`std::ops::ControlFlow::Break`] to

@@ -125,14 +125,15 @@ pub enum Prepared<Item> {
 /// The per-node analysis of Algorithm 3, as computed by
 /// [`MinimalSteinerProblem::classify`].
 #[derive(Debug, Clone)]
-pub enum NodeStep<Item, Branch> {
+pub enum NodeStep<Branch> {
     /// The partial solution is itself a solution: emit it (via
     /// [`MinimalSteinerProblem::solution`]) and close the node as a leaf.
     Complete,
     /// Exactly one minimal solution contains the partial one — the
-    /// uniqueness certificates of Lemmas 16/24/30/35. The payload is the
-    /// full solution; the node closes as a leaf.
-    Unique(Vec<Item>),
+    /// uniqueness certificates of Lemmas 16/24/30/35. `classify` wrote the
+    /// full solution into the engine's scratch buffer; the node closes as
+    /// a leaf.
+    Unique,
     /// At least two valid extensions exist for this branch target
     /// (a missing terminal, a disconnected pair, …): recurse per child.
     Branch(Branch),
@@ -182,12 +183,21 @@ pub trait MinimalSteinerProblem {
 
     /// The Algorithm-3 node analysis: complete / unique completion /
     /// branch target (ingredients 1–3 above).
-    fn classify(&mut self) -> NodeStep<Self::Item, Self::Branch>;
+    ///
+    /// `out` is the engine's reusable emission buffer (cleared before the
+    /// call). A [`NodeStep::Unique`] answer writes the full solution into
+    /// it — replacing the per-leaf `Vec` allocation of earlier revisions.
+    fn classify(&mut self, out: &mut Vec<Self::Item>) -> NodeStep<Self::Branch>;
 
     /// Writes the current complete partial solution into `out`
     /// (unsorted; the engine sorts before emission). Only called when
     /// [`Self::classify`] returned [`NodeStep::Complete`].
     fn solution(&self, out: &mut Vec<Self::Item>);
+
+    /// Called by the engine when the run finishes (normally or by early
+    /// termination), before the statistics are published: fold scratch
+    /// accounting ([`crate::trail::ScratchUsage`]) into `stats_mut()`.
+    fn seal_stats(&mut self) {}
 
     /// Applies each valid extension for `at` in turn: extend the partial
     /// solution, invoke `child`, retract. Stops early when `child` breaks.

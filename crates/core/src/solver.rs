@@ -43,18 +43,23 @@ pub struct StatsHandle(Arc<Mutex<EnumStats>>);
 
 impl StatsHandle {
     /// The most recently published statistics.
+    ///
+    /// Robust against a poisoned inner mutex: if the worker thread
+    /// panicked mid-run, later reads recover the last published value
+    /// instead of compounding the panic.
     pub fn get(&self) -> EnumStats {
-        *self.0.lock().expect("stats handle poisoned")
+        *self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn set(&self, stats: EnumStats) {
-        *self.0.lock().expect("stats handle poisoned") = stats;
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = stats;
     }
 }
 
 /// The shared Algorithm-3 recursion: classify the node, emit leaves,
-/// branch internal nodes.
-#[allow(clippy::ptr_arg)] // the scratch buffer is grown by `emit`
+/// branch internal nodes. `scratch` is the engine's only per-run buffer —
+/// classify writes unique completions straight into it, so a node costs
+/// zero engine-side allocations.
 fn recurse<P: MinimalSteinerProblem>(
     p: &mut P,
     depth: u32,
@@ -62,17 +67,17 @@ fn recurse<P: MinimalSteinerProblem>(
     scratch: &mut Vec<P::Item>,
 ) -> ControlFlow<()> {
     emitter.tick(p.stats().work)?;
-    match p.classify() {
+    scratch.clear();
+    match p.classify(scratch) {
         NodeStep::Complete => {
             p.stats_mut().note_node(0, depth);
             scratch.clear();
             p.solution(scratch);
             emit(p, emitter, scratch)
         }
-        NodeStep::Unique(items) => {
+        NodeStep::Unique => {
+            // classify filled `scratch` with the unique completion.
             p.stats_mut().note_node(0, depth);
-            scratch.clear();
-            scratch.extend_from_slice(&items);
             emit(p, emitter, scratch)
         }
         NodeStep::Branch(at) => {
@@ -110,13 +115,18 @@ pub fn run_prepared<P: MinimalSteinerProblem>(
             emitter.solution(&scratch, p.stats().work)
         }
         Prepared::Search => {
-            let mut scratch = Vec::new();
+            // Solutions are forests: at most n − 1 items each, so sizing
+            // the emission buffer once keeps the whole run allocation-free
+            // on the engine side.
+            let (n, _) = p.instance_size();
+            let mut scratch = Vec::with_capacity(n + 1);
             recurse(p, 0, emitter, &mut scratch)
         }
     };
     if flow.is_continue() {
         let _ = emitter.finish();
     }
+    p.seal_stats();
     p.stats_mut().note_end();
     *p.stats()
 }
@@ -350,7 +360,146 @@ pub struct Solutions<Item> {
 impl<Item> Iterator for Solutions<Item> {
     type Item = Vec<Item>;
 
+    /// Yields the next solution. If the producer thread **panicked**, the
+    /// panic is re-raised here instead of silently ending the stream — a
+    /// partial enumeration is never passed off as a complete one.
     fn next(&mut self) -> Option<Vec<Item>> {
         self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::improved::SteinerTree;
+    use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+
+    #[test]
+    fn stats_handle_recovers_from_poisoned_mutex() {
+        // Poison the inner mutex by panicking while holding the lock on
+        // another thread — the situation after a worker-thread panic
+        // mid-run. Later reads must return the last published value
+        // instead of panicking in turn.
+        let handle = StatsHandle::default();
+        let mut stats = EnumStats::default();
+        stats.solutions = 7;
+        handle.set(stats);
+        let poisoner = handle.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.0.lock().unwrap();
+            panic!("worker dies while holding the stats lock");
+        })
+        .join();
+        assert!(handle.0.is_poisoned(), "the mutex is actually poisoned");
+        assert_eq!(handle.get().solutions, 7, "get() recovers the value");
+        let mut stats2 = EnumStats::default();
+        stats2.solutions = 9;
+        handle.set(stats2);
+        assert_eq!(handle.get().solutions, 9, "set() keeps working too");
+    }
+
+    /// A problem whose sink-side machinery panics mid-enumeration: it
+    /// claims two solutions but blows up while classifying the second.
+    struct PanickingProblem {
+        emitted: u64,
+        stats: EnumStats,
+    }
+
+    impl MinimalSteinerProblem for PanickingProblem {
+        type Item = EdgeId;
+        type Branch = ();
+
+        const NAME: &'static str = "panicking test problem";
+
+        fn validate(&self) -> Result<(), SteinerError> {
+            Ok(())
+        }
+
+        fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
+            Ok(Prepared::Search)
+        }
+
+        fn instance_size(&self) -> (usize, usize) {
+            (2, 1)
+        }
+
+        fn stats(&self) -> &EnumStats {
+            &self.stats
+        }
+
+        fn stats_mut(&mut self) -> &mut EnumStats {
+            &mut self.stats
+        }
+
+        fn classify(&mut self, _out: &mut Vec<EdgeId>) -> NodeStep<()> {
+            match self.emitted {
+                0 => NodeStep::Branch(()),
+                1 => NodeStep::Complete,
+                _ => panic!("enumeration dies after the first solution"),
+            }
+        }
+
+        fn solution(&self, out: &mut Vec<EdgeId>) {
+            out.push(EdgeId(0));
+        }
+
+        fn branch(
+            &mut self,
+            _at: (),
+            child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+        ) -> (u64, ControlFlow<()>) {
+            let mut children = 0;
+            let mut flow = ControlFlow::Continue(());
+            for _ in 0..2 {
+                self.emitted += 1;
+                let f = child(self);
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                    break;
+                }
+                children += 1;
+            }
+            (children, flow)
+        }
+    }
+
+    #[test]
+    fn iterator_surfaces_producer_panic() {
+        let mut iter = Enumeration::new(PanickingProblem {
+            emitted: 0,
+            stats: EnumStats::default(),
+        })
+        .into_iter()
+        .expect("prepare succeeds");
+        // The first solution arrives before the panic.
+        assert_eq!(iter.next(), Some(vec![EdgeId(0)]));
+        // Draining past the panic must re-raise it, not end the stream.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                move || {
+                    while iter.next().is_some() {}
+                },
+            ));
+        let payload = outcome.expect_err("the producer panic propagates to the consumer");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-string payload");
+        assert!(
+            msg.contains("dies after the first solution"),
+            "the original panic message survives: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn completed_iterator_ends_cleanly() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let mut iter = Enumeration::new(SteinerTree::from_graph(g, &[VertexId(0), VertexId(1)]))
+            .into_iter()
+            .unwrap();
+        assert!(iter.next().is_some());
+        assert!(iter.next().is_some());
+        assert_eq!(iter.next(), None, "normal completion stays a clean None");
+        assert_eq!(iter.next(), None, "and is idempotent");
     }
 }

@@ -30,6 +30,16 @@ pub struct EnumStats {
     /// Maximum work-unit gap between two consecutive emissions (the
     /// empirical delay in work units).
     pub max_emission_gap: u64,
+    /// Heap allocations performed by the search *after* `prepare()`
+    /// returned: buffer-growth events recorded by the reusable scratch
+    /// structures (trail, CSR rebuilds, path-enumerator arenas). The
+    /// improved enumerators keep this at **zero** on warm instances —
+    /// the testable form of the "no allocator traffic in `recurse`"
+    /// claim.
+    pub scratch_allocs: u64,
+    /// Bytes of scratch capacity owned by the search state at the end of
+    /// the run (peak, since scratch buffers only grow).
+    pub peak_scratch_bytes: u64,
     /// Work units at the last emission (internal bookkeeping for the gap).
     last_emission_work: u64,
     /// Whether anything was emitted yet (the first gap counts from zero).
@@ -56,6 +66,16 @@ impl EnumStats {
         let gap = self.work - self.last_emission_work;
         if self.emitted_any && gap > self.max_emission_gap {
             self.max_emission_gap = gap;
+        }
+    }
+
+    /// Records the search's scratch accounting (see
+    /// [`crate::trail::ScratchUsage`]); called by the problems'
+    /// `seal_stats` when a run finishes.
+    pub fn note_scratch(&mut self, usage: crate::trail::ScratchUsage) {
+        self.scratch_allocs = usage.allocs;
+        if usage.bytes > self.peak_scratch_bytes {
+            self.peak_scratch_bytes = usage.bytes;
         }
     }
 

@@ -11,7 +11,8 @@
 //!
 //! 1. builds a *cleaned* copy of `G` without terminal-terminal edges
 //!    (remembering original edge ids for emission), and
-//! 2. splits it into admissible components, each with its own bridge set.
+//! 2. splits it into admissible components, each with its own bridge set
+//!    and precomputed vertex masks.
 //!
 //! The engine's root node branches over all admissible components (the
 //! [`TerminalBranch::Root`] target: the `w₀`-`w₁` paths of an empty
@@ -25,21 +26,32 @@
 //! The root (case (1) of the paper) may legitimately have one child; the
 //! paper treats it as "linear-time preprocessing", and it is the one
 //! exception to the ≥2-children invariant that the stats report.
+//!
+//! Hot-path state management follows the engine-wide zero-allocation
+//! discipline: the cleaned graph's CSR and doubled-CSR views, all vertex
+//! masks (including the per-component `G[C ∪ {w₀, w₁}]` masks) and the
+//! augmented-graph scratch of the exact two-paths test are built once in
+//! `prepare()`; `branch` snapshots and rolls back through the [`Trail`]
+//! instead of cloning component masks.
 
-use crate::improved::find_terminal_beyond;
+use crate::improved::{find_terminal_beyond_csr, BeyondScratch, BranchScratch};
 use crate::partial::PartialTree;
 use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
+use crate::trail::{ScratchUsage, Trail};
 use std::borrow::Cow;
 use std::ops::ControlFlow;
-use steiner_graph::bridges::bridges;
+use std::sync::Arc;
+use steiner_graph::bridges::{bridges_csr_into, BridgeScratch};
 use steiner_graph::connectivity::{all_in_one_component, connected_components};
-use steiner_graph::spanning::{grow_spanning_tree, prune_leaves};
-use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
-use steiner_paths::stsets::SourceSetInstance;
+use steiner_graph::csr::grow;
+use steiner_graph::spanning::{grow_spanning_tree_csr, prune_leaves_csr, CompletionScratch};
+use steiner_graph::{CsrDigraph, CsrUndirected, EdgeId, UndirectedGraph, VertexId};
+use steiner_paths::enumerate::{EnumerateOptions, PathScratch};
+use steiner_paths::stsets::enumerate_source_set_paths_csr;
 
 /// Branch targets of the terminal variant: the component-and-first-path
 /// root expansion, or a missing terminal with ≥ 2 valid paths.
@@ -76,19 +88,43 @@ pub struct TerminalSteinerTree<'g> {
 
 enum TerminalSearch {
     /// |W| = 2: solutions are exactly the `w₀`-`w₁` paths of `G`.
-    TwoTerminals {
-        /// The path currently being emitted (set during the root branch).
-        current: Option<Vec<EdgeId>>,
-    },
-    /// |W| ≥ 3: per-component search over the cleaned graph (boxed: this
-    /// variant is much larger than the two-terminal one).
+    TwoTerminals(Box<TwoTerminalSearch>),
+    /// |W| ≥ 3: per-component search over the cleaned graph.
     Components(Box<ComponentSearch>),
+}
+
+/// |W| = 2 search state: one doubled CSR of `G` plus a path scratch (the
+/// root is the only branch, so no depth pool is needed).
+struct TwoTerminalSearch {
+    doubled: Arc<CsrDigraph>,
+    path: PathScratch,
+    boundary: Vec<(VertexId, steiner_graph::ArcId)>,
+    /// The path currently being emitted (set during the root branch).
+    current: Vec<EdgeId>,
+    active: bool,
+    baseline_allocs: u64,
+}
+
+impl TwoTerminalSearch {
+    fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.doubled.alloc_events() + self.path.alloc_events(),
+            self.doubled.capacity_bytes()
+                + self.path.capacity_bytes()
+                + (self.boundary.capacity()
+                    * std::mem::size_of::<(VertexId, steiner_graph::ArcId)>()
+                    + self.current.capacity() * std::mem::size_of::<EdgeId>())
+                    as u64,
+        )
+    }
 }
 
 struct ComponentSearch {
     /// `G` with all terminal-terminal edges removed (Lemma 27), same
-    /// vertex ids as `G`.
-    gc: UndirectedGraph,
+    /// vertex ids as `G`, as a flat CSR view.
+    gc: CsrUndirected,
+    /// Doubled CSR of the cleaned graph (shared with nested branches).
+    gc_doubled: Arc<CsrDigraph>,
     /// For each cleaned edge: the original edge id (for emission).
     orig_edge: Vec<EdgeId>,
     /// The admissible components (`W ⊆ N(C)`).
@@ -98,14 +134,89 @@ struct ComponentSearch {
     active: Option<usize>,
     t: PartialTree,
     edge_in_t: Vec<bool>,
+    /// Undo log for `edge_in_t`.
+    trail: Trail,
+    completion: CompletionScratch,
+    beyond: BeyondScratch,
+    /// Seed buffer for the minimal completion (`V(T) ∩ C`).
+    seeds: Vec<VertexId>,
+    aug: AugScratch,
+    pool: Vec<BranchScratch>,
+    depth: usize,
+    extra_allocs: u64,
+    baseline_allocs: u64,
 }
 
 struct ComponentCtx {
     /// `comp_mask[v]` — whether `v` belongs to this component `C`.
     comp_mask: Vec<bool>,
+    /// `comp_mask` plus `{w₀, w₁}`: the vertex set of the root expansion's
+    /// `G[C ∪ {w₀, w₁}]` (precomputed — the root no longer clones masks).
+    allowed01: Vec<bool>,
     /// Bridges of `G[C ∪ W]` (cleaned graph, masked) — fixed per component
     /// (Lemma 30).
     bridge: Vec<bool>,
+}
+
+/// Reusable buffers for the exact two-valid-paths test: the augmented
+/// super-source graph is rebuilt in place per call.
+#[derive(Default)]
+struct AugScratch {
+    endpoints: Vec<(VertexId, VertexId)>,
+    csr: CsrUndirected,
+    bridge: BridgeScratch,
+    visited: Vec<bool>,
+    parent_edge: Vec<u32>,
+    queue: Vec<VertexId>,
+    allocs: u64,
+}
+
+impl AugScratch {
+    fn preallocate(&mut self, n: usize, m: usize) {
+        if self.endpoints.capacity() < m {
+            self.endpoints.reserve(m - self.endpoints.capacity());
+        }
+        self.csr.preallocate(n + 1, m);
+        self.bridge.preallocate(n + 1, m);
+        grow(&mut self.visited, n + 1, false, &mut self.allocs);
+        grow(&mut self.parent_edge, n + 1, 0u32, &mut self.allocs);
+        if self.queue.capacity() < n + 1 {
+            self.queue.reserve(n + 1 - self.queue.capacity());
+        }
+        self.allocs = 0;
+    }
+
+    fn usage(&self) -> ScratchUsage {
+        ScratchUsage::new(
+            self.allocs + self.csr.alloc_events() + self.bridge.alloc_events(),
+            self.csr.capacity_bytes()
+                + self.bridge.capacity_bytes()
+                + (self.endpoints.capacity() * std::mem::size_of::<(VertexId, VertexId)>()
+                    + self.visited.capacity() * std::mem::size_of::<bool>()
+                    + self.parent_edge.capacity() * std::mem::size_of::<u32>()
+                    + self.queue.capacity() * std::mem::size_of::<VertexId>())
+                    as u64,
+        )
+    }
+}
+
+impl ComponentSearch {
+    fn usage(&self) -> ScratchUsage {
+        let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
+        self.trail.usage()
+            + ScratchUsage::new(
+                self.gc.alloc_events() + self.gc_doubled.alloc_events(),
+                self.gc.capacity_bytes() + self.gc_doubled.capacity_bytes(),
+            )
+            + ScratchUsage::new(
+                self.completion.alloc_events(),
+                self.completion.capacity_bytes(),
+            )
+            + self.beyond.usage()
+            + self.aug.usage()
+            + pool
+            + ScratchUsage::new(self.extra_allocs, 0)
+    }
 }
 
 impl<'g> TerminalSteinerTree<'g> {
@@ -141,43 +252,45 @@ impl<'g> TerminalSteinerTree<'g> {
     }
 }
 
-/// A minimal terminal Steiner tree `T′ ⊇ T` (Lemma 28's construction).
-fn minimal_completion(
-    gc: &UndirectedGraph,
+/// A minimal terminal Steiner tree `T′ ⊇ T` (Lemma 28's construction),
+/// left in `completion.edges`. Allocation-free over the scratch buffers.
+fn minimal_completion_csr(
+    gc: &CsrUndirected,
     comp_mask: &[bool],
     terminals: &[VertexId],
     t: &PartialTree,
+    seeds: &mut Vec<VertexId>,
+    completion: &mut CompletionScratch,
     work: &mut u64,
-) -> Vec<EdgeId> {
-    let n = gc.num_vertices();
-    *work += (n + gc.num_edges()) as u64;
+) {
+    *work += (gc.num_vertices() + gc.num_edges()) as u64;
     // Stage 1: span C from the non-terminal part of T.
-    let seeds: Vec<VertexId> = t
-        .vertices
-        .iter()
-        .copied()
-        .filter(|v| comp_mask[v.index()])
-        .collect();
+    seeds.clear();
+    seeds.extend(t.vertices.iter().copied().filter(|v| comp_mask[v.index()]));
     debug_assert!(!seeds.is_empty(), "a nonempty partial tree touches C");
-    let grown = grow_spanning_tree(gc, &seeds, &t.edges, Some(comp_mask));
-    let mut edges = grown.edges;
+    grow_spanning_tree_csr(gc, seeds, &t.edges, Some(comp_mask), completion);
     // Stage 2: one leaf edge per missing terminal.
     for &w in terminals {
         if t.in_tree[w.index()] {
             continue;
         }
         let leaf_edge = gc
-            .neighbors(w)
+            .adjacency(w)
+            .iter()
             .filter(|(v, _)| comp_mask[v.index()])
-            .map(|(_, e)| e)
+            .map(|&(_, e)| e)
             .min()
             .expect("W ⊆ N(C) guarantees an attachment edge");
-        edges.push(leaf_edge);
+        completion.edges.push(leaf_edge);
     }
     // Stage 3: prune non-terminal leaves (Proposition 26).
     let is_terminal = &t.is_terminal;
     let in_tree = &t.in_tree;
-    prune_leaves(gc, &edges, |v| is_terminal[v.index()] || in_tree[v.index()])
+    prune_leaves_csr(
+        gc,
+        |v| is_terminal[v.index()] || in_tree[v.index()],
+        completion,
+    );
 }
 
 /// Exact test: does `w` have at least two valid paths? A valid path is
@@ -191,45 +304,67 @@ fn minimal_completion(
 /// rerouting cycle passes through *another terminal* — which valid
 /// paths must avoid. See DESIGN.md §9.6 (erratum note).
 fn has_two_valid_paths(
-    gc: &UndirectedGraph,
+    gc: &CsrUndirected,
     comp_mask: &[bool],
     t: &PartialTree,
     w: VertexId,
+    aug: &mut AugScratch,
     work: &mut u64,
 ) -> bool {
     let n = gc.num_vertices();
     *work += (n + gc.num_edges()) as u64;
     // Vertices 0..n are gc's; vertex n is the super-source.
-    let mut aug = UndirectedGraph::new(n + 1);
     let super_source = VertexId::new(n);
     let in_c_or_w = |v: VertexId| comp_mask[v.index()] || v == w;
     let source = |v: VertexId| t.in_tree[v.index()] && comp_mask[v.index()];
-    for e in gc.edges() {
-        let (u, v) = gc.endpoints(e);
+    aug.endpoints.clear();
+    for i in 0..gc.num_edges() {
+        let (u, v) = gc.endpoints(EdgeId::new(i));
         match (source(u), source(v)) {
             (true, true) => {}
-            (true, false) if in_c_or_w(v) => {
-                aug.add_edge(super_source, v).expect("augmented edge");
-            }
-            (false, true) if in_c_or_w(u) => {
-                aug.add_edge(super_source, u).expect("augmented edge");
-            }
-            (false, false) if in_c_or_w(u) && in_c_or_w(v) => {
-                aug.add_edge(u, v).expect("augmented edge");
-            }
+            (true, false) if in_c_or_w(v) => aug.endpoints.push((super_source, v)),
+            (false, true) if in_c_or_w(u) => aug.endpoints.push((super_source, u)),
+            (false, false) if in_c_or_w(u) && in_c_or_w(v) => aug.endpoints.push((u, v)),
             _ => {}
         }
     }
-    let forest = steiner_graph::traversal::bfs(&aug, &[super_source], None);
-    if !forest.visited[w.index()] {
+    aug.csr.rebuild_from_edges(n + 1, &aug.endpoints);
+    // BFS from the super-source, recording parent edges.
+    const NONE: u32 = u32::MAX;
+    grow(&mut aug.visited, n + 1, false, &mut aug.allocs);
+    grow(&mut aug.parent_edge, n + 1, NONE, &mut aug.allocs);
+    aug.queue.clear();
+    aug.visited[super_source.index()] = true;
+    aug.queue.push(super_source);
+    let mut head = 0;
+    while head < aug.queue.len() {
+        let u = aug.queue[head];
+        head += 1;
+        for &(v, e) in aug.csr.adjacency(u) {
+            if !aug.visited[v.index()] {
+                aug.visited[v.index()] = true;
+                aug.parent_edge[v.index()] = e.0;
+                aug.queue.push(v);
+            }
+        }
+    }
+    if !aug.visited[w.index()] {
         return false; // no valid path at all (cannot happen mid-run)
     }
-    let bridge = bridges(&aug, None);
-    let (_, path_edges) = steiner_graph::traversal::forest_path_to(&forest, w)
-        .expect("w is reachable from the super-source");
+    bridges_csr_into(&aug.csr, None, &mut aug.bridge);
     // Unique iff every edge of this path is a bridge (Lemma 16 with
-    // T = {super-source}).
-    !path_edges.iter().all(|e| bridge[e.index()])
+    // T = {super-source}); i.e. a second path exists iff some edge of the
+    // BFS path is not a bridge.
+    let mut cur = w;
+    while cur != super_source {
+        let e = aug.parent_edge[cur.index()];
+        debug_assert_ne!(e, NONE, "w is reachable from the super-source");
+        if !aug.bridge.is_bridge[e as usize] {
+            return true;
+        }
+        cur = aug.csr.other_endpoint(EdgeId(e), cur);
+    }
+    false
 }
 
 impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
@@ -258,7 +393,20 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         if self.terminals.len() == 2 {
             // Minimal terminal Steiner trees with two terminals are exactly
             // the w₀-w₁ paths (§5.1).
-            self.search = Some(TerminalSearch::TwoTerminals { current: None });
+            let doubled = Arc::new(CsrDigraph::doubled(g));
+            let mut path = PathScratch::new();
+            path.preallocate(n + 2, 2 * g.num_edges() + 2);
+            let boundary = Vec::with_capacity(2 * g.num_edges() + 2);
+            let mut search = TwoTerminalSearch {
+                doubled,
+                path,
+                boundary,
+                current: Vec::with_capacity(n + 1),
+                active: false,
+                baseline_allocs: 0,
+            };
+            search.baseline_allocs = search.usage().allocs;
+            self.search = Some(TerminalSearch::TwoTerminals(Box::new(search)));
             return Ok(Prepared::Search);
         }
         // |W| ≥ 3: clean the graph, split into admissible components.
@@ -279,6 +427,8 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         let non_terminal_mask: Vec<bool> = (0..n).map(|v| !is_terminal[v]).collect();
         let comps = connected_components(&gc, Some(&non_terminal_mask));
         self.stats.preprocessing_work += (n + gc.num_edges()) as u64;
+        let gc_csr = CsrUndirected::from_graph(&gc);
+        let (w0, w1) = (self.terminals[0], self.terminals[1]);
         let mut admissible = Vec::new();
         for c in 0..comps.count {
             // Admissibility: W ⊆ N(C) (Lemma 27).
@@ -305,21 +455,58 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             for &w in &self.terminals {
                 allowed_cw[w.index()] = true;
             }
-            let bridge = bridges(&gc, Some(&allowed_cw));
-            admissible.push(ComponentCtx { comp_mask, bridge });
+            let bridge = steiner_graph::bridges::bridges(&gc, Some(&allowed_cw));
+            let mut allowed01 = comp_mask.clone();
+            allowed01[w0.index()] = true;
+            allowed01[w1.index()] = true;
+            admissible.push(ComponentCtx {
+                comp_mask,
+                allowed01,
+                bridge,
+            });
         }
         if admissible.is_empty() {
             return Ok(Prepared::Empty);
         }
-        let num_edges = gc.num_edges();
-        self.search = Some(TerminalSearch::Components(Box::new(ComponentSearch {
-            gc,
+        let num_edges = gc_csr.num_edges();
+        let gc_doubled = Arc::new(CsrDigraph::doubled(&gc));
+        let mut completion = CompletionScratch::default();
+        completion.preallocate(n, num_edges);
+        let mut beyond = BeyondScratch::default();
+        beyond.preallocate(n, num_edges);
+        let mut aug = AugScratch::default();
+        aug.preallocate(n, num_edges);
+        let mut trail = Trail::new();
+        trail.preallocate(2 * n + 2);
+        let mut pool = Vec::with_capacity(self.terminals.len() + 2);
+        for _ in 0..self.terminals.len() + 2 {
+            let mut bs = BranchScratch::default();
+            bs.preallocate(n, num_edges);
+            pool.push(bs);
+        }
+        let mut t = PartialTree::new(n, &self.terminals, None);
+        t.vertices.reserve(n + 1);
+        t.edges.reserve(n + 1);
+        let mut search = ComponentSearch {
+            gc: gc_csr,
+            gc_doubled,
             orig_edge,
             comps: admissible,
             active: None,
-            t: PartialTree::new(n, &self.terminals, None),
+            t,
             edge_in_t: vec![false; num_edges],
-        })));
+            trail,
+            completion,
+            beyond,
+            seeds: Vec::with_capacity(n + 1),
+            aug,
+            pool,
+            depth: 0,
+            extra_allocs: 0,
+            baseline_allocs: 0,
+        };
+        search.baseline_allocs = search.usage().allocs;
+        self.search = Some(TerminalSearch::Components(Box::new(search)));
         Ok(Prepared::Search)
     }
 
@@ -335,7 +522,7 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         &mut self.stats
     }
 
-    fn classify(&mut self) -> NodeStep<EdgeId, TerminalBranch> {
+    fn classify(&mut self, _out: &mut Vec<EdgeId>) -> NodeStep<TerminalBranch> {
         let stats = &mut self.stats;
         let terminals = &self.terminals;
         match self
@@ -343,10 +530,13 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             .as_mut()
             .expect("prepare() runs before the search")
         {
-            TerminalSearch::TwoTerminals { current } => match current {
-                Some(_) => NodeStep::Complete,
-                None => NodeStep::Branch(TerminalBranch::Root),
-            },
+            TerminalSearch::TwoTerminals(ts) => {
+                if ts.active {
+                    NodeStep::Complete
+                } else {
+                    NodeStep::Branch(TerminalBranch::Root)
+                }
+            }
             TerminalSearch::Components(cs) => {
                 let Some(active) = cs.active else {
                     return NodeStep::Branch(TerminalBranch::Root);
@@ -355,8 +545,16 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
                     return NodeStep::Complete;
                 }
                 let ctx = &cs.comps[active];
-                let tprime =
-                    minimal_completion(&cs.gc, &ctx.comp_mask, terminals, &cs.t, &mut stats.work);
+                minimal_completion_csr(
+                    &cs.gc,
+                    &ctx.comp_mask,
+                    terminals,
+                    &cs.t,
+                    &mut cs.seeds,
+                    &mut cs.completion,
+                    &mut stats.work,
+                );
+                let tprime = &cs.completion.edges;
                 // Fast certificate (Lemma 30 direction that *is* sound): if
                 // every edge of E(T') ∖ E(T) is a bridge of G[C ∪ W], the
                 // completion is unique.
@@ -371,12 +569,13 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
                         // non-bridge edge; verified exactly, with a fallback
                         // scan over the remaining missing terminals (the
                         // Lemma 30 erratum case).
-                        let primary = find_terminal_beyond(
+                        let primary = find_terminal_beyond_csr(
                             &cs.gc,
-                            &tprime,
+                            tprime,
                             e_star,
                             &cs.t.in_tree,
                             &cs.t.is_terminal,
+                            &mut cs.beyond,
                             &mut stats.work,
                         );
                         if has_two_valid_paths(
@@ -384,24 +583,25 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
                             &ctx.comp_mask,
                             &cs.t,
                             primary,
+                            &mut cs.aug,
                             &mut stats.work,
                         ) {
                             Some(primary)
                         } else {
-                            let missing: Vec<VertexId> = terminals
+                            terminals
                                 .iter()
                                 .copied()
-                                .filter(|v| !cs.t.in_tree[v.index()] && *v != primary)
-                                .collect();
-                            missing.into_iter().find(|&w| {
-                                has_two_valid_paths(
-                                    &cs.gc,
-                                    &ctx.comp_mask,
-                                    &cs.t,
-                                    w,
-                                    &mut stats.work,
-                                )
-                            })
+                                .filter(|&v| !cs.t.in_tree[v.index()] && v != primary)
+                                .find(|&w| {
+                                    has_two_valid_paths(
+                                        &cs.gc,
+                                        &ctx.comp_mask,
+                                        &cs.t,
+                                        w,
+                                        &mut cs.aug,
+                                        &mut stats.work,
+                                    )
+                                })
                         }
                     }
                 };
@@ -409,7 +609,8 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
                     Some(w) => NodeStep::Branch(TerminalBranch::Terminal(w)),
                     // No terminal branches: the completion is unique.
                     None => {
-                        NodeStep::Unique(tprime.iter().map(|e| cs.orig_edge[e.index()]).collect())
+                        _out.extend(cs.completion.edges.iter().map(|e| cs.orig_edge[e.index()]));
+                        NodeStep::Unique
                     }
                 }
             }
@@ -422,12 +623,24 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             .as_ref()
             .expect("prepare() runs before the search")
         {
-            TerminalSearch::TwoTerminals { current } => {
-                out.extend_from_slice(current.as_ref().expect("emitting inside the root branch"));
+            TerminalSearch::TwoTerminals(ts) => {
+                debug_assert!(ts.active, "emitting inside the root branch");
+                out.extend_from_slice(&ts.current);
             }
             TerminalSearch::Components(cs) => {
                 out.extend(cs.t.edges.iter().map(|e| cs.orig_edge[e.index()]));
             }
+        }
+    }
+
+    fn seal_stats(&mut self) {
+        if let Some(search) = &self.search {
+            let (usage, baseline) = match search {
+                TerminalSearch::TwoTerminals(ts) => (ts.usage(), ts.baseline_allocs),
+                TerminalSearch::Components(cs) => (cs.usage(), cs.baseline_allocs),
+            };
+            self.stats
+                .note_scratch(ScratchUsage::new(usage.allocs - baseline, usage.bytes));
         }
     }
 
@@ -453,12 +666,33 @@ impl TerminalSteinerTree<'_> {
         }
     }
 
-    /// The |W| = 2 path slot; panics outside two-terminal mode.
-    fn two_terminal_current_mut(&mut self) -> &mut Option<Vec<EdgeId>> {
+    /// The |W| = 2 search state; panics outside two-terminal mode.
+    fn two_terminal_mut(&mut self) -> &mut TwoTerminalSearch {
         match self.search.as_mut() {
-            Some(TerminalSearch::TwoTerminals { current }) => current,
+            Some(TerminalSearch::TwoTerminals(ts)) => ts,
             _ => unreachable!("two-terminal mode is fixed by prepare()"),
         }
+    }
+
+    /// Takes the depth-`d` branch scratch out of the component pool,
+    /// growing the pool if the recursion outruns the preallocation.
+    fn take_branch_scratch(&mut self) -> (BranchScratch, usize) {
+        let cs = self.components_mut();
+        let depth = cs.depth;
+        if cs.pool.len() <= depth {
+            cs.extra_allocs += 1;
+            let mut fresh = BranchScratch::default();
+            fresh.preallocate(cs.gc.num_vertices(), cs.gc.num_edges());
+            cs.pool.push(fresh);
+        }
+        cs.depth = depth + 1;
+        (std::mem::take(&mut cs.pool[depth]), depth)
+    }
+
+    fn put_branch_scratch(&mut self, bs: BranchScratch, depth: usize) {
+        let cs = self.components_mut();
+        cs.pool[depth] = bs;
+        cs.depth = depth;
     }
 
     /// Root expansion: |W| = 2 branches on the `w₀`-`w₁` paths of `G`;
@@ -476,65 +710,103 @@ impl TerminalSteinerTree<'_> {
             .as_ref()
             .expect("prepare() runs before the search")
         {
-            TerminalSearch::TwoTerminals { .. } => {
-                let n = self.g.num_vertices();
-                let per_child = (n + self.g.num_edges()) as u64;
-                let mut in_sources = vec![false; n];
-                in_sources[w0.index()] = true;
-                let inst = SourceSetInstance::new(&self.g, &in_sources, None);
-                let _pstats = inst.enumerate(w1, &mut |p| {
-                    children += 1;
-                    self.stats.work += per_child;
-                    *self.two_terminal_current_mut() = Some(p.edges.to_vec());
-                    let f = child(self);
-                    *self.two_terminal_current_mut() = None;
-                    if f.is_break() {
-                        flow = ControlFlow::Break(());
-                    }
-                    f
-                });
+            TerminalSearch::TwoTerminals(_) => {
+                let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
+                let (mut path, mut boundary, doubled) = {
+                    let ts = self.two_terminal_mut();
+                    (
+                        std::mem::take(&mut ts.path),
+                        std::mem::take(&mut ts.boundary),
+                        Arc::clone(&ts.doubled),
+                    )
+                };
+                path.begin(doubled.num_vertices() + 1);
+                let sources = [w0];
+                let _pstats = enumerate_source_set_paths_csr(
+                    &doubled,
+                    &sources,
+                    w1,
+                    EnumerateOptions::default(),
+                    &mut path,
+                    &mut boundary,
+                    &mut |p| {
+                        children += 1;
+                        self.stats.work += per_child;
+                        let ts = self.two_terminal_mut();
+                        ts.current.clear();
+                        ts.current
+                            .extend(p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)));
+                        ts.active = true;
+                        let f = child(self);
+                        self.two_terminal_mut().active = false;
+                        if f.is_break() {
+                            flow = ControlFlow::Break(());
+                        }
+                        f
+                    },
+                );
+                let ts = self.two_terminal_mut();
+                ts.path = path;
+                ts.boundary = boundary;
             }
             TerminalSearch::Components(cs) => {
                 let num_comps = cs.comps.len();
                 let n = cs.gc.num_vertices();
                 let per_child = (n + cs.gc.num_edges()) as u64;
+                let doubled = Arc::clone(&cs.gc_doubled);
+                let (mut bs, depth) = self.take_branch_scratch();
                 for ci in 0..num_comps {
-                    // Case (1): the w₀-w₁ paths inside G[C ∪ {w₀, w₁}].
-                    let inst = {
+                    // Case (1): the w₀-w₁ paths inside G[C ∪ {w₀, w₁}],
+                    // using the component's precomputed mask.
+                    {
                         let cs = self.components_mut();
-                        let mut allowed01 = cs.comps[ci].comp_mask.clone();
-                        allowed01[w0.index()] = true;
-                        allowed01[w1.index()] = true;
-                        let mut in_sources = vec![false; n];
-                        in_sources[w0.index()] = true;
-                        SourceSetInstance::new(&cs.gc, &in_sources, Some(&allowed01))
-                    };
-                    self.components_mut().active = Some(ci);
-                    let _pstats = inst.enumerate(w1, &mut |p| {
-                        children += 1;
-                        self.stats.work += per_child;
-                        let verts = p.vertices.to_vec();
-                        let edges = p.edges.to_vec();
-                        let cs = self.components_mut();
-                        let ext = cs.t.extend_path(&verts, &edges);
-                        for &e in &edges {
-                            cs.edge_in_t[e.index()] = true;
+                        let removed = bs.path.begin(n + 1);
+                        for (v, r) in removed.iter_mut().enumerate().take(n) {
+                            *r = !cs.comps[ci].allowed01[v];
                         }
-                        let f = child(self);
-                        let cs = self.components_mut();
-                        for &e in &edges {
-                            cs.edge_in_t[e.index()] = false;
-                        }
-                        cs.t.retract(ext);
-                        if f.is_break() {
-                            flow = ControlFlow::Break(());
-                        }
-                        f
-                    });
+                        bs.sources.clear();
+                        bs.sources.push(w0);
+                        cs.active = Some(ci);
+                    }
+                    let BranchScratch {
+                        path,
+                        boundary,
+                        sources,
+                        edges,
+                    } = &mut bs;
+                    let _pstats = enumerate_source_set_paths_csr(
+                        &doubled,
+                        sources,
+                        w1,
+                        EnumerateOptions::default(),
+                        path,
+                        boundary,
+                        &mut |p| {
+                            children += 1;
+                            self.stats.work += per_child;
+                            edges.clear();
+                            edges.extend(p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)));
+                            let cs = self.components_mut();
+                            let ext = cs.t.extend_path(p.vertices, edges);
+                            let mark = cs.trail.mark();
+                            for &e in edges.iter() {
+                                cs.trail.set(&mut cs.edge_in_t, e.index());
+                            }
+                            let f = child(self);
+                            let cs = self.components_mut();
+                            cs.trail.undo_to(&mut cs.edge_in_t, mark);
+                            cs.t.retract(ext);
+                            if f.is_break() {
+                                flow = ControlFlow::Break(());
+                            }
+                            f
+                        },
+                    );
                     if flow.is_break() {
                         break;
                     }
                 }
+                self.put_branch_scratch(bs, depth);
                 self.components_mut().active = None;
             }
         }
@@ -548,47 +820,63 @@ impl TerminalSteinerTree<'_> {
         w: VertexId,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> (u64, ControlFlow<()>) {
-        let (inst, per_child) = {
+        let (mut bs, depth) = self.take_branch_scratch();
+        let (doubled, per_child) = {
             let cs = self.components_mut();
             let ctx = &cs.comps[cs.active.expect("active component set by the root branch")];
             let n = cs.gc.num_vertices();
-            let mut sources = vec![false; n];
-            for &v in &cs.t.vertices {
-                if ctx.comp_mask[v.index()] {
-                    sources[v.index()] = true;
-                }
+            // Sources: V(T) ∩ C; excluded vertices: outside C ∪ {w}.
+            let removed = bs.path.begin(n + 1);
+            for (v, r) in removed.iter_mut().enumerate().take(n) {
+                *r = !(ctx.comp_mask[v] || VertexId::new(v) == w);
             }
-            let mut allowed: Vec<bool> = ctx.comp_mask.clone();
-            allowed[w.index()] = true;
-            (
-                SourceSetInstance::new(&cs.gc, &sources, Some(&allowed)),
-                (n + cs.gc.num_edges()) as u64,
-            )
+            bs.sources.clear();
+            bs.sources.extend(
+                cs.t.vertices
+                    .iter()
+                    .copied()
+                    .filter(|v| ctx.comp_mask[v.index()]),
+            );
+            (Arc::clone(&cs.gc_doubled), (n + cs.gc.num_edges()) as u64)
         };
         self.stats.work += per_child;
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
-        let _pstats = inst.enumerate(w, &mut |p| {
-            children += 1;
-            self.stats.work += per_child;
-            let verts = p.vertices.to_vec();
-            let edges = p.edges.to_vec();
-            let cs = self.components_mut();
-            let ext = cs.t.extend_path(&verts, &edges);
-            for &e in &edges {
-                cs.edge_in_t[e.index()] = true;
-            }
-            let f = child(self);
-            let cs = self.components_mut();
-            for &e in &edges {
-                cs.edge_in_t[e.index()] = false;
-            }
-            cs.t.retract(ext);
-            if f.is_break() {
-                flow = ControlFlow::Break(());
-            }
-            f
-        });
+        let BranchScratch {
+            path,
+            boundary,
+            sources,
+            edges,
+        } = &mut bs;
+        let _pstats = enumerate_source_set_paths_csr(
+            &doubled,
+            sources,
+            w,
+            EnumerateOptions::default(),
+            path,
+            boundary,
+            &mut |p| {
+                children += 1;
+                self.stats.work += per_child;
+                edges.clear();
+                edges.extend(p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)));
+                let cs = self.components_mut();
+                let ext = cs.t.extend_path(p.vertices, edges);
+                let mark = cs.trail.mark();
+                for &e in edges.iter() {
+                    cs.trail.set(&mut cs.edge_in_t, e.index());
+                }
+                let f = child(self);
+                let cs = self.components_mut();
+                cs.trail.undo_to(&mut cs.edge_in_t, mark);
+                cs.t.retract(ext);
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                }
+                f
+            },
+        );
+        self.put_branch_scratch(bs, depth);
         debug_assert!(
             children >= 2 || flow.is_break(),
             "Lemma 30 guarantees two valid paths behind a non-bridge edge"
@@ -788,6 +1076,25 @@ mod tests {
                 .unwrap()
                 .collect();
         assert_eq!(direct, iterated);
+    }
+
+    #[test]
+    fn search_does_not_allocate_after_prepare() {
+        for w in [
+            vec![VertexId(0), VertexId(11)],
+            vec![VertexId(0), VertexId(3), VertexId(8)],
+        ] {
+            let g = steiner_graph::generators::grid(3, 4);
+            let (run, stats) = Enumeration::new(TerminalSteinerTree::new(&g, &w)).with_stats();
+            run.run().unwrap();
+            let stats = stats.get();
+            assert!(stats.solutions > 0);
+            assert_eq!(
+                stats.scratch_allocs, 0,
+                "terminals {w:?}: the search must not allocate after prepare()"
+            );
+            assert!(stats.peak_scratch_bytes > 0);
+        }
     }
 
     #[test]

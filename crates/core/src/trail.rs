@@ -1,0 +1,177 @@
+//! The trail: undo-log rollback for the enumeration hot path.
+//!
+//! Algorithm 3 walks one root-to-leaf path of the enumeration tree at a
+//! time, so search-state mutations are strictly LIFO. Instead of cloning
+//! membership masks per child (one `Vec<bool>` allocation per node), a
+//! [`Trail`] records which bits a branch set and clears exactly those on
+//! backtrack — O(1) amortized per mutation, zero allocation once the log
+//! buffer is warm.
+//!
+//! [`ScratchUsage`] is the companion accounting type: every reusable
+//! scratch structure reports its post-`prepare()` buffer-growth events and
+//! its capacity footprint, and the problems fold the totals into
+//! [`EnumStats::scratch_allocs`](crate::stats::EnumStats::scratch_allocs) /
+//! [`EnumStats::peak_scratch_bytes`](crate::stats::EnumStats::peak_scratch_bytes)
+//! — making "the hot path does not allocate" a testable claim rather than
+//! a comment.
+
+/// A checkpoint into a [`Trail`], returned by [`Trail::mark`].
+#[derive(Copy, Clone, Debug)]
+#[must_use = "pass the mark back to undo_to()"]
+pub struct TrailMark(usize);
+
+/// An undo log over boolean membership masks (edge-in-solution, vertex
+/// masks, …). Mutations must be monotone per frame: bits are *set*
+/// through the trail and cleared wholesale by [`Trail::undo_to`].
+#[derive(Clone, Debug, Default)]
+pub struct Trail {
+    log: Vec<u32>,
+    allocs: u64,
+}
+
+impl Trail {
+    /// A fresh, empty trail.
+    pub fn new() -> Self {
+        Trail::default()
+    }
+
+    /// Reserves room for `cap` live entries so steady-state operation
+    /// never grows the log.
+    pub fn preallocate(&mut self, cap: usize) {
+        if self.log.capacity() < cap {
+            self.log.reserve(cap - self.log.capacity());
+        }
+    }
+
+    /// The current checkpoint.
+    pub fn mark(&self) -> TrailMark {
+        TrailMark(self.log.len())
+    }
+
+    /// Sets `mask[i]` and records the mutation. The bit must be clear
+    /// (mutations are monotone within a frame).
+    #[inline]
+    pub fn set(&mut self, mask: &mut [bool], i: usize) {
+        debug_assert!(!mask[i], "trail mutations are monotone per frame");
+        mask[i] = true;
+        if self.log.len() == self.log.capacity() {
+            self.allocs += 1;
+        }
+        self.log.push(i as u32);
+    }
+
+    /// Clears every bit set since `mark`, restoring the mask to its state
+    /// at the checkpoint.
+    pub fn undo_to(&mut self, mask: &mut [bool], mark: TrailMark) {
+        while self.log.len() > mark.0 {
+            let i = self.log.pop().expect("log is nonempty above the mark") as usize;
+            mask[i] = false;
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Whether the trail holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// This trail's scratch accounting.
+    pub fn usage(&self) -> ScratchUsage {
+        ScratchUsage {
+            allocs: self.allocs,
+            bytes: (self.log.capacity() * std::mem::size_of::<u32>()) as u64,
+        }
+    }
+}
+
+/// Scratch accounting: buffer-growth events plus capacity footprint.
+/// Summed across a problem's scratch structures by `seal_stats`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScratchUsage {
+    /// Buffer-growth (fresh heap) events.
+    pub allocs: u64,
+    /// Bytes of owned buffer capacity.
+    pub bytes: u64,
+}
+
+impl ScratchUsage {
+    /// A usage record from raw counters.
+    pub fn new(allocs: u64, bytes: u64) -> Self {
+        ScratchUsage { allocs, bytes }
+    }
+}
+
+impl std::ops::Add for ScratchUsage {
+    type Output = ScratchUsage;
+
+    fn add(self, rhs: ScratchUsage) -> ScratchUsage {
+        ScratchUsage {
+            allocs: self.allocs + rhs.allocs,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ScratchUsage {
+    fn add_assign(&mut self, rhs: ScratchUsage) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for ScratchUsage {
+    fn sum<I: Iterator<Item = ScratchUsage>>(iter: I) -> ScratchUsage {
+        iter.fold(ScratchUsage::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_undo_round_trip() {
+        let mut trail = Trail::new();
+        let mut mask = vec![false; 8];
+        let outer = trail.mark();
+        trail.set(&mut mask, 1);
+        trail.set(&mut mask, 5);
+        let inner = trail.mark();
+        trail.set(&mut mask, 3);
+        assert_eq!(
+            mask,
+            vec![false, true, false, true, false, true, false, false]
+        );
+        trail.undo_to(&mut mask, inner);
+        assert!(!mask[3]);
+        assert!(mask[1] && mask[5], "outer frame untouched");
+        trail.undo_to(&mut mask, outer);
+        assert!(mask.iter().all(|&b| !b));
+        assert!(trail.is_empty());
+    }
+
+    #[test]
+    fn preallocated_trail_reports_zero_allocs() {
+        let mut trail = Trail::new();
+        trail.preallocate(16);
+        let mut mask = vec![false; 16];
+        let mark = trail.mark();
+        for i in 0..16 {
+            trail.set(&mut mask, i);
+        }
+        trail.undo_to(&mut mask, mark);
+        assert_eq!(trail.usage().allocs, 0);
+    }
+
+    #[test]
+    fn usage_sums() {
+        let a = ScratchUsage::new(1, 100);
+        let b = ScratchUsage::new(2, 50);
+        assert_eq!(a + b, ScratchUsage::new(3, 150));
+        let total: ScratchUsage = [a, b, a].into_iter().sum();
+        assert_eq!(total, ScratchUsage::new(4, 250));
+    }
+}

@@ -79,6 +79,115 @@ pub fn bridges(g: &UndirectedGraph, allowed: Option<&[bool]>) -> Vec<bool> {
     is_bridge
 }
 
+/// Reusable buffers for [`bridges_csr_into`] — the allocation-free bridge
+/// finder the enumeration hot paths call once per node.
+#[derive(Clone, Debug, Default)]
+pub struct BridgeScratch {
+    /// Output mask (`is_bridge[e]`), valid after [`bridges_csr_into`].
+    pub is_bridge: Vec<bool>,
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    stack: Vec<(VertexId, u32, u32)>,
+    allocs: u64,
+}
+
+impl BridgeScratch {
+    /// Reserves for graphs with `n` vertices and `m` edges, so later runs
+    /// do not allocate.
+    pub fn preallocate(&mut self, n: usize, m: usize) {
+        if self.is_bridge.capacity() < m {
+            self.is_bridge.reserve(m - self.is_bridge.capacity());
+        }
+        if self.disc.capacity() < n {
+            self.disc.reserve(n - self.disc.capacity());
+        }
+        if self.low.capacity() < n {
+            self.low.reserve(n - self.low.capacity());
+        }
+        if self.stack.capacity() < n {
+            self.stack.reserve(n - self.stack.capacity());
+        }
+    }
+
+    /// Growth events recorded by the scratch buffers.
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Bytes of owned buffer capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.is_bridge.capacity() * std::mem::size_of::<bool>()
+            + (self.disc.capacity() + self.low.capacity()) * std::mem::size_of::<u32>()
+            + self.stack.capacity() * std::mem::size_of::<(VertexId, u32, u32)>()) as u64
+    }
+}
+
+/// As [`bridges`], but over a [`CsrUndirected`] view and writing into
+/// `scratch.is_bridge` without allocating (after warm-up). Same algorithm,
+/// same parallel-edge handling.
+pub fn bridges_csr_into(
+    g: &crate::csr::CsrUndirected,
+    allowed: Option<&[bool]>,
+    scratch: &mut BridgeScratch,
+) {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    crate::csr::grow(&mut scratch.is_bridge, m, false, &mut scratch.allocs);
+    crate::csr::grow(&mut scratch.disc, n, u32::MAX, &mut scratch.allocs);
+    crate::csr::grow(&mut scratch.low, n, u32::MAX, &mut scratch.allocs);
+    if scratch.stack.capacity() < n {
+        scratch.allocs += 1;
+        scratch.stack.reserve(n - scratch.stack.capacity());
+    }
+    scratch.stack.clear();
+    let disc = &mut scratch.disc;
+    let low = &mut scratch.low;
+    let is_bridge = &mut scratch.is_bridge;
+    let stack = &mut scratch.stack;
+    let mut timer: u32 = 0;
+    let ok = |v: VertexId| allowed.is_none_or(|mask| mask[v.index()]);
+    // Stack entries: (vertex, entry edge id or MAX, next incident index).
+    const NO_EDGE: u32 = u32::MAX;
+    for start in 0..n {
+        let start_v = VertexId::new(start);
+        if !ok(start_v) || disc[start] != u32::MAX {
+            continue;
+        }
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        stack.push((start_v, NO_EDGE, 0));
+        while let Some(&mut (u, entry_edge, ref mut next)) = stack.last_mut() {
+            if let Some(&(v, e)) = g.adjacency(u).get(*next as usize) {
+                *next += 1;
+                if e.index() as u32 == entry_edge {
+                    continue; // the exact edge we entered through
+                }
+                if !ok(v) {
+                    continue;
+                }
+                if disc[v.index()] == u32::MAX {
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push((v, e.index() as u32, 0));
+                } else {
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    let lu = low[u.index()];
+                    low[p.index()] = low[p.index()].min(lu);
+                    if lu > disc[p.index()] {
+                        is_bridge[entry_edge as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Brute-force bridge computation by edge removal, used as a test oracle.
 /// O(m · (n + m)).
 pub fn bridges_naive(g: &UndirectedGraph, allowed: Option<&[bool]>) -> Vec<bool> {
@@ -178,6 +287,23 @@ mod tests {
             let extra = case % 7;
             let g = generators::random_connected_graph(n, n - 1 + extra, &mut rng);
             assert_eq!(bridges(&g, None), bridges_naive(&g, None), "graph: {g:?}");
+        }
+    }
+
+    #[test]
+    fn csr_variant_matches_allocating_variant() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xc5a);
+        let mut scratch = BridgeScratch::default();
+        for case in 0..40 {
+            let n = 3 + case % 10;
+            let g = generators::random_connected_graph(n, n + case % 5, &mut rng);
+            let csr = crate::csr::CsrUndirected::from_graph(&g);
+            let mask: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.85)).collect();
+            for allowed in [None, Some(&mask[..])] {
+                bridges_csr_into(&csr, allowed, &mut scratch);
+                assert_eq!(scratch.is_bridge, bridges(&g, allowed), "graph: {g:?}");
+            }
         }
     }
 

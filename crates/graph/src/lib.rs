@@ -27,6 +27,7 @@ pub mod bridges;
 pub mod clawfree;
 pub mod connectivity;
 pub mod contraction;
+pub mod csr;
 pub mod digraph;
 pub mod generators;
 pub mod ids;
@@ -38,6 +39,7 @@ pub mod traversal;
 pub mod undirected;
 pub mod union_find;
 
+pub use csr::{CsrDigraph, CsrUndirected};
 pub use digraph::DiGraph;
 pub use ids::{ArcId, EdgeId, VertexId};
 pub use undirected::UndirectedGraph;

@@ -100,6 +100,193 @@ pub fn prune_leaves(
         .collect()
 }
 
+/// Reusable buffers for the allocation-free completion pipeline
+/// ([`grow_spanning_tree_csr`] + [`prune_leaves_csr`]): one instance per
+/// problem, sized at `prepare()`, reused every node.
+#[derive(Clone, Debug, Default)]
+pub struct CompletionScratch {
+    /// In/out edge buffer: the grown tree, pruned in place.
+    pub edges: Vec<EdgeId>,
+    visited: Vec<bool>,
+    /// BFS parent edge per visited vertex (`u32::MAX` for seeds); written
+    /// by [`grow_spanning_tree_csr`], consumed by [`prune_leaves_csr`].
+    parent_edge: Vec<u32>,
+    queue: Vec<VertexId>,
+    degree: Vec<u32>,
+    /// Epoch-stamped removal marks (`removed_stamp[e] == epoch` ⇔ pruned
+    /// this call) — avoids an O(m) clear per node.
+    removed_stamp: Vec<u32>,
+    epoch: u32,
+    prune_queue: Vec<VertexId>,
+    allocs: u64,
+}
+
+impl CompletionScratch {
+    /// Reserves for graphs with `n` vertices and `m` edges, so later runs
+    /// do not allocate. The edge buffer is sized for a grown tree plus a
+    /// base forest plus one leaf edge per terminal (≤ 3n).
+    pub fn preallocate(&mut self, n: usize, m: usize) {
+        let edges_cap = 3 * n + 4;
+        if self.edges.capacity() < edges_cap {
+            self.edges.reserve(edges_cap - self.edges.capacity());
+        }
+        if self.visited.capacity() < n {
+            self.visited.reserve(n - self.visited.capacity());
+        }
+        crate::csr::grow(&mut self.parent_edge, n, u32::MAX, &mut self.allocs);
+        if self.queue.capacity() < n {
+            self.queue.reserve(n - self.queue.capacity());
+        }
+        if self.degree.capacity() < n {
+            self.degree.reserve(n - self.degree.capacity());
+        }
+        crate::csr::grow(&mut self.removed_stamp, m, 0u32, &mut self.allocs);
+        let pq_cap = 6 * n + 16;
+        if self.prune_queue.capacity() < pq_cap {
+            self.prune_queue
+                .reserve(pq_cap - self.prune_queue.capacity());
+        }
+        self.allocs = 0;
+    }
+
+    /// Growth events recorded by the scratch buffers.
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Bytes of owned buffer capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.edges.capacity() * std::mem::size_of::<EdgeId>()
+            + self.visited.capacity() * std::mem::size_of::<bool>()
+            + (self.queue.capacity() + self.prune_queue.capacity())
+                * std::mem::size_of::<VertexId>()
+            + (self.degree.capacity()
+                + self.parent_edge.capacity()
+                + self.removed_stamp.capacity())
+                * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// As [`grow_spanning_tree`], but over a CSR view, writing the grown edge
+/// set into `scratch.edges` without allocating (after warm-up). The BFS
+/// forest itself is not exposed — the enumeration hot path only needs the
+/// edge set.
+pub fn grow_spanning_tree_csr(
+    g: &crate::csr::CsrUndirected,
+    seeds: &[VertexId],
+    base_edges: &[EdgeId],
+    allowed: Option<&[bool]>,
+    scratch: &mut CompletionScratch,
+) {
+    let n = g.num_vertices();
+    crate::csr::grow(&mut scratch.visited, n, false, &mut scratch.allocs);
+    if scratch.parent_edge.len() != n {
+        crate::csr::grow(&mut scratch.parent_edge, n, u32::MAX, &mut scratch.allocs);
+    }
+    scratch.queue.clear();
+    if scratch.queue.capacity() < n {
+        scratch.allocs += 1;
+        scratch.queue.reserve(n);
+    }
+    scratch.edges.clear();
+    if scratch.edges.capacity() < n + base_edges.len() {
+        scratch.allocs += 1;
+        scratch.edges.reserve(n + base_edges.len());
+    }
+    scratch.edges.extend_from_slice(base_edges);
+    let ok = |v: VertexId| allowed.is_none_or(|mask| mask[v.index()]);
+    for &r in seeds {
+        if ok(r) && !scratch.visited[r.index()] {
+            scratch.visited[r.index()] = true;
+            scratch.parent_edge[r.index()] = u32::MAX;
+            scratch.queue.push(r);
+        }
+    }
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        for &(v, e) in g.adjacency(u) {
+            if ok(v) && !scratch.visited[v.index()] {
+                scratch.visited[v.index()] = true;
+                scratch.parent_edge[v.index()] = e.index() as u32;
+                scratch.edges.push(e);
+                scratch.queue.push(v);
+            }
+        }
+    }
+}
+
+/// As [`prune_leaves`], but pruning `scratch.edges` **in place** without
+/// allocating — and without the incidence-index build or any O(n + m)
+/// clearing: degrees are reset through the edge list itself and removal
+/// marks are epoch stamps. Must be called on the scratch of the matching
+/// [`grow_spanning_tree_csr`] run (optionally with extra leaf edges
+/// appended whose kept endpoint is a `keep` vertex): the unique live edge
+/// of a removable leaf is then its BFS parent edge — base edges join kept
+/// vertices, leaf edges hang off kept vertices and give their inner
+/// endpoint degree ≥ 2, and child edges are gone once a vertex reaches
+/// degree 1.
+pub fn prune_leaves_csr(
+    g: &crate::csr::CsrUndirected,
+    keep: impl Fn(VertexId) -> bool,
+    scratch: &mut CompletionScratch,
+) {
+    let n = g.num_vertices();
+    if scratch.degree.len() != n {
+        crate::csr::grow(&mut scratch.degree, n, 0u32, &mut scratch.allocs);
+    }
+    if scratch.removed_stamp.len() != g.num_edges() {
+        crate::csr::grow(
+            &mut scratch.removed_stamp,
+            g.num_edges(),
+            0u32,
+            &mut scratch.allocs,
+        );
+    }
+    scratch.epoch += 1;
+    let ep = scratch.epoch;
+    for &e in &scratch.edges {
+        let (u, v) = g.endpoints(e);
+        scratch.degree[u.index()] = 0;
+        scratch.degree[v.index()] = 0;
+    }
+    for &e in &scratch.edges {
+        let (u, v) = g.endpoints(e);
+        scratch.degree[u.index()] += 1;
+        scratch.degree[v.index()] += 1;
+    }
+    scratch.prune_queue.clear();
+    for &e in &scratch.edges {
+        let (u, v) = g.endpoints(e);
+        for w in [u, v] {
+            if scratch.degree[w.index()] == 1 && !keep(w) {
+                scratch.prune_queue.push(w);
+            }
+        }
+    }
+    while let Some(v) = scratch.prune_queue.pop() {
+        if scratch.degree[v.index()] != 1 || keep(v) {
+            continue;
+        }
+        let e = scratch.parent_edge[v.index()];
+        debug_assert_ne!(e, u32::MAX, "removable leaves are BFS-discovered");
+        debug_assert_ne!(
+            scratch.removed_stamp[e as usize], ep,
+            "a live leaf's parent edge is still present"
+        );
+        scratch.removed_stamp[e as usize] = ep;
+        scratch.degree[v.index()] = 0;
+        let u = g.other_endpoint(EdgeId::new(e as usize), v);
+        scratch.degree[u.index()] -= 1;
+        if scratch.degree[u.index()] == 1 && !keep(u) {
+            scratch.prune_queue.push(u);
+        }
+    }
+    let stamps = &scratch.removed_stamp;
+    scratch.edges.retain(|e| stamps[e.index()] != ep);
+}
+
 /// Repeatedly deletes sink leaves not accepted by `keep` from a directed
 /// tree given as an arc set, returning the surviving arcs. This is the
 /// Proposition 32 reduction for directed Steiner trees: afterwards every
@@ -203,6 +390,29 @@ mod tests {
         assert_eq!(pruned.len(), 2);
         let verts = g.edge_set_vertices(&pruned);
         assert_eq!(verts, vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn csr_pipeline_matches_allocating_pipeline() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5ca);
+        let mut scratch = CompletionScratch::default();
+        for case in 0..40 {
+            let n = 3 + case % 8;
+            let g = crate::generators::random_connected_graph(n, n + case % 4, &mut rng);
+            let csr = crate::csr::CsrUndirected::from_graph(&g);
+            let seed = VertexId::new(rng.gen_range(0..n));
+            let keep_set: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+            let keep = |v: VertexId| keep_set[v.index()] || v == seed;
+
+            let grown = grow_spanning_tree(&g, &[seed], &[], None);
+            let pruned = prune_leaves(&g, &grown.edges, keep);
+
+            grow_spanning_tree_csr(&csr, &[seed], &[], None, &mut scratch);
+            assert_eq!(scratch.edges, grown.edges, "grow, graph {g:?}");
+            prune_leaves_csr(&csr, keep, &mut scratch);
+            assert_eq!(scratch.edges, pruned, "prune, graph {g:?}");
+        }
     }
 
     #[test]

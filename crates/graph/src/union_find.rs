@@ -79,6 +79,26 @@ impl UnionFind {
         true
     }
 
+    /// Reserves room for `cap` recorded unions so steady-state operation
+    /// never grows the history log.
+    pub fn reserve_history(&mut self, cap: usize) {
+        if self.history.capacity() < cap {
+            self.history.reserve(cap - self.history.capacity());
+        }
+    }
+
+    /// Resets to `n` singleton sets **in place**, reusing the existing
+    /// buffers: the allocation-free analogue of `UnionFind::new(n)` for
+    /// per-node scratch reuse in the enumeration hot path.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.history.clear();
+        self.components = n;
+    }
+
     /// A checkpoint token for [`Self::rollback`].
     pub fn snapshot(&self) -> usize {
         self.history.len()

@@ -64,14 +64,33 @@ impl<T: Send + 'static> Enumeration<T> {
 impl<T> Iterator for Enumeration<T> {
     type Item = T;
 
+    /// Yields the next item. When the producer thread ends, its outcome is
+    /// surfaced: a normal return ends the iterator with `None`, while a
+    /// **panic on the worker is re-raised here** — a partial enumeration
+    /// is never silently passed off as a complete one.
     fn next(&mut self) -> Option<T> {
-        self.rx.as_ref()?.recv().ok()
+        match self.rx.as_ref()?.recv() {
+            Ok(item) => Some(item),
+            Err(_) => {
+                // Channel closed: the producer is done. Join it and
+                // propagate any panic to the consumer.
+                self.rx = None;
+                if let Some(handle) = self.handle.take() {
+                    if let Err(payload) = handle.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+                None
+            }
+        }
     }
 }
 
 impl<T> Drop for Enumeration<T> {
     fn drop(&mut self) {
         // Close the channel so the producer's next send fails, then join.
+        // A producer panic is swallowed here (panicking in drop would
+        // abort); consumers that care observe it through `next()`.
         self.rx = None;
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();

@@ -11,11 +11,14 @@
 //! (required for the correctness of Algorithm 2's branching — children are
 //! indexed by paths, not by their vertex sets).
 
-use crate::enumerate::{enumerate_directed_st_paths, PathEnumStats};
-use crate::visit::UndirectedPathEvent;
+use crate::enumerate::{
+    enumerate_directed_st_paths, enumerate_paths_view, EnumerateOptions, PathEnumStats,
+    PathScratch, VirtualSourceView,
+};
+use crate::visit::{PathEvent, UndirectedPathEvent};
 use std::ops::ControlFlow;
 use steiner_graph::digraph::DiGraph;
-use steiner_graph::{ArcId, EdgeId, UndirectedGraph, VertexId};
+use steiner_graph::{ArcId, CsrDigraph, EdgeId, UndirectedGraph, VertexId};
 
 /// A super-source instance for enumerating `S`-`w` paths of an undirected
 /// multigraph.
@@ -117,6 +120,62 @@ impl SourceSetInstance {
     pub fn super_source(&self) -> VertexId {
         self.super_source
     }
+}
+
+/// Enumerates all `S`-`w` paths over a **fixed** CSR digraph with a
+/// *dynamic* source set, without rebuilding any graph: the allocation-free
+/// replacement for materializing a [`SourceSetInstance`] per branch node.
+///
+/// * `csr` — the host digraph: [`CsrDigraph::doubled`] of an undirected
+///   graph (arc `2e`/`2e + 1` per edge), or a directed instance's own CSR;
+/// * `sources` — the vertices of `S`, each listed once; vertices to be
+///   excluded entirely (an `allowed` mask) must be **pre-marked** by the
+///   caller via [`PathScratch::begin`]`(csr.num_vertices() + 1)` before
+///   the call, and filtered out of `sources`;
+/// * `boundary_buf` — caller-owned reusable buffer for the virtual
+///   super-source adjacency (reserve `csr.num_arcs()` once to keep the
+///   hot path allocation-free).
+///
+/// Paths start at a vertex of `S` (reported as `vertices[0]`), end at
+/// `target`, and avoid `S` internally. Arc ids are host arc ids. `target`
+/// must not be in `S`; boundary arcs are ordered by arc id, fixing the
+/// child order `≺` deterministically.
+pub fn enumerate_source_set_paths_csr(
+    csr: &CsrDigraph,
+    sources: &[VertexId],
+    target: VertexId,
+    options: EnumerateOptions,
+    scratch: &mut PathScratch,
+    boundary_buf: &mut Vec<(VertexId, ArcId)>,
+    sink: &mut dyn FnMut(PathEvent<'_>) -> ControlFlow<()>,
+) -> PathEnumStats {
+    let n = csr.num_vertices();
+    let vsrc = VertexId::new(n);
+    let removed = scratch.removed_mask(n + 1);
+    for &u in sources {
+        removed[u.index()] = true;
+    }
+    boundary_buf.clear();
+    for &u in sources {
+        for &(v, a) in csr.out_adjacency(u) {
+            if !removed[v.index()] {
+                boundary_buf.push((v, a));
+            }
+        }
+    }
+    // Arc-id order is the total order `≺` the materialized super-source
+    // construction used; keeping it makes the child order (and thus the
+    // enumeration order) identical to the historical one.
+    boundary_buf.sort_unstable_by_key(|&(_, a)| a);
+    if removed[target.index()] {
+        return PathEnumStats::default();
+    }
+    let view = VirtualSourceView {
+        base: csr,
+        boundary: boundary_buf,
+        source: vsrc,
+    };
+    enumerate_paths_view(&view, vsrc, target, options, true, scratch, sink)
 }
 
 /// A super-source instance over a *directed* host graph, for the §5.2
@@ -271,6 +330,98 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn csr_source_set_matches_materialized_instance() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeSet;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x05e7);
+        let mut scratch = PathScratch::new();
+        let mut boundary = Vec::new();
+        for case in 0..40 {
+            let n = 3 + case % 6;
+            let g = steiner_graph::generators::random_connected_graph(n, n + case % 4, &mut rng);
+            let csr = CsrDigraph::doubled(&g);
+            let in_sources: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+            let sources: Vec<VertexId> = (0..n)
+                .filter(|&v| in_sources[v])
+                .map(VertexId::new)
+                .collect();
+            let target = VertexId::new(n - 1);
+            if sources.is_empty() || in_sources[target.index()] {
+                continue;
+            }
+            let inst = SourceSetInstance::new(&g, &in_sources, None);
+            let mut want: BTreeSet<(Vec<VertexId>, Vec<EdgeId>)> = BTreeSet::new();
+            inst.enumerate(target, &mut |p| {
+                want.insert((p.vertices.to_vec(), p.edges.to_vec()));
+                ControlFlow::Continue(())
+            });
+            let mut got: BTreeSet<(Vec<VertexId>, Vec<EdgeId>)> = BTreeSet::new();
+            scratch.begin(n + 1);
+            enumerate_source_set_paths_csr(
+                &csr,
+                &sources,
+                target,
+                EnumerateOptions::default(),
+                &mut scratch,
+                &mut boundary,
+                &mut |p| {
+                    let edges: Vec<EdgeId> =
+                        p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)).collect();
+                    assert!(in_sources[p.vertices[0].index()], "starts inside S");
+                    got.insert((p.vertices.to_vec(), edges));
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(got, want, "graph {g:?} sources {sources:?}");
+        }
+    }
+
+    #[test]
+    fn csr_directed_source_set_matches_materialized_instance() {
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeSet;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xd1_5e7);
+        let mut scratch = PathScratch::new();
+        let mut boundary = Vec::new();
+        for case in 0..40 {
+            let n = 3 + case % 5;
+            let m = (n + rng.gen_range(0..6)).min(n * (n - 1));
+            let d = steiner_graph::generators::random_digraph(n, m, &mut rng);
+            let csr = CsrDigraph::from_digraph(&d);
+            let in_sources: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+            let sources: Vec<VertexId> = (0..n)
+                .filter(|&v| in_sources[v])
+                .map(VertexId::new)
+                .collect();
+            let target = VertexId::new(n - 1);
+            if sources.is_empty() || in_sources[target.index()] {
+                continue;
+            }
+            let inst = DiSourceSetInstance::new(&d, &in_sources, None);
+            let mut want: BTreeSet<Vec<ArcId>> = BTreeSet::new();
+            inst.enumerate(target, &mut |p| {
+                want.insert(p.arcs.to_vec());
+                ControlFlow::Continue(())
+            });
+            let mut got: BTreeSet<Vec<ArcId>> = BTreeSet::new();
+            scratch.begin(n + 1);
+            enumerate_source_set_paths_csr(
+                &csr,
+                &sources,
+                target,
+                EnumerateOptions::default(),
+                &mut scratch,
+                &mut boundary,
+                &mut |p| {
+                    got.insert(p.arcs.to_vec());
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(got, want, "digraph {d:?} sources {sources:?}");
+        }
     }
 
     #[test]

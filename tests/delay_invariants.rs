@@ -7,11 +7,13 @@
 //! solution is bounded by a small multiple of n + m, and the output queue
 //! bounds the worst-case work gap between consecutive emissions.
 
-use minimal_steiner::graph::{generators, VertexId};
-use minimal_steiner::steiner::queue::QueueConfig;
+use minimal_steiner::graph::{generators, EdgeId, VertexId};
+use minimal_steiner::steiner::queue::{OutputQueue, QueueConfig, SolutionSink};
 use minimal_steiner::steiner::simple::enumerate_minimal_steiner_trees_simple;
+use minimal_steiner::steiner::solver::run_with_sink;
 use minimal_steiner::steiner::EnumStats;
 use minimal_steiner::{DirectedSteinerTree, Enumeration, SteinerForest, SteinerTree};
+use std::cell::{Cell, RefCell};
 use std::ops::ControlFlow;
 
 fn run_tree(g: &minimal_steiner::graph::UndirectedGraph, w: &[VertexId]) -> EnumStats {
@@ -87,6 +89,81 @@ fn queue_bounds_worst_case_gap() {
         .run()
         .expect("valid instance");
     assert_eq!(queued.solutions, direct.solutions);
+}
+
+#[test]
+fn queue_release_schedule_bounds_minimum_gap() {
+    // The worst-case-delay contract, minimum-gap form: once warm-up has
+    // filled, consecutive *scheduled* releases must be at least `budget`
+    // work units apart — the schedule may never burst buffered solutions
+    // back to back after a long release-free branch (the end-of-run flush
+    // is exempt by design). Driven by a real enumeration: a work probe
+    // records the enumerator's work counter at each user-visible release.
+    let g = generators::grid(3, 6);
+    let w = [VertexId(0), VertexId(5), VertexId(12), VertexId(17)];
+    let nm = (g.num_vertices() + g.num_edges()) as u64;
+    let config = QueueConfig {
+        warmup: g.num_vertices(),
+        budget: 4 * nm,
+        max_buffer: 1 << 20, // never trip the R3 overflow clause here
+    };
+    let current_work = Cell::new(0u64);
+    let release_works: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    let in_flush = Cell::new(false);
+
+    struct Probe<'a> {
+        inner: OutputQueue<'a, EdgeId>,
+        current_work: &'a Cell<u64>,
+        in_flush: &'a Cell<bool>,
+    }
+    impl SolutionSink<EdgeId> for Probe<'_> {
+        fn solution(&mut self, items: &[EdgeId], work: u64) -> ControlFlow<()> {
+            self.current_work.set(work);
+            self.inner.solution(items, work)
+        }
+        fn tick(&mut self, work: u64) -> ControlFlow<()> {
+            self.current_work.set(work);
+            self.inner.tick(work)
+        }
+        fn finish(&mut self) -> ControlFlow<()> {
+            self.in_flush.set(true);
+            self.inner.finish()
+        }
+    }
+
+    let delivered;
+    {
+        let mut user_sink = |_: &[EdgeId]| {
+            if !in_flush.get() {
+                release_works.borrow_mut().push(current_work.get());
+            }
+            ControlFlow::Continue(())
+        };
+        let mut probe = Probe {
+            inner: OutputQueue::new(config, &mut user_sink),
+            current_work: &current_work,
+            in_flush: &in_flush,
+        };
+        let stats =
+            run_with_sink(&mut SteinerTree::new(&g, &w), &mut probe).expect("valid instance");
+        delivered = stats.solutions;
+    }
+    let release_works = release_works.into_inner();
+    let direct = run_tree(&g, &w);
+    assert_eq!(delivered, direct.solutions, "the queue loses nothing");
+    assert!(
+        release_works.len() > 3,
+        "several scheduled (pre-flush) releases happened"
+    );
+    for pair in release_works.windows(2) {
+        assert!(
+            pair[1] - pair[0] >= config.budget,
+            "scheduled releases at work {} and {} are closer than the {} budget",
+            pair[0],
+            pair[1],
+            config.budget
+        );
+    }
 }
 
 #[test]

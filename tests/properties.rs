@@ -5,11 +5,48 @@
 use minimal_steiner::graph::{DiGraph, UndirectedGraph, VertexId};
 use minimal_steiner::steiner::{brute, verify};
 use minimal_steiner::{
-    DirectedSteinerTree, Enumeration, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
+    DirectedSteinerTree, Enumeration, MinimalSteinerProblem, SteinerError, SteinerForest,
+    SteinerTree, TerminalSteinerTree,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
+
+/// `with_limit(k)` composed with `with_default_queue()` must deliver
+/// exactly `min(k, total)` solutions, and — since the output queue is
+/// FIFO — they must be precisely the direct front-end's first `k`.
+fn check_limit_queue_prefix<P, F>(make: F, k: u64) -> Result<(), TestCaseError>
+where
+    P: MinimalSteinerProblem,
+    F: Fn() -> P,
+{
+    let direct = match Enumeration::new(make()).collect_vec() {
+        Ok(all) => all,
+        // Valid-but-empty instances (e.g. an unreachable terminal) have
+        // nothing to compare; both front-ends fail identically.
+        Err(_) => {
+            prop_assert!(Enumeration::new(make())
+                .with_default_queue()
+                .with_limit(k)
+                .collect_vec()
+                .is_err());
+            return Ok(());
+        }
+    };
+    let queued = Enumeration::new(make())
+        .with_default_queue()
+        .with_limit(k)
+        .collect_vec()
+        .expect("same instance, same validation");
+    let expect = (k as usize).min(direct.len());
+    prop_assert_eq!(queued.len(), expect, "exactly min(k, total) delivered");
+    prop_assert_eq!(
+        &queued[..],
+        &direct[..expect],
+        "the queued, limited stream is the direct stream's prefix"
+    );
+    Ok(())
+}
 
 /// Strategy: a connected graph on `n ∈ [2, 7]` vertices — a path backbone
 /// plus up to 8 random extra edges (parallel edges allowed, exercising the
@@ -180,6 +217,29 @@ proptest! {
         prop_assert!(all_valid, "invalid solution emitted");
         prop_assert!(!duplicate, "duplicate solution emitted");
         prop_assert_eq!(got, brute::minimal_directed_steiner_trees(&d, root, &w));
+    }
+
+    #[test]
+    fn limit_and_queue_deliver_direct_prefix(
+        g in connected_graph(),
+        d in digraph(),
+        mask in 1u8..128,
+        k in 0u64..12,
+    ) {
+        prop_assume!(g.num_edges() <= 16 && d.num_arcs() <= 14);
+        let n = g.num_vertices();
+        let w = terminal_subset(n, mask, 4);
+        prop_assume!(w.len() >= 2);
+
+        check_limit_queue_prefix(|| SteinerTree::new(&g, &w), k)?;
+        check_limit_queue_prefix(|| TerminalSteinerTree::new(&g, &w), k)?;
+        let sets = vec![w.clone(), terminal_subset(n, mask.rotate_left(3), 3)];
+        check_limit_queue_prefix(|| SteinerForest::new(&g, &sets), k)?;
+        let root = VertexId(0);
+        let mut dw = terminal_subset(d.num_vertices(), mask, 3);
+        dw.retain(|&v| v != root);
+        prop_assume!(!dw.is_empty());
+        check_limit_queue_prefix(|| DirectedSteinerTree::new(&d, root, &dw), k)?;
     }
 
     #[test]
