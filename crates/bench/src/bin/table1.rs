@@ -146,7 +146,10 @@ fn st_rows(rows: &mut Vec<Row>) {
             work_gap_over_nm: None,
         });
     }
-    // n+m sweep at fixed |W|: delay should grow roughly linearly.
+    // n+m sweep at fixed |W|: delay should grow roughly linearly. Each
+    // size is also run through the sharded front-end (4 workers) — the
+    // BENCH_core.json artifact carries both rows so CI tracks the
+    // sequential-vs-sharded wall clock per PR.
     for (n, m) in [(60, 90), (120, 180), (240, 360)] {
         let inst = workloads::random_instance(n, m, 4, 42);
         let nm = (inst.graph.num_vertices() + inst.graph.num_edges()) as f64;
@@ -160,7 +163,7 @@ fn st_rows(rows: &mut Vec<Row>) {
             problem: "Steiner Tree (§4)".into(),
             algorithm: "improved (Thm 17)".into(),
             claimed: "O(n+m) amortized".into(),
-            instance: inst.name,
+            instance: inst.name.clone(),
             n: inst.graph.num_vertices(),
             m: inst.graph.num_edges(),
             t: 4,
@@ -168,6 +171,23 @@ fn st_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+        });
+        let run = Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals)).with_threads(4);
+        let delays = record_delays(CAP, |emit| {
+            run.for_each(|_| flow(emit())).expect("valid instance");
+        });
+        rows.push(Row {
+            problem: "Steiner Tree (§4)".into(),
+            algorithm: "improved, sharded x4".into(),
+            claimed: "O(n+m) amortized".into(),
+            instance: inst.name,
+            n: inst.graph.num_vertices(),
+            m: inst.graph.num_edges(),
+            t: 4,
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
         });
     }
 }

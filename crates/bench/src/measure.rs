@@ -112,7 +112,14 @@ pub fn render_json(rows: &[Row], criterion_reference: &[(String, f64, Option<f64
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"BENCH_core/v1\",\n  \"rows\": [\n");
+    // The host's logical CPU count qualifies the sequential-vs-sharded
+    // rows: on a single-CPU builder the sharded rows measure pure
+    // overhead; the parallel speedup only shows on multi-core runners.
+    let cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
+    out.push_str("{\n  \"schema\": \"BENCH_core/v1\",\n");
+    out.push_str(&format!(
+        "  \"host_logical_cpus\": {cpus},\n  \"rows\": [\n"
+    ));
     for (i, r) in rows.iter().enumerate() {
         let secs = r.delays.total.as_secs_f64();
         let sols_per_sec = if secs > 0.0 {

@@ -61,6 +61,7 @@ pub struct DirectedSteinerTree<'g> {
     terminals: Vec<VertexId>,
     stats: EnumStats,
     search: Option<DirectedSearch>,
+    level_cache_cap: Option<usize>,
 }
 
 /// Mutable search state installed by `prepare`. All hot-path buffers are
@@ -82,6 +83,8 @@ struct DirectedSearch {
     /// One path-enumeration scratch per branch depth.
     pool: Vec<DirBranchScratch>,
     depth: usize,
+    /// Per-level BFS cache preallocation cap for pool growth.
+    level_cache_cap: usize,
     extra_allocs: u64,
     baseline_allocs: u64,
 }
@@ -95,8 +98,8 @@ struct DirBranchScratch {
 }
 
 impl DirBranchScratch {
-    fn preallocate(&mut self, n: usize, m: usize) {
-        self.path.preallocate(n + 2, m + 2);
+    fn preallocate(&mut self, n: usize, m: usize, level_cache_cap: usize) {
+        self.path.preallocate_capped(n + 2, m + 2, level_cache_cap);
         if self.boundary.capacity() < m + 2 {
             self.boundary.reserve(m + 2 - self.boundary.capacity());
         }
@@ -330,6 +333,7 @@ impl<'g> DirectedSteinerTree<'g> {
             terminals: terminals.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -345,6 +349,7 @@ impl<'g> DirectedSteinerTree<'g> {
             terminals: terminals.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -357,6 +362,7 @@ impl<'g> DirectedSteinerTree<'g> {
             terminals: self.terminals,
             stats: self.stats,
             search: self.search,
+            level_cache_cap: self.level_cache_cap,
         }
     }
 }
@@ -494,6 +500,21 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
 
     const NAME: &'static str = "minimal directed Steiner tree";
 
+    fn split_root(&self, _shard: crate::problem::RootShard) -> Option<Self> {
+        Some(DirectedSteinerTree {
+            d: self.d.clone(),
+            root: self.root,
+            terminals: self.terminals.clone(),
+            stats: EnumStats::default(),
+            search: None,
+            level_cache_cap: self.level_cache_cap,
+        })
+    }
+
+    fn set_level_cache_cap(&mut self, cap: usize) {
+        self.level_cache_cap = Some(cap.max(1));
+    }
+
     fn validate(&self) -> Result<(), SteinerError> {
         let n = self.d.num_vertices();
         if self.root.index() >= n {
@@ -540,10 +561,13 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         con.preallocate(n, m);
         let mut ana = AnalyzeScratch::default();
         ana.preallocate(n, m);
+        let level_cache_cap = self
+            .level_cache_cap
+            .unwrap_or(steiner_paths::enumerate::DEFAULT_LEVEL_CACHE_CAP);
         let mut pool = Vec::with_capacity(terminals.len() + 1);
         for _ in 0..terminals.len() + 1 {
             let mut bs = DirBranchScratch::default();
-            bs.preallocate(n, m);
+            bs.preallocate(n, m, level_cache_cap);
             pool.push(bs);
         }
         let mut tree_vertices = Vec::with_capacity(n + 1);
@@ -560,6 +584,7 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             ana,
             pool,
             depth: 0,
+            level_cache_cap,
             extra_allocs: 0,
             baseline_allocs: 0,
         };
@@ -649,7 +674,11 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             if search.pool.len() <= depth {
                 search.extra_allocs += 1;
                 let mut fresh = DirBranchScratch::default();
-                fresh.preallocate(search.csr.num_vertices(), search.csr.num_arcs());
+                fresh.preallocate(
+                    search.csr.num_vertices(),
+                    search.csr.num_arcs(),
+                    search.level_cache_cap,
+                );
                 search.pool.push(fresh);
             }
             search.depth = depth + 1;

@@ -69,6 +69,7 @@ pub struct SteinerForest<'g> {
     sets: Vec<Vec<VertexId>>,
     stats: EnumStats,
     search: Option<ForestSearch>,
+    level_cache_cap: Option<usize>,
 }
 
 /// Mutable search state installed by `prepare`. All hot-path buffers are
@@ -91,6 +92,8 @@ struct ForestSearch {
     /// Per-branch-depth contraction + path-enumeration scratch.
     pool: Vec<ForestDepthScratch>,
     depth: usize,
+    /// Per-level BFS cache preallocation cap for pool growth.
+    level_cache_cap: usize,
     extra_allocs: u64,
     baseline_allocs: u64,
 }
@@ -111,7 +114,7 @@ struct ForestDepthScratch {
 }
 
 impl ForestDepthScratch {
-    fn preallocate(&mut self, n: usize, m: usize) {
+    fn preallocate(&mut self, n: usize, m: usize, level_cache_cap: usize) {
         if self.endpoints_buf.capacity() < m {
             self.endpoints_buf
                 .reserve(m - self.endpoints_buf.capacity());
@@ -122,7 +125,8 @@ impl ForestDepthScratch {
         grow(&mut self.vertex_map, n, VertexId(0), &mut self.allocs);
         self.cg.preallocate(n, m);
         self.doubled.preallocate(n, 2 * m);
-        self.path.preallocate(n + 2, 2 * m + 2);
+        self.path
+            .preallocate_capped(n + 2, 2 * m + 2, level_cache_cap);
         self.allocs = 0;
     }
 
@@ -304,6 +308,7 @@ impl<'g> SteinerForest<'g> {
             sets: sets.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -314,6 +319,7 @@ impl<'g> SteinerForest<'g> {
             sets: sets.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -325,6 +331,7 @@ impl<'g> SteinerForest<'g> {
             sets: self.sets,
             stats: self.stats,
             search: self.search,
+            level_cache_cap: self.level_cache_cap,
         }
     }
 }
@@ -469,6 +476,20 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
 
     const NAME: &'static str = "minimal Steiner forest";
 
+    fn split_root(&self, _shard: crate::problem::RootShard) -> Option<Self> {
+        Some(SteinerForest {
+            g: self.g.clone(),
+            sets: self.sets.clone(),
+            stats: EnumStats::default(),
+            search: None,
+            level_cache_cap: self.level_cache_cap,
+        })
+    }
+
+    fn set_level_cache_cap(&mut self, cap: usize) {
+        self.level_cache_cap = Some(cap.max(1));
+    }
+
     fn validate(&self) -> Result<(), SteinerError> {
         if self.sets.is_empty() {
             return Err(SteinerError::EmptyInstance);
@@ -509,10 +530,13 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         bridge.preallocate(n, m);
         let mut uc = UniqueCompletionScratch::default();
         uc.preallocate(n, m, &pairs);
+        let level_cache_cap = self
+            .level_cache_cap
+            .unwrap_or(steiner_paths::enumerate::DEFAULT_LEVEL_CACHE_CAP);
         let mut pool = Vec::with_capacity(pairs.len() + 1);
         for _ in 0..pairs.len() + 1 {
             let mut ds = ForestDepthScratch::default();
-            ds.preallocate(n, m);
+            ds.preallocate(n, m, level_cache_cap);
             pool.push(ds);
         }
         let mut search = ForestSearch {
@@ -527,6 +551,7 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             uc,
             pool,
             depth: 0,
+            level_cache_cap,
             extra_allocs: 0,
             baseline_allocs: 0,
         };
@@ -568,7 +593,7 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         if search.pool.len() <= depth {
             search.extra_allocs += 1;
             let mut fresh = ForestDepthScratch::default();
-            fresh.preallocate(n, search.gcsr.num_edges());
+            fresh.preallocate(n, search.gcsr.num_edges(), search.level_cache_cap);
             search.pool.push(fresh);
         }
         let ds = &mut search.pool[depth];

@@ -62,6 +62,7 @@ pub struct SteinerTree<'g> {
     terminals: Vec<VertexId>,
     stats: EnumStats,
     search: Option<TreeSearch>,
+    level_cache_cap: Option<usize>,
 }
 
 /// Mutable search state installed by `prepare`. Everything the hot path
@@ -88,6 +89,8 @@ struct TreeSearch {
     pool: Vec<BranchScratch>,
     /// Current branch nesting depth (indexes `pool`).
     depth: usize,
+    /// Per-level BFS cache preallocation cap for pool growth.
+    level_cache_cap: usize,
     /// Growth events outside the component scratches (pool growth).
     extra_allocs: u64,
     /// Scratch-allocation baseline at the end of `prepare()`.
@@ -106,8 +109,9 @@ pub(crate) struct BranchScratch {
 }
 
 impl BranchScratch {
-    pub(crate) fn preallocate(&mut self, n: usize, m: usize) {
-        self.path.preallocate(n + 2, 2 * m + 2);
+    pub(crate) fn preallocate(&mut self, n: usize, m: usize, level_cache_cap: usize) {
+        self.path
+            .preallocate_capped(n + 2, 2 * m + 2, level_cache_cap);
         if self.boundary.capacity() < 2 * m + 2 {
             self.boundary.reserve(2 * m + 2 - self.boundary.capacity());
         }
@@ -192,6 +196,7 @@ impl<'g> SteinerTree<'g> {
             terminals: terminals.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -202,6 +207,7 @@ impl<'g> SteinerTree<'g> {
             terminals: terminals.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -213,6 +219,7 @@ impl<'g> SteinerTree<'g> {
             terminals: self.terminals,
             stats: self.stats,
             search: self.search,
+            level_cache_cap: self.level_cache_cap,
         }
     }
 }
@@ -225,6 +232,22 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
 
     fn validate(&self) -> Result<(), SteinerError> {
         crate::problem::validate_terminal_list(&self.terminals, self.g.num_vertices())
+    }
+
+    fn split_root(&self, _shard: crate::problem::RootShard) -> Option<Self> {
+        // A fresh copy of the instance data; the worker prepares it
+        // itself and the engine applies the root-child filter.
+        Some(SteinerTree {
+            g: self.g.clone(),
+            terminals: self.terminals.clone(),
+            stats: EnumStats::default(),
+            search: None,
+            level_cache_cap: self.level_cache_cap,
+        })
+    }
+
+    fn set_level_cache_cap(&mut self, cap: usize) {
+        self.level_cache_cap = Some(cap.max(1));
     }
 
     fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
@@ -253,10 +276,13 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         beyond.preallocate(n, m);
         let mut trail = Trail::new();
         trail.preallocate(2 * n + 2);
+        let level_cache_cap = self
+            .level_cache_cap
+            .unwrap_or(steiner_paths::enumerate::DEFAULT_LEVEL_CACHE_CAP);
         let mut pool = Vec::with_capacity(self.terminals.len() + 1);
         for _ in 0..self.terminals.len() + 1 {
             let mut bs = BranchScratch::default();
-            bs.preallocate(n, m);
+            bs.preallocate(n, m, level_cache_cap);
             pool.push(bs);
         }
         let mut search = TreeSearch {
@@ -270,6 +296,7 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             beyond,
             pool,
             depth: 0,
+            level_cache_cap,
             extra_allocs: 0,
             baseline_allocs: 0,
         };
@@ -377,7 +404,11 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             if search.pool.len() <= depth {
                 search.extra_allocs += 1;
                 let mut fresh = BranchScratch::default();
-                fresh.preallocate(search.csr.num_vertices(), search.csr.num_edges());
+                fresh.preallocate(
+                    search.csr.num_vertices(),
+                    search.csr.num_edges(),
+                    search.level_cache_cap,
+                );
                 search.pool.push(fresh);
             }
             search.depth = depth + 1;

@@ -38,8 +38,11 @@
 //! ([`Enumeration::with_limit`] or a sink returning
 //! [`ControlFlow::Break`](std::ops::ControlFlow::Break)) — plus the
 //! Theorem-20 output queue ([`Enumeration::with_queue`]) that converts the
-//! amortized O(n + m) bound into a worst-case delay bound. Invalid
-//! instances surface as typed [`SteinerError`]s.
+//! amortized O(n + m) bound into a worst-case delay bound, and a sharded
+//! parallel mode ([`Enumeration::with_threads`]) that splits the root's
+//! children across worker threads while keeping the delivered stream
+//! identical to the sequential one. Invalid instances surface as typed
+//! [`SteinerError`]s.
 //!
 //! # Algorithmic guarantees
 //!
@@ -77,7 +80,7 @@ pub mod verify;
 pub use directed::DirectedSteinerTree;
 pub use forest::SteinerForest;
 pub use improved::SteinerTree;
-pub use problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
+pub use problem::{MinimalSteinerProblem, NodeStep, Prepared, RootShard, SteinerError};
 pub use queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 pub use solver::{Enumeration, Solutions, StatsHandle};
 pub use stats::EnumStats;

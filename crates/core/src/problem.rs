@@ -122,6 +122,30 @@ pub enum Prepared<Item> {
     Search,
 }
 
+/// The slice of the root node's children one worker of a sharded
+/// enumeration owns: the children whose zero-based index `i` (in the
+/// engine's deterministic child order) satisfies `i % modulus == index`.
+///
+/// Produced by [`Enumeration::with_threads`](crate::solver::Enumeration::with_threads)
+/// and handed to [`MinimalSteinerProblem::split_root`] as a hint; the
+/// engine itself applies the filter, so problems only need to return a
+/// fresh instance copy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RootShard {
+    /// This worker's residue class, `0 ≤ index < modulus`.
+    pub index: u32,
+    /// The number of workers the root's children are split across.
+    pub modulus: u32,
+}
+
+impl RootShard {
+    /// Whether root child `child` belongs to this shard.
+    #[inline]
+    pub fn owns(&self, child: u64) -> bool {
+        child % self.modulus as u64 == self.index as u64
+    }
+}
+
 /// The per-node analysis of Algorithm 3, as computed by
 /// [`MinimalSteinerProblem::classify`].
 #[derive(Debug, Clone)]
@@ -209,6 +233,40 @@ pub trait MinimalSteinerProblem {
     ) -> (u64, ControlFlow<()>)
     where
         Self: Sized;
+
+    /// Produces an independent, unprepared copy of this instance for one
+    /// worker of a sharded enumeration
+    /// ([`Enumeration::with_threads`](crate::solver::Enumeration::with_threads)).
+    ///
+    /// The copy must carry the instance data (graph, terminals,
+    /// configuration) but no search state: each worker calls `prepare` on
+    /// its own copy, so preprocessing is deterministic per shard and the
+    /// root's children come out in the same order on every worker. The
+    /// `shard` value is a hint (the engine applies the child filter
+    /// itself); implementations may use it for shard-aware preprocessing
+    /// but are not required to store it.
+    ///
+    /// The default returns `None`, meaning the problem does not support
+    /// sharding and `with_threads` falls back to the sequential engine.
+    fn split_root(&self, shard: RootShard) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = shard;
+        None
+    }
+
+    /// Caps the number of per-level path-enumeration BFS caches the
+    /// problem preallocates in `prepare`
+    /// ([`Enumeration::with_level_cache_cap`](crate::solver::Enumeration::with_level_cache_cap)).
+    /// Levels beyond the cap are grown on demand (visible as
+    /// [`EnumStats::scratch_allocs`](crate::stats::EnumStats)), so a
+    /// small cap trades warm-up memory for growth events without
+    /// changing results. Problems without a path-enumerator scratch
+    /// ignore the hint.
+    fn set_level_cache_cap(&mut self, cap: usize) {
+        let _ = cap;
+    }
 }
 
 /// Shared structural validation for the members of one terminal list or

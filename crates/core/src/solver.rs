@@ -15,6 +15,16 @@
 //!   [`Enumeration::with_default_queue`] interpose the Theorem-20 output
 //!   queue for a worst-case (rather than amortized) delay bound.
 //!
+//! [`Enumeration::with_threads`] additionally **shards** the run across a
+//! pool of worker threads: the root node's children are split round-robin
+//! (child `i` goes to worker `i mod k`), every worker owns an independent
+//! problem copy ([`MinimalSteinerProblem::split_root`]) with its own
+//! scratch pools and statistics, and a deterministic merge
+//! ([`steiner_paths::streaming::ShardMerge`]) re-interleaves the
+//! per-worker streams so the delivered sequence is **identical to the
+//! sequential front-end**, including under limits, queues, and early
+//! termination.
+//!
 //! ```
 //! use steiner_core::{Enumeration, SteinerTree};
 //! use steiner_graph::{UndirectedGraph, VertexId};
@@ -27,11 +37,14 @@
 //! assert_eq!(trees.len(), 2);
 //! ```
 
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootShard, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::stats::EnumStats;
+use crossbeam_channel::Sender;
+use std::cell::Cell;
 use std::ops::ControlFlow;
 use std::sync::{Arc, Mutex};
+use steiner_paths::streaming::{self, MergeEvent, ShardMerge, ShardMsg};
 
 /// A shared, clonable handle to the statistics of one enumeration run,
 /// produced by [`Enumeration::with_stats`]. The final [`EnumStats`] are
@@ -169,6 +182,7 @@ pub struct Enumeration<P: MinimalSteinerProblem> {
     queue: QueueOpt,
     limit: Option<u64>,
     stats_handle: Option<StatsHandle>,
+    threads: usize,
 }
 
 impl<P: MinimalSteinerProblem> Enumeration<P> {
@@ -180,6 +194,7 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
             queue: QueueOpt::Direct,
             limit: None,
             stats_handle: None,
+            threads: 1,
         }
     }
 
@@ -214,6 +229,45 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         (self, handle)
     }
 
+    /// **Sharded execution.** Splits the root node's children across `k`
+    /// worker threads — child `i` (in the engine's deterministic order)
+    /// goes to worker `i mod k` — and merges the per-worker streams back
+    /// into the sequential emission order, so every front-end delivers a
+    /// stream **identical to the single-threaded run** (same solutions,
+    /// same order), including under [`Self::with_limit`],
+    /// [`Self::with_queue`], and sinks that return
+    /// [`ControlFlow::Break`](std::ops::ControlFlow::Break).
+    ///
+    /// Every worker owns an independent instance copy
+    /// ([`MinimalSteinerProblem::split_root`]) with its own `prepare()`,
+    /// scratch pools, and statistics; workers communicate only through
+    /// bounded channels, so a worker ahead of the merge point blocks
+    /// instead of buffering unboundedly. The published stats are the
+    /// workers' counters [merged](EnumStats::merge), with `solutions` set
+    /// to the delivered count and `max_emission_gap` re-measured as the
+    /// delivery gap on the merged work clock.
+    ///
+    /// Sharding pays off when the subtrees under the root carry the bulk
+    /// of the work (the usual case: every worker re-generates the root's
+    /// children, which costs O(n + m) each, but only descends into its
+    /// own). `k ≤ 1`, or a problem whose `split_root` returns `None`,
+    /// falls back to the sequential engine.
+    pub fn with_threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
+    }
+
+    /// Caps the per-level path-enumeration caches each worker
+    /// preallocates in `prepare` — the
+    /// [ROADMAP's level-cache memory knob](crate::problem::MinimalSteinerProblem::set_level_cache_cap)
+    /// for memory-constrained embeddings. Levels beyond the cap are grown
+    /// on demand (counted in [`EnumStats::scratch_allocs`]); results are
+    /// unaffected.
+    pub fn with_level_cache_cap(mut self, cap: usize) -> Self {
+        self.problem.set_level_cache_cap(cap.max(1));
+        self
+    }
+
     /// A shared reference to the wrapped problem.
     pub fn problem(&self) -> &P {
         &self.problem
@@ -230,13 +284,50 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         }
     }
 
+    /// The workers' problem copies for a sharded run, or `None` when the
+    /// problem does not support sharding (or only one thread is asked).
+    fn split_shards(&self) -> Option<Vec<P>> {
+        if self.threads <= 1 {
+            return None;
+        }
+        let k = self.threads as u32;
+        (0..k)
+            .map(|i| {
+                self.problem.split_root(RootShard {
+                    index: i,
+                    modulus: k,
+                })
+            })
+            .collect()
+    }
+
     /// **Push front-end.** Runs the enumeration, handing each solution (a
     /// sorted item slice) to `sink`; return
     /// [`ControlFlow::Break`](std::ops::ControlFlow) to stop early.
+    ///
+    /// With [`Self::with_threads`], the calling thread becomes the merge
+    /// point of the shard pool and `sink` observes the exact sequential
+    /// order. Since 0.2 the problem must be `Send` (its `Item` too) so a
+    /// single builder serves both execution modes; all problem types in
+    /// this workspace are. The sink itself never crosses threads and
+    /// needs no `Send`.
     pub fn for_each(
         mut self,
         mut sink: impl FnMut(&[P::Item]) -> ControlFlow<()>,
-    ) -> Result<EnumStats, SteinerError> {
+    ) -> Result<EnumStats, SteinerError>
+    where
+        P: Send,
+        P::Item: Send,
+    {
+        if let Some(shards) = self.split_shards() {
+            return run_sharded(
+                shards,
+                self.queue_config(),
+                self.limit,
+                self.stats_handle.as_ref(),
+                &mut sink,
+            );
+        }
         let prepared = self.problem.prepare()?;
         let queue = self.queue_config();
         let stats = run_configured(&mut self.problem, prepared, queue, self.limit, &mut sink);
@@ -248,12 +339,20 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
 
     /// Runs the enumeration for its statistics alone (every solution is
     /// generated and discarded).
-    pub fn run(self) -> Result<EnumStats, SteinerError> {
+    pub fn run(self) -> Result<EnumStats, SteinerError>
+    where
+        P: Send,
+        P::Item: Send,
+    {
         self.for_each(|_| ControlFlow::Continue(()))
     }
 
     /// Collects every solution into a vector of sorted item sets.
-    pub fn collect_vec(self) -> Result<Vec<Vec<P::Item>>, SteinerError> {
+    pub fn collect_vec(self) -> Result<Vec<Vec<P::Item>>, SteinerError>
+    where
+        P: Send,
+        P::Item: Send,
+    {
         let mut out = Vec::new();
         self.for_each(|items| {
             out.push(items.to_vec());
@@ -263,7 +362,11 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     }
 
     /// Counts the solutions (respecting [`Self::with_limit`]).
-    pub fn count(self) -> Result<u64, SteinerError> {
+    pub fn count(self) -> Result<u64, SteinerError>
+    where
+        P: Send,
+        P::Item: Send,
+    {
         let mut n = 0u64;
         self.for_each(|_| {
             n += 1;
@@ -283,16 +386,38 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     ///
     /// Named after `IntoIterator::into_iter` deliberately — the trait
     /// itself cannot be implemented because preparation is fallible.
+    ///
+    /// With [`Self::with_threads`], a coordinator thread hosts the shard
+    /// pool and its merge point; instance errors are still returned
+    /// synchronously (the original problem is prepared once up front for
+    /// validation before the workers re-prepare their own copies).
     #[allow(clippy::should_implement_trait)]
     pub fn into_iter(mut self) -> Result<Solutions<P::Item>, SteinerError>
     where
         P: Send + 'static,
         P::Item: Send + 'static,
     {
+        let shards = self.split_shards();
         let prepared = self.problem.prepare()?;
         let queue = self.queue_config();
         let limit = self.limit;
         let handle = self.stats_handle.clone();
+        if let (Some(shards), Prepared::Search) = (shards, &prepared) {
+            // Trivial outcomes (Empty/Single) skip the pool entirely;
+            // a real search hands the prepared original's *instance*
+            // over to the workers, which prepare their own copies.
+            let inner = streaming::Enumeration::spawn(move |send| {
+                run_sharded(
+                    shards,
+                    queue,
+                    limit,
+                    handle.as_ref(),
+                    &mut |items: &[P::Item]| send(items.to_vec()),
+                )
+                .expect("shard preparation failed although the original instance prepared");
+            });
+            return Ok(Solutions { inner });
+        }
         let mut problem = self.problem;
         let inner = steiner_paths::streaming::Enumeration::spawn(move |send| {
             let stats = run_configured(
@@ -310,6 +435,34 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     }
 }
 
+/// The `with_limit` state machine, shared verbatim by the sequential and
+/// sharded sink chains so their delivery semantics cannot drift apart:
+/// once the cap is reached the wrapped delivery is not invoked at all,
+/// and the delivery that exhausts the cap returns `Break`.
+struct LimitCap {
+    remaining: Option<u64>,
+}
+
+impl LimitCap {
+    fn new(limit: Option<u64>) -> Self {
+        LimitCap { remaining: limit }
+    }
+
+    fn deliver(&mut self, deliver: impl FnOnce() -> ControlFlow<()>) -> ControlFlow<()> {
+        if self.remaining == Some(0) {
+            return ControlFlow::Break(());
+        }
+        let flow = deliver();
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+            if *r == 0 {
+                return ControlFlow::Break(());
+            }
+        }
+        flow
+    }
+}
+
 /// Assembles the sink chain (limit cap, optional output queue) and runs
 /// the prepared problem.
 fn run_configured<P: MinimalSteinerProblem>(
@@ -319,20 +472,8 @@ fn run_configured<P: MinimalSteinerProblem>(
     limit: Option<u64>,
     sink: &mut dyn FnMut(&[P::Item]) -> ControlFlow<()>,
 ) -> EnumStats {
-    let mut remaining = limit;
-    let mut limited = |items: &[P::Item]| -> ControlFlow<()> {
-        if remaining == Some(0) {
-            return ControlFlow::Break(());
-        }
-        let flow = sink(items);
-        if let Some(r) = &mut remaining {
-            *r -= 1;
-            if *r == 0 {
-                return ControlFlow::Break(());
-            }
-        }
-        flow
-    };
+    let mut cap = LimitCap::new(limit);
+    let mut limited = |items: &[P::Item]| -> ControlFlow<()> { cap.deliver(|| sink(items)) };
     if limit == Some(0) {
         // Nothing may be delivered; skip the search entirely.
         p.stats_mut().note_end();
@@ -348,6 +489,397 @@ fn run_configured<P: MinimalSteinerProblem>(
             run_prepared(p, prepared, &mut queued)
         }
     }
+}
+
+/// A block of consecutive solutions from one root child, stored flat
+/// (one allocation for the items, one for the lengths) so channel and
+/// allocator traffic are amortized over [`BATCH_SOLUTIONS`] solutions
+/// instead of paid per solution.
+struct Batch<Item> {
+    flat: Vec<Item>,
+    lens: Vec<u32>,
+}
+
+/// Solutions per shard-channel message. Flushing also happens at every
+/// child boundary, so small subtrees still stream promptly; within one
+/// child the merger is at most one batch behind the producing worker.
+const BATCH_SOLUTIONS: usize = 32;
+
+/// The sink a shard worker drives: tags every solution with the root
+/// child it belongs to, packs consecutive solutions into flat batches,
+/// and forwards them to the merger's channel. A send error means the
+/// merger hung up (early termination): the worker sees `Break` and
+/// unwinds.
+struct ShardSink<'a, Item> {
+    tx: &'a Sender<ShardMsg<Batch<Item>>>,
+    /// Root-child index currently being explored.
+    child: u64,
+    /// Pending batch for the current child.
+    batch: Batch<Item>,
+    /// Tick granularity in work units (`Some` in queued mode, so the
+    /// merger's release clock advances between solutions without
+    /// flooding the channel with per-node heartbeats).
+    tick_every: Option<u64>,
+    last_tick: u64,
+}
+
+impl<Item: Copy> ShardSink<'_, Item> {
+    /// Sends the pending batch (if any); called when the batch fills and
+    /// at every child boundary.
+    fn flush(&mut self, work: u64) -> ControlFlow<()> {
+        if self.batch.lens.is_empty() {
+            return ControlFlow::Continue(());
+        }
+        let batch = std::mem::replace(
+            &mut self.batch,
+            Batch {
+                flat: Vec::new(),
+                lens: Vec::new(),
+            },
+        );
+        let msg = ShardMsg::Item {
+            child: self.child,
+            item: batch,
+            work,
+        };
+        if self.tx.send(msg).is_err() {
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+impl<Item: Copy> SolutionSink<Item> for ShardSink<'_, Item> {
+    fn solution(&mut self, items: &[Item], work: u64) -> ControlFlow<()> {
+        self.batch.flat.extend_from_slice(items);
+        self.batch.lens.push(items.len() as u32);
+        if self.batch.lens.len() >= BATCH_SOLUTIONS {
+            self.flush(work)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn tick(&mut self, work: u64) -> ControlFlow<()> {
+        if let Some(every) = self.tick_every {
+            if work.saturating_sub(self.last_tick) >= every {
+                self.last_tick = work;
+                // Pending solutions go first so clock advances never
+                // overtake the stream.
+                self.flush(work)?;
+                if self.tx.send(ShardMsg::Tick { work }).is_err() {
+                    return ControlFlow::Break(());
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// One shard worker: prepares its own problem copy and runs the engine's
+/// root node with the shard filter — every root child is still generated
+/// (keeping the deterministic child order), but the worker only descends
+/// into the children it owns, reporting a `ChildDone` boundary after
+/// each. Returns the worker's final statistics.
+fn run_shard_worker<P: MinimalSteinerProblem>(
+    p: &mut P,
+    shard: RootShard,
+    sink: &mut ShardSink<'_, P::Item>,
+) -> Result<EnumStats, SteinerError> {
+    let prepared = match p.prepare() {
+        Ok(prepared) => prepared,
+        Err(e) => {
+            let _ = sink.tx.send(ShardMsg::Failed);
+            return Err(e);
+        }
+    };
+    let mut children_total = 0u64;
+    let flow = match prepared {
+        Prepared::Empty => ControlFlow::Continue(()),
+        Prepared::Single(items) => {
+            // Exactly one solution, found without search: shard 0 owns it.
+            if shard.index == 0 {
+                let mut scratch = items;
+                scratch.sort_unstable();
+                p.stats_mut().note_emission();
+                sink.solution(&scratch, p.stats().work)
+            } else {
+                ControlFlow::Continue(())
+            }
+        }
+        Prepared::Search => {
+            let (n, _) = p.instance_size();
+            let mut scratch: Vec<P::Item> = Vec::with_capacity(n + 1);
+            match p.classify(&mut scratch) {
+                NodeStep::Complete => {
+                    p.stats_mut().note_node(0, 0);
+                    scratch.clear();
+                    p.solution(&mut scratch);
+                    if shard.index == 0 {
+                        emit(p, sink, &mut scratch)
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                }
+                NodeStep::Unique => {
+                    p.stats_mut().note_node(0, 0);
+                    if shard.index == 0 {
+                        emit(p, sink, &mut scratch)
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                }
+                NodeStep::Branch(at) => {
+                    let mut next_child = 0u64;
+                    let (children, flow) = p.branch(at, &mut |q| {
+                        let this = next_child;
+                        next_child += 1;
+                        if !shard.owns(this) {
+                            // Not ours: the problem still pays the child
+                            // generation (which keeps sibling order
+                            // deterministic) but the subtree is skipped.
+                            return ControlFlow::Continue(());
+                        }
+                        sink.child = this;
+                        recurse(q, 1, sink, &mut scratch)?;
+                        sink.flush(q.stats().work)?;
+                        let done = ShardMsg::ChildDone {
+                            child: this,
+                            work: q.stats().work,
+                        };
+                        if sink.tx.send(done).is_err() {
+                            return ControlFlow::Break(());
+                        }
+                        ControlFlow::Continue(())
+                    });
+                    p.stats_mut().note_node(children, 0);
+                    children_total = next_child;
+                    flow
+                }
+            }
+        }
+    };
+    p.seal_stats();
+    p.stats_mut().note_end();
+    let flow = if flow.is_continue() {
+        // Root-leaf / `Single` emissions may still sit in the batch.
+        sink.flush(p.stats().work)
+    } else {
+        flow
+    };
+    if flow.is_continue() {
+        let _ = sink.tx.send(ShardMsg::Done {
+            children: children_total,
+            work: p.stats().work,
+        });
+    }
+    Ok(*p.stats())
+}
+
+/// What the merge point measured while delivering the merged stream.
+struct MergeOutcome {
+    delivered: u64,
+    /// Maximum delivery gap on the merged work clock (trailing gap
+    /// included, mirroring [`EnumStats::note_end`]).
+    max_gap: u64,
+    /// A worker reported `Failed` (its error is in the shared slot).
+    failed: bool,
+}
+
+/// Drains the shard merge on the calling thread, applying the limit cap
+/// and the optional output queue to the merged stream — the same sink
+/// chain as the sequential `run_configured`, driven by the merged work
+/// clock.
+fn run_merge<Item: Copy>(
+    mut merge: ShardMerge<Batch<Item>>,
+    queue: Option<QueueConfig>,
+    limit: Option<u64>,
+    sink: &mut dyn FnMut(&[Item]) -> ControlFlow<()>,
+) -> MergeOutcome {
+    let mut delivered = 0u64;
+    let mut max_gap = 0u64;
+    let mut last_emit = 0u64;
+    let clock = Cell::new(0u64);
+    let mut failed = false;
+    {
+        let mut cap = LimitCap::new(limit);
+        let mut deliver = |items: &[Item]| -> ControlFlow<()> {
+            cap.deliver(|| {
+                let now = clock.get();
+                if delivered > 0 {
+                    // Inter-delivery gaps only: the latency to the *first*
+                    // delivery includes every worker's preprocessing and
+                    // the queue's deliberate warm-up buffering, which
+                    // Theorem 20 excludes from its gap bound.
+                    max_gap = max_gap.max(now - last_emit);
+                }
+                last_emit = now;
+                delivered += 1;
+                sink(items)
+            })
+        };
+        // Unpacks one flat batch, handing each solution onward in order.
+        fn each_solution<Item>(
+            batch: &Batch<Item>,
+            mut f: impl FnMut(&[Item]) -> ControlFlow<()>,
+        ) -> ControlFlow<()> {
+            let mut start = 0usize;
+            for &len in &batch.lens {
+                let end = start + len as usize;
+                f(&batch.flat[start..end])?;
+                start = end;
+            }
+            ControlFlow::Continue(())
+        }
+        match queue {
+            None => loop {
+                match merge.next_event() {
+                    MergeEvent::Item(batch) => {
+                        clock.set(merge.work());
+                        if each_solution(&batch, &mut deliver).is_break() {
+                            break;
+                        }
+                    }
+                    MergeEvent::Tick => {}
+                    MergeEvent::Finished => {
+                        clock.set(merge.work());
+                        break;
+                    }
+                    MergeEvent::Failed => {
+                        failed = true;
+                        break;
+                    }
+                }
+            },
+            Some(config) => {
+                let mut q = OutputQueue::new(config, &mut deliver);
+                loop {
+                    match merge.next_event() {
+                        MergeEvent::Item(batch) => {
+                            clock.set(merge.work());
+                            let work = merge.work();
+                            if each_solution(&batch, |sol| q.solution(sol, work)).is_break() {
+                                break;
+                            }
+                        }
+                        MergeEvent::Tick => {
+                            clock.set(merge.work());
+                            if q.tick(merge.work()).is_break() {
+                                break;
+                            }
+                        }
+                        MergeEvent::Finished => {
+                            clock.set(merge.work());
+                            let _ = q.finish();
+                            break;
+                        }
+                        MergeEvent::Failed => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Trailing gap, as in `EnumStats::note_end`.
+    if delivered > 0 {
+        max_gap = max_gap.max(clock.get() - last_emit);
+    }
+    MergeOutcome {
+        delivered,
+        max_gap,
+        failed,
+    }
+}
+
+/// Spawns one worker per shard (each with the streaming module's large
+/// stack), merges deterministically on the calling thread, and publishes
+/// the merged statistics. The sequential and sharded front-ends share
+/// the limit/queue sink chain, so the delivered stream is identical.
+fn run_sharded<P>(
+    shards: Vec<P>,
+    queue: Option<QueueConfig>,
+    limit: Option<u64>,
+    stats_handle: Option<&StatsHandle>,
+    sink: &mut dyn FnMut(&[P::Item]) -> ControlFlow<()>,
+) -> Result<EnumStats, SteinerError>
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send,
+{
+    if limit == Some(0) {
+        // Nothing may be delivered; skip spawning entirely.
+        let stats = EnumStats::default();
+        if let Some(handle) = stats_handle {
+            handle.set(stats);
+        }
+        return Ok(stats);
+    }
+    let k = shards.len() as u32;
+    // One release per `budget` needs clock resolution no coarser than the
+    // budget itself; half of it keeps heartbeat traffic negligible.
+    let tick_every = queue.map(|c| (c.budget / 2).max(1));
+    let error: Mutex<Option<SteinerError>> = Mutex::new(None);
+    let merged: Mutex<EnumStats> = Mutex::new(EnumStats::default());
+    // Modest per-worker runway: capacity × BATCH_SOLUTIONS solutions may
+    // be in flight per worker, which decouples the pool from the merge
+    // point without letting workers burn far past an early termination.
+    let (txs, rxs) = streaming::shard_channels(k as usize, 8);
+    let outcome = std::thread::scope(|scope| {
+        for (i, (mut problem, tx)) in shards.into_iter().zip(txs).enumerate() {
+            let error = &error;
+            let merged = &merged;
+            std::thread::Builder::new()
+                .name(format!("steiner-shard-{i}"))
+                .stack_size(streaming::DEFAULT_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    let shard = RootShard {
+                        index: i as u32,
+                        modulus: k,
+                    };
+                    let mut shard_sink = ShardSink {
+                        tx: &tx,
+                        child: 0,
+                        batch: Batch {
+                            flat: Vec::new(),
+                            lens: Vec::new(),
+                        },
+                        tick_every,
+                        last_tick: 0,
+                    };
+                    match run_shard_worker(&mut problem, shard, &mut shard_sink) {
+                        Ok(stats) => merged
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .merge(&stats),
+                        Err(e) => {
+                            error
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .get_or_insert(e);
+                        }
+                    }
+                })
+                .expect("spawn shard worker");
+        }
+        run_merge(ShardMerge::new(rxs), queue, limit, sink)
+        // Dropping the merge hangs up every worker channel; the scope
+        // then joins the workers (propagating any worker panic).
+    });
+    if let Some(e) = error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(e);
+    }
+    debug_assert!(!outcome.failed, "failure without a recorded error");
+    let mut stats = *merged.lock().unwrap_or_else(|e| e.into_inner());
+    // The user-facing view: what was delivered, and the gap actually
+    // observed on the merged clock (worker-local gaps are meaningless
+    // across clocks).
+    stats.solutions = outcome.delivered;
+    stats.max_emission_gap = outcome.max_gap;
+    if let Some(handle) = stats_handle {
+        handle.set(stats);
+    }
+    Ok(stats)
 }
 
 /// Iterator over the solutions of a background enumeration, returned by

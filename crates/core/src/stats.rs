@@ -79,6 +79,32 @@ impl EnumStats {
         }
     }
 
+    /// Folds another run's counters into this one — the aggregation rule
+    /// of the sharded front-end
+    /// ([`Enumeration::with_threads`](crate::solver::Enumeration::with_threads)):
+    /// additive counters sum (each worker's work, nodes, and allocations
+    /// are real costs paid on some thread; `peak_scratch_bytes` sums
+    /// because every worker owns its own scratch heaps), extrema take the
+    /// maximum. Note two sharding artifacts: the root node is expanded
+    /// once *per worker*, so `nodes` counts it `k` times, and each
+    /// worker's `max_emission_gap` is measured against its own work
+    /// clock (the sharded driver overrides the merged value with the
+    /// user-visible delivery gap).
+    pub fn merge(&mut self, other: &EnumStats) {
+        self.solutions += other.solutions;
+        self.work += other.work;
+        self.preprocessing_work += other.preprocessing_work;
+        self.nodes += other.nodes;
+        self.internal_nodes += other.internal_nodes;
+        self.leaf_nodes += other.leaf_nodes;
+        self.deficient_internal_nodes += other.deficient_internal_nodes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.max_emission_gap = self.max_emission_gap.max(other.max_emission_gap);
+        self.scratch_allocs += other.scratch_allocs;
+        self.peak_scratch_bytes += other.peak_scratch_bytes;
+        self.emitted_any |= other.emitted_any;
+    }
+
     /// Records one expanded node with its child count and depth.
     pub fn note_node(&mut self, children: u64, depth: u32) {
         self.nodes += 1;
@@ -127,6 +153,37 @@ mod tests {
         s.work = 105;
         s.note_end();
         assert_eq!(s.max_emission_gap, 100);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_extrema() {
+        let mut a = EnumStats {
+            work: 100,
+            ..Default::default()
+        };
+        a.note_emission();
+        a.note_node(3, 2);
+        let mut b = EnumStats {
+            work: 40,
+            preprocessing_work: 7,
+            scratch_allocs: 2,
+            peak_scratch_bytes: 64,
+            ..Default::default()
+        };
+        b.note_emission();
+        b.note_emission();
+        b.note_node(0, 5);
+        a.merge(&b);
+        assert_eq!(a.solutions, 3);
+        assert_eq!(a.work, 140);
+        assert_eq!(a.preprocessing_work, 7);
+        assert_eq!(a.nodes, 2);
+        assert_eq!(a.internal_nodes, 1);
+        assert_eq!(a.leaf_nodes, 1);
+        assert_eq!(a.max_depth, 5);
+        assert_eq!(a.max_emission_gap, 100, "extrema take the max");
+        assert_eq!(a.scratch_allocs, 2);
+        assert_eq!(a.peak_scratch_bytes, 64);
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub struct TerminalSteinerTree<'g> {
     terminals: Vec<VertexId>,
     stats: EnumStats,
     search: Option<TerminalSearch>,
+    level_cache_cap: Option<usize>,
 }
 
 enum TerminalSearch {
@@ -143,6 +144,8 @@ struct ComponentSearch {
     aug: AugScratch,
     pool: Vec<BranchScratch>,
     depth: usize,
+    /// Per-level BFS cache preallocation cap for pool growth.
+    level_cache_cap: usize,
     extra_allocs: u64,
     baseline_allocs: u64,
 }
@@ -227,6 +230,7 @@ impl<'g> TerminalSteinerTree<'g> {
             terminals: terminals.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -237,6 +241,7 @@ impl<'g> TerminalSteinerTree<'g> {
             terminals: terminals.to_vec(),
             stats: EnumStats::default(),
             search: None,
+            level_cache_cap: None,
         }
     }
 
@@ -248,6 +253,7 @@ impl<'g> TerminalSteinerTree<'g> {
             terminals: self.terminals,
             stats: self.stats,
             search: self.search,
+            level_cache_cap: self.level_cache_cap,
         }
     }
 }
@@ -377,6 +383,20 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         crate::problem::validate_terminal_list(&self.terminals, self.g.num_vertices())
     }
 
+    fn split_root(&self, _shard: crate::problem::RootShard) -> Option<Self> {
+        Some(TerminalSteinerTree {
+            g: self.g.clone(),
+            terminals: self.terminals.clone(),
+            stats: EnumStats::default(),
+            search: None,
+            level_cache_cap: self.level_cache_cap,
+        })
+    }
+
+    fn set_level_cache_cap(&mut self, cap: usize) {
+        self.level_cache_cap = Some(cap.max(1));
+    }
+
     fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
         self.validate()?;
         self.terminals.sort_unstable();
@@ -395,7 +415,12 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             // the w₀-w₁ paths (§5.1).
             let doubled = Arc::new(CsrDigraph::doubled(g));
             let mut path = PathScratch::new();
-            path.preallocate(n + 2, 2 * g.num_edges() + 2);
+            path.preallocate_capped(
+                n + 2,
+                2 * g.num_edges() + 2,
+                self.level_cache_cap
+                    .unwrap_or(steiner_paths::enumerate::DEFAULT_LEVEL_CACHE_CAP),
+            );
             let boundary = Vec::with_capacity(2 * g.num_edges() + 2);
             let mut search = TwoTerminalSearch {
                 doubled,
@@ -478,10 +503,13 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         aug.preallocate(n, num_edges);
         let mut trail = Trail::new();
         trail.preallocate(2 * n + 2);
+        let level_cache_cap = self
+            .level_cache_cap
+            .unwrap_or(steiner_paths::enumerate::DEFAULT_LEVEL_CACHE_CAP);
         let mut pool = Vec::with_capacity(self.terminals.len() + 2);
         for _ in 0..self.terminals.len() + 2 {
             let mut bs = BranchScratch::default();
-            bs.preallocate(n, num_edges);
+            bs.preallocate(n, num_edges, level_cache_cap);
             pool.push(bs);
         }
         let mut t = PartialTree::new(n, &self.terminals, None);
@@ -502,6 +530,7 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             aug,
             pool,
             depth: 0,
+            level_cache_cap,
             extra_allocs: 0,
             baseline_allocs: 0,
         };
@@ -682,7 +711,7 @@ impl TerminalSteinerTree<'_> {
         if cs.pool.len() <= depth {
             cs.extra_allocs += 1;
             let mut fresh = BranchScratch::default();
-            fresh.preallocate(cs.gc.num_vertices(), cs.gc.num_edges());
+            fresh.preallocate(cs.gc.num_vertices(), cs.gc.num_edges(), cs.level_cache_cap);
             cs.pool.push(fresh);
         }
         cs.depth = depth + 1;

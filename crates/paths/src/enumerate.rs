@@ -208,6 +208,14 @@ struct LevelScratch {
     valid: bool,
 }
 
+/// Default cap on the number of per-level reverse-BFS caches that
+/// [`PathScratch::preallocate`] sizes up front. Deeper recursion levels
+/// are grown on demand at every access site (each growth is counted in
+/// [`PathScratch::alloc_events`]), so the cap bounds warm-up memory —
+/// not the reachable recursion depth. Override it per enumeration with
+/// [`PathScratch::preallocate_capped`].
+pub const DEFAULT_LEVEL_CACHE_CAP: usize = 512;
+
 impl PathScratch {
     /// A fresh, empty scratch.
     pub fn new() -> Self {
@@ -216,17 +224,30 @@ impl PathScratch {
 
     /// Sizes every buffer for a graph with `n` vertices (including any
     /// virtual source) and `m` arcs, so subsequent enumerations do not
-    /// allocate. The continuation arena and the per-level BFS caches are
-    /// sized for the worst case of the recursion (O(n²) when paths are
-    /// long — the same order as the paper's output-queue space bound),
-    /// capped so preallocation stays modest on big graphs.
+    /// allocate on instances whose recursion stays within
+    /// [`DEFAULT_LEVEL_CACHE_CAP`] levels. The per-level BFS caches are
+    /// **not** sized for the worst case of the recursion (which is one
+    /// level per frame — O(n) levels of O(n) words each, the same O(n²)
+    /// order as the paper's output-queue space bound): preallocation
+    /// stops at the cap and deeper levels are grown on demand, counted
+    /// in [`Self::alloc_events`].
     pub fn preallocate(&mut self, n: usize, m: usize) {
+        self.preallocate_capped(n, m, DEFAULT_LEVEL_CACHE_CAP);
+    }
+
+    /// As [`Self::preallocate`] with an explicit cap on the number of
+    /// preallocated per-level BFS caches — the memory knob for
+    /// embeddings that run many enumerators side by side (each level
+    /// owns two `n`-word arrays, so the warm-up footprint is
+    /// `2n · min(n + 2, cap)` words). A small cap never changes results
+    /// or reachable depth; deep runs just grow the cache on demand.
+    pub fn preallocate_capped(&mut self, n: usize, m: usize, level_cache_cap: usize) {
         let _ = m;
         self.removed
             .reserve(n.saturating_sub(self.removed.capacity()));
         self.stamp.reserve(n.saturating_sub(self.stamp.capacity()));
         self.queue.reserve(n.saturating_sub(self.queue.capacity()));
-        let depth_cap = (n + 2).min(512);
+        let depth_cap = (n + 2).min(level_cache_cap.max(1));
         if self.levels.capacity() < depth_cap {
             self.levels.reserve(depth_cap - self.levels.capacity());
         }
@@ -369,6 +390,16 @@ impl<V: PathView> Engine<'_, '_, V> {
         let t = self.t;
         let s = &mut *self.s;
         let n = s.removed.len();
+        // Preallocation stops at the level-cache cap, so deep recursion
+        // can reach levels that do not exist yet. Grow here — at the
+        // access site — not only in `e_stp`, so `levels[depth]` can
+        // never index out of bounds regardless of the caller.
+        if s.levels.len() <= depth {
+            if s.levels.capacity() <= depth {
+                s.allocs += 1;
+            }
+            s.levels.resize_with(depth + 1, LevelScratch::default);
+        }
         let lvl = &mut s.levels[depth];
         if lvl.stamp.len() != n {
             steiner_graph::csr::grow(&mut lvl.stamp, n, 0u32, &mut s.allocs);
@@ -1141,6 +1172,82 @@ mod tests {
             slow.work,
             fast.work
         );
+    }
+
+    #[test]
+    fn thousand_vertex_path_graph_does_not_panic() {
+        // Regression: `preallocate` caps the level cache at
+        // DEFAULT_LEVEL_CACHE_CAP (512) entries, but instances with
+        // n > 510 can touch levels past the preallocation; every access
+        // site must grow the cache on demand instead of indexing out of
+        // bounds.
+        let n = 1000;
+        let g = steiner_graph::generators::path(n);
+        let csr = CsrDigraph::doubled(&g);
+        let mut scratch = PathScratch::new();
+        scratch.preallocate(csr.num_vertices(), csr.num_arcs());
+        scratch.begin(csr.num_vertices());
+        let mut emitted = Vec::new();
+        enumerate_paths_view(
+            &csr,
+            VertexId(0),
+            VertexId::new(n - 1),
+            EnumerateOptions::default(),
+            false,
+            &mut scratch,
+            &mut |p| {
+                emitted.push(p.arcs.len());
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(emitted, vec![n - 1], "the single spanning path");
+    }
+
+    #[test]
+    fn recursion_past_the_level_cache_cap_grows_on_demand() {
+        // A ladder nests path prefixes along the whole chain, so the
+        // E-STP recursion runs deeper than a tiny preallocation cap.
+        // The capped scratch must produce the identical stream and
+        // report its growth through `alloc_events`.
+        let g = steiner_graph::generators::ladder(10);
+        let csr = CsrDigraph::doubled(&g);
+        let (n, m) = (csr.num_vertices(), csr.num_arcs());
+        let t = VertexId::new(n - 1);
+        let run = |scratch: &mut PathScratch| {
+            let mut paths = Vec::new();
+            scratch.begin(n);
+            enumerate_paths_view(
+                &csr,
+                VertexId(0),
+                t,
+                EnumerateOptions::default(),
+                false,
+                scratch,
+                &mut |p| {
+                    paths.push(p.arcs.to_vec());
+                    ControlFlow::Continue(())
+                },
+            );
+            paths
+        };
+        let mut full = PathScratch::new();
+        full.preallocate(n, m);
+        let reference = run(&mut full);
+        assert!(reference.len() > 100, "the instance is path-rich");
+
+        let mut capped = PathScratch::new();
+        capped.preallocate_capped(n, m, 2);
+        let got = run(&mut capped);
+        assert_eq!(got, reference, "identical stream under a tiny cap");
+        assert!(
+            capped.alloc_events() > 0,
+            "on-demand growth past the cap is visible in the accounting"
+        );
+        // A second run on the now-grown scratch is allocation-free again.
+        let before = capped.alloc_events();
+        let again = run(&mut capped);
+        assert_eq!(again, reference);
+        assert_eq!(capped.alloc_events(), before, "warm capped scratch");
     }
 
     #[test]

@@ -1,12 +1,23 @@
-//! Pull-based iteration over push-based enumerations.
+//! Pull-based iteration over push-based enumerations, and the shard
+//! worker-pool plumbing behind the parallel front-end.
 //!
 //! Enumerators in this workspace are recursive and push solutions into a
-//! sink. This module runs such an enumeration on a dedicated worker thread
-//! with a large stack (recursion depth is O(n)) and streams owned solutions
-//! through a bounded channel, yielding a normal [`Iterator`]. Dropping the
-//! iterator stops the producer at its next emission.
+//! sink. [`Enumeration`] runs such an enumeration on a dedicated worker
+//! thread with a large stack (recursion depth is O(n)) and streams owned
+//! solutions through a bounded channel, yielding a normal [`Iterator`].
+//! Dropping the iterator stops the producer at its next emission.
+//!
+//! The sharded variant replaces the single producer with a **pool of
+//! shard workers**: each worker enumerates one residue class of the root
+//! node's children and reports through its own bounded channel
+//! ([`ShardMsg`]); [`ShardMerge`] interleaves the per-worker streams back
+//! into the sequential engine's exact emission order (children in index
+//! order, each child's solutions in discovery order), so the merged
+//! stream is byte-identical to a single-threaded run. Backpressure comes
+//! from the bounded channels — a worker that races ahead of the merge
+//! point simply blocks on its next send.
 
-use crossbeam_channel::{bounded, Receiver};
+use crossbeam_channel::{bounded, Receiver, Sender};
 use std::ops::ControlFlow;
 use std::thread::JoinHandle;
 
@@ -94,6 +105,167 @@ impl<T> Drop for Enumeration<T> {
         self.rx = None;
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
+        }
+    }
+}
+
+/// One message from a shard worker to the deterministic merger. `child`
+/// indices refer to the sequential engine's root-child order; `work` is
+/// the sending worker's own monotone work counter at send time (the
+/// merger sums per-worker deltas into one merged clock).
+#[derive(Debug)]
+pub enum ShardMsg<T> {
+    /// A solution found inside root child `child`.
+    Item {
+        /// Root-child index the solution belongs to.
+        child: u64,
+        /// The solution payload.
+        item: T,
+        /// The worker's work counter at emission.
+        work: u64,
+    },
+    /// The worker finished root child `child` (sent for every child the
+    /// worker owns, even solution-free ones — the merger's cue to move
+    /// to the next child index).
+    ChildDone {
+        /// The completed root-child index.
+        child: u64,
+        /// The worker's work counter at completion.
+        work: u64,
+    },
+    /// Progress heartbeat, sent (throttled) so the merger's release
+    /// clock keeps advancing between solutions in queued mode.
+    Tick {
+        /// The worker's current work counter.
+        work: u64,
+    },
+    /// The worker ran to completion and saw `children` root children in
+    /// total. Every completing worker reports the same number (they all
+    /// run the same deterministic root branch), so the first `Done` the
+    /// merger consumes fixes the merge's horizon.
+    Done {
+        /// Total number of root children.
+        children: u64,
+        /// The worker's final work counter.
+        work: u64,
+    },
+    /// The worker's preparation failed; the error itself travels out of
+    /// band (this crate does not know the caller's error type).
+    Failed,
+}
+
+/// Sending halves of a shard pool's channels, one per worker.
+pub type ShardSenders<T> = Vec<Sender<ShardMsg<T>>>;
+/// Receiving halves of a shard pool's channels, one per worker.
+pub type ShardReceivers<T> = Vec<Receiver<ShardMsg<T>>>;
+
+/// Creates the per-worker bounded channels of a shard pool.
+pub fn shard_channels<T>(workers: usize, capacity: usize) -> (ShardSenders<T>, ShardReceivers<T>) {
+    (0..workers).map(|_| bounded(capacity)).unzip()
+}
+
+/// A merged event produced by [`ShardMerge::next_event`], in the exact
+/// order the sequential engine would have produced it.
+#[derive(Debug)]
+pub enum MergeEvent<T> {
+    /// The next solution of the merged stream.
+    Item(T),
+    /// The merged work clock advanced without a solution (a worker tick
+    /// or a child boundary) — drive any release schedule from
+    /// [`ShardMerge::work`].
+    Tick,
+    /// All root children have been drained; the merge is complete.
+    Finished,
+    /// A worker reported failure or hung up without finishing. The
+    /// caller decides whether that is an error (out-of-band slot) or a
+    /// panic (propagated when the worker scope joins).
+    Failed,
+}
+
+/// Deterministic k-way merge over shard-worker channels: child `c` is
+/// owned by worker `c % k`, and the merger only ever reads the channel of
+/// the child it is currently draining, so per-channel FIFO order plus the
+/// child rotation reproduce the sequential emission order exactly.
+pub struct ShardMerge<T> {
+    rxs: Vec<Receiver<ShardMsg<T>>>,
+    /// Last observed per-worker work counters.
+    clocks: Vec<u64>,
+    /// Merged monotone clock: the sum of the per-worker counters.
+    clock: u64,
+    next_child: u64,
+    /// Total child count, once some worker's `Done` established it.
+    total: Option<u64>,
+}
+
+impl<T> ShardMerge<T> {
+    /// Wraps the workers' receive ends (one per shard, in shard order).
+    pub fn new(rxs: Vec<Receiver<ShardMsg<T>>>) -> Self {
+        let clocks = vec![0; rxs.len()];
+        ShardMerge {
+            rxs,
+            clocks,
+            clock: 0,
+            next_child: 0,
+            total: None,
+        }
+    }
+
+    /// The merged work clock: the sum of every worker's last observed
+    /// work counter. Monotone, and advanced by every received message.
+    pub fn work(&self) -> u64 {
+        self.clock
+    }
+
+    fn advance(&mut self, worker: usize, work: u64) {
+        let prev = self.clocks[worker];
+        if work > prev {
+            self.clock += work - prev;
+            self.clocks[worker] = work;
+        }
+    }
+
+    /// Blocks for the next merged event. After [`MergeEvent::Finished`]
+    /// or [`MergeEvent::Failed`], drop the merge to hang up the workers.
+    pub fn next_event(&mut self) -> MergeEvent<T> {
+        loop {
+            if let Some(total) = self.total {
+                if self.next_child >= total {
+                    return MergeEvent::Finished;
+                }
+            }
+            let owner = (self.next_child % self.rxs.len() as u64) as usize;
+            let Ok(msg) = self.rxs[owner].recv() else {
+                // The owner hung up without `Done`: it panicked or was
+                // stopped; the spawning scope surfaces which.
+                return MergeEvent::Failed;
+            };
+            match msg {
+                ShardMsg::Item { child, item, work } => {
+                    self.advance(owner, work);
+                    debug_assert_eq!(child, self.next_child, "FIFO per-child order");
+                    return MergeEvent::Item(item);
+                }
+                ShardMsg::ChildDone { child, work } => {
+                    self.advance(owner, work);
+                    debug_assert_eq!(child, self.next_child, "children complete in order");
+                    self.next_child += 1;
+                    return MergeEvent::Tick;
+                }
+                ShardMsg::Tick { work } => {
+                    self.advance(owner, work);
+                    return MergeEvent::Tick;
+                }
+                ShardMsg::Done { children, work } => {
+                    // The owner is out of children entirely, so the
+                    // horizon is at most `next_child` (its earlier
+                    // `ChildDone`s were consumed first — FIFO): record
+                    // it and re-check the loop condition.
+                    self.advance(owner, work);
+                    debug_assert!(self.total.is_none_or(|t| t == children));
+                    self.total = Some(children);
+                }
+                ShardMsg::Failed => return MergeEvent::Failed,
+            }
         }
     }
 }

@@ -6,12 +6,19 @@
 //! §5 of the paper. This example enumerates them on a small backbone
 //! topology and reports the cheapest options.
 //!
+//! The second half re-runs the same enumeration through the **sharded
+//! front-end** (`with_threads`): the root's provisioning alternatives are
+//! split across four workers and merged back deterministically, so the
+//! plan stream is identical — byte for byte — while the subtree work
+//! spreads across cores.
+//!
 //! Run with: `cargo run --example steiner_forest_multicast`
 
 use minimal_steiner::graph::{generators, VertexId};
 use minimal_steiner::steiner::verify::is_minimal_steiner_forest;
 use minimal_steiner::{Enumeration, SteinerForest};
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 fn main() {
     // Backbone: a 3×5 grid of routers.
@@ -66,4 +73,31 @@ fn main() {
         "every internal node branched (Theorem 25 invariant): {}",
         stats.deficient_internal_nodes == 0
     );
+
+    // The same enumeration, sharded across four workers. The merge is
+    // deterministic, so the plan stream is identical to the sequential
+    // run — verified here by re-collecting and comparing.
+    println!("\n-- sharded front-end (with_threads(4)) --");
+    let t0 = Instant::now();
+    let sequential = Enumeration::new(SteinerForest::new(&g, &groups))
+        .collect_vec()
+        .expect("every multicast group is connected");
+    let sequential_elapsed = t0.elapsed();
+    let t0 = Instant::now();
+    let sharded = Enumeration::new(SteinerForest::new(&g, &groups))
+        .with_threads(4)
+        .collect_vec()
+        .expect("every multicast group is connected");
+    let sharded_elapsed = t0.elapsed();
+    assert_eq!(
+        sequential, sharded,
+        "the sharded stream is byte-identical to the sequential one"
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "sequential {sequential_elapsed:.1?} vs sharded x4 {sharded_elapsed:.1?} \
+         on {cores} core(s); {} plans, identical order",
+        sharded.len()
+    );
+    println!("(sharding pays off once the host has cores to spread the subtrees over)");
 }

@@ -35,7 +35,11 @@
 //! * **bounded** — [`Enumeration::with_limit`] caps the number of
 //!   delivered solutions; [`Enumeration::with_queue`] routes emissions
 //!   through the paper's Theorem-20 output queue for a worst-case (rather
-//!   than amortized) delay bound.
+//!   than amortized) delay bound;
+//! * **sharded** — [`Enumeration::with_threads`] splits the root's
+//!   children across a worker pool and merges deterministically, so the
+//!   delivered stream is identical to the sequential one (composable
+//!   with all of the above).
 //!
 //! ```
 //! use minimal_steiner::graph::{generators, VertexId};

@@ -24,7 +24,7 @@ use std::ops::ControlFlow;
 /// returns it.
 fn all_front_ends<P, Q>(borrowed: impl Fn() -> P, owned: Q) -> BTreeSet<Vec<P::Item>>
 where
-    P: MinimalSteinerProblem,
+    P: MinimalSteinerProblem + Send,
     Q: MinimalSteinerProblem<Item = P::Item> + Send + 'static,
     P::Item: Send + 'static + Debug,
 {

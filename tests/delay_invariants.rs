@@ -167,6 +167,128 @@ fn queue_release_schedule_bounds_minimum_gap() {
 }
 
 #[test]
+fn queue_bounds_maximum_release_gap_on_deep_instances() {
+    // The worst-case-delay contract in its *maximum-gap* form: on an
+    // adversarial instance — a deep, narrow theta chain whose enumeration
+    // tree descends ~`blocks` levels between some consecutive leaves —
+    // the direct front-end's max emission gap exceeds the queue budget,
+    // while the queued front-end's releases stay within
+    // `budget + slack·(n+m)` of each other (a release fires at the first
+    // due check after the budget elapses, and due checks are at most a
+    // few node-costs apart).
+    let g = generators::theta_chain(14, 2); // depth ~14, 2^14 solutions
+    let w = [VertexId(0), VertexId(14)];
+    let nm = (g.num_vertices() + g.num_edges()) as u64;
+    let direct = run_tree(&g, &w);
+    let budget = 2 * nm;
+    assert!(
+        direct.max_emission_gap > budget,
+        "adversarial instance: direct gap {} must exceed the budget {}",
+        direct.max_emission_gap,
+        budget
+    );
+    let config = QueueConfig {
+        warmup: g.num_vertices(),
+        budget,
+        max_buffer: 1 << 20, // keep the R3 overflow clause out of the way
+    };
+    let max_allowed = budget + 6 * nm;
+
+    // Probe the release schedule exactly as in the minimum-gap test.
+    let current_work = Cell::new(0u64);
+    let release_works: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    let in_flush = Cell::new(false);
+    struct Probe<'a> {
+        inner: OutputQueue<'a, EdgeId>,
+        current_work: &'a Cell<u64>,
+        in_flush: &'a Cell<bool>,
+    }
+    impl SolutionSink<EdgeId> for Probe<'_> {
+        fn solution(&mut self, items: &[EdgeId], work: u64) -> ControlFlow<()> {
+            self.current_work.set(work);
+            self.inner.solution(items, work)
+        }
+        fn tick(&mut self, work: u64) -> ControlFlow<()> {
+            self.current_work.set(work);
+            self.inner.tick(work)
+        }
+        fn finish(&mut self) -> ControlFlow<()> {
+            self.in_flush.set(true);
+            self.inner.finish()
+        }
+    }
+    {
+        let mut user_sink = |_: &[EdgeId]| {
+            if !in_flush.get() {
+                release_works.borrow_mut().push(current_work.get());
+            }
+            ControlFlow::Continue(())
+        };
+        let mut probe = Probe {
+            inner: OutputQueue::new(config, &mut user_sink),
+            current_work: &current_work,
+            in_flush: &in_flush,
+        };
+        run_with_sink(&mut SteinerTree::new(&g, &w), &mut probe).expect("valid instance");
+    }
+    let release_works = release_works.into_inner();
+    assert!(release_works.len() > 10, "many scheduled releases happened");
+    for pair in release_works.windows(2) {
+        assert!(
+            pair[1] - pair[0] <= max_allowed,
+            "releases at work {} and {} are further apart than budget {} + slack {}",
+            pair[0],
+            pair[1],
+            budget,
+            6 * nm
+        );
+    }
+}
+
+#[test]
+fn sharded_queue_bounds_maximum_delivery_gap() {
+    // The sharded analogue of the max-gap bound: with `with_threads(k)`
+    // the queue runs at the merge point, driven by the merged work clock
+    // (the sum of the workers' counters). Clock resolution is coarser —
+    // per-worker heartbeats arrive every `budget/2` work units and a
+    // message can advance the clock by a whole heartbeat interval — so
+    // the bound carries an extra `budget/2 + slack` term. The published
+    // `max_emission_gap` of a sharded run *is* the delivery gap on the
+    // merged clock, so it is asserted directly.
+    let g = generators::theta_chain(14, 2);
+    let w = [VertexId(0), VertexId(14)];
+    let nm = (g.num_vertices() + g.num_edges()) as u64;
+    let budget = 4 * nm;
+    let config = QueueConfig {
+        warmup: g.num_vertices(),
+        budget,
+        max_buffer: 1 << 20,
+    };
+    let sequential_count = run_tree(&g, &w).solutions;
+    for k in [2usize, 4] {
+        let stats = Enumeration::new(SteinerTree::new(&g, &w))
+            .with_threads(k)
+            .with_queue(config)
+            .run()
+            .expect("valid instance");
+        assert_eq!(stats.solutions, sequential_count, "the queue loses nothing");
+        // Extra terms over the sequential bound: one worker heartbeat
+        // (budget/2) of clock resolution, plus up to k root children of
+        // sink-silent generation work per merged message.
+        let slack = (4 + 4 * k as u64) * nm;
+        let max_allowed = budget + budget / 2 + slack;
+        assert!(
+            stats.max_emission_gap <= max_allowed,
+            "threads({k}): merged delivery gap {} exceeds budget {} + heartbeat {} + slack {}",
+            stats.max_emission_gap,
+            budget,
+            budget / 2,
+            slack
+        );
+    }
+}
+
+#[test]
 fn simple_vs_improved_delay_grows_with_terminals() {
     // The qualitative Table 1 comparison: on a path-of-gadgets instance
     // with many terminals, the simple algorithm's enumeration tree is much

@@ -1,0 +1,295 @@
+//! Determinism and conformance for the sharded front-end
+//! (`Enumeration::with_threads`).
+//!
+//! The contract under test: for every problem type, every thread count,
+//! and every front-end combination (direct, queued, limited, early
+//! break, pull iterator), the sharded run delivers a solution stream
+//! **identical to the sequential run** — same solutions, same order.
+//! The shard workers split the root's children round-robin and the
+//! merge re-interleaves them deterministically, so this is an exact
+//! (not just set-wise) equality.
+
+use minimal_steiner::graph::{generators, VertexId};
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, MinimalSteinerProblem, SteinerError, SteinerForest,
+    SteinerTree, TerminalSteinerTree,
+};
+use rand::{Rng, SeedableRng};
+use std::ops::ControlFlow;
+
+/// Collects the full ordered stream of an enumeration.
+fn ordered<P>(e: Enumeration<P>) -> Vec<Vec<P::Item>>
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send,
+{
+    e.collect_vec().expect("valid instance")
+}
+
+/// Asserts that `with_threads(k)` for k ∈ {1, 2, 4} reproduces the
+/// sequential stream exactly, for both the direct and the queued sink
+/// chain, and that `with_limit` delivers exactly the sequential prefix.
+fn assert_sharded_matches<P, F>(make: F)
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send + std::fmt::Debug + PartialEq,
+    F: Fn() -> P,
+{
+    let sequential = ordered(Enumeration::new(make()));
+    for k in [1usize, 2, 4] {
+        let sharded = ordered(Enumeration::new(make()).with_threads(k));
+        assert_eq!(sharded, sequential, "threads({k}) direct stream");
+        let queued = ordered(
+            Enumeration::new(make())
+                .with_threads(k)
+                .with_default_queue(),
+        );
+        assert_eq!(queued, sequential, "threads({k}) queued stream");
+    }
+    // Limits deliver the exact sequential prefix, at every cut point of
+    // a small stream and at a few cut points of a large one.
+    let total = sequential.len() as u64;
+    let cuts: Vec<u64> = if total <= 6 {
+        (0..=total + 1).collect()
+    } else {
+        vec![0, 1, 2, total / 2, total - 1, total, total + 1]
+    };
+    for k in [2usize, 4] {
+        for &limit in &cuts {
+            let capped = ordered(Enumeration::new(make()).with_threads(k).with_limit(limit));
+            let want = &sequential[..(limit.min(total)) as usize];
+            assert_eq!(capped, want, "threads({k}) with_limit({limit})");
+        }
+    }
+}
+
+#[test]
+fn steiner_tree_sharded_streams_are_byte_identical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5a4d_0001);
+    for case in 0..12 {
+        let n = 4 + case % 5;
+        let m = (n + rng.gen_range(0..5)).min(n * (n - 1) / 2);
+        let g = generators::random_connected_graph(n, m, &mut rng);
+        let t = 2 + rng.gen_range(0..3usize).min(n - 2);
+        let w = generators::random_terminals(n, t, &mut rng);
+        assert_sharded_matches(|| SteinerTree::new(&g, &w));
+    }
+    // A solution-dense instance with many root children.
+    let g = generators::theta_chain(5, 3);
+    let w = [VertexId(0), VertexId(5)];
+    assert_sharded_matches(|| SteinerTree::new(&g, &w));
+}
+
+#[test]
+fn steiner_forest_sharded_streams_are_byte_identical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5a4d_0002);
+    for case in 0..10 {
+        let n = 4 + case % 4;
+        let m = (n + rng.gen_range(0..4)).min(n * (n - 1) / 2);
+        let g = generators::random_connected_graph(n, m, &mut rng);
+        let num_sets = 1 + rng.gen_range(0..3usize);
+        let sets: Vec<Vec<VertexId>> = (0..num_sets)
+            .map(|_| {
+                let k = 2 + rng.gen_range(0..2usize).min(n - 2);
+                generators::random_terminals(n, k, &mut rng)
+            })
+            .collect();
+        assert_sharded_matches(|| SteinerForest::new(&g, &sets));
+    }
+}
+
+#[test]
+fn terminal_steiner_tree_sharded_streams_are_byte_identical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5a4d_0003);
+    for case in 0..10 {
+        let n = 5 + case % 4;
+        let m = (n + 1 + rng.gen_range(0..5)).min(n * (n - 1) / 2);
+        let g = generators::random_connected_graph(n, m, &mut rng);
+        let t = 2 + rng.gen_range(0..3usize).min(n - 2);
+        let w = generators::random_terminals(n, t, &mut rng);
+        assert_sharded_matches(|| TerminalSteinerTree::new(&g, &w));
+    }
+}
+
+#[test]
+fn directed_steiner_tree_sharded_streams_are_byte_identical() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5a4d_0004);
+    let mut cases = 0;
+    while cases < 10 {
+        let n = 4 + cases % 4;
+        let m = (n + rng.gen_range(0..6)).min(n * (n - 1) / 2);
+        let (d, root) = generators::random_rooted_dag(n, m, &mut rng);
+        let t = 1 + rng.gen_range(0..3usize).min(n - 1);
+        let mut w = generators::random_terminals(n, t, &mut rng);
+        w.retain(|&v| v != root);
+        if w.is_empty() {
+            continue;
+        }
+        cases += 1;
+        assert_sharded_matches(|| DirectedSteinerTree::new(&d, root, &w));
+    }
+}
+
+#[test]
+fn sharded_early_break_sees_the_sequential_prefix() {
+    let g = generators::theta_chain(6, 3); // 3^6 = 729 solutions
+    let w = [VertexId(0), VertexId(6)];
+    let sequential = ordered(Enumeration::new(SteinerTree::new(&g, &w)));
+    for k in [2usize, 4] {
+        for stop_at in [1usize, 7, 100] {
+            let mut got = Vec::new();
+            Enumeration::new(SteinerTree::new(&g, &w))
+                .with_threads(k)
+                .for_each(|tree| {
+                    got.push(tree.to_vec());
+                    if got.len() == stop_at {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                })
+                .expect("valid instance");
+            assert_eq!(got.len(), stop_at);
+            assert_eq!(
+                got,
+                sequential[..stop_at],
+                "threads({k}) break after {stop_at}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_iterator_front_end_matches_and_stops_on_drop() {
+    let g = generators::theta_chain(5, 3);
+    let w = [VertexId(0), VertexId(5)];
+    let sequential = ordered(Enumeration::new(SteinerTree::new(&g, &w)));
+    let pulled: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g.clone(), &w))
+        .with_threads(4)
+        .into_iter()
+        .expect("valid instance")
+        .collect();
+    assert_eq!(pulled, sequential, "pull front-end, threads(4)");
+
+    // Dropping the iterator early must hang up the whole pool promptly.
+    let big = generators::theta_chain(8, 3); // 3^8 solutions
+    let mut iter = Enumeration::new(SteinerTree::from_graph(big, &[VertexId(0), VertexId(8)]))
+        .with_threads(4)
+        .into_iter()
+        .expect("valid instance");
+    assert_eq!(iter.next().as_deref(), Some(&sequential_first(8)[..]));
+    assert!(iter.next().is_some());
+    drop(iter); // must not hang
+}
+
+/// First solution of the theta_chain(blocks, 3) instance, computed
+/// sequentially (used to double-check the sharded iterator's head).
+fn sequential_first(blocks: usize) -> Vec<minimal_steiner::graph::EdgeId> {
+    let g = generators::theta_chain(blocks, 3);
+    let mut first = None;
+    Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId::new(blocks)]))
+        .for_each(|t| {
+            first = Some(t.to_vec());
+            ControlFlow::Break(())
+        })
+        .unwrap();
+    first.unwrap()
+}
+
+#[test]
+fn sharded_stats_reflect_the_delivered_stream() {
+    let g = generators::theta_chain(5, 3); // 243 solutions
+    let w = [VertexId(0), VertexId(5)];
+    let (run, handle) = Enumeration::new(SteinerTree::new(&g, &w))
+        .with_threads(4)
+        .with_stats();
+    let stats = run.run().expect("valid instance");
+    assert_eq!(stats.solutions, 243, "solutions = delivered count");
+    assert_eq!(handle.get().solutions, 243, "handle agrees");
+    // Each worker expands the root once and pays its own preprocessing.
+    assert!(stats.nodes >= 243, "workers' node counts are merged");
+    assert!(stats.work > 0 && stats.preprocessing_work > 0);
+    // The ≥2-children invariant holds on every worker's slice.
+    assert_eq!(stats.deficient_internal_nodes, 0);
+
+    // Under a limit the published count matches what the sink saw.
+    let (run, handle) = Enumeration::new(SteinerTree::new(&g, &w))
+        .with_threads(2)
+        .with_limit(10)
+        .with_stats();
+    let stats = run.run().expect("valid instance");
+    assert_eq!(stats.solutions, 10);
+    assert_eq!(handle.get().solutions, 10);
+}
+
+#[test]
+fn sharded_single_solution_and_empty_instances() {
+    // Unique completion at the root: only shard 0 owns the root leaf.
+    let g = generators::path(30);
+    let w = [VertexId(0), VertexId(29)];
+    for k in [2usize, 4] {
+        let got = ordered(Enumeration::new(SteinerTree::new(&g, &w)).with_threads(k));
+        assert_eq!(got.len(), 1, "threads({k}): exactly one solution");
+        assert_eq!(got[0].len(), 29);
+    }
+    // Prepared::Single (one terminal: the empty tree).
+    let got = ordered(Enumeration::new(SteinerTree::new(&g, &[VertexId(3)])).with_threads(4));
+    assert_eq!(got, vec![Vec::new()]);
+    // Prepared::Empty (terminal Steiner tree with a single terminal).
+    let got =
+        ordered(Enumeration::new(TerminalSteinerTree::new(&g, &[VertexId(3)])).with_threads(4));
+    assert!(got.is_empty());
+}
+
+#[test]
+fn sharded_errors_match_sequential_errors() {
+    let g = minimal_steiner::graph::UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+    let w = [VertexId(0), VertexId(2)];
+    let sequential = Enumeration::new(SteinerTree::new(&g, &w))
+        .run()
+        .unwrap_err();
+    assert_eq!(sequential, SteinerError::DisconnectedTerminals { set: 0 });
+    for k in [2usize, 4] {
+        let sharded = Enumeration::new(SteinerTree::new(&g, &w))
+            .with_threads(k)
+            .run()
+            .unwrap_err();
+        assert_eq!(sharded, sequential, "threads({k}) reports the same error");
+    }
+    // Structural errors too (caught in the workers' validate).
+    let dup = Enumeration::new(SteinerTree::new(&g, &[VertexId(1), VertexId(1)]))
+        .with_threads(2)
+        .run()
+        .unwrap_err();
+    assert_eq!(dup, SteinerError::DuplicateTerminal(VertexId(1)));
+}
+
+#[test]
+fn sharded_level_cache_cap_is_deterministic_too() {
+    // The memory knob changes preallocation, never results — also under
+    // sharding, where every worker applies the same cap.
+    let g = generators::ladder(12);
+    let far = VertexId::new(g.num_vertices() - 1);
+    let w = [VertexId(0), far];
+    let sequential = ordered(Enumeration::new(SteinerTree::new(&g, &w)));
+    let capped = ordered(Enumeration::new(SteinerTree::new(&g, &w)).with_level_cache_cap(2));
+    assert_eq!(capped, sequential, "capped sequential stream");
+    let capped_sharded = ordered(
+        Enumeration::new(SteinerTree::new(&g, &w))
+            .with_level_cache_cap(2)
+            .with_threads(4),
+    );
+    assert_eq!(capped_sharded, sequential, "capped sharded stream");
+}
+
+#[test]
+fn sharded_limit_zero_delivers_nothing() {
+    let g = generators::theta_chain(4, 3);
+    let w = [VertexId(0), VertexId(4)];
+    let stats = Enumeration::new(SteinerTree::new(&g, &w))
+        .with_threads(4)
+        .with_limit(0)
+        .for_each(|_| panic!("nothing may be delivered"))
+        .expect("valid instance");
+    assert_eq!(stats.solutions, 0);
+}

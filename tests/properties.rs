@@ -17,7 +17,8 @@ use std::ops::ControlFlow;
 /// FIFO — they must be precisely the direct front-end's first `k`.
 fn check_limit_queue_prefix<P, F>(make: F, k: u64) -> Result<(), TestCaseError>
 where
-    P: MinimalSteinerProblem,
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send,
     F: Fn() -> P,
 {
     let direct = match Enumeration::new(make()).collect_vec() {
