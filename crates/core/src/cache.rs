@@ -1,0 +1,624 @@
+//! The query-level result cache: serve **repeated enumerations** from the
+//! interned solution store instead of re-running Algorithm 3.
+//!
+//! Production traffic over a data graph is repetitive — the same keyword
+//! query, the same multicast group, the same pin set arrive again and
+//! again while the graph itself changes rarely. A [`ResultCache`] keys a
+//! finished enumeration by `(problem kind, graph fingerprint, query
+//! fingerprint, limit)` and stores its full delivered stream as
+//! [`SolutionId`]s in one shared [`SolutionInterner`] arena; a later run
+//! of the identical query replays the interned stream in the exact
+//! original order — O(output) total, no search, no per-solution
+//! allocation beyond what the consumer itself does.
+//!
+//! The cache is wired in behind the builder:
+//! [`Enumeration::cached`](crate::solver::Enumeration::cached) consults it
+//! before preparing the problem and records into it at the delivery point
+//! (the merge point under
+//! [`with_threads`](crate::solver::Enumeration::with_threads), so cached
+//! streams are byte-identical to sequential ones). Only **complete**
+//! streams are stored: a run the consumer aborted early (a sink returning
+//! `Break` before the configured limit) is discarded, so a hit always
+//! reproduces exactly what a cold run of the same builder configuration
+//! would deliver.
+//!
+//! Capacity is bounded by [`ResultCache::with_capacity_bytes`]: entries
+//! are evicted least-recently-used, their solutions' refcounts released,
+//! and the shared arena compacted once dead bytes dominate. Hit/miss
+//! counters surface both here ([`ResultCache::stats`]) and per run in
+//! [`EnumStats`](crate::stats::EnumStats).
+//!
+//! ```
+//! use steiner_core::cache::ResultCache;
+//! use steiner_core::{Enumeration, SteinerTree};
+//! use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+//!
+//! let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! let cache: ResultCache<EdgeId> = ResultCache::new();
+//! let w = [VertexId(0), VertexId(2)];
+//!
+//! // Cold: runs the engine, then stores the delivered stream.
+//! let cold = Enumeration::new(SteinerTree::new(&g, &w))
+//!     .cached(&cache)
+//!     .collect_vec()
+//!     .unwrap();
+//! // Warm: identical query, identical stream — served from the cache.
+//! let warm = Enumeration::new(SteinerTree::new(&g, &w))
+//!     .cached(&cache)
+//!     .collect_vec()
+//!     .unwrap();
+//! assert_eq!(cold, warm);
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+use crate::intern::{SolutionId, SolutionInterner};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::ControlFlow;
+use std::sync::{Arc, Mutex};
+use steiner_graph::{DiGraph, UndirectedGraph, VertexId};
+
+/// Compact the shared arena once dead bytes pass this share of it.
+const COMPACT_DEAD_FRACTION: f64 = 0.5;
+
+/// What a [`MinimalSteinerProblem`](crate::problem::MinimalSteinerProblem)
+/// reports about its identity for caching: the problem kind plus structure
+/// fingerprints of the instance graph and of the query parameters
+/// (terminals, terminal sets, root).
+///
+/// Two instances with equal keys must enumerate identical solution
+/// streams; the fingerprints are ordinary 64-bit hashes, so implementors
+/// hash every piece of state that influences the stream (collisions are
+/// astronomically unlikely but not impossible — the cache trades that for
+/// never retaining a copy of the graph).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The problem kind (its `NAME`), separating e.g. Steiner-tree from
+    /// terminal-Steiner-tree streams over the same graph and terminals.
+    pub kind: &'static str,
+    /// Fingerprint of the instance graph (vertex count + full edge list).
+    pub graph_fingerprint: u64,
+    /// Fingerprint of the query parameters (terminals / sets / root) in
+    /// the problem's **canonical** form — the four paper problems hash
+    /// sorted terminals (or the reduced pair list), since `prepare()`
+    /// canonicalizes and the stream cannot depend on the caller's order.
+    pub query_fingerprint: u64,
+}
+
+/// The full lookup key: a [`CacheKey`] plus the builder's delivery limit
+/// (a `with_limit(10)` stream is a different — shorter — stream than the
+/// unlimited one over the same instance).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct QueryKey {
+    pub(crate) key: CacheKey,
+    pub(crate) limit: Option<u64>,
+}
+
+/// Counters describing a [`ResultCache`]'s effectiveness.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that fell through to a real enumeration.
+    pub misses: u64,
+    /// Entries (distinct queries) currently stored.
+    pub entries: u64,
+    /// Solution references across all entries (an interned solution
+    /// shared by `q` queries counts `q` times here but is stored once).
+    pub solutions: u64,
+    /// Bytes of live interned solution payload in the shared arena.
+    pub bytes: u64,
+    /// Entries dropped by LRU eviction so far.
+    pub evictions: u64,
+}
+
+struct Entry {
+    ids: Vec<SolutionId>,
+    last_used: u64,
+}
+
+struct Inner<Item> {
+    store: SolutionInterner<Item>,
+    map: HashMap<QueryKey, Entry>,
+    /// Monotonic logical clock for LRU accounting.
+    epoch: u64,
+    capacity_bytes: Option<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<Item> Default for Inner<Item> {
+    fn default() -> Self {
+        Inner {
+            store: SolutionInterner::default(),
+            map: HashMap::new(),
+            epoch: 0,
+            capacity_bytes: None,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+/// A shared, clonable, thread-safe query→solutions cache over one
+/// hash-consing arena. See the [module documentation](self) for the
+/// contract and an end-to-end example.
+pub struct ResultCache<Item> {
+    inner: Arc<Mutex<Inner<Item>>>,
+}
+
+impl<Item> Clone for ResultCache<Item> {
+    fn clone(&self) -> Self {
+        ResultCache {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<Item> Default for ResultCache<Item> {
+    fn default() -> Self {
+        ResultCache {
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+}
+
+impl<Item: Copy + Eq + Hash> ResultCache<Item> {
+    /// An unbounded cache (entries live until [`Self::clear`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache that evicts least-recently-used entries once the live
+    /// interned payload exceeds `bytes`.
+    ///
+    /// The most recently stored entry is always retained, so a single
+    /// stream larger than `bytes` stays cached (and over cap) until a
+    /// newer entry displaces it — the cap bounds accumulation across
+    /// queries, not the size of one answer.
+    pub fn with_capacity_bytes(bytes: u64) -> Self {
+        let cache = Self::default();
+        cache.lock().capacity_bytes = Some(bytes);
+        cache
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len() as u64,
+            solutions: inner.map.values().map(|e| e.ids.len() as u64).sum(),
+            bytes: inner.store.bytes(),
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Drops every entry and reclaims the arena.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        let entries: Vec<Entry> = inner.map.drain().map(|(_, e)| e).collect();
+        for entry in entries {
+            for id in entry.ids {
+                inner.store.release(id);
+            }
+        }
+        inner.store.compact();
+    }
+
+    /// Bytes of live interned payload (the figure reported as
+    /// [`EnumStats::interned_bytes`](crate::stats::EnumStats) after a
+    /// cached run).
+    pub fn bytes(&self) -> u64 {
+        self.lock().store.bytes()
+    }
+
+    /// Replays the stored stream for `key` into `deliver`, in original
+    /// order, counting a hit and touching the entry's LRU clock. Returns
+    /// the number of solutions delivered, or `None` on a miss (which is
+    /// counted too — callers fall through to a real enumeration).
+    ///
+    /// The stream is copied out of the arena under one short lock and
+    /// delivered **unlocked**, so the sink may freely touch this cache
+    /// (nested queries, `stats()`) without deadlocking, and a concurrent
+    /// eviction cannot disturb the replay.
+    pub(crate) fn replay(
+        &self,
+        key: &QueryKey,
+        deliver: &mut dyn FnMut(&[Item]) -> ControlFlow<()>,
+    ) -> Option<u64> {
+        let (flat, lens) = {
+            let mut inner = self.lock();
+            inner.epoch += 1;
+            let epoch = inner.epoch;
+            // Split the borrow: ids live in the map, payload in the store.
+            let Inner {
+                store,
+                map,
+                hits,
+                misses,
+                ..
+            } = &mut *inner;
+            let Some(entry) = map.get_mut(key) else {
+                *misses += 1;
+                return None;
+            };
+            entry.last_used = epoch;
+            *hits += 1;
+            let total: usize = entry.ids.iter().map(|&id| store.resolve(id).len()).sum();
+            let mut flat: Vec<Item> = Vec::with_capacity(total);
+            let mut lens: Vec<u32> = Vec::with_capacity(entry.ids.len());
+            for &id in &entry.ids {
+                let items = store.resolve(id);
+                flat.extend_from_slice(items);
+                lens.push(items.len() as u32);
+            }
+            (flat, lens)
+        };
+        let mut delivered = 0u64;
+        let mut start = 0usize;
+        for len in lens {
+            let end = start + len as usize;
+            delivered += 1;
+            if deliver(&flat[start..end]).is_break() {
+                break;
+            }
+            start = end;
+        }
+        Some(delivered)
+    }
+
+    /// Checks out the stored stream for `key` as owned ids, taking one
+    /// reference per solution so a concurrent eviction cannot free them.
+    /// Callers resolve at their own pace ([`Self::resolve_owned`]) and
+    /// must hand the references back via [`Self::release_ids`]. Counts a
+    /// hit or a miss. Used by the iterator front-end, whose consumer
+    /// outlives the lookup.
+    pub(crate) fn checkout(&self, key: &QueryKey) -> Option<Vec<SolutionId>> {
+        let mut inner = self.lock();
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        let Some(entry) = inner.map.get_mut(key) else {
+            inner.misses += 1;
+            return None;
+        };
+        entry.last_used = epoch;
+        let ids = entry.ids.clone();
+        inner.hits += 1;
+        for &id in &ids {
+            inner.store.acquire(id);
+        }
+        Some(ids)
+    }
+
+    /// Copies the solutions for `ids` out of the arena under **one**
+    /// lock, flattened with a length table (the iterator front-end's
+    /// replay shape: its bounded channel may block per send, so it must
+    /// not hold the lock — or take it — per solution).
+    pub(crate) fn resolve_owned_batch(&self, ids: &[SolutionId]) -> (Vec<Item>, Vec<u32>) {
+        let inner = self.lock();
+        let total: usize = ids.iter().map(|&id| inner.store.resolve(id).len()).sum();
+        let mut flat: Vec<Item> = Vec::with_capacity(total);
+        let mut lens: Vec<u32> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let items = inner.store.resolve(id);
+            flat.extend_from_slice(items);
+            lens.push(items.len() as u32);
+        }
+        (flat, lens)
+    }
+
+    /// Interns one delivered solution while a cold run is being recorded
+    /// (takes a reference; the recording either becomes an entry via
+    /// [`Self::store_entry`] or is rolled back via [`Self::release_ids`]).
+    pub(crate) fn intern(&self, items: &[Item]) -> SolutionId {
+        self.lock().store.intern(items)
+    }
+
+    /// Stores a completed recording under `key`, then enforces the byte
+    /// capacity by LRU eviction. Replaces any racing entry for the same
+    /// key (the streams are identical by construction).
+    pub(crate) fn store_entry(&self, key: QueryKey, ids: Vec<SolutionId>) {
+        let mut inner = self.lock();
+        inner.epoch += 1;
+        let entry = Entry {
+            ids,
+            last_used: inner.epoch,
+        };
+        if let Some(old) = inner.map.insert(key, entry) {
+            for id in old.ids {
+                inner.store.release(id);
+            }
+        }
+        if let Some(cap) = inner.capacity_bytes {
+            if inner.store.bytes() > cap && inner.map.len() > 1 {
+                // One LRU-ordered sweep, evicting until under the cap —
+                // O(N log N) per store instead of an O(N) scan per
+                // evicted entry, all under the same lock.
+                let mut by_age: Vec<(u64, QueryKey)> =
+                    inner.map.iter().map(|(k, e)| (e.last_used, *k)).collect();
+                by_age.sort_unstable_by_key(|&(age, _)| age);
+                for (_, oldest) in by_age {
+                    if inner.store.bytes() <= cap || inner.map.len() <= 1 {
+                        break;
+                    }
+                    let evicted = inner.map.remove(&oldest).expect("key from the sweep");
+                    for id in evicted.ids {
+                        inner.store.release(id);
+                    }
+                    inner.evictions += 1;
+                }
+            }
+        }
+        if inner.store.dead_fraction() > COMPACT_DEAD_FRACTION {
+            inner.store.compact();
+        }
+    }
+
+    /// Hands back references taken by [`Self::checkout`] or a rolled-back
+    /// recording, compacting when dead bytes dominate.
+    pub(crate) fn release_ids(&self, ids: &[SolutionId]) {
+        let mut inner = self.lock();
+        for &id in ids {
+            inner.store.release(id);
+        }
+        if inner.store.dead_fraction() > COMPACT_DEAD_FRACTION {
+            inner.store.compact();
+        }
+    }
+
+    /// Counts a miss for a query that could not even be keyed or looked
+    /// up through the fast path (used by the builder when a problem
+    /// reports no [`CacheKey`]).
+    pub(crate) fn note_miss(&self) {
+        self.lock().misses += 1;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<Item>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn hasher() -> std::collections::hash_map::DefaultHasher {
+    std::collections::hash_map::DefaultHasher::new()
+}
+
+/// Fingerprint of an undirected multigraph: vertex count plus the full
+/// ordered edge list (edge ids are dense and ordered, so this pins the
+/// exact id assignment the solution slices refer to).
+pub fn fingerprint_undirected(g: &UndirectedGraph) -> u64 {
+    let mut h = hasher();
+    g.num_vertices().hash(&mut h);
+    for e in g.edges() {
+        let (u, v) = g.endpoints(e);
+        (u.0, v.0).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a digraph: vertex count plus the full ordered arc list.
+pub fn fingerprint_digraph(d: &DiGraph) -> u64 {
+    let mut h = hasher();
+    d.num_vertices().hash(&mut h);
+    for a in d.arcs() {
+        (d.tail(a).0, d.head(a).0).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a terminal list, order-sensitive. Problems whose
+/// `prepare()` canonicalizes the terminal order (all four paper problems
+/// sort it) should fingerprint the canonical — sorted — form, so
+/// permuted repeats of the same logical query share one cache entry;
+/// duplicates and out-of-range ids stay distinguishable because the full
+/// multiset is hashed.
+pub fn fingerprint_terminals(terminals: &[VertexId]) -> u64 {
+    let mut h = hasher();
+    for w in terminals {
+        w.0.hash(&mut h);
+    }
+    terminals.len().hash(&mut h);
+    h.finish()
+}
+
+/// Fingerprint of a family of terminal sets (the Steiner-forest query
+/// shape), order-sensitive within and across sets. As with
+/// [`fingerprint_terminals`], prefer fingerprinting the problem's
+/// canonical form — for forests that is the reduced pair list
+/// ([`fingerprint_vertex_pairs`] over
+/// [`pairs_from_sets`](crate::forest::pairs_from_sets)).
+pub fn fingerprint_terminal_sets(sets: &[Vec<VertexId>]) -> u64 {
+    let mut h = hasher();
+    sets.len().hash(&mut h);
+    for set in sets {
+        set.len().hash(&mut h);
+        for w in set {
+            w.0.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprint of a vertex-pair list — the Steiner-forest problem's
+/// canonical query form (sorted, deduplicated connection requirements).
+pub fn fingerprint_vertex_pairs(pairs: &[(VertexId, VertexId)]) -> u64 {
+    let mut h = hasher();
+    pairs.len().hash(&mut h);
+    for (a, b) in pairs {
+        (a.0, b.0).hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steiner_graph::EdgeId;
+
+    fn key(kind: &'static str, q: u64, limit: Option<u64>) -> QueryKey {
+        QueryKey {
+            key: CacheKey {
+                kind,
+                graph_fingerprint: 1,
+                query_fingerprint: q,
+            },
+            limit,
+        }
+    }
+
+    fn sols(lens: &[usize]) -> Vec<Vec<EdgeId>> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &l)| (0..l).map(|j| EdgeId((i * 100 + j) as u32)).collect())
+            .collect()
+    }
+
+    fn record(cache: &ResultCache<EdgeId>, k: QueryKey, solutions: &[Vec<EdgeId>]) {
+        let ids: Vec<SolutionId> = solutions.iter().map(|s| cache.intern(s)).collect();
+        cache.store_entry(k, ids);
+    }
+
+    fn replay_all(cache: &ResultCache<EdgeId>, k: &QueryKey) -> Option<Vec<Vec<EdgeId>>> {
+        let mut out = Vec::new();
+        cache
+            .replay(k, &mut |items| {
+                out.push(items.to_vec());
+                ControlFlow::Continue(())
+            })
+            .map(|_| out)
+    }
+
+    #[test]
+    fn store_then_replay_round_trips_in_order() {
+        let cache = ResultCache::new();
+        let k = key("st", 7, None);
+        let solutions = sols(&[3, 1, 2]);
+        record(&cache, k, &solutions);
+        assert_eq!(replay_all(&cache, &k).unwrap(), solutions);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.solutions), (1, 0, 1, 3));
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn distinct_limits_are_distinct_entries() {
+        let cache = ResultCache::new();
+        let full = sols(&[1, 2, 3]);
+        record(&cache, key("st", 7, None), &full);
+        record(&cache, key("st", 7, Some(2)), &full[..2]);
+        assert_eq!(replay_all(&cache, &key("st", 7, Some(2))).unwrap().len(), 2);
+        assert_eq!(replay_all(&cache, &key("st", 7, None)).unwrap().len(), 3);
+        assert!(replay_all(&cache, &key("st", 8, None)).is_none(), "miss");
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn shared_solutions_are_stored_once() {
+        let cache = ResultCache::new();
+        let solutions = sols(&[2, 2, 4]);
+        record(&cache, key("st", 1, None), &solutions);
+        let before = cache.bytes();
+        // A second query with the same payload (e.g. its limit-3 prefix
+        // under another key) adds references, not bytes.
+        record(&cache, key("st", 1, Some(3)), &solutions);
+        assert_eq!(cache.bytes(), before, "hash-consing across entries");
+        assert_eq!(cache.stats().solutions, 6, "but both entries are whole");
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        // Each entry is one 25-item solution = 100 bytes; three fit.
+        let cache = ResultCache::with_capacity_bytes(350);
+        let payloads: Vec<Vec<Vec<EdgeId>>> = (0u32..4)
+            .map(|i| vec![(0u32..25).map(|j| EdgeId(i * 1000 + j)).collect()])
+            .collect();
+        for (i, p) in payloads.iter().enumerate().take(3) {
+            record(&cache, key("st", i as u64, None), p);
+        }
+        assert_eq!(cache.stats().evictions, 0, "three entries fit");
+        // Touch entry 0 so entry 1 is the LRU victim of the next insert.
+        assert!(replay_all(&cache, &key("st", 0, None)).is_some());
+        record(&cache, key("st", 3, None), &payloads[3]);
+        assert!(cache.stats().bytes <= 350);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            replay_all(&cache, &key("st", 1, None)).is_none(),
+            "the least recently used entry was evicted"
+        );
+        assert!(replay_all(&cache, &key("st", 0, None)).is_some());
+        assert!(replay_all(&cache, &key("st", 2, None)).is_some());
+        assert!(replay_all(&cache, &key("st", 3, None)).is_some());
+    }
+
+    #[test]
+    fn checkout_survives_eviction() {
+        let cache = ResultCache::with_capacity_bytes(120);
+        let a = sols(&[25]);
+        record(&cache, key("st", 0, None), &a);
+        let ids = cache.checkout(&key("st", 0, None)).expect("hit");
+        // Evict the entry by inserting two more oversized ones.
+        record(&cache, key("st", 1, None), &sols(&[25]));
+        record(&cache, key("st", 2, None), &sols(&[25]));
+        // The checked-out references keep the payload alive.
+        let (flat, lens) = cache.resolve_owned_batch(&ids);
+        assert_eq!(flat[..lens[0] as usize], a[0]);
+        cache.release_ids(&ids);
+    }
+
+    #[test]
+    fn replay_sink_may_reenter_the_cache() {
+        let cache = ResultCache::new();
+        let k = key("st", 3, None);
+        record(&cache, k, &sols(&[2, 3]));
+        let mut seen = 0;
+        cache
+            .replay(&k, &mut |_| {
+                // A sink that inspects — or even queries — the same cache
+                // must not deadlock: replay delivers outside the lock.
+                assert!(cache.stats().entries >= 1);
+                assert!(cache
+                    .replay(&key("st", 99, None), &mut |_| ControlFlow::Continue(()))
+                    .is_none());
+                seen += 1;
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let cache = ResultCache::new();
+        record(&cache, key("st", 0, None), &sols(&[3, 4]));
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.solutions, s.bytes), (0, 0, 0));
+        assert!(replay_all(&cache, &key("st", 0, None)).is_none());
+    }
+
+    #[test]
+    fn fingerprints_separate_structures() {
+        let g1 = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let g2 = UndirectedGraph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        assert_ne!(fingerprint_undirected(&g1), fingerprint_undirected(&g2));
+        let mut d1 = DiGraph::new(2);
+        d1.add_arc_indices(0, 1).unwrap();
+        let mut d2 = DiGraph::new(2);
+        d2.add_arc_indices(1, 0).unwrap();
+        assert_ne!(fingerprint_digraph(&d1), fingerprint_digraph(&d2));
+        assert_ne!(
+            fingerprint_terminals(&[VertexId(0), VertexId(1)]),
+            fingerprint_terminals(&[VertexId(1), VertexId(0)]),
+            "terminal order changes the emission order, so it must key"
+        );
+        assert_ne!(
+            fingerprint_terminal_sets(&[vec![VertexId(0)], vec![VertexId(1)]]),
+            fingerprint_terminal_sets(&[vec![VertexId(0), VertexId(1)]]),
+            "set boundaries matter"
+        );
+    }
+}

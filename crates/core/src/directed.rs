@@ -515,6 +515,22 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         self.level_cache_cap = Some(cap.max(1));
     }
 
+    fn cache_key(&self) -> Option<crate::cache::CacheKey> {
+        // `prepare` sorts the terminals: fingerprint the sorted form (see
+        // `SteinerTree::cache_key`). The root is part of the query — the
+        // same digraph and terminals with a different root is a
+        // different stream.
+        let mut sorted = self.terminals.clone();
+        sorted.sort_unstable();
+        let mut query = crate::cache::fingerprint_terminals(&sorted);
+        query ^= (self.root.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        Some(crate::cache::CacheKey {
+            kind: Self::NAME,
+            graph_fingerprint: crate::cache::fingerprint_digraph(&self.d),
+            query_fingerprint: query,
+        })
+    }
+
     fn validate(&self) -> Result<(), SteinerError> {
         let n = self.d.num_vertices();
         if self.root.index() >= n {
@@ -752,6 +768,12 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
 /// The root is dropped from `terminals` if present (it is trivially
 /// reached). With no (other) terminals the single empty tree is emitted.
 /// If some terminal is unreachable from the root there are no solutions.
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `solver::run_with_sink(&mut DirectedSteinerTree::new(d, root, terminals), emitter)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(DirectedSteinerTree::new(d, root, terminals))` with a custom sink"
@@ -790,6 +812,12 @@ pub fn enumerate_minimal_directed_steiner_trees_with(
 
 /// Enumerates all minimal directed Steiner trees with amortized O(n + m)
 /// time per solution (Theorem 36), emitting directly.
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(DirectedSteinerTree::new(d, root, terminals)).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(DirectedSteinerTree::new(d, root, terminals)).for_each(sink)`"
@@ -806,6 +834,12 @@ pub fn enumerate_minimal_directed_steiner_trees(
 }
 
 /// Queued variant: worst-case O(n + m) delay with O(n²) space (Theorem 36).
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(DirectedSteinerTree::new(d, root, terminals)).with_queue(config).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(DirectedSteinerTree::new(d, root, terminals)).with_queue(config).for_each(sink)`"

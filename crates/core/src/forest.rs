@@ -490,6 +490,19 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         self.level_cache_cap = Some(cap.max(1));
     }
 
+    fn cache_key(&self) -> Option<crate::cache::CacheKey> {
+        // The search depends on the set family only through its reduced
+        // pair list (sorted, deduplicated — see `pairs_from_sets`), and
+        // set-level validity is equivalent to pair-level validity (a set
+        // lies in one component iff every `(first, w)` pair does), so
+        // the canonical pairs are a sound and maximally-sharing key.
+        Some(crate::cache::CacheKey {
+            kind: Self::NAME,
+            graph_fingerprint: crate::cache::fingerprint_undirected(&self.g),
+            query_fingerprint: crate::cache::fingerprint_vertex_pairs(&pairs_from_sets(&self.sets)),
+        })
+    }
+
     fn validate(&self) -> Result<(), SteinerError> {
         if self.sets.is_empty() {
             return Err(SteinerError::EmptyInstance);
@@ -755,6 +768,12 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
 
 /// Enumerates all minimal Steiner forests of `(g, sets)` through an
 /// arbitrary [`SolutionSink`].
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `solver::run_with_sink(&mut SteinerForest::new(g, sets), emitter)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(SteinerForest::new(g, sets))` with a custom sink"
@@ -792,6 +811,12 @@ pub fn enumerate_minimal_steiner_forests_with(
 
 /// Enumerates all minimal Steiner forests of `(g, sets)` with amortized
 /// O(n + m) time per solution (Theorem 25), emitting directly.
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(SteinerForest::new(g, sets)).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(SteinerForest::new(g, sets)).for_each(sink)`"
@@ -806,7 +831,14 @@ pub fn enumerate_minimal_steiner_forests(
     enumerate_minimal_steiner_forests_with(g, sets, &mut direct)
 }
 
-/// Queued variant: worst-case O(m) delay via the output queue (Theorem 25).
+/// Queued variant: worst-case O(n + m) delay via the output queue
+/// (Theorem 25).
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(SteinerForest::new(g, sets)).with_queue(config).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(SteinerForest::new(g, sets)).with_queue(config).for_each(sink)`"

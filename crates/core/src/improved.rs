@@ -250,6 +250,19 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         self.level_cache_cap = Some(cap.max(1));
     }
 
+    fn cache_key(&self) -> Option<crate::cache::CacheKey> {
+        // `prepare` sorts the terminals, so the stream never depends on
+        // the caller's order: fingerprint the sorted form and permuted
+        // repeats of the same query share one cache entry.
+        let mut sorted = self.terminals.clone();
+        sorted.sort_unstable();
+        Some(crate::cache::CacheKey {
+            kind: Self::NAME,
+            graph_fingerprint: crate::cache::fingerprint_undirected(&self.g),
+            query_fingerprint: crate::cache::fingerprint_terminals(&sorted),
+        })
+    }
+
     fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
         self.validate()?;
         self.terminals.sort_unstable();
@@ -525,6 +538,12 @@ pub(crate) fn find_terminal_beyond_csr(
 
 /// Enumerates all minimal Steiner trees of `(g, terminals)` through an
 /// arbitrary [`SolutionSink`].
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `solver::run_with_sink(&mut SteinerTree::new(g, terminals), emitter)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(SteinerTree::new(g, terminals))` with a custom sink"
@@ -540,6 +559,12 @@ pub fn enumerate_minimal_steiner_trees_with(
 
 /// Enumerates all minimal Steiner trees with amortized O(n + m) time per
 /// solution (Theorem 17), emitting each solution the moment it is found.
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(SteinerTree::new(g, terminals)).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(SteinerTree::new(g, terminals)).for_each(sink)`"
@@ -556,6 +581,12 @@ pub fn enumerate_minimal_steiner_trees(
 
 /// Enumerates all minimal Steiner trees with worst-case O(n + m) delay via
 /// the output-queue method (Theorem 20; O(n²) space for the buffer).
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(SteinerTree::new(g, terminals)).with_queue(config).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(SteinerTree::new(g, terminals)).with_queue(config).for_each(sink)`"

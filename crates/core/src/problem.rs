@@ -169,12 +169,37 @@ pub enum NodeStep<Branch> {
 ///
 /// Implementations hold the full instance *and* the mutable search state
 /// (partial solution, scratch structures, [`EnumStats`]); the engine owns
-/// the recursion, emission, queueing, and early termination.
+/// the recursion, emission, queueing, and early termination. Code written
+/// against the trait runs unchanged over all four problem types (and any
+/// future variant):
+///
+/// ```
+/// use steiner_core::{Enumeration, MinimalSteinerProblem, SteinerTree, TerminalSteinerTree};
+/// use steiner_graph::{UndirectedGraph, VertexId};
+///
+/// /// Counts solutions of any problem, naming it via the trait.
+/// fn describe<P: MinimalSteinerProblem + Send>(p: P) -> String
+/// where
+///     P::Item: Send,
+/// {
+///     let n = Enumeration::new(p).count().unwrap_or(0);
+///     format!("{}: {n} solutions", P::NAME)
+/// }
+///
+/// let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// let w = [VertexId(0), VertexId(1)];
+/// assert_eq!(describe(SteinerTree::new(&g, &w)), "minimal Steiner tree: 2 solutions");
+/// assert_eq!(
+///     describe(TerminalSteinerTree::new(&g, &w)),
+///     "minimal terminal Steiner tree: 2 solutions"
+/// );
+/// ```
 pub trait MinimalSteinerProblem {
     /// Solution item: [`steiner_graph::EdgeId`] for the undirected
     /// problems, [`steiner_graph::ArcId`] for directed Steiner trees.
-    /// Solutions are emitted as sorted `Item` slices.
-    type Item: Copy + Ord + std::fmt::Debug;
+    /// Solutions are emitted as sorted `Item` slices. `Hash` lets the
+    /// [`crate::intern`] layer hash-cons emitted solutions.
+    type Item: Copy + Ord + std::hash::Hash + std::fmt::Debug;
 
     /// Branch target chosen by [`Self::classify`] and consumed by
     /// [`Self::branch`] — a missing terminal for the tree problems, a
@@ -253,6 +278,21 @@ pub trait MinimalSteinerProblem {
         Self: Sized,
     {
         let _ = shard;
+        None
+    }
+
+    /// The instance's identity for the query-level result cache
+    /// ([`Enumeration::cached`](crate::solver::Enumeration::cached)):
+    /// problem kind plus fingerprints of the graph and the query
+    /// parameters. Two instances with equal keys **must** enumerate
+    /// identical solution streams.
+    ///
+    /// The default returns `None`, meaning the problem opts out of
+    /// caching and `cached()` always runs the engine. Must be callable
+    /// before [`Self::prepare`] (the builder keys the query before
+    /// preprocessing). The four paper problems implement it with the
+    /// [`crate::cache`] fingerprint helpers.
+    fn cache_key(&self) -> Option<crate::cache::CacheKey> {
         None
     }
 

@@ -37,11 +37,14 @@
 //! assert_eq!(trees.len(), 2);
 //! ```
 
+use crate::cache::{QueryKey, ResultCache};
+use crate::intern::{SolutionId, SolutionSet};
 use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootShard, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::stats::EnumStats;
 use crossbeam_channel::Sender;
 use std::cell::Cell;
+use std::hash::Hash;
 use std::ops::ControlFlow;
 use std::sync::{Arc, Mutex};
 use steiner_paths::streaming::{self, MergeEvent, ShardMerge, ShardMsg};
@@ -176,13 +179,38 @@ enum QueueOpt {
 }
 
 /// Builder over a [`MinimalSteinerProblem`]: configure the run, then pick
-/// a front-end. See the [module documentation](self) for an example.
+/// a front-end. Options compose freely — sharding, limits, the output
+/// queue, interning, and the result cache all deliver the identical
+/// stream:
+///
+/// ```
+/// use steiner_core::cache::ResultCache;
+/// use steiner_core::{Enumeration, SteinerTree};
+/// use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+///
+/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// let w = [VertexId(0), VertexId(2)];
+/// let cache: ResultCache<EdgeId> = ResultCache::new();
+/// let plain = Enumeration::new(SteinerTree::new(&g, &w)).collect_vec().unwrap();
+/// let fancy = Enumeration::new(SteinerTree::new(&g, &w))
+///     .cached(&cache)          // record this stream for replay
+///     .with_threads(2)         // sharded execution, deterministic merge
+///     .with_default_queue()    // Theorem-20 worst-case delay
+///     .with_limit(10)          // early termination
+///     .collect_vec()
+///     .unwrap();
+/// assert_eq!(fancy, plain[..plain.len().min(10)]);
+/// ```
+///
+/// See the [module documentation](self) for the front-end overview.
 pub struct Enumeration<P: MinimalSteinerProblem> {
     problem: P,
     queue: QueueOpt,
     limit: Option<u64>,
     stats_handle: Option<StatsHandle>,
     threads: usize,
+    interner: Option<SolutionSet<P::Item>>,
+    cache: Option<ResultCache<P::Item>>,
 }
 
 impl<P: MinimalSteinerProblem> Enumeration<P> {
@@ -195,7 +223,56 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
             limit: None,
             stats_handle: None,
             threads: 1,
+            interner: None,
+            cache: None,
         }
+    }
+
+    /// **Hash-consing.** Interns every delivered solution into the shared
+    /// [`SolutionSet`] — structurally equal solutions (across this run,
+    /// earlier runs, and other problems over the same id space) are
+    /// stored once, and consumers holding
+    /// [`SolutionId`]s re-emit in O(1).
+    ///
+    /// The delivered stream is untouched (same slices, same order — under
+    /// [`Self::with_threads`] the interning happens at the merge point,
+    /// after the deterministic re-interleave). The final
+    /// [`EnumStats::interned_bytes`] reports the set's live payload.
+    ///
+    /// ```
+    /// use steiner_core::intern::SolutionSet;
+    /// use steiner_core::{Enumeration, SteinerTree};
+    /// use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+    ///
+    /// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+    /// let set: SolutionSet<EdgeId> = SolutionSet::new();
+    /// Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(2)]))
+    ///     .with_interning(&set)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(set.len(), 2); // both minimal trees, materialized once
+    /// ```
+    pub fn with_interning(mut self, set: &SolutionSet<P::Item>) -> Self {
+        self.interner = Some(set.clone());
+        self
+    }
+
+    /// **Query-level caching.** Consults `cache` before running: a query
+    /// with the same [`cache_key`](MinimalSteinerProblem::cache_key) and
+    /// the same [`Self::with_limit`] that previously ran to completion is
+    /// **replayed** from the interned store — same solutions, same order,
+    /// no search. On a miss the run executes normally (composing with
+    /// [`Self::with_threads`] and [`Self::with_queue`]; recording happens
+    /// at the delivery/merge point) and its complete stream is stored.
+    /// Runs a sink aborted early (before the limit) are not stored.
+    ///
+    /// Hits and misses are visible in the returned
+    /// [`EnumStats::cache_hits`] / [`EnumStats::cache_misses`] and in
+    /// [`ResultCache::stats`]. See [`crate::cache`] for an end-to-end
+    /// example and the eviction policy.
+    pub fn cached(mut self, cache: &ResultCache<P::Item>) -> Self {
+        self.cache = Some(cache.clone());
+        self
     }
 
     /// Routes emissions through the Theorem-20 output queue with an
@@ -236,7 +313,7 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     /// stream **identical to the single-threaded run** (same solutions,
     /// same order), including under [`Self::with_limit`],
     /// [`Self::with_queue`], and sinks that return
-    /// [`ControlFlow::Break`](std::ops::ControlFlow::Break).
+    /// [`ControlFlow::Break`].
     ///
     /// Every worker owns an independent instance copy
     /// ([`MinimalSteinerProblem::split_root`]) with its own `prepare()`,
@@ -319,18 +396,110 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         P: Send,
         P::Item: Send,
     {
+        let cache = self.cache.take();
+        let interner = self.interner.take();
+        let handle = self.stats_handle.clone();
+        let limit = self.limit;
+
+        // The interning stage sits closest to the user sink, so it sees
+        // the final delivered stream (post-merge, post-queue, post-limit).
+        let mut interning = |items: &[P::Item]| -> ControlFlow<()> {
+            if let Some(set) = &interner {
+                set.intern(items);
+            }
+            sink(items)
+        };
+        let publish = |mut stats: EnumStats| -> EnumStats {
+            if let Some(set) = &interner {
+                stats.interned_bytes = stats.interned_bytes.max(set.bytes());
+            }
+            if let Some(h) = &handle {
+                h.set(stats);
+            }
+            stats
+        };
+
+        let Some(cache) = cache else {
+            return Ok(publish(self.run_plain(&mut interning)?));
+        };
+        let Some(key) = self.problem.cache_key() else {
+            // The problem opted out of caching: always a (counted) miss.
+            cache.note_miss();
+            let mut stats = self.run_plain(&mut interning)?;
+            stats.cache_misses = 1;
+            return Ok(publish(stats));
+        };
+        // Malformed instances must error identically warm and cold: the
+        // canonical fingerprints can make a malformed query (e.g. a
+        // duplicate terminal inside a forest set) collide with a valid
+        // query's key, so validate structurally before the lookup.
+        self.problem.validate()?;
+        let qkey = QueryKey { key, limit };
+        if let Some(delivered) = cache.replay(&qkey, &mut interning) {
+            return Ok(publish(EnumStats::for_cache_hit(delivered, cache.bytes())));
+        }
+        // Miss: run the engine, recording the delivered stream.
+        let mut ids: Vec<SolutionId> = Vec::new();
+        let mut delivered = 0u64;
+        let mut user_broke = false;
+        let run = {
+            let mut recording = |items: &[P::Item]| -> ControlFlow<()> {
+                ids.push(cache.intern(items));
+                delivered += 1;
+                let flow = interning(items);
+                if flow.is_break() {
+                    user_broke = true;
+                }
+                flow
+            };
+            self.run_plain(&mut recording)
+        };
+        match run {
+            Ok(mut stats) => {
+                // A stream is complete — and therefore cacheable — when
+                // the sink did not abort it, or when the abort coincided
+                // with the configured limit (the limit is part of the
+                // key, so the capped stream is the full answer for it).
+                if !user_broke || Some(delivered) == limit {
+                    cache.store_entry(qkey, ids);
+                } else {
+                    cache.release_ids(&ids);
+                }
+                stats.cache_misses = 1;
+                stats.interned_bytes = cache.bytes();
+                Ok(publish(stats))
+            }
+            Err(e) => {
+                cache.release_ids(&ids);
+                Err(e)
+            }
+        }
+    }
+
+    /// The execution core under [`Self::for_each`]: dispatches to the
+    /// sharded pool or the sequential engine, with the limit/queue sink
+    /// chain already described on those methods. Cache and interner have
+    /// been peeled off by the caller.
+    fn run_plain(
+        mut self,
+        sink: &mut dyn FnMut(&[P::Item]) -> ControlFlow<()>,
+    ) -> Result<EnumStats, SteinerError>
+    where
+        P: Send,
+        P::Item: Send,
+    {
         if let Some(shards) = self.split_shards() {
             return run_sharded(
                 shards,
                 self.queue_config(),
                 self.limit,
                 self.stats_handle.as_ref(),
-                &mut sink,
+                sink,
             );
         }
         let prepared = self.problem.prepare()?;
         let queue = self.queue_config();
-        let stats = run_configured(&mut self.problem, prepared, queue, self.limit, &mut sink);
+        let stats = run_configured(&mut self.problem, prepared, queue, self.limit, sink);
         if let Some(handle) = &self.stats_handle {
             handle.set(stats);
         }
@@ -397,41 +566,190 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         P: Send + 'static,
         P::Item: Send + 'static,
     {
+        let cache = self.cache.take();
+        let interner = self.interner.take();
+        let limit = self.limit;
+        let handle = self.stats_handle.clone();
+        // Cache lookup first: a hit replays the interned stream without
+        // preparing (or even validating) anything — the stored stream
+        // proves the instance was valid.
+        let mut recorder = None;
+        // A cached() run whose problem reports no key still counts as a
+        // miss in the published stats (matching the push front-end).
+        let mut keyless_miss = None;
+        if let Some(cache) = &cache {
+            match self.problem.cache_key() {
+                Some(key) => {
+                    // Same rule as the push front-end: a malformed
+                    // instance errors before the lookup, warm or cold.
+                    self.problem.validate()?;
+                    let qkey = QueryKey { key, limit };
+                    if let Some(ids) = cache.checkout(&qkey) {
+                        let cache = cache.clone();
+                        let interner = interner.clone();
+                        let inner = streaming::Enumeration::spawn(move |send| {
+                            // One lock for the whole stream; sends (which
+                            // may block on the bounded channel) and
+                            // interning happen unlocked.
+                            let (flat, lens) = cache.resolve_owned_batch(&ids);
+                            cache.release_ids(&ids);
+                            let mut delivered = 0u64;
+                            let mut start = 0usize;
+                            for len in lens {
+                                let end = start + len as usize;
+                                let solution = flat[start..end].to_vec();
+                                start = end;
+                                if let Some(set) = &interner {
+                                    set.intern(&solution);
+                                }
+                                delivered += 1;
+                                if send(solution).is_break() {
+                                    break;
+                                }
+                            }
+                            if let Some(handle) = handle {
+                                // Fold the interner gauge in too, exactly
+                                // as the push front-end's publish() does.
+                                let mut bytes = cache.bytes();
+                                if let Some(set) = &interner {
+                                    bytes = bytes.max(set.bytes());
+                                }
+                                handle.set(EnumStats::for_cache_hit(delivered, bytes));
+                            }
+                        });
+                        return Ok(Solutions { inner });
+                    }
+                    recorder = Some(CacheRecorder::new(cache.clone(), qkey, limit));
+                }
+                None => {
+                    cache.note_miss();
+                    keyless_miss = Some(cache.clone());
+                }
+            }
+        }
         let shards = self.split_shards();
         let prepared = self.problem.prepare()?;
         let queue = self.queue_config();
-        let limit = self.limit;
-        let handle = self.stats_handle.clone();
         if let (Some(shards), Prepared::Search) = (shards, &prepared) {
             // Trivial outcomes (Empty/Single) skip the pool entirely;
             // a real search hands the prepared original's *instance*
             // over to the workers, which prepare their own copies.
             let inner = streaming::Enumeration::spawn(move |send| {
-                run_sharded(
-                    shards,
-                    queue,
-                    limit,
-                    handle.as_ref(),
-                    &mut |items: &[P::Item]| send(items.to_vec()),
-                )
+                let mut recorder = recorder;
+                let stats = run_sharded(shards, queue, limit, None, &mut |items: &[P::Item]| {
+                    deliver_to_iterator(&mut recorder, &interner, items, send)
+                })
                 .expect("shard preparation failed although the original instance prepared");
+                finish_iterator_worker(recorder, keyless_miss, &interner, stats, handle.as_ref());
             });
             return Ok(Solutions { inner });
         }
         let mut problem = self.problem;
         let inner = steiner_paths::streaming::Enumeration::spawn(move |send| {
+            let mut recorder = recorder;
             let stats = run_configured(
                 &mut problem,
                 prepared,
                 queue,
                 limit,
-                &mut |items: &[P::Item]| send(items.to_vec()),
+                &mut |items: &[P::Item]| deliver_to_iterator(&mut recorder, &interner, items, send),
             );
-            if let Some(handle) = handle {
-                handle.set(stats);
-            }
+            finish_iterator_worker(recorder, keyless_miss, &interner, stats, handle.as_ref());
         });
         Ok(Solutions { inner })
+    }
+}
+
+/// Records a cold `cached()` run's delivered stream on the iterator
+/// front-end's worker thread; [`Self::finish`] stores complete streams
+/// and rolls aborted ones back, mirroring the push front-end's rule.
+struct CacheRecorder<Item: Copy + Eq + Hash> {
+    cache: ResultCache<Item>,
+    key: QueryKey,
+    limit: Option<u64>,
+    ids: Vec<SolutionId>,
+    delivered: u64,
+    broke: bool,
+}
+
+impl<Item: Copy + Eq + Hash> CacheRecorder<Item> {
+    fn new(cache: ResultCache<Item>, key: QueryKey, limit: Option<u64>) -> Self {
+        CacheRecorder {
+            cache,
+            key,
+            limit,
+            ids: Vec::new(),
+            delivered: 0,
+            broke: false,
+        }
+    }
+
+    fn note(&mut self, items: &[Item]) {
+        self.ids.push(self.cache.intern(items));
+        self.delivered += 1;
+    }
+
+    /// Stores or rolls back the recording; returns the cache for final
+    /// byte accounting.
+    fn finish(self) -> ResultCache<Item> {
+        if !self.broke || Some(self.delivered) == self.limit {
+            self.cache.store_entry(self.key, self.ids);
+        } else {
+            self.cache.release_ids(&self.ids);
+        }
+        self.cache
+    }
+}
+
+/// One delivery on the iterator front-end's worker: record for the cache
+/// (when a cold `cached()` run is underway), intern, and forward an owned
+/// copy to the channel. A failed send means the iterator was dropped —
+/// that counts as an abort for the recorder.
+fn deliver_to_iterator<Item: Copy + Eq + Hash>(
+    recorder: &mut Option<CacheRecorder<Item>>,
+    interner: &Option<SolutionSet<Item>>,
+    items: &[Item],
+    send: &mut dyn FnMut(Vec<Item>) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if let Some(r) = recorder.as_mut() {
+        r.note(items);
+    }
+    if let Some(set) = interner {
+        set.intern(items);
+    }
+    let flow = send(items.to_vec());
+    if flow.is_break() {
+        if let Some(r) = recorder.as_mut() {
+            r.broke = true;
+        }
+    }
+    flow
+}
+
+/// End of an iterator-front-end run: settle the cache recording, fold the
+/// cache/interner gauges into the stats, and publish them. `keyless_miss`
+/// carries the cache of a run that could not be keyed (counted as a miss
+/// but never recorded).
+fn finish_iterator_worker<Item: Copy + Eq + Hash>(
+    recorder: Option<CacheRecorder<Item>>,
+    keyless_miss: Option<ResultCache<Item>>,
+    interner: &Option<SolutionSet<Item>>,
+    mut stats: EnumStats,
+    handle: Option<&StatsHandle>,
+) {
+    if let Some(r) = recorder {
+        let cache = r.finish();
+        stats.cache_misses = 1;
+        stats.interned_bytes = stats.interned_bytes.max(cache.bytes());
+    } else if let Some(cache) = keyless_miss {
+        stats.cache_misses = 1;
+        stats.interned_bytes = stats.interned_bytes.max(cache.bytes());
+    }
+    if let Some(set) = interner {
+        stats.interned_bytes = stats.interned_bytes.max(set.bytes());
+    }
+    if let Some(handle) = handle {
+        handle.set(stats);
     }
 }
 
@@ -993,6 +1311,96 @@ mod tests {
             }
             (children, flow)
         }
+    }
+
+    /// A well-behaved two-solution problem using the default (`None`)
+    /// `cache_key` — i.e. one that opts out of result caching.
+    struct KeylessProblem {
+        emitted: u64,
+        stats: EnumStats,
+    }
+
+    impl MinimalSteinerProblem for KeylessProblem {
+        type Item = EdgeId;
+        type Branch = ();
+
+        const NAME: &'static str = "keyless test problem";
+
+        fn validate(&self) -> Result<(), SteinerError> {
+            Ok(())
+        }
+
+        fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
+            Ok(Prepared::Search)
+        }
+
+        fn instance_size(&self) -> (usize, usize) {
+            (2, 1)
+        }
+
+        fn stats(&self) -> &EnumStats {
+            &self.stats
+        }
+
+        fn stats_mut(&mut self) -> &mut EnumStats {
+            &mut self.stats
+        }
+
+        fn classify(&mut self, out: &mut Vec<EdgeId>) -> NodeStep<()> {
+            if self.emitted == 0 {
+                NodeStep::Branch(())
+            } else {
+                out.push(EdgeId(self.emitted as u32));
+                NodeStep::Unique
+            }
+        }
+
+        fn solution(&self, _out: &mut Vec<EdgeId>) {}
+
+        fn branch(
+            &mut self,
+            _at: (),
+            child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+        ) -> (u64, ControlFlow<()>) {
+            let mut children = 0;
+            for _ in 0..2 {
+                self.emitted += 1;
+                if child(self).is_break() {
+                    return (children, ControlFlow::Break(()));
+                }
+                children += 1;
+            }
+            (children, ControlFlow::Continue(()))
+        }
+    }
+
+    #[test]
+    fn keyless_cached_run_counts_a_miss_on_both_front_ends() {
+        // A problem without a cache key still publishes cache_misses = 1
+        // under cached() — identically on the push and pull front-ends.
+        let cache = crate::cache::ResultCache::new();
+        let (run, handle) = Enumeration::new(KeylessProblem {
+            emitted: 0,
+            stats: EnumStats::default(),
+        })
+        .cached(&cache)
+        .with_stats();
+        run.run().expect("valid instance");
+        assert_eq!(handle.get().cache_misses, 1, "push front-end");
+
+        let (run, handle) = Enumeration::new(KeylessProblem {
+            emitted: 0,
+            stats: EnumStats::default(),
+        })
+        .cached(&cache)
+        .with_stats();
+        let drained: Vec<_> = run.into_iter().expect("valid instance").collect();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(handle.get().cache_misses, 1, "pull front-end agrees");
+        assert_eq!(handle.get().cache_hits, 0);
+        // Keyless runs are counted but never stored.
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

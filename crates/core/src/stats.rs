@@ -7,6 +7,24 @@
 //! amortized work per solution is O(n + m).
 
 /// Counters describing one enumeration run.
+///
+/// Returned by every [`Enumeration`](crate::solver::Enumeration)
+/// front-end (and readable mid-run through a
+/// [`StatsHandle`](crate::solver::StatsHandle)):
+///
+/// ```
+/// use steiner_core::{Enumeration, SteinerTree};
+/// use steiner_graph::{UndirectedGraph, VertexId};
+///
+/// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// let stats = Enumeration::new(SteinerTree::new(&g, &[VertexId(0), VertexId(2)]))
+///     .run()
+///     .unwrap();
+/// assert_eq!(stats.solutions, 2);
+/// assert_eq!(stats.deficient_internal_nodes, 0); // the ≥2-children invariant
+/// assert!(stats.max_emission_gap <= stats.work); // gaps live on the work clock
+/// assert_eq!(stats.cache_hits + stats.cache_misses, 0); // no cache attached
+/// ```
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct EnumStats {
     /// Solutions handed to the sink.
@@ -40,6 +58,18 @@ pub struct EnumStats {
     /// Bytes of scratch capacity owned by the search state at the end of
     /// the run (peak, since scratch buffers only grow).
     pub peak_scratch_bytes: u64,
+    /// Result-cache hits: 1 when this run was served from a
+    /// [`ResultCache`](crate::cache::ResultCache) instead of the engine
+    /// (then `work` is 0 — no search ran), 0 otherwise. Sums under
+    /// [`Self::merge`], so aggregated stats count hits across runs.
+    pub cache_hits: u64,
+    /// Result-cache misses: 1 when a `cached()` run had to run the
+    /// engine (its stream was then recorded), 0 otherwise.
+    pub cache_misses: u64,
+    /// Bytes of live hash-consed solution payload in the attached
+    /// interner or result cache **after** this run — a gauge, not a
+    /// per-run delta (0 when the run used neither).
+    pub interned_bytes: u64,
     /// Work units at the last emission (internal bookkeeping for the gap).
     last_emission_work: u64,
     /// Whether anything was emitted yet (the first gap counts from zero).
@@ -47,6 +77,18 @@ pub struct EnumStats {
 }
 
 impl EnumStats {
+    /// The statistics of a run served entirely from a
+    /// [`ResultCache`](crate::cache::ResultCache): `delivered` solutions,
+    /// one cache hit, no engine work.
+    pub(crate) fn for_cache_hit(delivered: u64, interned_bytes: u64) -> Self {
+        EnumStats {
+            solutions: delivered,
+            cache_hits: 1,
+            interned_bytes,
+            ..EnumStats::default()
+        }
+    }
+
     /// Notes an emission at the current work counter, updating the gap
     /// statistics.
     pub fn note_emission(&mut self) {
@@ -102,6 +144,10 @@ impl EnumStats {
         self.max_emission_gap = self.max_emission_gap.max(other.max_emission_gap);
         self.scratch_allocs += other.scratch_allocs;
         self.peak_scratch_bytes += other.peak_scratch_bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        // A gauge over a shared arena, not a per-run cost: take the max.
+        self.interned_bytes = self.interned_bytes.max(other.interned_bytes);
         self.emitted_any |= other.emitted_any;
     }
 
@@ -168,6 +214,9 @@ mod tests {
             preprocessing_work: 7,
             scratch_allocs: 2,
             peak_scratch_bytes: 64,
+            cache_hits: 1,
+            cache_misses: 2,
+            interned_bytes: 96,
             ..Default::default()
         };
         b.note_emission();
@@ -184,6 +233,9 @@ mod tests {
         assert_eq!(a.max_emission_gap, 100, "extrema take the max");
         assert_eq!(a.scratch_allocs, 2);
         assert_eq!(a.peak_scratch_bytes, 64);
+        assert_eq!(a.cache_hits, 1, "cache counters sum");
+        assert_eq!(a.cache_misses, 2);
+        assert_eq!(a.interned_bytes, 96, "the shared-arena gauge takes the max");
     }
 
     #[test]

@@ -397,6 +397,18 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         self.level_cache_cap = Some(cap.max(1));
     }
 
+    fn cache_key(&self) -> Option<crate::cache::CacheKey> {
+        // `prepare` sorts the terminals: fingerprint the sorted form (see
+        // `SteinerTree::cache_key`).
+        let mut sorted = self.terminals.clone();
+        sorted.sort_unstable();
+        Some(crate::cache::CacheKey {
+            kind: Self::NAME,
+            graph_fingerprint: crate::cache::fingerprint_undirected(&self.g),
+            query_fingerprint: crate::cache::fingerprint_terminals(&sorted),
+        })
+    }
+
     fn prepare(&mut self) -> Result<Prepared<EdgeId>, SteinerError> {
         self.validate()?;
         self.terminals.sort_unstable();
@@ -919,6 +931,12 @@ impl TerminalSteinerTree<'_> {
 ///
 /// Degenerate cases: |W| ≤ 1 has no solutions (every tree has a
 /// non-terminal leaf); |W| = 2 reduces to `s`-`t` path enumeration.
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `solver::run_with_sink(&mut TerminalSteinerTree::new(g, terminals), emitter)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(TerminalSteinerTree::new(g, terminals))` with a custom sink"
@@ -934,6 +952,12 @@ pub fn enumerate_minimal_terminal_steiner_trees_with(
 
 /// Enumerates all minimal terminal Steiner trees with amortized O(n + m)
 /// time per solution (Theorem 31), emitting directly.
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(TerminalSteinerTree::new(g, terminals)).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(TerminalSteinerTree::new(g, terminals)).for_each(sink)`"
@@ -949,6 +973,12 @@ pub fn enumerate_minimal_terminal_steiner_trees(
 }
 
 /// Queued variant: worst-case O(n + m) delay (Theorem 31).
+///
+/// **Deprecated shim** over the [`Enumeration`](crate::solver::Enumeration)
+/// builder — new code should write `Enumeration::new(TerminalSteinerTree::new(g, terminals)).with_queue(config).for_each(sink)`.
+/// The shim keeps the pre-0.2 lenient contract: empty, disconnected, or
+/// unreachable instances silently emit nothing (where the builder returns
+/// a typed [`SteinerError`]), and out-of-range ids panic.
 #[deprecated(
     since = "0.2.0",
     note = "use `Enumeration::new(TerminalSteinerTree::new(g, terminals)).with_queue(config).for_each(sink)`"

@@ -122,7 +122,8 @@ impl BridgeScratch {
     }
 }
 
-/// As [`bridges`], but over a [`CsrUndirected`] view and writing into
+/// As [`bridges`], but over a [`CsrUndirected`](crate::csr::CsrUndirected)
+/// view and writing into
 /// `scratch.is_bridge` without allocating (after warm-up). Same algorithm,
 /// same parallel-edge handling.
 pub fn bridges_csr_into(

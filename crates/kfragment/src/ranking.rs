@@ -5,37 +5,84 @@
 //! (Kimelfeld & Sagiv's companion work \[25\] enumerates in *approximate*
 //! weight order). For the moderate answer counts keyword search keeps, an
 //! exact ranking is practical: stream the enumeration through a bounded
-//! max-heap, keeping the `k` smallest answers seen, optionally stopping
+//! leaderboard of the `k` smallest answers seen, optionally stopping
 //! after a scan budget.
+//!
+//! Since the result-cache PR the leaderboard holds [`SolutionId`]s into
+//! a hash-consing [`SolutionInterner`] instead of owned vectors: a
+//! scanned answer is copied at most once (when it enters the board;
+//! candidates that lose the cut against the current worst are rejected
+//! without allocating), and answers seen again — across stitched-together
+//! runs sharing one interner via [`smallest_k_ids`] — intern to one arena
+//! slice and rank once.
 
-use std::collections::BinaryHeap;
 use std::ops::ControlFlow;
+use steiner_core::intern::{SolutionId, SolutionInterner};
 use steiner_graph::EdgeId;
-
-/// A ranked answer: its size, then its (sorted) edge set as tiebreak.
-type Ranked = (usize, Vec<EdgeId>);
 
 /// Collects the `k` smallest solutions (by edge count, ties broken
 /// lexicographically) from a push enumeration, scanning at most
 /// `scan_limit` solutions if a limit is given. Returns answers sorted
 /// smallest-first.
+///
+/// Convenience wrapper over [`smallest_k_ids`] with a private interner;
+/// use that function directly to keep the answers interned.
 pub fn smallest_k(
     k: usize,
     scan_limit: Option<u64>,
     run: impl FnOnce(&mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>),
 ) -> Vec<Vec<EdgeId>> {
-    let mut heap: BinaryHeap<Ranked> = BinaryHeap::with_capacity(k + 1);
+    let mut interner = SolutionInterner::new();
+    let ids = smallest_k_ids(&mut interner, k, scan_limit, run);
+    ids.into_iter()
+        .map(|id| interner.resolve(id).to_vec())
+        .collect()
+}
+
+/// As [`smallest_k`], but ranks into a caller-supplied
+/// [`SolutionInterner`] and returns the winners as [`SolutionId`]s
+/// (smallest-first), each holding one reference the caller now owns.
+///
+/// Rejected candidates never touch the arena: a scanned answer is
+/// compared (by length, then lexicographically against the interned
+/// slice) to the current worst of a full leaderboard first, and only
+/// admitted answers are interned. Answers dropped from the board later
+/// have their reference released again, so a long scan leaves at most
+/// `k` solutions (plus whatever else the caller interned) live.
+pub fn smallest_k_ids(
+    interner: &mut SolutionInterner<EdgeId>,
+    k: usize,
+    scan_limit: Option<u64>,
+    run: impl FnOnce(&mut dyn FnMut(&[EdgeId]) -> ControlFlow<()>),
+) -> Vec<SolutionId> {
+    // Sorted by (len, lex slice), smallest first; `k` is moderate in
+    // keyword search, so insertion keeps exactness without a heap.
+    let mut best: Vec<(usize, SolutionId)> = Vec::with_capacity(k + 1);
     let mut scanned = 0u64;
     run(&mut |edges| {
         scanned += 1;
         if k > 0 {
-            let item: Ranked = (edges.len(), edges.to_vec());
-            if heap.len() < k {
-                heap.push(item);
-            } else if let Some(top) = heap.peek() {
-                if item < *top {
-                    heap.pop();
-                    heap.push(item);
+            let admit = if best.len() < k {
+                true
+            } else {
+                let (worst_len, worst_id) = *best.last().expect("board is full");
+                (edges.len(), edges) < (worst_len, interner.resolve(worst_id))
+            };
+            if admit {
+                let id = interner.intern(edges);
+                let already_ranked = best.iter().any(|&(_, b)| b == id);
+                if already_ranked {
+                    // A duplicate across stitched runs: hash-consing
+                    // found it, drop the extra reference.
+                    interner.release(id);
+                } else {
+                    let pos = best
+                        .partition_point(|&(l, b)| (l, interner.resolve(b)) < (edges.len(), edges));
+                    best.insert(pos, (edges.len(), id));
+                    if best.len() > k {
+                        let (_, evicted) = best.pop().expect("board overflowed");
+                        interner.release(evicted);
+                    }
                 }
             }
         }
@@ -44,9 +91,7 @@ pub fn smallest_k(
             _ => ControlFlow::Continue(()),
         }
     });
-    let mut out: Vec<Ranked> = heap.into_vec();
-    out.sort_unstable();
-    out.into_iter().map(|(_, e)| e).collect()
+    best.into_iter().map(|(_, id)| id).collect()
 }
 
 #[cfg(test)]
@@ -92,6 +137,41 @@ mod tests {
         let got = smallest_k(10, None, fake_run(&[3, 1]));
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].len(), 1);
+    }
+
+    #[test]
+    fn losers_do_not_accumulate_in_the_interner() {
+        let mut interner = SolutionInterner::new();
+        // 100 answers of growing size; only the 3 smallest may stay live.
+        let sizes: Vec<usize> = (1..=100).collect();
+        let ids = smallest_k_ids(&mut interner, 3, None, fake_run(&sizes));
+        assert_eq!(ids.len(), 3);
+        assert_eq!(interner.len(), 3, "evicted and rejected answers are dead");
+        let lens: Vec<usize> = ids.iter().map(|&id| interner.resolve(id).len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicates_across_runs_rank_once() {
+        let mut interner = SolutionInterner::new();
+        let mut seen: Vec<Vec<EdgeId>> = Vec::new();
+        for _ in 0..2 {
+            // The same three answers scanned twice (two stitched runs).
+            let ids = smallest_k_ids(&mut interner, 5, None, |sink| {
+                for s in [2usize, 3, 4] {
+                    let edges: Vec<EdgeId> = (0..s).map(EdgeId::new).collect();
+                    if sink(&edges).is_break() {
+                        return;
+                    }
+                }
+            });
+            seen = ids
+                .into_iter()
+                .map(|id| interner.resolve(id).to_vec())
+                .collect();
+        }
+        assert_eq!(seen.len(), 3, "duplicates collapse instead of repeating");
+        assert!(interner.dedup_hits() >= 3, "second run hash-consed");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use minimal_steiner::kfragment::fragments::{
     directed_k_fragments, k_fragments, strong_k_fragments,
 };
 use minimal_steiner::kfragment::ranking::smallest_k;
+use minimal_steiner::{Enumeration, ResultCache, SteinerTree};
 use std::ops::ControlFlow;
 
 fn main() {
@@ -79,4 +80,28 @@ fn main() {
         ControlFlow::Continue(())
     })
     .expect("keywords exist");
+
+    // Production keyword search is repetitive: the same query arrives
+    // again and again while the data graph rarely changes. A ResultCache
+    // serves the repeats from the interned solution store — no search.
+    println!("\nrepeated query: DeNiro AND Pacino, through a ResultCache");
+    let cache = ResultCache::new();
+    let terminals = db.terminals_for(&["DeNiro", "Pacino"]).expect("keywords");
+    for round in 1..=2 {
+        let (run, stats) = Enumeration::new(SteinerTree::new(&db.graph, &terminals))
+            .cached(&cache)
+            .with_stats();
+        let count = run.count().expect("valid instance");
+        let s = stats.get();
+        println!(
+            "  round {round}: {count} fragments, cache {} (work {} units)",
+            if s.cache_hits > 0 { "hit" } else { "miss" },
+            s.work,
+        );
+    }
+    let cs = cache.stats();
+    println!(
+        "  cache: {} hits / {} misses, {} interned solutions, {} bytes",
+        cs.hits, cs.misses, cs.solutions, cs.bytes
+    );
 }

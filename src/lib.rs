@@ -112,6 +112,7 @@ pub use steiner_kfragment as kfragment;
 pub use steiner_paths as paths;
 
 pub use steiner_core::{
-    DirectedSteinerTree, EnumStats, Enumeration, MinimalSteinerProblem, QueueConfig, SolutionSink,
-    Solutions, StatsHandle, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
+    CacheKey, CacheStats, DirectedSteinerTree, EnumStats, Enumeration, MinimalSteinerProblem,
+    QueueConfig, ResultCache, SolutionId, SolutionInterner, SolutionSet, SolutionSink, Solutions,
+    StatsHandle, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
 };
