@@ -70,5 +70,34 @@ fn bench_size_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_terminal_sweep, bench_size_sweep);
+fn bench_bridged_sweep(c: &mut Criterion) {
+    // Bridge-rich instances (grid core + pendant terminals): the node mix
+    // is dominated by Unique-completion leaves, which the incremental
+    // classifier answers from forced-path reads instead of a per-leaf
+    // spanning-growth pass — the paired rows measure exactly that gap.
+    let mut group = c.benchmark_group("steiner_tree_bridged_sweep");
+    group.sample_size(10);
+    for (cols, label) in [(13, "n64"), (27, "n120"), (57, "n240")] {
+        let inst = workloads::bridged_instance(4, cols, 4, 3);
+        for (alg, on) in [("incremental_on", true), ("incremental_off", false)] {
+            group.bench_with_input(BenchmarkId::new(alg, label), &inst, |b, inst| {
+                b.iter(|| {
+                    Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                        .with_incremental(on)
+                        .with_limit(CAP)
+                        .count()
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_terminal_sweep,
+    bench_size_sweep,
+    bench_bridged_sweep
+);
 criterion_main!(benches);

@@ -172,6 +172,39 @@ fn st_rows(rows: &mut Vec<Row>) {
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
         });
+        // Incremental-classification ablation: the default engine reads
+        // trail-backed connectivity state across parent/child nodes; the
+        // paired "(off)" row recomputes every node from scratch (the
+        // pre-incremental engine). BENCH_core.json carries both so CI
+        // tracks the gap the incremental layer closes; the delivered
+        // streams are byte-identical (tests/incremental.rs).
+        for (label, on) in [
+            ("improved, incremental (on)", true),
+            ("improved, incremental (off)", false),
+        ] {
+            let run = Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                .with_incremental(on);
+            let delays = record_delays(CAP, |emit| {
+                run.for_each(|_| flow(emit())).expect("valid instance");
+            });
+            rows.push(Row {
+                problem: "Steiner Tree (§4)".into(),
+                algorithm: label.into(),
+                claimed: if on {
+                    "O(|W|+answer) leaf classify".into()
+                } else {
+                    "O(n+m) per classify".into()
+                },
+                instance: inst.name.clone(),
+                n: inst.graph.num_vertices(),
+                m: inst.graph.num_edges(),
+                t: 4,
+                solutions: delays.solutions,
+                delays,
+                max_work_gap: None,
+                work_gap_over_nm: None,
+            });
+        }
         let run = Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals)).with_threads(4);
         let delays = record_delays(CAP, |emit| {
             run.for_each(|_| flow(emit())).expect("valid instance");
@@ -225,6 +258,40 @@ fn st_rows(rows: &mut Vec<Row>) {
             1,
             "the second pass was served from the cache"
         );
+    }
+    // Bridged sweep: Unique-completion-dominated instances (grid core +
+    // pendant terminals) where the incremental classifier's gap is
+    // directly visible — with classification off, every Unique leaf pays
+    // a fresh spanning-growth pass.
+    for cols in [13, 27, 57] {
+        let inst = workloads::bridged_instance(4, cols, 4, 3);
+        for (label, on) in [
+            ("improved, incremental (on)", true),
+            ("improved, incremental (off)", false),
+        ] {
+            let run = Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                .with_incremental(on);
+            let delays = record_delays(CAP, |emit| {
+                run.for_each(|_| flow(emit())).expect("valid instance");
+            });
+            rows.push(Row {
+                problem: "Steiner Tree (§4)".into(),
+                algorithm: label.into(),
+                claimed: if on {
+                    "O(|W|+answer) leaf classify".into()
+                } else {
+                    "O(n+m) per classify".into()
+                },
+                instance: inst.name.clone(),
+                n: inst.graph.num_vertices(),
+                m: inst.graph.num_edges(),
+                t: inst.terminals.len(),
+                solutions: delays.solutions,
+                delays,
+                max_work_gap: None,
+                work_gap_over_nm: None,
+            });
+        }
     }
 }
 
@@ -471,17 +538,29 @@ fn hardness_rows(rows: &mut Vec<Row>) {
 
 /// Criterion medians recorded across this repo's perf-relevant PRs
 /// (milliseconds; `cargo bench -p steiner-bench --bench steiner_tree` /
-/// `--bench forest` on the reference machine). `pre` is the last commit
-/// before the zero-allocation CSR/trail engine; `post` is with it.
+/// `--bench forest` on the reference machine). For the original rows,
+/// `pre` is the last commit before the zero-allocation CSR/trail engine
+/// and `post` is with it; the incremental-classification PR re-measured
+/// the size sweep (its `post` updated below) and added the
+/// `bridged_sweep` pairs, where `pre` is the engine with incremental
+/// classification **off** (fresh per-node recomputation) and `post` with
+/// it **on** — same machine, same run.
 fn criterion_reference() -> Vec<(String, f64, Option<f64>)> {
     [
         ("steiner_tree_terminal_sweep/improved/2", 2.389, 1.80),
         ("steiner_tree_terminal_sweep/improved/4", 3.581, 1.88),
         ("steiner_tree_terminal_sweep/improved/6", 3.798, 1.90),
         ("steiner_tree_terminal_sweep/improved/8", 4.146, 1.86),
-        ("steiner_tree_size_sweep/improved/n50m75", 4.543, 2.55),
-        ("steiner_tree_size_sweep/improved/n100m150", 5.922, 4.70),
-        ("steiner_tree_size_sweep/improved/n200m300", 8.328, 6.90),
+        ("steiner_tree_size_sweep/improved/n50m75", 4.543, 2.39),
+        ("steiner_tree_size_sweep/improved/n100m150", 5.922, 4.67),
+        ("steiner_tree_size_sweep/improved/n200m300", 8.328, 6.48),
+        ("steiner_tree_bridged_sweep/incremental/n64", 4.602, 4.019),
+        ("steiner_tree_bridged_sweep/incremental/n120", 7.559, 6.510),
+        (
+            "steiner_tree_bridged_sweep/incremental/n240",
+            13.738,
+            11.466,
+        ),
         ("steiner_forest/improved/1", 0.277, 0.19),
         ("steiner_forest/improved/2", 2.675, 1.60),
         ("steiner_forest/improved/3", 3.439, 1.84),

@@ -49,6 +49,36 @@ pub fn theta_instance(blocks: usize, width: usize) -> Instance {
     }
 }
 
+/// Bridge-rich instances: a 2-edge-connected grid core with pendant
+/// bridge paths hanging off distinct core vertices and a terminal at
+/// each pendant tip (plus corner 0). Every solution routes each pendant
+/// terminal through its forced bridge path while the core offers many
+/// alternatives, so **Unique-completion classification dominates the
+/// node mix** — the workload the incremental classifier accelerates
+/// (forced-path reads instead of per-leaf spanning-growth passes).
+pub fn bridged_instance(rows: usize, cols: usize, pendants: usize, tail: usize) -> Instance {
+    let mut graph = generators::grid(rows, cols);
+    let core = rows * cols;
+    assert!(pendants >= 1 && pendants <= core);
+    let mut terminals = vec![VertexId(0)];
+    for p in 0..pendants {
+        let mut prev = VertexId::new(core - 1 - p * (core / pendants));
+        for _ in 0..tail {
+            let v = graph.add_vertex();
+            graph
+                .add_edge(prev, v)
+                .expect("pendant vertices are in range");
+            prev = v;
+        }
+        terminals.push(prev);
+    }
+    Instance {
+        name: format!("grid {rows}x{cols} + {pendants} pendant paths"),
+        graph,
+        terminals,
+    }
+}
+
 /// Random connected instances for n+m scaling sweeps.
 pub fn random_instance(n: usize, m: usize, t: usize, seed: u64) -> Instance {
     let mut r = rng(seed);
@@ -114,6 +144,20 @@ pub fn claw_free_instance(rows: usize, cols: usize) -> Instance {
 mod tests {
     use super::*;
     use steiner_graph::connectivity::all_in_one_component;
+
+    #[test]
+    fn bridged_instance_hangs_pendant_terminals() {
+        let i = bridged_instance(4, 13, 4, 3);
+        assert_eq!(i.graph.num_vertices(), 4 * 13 + 4 * 3);
+        assert_eq!(i.terminals.len(), 5);
+        assert!(all_in_one_component(&i.graph, &i.terminals, None));
+        // Every pendant terminal hangs behind bridges: its tail edges
+        // are cut edges of the instance.
+        let bridge = steiner_graph::bridges::bridges(&i.graph, None);
+        let pendant_edges = 4 * 3;
+        let bridge_count = bridge.iter().filter(|&&b| b).count();
+        assert!(bridge_count >= pendant_edges, "pendant tails are bridges");
+    }
 
     #[test]
     fn instances_are_well_formed() {

@@ -20,16 +20,17 @@
 //!    paths — branch on it. Otherwise `T + T*` is the unique completion:
 //!    emit it as a leaf.
 
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
-use crate::trail::ScratchUsage;
+use crate::trail::{FrameLog, ScratchUsage};
 use std::borrow::Cow;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 use steiner_graph::connectivity::reachable_from;
 use steiner_graph::csr::grow;
+use steiner_graph::spanning::{DynamicSpanning, SpanMark};
 use steiner_graph::{ArcId, CsrDigraph, DiGraph, VertexId};
 use steiner_paths::enumerate::{EnumerateOptions, PathScratch};
 use steiner_paths::stsets::enumerate_source_set_paths_csr;
@@ -62,6 +63,15 @@ pub struct DirectedSteinerTree<'g> {
     stats: EnumStats,
     search: Option<DirectedSearch>,
     level_cache_cap: Option<usize>,
+    incremental: bool,
+}
+
+/// The typed checkpoint frame of one descent: tree-vertex and tree-arc
+/// stack lengths plus the connectivity layer's mark.
+struct DirFrame {
+    added: usize,
+    arc_base: usize,
+    span: SpanMark,
 }
 
 /// Mutable search state installed by `prepare`. All hot-path buffers are
@@ -80,6 +90,15 @@ struct DirectedSearch {
     con: ContractionScratch,
     /// Reusable Lemma-35 analysis buffers.
     ana: AnalyzeScratch,
+    /// Incremental connectivity over the unique-in-arc skeleton: arcs
+    /// whose head has in-degree 1 in `D` are on **every** path to that
+    /// head, so a missing terminal reached from `V(T)` along them has a
+    /// unique valid path (the forced chain); a node whose missing
+    /// terminals are all reached is a Unique leaf without the per-node
+    /// contraction + Lemma-35 sweep.
+    span: DynamicSpanning,
+    /// Typed checkpoint frames of the active descent (LIFO).
+    frames: FrameLog<DirFrame>,
     /// One path-enumeration scratch per branch depth.
     pool: Vec<DirBranchScratch>,
     depth: usize,
@@ -316,7 +335,10 @@ impl AnalyzeScratch {
 impl DirectedSearch {
     fn usage(&self) -> ScratchUsage {
         let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
-        ScratchUsage::new(self.csr.alloc_events(), self.csr.capacity_bytes())
+        ScratchUsage::new(
+            self.csr.alloc_events() + self.span.alloc_events(),
+            self.csr.capacity_bytes() + self.span.capacity_bytes(),
+        ) + self.frames.usage()
             + self.con.usage()
             + self.ana.usage()
             + pool
@@ -334,6 +356,7 @@ impl<'g> DirectedSteinerTree<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -350,6 +373,7 @@ impl<'g> DirectedSteinerTree<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -363,6 +387,7 @@ impl<'g> DirectedSteinerTree<'g> {
             stats: self.stats,
             search: self.search,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         }
     }
 }
@@ -508,11 +533,16 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         })
     }
 
     fn set_level_cache_cap(&mut self, cap: usize) {
         self.level_cache_cap = Some(cap.max(1));
+    }
+
+    fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -573,6 +603,25 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         // Build the flat CSR once and size every scratch buffer now, so
         // the search never allocates (asserted via `scratch_allocs`).
         let csr = Arc::new(CsrDigraph::from_digraph(d));
+        // The forced-arc skeleton: arcs whose head has in-degree 1 lie on
+        // every path to that head, so reach along them certifies unique
+        // valid paths (see the `span` field docs). Built once; the root
+        // is attached here.
+        let mut span = DynamicSpanning::new();
+        span.preallocate(n, m);
+        span.begin_skeleton(n);
+        for i in 0..m {
+            let a = ArcId::new(i);
+            let (t, h) = csr.arc(a);
+            if csr.in_adjacency(h).len() == 1 {
+                // Reversed: forced queries walk backward from a terminal
+                // along unique in-arcs toward the partial tree.
+                span.add_arc(h, t, i as u32);
+            }
+        }
+        span.finish_skeleton();
+        let mut frames = FrameLog::new();
+        frames.preallocate(terminals.len() + 2);
         let mut con = ContractionScratch::default();
         con.preallocate(n, m);
         let mut ana = AnalyzeScratch::default();
@@ -598,6 +647,8 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             csr,
             con,
             ana,
+            span,
+            frames,
             pool,
             depth: 0,
             level_cache_cap,
@@ -622,6 +673,7 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
     }
 
     fn classify(&mut self, out: &mut Vec<ArcId>) -> NodeStep<VertexId> {
+        let incremental = self.incremental;
         let stats = &mut self.stats;
         let search = self
             .search
@@ -629,6 +681,73 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             .expect("prepare() runs before the search");
         if search.missing == 0 {
             return NodeStep::Complete;
+        }
+        if incremental {
+            // Incremental fast path: a missing terminal reached over the
+            // unique-in-arc skeleton has exactly one valid path (every
+            // path to it must end with the forced chain from its first
+            // V(T) vertex), so an all-reached node has a unique
+            // completion — T plus the recorded chains — and no Lemma-35
+            // sweep or contraction runs. Reach here is sufficient, not
+            // necessary: an unreached node falls back to the exact
+            // analysis, which may still conclude Unique.
+            stats.work += search.terminals.len() as u64;
+            let span = &mut search.span;
+            let in_tree = &search.in_tree;
+            let terminals = &search.terminals;
+            out.extend_from_slice(&search.tree_arcs);
+            let all_forced = span.collect_all_forced(
+                terminals,
+                |v| in_tree[v.index()],
+                |a| out.push(ArcId::new(a as usize)),
+            );
+            if all_forced {
+                stats.classify_incremental += 1;
+                stats.work += out.len() as u64;
+                #[cfg(debug_assertions)]
+                {
+                    // Cross-check against the fresh contraction +
+                    // Lemma-35 analysis: it must also conclude Unique,
+                    // with the same arc set.
+                    let mut dummy = 0u64;
+                    search.con.rebuild(&search.csr, &search.in_tree);
+                    let verdict = analyze(
+                        &search.con,
+                        &search.terminals,
+                        &search.in_tree,
+                        &mut search.ana,
+                        &mut dummy,
+                    );
+                    debug_assert!(
+                        matches!(verdict, NodeAnalysis::Unique),
+                        "incremental Unique verdict disagrees with the Lemma-35 sweep"
+                    );
+                    let mut got = out.clone();
+                    got.sort_unstable();
+                    let mut want: Vec<ArcId> = search
+                        .tree_arcs
+                        .iter()
+                        .copied()
+                        .chain(
+                            search
+                                .ana
+                                .tstar_arcs
+                                .iter()
+                                .map(|a| search.con.orig_arc[a.index()]),
+                        )
+                        .collect();
+                    want.sort_unstable();
+                    debug_assert_eq!(
+                        got, want,
+                        "incremental unique completion differs from T + T*"
+                    );
+                }
+                return NodeStep::Unique;
+            }
+            out.clear();
+            stats.classify_rebuilds += 1;
+        } else {
+            stats.classify_rebuilds += 1;
         }
         search.con.rebuild(&search.csr, &search.in_tree);
         stats.work += (search.csr.num_vertices() + search.csr.num_arcs()) as u64;
@@ -669,7 +788,29 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
                 usage.allocs - search.baseline_allocs,
                 usage.bytes,
             ));
+            self.stats.note_connectivity(search.span.repair_stats());
         }
+    }
+
+    fn record_root_child(&self) -> Option<RootChildRecord<ArcId>> {
+        let search = self.search.as_ref()?;
+        Some(RootChildRecord {
+            vertices: search.tree_vertices.clone(),
+            items: search.tree_arcs.clone(),
+            meta: 0,
+        })
+    }
+
+    fn replay_root_child(
+        &mut self,
+        record: &RootChildRecord<ArcId>,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.stats.work += (self.d.num_vertices() + self.d.num_arcs()) as u64;
+        self.descend(&record.vertices, &record.items);
+        let flow = child(self);
+        self.retract_frame();
+        flow
     }
 
     fn branch(
@@ -721,30 +862,9 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             &mut |p| {
                 children += 1;
                 self.stats.work += per_child;
-                let search = self.search.as_mut().expect("search state");
-                // Extend T.
-                for &v in &p.vertices[1..] {
-                    debug_assert!(!search.in_tree[v.index()]);
-                    search.in_tree[v.index()] = true;
-                    search.tree_vertices.push(v);
-                    if search.is_terminal[v.index()] {
-                        search.missing -= 1;
-                    }
-                }
-                let added = p.vertices.len() - 1;
-                let arc_base = search.tree_arcs.len();
-                search.tree_arcs.extend_from_slice(p.arcs);
+                self.descend(p.vertices, p.arcs);
                 let f = child(self);
-                // Retract.
-                let search = self.search.as_mut().expect("search state");
-                search.tree_arcs.truncate(arc_base);
-                for _ in 0..added {
-                    let v = search.tree_vertices.pop().expect("tree vertex stack");
-                    search.in_tree[v.index()] = false;
-                    if search.is_terminal[v.index()] {
-                        search.missing += 1;
-                    }
-                }
+                self.retract_frame();
                 if f.is_break() {
                     flow = ControlFlow::Break(());
                 }
@@ -759,6 +879,47 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             "Lemma 35 witness guarantees two valid paths"
         );
         (children, flow)
+    }
+}
+
+impl DirectedSteinerTree<'_> {
+    /// The descend half of the branch protocol: extends the directed
+    /// partial tree by one valid path (`path_vertices[0]` is already in
+    /// `V(T)`), attaches the new vertices to the forced-arc skeleton, and
+    /// pushes the combined typed frame. Shared by locally generated and
+    /// replayed root children.
+    fn descend(&mut self, path_vertices: &[VertexId], path_arcs: &[ArcId]) {
+        let search = self.search.as_mut().expect("search state");
+        let frame = DirFrame {
+            added: path_vertices.len() - 1,
+            arc_base: search.tree_arcs.len(),
+            span: search.span.mark(),
+        };
+        for &v in &path_vertices[1..] {
+            debug_assert!(!search.in_tree[v.index()]);
+            search.in_tree[v.index()] = true;
+            search.tree_vertices.push(v);
+            if search.is_terminal[v.index()] {
+                search.missing -= 1;
+            }
+        }
+        search.tree_arcs.extend_from_slice(path_arcs);
+        search.frames.push(frame);
+    }
+
+    /// The undo half: pops the innermost frame and restores every layer.
+    fn retract_frame(&mut self) {
+        let search = self.search.as_mut().expect("search state");
+        let frame = search.frames.pop();
+        search.span.undo_to(frame.span);
+        search.tree_arcs.truncate(frame.arc_base);
+        for _ in 0..frame.added {
+            let v = search.tree_vertices.pop().expect("tree vertex stack");
+            search.in_tree[v.index()] = false;
+            if search.is_terminal[v.index()] {
+                search.missing += 1;
+            }
+        }
     }
 }
 

@@ -16,17 +16,18 @@
 //! contains the unique minimal completion, which is extracted with the
 //! LCA-based marking procedure in linear time.
 
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
-use crate::trail::ScratchUsage;
+use crate::trail::{FrameLog, ScratchUsage};
 use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
-use steiner_graph::bridges::{bridges_csr_into, BridgeScratch};
+use steiner_graph::bridges::{bridges, bridges_csr_into, BridgeScratch};
 use steiner_graph::connectivity::all_in_one_component;
 use steiner_graph::csr::{grow, IncidenceCsr};
+use steiner_graph::spanning::{DynamicSpanning, SpanMark};
 use steiner_graph::union_find::UnionFind;
 use steiner_graph::{CsrDigraph, CsrUndirected, EdgeId, UndirectedGraph, VertexId};
 use steiner_paths::enumerate::{enumerate_paths_view, EnumerateOptions, PathScratch};
@@ -70,6 +71,15 @@ pub struct SteinerForest<'g> {
     stats: EnumStats,
     search: Option<ForestSearch>,
     level_cache_cap: Option<usize>,
+    incremental: bool,
+}
+
+/// The typed checkpoint frame of one descent: forest-edge stack length,
+/// union–find snapshot, and the connectivity layer's mark.
+struct ForestFrame {
+    base: usize,
+    uf: usize,
+    span: SpanMark,
 }
 
 /// Mutable search state installed by `prepare`. All hot-path buffers are
@@ -83,11 +93,34 @@ struct ForestSearch {
     pending: Option<(VertexId, VertexId)>,
     /// Flat CSR of the original graph (built once).
     gcsr: CsrUndirected,
-    /// Dense-id assignment per union–find representative (per classify).
+    /// Dense-id assignment per union–find representative (per branch).
     rep_id: Vec<u32>,
-    /// Bridge-contracted connectivity `G″ = G′/B` (per classify).
+    /// Bridge-contracted connectivity `G″ = G′/B` (rebuild path only).
     uf2: UnionFind,
     bridge: BridgeScratch,
+    /// Bridges of `G`, computed once. The bridges of the contracted
+    /// multigraph `G/E(F)` are **exactly these edges minus the ones
+    /// `E(F)` turns into self-loops**: contraction can neither create a
+    /// bridge (a cycle's image stays a closed walk through every
+    /// surviving cycle edge) nor destroy one (the two sides of a bridge
+    /// of `G` cannot be joined by `F`-paths, which avoid the bridge). So
+    /// Lemma 24's per-node `G″ = G/E(F)/B` connectivity is maintainable
+    /// incrementally from static state.
+    gbridge: Vec<bool>,
+    /// The ids of `gbridge`, ascending — the order the contracted graph
+    /// presents its bridges in, so the incremental `F + B` assembly is
+    /// byte-identical to the rebuild path's.
+    bridge_ids: Vec<EdgeId>,
+    /// Incremental component labels of `G″`: the bridges of `G` are
+    /// contracted once in `prepare`, forest-edge deltas are contracted on
+    /// descent and rolled back on backtrack.
+    span: DynamicSpanning,
+    /// Typed checkpoint frames of the active descent (LIFO).
+    frames: FrameLog<ForestFrame>,
+    /// Whether `pool[depth]` already holds the contraction for the
+    /// pending branch (the rebuild path computes it in `classify`, the
+    /// incremental path defers it to `branch`).
+    contraction_ready: bool,
     uc: UniqueCompletionScratch,
     /// Per-branch-depth contraction + path-enumeration scratch.
     pool: Vec<ForestDepthScratch>,
@@ -110,6 +143,8 @@ struct ForestDepthScratch {
     cg: CsrUndirected,
     doubled: CsrDigraph,
     path: PathScratch,
+    /// Original-edge buffer for one child's path (descend input).
+    edges: Vec<EdgeId>,
     allocs: u64,
 }
 
@@ -127,6 +162,9 @@ impl ForestDepthScratch {
         self.doubled.preallocate(n, 2 * m);
         self.path
             .preallocate_capped(n + 2, 2 * m + 2, level_cache_cap);
+        if self.edges.capacity() < n + 1 {
+            self.edges.reserve(n + 1 - self.edges.capacity());
+        }
         self.allocs = 0;
     }
 
@@ -140,7 +178,8 @@ impl ForestDepthScratch {
                 + self.doubled.capacity_bytes()
                 + self.path.capacity_bytes()
                 + (self.endpoints_buf.capacity() * std::mem::size_of::<(VertexId, VertexId)>()
-                    + self.orig_edge.capacity() * std::mem::size_of::<EdgeId>()
+                    + (self.orig_edge.capacity() + self.edges.capacity())
+                        * std::mem::size_of::<EdgeId>()
                     + self.vertex_map.capacity() * std::mem::size_of::<VertexId>())
                     as u64,
         )
@@ -290,13 +329,95 @@ impl ForestSearch {
     fn usage(&self) -> ScratchUsage {
         let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
         ScratchUsage::new(
-            self.gcsr.alloc_events() + self.bridge.alloc_events(),
+            self.gcsr.alloc_events() + self.bridge.alloc_events() + self.span.alloc_events(),
             self.gcsr.capacity_bytes()
                 + self.bridge.capacity_bytes()
-                + (self.rep_id.capacity() * std::mem::size_of::<u32>()) as u64,
+                + self.span.capacity_bytes()
+                + (self.rep_id.capacity() * std::mem::size_of::<u32>()
+                    + self.gbridge.capacity() * std::mem::size_of::<bool>()
+                    + self.bridge_ids.capacity() * std::mem::size_of::<EdgeId>())
+                    as u64,
         ) + self.uc.usage()
+            + self.frames.usage()
             + pool
             + ScratchUsage::new(self.extra_allocs, 0)
+    }
+
+    /// Builds `G′ = G/E(F)` into `pool[depth]` from the union–find
+    /// partition (dense ids in first-member order), returning the
+    /// contracted vertex count. Moved here from the per-node classify:
+    /// the incremental path only pays it per *branch*.
+    fn build_contraction(&mut self, depth: usize) -> usize {
+        let n = self.gcsr.num_vertices();
+        self.rep_id.clear();
+        self.rep_id.resize(n, u32::MAX);
+        let ds = &mut self.pool[depth];
+        ds.vertex_map.clear();
+        let mut count = 0u32;
+        for v in 0..n {
+            let rep = self.uf.find(VertexId::new(v));
+            if self.rep_id[rep.index()] == u32::MAX {
+                self.rep_id[rep.index()] = count;
+                count += 1;
+            }
+            ds.vertex_map.push(VertexId(self.rep_id[rep.index()]));
+        }
+        let cn = count as usize;
+        // Rebuild the contraction in place (classes are in vertex_map
+        // already, so rebuild_contraction reuses it verbatim).
+        let classes = std::mem::take(&mut ds.vertex_map);
+        ds.rebuild_contraction(&self.gcsr, &classes, cn);
+        ds.vertex_map = classes;
+        cn
+    }
+
+    /// Grows the per-depth pool on demand (the recursion outran the
+    /// preallocation).
+    fn ensure_depth(&mut self, depth: usize, level_cache_cap: usize) {
+        if self.pool.len() <= depth {
+            self.extra_allocs += 1;
+            let mut fresh = ForestDepthScratch::default();
+            fresh.preallocate(
+                self.gcsr.num_vertices(),
+                self.gcsr.num_edges(),
+                level_cache_cap,
+            );
+            self.pool.push(fresh);
+        }
+    }
+
+    /// Debug cross-check of the static-bridge theorem: the bridges of the
+    /// contracted multigraph `G/E(F)` (computed fresh) must be exactly
+    /// the static bridges of `G` minus self-loops, and the incremental
+    /// `G″` labels must agree with the fresh `uf2` on every pair.
+    #[cfg(debug_assertions)]
+    fn debug_check_bridge_contraction(&mut self, depth: usize) {
+        let cn = self.build_contraction(depth);
+        let ds = &self.pool[depth];
+        bridges_csr_into(&ds.cg, None, &mut self.bridge);
+        for i in 0..ds.cg.num_edges() {
+            debug_assert_eq!(
+                self.bridge.is_bridge[i],
+                self.gbridge[ds.orig_edge[i].index()],
+                "bridge of G/E(F) disagrees with the static bridge of G (edge {:?})",
+                ds.orig_edge[i]
+            );
+        }
+        self.uf2.reset(cn);
+        for i in 0..ds.cg.num_edges() {
+            if self.bridge.is_bridge[i] {
+                let (u, v) = ds.cg.endpoints(EdgeId::new(i));
+                self.uf2.union(u, v);
+            }
+        }
+        for &(w, w2) in &self.pairs {
+            debug_assert_eq!(
+                self.uf2
+                    .same(ds.vertex_map[w.index()], ds.vertex_map[w2.index()]),
+                self.span.connected(w, w2),
+                "incremental G″ labels disagree with the fresh pass for {w:?},{w2:?}"
+            );
+        }
     }
 }
 
@@ -309,6 +430,7 @@ impl<'g> SteinerForest<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -320,6 +442,7 @@ impl<'g> SteinerForest<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -332,7 +455,44 @@ impl<'g> SteinerForest<'g> {
             stats: self.stats,
             search: self.search,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         }
+    }
+}
+
+impl SteinerForest<'_> {
+    /// The descend half of the branch protocol: appends one valid path's
+    /// original edges to `F`, joins them in the rollback union–find and
+    /// (incrementally) in the G″ contract-delta layer, and pushes the
+    /// combined typed frame. Shared by locally generated children and
+    /// replayed root children.
+    fn descend_edges(&mut self, edges: &[EdgeId]) {
+        let incremental = self.incremental;
+        let search = self.search.as_mut().expect("search state");
+        let frame = ForestFrame {
+            base: search.forest_edges.len(),
+            uf: search.uf.snapshot(),
+            span: search.span.mark(),
+        };
+        for &e in edges {
+            let (u, v) = search.gcsr.endpoints(e);
+            let joined = search.uf.union(u, v);
+            debug_assert!(joined, "a valid path never closes a cycle in F");
+            if incremental {
+                search.span.contract(u, v);
+            }
+            search.forest_edges.push(e);
+        }
+        search.frames.push(frame);
+    }
+
+    /// The undo half: pops the innermost frame and restores every layer.
+    fn retract_frame(&mut self) {
+        let search = self.search.as_mut().expect("search state");
+        let frame = search.frames.pop();
+        search.forest_edges.truncate(frame.base);
+        search.uf.rollback(frame.uf);
+        search.span.undo_to(frame.span);
     }
 }
 
@@ -483,11 +643,16 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         })
     }
 
     fn set_level_cache_cap(&mut self, cap: usize) {
         self.level_cache_cap = Some(cap.max(1));
+    }
+
+    fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -541,6 +706,25 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         uf2.reserve_history(m + 1);
         let mut bridge = BridgeScratch::default();
         bridge.preallocate(n, m);
+        // The static bridges of G and the incremental G″ labels: the
+        // bridges are contracted once here, forest-edge deltas join in on
+        // descent (see the `gbridge` field docs for why this is exact).
+        let gbridge = bridges(g, None);
+        self.stats.preprocessing_work += (n + m) as u64;
+        let bridge_ids: Vec<EdgeId> = (0..m)
+            .map(EdgeId::new)
+            .filter(|e| gbridge[e.index()])
+            .collect();
+        let mut span = DynamicSpanning::new();
+        span.preallocate(n, 0);
+        span.begin_skeleton(n);
+        span.finish_skeleton();
+        for &e in &bridge_ids {
+            let (u, v) = gcsr.endpoints(e);
+            span.contract(u, v);
+        }
+        let mut frames = FrameLog::new();
+        frames.preallocate(pairs.len() + 2);
         let mut uc = UniqueCompletionScratch::default();
         uc.preallocate(n, m, &pairs);
         let level_cache_cap = self
@@ -561,6 +745,11 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             rep_id: Vec::with_capacity(n),
             uf2,
             bridge,
+            gbridge,
+            bridge_ids,
+            span,
+            frames,
+            contraction_ready: false,
             uc,
             pool,
             depth: 0,
@@ -586,6 +775,7 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
     }
 
     fn classify(&mut self, out: &mut Vec<EdgeId>) -> NodeStep<(VertexId, VertexId)> {
+        let incremental = self.incremental;
         let stats = &mut self.stats;
         let search = self
             .search
@@ -597,35 +787,65 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             return NodeStep::Complete;
         }
         let n = search.gcsr.num_vertices();
-        // G′ = G/E(F): contracted classes come straight from the search's
-        // union–find (it records exactly the forest-edge unions); dense
-        // ids are assigned in first-member order, as before.
-        search.rep_id.clear();
-        search.rep_id.resize(n, u32::MAX);
         let depth = search.depth;
-        if search.pool.len() <= depth {
-            search.extra_allocs += 1;
-            let mut fresh = ForestDepthScratch::default();
-            fresh.preallocate(n, search.gcsr.num_edges(), search.level_cache_cap);
-            search.pool.push(fresh);
+        let level_cache_cap = search.level_cache_cap;
+        search.ensure_depth(depth, level_cache_cap);
+        if incremental {
+            // Fully incremental classification: F-connectivity comes from
+            // the rollback union–find and Lemma 24's G″ = G/E(F)/B labels
+            // from the contract-delta layer (bridges of G/E(F) ≡ static
+            // bridges of G minus self-loops — see the `gbridge` docs), so
+            // no contraction or bridge pass runs here at all. O(#pairs).
+            stats.classify_incremental += 1;
+            #[cfg(debug_assertions)]
+            search.debug_check_bridge_contraction(depth);
+            let uf = &search.uf;
+            let span = &search.span;
+            let branch = search
+                .pairs
+                .iter()
+                .copied()
+                .find(|&(w, w2)| !uf.same(w, w2) && !span.connected(w, w2));
+            return match branch {
+                Some(pair) => {
+                    search.pending = Some(pair);
+                    // `branch` builds G/E(F) itself — only internal nodes
+                    // pay for the contraction now.
+                    search.contraction_ready = false;
+                    NodeStep::Branch(pair)
+                }
+                None => {
+                    // Every remaining pair goes through bridges only:
+                    // unique completion inside F + B, with the live
+                    // bridges read off the static list (an edge of B is a
+                    // self-loop of G/E(F) iff F already connects its
+                    // endpoints).
+                    search.uc.fb.clear();
+                    search.uc.fb.extend_from_slice(&search.forest_edges);
+                    for &e in &search.bridge_ids {
+                        let (u, v) = search.gcsr.endpoints(e);
+                        if !search.uf.same(u, v) {
+                            search.uc.fb.push(e);
+                        }
+                    }
+                    stats.work += search.bridge_ids.len() as u64;
+                    unique_completion_csr(
+                        &search.gcsr,
+                        &search.pairs,
+                        &mut search.uc,
+                        out,
+                        &mut stats.work,
+                    );
+                    NodeStep::Unique
+                }
+            };
         }
+        // Rebuild path (incremental classification disabled): the
+        // pre-incremental engine, kept byte-identical as the conformance
+        // reference — per-node contraction, bridge pass, and fresh G″.
+        stats.classify_rebuilds += 1;
+        let cn = search.build_contraction(depth);
         let ds = &mut search.pool[depth];
-        ds.vertex_map.clear();
-        let mut count = 0u32;
-        for v in 0..n {
-            let rep = search.uf.find(VertexId::new(v));
-            if search.rep_id[rep.index()] == u32::MAX {
-                search.rep_id[rep.index()] = count;
-                count += 1;
-            }
-            ds.vertex_map.push(VertexId(search.rep_id[rep.index()]));
-        }
-        let cn = count as usize;
-        // Rebuild the contraction in place (classes are in vertex_map
-        // already, so rebuild_contraction reuses it verbatim).
-        let classes = std::mem::take(&mut ds.vertex_map);
-        ds.rebuild_contraction(&search.gcsr, &classes, cn);
-        ds.vertex_map = classes;
         // Bridges of the multigraph G′; G″ = G′/B.
         bridges_csr_into(&ds.cg, None, &mut search.bridge);
         stats.work += 2 * (n + search.gcsr.num_edges()) as u64;
@@ -647,6 +867,7 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         match branch {
             Some(pair) => {
                 search.pending = Some(pair);
+                search.contraction_ready = true;
                 NodeStep::Branch(pair)
             }
             None => {
@@ -686,7 +907,29 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
                 usage.allocs - search.baseline_allocs,
                 usage.bytes,
             ));
+            self.stats.note_connectivity(search.span.repair_stats());
         }
+    }
+
+    fn record_root_child(&self) -> Option<RootChildRecord<EdgeId>> {
+        let search = self.search.as_ref()?;
+        Some(RootChildRecord {
+            vertices: Vec::new(),
+            items: search.forest_edges.clone(),
+            meta: 0,
+        })
+    }
+
+    fn replay_root_child(
+        &mut self,
+        record: &RootChildRecord<EdgeId>,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;
+        self.descend_edges(&record.items);
+        let flow = child(self);
+        self.retract_frame();
+        flow
     }
 
     fn branch(
@@ -695,9 +938,10 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> (u64, ControlFlow<()>) {
         let per_child = (self.g.num_vertices() + self.g.num_edges()) as u64;
-        // Take this depth's scratch — it holds the contraction classify
-        // just built — so the enumeration can borrow it while the sink
-        // mutates `self` (children rebuild deeper pool entries).
+        // Take this depth's scratch — holding the contraction, built here
+        // on the incremental path (only internal nodes pay for it) or by
+        // `classify` on the rebuild path — so the enumeration can borrow
+        // it while the sink mutates `self`.
         let (mut ds, depth) = {
             let search = self
                 .search
@@ -709,6 +953,11 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
                 .expect("classify() stashes the branch pair");
             debug_assert_eq!(pending, pair, "branch target matches the classified pair");
             let depth = search.depth;
+            if !search.contraction_ready {
+                let _cn = search.build_contraction(depth);
+                self.stats.work += (search.gcsr.num_vertices() + search.gcsr.num_edges()) as u64;
+            }
+            search.contraction_ready = false;
             search.depth = depth + 1;
             (std::mem::take(&mut search.pool[depth]), depth)
         };
@@ -722,6 +971,7 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             doubled,
             path,
             orig_edge,
+            edges,
             ..
         } = &mut ds;
         let _pstats = enumerate_paths_view(
@@ -734,21 +984,12 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             &mut |p| {
                 children += 1;
                 self.stats.work += per_child;
-                let search = self.search.as_mut().expect("search state");
-                let snap = search.uf.snapshot();
-                let base = search.forest_edges.len();
-                for &a in p.arcs {
-                    // Doubled arc → contracted edge → original edge.
-                    let e = orig_edge[a.index() / 2];
-                    let (u, v) = search.gcsr.endpoints(e);
-                    let joined = search.uf.union(u, v);
-                    debug_assert!(joined, "a valid path never closes a cycle in F");
-                    search.forest_edges.push(e);
-                }
+                // Doubled arc → contracted edge → original edge.
+                edges.clear();
+                edges.extend(p.arcs.iter().map(|a| orig_edge[a.index() / 2]));
+                self.descend_edges(edges);
                 let f = child(self);
-                let search = self.search.as_mut().expect("search state");
-                search.forest_edges.truncate(base);
-                search.uf.rollback(snap);
+                self.retract_frame();
                 if f.is_break() {
                     flow = ControlFlow::Break(());
                 }

@@ -25,20 +25,22 @@
 //! The free functions at the bottom are the pre-`Enumeration` entry
 //! points, kept as deprecated shims.
 
-use crate::partial::PartialTree;
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
+use crate::partial::{Extension, PartialTree};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
-use crate::trail::{ScratchUsage, Trail};
+use crate::trail::{FrameLog, ScratchUsage, Trail, TrailMark};
 use std::borrow::Cow;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 use steiner_graph::bridges::bridges;
 use steiner_graph::connectivity::all_in_one_component;
 use steiner_graph::csr::IncidenceCsr;
-use steiner_graph::spanning::{grow_spanning_tree_csr, prune_leaves_csr, CompletionScratch};
+use steiner_graph::spanning::{
+    grow_spanning_tree_csr, prune_leaves_csr, CompletionScratch, DynamicSpanning, SpanMark,
+};
 use steiner_graph::{CsrDigraph, CsrUndirected, EdgeId, UndirectedGraph, VertexId};
 use steiner_paths::enumerate::{EnumerateOptions, PathScratch};
 use steiner_paths::stsets::enumerate_source_set_paths_csr;
@@ -63,6 +65,16 @@ pub struct SteinerTree<'g> {
     stats: EnumStats,
     search: Option<TreeSearch>,
     level_cache_cap: Option<usize>,
+    incremental: bool,
+}
+
+/// The typed checkpoint frame of one descent: partial-tree extension,
+/// edge-mask trail mark, and the connectivity layer's mark, restored
+/// together on backtrack.
+struct TreeFrame {
+    ext: Extension,
+    trail: TrailMark,
+    span: SpanMark,
 }
 
 /// Mutable search state installed by `prepare`. Everything the hot path
@@ -75,6 +87,15 @@ struct TreeSearch {
     trail: Trail,
     /// Bridges of `G`, precomputed once (Lemma 16 is a property of `G`).
     bridge: Vec<bool>,
+    /// Incremental connectivity over the bridge skeleton of `G`: a
+    /// terminal with a skeleton path to `V(T)` (queried with the
+    /// trail-backed `in_tree` mask as the source oracle) has a **unique**
+    /// valid path (Lemma 16), so a node whose missing terminals are all
+    /// forced is a Unique leaf — classified without a spanning-growth
+    /// pass.
+    span: DynamicSpanning,
+    /// Typed checkpoint frames of the active descent (LIFO).
+    frames: FrameLog<TreeFrame>,
     /// Flat CSR view of `G` (built once).
     csr: CsrUndirected,
     /// Doubled CSR digraph of `G` for `V(T)`-`w` path enumeration (built
@@ -172,6 +193,7 @@ impl TreeSearch {
     fn usage(&self) -> ScratchUsage {
         let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
         self.trail.usage()
+            + self.frames.usage()
             + ScratchUsage::new(
                 self.csr.alloc_events() + self.doubled.alloc_events(),
                 self.csr.capacity_bytes() + self.doubled.capacity_bytes(),
@@ -180,6 +202,7 @@ impl TreeSearch {
                 self.completion.alloc_events(),
                 self.completion.capacity_bytes(),
             )
+            + ScratchUsage::new(self.span.alloc_events(), self.span.capacity_bytes())
             + self.beyond.usage()
             + pool
             + ScratchUsage::new(self.extra_allocs, 0)
@@ -197,6 +220,7 @@ impl<'g> SteinerTree<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -208,6 +232,7 @@ impl<'g> SteinerTree<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -220,6 +245,7 @@ impl<'g> SteinerTree<'g> {
             stats: self.stats,
             search: self.search,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         }
     }
 }
@@ -243,11 +269,16 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         })
     }
 
     fn set_level_cache_cap(&mut self, cap: usize) {
         self.level_cache_cap = Some(cap.max(1));
+    }
+
+    fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -289,6 +320,21 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         beyond.preallocate(n, m);
         let mut trail = Trail::new();
         trail.preallocate(2 * n + 2);
+        // The forced-edge skeleton: the bridges of G, attached from V(T)
+        // as the search grows the partial tree. Built once; the root seed
+        // is attached here so the root node already reads component state.
+        let mut span = DynamicSpanning::new();
+        span.preallocate(n, 2 * m);
+        span.begin_skeleton(n);
+        for e in g.edges() {
+            if bridge[e.index()] {
+                let (u, v) = g.endpoints(e);
+                span.add_edge(u, v, e.index() as u32);
+            }
+        }
+        span.finish_skeleton();
+        let mut frames = FrameLog::new();
+        frames.preallocate(self.terminals.len() + 2);
         let level_cache_cap = self
             .level_cache_cap
             .unwrap_or(steiner_paths::enumerate::DEFAULT_LEVEL_CACHE_CAP);
@@ -303,6 +349,8 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             edge_in_t: vec![false; m],
             trail,
             bridge,
+            span,
+            frames,
             csr,
             doubled,
             completion,
@@ -331,13 +379,78 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
     }
 
     fn classify(&mut self, out: &mut Vec<EdgeId>) -> NodeStep<VertexId> {
+        let incremental = self.incremental;
         let stats = &mut self.stats;
+        let terminals = &self.terminals;
         let search = self
             .search
             .as_mut()
             .expect("prepare() runs before the search");
         if search.t.complete() {
             return NodeStep::Complete;
+        }
+        if incremental {
+            // Incremental fast path: a missing terminal reached over the
+            // bridge skeleton has a *unique* valid path (Lemma 16 — an
+            // all-bridge V(T)-w path is the only one), so if every
+            // missing terminal is reached the completion is unique and
+            // its edges are exactly the recorded forced paths. No
+            // spanning-growth pass, O(|W| + |answer|).
+            stats.work += terminals.len() as u64;
+            let span = &mut search.span;
+            let in_tree = &search.t.in_tree;
+            out.extend_from_slice(&search.t.edges);
+            let all_forced = span.collect_all_forced(
+                terminals,
+                |v| in_tree[v.index()],
+                |e| out.push(EdgeId::new(e as usize)),
+            );
+            if all_forced {
+                stats.classify_incremental += 1;
+                stats.work += out.len() as u64;
+                #[cfg(debug_assertions)]
+                {
+                    // Cross-check the incremental verdict against a fresh
+                    // spanning-growth pass: the grown-and-pruned T′ must
+                    // carry no non-bridge extension edge and equal the
+                    // collected completion as a set.
+                    grow_spanning_tree_csr(
+                        &search.csr,
+                        &search.t.vertices,
+                        &search.t.edges,
+                        None,
+                        &mut search.completion,
+                    );
+                    let is_terminal = &search.t.is_terminal;
+                    let in_tree = &search.t.in_tree;
+                    prune_leaves_csr(
+                        &search.csr,
+                        |v| is_terminal[v.index()] || in_tree[v.index()],
+                        &mut search.completion,
+                    );
+                    debug_assert!(
+                        search
+                            .completion
+                            .edges
+                            .iter()
+                            .all(|e| search.edge_in_t[e.index()] || search.bridge[e.index()]),
+                        "incremental Unique verdict disagrees with the fresh pass"
+                    );
+                    let mut got = out.clone();
+                    got.sort_unstable();
+                    let mut want = search.completion.edges.clone();
+                    want.sort_unstable();
+                    debug_assert_eq!(got, want, "incremental unique completion differs from T′");
+                }
+                return NodeStep::Unique;
+            }
+            // Some terminal has ≥ 2 valid paths: the node branches, and
+            // reproducing the seed engine's branch target requires its
+            // completion-order scan — fall through to the full pass.
+            out.clear();
+            stats.classify_rebuilds += 1;
+        } else {
+            stats.classify_rebuilds += 1;
         }
         // Minimal completion T' ⊇ T: spanning tree + Proposition 3 pruning,
         // in the preallocated completion scratch.
@@ -395,7 +508,29 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
                 usage.allocs - search.baseline_allocs,
                 usage.bytes,
             ));
+            self.stats.note_connectivity(search.span.repair_stats());
         }
+    }
+
+    fn record_root_child(&self) -> Option<RootChildRecord<EdgeId>> {
+        let search = self.search.as_ref()?;
+        Some(RootChildRecord {
+            vertices: search.t.vertices.clone(),
+            items: search.t.edges.clone(),
+            meta: 0,
+        })
+    }
+
+    fn replay_root_child(
+        &mut self,
+        record: &RootChildRecord<EdgeId>,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;
+        self.descend(&record.vertices, &record.items);
+        let flow = child(self);
+        self.retract_frame();
+        flow
     }
 
     fn branch(
@@ -456,16 +591,9 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
                 self.stats.work += per_child;
                 edges.clear();
                 edges.extend(p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)));
-                let search = self.search.as_mut().expect("search state");
-                let ext = search.t.extend_path(p.vertices, edges);
-                let mark = search.trail.mark();
-                for &e in edges.iter() {
-                    search.trail.set(&mut search.edge_in_t, e.index());
-                }
+                self.descend(p.vertices, edges);
                 let f = child(self);
-                let search = self.search.as_mut().expect("search state");
-                search.trail.undo_to(&mut search.edge_in_t, mark);
-                search.t.retract(ext);
+                self.retract_frame();
                 if f.is_break() {
                     flow = ControlFlow::Break(());
                 }
@@ -480,6 +608,37 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             "improved enumeration tree: internal nodes have ≥ 2 children"
         );
         (children, flow)
+    }
+}
+
+impl SteinerTree<'_> {
+    /// The descend half of the branch protocol: extends the partial tree
+    /// by one valid path, records the edge-mask mutations on the trail,
+    /// applies the connectivity attach deltas, and pushes the combined
+    /// typed frame. Shared verbatim by locally generated children
+    /// (`branch`) and replayed root children, which is what keeps the two
+    /// paths byte-identical.
+    fn descend(&mut self, path_vertices: &[VertexId], path_edges: &[EdgeId]) {
+        let search = self.search.as_mut().expect("search state");
+        let ext = search.t.extend_path(path_vertices, path_edges);
+        let trail = search.trail.mark();
+        for &e in path_edges {
+            search.trail.set(&mut search.edge_in_t, e.index());
+        }
+        // The partial-tree mask updated above doubles as the
+        // connectivity layer's source oracle, so the descent itself
+        // costs the incremental layer nothing.
+        let span = search.span.mark();
+        search.frames.push(TreeFrame { ext, trail, span });
+    }
+
+    /// The undo half: pops the innermost frame and restores every layer.
+    fn retract_frame(&mut self) {
+        let search = self.search.as_mut().expect("search state");
+        let frame = search.frames.pop();
+        search.span.undo_to(frame.span);
+        search.trail.undo_to(&mut search.edge_in_t, frame.trail);
+        search.t.retract(frame.ext);
     }
 }
 

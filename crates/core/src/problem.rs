@@ -146,6 +146,28 @@ impl RootShard {
     }
 }
 
+/// A replayable record of one root-branch child: the delta its descent
+/// applies to a freshly prepared instance.
+///
+/// Produced by [`MinimalSteinerProblem::record_root_child`] on a recording
+/// pass over the root node and consumed by
+/// [`MinimalSteinerProblem::replay_root_child`] inside shard workers — the
+/// sharded front-end records the root's child generation **once** and
+/// replays it into each worker, instead of every worker re-enumerating all
+/// root children (O(n + m) per child per worker) only to descend into its
+/// own residue class.
+#[derive(Clone, Debug)]
+pub struct RootChildRecord<Item> {
+    /// Path vertices of the child's extension, in application order
+    /// (empty for problems whose delta is item-only, like forests).
+    pub vertices: Vec<VertexId>,
+    /// Solution items (edges or arcs) the child's extension adds.
+    pub items: Vec<Item>,
+    /// Problem-specific tag — the terminal variant stores the admissible
+    /// component index the child belongs to; other problems leave it 0.
+    pub meta: u64,
+}
+
 /// The per-node analysis of Algorithm 3, as computed by
 /// [`MinimalSteinerProblem::classify`].
 #[derive(Debug, Clone)]
@@ -294,6 +316,56 @@ pub trait MinimalSteinerProblem {
     /// [`crate::cache`] fingerprint helpers.
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
         None
+    }
+
+    /// Enables or disables the **incremental classification** fast paths
+    /// ([`Enumeration::with_incremental`](crate::solver::Enumeration::with_incremental)).
+    ///
+    /// When enabled (the default for the four paper problems), `classify`
+    /// reads trail-backed connectivity state
+    /// ([`steiner_graph::spanning::DynamicSpanning`]) maintained across
+    /// parent/child search-tree nodes instead of re-running a full
+    /// spanning-growth or contraction pass per node; when disabled, every
+    /// non-trivial node recomputes from scratch (the pre-incremental
+    /// engine, kept as the conformance reference). **Both modes must
+    /// deliver byte-identical solution streams** — the incremental layer
+    /// only changes how the same verdicts are computed. Must be called
+    /// before [`Self::prepare`]. The default ignores the hint.
+    fn set_incremental(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Captures the root-branch child currently applied to the search
+    /// state as a replayable [`RootChildRecord`] — called by the sharded
+    /// front-end's recording pass from inside the root `branch` callback.
+    ///
+    /// The default returns `None`, meaning the problem does not support
+    /// root-child replay and every shard worker regenerates the root's
+    /// children itself (the pre-0.5 behavior).
+    fn record_root_child(&self) -> Option<RootChildRecord<Self::Item>> {
+        None
+    }
+
+    /// Applies a recorded root-child delta to a freshly prepared
+    /// instance, invokes `child` on the resulting state, and retracts the
+    /// delta — the worker-side half of the shared root child log. Must
+    /// leave the search state exactly as a locally generated root child
+    /// would (the sharded streams are asserted byte-identical either
+    /// way).
+    ///
+    /// Only called with records produced by
+    /// [`Self::record_root_child`] on an identically prepared instance;
+    /// the default therefore never runs.
+    fn replay_root_child(
+        &mut self,
+        record: &RootChildRecord<Self::Item>,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> ControlFlow<()>
+    where
+        Self: Sized,
+    {
+        let _ = (record, child);
+        unreachable!("replay_root_child requires record_root_child support")
     }
 
     /// Caps the number of per-level path-enumeration BFS caches the

@@ -39,7 +39,9 @@
 
 use crate::cache::{QueryKey, ResultCache};
 use crate::intern::{SolutionId, SolutionSet};
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootShard, SteinerError};
+use crate::problem::{
+    MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, RootShard, SteinerError,
+};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::stats::EnumStats;
 use crossbeam_channel::Sender;
@@ -334,6 +336,40 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         self
     }
 
+    /// Enables or disables **incremental classification** (default: on
+    /// for the four paper problems).
+    ///
+    /// On, `classify` reads trail-backed connectivity state maintained
+    /// across parent/child search-tree nodes
+    /// ([`steiner_graph::spanning::DynamicSpanning`]) and answers
+    /// leaf-certifying queries in O(|W|) instead of re-running a full
+    /// O(n + m) spanning-growth / contraction pass per node; off, every
+    /// non-trivial node recomputes from scratch — the pre-incremental
+    /// engine, kept as the conformance reference. **The delivered stream
+    /// is byte-identical either way** (asserted across all four problems
+    /// and every front-end in `tests/incremental.rs`); the difference is
+    /// visible only in wall-clock time and in
+    /// [`EnumStats::classify_incremental`] /
+    /// [`EnumStats::classify_rebuilds`].
+    ///
+    /// ```
+    /// use steiner_core::{Enumeration, SteinerTree};
+    /// use steiner_graph::{UndirectedGraph, VertexId};
+    ///
+    /// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+    /// let w = [VertexId(0), VertexId(2)];
+    /// let on = Enumeration::new(SteinerTree::new(&g, &w)).collect_vec().unwrap();
+    /// let off = Enumeration::new(SteinerTree::new(&g, &w))
+    ///     .with_incremental(false)
+    ///     .collect_vec()
+    ///     .unwrap();
+    /// assert_eq!(on, off);
+    /// ```
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.problem.set_incremental(on);
+        self
+    }
+
     /// Caps the per-level path-enumeration caches each worker
     /// preallocates in `prepare` — the
     /// [ROADMAP's level-cache memory knob](crate::problem::MinimalSteinerProblem::set_level_cache_cap)
@@ -489,9 +525,17 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         P::Item: Send,
     {
         if let Some(shards) = self.split_shards() {
+            let queue = self.queue_config();
+            // The original instance becomes the recorder: its root branch
+            // runs once here, producing the shared child log the workers
+            // replay instead of each re-generating every root child.
+            let mut original = self.problem;
+            let prepared = original.prepare()?;
+            let root_log = record_root_log(&mut original, prepared, self.limit);
             return run_sharded(
                 shards,
-                self.queue_config(),
+                root_log,
+                queue,
                 self.limit,
                 self.stats_handle.as_ref(),
                 sink,
@@ -630,20 +674,39 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         let shards = self.split_shards();
         let prepared = self.problem.prepare()?;
         let queue = self.queue_config();
-        if let (Some(shards), Prepared::Search) = (shards, &prepared) {
-            // Trivial outcomes (Empty/Single) skip the pool entirely;
-            // a real search hands the prepared original's *instance*
-            // over to the workers, which prepare their own copies.
-            let inner = streaming::Enumeration::spawn(move |send| {
-                let mut recorder = recorder;
-                let stats = run_sharded(shards, queue, limit, None, &mut |items: &[P::Item]| {
-                    deliver_to_iterator(&mut recorder, &interner, items, send)
-                })
-                .expect("shard preparation failed although the original instance prepared");
-                finish_iterator_worker(recorder, keyless_miss, &interner, stats, handle.as_ref());
-            });
-            return Ok(Solutions { inner });
-        }
+        let prepared = match (shards, prepared) {
+            (Some(shards), Prepared::Search) => {
+                // Trivial outcomes (Empty/Single) skip the pool entirely;
+                // a real search hands the prepared original over to the
+                // coordinator thread, which records the shared root child
+                // log once before the workers prepare their own copies.
+                let mut original = self.problem;
+                let inner = streaming::Enumeration::spawn(move |send| {
+                    let root_log = record_root_log(&mut original, Prepared::Search, limit);
+                    let mut recorder = recorder;
+                    let stats = run_sharded(
+                        shards,
+                        root_log,
+                        queue,
+                        limit,
+                        None,
+                        &mut |items: &[P::Item]| {
+                            deliver_to_iterator(&mut recorder, &interner, items, send)
+                        },
+                    )
+                    .expect("shard preparation failed although the original instance prepared");
+                    finish_iterator_worker(
+                        recorder,
+                        keyless_miss,
+                        &interner,
+                        stats,
+                        handle.as_ref(),
+                    );
+                });
+                return Ok(Solutions { inner });
+            }
+            (_, prepared) => prepared,
+        };
         let mut problem = self.problem;
         let inner = steiner_paths::streaming::Enumeration::spawn(move |send| {
             let mut recorder = recorder;
@@ -893,14 +956,99 @@ impl<Item: Copy> SolutionSink<Item> for ShardSink<'_, Item> {
     }
 }
 
+/// Cap on the shared root child log. Root fanout can be exponential in
+/// the instance (every `V(T)`-`w` path is a child), and the workers'
+/// own generation is *lazy* — it stops the moment the merge hangs up —
+/// so an unbounded eager recording could dwarf the run it serves. Past
+/// the cap the recording is abandoned and workers fall back to lazy
+/// local generation; below it (the common case the log exists for:
+/// modest fanout re-generated `k` times at O(n + m) per child), the
+/// one-time recording replaces `k − 1` full generations. The recording
+/// is also a *latency* cost — it runs on the coordinator before the
+/// first worker spawns — so the cap is sized in the same regime as the
+/// output queue's warm-up buffering (≈ n solutions) rather than as
+/// large as memory would allow.
+const ROOT_LOG_MAX_CHILDREN: usize = 256;
+
+/// Builds the **shared root child log** for a sharded run: drives the
+/// (already prepared) original instance's root branch in record-only
+/// mode, capturing each child's descent delta. Workers then replay their
+/// owned children from the log instead of re-enumerating every root
+/// child — the child generation is paid once, not once per worker.
+///
+/// Returns `None` when the root is not a branching search node, the
+/// problem does not support recording, or the fanout exceeds
+/// [`ROOT_LOG_MAX_CHILDREN`]; workers then fall back to local generation
+/// (the delivered stream is byte-identical either way, since replay and
+/// generation share the problems' descend/undo frames).
+fn record_root_log<P: MinimalSteinerProblem>(
+    p: &mut P,
+    prepared: Prepared<P::Item>,
+    limit: Option<u64>,
+) -> Option<Vec<RootChildRecord<P::Item>>> {
+    if !matches!(prepared, Prepared::Search) {
+        return None;
+    }
+    // A delivery limit bounds the useful fanout: the merge interleaves in
+    // global child order and every branch child's subtree emits at least
+    // one solution, so a run capped at `limit` can consume at most its
+    // first `limit` root children. The recording is abandoned (never
+    // truncated — workers cannot resume a branch mid-way) past the
+    // smaller cap, so a tiny limit never pays an eager generation the
+    // lazy worker path would have skipped.
+    let cap = match limit {
+        Some(l) => (l.min(ROOT_LOG_MAX_CHILDREN as u64)) as usize,
+        None => ROOT_LOG_MAX_CHILDREN,
+    };
+    if cap == 0 {
+        return None;
+    }
+    let (n, _) = p.instance_size();
+    let mut scratch: Vec<P::Item> = Vec::with_capacity(n + 1);
+    let at = match p.classify(&mut scratch) {
+        NodeStep::Branch(at) => at,
+        // A Complete/Unique root is trivial per worker; no log needed.
+        _ => return None,
+    };
+    let mut log: Option<Vec<RootChildRecord<P::Item>>> = Some(Vec::new());
+    let (_children, _flow) = p.branch(at, &mut |q| {
+        match (&mut log, q.record_root_child()) {
+            (Some(records), Some(record)) if records.len() < cap => {
+                records.push(record);
+                ControlFlow::Continue(())
+            }
+            (slot, _) => {
+                // Unsupported problem or oversized fanout: abandon the
+                // log and stop generating immediately.
+                *slot = None;
+                ControlFlow::Break(())
+            }
+        }
+    });
+    log
+}
+
+/// The slice of the shared root child log one shard worker owns: its
+/// residue class of the recorded children, tagged with their global
+/// indices (the merge interleaves by global child order).
+struct WorkerRootLog<Item> {
+    /// Total number of recorded root children across all workers.
+    total: u64,
+    /// Owned children in ascending global index order.
+    owned: Vec<(u64, RootChildRecord<Item>)>,
+}
+
 /// One shard worker: prepares its own problem copy and runs the engine's
-/// root node with the shard filter — every root child is still generated
-/// (keeping the deterministic child order), but the worker only descends
-/// into the children it owns, reporting a `ChildDone` boundary after
-/// each. Returns the worker's final statistics.
+/// root node with the shard filter. With a shared `root_log`, the worker
+/// replays only the children it owns (O(delta) each); without one, every
+/// root child is still generated locally (keeping the deterministic
+/// child order) and the worker descends into its residue class,
+/// reporting a `ChildDone` boundary after each owned child. Returns the
+/// worker's final statistics.
 fn run_shard_worker<P: MinimalSteinerProblem>(
     p: &mut P,
     shard: RootShard,
+    root_log: Option<WorkerRootLog<P::Item>>,
     sink: &mut ShardSink<'_, P::Item>,
 ) -> Result<EnumStats, SteinerError> {
     let prepared = match p.prepare() {
@@ -923,6 +1071,39 @@ fn run_shard_worker<P: MinimalSteinerProblem>(
             } else {
                 ControlFlow::Continue(())
             }
+        }
+        Prepared::Search if root_log.is_some() => {
+            // Shared root child log: the root's children were recorded
+            // once by the coordinator, so skip the local classify/branch
+            // and replay exactly the owned residue class.
+            let log = root_log.expect("guarded by the match arm");
+            let (n, _) = p.instance_size();
+            let mut scratch: Vec<P::Item> = Vec::with_capacity(n + 1);
+            let mut flow = ControlFlow::Continue(());
+            for (this, record) in &log.owned {
+                let this = *this;
+                debug_assert!(shard.owns(this), "the coordinator partitions by shard");
+                sink.child = this;
+                let f = p.replay_root_child(record, &mut |q| {
+                    recurse(q, 1, sink, &mut scratch)?;
+                    sink.flush(q.stats().work)?;
+                    let done = ShardMsg::ChildDone {
+                        child: this,
+                        work: q.stats().work,
+                    };
+                    if sink.tx.send(done).is_err() {
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                });
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                    break;
+                }
+            }
+            p.stats_mut().note_node(log.total, 0);
+            children_total = log.total;
+            flow
         }
         Prepared::Search => {
             let (n, _) = p.instance_size();
@@ -1116,6 +1297,7 @@ fn run_merge<Item: Copy>(
 /// the limit/queue sink chain, so the delivered stream is identical.
 fn run_sharded<P>(
     shards: Vec<P>,
+    root_log: Option<Vec<RootChildRecord<P::Item>>>,
     queue: Option<QueueConfig>,
     limit: Option<u64>,
     stats_handle: Option<&StatsHandle>,
@@ -1143,10 +1325,28 @@ where
     // be in flight per worker, which decouples the pool from the merge
     // point without letting workers burn far past an early termination.
     let (txs, rxs) = streaming::shard_channels(k as usize, 8);
+    // Partition the recorded root children into per-worker residue
+    // classes up front: worker i receives exactly the children it owns,
+    // so nothing is re-generated and nothing is duplicated.
+    let mut worker_logs: Vec<Option<WorkerRootLog<P::Item>>> = match root_log {
+        Some(records) => {
+            let total = records.len() as u64;
+            let mut per: Vec<Vec<(u64, RootChildRecord<P::Item>)>> =
+                (0..k).map(|_| Vec::new()).collect();
+            for (i, record) in records.into_iter().enumerate() {
+                per[i % k as usize].push((i as u64, record));
+            }
+            per.into_iter()
+                .map(|owned| Some(WorkerRootLog { total, owned }))
+                .collect()
+        }
+        None => (0..k).map(|_| None).collect(),
+    };
     let outcome = std::thread::scope(|scope| {
         for (i, (mut problem, tx)) in shards.into_iter().zip(txs).enumerate() {
             let error = &error;
             let merged = &merged;
+            let root_log = worker_logs[i].take();
             std::thread::Builder::new()
                 .name(format!("steiner-shard-{i}"))
                 .stack_size(streaming::DEFAULT_STACK_BYTES)
@@ -1165,7 +1365,7 @@ where
                         tick_every,
                         last_tick: 0,
                     };
-                    match run_shard_worker(&mut problem, shard, &mut shard_sink) {
+                    match run_shard_worker(&mut problem, shard, root_log, &mut shard_sink) {
                         Ok(stats) => merged
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())

@@ -70,6 +70,26 @@ pub struct EnumStats {
     /// interner or result cache **after** this run — a gauge, not a
     /// per-run delta (0 when the run used neither).
     pub interned_bytes: u64,
+    /// `classify` calls answered from the incremental connectivity layer
+    /// (trail-backed [`DynamicSpanning`](steiner_graph::spanning::DynamicSpanning)
+    /// reads) instead of a fresh spanning-growth / contraction pass.
+    pub classify_incremental: u64,
+    /// `classify` calls that fell back to a full per-node recomputation
+    /// (spanning growth, contraction rebuild, Lemma-11/35 sweep). The
+    /// incremental engines drive this toward zero on leaf-heavy
+    /// workloads; with incremental classification disabled every
+    /// non-trivial classify counts here.
+    pub classify_rebuilds: u64,
+    /// Vertices explored by the incremental layer's forced-path queries
+    /// (`DynamicSpanning`'s early-exit BFS from a missing terminal
+    /// toward the partial solution) across the run — the O(affected
+    /// component) cost the layer pays instead of the per-node O(n + m)
+    /// passes.
+    pub connectivity_repairs: u64,
+    /// Largest single forced-path query (vertices explored by one BFS)
+    /// — a gauge for the worst-case affected-component size, merged by
+    /// maximum across shards.
+    pub max_repair_span: u64,
     /// Work units at the last emission (internal bookkeeping for the gap).
     last_emission_work: u64,
     /// Whether anything was emitted yet (the first gap counts from zero).
@@ -148,7 +168,22 @@ impl EnumStats {
         self.cache_misses += other.cache_misses;
         // A gauge over a shared arena, not a per-run cost: take the max.
         self.interned_bytes = self.interned_bytes.max(other.interned_bytes);
+        // Incremental-classification passes and repair work are real
+        // per-thread costs: sum them. The repair span is a gauge.
+        self.classify_incremental += other.classify_incremental;
+        self.classify_rebuilds += other.classify_rebuilds;
+        self.connectivity_repairs += other.connectivity_repairs;
+        self.max_repair_span = self.max_repair_span.max(other.max_repair_span);
         self.emitted_any |= other.emitted_any;
+    }
+
+    /// Folds one incremental-connectivity snapshot (the cumulative
+    /// counters of a [`DynamicSpanning`](steiner_graph::spanning::DynamicSpanning),
+    /// as returned by its `repair_stats`) into this run's statistics.
+    pub fn note_connectivity(&mut self, repair: (u64, u64, u64)) {
+        let (_queries, explored, max_explored) = repair;
+        self.connectivity_repairs = explored;
+        self.max_repair_span = self.max_repair_span.max(max_explored);
     }
 
     /// Records one expanded node with its child count and depth.
@@ -236,6 +271,56 @@ mod tests {
         assert_eq!(a.cache_hits, 1, "cache counters sum");
         assert_eq!(a.cache_misses, 2);
         assert_eq!(a.interned_bytes, 96, "the shared-arena gauge takes the max");
+    }
+
+    #[test]
+    fn merge_folds_incremental_counters() {
+        // Passes and repair work sum (each worker paid them on its own
+        // thread); the repair span is a gauge and takes the max.
+        let a0 = EnumStats {
+            classify_incremental: 10,
+            classify_rebuilds: 2,
+            connectivity_repairs: 40,
+            max_repair_span: 7,
+            ..Default::default()
+        };
+        let b = EnumStats {
+            classify_incremental: 5,
+            classify_rebuilds: 0,
+            connectivity_repairs: 9,
+            max_repair_span: 31,
+            ..Default::default()
+        };
+        let mut a = a0;
+        a.merge(&b);
+        assert_eq!(a.classify_incremental, 15, "passes sum");
+        assert_eq!(a.classify_rebuilds, 2, "rebuilds sum");
+        assert_eq!(a.connectivity_repairs, 49, "repair work sums");
+        assert_eq!(a.max_repair_span, 31, "the span gauge takes the max");
+        // The fold is order-insensitive for these counters.
+        let mut c = b;
+        c.merge(&a0);
+        assert_eq!(c.classify_incremental, a.classify_incremental);
+        assert_eq!(c.classify_rebuilds, a.classify_rebuilds);
+        assert_eq!(c.connectivity_repairs, a.connectivity_repairs);
+        assert_eq!(c.max_repair_span, a.max_repair_span);
+        // Merging a default (idle worker) changes nothing.
+        let mut d = a;
+        d.merge(&EnumStats::default());
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn note_connectivity_snapshots_the_gauge() {
+        let mut s = EnumStats::default();
+        s.note_connectivity((3, 25, 11));
+        assert_eq!(s.connectivity_repairs, 25);
+        assert_eq!(s.max_repair_span, 11);
+        // A later, larger snapshot replaces the cumulative counter but
+        // the span stays a high-water mark.
+        s.note_connectivity((5, 40, 6));
+        assert_eq!(s.connectivity_repairs, 40);
+        assert_eq!(s.max_repair_span, 11);
     }
 
     #[test]

@@ -35,20 +35,22 @@
 //! instead of cloning component masks.
 
 use crate::improved::{find_terminal_beyond_csr, BeyondScratch, BranchScratch};
-use crate::partial::PartialTree;
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError};
+use crate::partial::{Extension, PartialTree};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
-use crate::trail::{ScratchUsage, Trail};
+use crate::trail::{FrameLog, ScratchUsage, Trail, TrailMark};
 use std::borrow::Cow;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 use steiner_graph::bridges::{bridges_csr_into, BridgeScratch};
 use steiner_graph::connectivity::{all_in_one_component, connected_components};
 use steiner_graph::csr::grow;
-use steiner_graph::spanning::{grow_spanning_tree_csr, prune_leaves_csr, CompletionScratch};
+use steiner_graph::spanning::{
+    grow_spanning_tree_csr, prune_leaves_csr, CompletionScratch, DynamicSpanning, SpanMark,
+};
 use steiner_graph::{CsrDigraph, CsrUndirected, EdgeId, UndirectedGraph, VertexId};
 use steiner_paths::enumerate::{EnumerateOptions, PathScratch};
 use steiner_paths::stsets::enumerate_source_set_paths_csr;
@@ -85,6 +87,14 @@ pub struct TerminalSteinerTree<'g> {
     stats: EnumStats,
     search: Option<TerminalSearch>,
     level_cache_cap: Option<usize>,
+    incremental: bool,
+}
+
+/// The typed checkpoint frame of one descent in component mode.
+struct TermFrame {
+    ext: Extension,
+    trail: TrailMark,
+    span: SpanMark,
 }
 
 enum TerminalSearch {
@@ -137,6 +147,15 @@ struct ComponentSearch {
     edge_in_t: Vec<bool>,
     /// Undo log for `edge_in_t`.
     trail: Trail,
+    /// Incremental connectivity over the active component's bridge
+    /// skeleton (bridges of `G[C ∪ W]`, terminals as barriers): a missing
+    /// terminal reached from `V(T) ∩ C` here has a unique valid path, so
+    /// an all-reached node is a Unique leaf without a completion pass.
+    span: DynamicSpanning,
+    /// Which component `span`'s skeleton currently describes.
+    span_comp: Option<usize>,
+    /// Typed checkpoint frames of the active descent (LIFO).
+    frames: FrameLog<TermFrame>,
     completion: CompletionScratch,
     beyond: BeyondScratch,
     /// Seed buffer for the minimal completion (`V(T) ∩ C`).
@@ -207,9 +226,12 @@ impl ComponentSearch {
     fn usage(&self) -> ScratchUsage {
         let pool: ScratchUsage = self.pool.iter().map(|b| b.usage()).sum();
         self.trail.usage()
+            + self.frames.usage()
             + ScratchUsage::new(
-                self.gc.alloc_events() + self.gc_doubled.alloc_events(),
-                self.gc.capacity_bytes() + self.gc_doubled.capacity_bytes(),
+                self.gc.alloc_events() + self.gc_doubled.alloc_events() + self.span.alloc_events(),
+                self.gc.capacity_bytes()
+                    + self.gc_doubled.capacity_bytes()
+                    + self.span.capacity_bytes(),
             )
             + ScratchUsage::new(
                 self.completion.alloc_events(),
@@ -231,6 +253,7 @@ impl<'g> TerminalSteinerTree<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -242,6 +265,7 @@ impl<'g> TerminalSteinerTree<'g> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: None,
+            incremental: true,
         }
     }
 
@@ -254,6 +278,7 @@ impl<'g> TerminalSteinerTree<'g> {
             stats: self.stats,
             search: self.search,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         }
     }
 }
@@ -390,11 +415,16 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             stats: EnumStats::default(),
             search: None,
             level_cache_cap: self.level_cache_cap,
+            incremental: self.incremental,
         })
     }
 
     fn set_level_cache_cap(&mut self, cap: usize) {
         self.level_cache_cap = Some(cap.max(1));
+    }
+
+    fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -527,6 +557,10 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         let mut t = PartialTree::new(n, &self.terminals, None);
         t.vertices.reserve(n + 1);
         t.edges.reserve(n + 1);
+        let mut span = DynamicSpanning::new();
+        span.preallocate(n, 2 * num_edges);
+        let mut frames = FrameLog::new();
+        frames.preallocate(self.terminals.len() + 3);
         let mut search = ComponentSearch {
             gc: gc_csr,
             gc_doubled,
@@ -536,6 +570,9 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             t,
             edge_in_t: vec![false; num_edges],
             trail,
+            span,
+            span_comp: None,
+            frames,
             completion,
             beyond,
             seeds: Vec::with_capacity(n + 1),
@@ -564,6 +601,7 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
     }
 
     fn classify(&mut self, _out: &mut Vec<EdgeId>) -> NodeStep<TerminalBranch> {
+        let incremental = self.incremental;
         let stats = &mut self.stats;
         let terminals = &self.terminals;
         match self
@@ -584,6 +622,69 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
                 };
                 if cs.t.complete() {
                     return NodeStep::Complete;
+                }
+                if incremental && cs.span_comp == Some(active) {
+                    // Incremental fast path: a missing terminal reached
+                    // over the component's bridge skeleton (sourced from
+                    // V(T) ∩ C, with terminals as barriers) has a unique
+                    // valid path — an all-bridge path avoiding other
+                    // terminals internally is the only one (the Lemma 16
+                    // argument inside G[C ∪ {w}]). If every missing
+                    // terminal is reached, the completion is unique and
+                    // equals the recorded forced paths. O(|W| + |answer|).
+                    stats.work += terminals.len() as u64;
+                    let span = &mut cs.span;
+                    let in_tree = &cs.t.in_tree;
+                    let orig_edge = &cs.orig_edge;
+                    _out.extend(cs.t.edges.iter().map(|e| orig_edge[e.index()]));
+                    let all_forced = span.collect_all_forced(
+                        terminals,
+                        |v| in_tree[v.index()],
+                        |e| _out.push(orig_edge[e as usize]),
+                    );
+                    if all_forced {
+                        stats.classify_incremental += 1;
+                        stats.work += _out.len() as u64;
+                        #[cfg(debug_assertions)]
+                        {
+                            // Cross-check against the fresh completion
+                            // pass: T′ must carry no non-bridge extension
+                            // edge and equal the collected set.
+                            let mut dummy = 0u64;
+                            minimal_completion_csr(
+                                &cs.gc,
+                                &cs.comps[active].comp_mask,
+                                terminals,
+                                &cs.t,
+                                &mut cs.seeds,
+                                &mut cs.completion,
+                                &mut dummy,
+                            );
+                            debug_assert!(
+                                cs.completion.edges.iter().all(|e| cs.edge_in_t[e.index()]
+                                    || cs.comps[active].bridge[e.index()]),
+                                "incremental Unique verdict disagrees with the fresh pass"
+                            );
+                            let mut got = _out.clone();
+                            got.sort_unstable();
+                            let mut want: Vec<EdgeId> = cs
+                                .completion
+                                .edges
+                                .iter()
+                                .map(|e| cs.orig_edge[e.index()])
+                                .collect();
+                            want.sort_unstable();
+                            debug_assert_eq!(
+                                got, want,
+                                "incremental unique completion differs from T′"
+                            );
+                        }
+                        return NodeStep::Unique;
+                    }
+                    _out.clear();
+                    stats.classify_rebuilds += 1;
+                } else {
+                    stats.classify_rebuilds += 1;
                 }
                 let ctx = &cs.comps[active];
                 minimal_completion_csr(
@@ -678,10 +779,53 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         if let Some(search) = &self.search {
             let (usage, baseline) = match search {
                 TerminalSearch::TwoTerminals(ts) => (ts.usage(), ts.baseline_allocs),
-                TerminalSearch::Components(cs) => (cs.usage(), cs.baseline_allocs),
+                TerminalSearch::Components(cs) => {
+                    self.stats.note_connectivity(cs.span.repair_stats());
+                    (cs.usage(), cs.baseline_allocs)
+                }
             };
             self.stats
                 .note_scratch(ScratchUsage::new(usage.allocs - baseline, usage.bytes));
+        }
+    }
+
+    fn record_root_child(&self) -> Option<RootChildRecord<EdgeId>> {
+        match self.search.as_ref()? {
+            TerminalSearch::TwoTerminals(ts) => Some(RootChildRecord {
+                vertices: Vec::new(),
+                items: ts.current.clone(),
+                meta: 0,
+            }),
+            TerminalSearch::Components(cs) => Some(RootChildRecord {
+                vertices: cs.t.vertices.clone(),
+                items: cs.t.edges.clone(),
+                meta: cs.active.expect("recording inside the root branch") as u64,
+            }),
+        }
+    }
+
+    fn replay_root_child(
+        &mut self,
+        record: &RootChildRecord<EdgeId>,
+        child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;
+        let two_terminal = matches!(self.search.as_ref(), Some(TerminalSearch::TwoTerminals(_)));
+        if two_terminal {
+            let ts = self.two_terminal_mut();
+            ts.current.clear();
+            ts.current.extend_from_slice(&record.items);
+            ts.active = true;
+            let flow = child(self);
+            self.two_terminal_mut().active = false;
+            flow
+        } else {
+            self.components_mut().active = Some(record.meta as usize);
+            self.descend(&record.vertices, &record.items);
+            let flow = child(self);
+            self.retract_frame();
+            self.components_mut().active = None;
+            flow
         }
     }
 
@@ -734,6 +878,73 @@ impl TerminalSteinerTree<'_> {
         let cs = self.components_mut();
         cs.pool[depth] = bs;
         cs.depth = depth;
+    }
+
+    /// Rebuilds the connectivity skeleton for component `ci` (bridges of
+    /// `G[C ∪ W]`, terminals as barriers) if it currently describes a
+    /// different component. Component switches only happen at the root,
+    /// with an empty partial tree, so no reach state needs migrating.
+    fn ensure_span(&mut self, ci: usize) {
+        let terminals = &self.terminals;
+        let cs = match self.search.as_mut() {
+            Some(TerminalSearch::Components(cs)) => cs,
+            _ => unreachable!("component mode is fixed by prepare()"),
+        };
+        if cs.span_comp == Some(ci) {
+            return;
+        }
+        debug_assert!(
+            cs.t.vertices.is_empty(),
+            "the skeleton only switches components at the root"
+        );
+        let n = cs.gc.num_vertices();
+        cs.span.begin_skeleton(n);
+        for &w in terminals {
+            cs.span.set_barrier(w);
+        }
+        let bridge = &cs.comps[ci].bridge;
+        for (i, _) in bridge.iter().enumerate().filter(|(_, &b)| b) {
+            let (u, v) = cs.gc.endpoints(EdgeId::new(i));
+            cs.span.add_edge(u, v, i as u32);
+        }
+        cs.span.finish_skeleton();
+        cs.span_comp = Some(ci);
+        self.stats.work += (n + cs.gc.num_edges()) as u64;
+    }
+
+    /// The descend half of the branch protocol (component mode): extends
+    /// the partial tree by one valid path, records the edge-mask trail,
+    /// attaches the path vertices to the connectivity skeleton, and
+    /// pushes the combined typed frame. Shared by locally generated and
+    /// replayed root children.
+    fn descend(&mut self, path_vertices: &[VertexId], path_edges: &[EdgeId]) {
+        let incremental = self.incremental;
+        if incremental {
+            let ci = self
+                .components_mut()
+                .active
+                .expect("descend runs inside an active component");
+            self.ensure_span(ci);
+        }
+        let cs = self.components_mut();
+        let ext = cs.t.extend_path(path_vertices, path_edges);
+        let trail = cs.trail.mark();
+        for &e in path_edges {
+            cs.trail.set(&mut cs.edge_in_t, e.index());
+        }
+        // The partial-tree mask doubles as the query layer's source
+        // oracle; nothing else to maintain on descent.
+        let span = cs.span.mark();
+        cs.frames.push(TermFrame { ext, trail, span });
+    }
+
+    /// The undo half: pops the innermost frame and restores every layer.
+    fn retract_frame(&mut self) {
+        let cs = self.components_mut();
+        let frame = cs.frames.pop();
+        cs.span.undo_to(frame.span);
+        cs.trail.undo_to(&mut cs.edge_in_t, frame.trail);
+        cs.t.retract(frame.ext);
     }
 
     /// Root expansion: |W| = 2 branches on the `w₀`-`w₁` paths of `G`;
@@ -827,16 +1038,9 @@ impl TerminalSteinerTree<'_> {
                             self.stats.work += per_child;
                             edges.clear();
                             edges.extend(p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)));
-                            let cs = self.components_mut();
-                            let ext = cs.t.extend_path(p.vertices, edges);
-                            let mark = cs.trail.mark();
-                            for &e in edges.iter() {
-                                cs.trail.set(&mut cs.edge_in_t, e.index());
-                            }
+                            self.descend(p.vertices, edges);
                             let f = child(self);
-                            let cs = self.components_mut();
-                            cs.trail.undo_to(&mut cs.edge_in_t, mark);
-                            cs.t.retract(ext);
+                            self.retract_frame();
                             if f.is_break() {
                                 flow = ControlFlow::Break(());
                             }
@@ -901,16 +1105,9 @@ impl TerminalSteinerTree<'_> {
                 self.stats.work += per_child;
                 edges.clear();
                 edges.extend(p.arcs.iter().map(|a| EdgeId::new(a.index() / 2)));
-                let cs = self.components_mut();
-                let ext = cs.t.extend_path(p.vertices, edges);
-                let mark = cs.trail.mark();
-                for &e in edges.iter() {
-                    cs.trail.set(&mut cs.edge_in_t, e.index());
-                }
+                self.descend(p.vertices, edges);
                 let f = child(self);
-                let cs = self.components_mut();
-                cs.trail.undo_to(&mut cs.edge_in_t, mark);
-                cs.t.retract(ext);
+                self.retract_frame();
                 if f.is_break() {
                     flow = ControlFlow::Break(());
                 }

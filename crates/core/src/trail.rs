@@ -88,6 +88,82 @@ impl Trail {
     }
 }
 
+/// A typed stack of per-descent checkpoint frames.
+///
+/// One branch step of the engine perturbs several undo-able layers at
+/// once — the [`Trail`]-backed membership masks, the partial-solution
+/// stacks, and the incremental connectivity deltas
+/// ([`steiner_graph::spanning::DynamicSpanning`]). Each problem bundles
+/// the checkpoints of all its layers into one frame type and pushes it
+/// here on descent; backtracking pops the frame and restores every layer
+/// from it, so the descend/undo protocol has a single typed unit instead
+/// of a handful of loose marks. The root-child replay path of the
+/// sharded front-end reuses exactly the same frames, which is what keeps
+/// replayed and locally generated children byte-identical.
+#[derive(Clone, Debug)]
+pub struct FrameLog<F> {
+    frames: Vec<F>,
+    allocs: u64,
+}
+
+impl<F> Default for FrameLog<F> {
+    fn default() -> Self {
+        FrameLog {
+            frames: Vec::new(),
+            allocs: 0,
+        }
+    }
+}
+
+impl<F> FrameLog<F> {
+    /// An empty frame stack.
+    pub fn new() -> Self {
+        FrameLog::default()
+    }
+
+    /// Reserves room for `cap` live frames so steady-state descent never
+    /// grows the stack.
+    pub fn preallocate(&mut self, cap: usize) {
+        if self.frames.capacity() < cap {
+            self.frames.reserve(cap - self.frames.capacity());
+        }
+    }
+
+    /// Pushes the checkpoint frame of one descent.
+    pub fn push(&mut self, frame: F) {
+        if self.frames.len() == self.frames.capacity() {
+            self.allocs += 1;
+        }
+        self.frames.push(frame);
+    }
+
+    /// Pops the innermost frame for backtracking. Panics on underflow —
+    /// a descend/undo imbalance is a protocol bug, never valid state.
+    pub fn pop(&mut self) -> F {
+        self.frames
+            .pop()
+            .expect("frame log underflow: undo without a matching descend")
+    }
+
+    /// Current descent depth.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no descent is active.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// This log's scratch accounting.
+    pub fn usage(&self) -> ScratchUsage {
+        ScratchUsage {
+            allocs: self.allocs,
+            bytes: (self.frames.capacity() * std::mem::size_of::<F>()) as u64,
+        }
+    }
+}
+
 /// Scratch accounting: buffer-growth events plus capacity footprint.
 /// Summed across a problem's scratch structures by `seal_stats`.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -164,6 +240,32 @@ mod tests {
         }
         trail.undo_to(&mut mask, mark);
         assert_eq!(trail.usage().allocs, 0);
+    }
+
+    #[test]
+    fn frame_log_is_lifo_and_tracks_allocs() {
+        #[derive(Debug, PartialEq)]
+        struct Frame {
+            trail: usize,
+            span: usize,
+        }
+        let mut log: FrameLog<Frame> = FrameLog::new();
+        log.preallocate(2);
+        log.push(Frame { trail: 1, span: 10 });
+        log.push(Frame { trail: 2, span: 20 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.pop(), Frame { trail: 2, span: 20 });
+        assert_eq!(log.pop(), Frame { trail: 1, span: 10 });
+        assert!(log.is_empty());
+        assert_eq!(log.usage().allocs, 0, "preallocated: no growth events");
+        assert!(log.usage().bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame log underflow")]
+    fn frame_log_pop_underflow_panics() {
+        let mut log: FrameLog<u32> = FrameLog::new();
+        let _ = log.pop();
     }
 
     #[test]

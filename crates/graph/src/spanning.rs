@@ -1,15 +1,26 @@
-//! Spanning trees containing a required subtree, and leaf pruning.
+//! Spanning trees containing a required subtree, leaf pruning, and the
+//! trail-backed incremental connectivity layer.
 //!
-//! These two operations implement the "completion" steps the paper uses
-//! over and over: Lemma 13 (grow a partial Steiner tree into a spanning
-//! tree, then remove non-terminal leaves — Proposition 3), Lemma 28
-//! (terminal Steiner trees, Proposition 26) and Lemma 33 (directed Steiner
-//! trees, Proposition 32).
+//! The completion helpers implement the steps the paper uses over and
+//! over: Lemma 13 (grow a partial Steiner tree into a spanning tree, then
+//! remove non-terminal leaves — Proposition 3), Lemma 28 (terminal
+//! Steiner trees, Proposition 26) and Lemma 33 (directed Steiner trees,
+//! Proposition 32).
+//!
+//! [`DynamicSpanning`] is the incremental-classification substrate: a
+//! spanning forest plus component labels over a static *forced-edge
+//! skeleton* (bridges for the undirected problems, unique in-arcs for the
+//! directed one), answering forced-path queries in O(affected component)
+//! and supporting edge-contract deltas with exact LIFO undo. The
+//! enumeration engines thread it through their branch-and-bound recursion
+//! so `classify` can read component state instead of re-running a
+//! spanning-growth pass per node.
 
 use crate::digraph::DiGraph;
 use crate::ids::{ArcId, EdgeId, VertexId};
 use crate::traversal::{bfs, BfsForest};
 use crate::undirected::UndirectedGraph;
+use crate::union_find::UnionFind;
 
 /// A tree grown from seed vertices around a base edge set.
 #[derive(Clone, Debug)]
@@ -344,6 +355,378 @@ pub fn prune_directed_leaves(
         .collect()
 }
 
+/// A checkpoint into a [`DynamicSpanning`], returned by
+/// [`DynamicSpanning::mark`] and consumed by [`DynamicSpanning::undo_to`].
+/// Marks follow the engine's strictly LIFO branch discipline: undoing to a
+/// mark restores both the reach state and the contraction labels to their
+/// exact state at the checkpoint.
+#[derive(Copy, Clone, Debug)]
+#[must_use = "pass the mark back to undo_to()"]
+pub struct SpanMark {
+    unions: usize,
+}
+
+/// Trail-backed dynamic connectivity over a static **forced-edge
+/// skeleton**.
+///
+/// The enumeration engines never mutate the instance graph — a branch
+/// step only *perturbs the partial solution* by one path. What their
+/// per-node classification actually needs from the graph is connectivity
+/// along edges that are *forced* (on every valid extension): bridges of
+/// `G` for minimal Steiner trees (Lemma 16), bridges of `G[C ∪ W]` for
+/// terminal Steiner trees (Lemma 30), bridges of the contracted
+/// multigraph `G/E(F)` for forests (Lemma 24), and unique in-arcs for
+/// directed trees (the forced suffix of every valid path). All of these
+/// skeletons are **static** per prepared instance (for forests because
+/// the bridges of `G/E(F)` are exactly the bridges of `G` that `E(F)`
+/// has not contracted into self-loops), so this structure maintains:
+///
+/// * **forced-path queries** — [`Self::is_forced`] /
+///   [`Self::collect_forced_path`] search the skeleton *from the queried
+///   terminal* toward the nearest source with early exit, so a
+///   classification pays O(affected component), not O(n + m), and a
+///   node whose terminals are all in-solution pays nothing at all. The
+///   *source oracle* (which vertices belong to the partial solution) is
+///   supplied per query as a closure over the problem's own trail-backed
+///   membership mask — the branch deltas the engines already apply on
+///   descent and restore on backtrack double as this layer's state, so
+///   descending costs the connectivity layer nothing;
+/// * **component labels under contract deltas** — [`Self::contract`]
+///   merges two skeleton classes (a rollback union–find) and
+///   [`Self::connected`] answers same-component queries (the forest
+///   engine's `G″` labels);
+/// * an **undo trail** — [`Self::mark`] / [`Self::undo_to`] restore both
+///   delta layers exactly on backtrack, matching the engine's LIFO
+///   recursion.
+///
+/// Vertices flagged via [`Self::set_barrier`] are *usable as endpoints
+/// of a query but never traversed through* (the terminal Steiner variant
+/// uses this for terminals, which valid paths may end at but never pass
+/// through), and a barrier source never terminates a query (a terminal
+/// leaf of the partial tree is not a valid attachment point).
+#[derive(Clone, Debug, Default)]
+pub struct DynamicSpanning {
+    n: usize,
+    /// Skeleton out-CSR: `off[v]..off[v+1]` indexes `adj`. Undirected
+    /// callers insert both arc directions; the directed enumerator
+    /// inserts *reversed* unique in-arcs so queries walk backward.
+    off: Vec<u32>,
+    adj: Vec<(VertexId, u32)>,
+    /// Build buffer for [`Self::add_arc`] until [`Self::finish_skeleton`].
+    arc_buf: Vec<(VertexId, VertexId, u32)>,
+    /// Query-endpoint-only vertices (see type docs).
+    barrier: Vec<bool>,
+    /// Per-query visit stamps and BFS parents.
+    visit: Vec<u32>,
+    query_epoch: u32,
+    parent_edge: Vec<u32>,
+    parent_vertex: Vec<u32>,
+    queue: Vec<VertexId>,
+    /// Per-extraction edge dedup stamps for
+    /// [`Self::collect_forced_path`].
+    edge_stamp: Vec<u32>,
+    collect_epoch: u32,
+    /// Largest skeleton edge id seen (+1), sizing `edge_stamp`.
+    id_bound: usize,
+    /// Component labels under contract deltas.
+    comps: UnionFind,
+    queries: u64,
+    explored: u64,
+    max_explored: u64,
+    allocs: u64,
+}
+
+impl DynamicSpanning {
+    /// An empty structure; call [`Self::begin_skeleton`] before use.
+    pub fn new() -> Self {
+        DynamicSpanning::default()
+    }
+
+    /// Reserves every buffer for `n` vertices and `m` skeleton arcs so
+    /// later skeleton rebuilds and queries do not allocate.
+    pub fn preallocate(&mut self, n: usize, m: usize) {
+        crate::csr::grow(&mut self.off, n + 1, 0u32, &mut self.allocs);
+        crate::csr::grow(&mut self.adj, m, (VertexId(0), 0u32), &mut self.allocs);
+        if self.arc_buf.capacity() < m {
+            self.arc_buf.reserve(m - self.arc_buf.capacity());
+        }
+        crate::csr::grow(&mut self.barrier, n, false, &mut self.allocs);
+        crate::csr::grow(&mut self.visit, n, 0u32, &mut self.allocs);
+        crate::csr::grow(&mut self.parent_edge, n, 0u32, &mut self.allocs);
+        crate::csr::grow(&mut self.parent_vertex, n, 0u32, &mut self.allocs);
+        if self.queue.capacity() < n {
+            self.queue.reserve(n - self.queue.capacity());
+        }
+        crate::csr::grow(&mut self.edge_stamp, m, 0u32, &mut self.allocs);
+        if self.comps.len() != n {
+            self.comps = UnionFind::new(n);
+            self.comps.reserve_history(n + 1);
+            self.allocs += 1;
+        }
+        self.allocs = 0;
+    }
+
+    /// Starts a skeleton rebuild over `n` vertices: clears the arc
+    /// buffer, all barriers, the query state, and resets the contraction
+    /// labels to singletons.
+    pub fn begin_skeleton(&mut self, n: usize) {
+        self.n = n;
+        self.arc_buf.clear();
+        crate::csr::grow(&mut self.barrier, n, false, &mut self.allocs);
+        crate::csr::grow(&mut self.visit, n, 0u32, &mut self.allocs);
+        crate::csr::grow(&mut self.parent_edge, n, 0u32, &mut self.allocs);
+        crate::csr::grow(&mut self.parent_vertex, n, 0u32, &mut self.allocs);
+        self.query_epoch = 0;
+        self.collect_epoch = 0;
+        self.id_bound = 0;
+        if self.comps.len() == n {
+            self.comps.reset(n);
+        } else {
+            self.comps = UnionFind::new(n);
+            self.comps.reserve_history(n + 1);
+            self.allocs += 1;
+        }
+    }
+
+    /// Flags `v` as a barrier: queries may end *at* it (it is never a
+    /// valid endpoint, though) but never traverse *through* it. Call
+    /// between [`Self::begin_skeleton`] and [`Self::finish_skeleton`].
+    pub fn set_barrier(&mut self, v: VertexId) {
+        self.barrier[v.index()] = true;
+    }
+
+    /// Adds the directed skeleton arc `u → v` carrying caller-chosen
+    /// `id` (an edge or arc id, returned verbatim by the forced-path
+    /// walk).
+    pub fn add_arc(&mut self, u: VertexId, v: VertexId, id: u32) {
+        self.id_bound = self.id_bound.max(id as usize + 1);
+        crate::csr::push_tracked(&mut self.arc_buf, (u, v, id), &mut self.allocs);
+    }
+
+    /// Adds the undirected skeleton edge `{u, v}` (both arc directions).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, id: u32) {
+        self.add_arc(u, v, id);
+        self.add_arc(v, u, id);
+    }
+
+    /// Finalizes the skeleton: counting-sorts the buffered arcs into the
+    /// CSR. After this call the structure is ready for forced-path
+    /// queries and contract deltas.
+    pub fn finish_skeleton(&mut self) {
+        let n = self.n;
+        crate::csr::grow(&mut self.off, n + 1, 0u32, &mut self.allocs);
+        for &(u, _, _) in &self.arc_buf {
+            self.off[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            self.off[i + 1] += self.off[i];
+        }
+        crate::csr::grow(
+            &mut self.adj,
+            self.arc_buf.len(),
+            (VertexId(0), 0u32),
+            &mut self.allocs,
+        );
+        for i in 0..self.arc_buf.len() {
+            let (u, v, id) = self.arc_buf[i];
+            self.adj[self.off[u.index()] as usize] = (v, id);
+            self.off[u.index()] += 1;
+        }
+        for v in (1..=n).rev() {
+            self.off[v] = self.off[v - 1];
+        }
+        self.off[0] = 0;
+        crate::csr::grow(&mut self.edge_stamp, self.id_bound, 0u32, &mut self.allocs);
+    }
+
+    /// Number of vertices the skeleton was built over.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// **Contract delta.** Merges the component classes of `u` and `v`
+    /// (an edge of the partial solution was added). Returns whether the
+    /// classes were distinct. O(log n), O(1) to undo.
+    pub fn contract(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.comps.union(u, v)
+    }
+
+    /// Whether `u` and `v` carry the same component label under the
+    /// contract deltas applied so far.
+    #[inline]
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.comps.same(u, v)
+    }
+
+    /// The current checkpoint of the contract-delta layer.
+    pub fn mark(&self) -> SpanMark {
+        SpanMark {
+            unions: self.comps.snapshot(),
+        }
+    }
+
+    /// Restores the exact state at `mark`: rolls the contraction labels
+    /// back. O(undone deltas).
+    pub fn undo_to(&mut self, mark: SpanMark) {
+        self.comps.rollback(mark.unions);
+    }
+
+    /// **Forced query.** Whether `w` has a skeleton path to a non-barrier
+    /// source (per the `is_source` oracle — normally the problem's
+    /// partial-solution membership mask) whose interior avoids barriers
+    /// and sources — i.e. whether the partial solution forces a unique
+    /// valid extension to `w`. Early-exiting BFS from `w`: O(explored),
+    /// bounded by the skeleton component of `w`.
+    pub fn is_forced(&mut self, w: VertexId, is_source: impl Fn(VertexId) -> bool) -> bool {
+        self.forced_search(w, &is_source).is_some()
+    }
+
+    /// Starts a forced-path extraction: subsequent
+    /// [`Self::collect_forced_path`] calls share one dedup generation,
+    /// so overlapping paths contribute each skeleton edge once.
+    pub fn begin_collect(&mut self) {
+        if self.collect_epoch == u32::MAX {
+            self.edge_stamp.iter_mut().for_each(|s| *s = 0);
+            self.collect_epoch = 0;
+        }
+        self.collect_epoch += 1;
+    }
+
+    /// The all-forced scan-and-collect shared by the enumerators' Unique
+    /// fast paths: starts a fresh extraction generation, then for every
+    /// terminal not already in the solution collects its forced path.
+    /// Returns `true` iff **all** terminals were forced; on `false` the
+    /// caller discards whatever was pushed (the scan aborts at the first
+    /// unforced terminal).
+    pub fn collect_all_forced(
+        &mut self,
+        terminals: &[VertexId],
+        is_source: impl Fn(VertexId) -> bool,
+        mut push: impl FnMut(u32),
+    ) -> bool {
+        self.begin_collect();
+        terminals
+            .iter()
+            .all(|&w| is_source(w) || self.collect_forced_path(w, &is_source, &mut push))
+    }
+
+    /// Re-runs the forced query for `w` and hands the skeleton edge ids
+    /// of its forced path to `push` (nearest-source path, deduplicated
+    /// against the other paths of this extraction generation). Returns
+    /// whether `w` was forced; pushes nothing otherwise.
+    pub fn collect_forced_path(
+        &mut self,
+        w: VertexId,
+        is_source: impl Fn(VertexId) -> bool,
+        mut push: impl FnMut(u32),
+    ) -> bool {
+        let Some(found) = self.forced_search(w, &is_source) else {
+            return false;
+        };
+        let mut cur = found;
+        while cur != w {
+            let id = self.parent_edge[cur.index()];
+            if self.edge_stamp[id as usize] != self.collect_epoch {
+                self.edge_stamp[id as usize] = self.collect_epoch;
+                push(id);
+            }
+            cur = VertexId(self.parent_vertex[cur.index()]);
+        }
+        true
+    }
+
+    /// The BFS core of the forced queries: explores from `w` (always
+    /// expanding `w` itself, even if it is a barrier — the queried
+    /// terminal's own edges are usable), never expanding other
+    /// barriers, until the first non-barrier source. Returns the found
+    /// source; BFS parents are left for path extraction.
+    fn forced_search(
+        &mut self,
+        w: VertexId,
+        is_source: &dyn Fn(VertexId) -> bool,
+    ) -> Option<VertexId> {
+        self.queries += 1;
+        if is_source(w) && !self.barrier[w.index()] {
+            return Some(w);
+        }
+        if self.query_epoch == u32::MAX {
+            self.visit.iter_mut().for_each(|s| *s = 0);
+            self.query_epoch = 0;
+        }
+        self.query_epoch += 1;
+        let qe = self.query_epoch;
+        self.visit[w.index()] = qe;
+        self.queue.clear();
+        self.queue.push(w);
+        let mut head = 0usize;
+        let mut found = None;
+        'bfs: while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            if u != w && self.barrier[u.index()] {
+                continue; // endpoint-only: never traversed through
+            }
+            let (lo, hi) = (
+                self.off[u.index()] as usize,
+                self.off[u.index() + 1] as usize,
+            );
+            for k in lo..hi {
+                let (v, id) = self.adj[k];
+                if self.visit[v.index()] == qe {
+                    continue;
+                }
+                self.visit[v.index()] = qe;
+                self.parent_edge[v.index()] = id;
+                self.parent_vertex[v.index()] = u.0;
+                if is_source(v) {
+                    if !self.barrier[v.index()] {
+                        found = Some(v);
+                        break 'bfs;
+                    }
+                    continue; // an in-solution barrier is not an endpoint
+                }
+                if self.queue.len() == self.queue.capacity() {
+                    self.allocs += 1;
+                }
+                self.queue.push(v);
+            }
+        }
+        // Discovered vertices (enqueued, whether or not expanded before
+        // the early exit) — the query's O(affected) footprint.
+        let explored = self.queue.len() as u64;
+        self.explored += explored;
+        self.max_explored = self.max_explored.max(explored);
+        found
+    }
+
+    /// Cumulative query statistics: `(forced queries, vertices explored
+    /// by them, largest single query exploration)` — the enumeration
+    /// problems fold these into their run statistics.
+    pub fn repair_stats(&self) -> (u64, u64, u64) {
+        (self.queries, self.explored, self.max_explored)
+    }
+
+    /// Growth events recorded by the internal buffers.
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Bytes of owned buffer capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        ((self.off.capacity()
+            + self.visit.capacity()
+            + self.parent_edge.capacity()
+            + self.parent_vertex.capacity()
+            + self.edge_stamp.capacity())
+            * std::mem::size_of::<u32>()
+            + self.adj.capacity() * std::mem::size_of::<(VertexId, u32)>()
+            + self.arc_buf.capacity() * std::mem::size_of::<(VertexId, VertexId, u32)>()
+            + self.barrier.capacity() * std::mem::size_of::<bool>()
+            + self.queue.capacity() * std::mem::size_of::<VertexId>()) as u64
+            + self.comps.capacity_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +796,177 @@ mod tests {
             prune_leaves_csr(&csr, keep, &mut scratch);
             assert_eq!(scratch.edges, pruned, "prune, graph {g:?}");
         }
+    }
+
+    /// Skeleton from the bridges of a graph: the structure's reach state
+    /// must match a fresh BFS over bridge edges from the attached set.
+    fn fresh_bridge_reach(g: &UndirectedGraph, bridge: &[bool], sources: &[VertexId]) -> Vec<bool> {
+        let n = g.num_vertices();
+        let mut reached = vec![false; n];
+        let mut stack: Vec<VertexId> = Vec::new();
+        for &s in sources {
+            if !reached[s.index()] {
+                reached[s.index()] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(u) = stack.pop() {
+            for (v, e) in g.neighbors(u) {
+                if bridge[e.index()] && !reached[v.index()] {
+                    reached[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        reached
+    }
+
+    #[test]
+    fn dynamic_spanning_matches_fresh_flood() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xdba5e);
+        for case in 0..30 {
+            let n = 4 + case % 7;
+            let g = crate::generators::random_connected_graph(n, n + case % 4, &mut rng);
+            let bridge = crate::bridges::bridges(&g, None);
+            let mut ds = DynamicSpanning::new();
+            ds.begin_skeleton(n);
+            for e in g.edges() {
+                if bridge[e.index()] {
+                    let (u, v) = g.endpoints(e);
+                    ds.add_edge(u, v, e.index() as u32);
+                }
+            }
+            ds.finish_skeleton();
+            // Random growing/shrinking source sets (the trail-backed mask
+            // lives with the caller), checking every vertex's forced
+            // verdict against a fresh flood at every step.
+            let mut in_sol = vec![false; n];
+            let mut stack: Vec<VertexId> = Vec::new();
+            for _ in 0..24 {
+                if !stack.is_empty() && rng.gen_bool(0.4) {
+                    let v = stack.pop().unwrap();
+                    in_sol[v.index()] = false;
+                } else {
+                    let v = VertexId::new(rng.gen_range(0..n));
+                    if !in_sol[v.index()] {
+                        in_sol[v.index()] = true;
+                        stack.push(v);
+                    }
+                }
+                let sources: Vec<VertexId> = (0..n)
+                    .map(VertexId::new)
+                    .filter(|v| in_sol[v.index()])
+                    .collect();
+                let fresh = fresh_bridge_reach(&g, &bridge, &sources);
+                for (v, &want) in fresh.iter().enumerate() {
+                    assert_eq!(
+                        ds.is_forced(VertexId::new(v), |x| in_sol[x.index()]),
+                        want,
+                        "graph {g:?} sources {sources:?} vertex {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barriers_are_endpoints_but_not_traversed() {
+        // Path 0-1-2-3, all edges in the skeleton; 1 is a barrier.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let mut ds = DynamicSpanning::new();
+        ds.begin_skeleton(4);
+        ds.set_barrier(VertexId(1));
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            ds.add_edge(u, v, e.index() as u32);
+        }
+        ds.finish_skeleton();
+        let src0 = |v: VertexId| v == VertexId(0);
+        assert!(
+            ds.is_forced(VertexId(1), src0),
+            "a barrier query expands its own edges"
+        );
+        assert!(
+            !ds.is_forced(VertexId(2), src0),
+            "but other paths never pass through a barrier"
+        );
+        // An in-solution barrier is not a valid endpoint.
+        let src01 = |v: VertexId| v == VertexId(0) || v == VertexId(1);
+        assert!(
+            !ds.is_forced(VertexId(2), src01),
+            "an in-solution barrier does not terminate a query"
+        );
+        let src2 = |v: VertexId| v == VertexId(2);
+        assert!(ds.is_forced(VertexId(3), src2), "3 reaches the source 2");
+    }
+
+    #[test]
+    fn contract_labels_roll_back() {
+        let mut ds = DynamicSpanning::new();
+        ds.begin_skeleton(5);
+        ds.finish_skeleton();
+        assert!(ds.contract(VertexId(0), VertexId(1)));
+        let mark = ds.mark();
+        assert!(ds.contract(VertexId(1), VertexId(2)));
+        assert!(ds.connected(VertexId(0), VertexId(2)));
+        ds.undo_to(mark);
+        assert!(ds.connected(VertexId(0), VertexId(1)), "pre-mark survives");
+        assert!(!ds.connected(VertexId(0), VertexId(2)));
+    }
+
+    #[test]
+    fn forced_path_collection_dedups_shared_trunks() {
+        // A bridge trunk 4-5-6 with two leaves 0, 2 off its end: paths
+        // from 0 and 2 to the source 4 share the trunk, which the union
+        // must contain exactly once.
+        let g = UndirectedGraph::from_edges(7, &[(4, 5), (5, 6), (6, 0), (6, 2), (4, 1), (4, 3)])
+            .unwrap();
+        let mut ds = DynamicSpanning::new();
+        ds.begin_skeleton(7);
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            ds.add_edge(u, v, e.index() as u32);
+        }
+        ds.finish_skeleton();
+        let src = |v: VertexId| v == VertexId(4);
+        ds.begin_collect();
+        let mut got: Vec<u32> = Vec::new();
+        assert!(ds.collect_forced_path(VertexId(0), src, |e| got.push(e)));
+        assert!(ds.collect_forced_path(VertexId(2), src, |e| got.push(e)));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3], "shared trunk collected exactly once");
+        let mut again: Vec<u32> = Vec::new();
+        assert!(ds.collect_forced_path(VertexId(0), src, |e| again.push(e)));
+        assert!(again.is_empty(), "same generation: already collected");
+        ds.begin_collect();
+        let mut fresh = Vec::new();
+        assert!(ds.collect_forced_path(VertexId(0), src, |e| fresh.push(e)));
+        fresh.sort_unstable();
+        assert_eq!(fresh, vec![0, 1, 2], "a new generation re-emits");
+    }
+
+    #[test]
+    fn directed_skeleton_walks_reversed_chains() {
+        // Arcs 0→1→2 (unique in-arcs) inserted reversed, as the directed
+        // enumerator does: queries from 2 walk back to the source 0.
+        let mut ds = DynamicSpanning::new();
+        ds.begin_skeleton(3);
+        ds.add_arc(VertexId(1), VertexId(0), 0); // reverse of 0→1
+        ds.add_arc(VertexId(2), VertexId(1), 1); // reverse of 1→2
+        ds.finish_skeleton();
+        let src = |v: VertexId| v == VertexId(0);
+        let mut got = Vec::new();
+        ds.begin_collect();
+        assert!(ds.collect_forced_path(VertexId(2), src, |a| got.push(a)));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+        assert!(
+            ds.is_forced(VertexId(1), src),
+            "mid-chain vertices are forced"
+        );
+        let (queries, explored, max_explored) = ds.repair_stats();
+        assert!(queries >= 2 && explored >= 1 && max_explored >= 1);
     }
 
     #[test]

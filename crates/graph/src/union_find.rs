@@ -10,7 +10,7 @@
 use crate::ids::VertexId;
 
 /// Union–find over `0..n` with union by size and O(1) rollback.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct UnionFind {
     parent: Vec<u32>,
     size: Vec<u32>,
@@ -97,6 +97,13 @@ impl UnionFind {
         self.size.resize(n, 1);
         self.history.clear();
         self.components = n;
+    }
+
+    /// Bytes of owned buffer capacity (scratch accounting for the
+    /// enumeration hot paths that embed a rollback union–find).
+    pub fn capacity_bytes(&self) -> u64 {
+        ((self.parent.capacity() + self.size.capacity() + self.history.capacity())
+            * std::mem::size_of::<u32>()) as u64
     }
 
     /// A checkpoint token for [`Self::rollback`].

@@ -1,0 +1,366 @@
+//! Incremental-classification equivalence suite.
+//!
+//! The contract under test: the trail-backed incremental classifier
+//! (`DynamicSpanning` reach/contract state threaded through the engines'
+//! descend/undo frames) delivers a solution stream **byte-identical** to
+//! the full per-node recomputation (`with_incremental(false)`, the
+//! pre-incremental engine kept as the conformance reference) — for all
+//! four problems, under every front-end (direct / queued / limit /
+//! iterator / `with_threads(k)` for k ∈ {1, 2, 4} / cached replay).
+//!
+//! Because both modes run through the same engine, a single diverging
+//! per-node verdict (Complete / Unique / Branch target) would change the
+//! stream; exact stream equality therefore pins the incremental layer's
+//! verdicts and component labels to the fresh spanning-growth pass at
+//! every search-tree node. (In debug builds the classifiers additionally
+//! cross-check each incremental fast-path verdict against a fresh pass
+//! inline, so these tests also execute that assertion at every node.)
+
+use minimal_steiner::graph::{generators, DiGraph, UndirectedGraph, VertexId};
+use minimal_steiner::ResultCache;
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, MinimalSteinerProblem, SteinerForest, SteinerTree,
+    TerminalSteinerTree,
+};
+use proptest::prelude::*;
+
+/// Collects the full ordered stream of an enumeration.
+fn ordered<P>(e: Enumeration<P>) -> Vec<Vec<P::Item>>
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send,
+{
+    e.collect_vec().expect("valid instance")
+}
+
+/// Asserts byte-identical streams between incremental-on (the default)
+/// and incremental-off (fresh recomputation per node), across the
+/// direct, queued, limited, and sharded front-ends.
+fn assert_incremental_matches<P, F>(make: F)
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send + std::fmt::Debug + PartialEq,
+    F: Fn() -> P,
+{
+    let reference = ordered(Enumeration::new(make()).with_incremental(false));
+    let on = ordered(Enumeration::new(make()));
+    assert_eq!(on, reference, "direct stream");
+    let queued = ordered(Enumeration::new(make()).with_default_queue());
+    assert_eq!(queued, reference, "queued stream");
+    for k in [1usize, 2, 4] {
+        let sharded = ordered(Enumeration::new(make()).with_threads(k));
+        assert_eq!(sharded, reference, "threads({k}) stream");
+    }
+    // Limit cuts exercise mid-run termination (undo under early break).
+    let total = reference.len() as u64;
+    for limit in [1, 2, total / 2, total] {
+        let capped = ordered(Enumeration::new(make()).with_limit(limit));
+        let want = &reference[..(limit.min(total)) as usize];
+        assert_eq!(capped, want, "limit({limit}) prefix");
+    }
+}
+
+/// Cached replay: a cold incremental run records the stream, the replay
+/// must equal the incremental-off reference byte for byte.
+fn assert_cached_replay_matches<P, F>(make: F)
+where
+    P: MinimalSteinerProblem + Send + 'static,
+    P::Item: Send + std::fmt::Debug + PartialEq + 'static,
+    F: Fn() -> P,
+{
+    let reference = ordered(Enumeration::new(make()).with_incremental(false));
+    let cache: ResultCache<P::Item> = ResultCache::new();
+    let cold = ordered(Enumeration::new(make()).cached(&cache));
+    let replay = ordered(Enumeration::new(make()).cached(&cache));
+    assert_eq!(cold, reference, "cold cached stream");
+    assert_eq!(replay, reference, "cached replay stream");
+    assert_eq!(cache.stats().hits, 1, "the second run was a replay");
+}
+
+fn grid_tree(g: &UndirectedGraph, w: Vec<VertexId>) -> SteinerTree<'_> {
+    SteinerTree::new(g, &w)
+}
+
+#[test]
+fn steiner_tree_grid_all_front_ends() {
+    let g = generators::grid(3, 4);
+    let w = vec![VertexId(0), VertexId(11), VertexId(5)];
+    assert_incremental_matches(|| grid_tree(&g, w.clone()));
+    assert_cached_replay_matches(|| SteinerTree::from_graph(g.clone(), &w));
+}
+
+#[test]
+fn steiner_forest_grid_all_front_ends() {
+    let g = generators::grid(3, 4);
+    let sets = vec![
+        vec![VertexId(0), VertexId(11)],
+        vec![VertexId(3), VertexId(8)],
+    ];
+    assert_incremental_matches(|| SteinerForest::new(&g, &sets));
+    assert_cached_replay_matches(|| SteinerForest::from_graph(g.clone(), &sets));
+}
+
+#[test]
+fn terminal_steiner_grid_all_front_ends() {
+    let g = generators::grid(3, 4);
+    let w = vec![VertexId(0), VertexId(3), VertexId(8)];
+    assert_incremental_matches(|| TerminalSteinerTree::new(&g, &w));
+    assert_cached_replay_matches(|| TerminalSteinerTree::from_graph(g.clone(), &w));
+}
+
+#[test]
+fn directed_steiner_layered_all_front_ends() {
+    let (d, root) = generators::layered_digraph(3, 3);
+    let w = vec![VertexId(7), VertexId(8), VertexId(9)];
+    assert_incremental_matches(|| DirectedSteinerTree::new(&d, root, &w));
+    assert_cached_replay_matches(|| DirectedSteinerTree::from_graph(d.clone(), root, &w));
+}
+
+#[test]
+fn iterator_front_end_matches_reference() {
+    let g = generators::theta_chain(3, 3);
+    let w = [VertexId(0), VertexId(3)];
+    let reference = ordered(Enumeration::new(SteinerTree::new(&g, &w)).with_incremental(false));
+    let iterated: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g.clone(), &w))
+        .into_iter()
+        .expect("valid instance")
+        .collect();
+    assert_eq!(iterated, reference, "pull iterator stream");
+}
+
+/// Deep-backtrack ladder: theta chains drive the recursion `blocks`
+/// levels deep with `width`-way branching at every level, so every
+/// attach/contract delta is applied and undone `width^depth` times. Any
+/// missed or over-eager undo in the connectivity layer shows up as a
+/// diverging stream (and as a debug assertion in the per-node
+/// cross-check).
+#[test]
+fn deep_backtrack_ladder_tree_and_forest() {
+    let g = generators::theta_chain(6, 3);
+    let w = [VertexId(0), VertexId(6)];
+    assert_incremental_matches(|| SteinerTree::new(&g, &w));
+    let sets = vec![vec![VertexId(0), VertexId(6)]];
+    assert_incremental_matches(|| SteinerForest::new(&g, &sets));
+    // A pendant bridge path hanging off the chain keeps the skeleton
+    // non-trivial at every depth (forced-path collection under deep
+    // undo).
+    let mut gp = g.clone();
+    let n = gp.num_vertices();
+    gp.add_vertex();
+    gp.add_vertex();
+    gp.add_edge_indices(3, n).unwrap();
+    gp.add_edge_indices(n, n + 1).unwrap();
+    let wp = [VertexId(0), VertexId(6), VertexId::new(n + 1)];
+    assert_incremental_matches(|| SteinerTree::new(&gp, &wp));
+}
+
+#[test]
+fn incremental_counters_report_the_skipped_passes() {
+    // Forest classification is *fully* incremental: zero rebuilds.
+    let g = generators::grid(3, 4);
+    let sets = vec![
+        vec![VertexId(0), VertexId(11)],
+        vec![VertexId(3), VertexId(8)],
+    ];
+    let (run, stats) = Enumeration::new(SteinerForest::new(&g, &sets)).with_stats();
+    run.run().expect("valid instance");
+    let stats = stats.get();
+    assert!(stats.solutions > 0);
+    assert_eq!(
+        stats.classify_rebuilds, 0,
+        "forest classifies never rebuild"
+    );
+    assert!(stats.classify_incremental > 0);
+
+    // Tree classification serves Unique leaves incrementally and only
+    // rebuilds at branch nodes. A grid has no bridges (nothing is ever
+    // forced — every leaf is Complete, which is O(1) in both modes), so
+    // use a theta-plus-pendants instance where, whichever pendant
+    // terminal the engine branches on first, every path runs through the
+    // hub and leaves the other pendant terminal forced: the leaf
+    // classifies incrementally.
+    let (gp, wp) = hub_pendant_instance();
+    let (run, stats) = Enumeration::new(SteinerTree::new(&gp, &wp)).with_stats();
+    run.run().expect("valid instance");
+    let stats = stats.get();
+    assert!(
+        stats.classify_incremental > 0,
+        "unique leaves served incrementally"
+    );
+    assert!(stats.max_repair_span >= 1, "attach deltas are accounted");
+
+    // With incremental classification off, the counters flip: nothing is
+    // incremental, every non-trivial classify is a rebuild.
+    let (run, stats) = Enumeration::new(SteinerTree::new(&gp, &wp))
+        .with_incremental(false)
+        .with_stats();
+    run.run().expect("valid instance");
+    let stats = stats.get();
+    assert_eq!(stats.classify_incremental, 0);
+    assert!(stats.classify_rebuilds > 0);
+}
+
+#[test]
+fn sharded_merge_folds_incremental_counters() {
+    let (gp, wp) = hub_pendant_instance();
+    let (run, stats) = Enumeration::new(SteinerTree::new(&gp, &wp))
+        .with_threads(4)
+        .with_stats();
+    run.run().expect("valid instance");
+    let stats = stats.get();
+    assert!(
+        stats.classify_incremental > 0,
+        "worker counters survive the merge"
+    );
+}
+
+/// Source 0 joined to a hub by three parallel 2-paths (a theta block),
+/// plus two pendant terminals hanging off the hub. Whichever pendant
+/// terminal is branched on first, every valid path passes the hub, so
+/// the remaining one is bridge-forced and the leaf is a Unique node.
+fn hub_pendant_instance() -> (UndirectedGraph, Vec<VertexId>) {
+    let mut g = UndirectedGraph::new(2); // 0 = source, 1 = hub
+    for _ in 0..3 {
+        let mid = g.add_vertex();
+        g.add_edge(VertexId(0), mid).unwrap();
+        g.add_edge(mid, VertexId(1)).unwrap();
+    }
+    let t1 = g.add_vertex();
+    g.add_edge(VertexId(1), t1).unwrap();
+    let t2 = g.add_vertex();
+    g.add_edge(VertexId(1), t2).unwrap();
+    (g, vec![VertexId(0), t1, t2])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random connected multigraphs: the incremental Steiner-tree stream
+    /// equals the fresh-recomputation stream exactly.
+    #[test]
+    fn tree_incremental_equals_reference(g in connected_graph(), mask in 1u8..128) {
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        if w.is_empty() {
+            return Ok(());
+        }
+        let on = Enumeration::new(SteinerTree::new(&g, &w)).collect_vec();
+        let off = Enumeration::new(SteinerTree::new(&g, &w))
+            .with_incremental(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Random instances for the forest enumerator (pairs overlap and
+    /// interact, exercising the contract-delta labels).
+    #[test]
+    fn forest_incremental_equals_reference(g in connected_graph(), m1 in 1u8..128, m2 in 1u8..128) {
+        let n = g.num_vertices();
+        let sets = vec![
+            terminal_subset(n, m1, 3),
+            terminal_subset(n, m2, 3),
+        ];
+        let on = Enumeration::new(SteinerForest::new(&g, &sets)).collect_vec();
+        let off = Enumeration::new(SteinerForest::new(&g, &sets))
+            .with_incremental(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Random instances for the terminal variant (barrier vertices in
+    /// the skeleton, per-component floods).
+    #[test]
+    fn terminal_incremental_equals_reference(g in connected_graph(), mask in 1u8..128) {
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        if w.len() < 2 {
+            return Ok(());
+        }
+        let on = Enumeration::new(TerminalSteinerTree::new(&g, &w)).collect_vec();
+        let off = Enumeration::new(TerminalSteinerTree::new(&g, &w))
+            .with_incremental(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Random digraphs (cycles included) for the directed variant's
+    /// unique-in-arc skeleton.
+    #[test]
+    fn directed_incremental_equals_reference(d in digraph(), mask in 1u8..64) {
+        let w = terminal_subset(d.num_vertices(), mask, 3);
+        let root = VertexId(0);
+        let w: Vec<VertexId> = w.into_iter().filter(|&v| v != root).collect();
+        if w.is_empty() {
+            return Ok(());
+        }
+        let on = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).collect_vec();
+        let off = Enumeration::new(DirectedSteinerTree::new(&d, root, &w))
+            .with_incremental(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Sharded + incremental on random instances: the merged stream
+    /// equals the sequential reference for k ∈ {2, 4}.
+    #[test]
+    fn sharded_incremental_equals_reference(g in connected_graph(), mask in 1u8..128) {
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        if w.is_empty() {
+            return Ok(());
+        }
+        let reference = Enumeration::new(SteinerTree::new(&g, &w))
+            .with_incremental(false)
+            .collect_vec();
+        for k in [2usize, 4] {
+            let sharded = Enumeration::new(SteinerTree::new(&g, &w))
+                .with_threads(k)
+                .collect_vec();
+            prop_assert_eq!(&sharded, &reference, "threads({})", k);
+        }
+    }
+}
+
+/// Strategy: a connected graph on `n ∈ [2, 7]` vertices — a path backbone
+/// plus up to 8 random extra edges (parallel edges allowed, exercising
+/// the multigraph code paths).
+fn connected_graph() -> impl Strategy<Value = UndirectedGraph> {
+    (2usize..=7).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n), 0..8);
+        extra.prop_map(move |pairs| {
+            let mut g = UndirectedGraph::new(n);
+            for i in 1..n {
+                g.add_edge_indices(i - 1, i).unwrap();
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge_indices(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a digraph on `n ∈ [2, 6]` vertices with random arcs.
+fn digraph() -> impl Strategy<Value = DiGraph> {
+    (2usize..=6).prop_flat_map(|n| {
+        let arcs = proptest::collection::vec((0..n, 0..n), 0..12);
+        arcs.prop_map(move |pairs| {
+            let mut d = DiGraph::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    d.add_arc_indices(u, v).unwrap();
+                }
+            }
+            d
+        })
+    })
+}
+
+fn terminal_subset(n: usize, mask: u8, max: usize) -> Vec<VertexId> {
+    let mask = mask as u64;
+    let mut w: Vec<VertexId> = (0..n.min(63))
+        .filter(|i| mask & (1u64 << i) != 0)
+        .map(VertexId::new)
+        .collect();
+    w.truncate(max);
+    w
+}
