@@ -17,6 +17,7 @@ use steiner_core::{
     DirectedSteinerTree, Enumeration, ResultCache, SteinerForest, SteinerTree, TerminalSteinerTree,
 };
 use steiner_graph::{EdgeId, VertexId};
+use steiner_service::{EnumerationEngine, Query, QueryOptions};
 
 const CAP: u64 = 20_000;
 
@@ -258,6 +259,65 @@ fn st_rows(rows: &mut Vec<Row>) {
             1,
             "the second pass was served from the cache"
         );
+        // Service warm restart: one engine answers the query cold and is
+        // snapshotted; a *restarted* engine restores the snapshot and
+        // serves the identical query as a pure cache replay — no search,
+        // same bytes. The paired rows record the cold/replay wall-clock
+        // gap in BENCH_core.json so CI tracks it per PR.
+        let query = Query::SteinerTree {
+            terminals: inst.terminals.clone(),
+        };
+        let opts = QueryOptions::default().limit(CAP);
+        let service_row = |pass: &str, delays: steiner_bench::measure::DelayStats| Row {
+            problem: "Steiner Tree (§4)".into(),
+            algorithm: format!("service warm-restart ({pass})"),
+            claimed: if pass == "replay" {
+                "O(1)/solution replay".into()
+            } else {
+                "O(n+m) amortized + record".into()
+            },
+            instance: inst.name.clone(),
+            n: inst.graph.num_vertices(),
+            m: inst.graph.num_edges(),
+            t: 4,
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        };
+        let cold_engine = EnumerationEngine::new(inst.graph.clone());
+        let session = cold_engine.session("bench");
+        let delays = record_delays(CAP, |emit| {
+            let outcome = session.run(query.clone(), opts).expect("admitted");
+            assert!(outcome.is_complete());
+            for _ in 0..outcome.solutions.len() {
+                if !emit() {
+                    break;
+                }
+            }
+        });
+        rows.push(service_row("cold", delays));
+        let blob = cold_engine.snapshot();
+        drop(cold_engine);
+        let restarted = EnumerationEngine::new(inst.graph.clone());
+        restarted
+            .restore(&blob)
+            .expect("snapshot of the same graph restores");
+        let session = restarted.session("bench");
+        let delays = record_delays(CAP, |emit| {
+            let outcome = session.run(query.clone(), opts).expect("admitted");
+            assert!(outcome.is_complete());
+            assert_eq!(
+                outcome.stats.cache_hits, 1,
+                "the restarted engine served the query from the snapshot"
+            );
+            for _ in 0..outcome.solutions.len() {
+                if !emit() {
+                    break;
+                }
+            }
+        });
+        rows.push(service_row("replay", delays));
     }
     // Bridged sweep: Unique-completion-dominated instances (grid core +
     // pendant terminals) where the incremental classifier's gap is

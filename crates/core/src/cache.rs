@@ -53,6 +53,9 @@
 //! ```
 
 use crate::intern::{SolutionId, SolutionInterner};
+use crate::snapshot::{
+    fnv1a, Reader, SnapshotError, SnapshotItem, Writer, MAGIC, SNAPSHOT_VERSION,
+};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
@@ -111,6 +114,20 @@ pub struct CacheStats {
     pub bytes: u64,
     /// Entries dropped by LRU eviction so far.
     pub evictions: u64,
+    /// Arena compactions performed so far (dead interned bytes reclaimed
+    /// in place after evictions and rollbacks pushed the dead fraction
+    /// past the threshold, plus the final reclaim of [`ResultCache::clear`]).
+    pub compactions: u64,
+}
+
+/// Pressure deltas one cache mutation caused: entries evicted to make
+/// room, and arena compactions it triggered. The builder folds these into
+/// the recording run's [`EnumStats`](crate::stats::EnumStats) so cache
+/// pressure is attributable per run (and, aggregated, per tenant).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct CachePressure {
+    pub(crate) evicted: u64,
+    pub(crate) compactions: u64,
 }
 
 struct Entry {
@@ -127,6 +144,21 @@ struct Inner<Item> {
     hits: u64,
     misses: u64,
     evictions: u64,
+    compactions: u64,
+}
+
+impl<Item: Copy + Eq + Hash> Inner<Item> {
+    /// Compacts the arena when dead bytes dominate, counting the pass.
+    /// Returns how many compactions ran (0 or 1) for pressure accounting.
+    fn maybe_compact(&mut self) -> u64 {
+        if self.store.dead_fraction() > COMPACT_DEAD_FRACTION {
+            self.store.compact();
+            self.compactions += 1;
+            1
+        } else {
+            0
+        }
+    }
 }
 
 impl<Item> Default for Inner<Item> {
@@ -139,6 +171,7 @@ impl<Item> Default for Inner<Item> {
             hits: 0,
             misses: 0,
             evictions: 0,
+            compactions: 0,
         }
     }
 }
@@ -195,6 +228,7 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
             solutions: inner.map.values().map(|e| e.ids.len() as u64).sum(),
             bytes: inner.store.bytes(),
             evictions: inner.evictions,
+            compactions: inner.compactions,
         }
     }
 
@@ -208,6 +242,7 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
             }
         }
         inner.store.compact();
+        inner.compactions += 1;
     }
 
     /// Bytes of live interned payload (the figure reported as
@@ -321,8 +356,10 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
 
     /// Stores a completed recording under `key`, then enforces the byte
     /// capacity by LRU eviction. Replaces any racing entry for the same
-    /// key (the streams are identical by construction).
-    pub(crate) fn store_entry(&self, key: QueryKey, ids: Vec<SolutionId>) {
+    /// key (the streams are identical by construction). Returns the
+    /// pressure this store caused — entries evicted and compactions run —
+    /// for the recording run's [`EnumStats`](crate::stats::EnumStats).
+    pub(crate) fn store_entry(&self, key: QueryKey, ids: Vec<SolutionId>) -> CachePressure {
         let mut inner = self.lock();
         inner.epoch += 1;
         let entry = Entry {
@@ -334,6 +371,7 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
                 inner.store.release(id);
             }
         }
+        let mut pressure = CachePressure::default();
         if let Some(cap) = inner.capacity_bytes {
             if inner.store.bytes() > cap && inner.map.len() > 1 {
                 // One LRU-ordered sweep, evicting until under the cap —
@@ -351,23 +389,25 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
                         inner.store.release(id);
                     }
                     inner.evictions += 1;
+                    pressure.evicted += 1;
                 }
             }
         }
-        if inner.store.dead_fraction() > COMPACT_DEAD_FRACTION {
-            inner.store.compact();
-        }
+        pressure.compactions += inner.maybe_compact();
+        pressure
     }
 
     /// Hands back references taken by [`Self::checkout`] or a rolled-back
-    /// recording, compacting when dead bytes dominate.
-    pub(crate) fn release_ids(&self, ids: &[SolutionId]) {
+    /// recording, compacting when dead bytes dominate. Returns the
+    /// pressure (compactions only — releases never evict entries).
+    pub(crate) fn release_ids(&self, ids: &[SolutionId]) -> CachePressure {
         let mut inner = self.lock();
         for &id in ids {
             inner.store.release(id);
         }
-        if inner.store.dead_fraction() > COMPACT_DEAD_FRACTION {
-            inner.store.compact();
+        CachePressure {
+            evicted: 0,
+            compactions: inner.maybe_compact(),
         }
     }
 
@@ -381,6 +421,264 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<Item>> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
+
+/// Size of the fixed snapshot header: magic, version, item tag, checksum.
+const SNAPSHOT_HEADER_BYTES: usize = 4 + 4 + 4 + 8;
+
+impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
+    /// Serializes the cache's entries and their deduplicated solution
+    /// payload into the versioned, checksummed format described in
+    /// [`crate::snapshot`]. Deterministic: equal contents produce equal
+    /// bytes (entries are sorted by key). Hit/miss counters and the LRU
+    /// clock are *not* persisted — a snapshot captures answers, not
+    /// telemetry.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let inner = self.lock();
+        let mut keys: Vec<&QueryKey> = inner.map.keys().collect();
+        keys.sort_unstable_by_key(|k| {
+            (
+                k.key.kind,
+                k.key.graph_fingerprint,
+                k.key.query_fingerprint,
+                k.limit,
+            )
+        });
+        let mut kinds: Vec<&'static str> = keys.iter().map(|k| k.key.kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        // Solutions table in first-reference order, hash-consed: an id
+        // shared by several entries is written once and indexed.
+        let mut sol_index: HashMap<SolutionId, u32> = HashMap::new();
+        let mut order: Vec<SolutionId> = Vec::new();
+        for k in &keys {
+            for &id in &inner.map[*k].ids {
+                sol_index.entry(id).or_insert_with(|| {
+                    order.push(id);
+                    (order.len() - 1) as u32
+                });
+            }
+        }
+        let mut w = Writer::new();
+        w.u32(kinds.len() as u32);
+        for kind in &kinds {
+            w.str(kind);
+        }
+        w.u32(order.len() as u32);
+        for &id in &order {
+            let items = inner.store.resolve(id);
+            w.u32(items.len() as u32);
+            for &item in items {
+                w.u32(item.to_raw());
+            }
+        }
+        w.u32(keys.len() as u32);
+        for k in &keys {
+            let entry = &inner.map[*k];
+            let kind_idx = kinds
+                .iter()
+                .position(|&name| name == k.key.kind)
+                .expect("kind collected from the same key set");
+            w.u32(kind_idx as u32);
+            w.u64(k.key.graph_fingerprint);
+            w.u64(k.key.query_fingerprint);
+            match k.limit {
+                None => {
+                    w.u32(0);
+                    w.u64(0);
+                }
+                Some(l) => {
+                    w.u32(1);
+                    w.u64(l);
+                }
+            }
+            w.u32(entry.ids.len() as u32);
+            for &id in &entry.ids {
+                w.u32(sol_index[&id]);
+            }
+        }
+        let payload = w.buf;
+        let mut out = Vec::with_capacity(SNAPSHOT_HEADER_BYTES + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&Item::TAG.to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Loads a [`Self::snapshot`] into this cache, returning how many
+    /// entries were restored. The whole snapshot is validated — magic,
+    /// version, item tag, checksum, structure, problem kinds (matched
+    /// against `kinds`, usually
+    /// [`paper_problem_kinds`](crate::snapshot::paper_problem_kinds)),
+    /// and, when `expected_graph` is given, every entry's graph
+    /// fingerprint — **before** anything is mutated: a rejected snapshot
+    /// leaves the cache exactly as it was, and is never partially or
+    /// silently served.
+    ///
+    /// Restored entries merge with existing contents (same-key entries
+    /// are replaced; the streams are identical by construction when keys
+    /// collide honestly). Hit/miss counters are unaffected, and the byte
+    /// capacity is not enforced during the load — the next recorded
+    /// entry evicts as usual.
+    pub fn restore(
+        &self,
+        bytes: &[u8],
+        kinds: &[&'static str],
+        expected_graph: Option<u64>,
+    ) -> Result<u64, SnapshotError> {
+        let parsed = Self::parse_snapshot(bytes, kinds, expected_graph)?;
+        // Everything validated — commit under one lock.
+        let mut inner = self.lock();
+        let mut restored = 0u64;
+        for (qkey, idxs) in parsed.entries {
+            inner.epoch += 1;
+            let epoch = inner.epoch;
+            let ids: Vec<SolutionId> = idxs
+                .iter()
+                .map(|&i| inner.store.intern(&parsed.solutions[i as usize]))
+                .collect();
+            let entry = Entry {
+                ids,
+                last_used: epoch,
+            };
+            if let Some(old) = inner.map.insert(qkey, entry) {
+                for id in old.ids {
+                    inner.store.release(id);
+                }
+            }
+            restored += 1;
+        }
+        Ok(restored)
+    }
+
+    /// Runs [`Self::restore`]'s full validation — header, checksum,
+    /// structure, kinds, graph fingerprints — without committing
+    /// anything. Callers composing several snapshots atomically (the
+    /// `steiner-service` engine frames an edge and an arc snapshot
+    /// together) validate every part first so a half-bad blob cannot
+    /// leave the stores half-restored.
+    pub fn validate_snapshot(
+        &self,
+        bytes: &[u8],
+        kinds: &[&'static str],
+        expected_graph: Option<u64>,
+    ) -> Result<(), SnapshotError> {
+        Self::parse_snapshot(bytes, kinds, expected_graph).map(|_| ())
+    }
+
+    /// Decodes and fully validates a snapshot without touching the
+    /// cache. Shared by [`Self::restore`] and [`Self::validate_snapshot`].
+    fn parse_snapshot(
+        bytes: &[u8],
+        kinds: &[&'static str],
+        expected_graph: Option<u64>,
+    ) -> Result<ParsedSnapshot<Item>, SnapshotError> {
+        if bytes.len() < SNAPSHOT_HEADER_BYTES {
+            return Err(SnapshotError::Corrupted("header truncated"));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(SnapshotError::Corrupted("bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if tag != Item::TAG {
+            return Err(SnapshotError::ItemKindMismatch {
+                stored: tag,
+                expected: Item::TAG,
+            });
+        }
+        let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let payload = &bytes[SNAPSHOT_HEADER_BYTES..];
+        if fnv1a(payload) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut r = Reader::new(payload);
+        // Counts come from the (checksummed) payload, but still bound
+        // every preallocation by the payload size: each element costs at
+        // least 4 bytes, so a structurally absurd count fails cheaply in
+        // the element loop instead of aborting on allocation.
+        let prealloc_cap = payload.len() / 4;
+        let kind_count = r.u32()? as usize;
+        let mut kind_names: Vec<&'static str> = Vec::with_capacity(kind_count.min(prealloc_cap));
+        for _ in 0..kind_count {
+            let name = r.str()?;
+            let resolved = kinds
+                .iter()
+                .copied()
+                .find(|&k| k == name)
+                .ok_or(SnapshotError::UnknownProblemKind(name))?;
+            kind_names.push(resolved);
+        }
+        let sol_count = r.u32()? as usize;
+        let mut solutions: Vec<Vec<Item>> = Vec::with_capacity(sol_count.min(prealloc_cap));
+        for _ in 0..sol_count {
+            let len = r.u32()? as usize;
+            let mut items: Vec<Item> = Vec::with_capacity(len.min(prealloc_cap));
+            for _ in 0..len {
+                items.push(Item::from_raw(r.u32()?));
+            }
+            solutions.push(items);
+        }
+        let entry_count = r.u32()? as usize;
+        let mut entries: Vec<(QueryKey, Vec<u32>)> =
+            Vec::with_capacity(entry_count.min(prealloc_cap));
+        for _ in 0..entry_count {
+            let kind_idx = r.u32()? as usize;
+            let kind = *kind_names
+                .get(kind_idx)
+                .ok_or(SnapshotError::Corrupted("kind index out of range"))?;
+            let graph_fingerprint = r.u64()?;
+            let query_fingerprint = r.u64()?;
+            let limit = match (r.u32()?, r.u64()?) {
+                (0, _) => None,
+                (1, l) => Some(l),
+                _ => return Err(SnapshotError::Corrupted("bad limit flag")),
+            };
+            if let Some(expected) = expected_graph {
+                if graph_fingerprint != expected {
+                    return Err(SnapshotError::GraphMismatch {
+                        stored: graph_fingerprint,
+                        expected,
+                    });
+                }
+            }
+            let n = r.u32()? as usize;
+            let mut idxs: Vec<u32> = Vec::with_capacity(n.min(prealloc_cap));
+            for _ in 0..n {
+                let i = r.u32()?;
+                if i as usize >= solutions.len() {
+                    return Err(SnapshotError::Corrupted("solution index out of range"));
+                }
+                idxs.push(i);
+            }
+            entries.push((
+                QueryKey {
+                    key: CacheKey {
+                        kind,
+                        graph_fingerprint,
+                        query_fingerprint,
+                    },
+                    limit,
+                },
+                idxs,
+            ));
+        }
+        r.finish()?;
+        Ok(ParsedSnapshot { solutions, entries })
+    }
+}
+
+/// A decoded, fully validated snapshot awaiting commit.
+struct ParsedSnapshot<Item> {
+    /// Deduplicated solution payload, indexed by the entries below.
+    solutions: Vec<Vec<Item>>,
+    /// Cache entries as (key, indices into `solutions`).
+    entries: Vec<(QueryKey, Vec<u32>)>,
 }
 
 fn hasher() -> std::collections::hash_map::DefaultHasher {
@@ -588,6 +886,43 @@ mod tests {
             })
             .unwrap();
         assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn store_entry_reports_eviction_pressure() {
+        // Same shape as the LRU test: three 100-byte entries fit, the
+        // fourth forces one eviction — and the store that caused it gets
+        // the delta back for its run's stats.
+        let cache = ResultCache::with_capacity_bytes(350);
+        let payloads: Vec<Vec<Vec<EdgeId>>> = (0u32..4)
+            .map(|i| vec![(0u32..25).map(|j| EdgeId(i * 1000 + j)).collect()])
+            .collect();
+        for (i, p) in payloads.iter().enumerate().take(3) {
+            let ids: Vec<SolutionId> = p.iter().map(|s| cache.intern(s)).collect();
+            let pressure = cache.store_entry(key("st", i as u64, None), ids);
+            assert_eq!(pressure, CachePressure::default(), "within capacity");
+        }
+        let ids: Vec<SolutionId> = payloads[3].iter().map(|s| cache.intern(s)).collect();
+        let pressure = cache.store_entry(key("st", 3, None), ids);
+        assert_eq!(pressure.evicted, 1, "the displaced entry is attributed");
+        assert_eq!(cache.stats().evictions, 1, "and counted globally");
+        assert_eq!(cache.stats().compactions, pressure.compactions);
+    }
+
+    #[test]
+    fn rollback_release_reports_compaction_pressure() {
+        // A rolled-back recording that dominated the arena triggers a
+        // compaction, attributed to the releasing run.
+        let cache: ResultCache<EdgeId> = ResultCache::new();
+        record(&cache, key("st", 0, None), &sols(&[2]));
+        let big: Vec<Vec<EdgeId>> = sols(&[40, 40, 40]);
+        let ids: Vec<SolutionId> = big.iter().map(|s| cache.intern(s)).collect();
+        let pressure = cache.release_ids(&ids);
+        assert_eq!(pressure.evicted, 0, "releases never evict entries");
+        assert_eq!(pressure.compactions, 1, "dead bytes dominated");
+        assert_eq!(cache.stats().compactions, 1);
+        // The surviving entry still replays.
+        assert_eq!(replay_all(&cache, &key("st", 0, None)).unwrap(), sols(&[2]));
     }
 
     #[test]

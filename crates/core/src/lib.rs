@@ -72,7 +72,13 @@
 //! query replays from the store instead of re-running Algorithm 3. Both
 //! are opt-in builder front-ends ([`Enumeration::with_interning`],
 //! [`Enumeration::cached`]) that compose with threads, limits, and the
-//! output queue without changing a byte of the delivered stream.
+//! output queue without changing a byte of the delivered stream. For
+//! long-lived serving, [`snapshot`] persists a cache's entries and
+//! deduplicated payload in a versioned, checksummed format
+//! ([`ResultCache::snapshot`] / [`ResultCache::restore`]) so a restarted
+//! engine answers warm, and [`Enumeration::with_deadline`] bounds a
+//! query's wall-clock time with typed
+//! [`SteinerError::DeadlineExceeded`] abort semantics.
 
 #![warn(missing_docs)]
 
@@ -87,6 +93,7 @@ pub mod partial;
 pub mod problem;
 pub mod queue;
 pub mod simple;
+pub mod snapshot;
 pub mod solver;
 pub mod stats;
 pub mod terminal;
@@ -100,6 +107,7 @@ pub use improved::SteinerTree;
 pub use intern::{SolutionId, SolutionInterner, SolutionSet};
 pub use problem::{MinimalSteinerProblem, NodeStep, Prepared, RootShard, SteinerError};
 pub use queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
+pub use snapshot::{SnapshotError, SnapshotItem};
 pub use solver::{Enumeration, Solutions, StatsHandle};
 pub use stats::EnumStats;
 pub use terminal::TerminalSteinerTree;

@@ -56,6 +56,31 @@ pub enum SteinerError {
     },
     /// Directed instances: a terminal is unreachable from the root.
     UnreachableTerminal(VertexId),
+    /// The per-query deadline
+    /// ([`Enumeration::with_deadline`](crate::solver::Enumeration::with_deadline))
+    /// expired before the enumeration finished. Every solution delivered
+    /// to the sink before the expiry is valid — the stream is a correct
+    /// *prefix* of the full answer — but the run is incomplete, so it is
+    /// never recorded in a [`ResultCache`](crate::cache::ResultCache)
+    /// (the same rollback rule as a sink abort).
+    DeadlineExceeded,
+    /// An admission controller (the `steiner-service` engine) refused to
+    /// enqueue the query: the submitting tenant's queue — or the engine's
+    /// global in-flight pool — is full. The query never ran; resubmit
+    /// after in-flight work drains.
+    AdmissionRejected {
+        /// Queries currently occupying the pool that rejected this one
+        /// (the tenant's queued queries, or the engine-wide in-flight
+        /// count — whichever cap was hit).
+        in_flight: usize,
+        /// The capacity of that pool.
+        capacity: usize,
+    },
+    /// The query shape is not servable in this configuration — e.g. a
+    /// directed Steiner query submitted to a service engine constructed
+    /// without a directed graph view. The payload names the missing
+    /// capability.
+    Unsupported(&'static str),
 }
 
 impl std::fmt::Display for SteinerError {
@@ -86,6 +111,25 @@ impl std::fmt::Display for SteinerError {
             SteinerError::UnreachableTerminal(w) => {
                 write!(f, "terminal {w} is unreachable from the root")
             }
+            SteinerError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded before the enumeration finished \
+                     (the delivered stream is a valid prefix)"
+                )
+            }
+            SteinerError::AdmissionRejected {
+                in_flight,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "admission rejected: {in_flight} queries in flight at capacity {capacity}"
+                )
+            }
+            SteinerError::Unsupported(what) => {
+                write!(f, "unsupported query: {what}")
+            }
         }
     }
 }
@@ -95,7 +139,10 @@ impl SteinerError {
     /// solutions (empty, disconnected, or unreachable), as opposed to a
     /// malformed one (duplicate or out-of-range ids). The deprecated
     /// pre-0.2 entry points and the keyword-search layer treat the former
-    /// as "enumerate nothing".
+    /// as "enumerate nothing". The runtime conditions
+    /// ([`Self::DeadlineExceeded`], [`Self::AdmissionRejected`],
+    /// [`Self::Unsupported`]) are neither: the instance may well have
+    /// solutions that were not (fully) delivered.
     pub fn means_no_solutions(&self) -> bool {
         matches!(
             self,
@@ -443,6 +490,15 @@ mod tests {
             ),
             (SteinerError::DisconnectedTerminals { set: 1 }, "set 1"),
             (SteinerError::UnreachableTerminal(VertexId(5)), "5"),
+            (SteinerError::DeadlineExceeded, "deadline"),
+            (
+                SteinerError::AdmissionRejected {
+                    in_flight: 8,
+                    capacity: 8,
+                },
+                "8",
+            ),
+            (SteinerError::Unsupported("no directed view"), "directed"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -1,0 +1,363 @@
+//! Versioned, checksummed persistence for [`ResultCache`](crate::cache::ResultCache) contents — the
+//! warm-restart format of the service layer.
+//!
+//! A snapshot captures a cache's **entries** (query keys and their
+//! delivered streams) together with the deduplicated solution payload of
+//! its interner arena, so a restarted process answers repeated queries as
+//! cache hits without re-running a single search. The format is:
+//!
+//! * **self-describing** — a magic tag, a format version, and the item
+//!   type ([`EdgeId`] vs [`ArcId`]) lead the file; readers reject
+//!   anything they do not understand with a typed [`SnapshotError`]
+//!   (never a silently wrong replay);
+//! * **checksummed** — an FNV-1a 64 digest over the payload detects
+//!   corruption byte-for-byte (the hash is fixed by this module, not by
+//!   the standard library's randomized hasher, so snapshots verify
+//!   across processes);
+//! * **fingerprint-checked** — every entry carries the graph fingerprint
+//!   it was recorded against, and [`ResultCache::restore`](crate::cache::ResultCache::restore) can demand
+//!   that it match the serving graph ([`SnapshotError::GraphMismatch`]);
+//! * **deduplicated** — structurally equal solutions are written once
+//!   and referenced by index, preserving the arena's hash-consing on
+//!   disk;
+//! * **deterministic** — entries are sorted by key before encoding, so
+//!   equal cache contents produce equal bytes.
+//!
+//! Problem kinds are stored as strings and matched back to `&'static
+//! str` names at restore time against a caller-provided list (usually
+//! [`paper_problem_kinds`]), because [`CacheKey`](crate::cache::CacheKey)'s `kind` field borrows
+//! the problems' compile-time `NAME` constants.
+//!
+//! ```
+//! use steiner_core::cache::ResultCache;
+//! use steiner_core::snapshot::paper_problem_kinds;
+//! use steiner_core::{Enumeration, SteinerTree};
+//! use steiner_graph::{EdgeId, UndirectedGraph, VertexId};
+//!
+//! let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! let w = [VertexId(0), VertexId(2)];
+//! let cache: ResultCache<EdgeId> = ResultCache::new();
+//! let cold = Enumeration::new(SteinerTree::new(&g, &w))
+//!     .cached(&cache)
+//!     .collect_vec()
+//!     .unwrap();
+//!
+//! // ... process restarts: only the bytes survive ...
+//! let bytes = cache.snapshot();
+//! let warm: ResultCache<EdgeId> = ResultCache::new();
+//! warm.restore(&bytes, &paper_problem_kinds(), None).unwrap();
+//!
+//! // The restarted cache serves the repeat as a hit.
+//! let replayed = Enumeration::new(SteinerTree::new(&g, &w))
+//!     .cached(&warm)
+//!     .collect_vec()
+//!     .unwrap();
+//! assert_eq!(replayed, cold);
+//! assert_eq!(warm.stats().hits, 1);
+//! ```
+
+use std::fmt;
+use steiner_graph::{ArcId, EdgeId, VertexId};
+
+/// Leading magic of every snapshot ("STeiner SNapshot").
+pub(crate) const MAGIC: [u8; 4] = *b"STSN";
+
+/// Current format version. Readers reject anything newer (or older, once
+/// the format evolves incompatibly) with
+/// [`SnapshotError::UnsupportedVersion`] instead of guessing.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot was rejected. Every variant is a *refusal to serve
+/// wrong answers*: a cache restored from a bad snapshot would replay
+/// corrupted or mismatched streams as if they were correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes are not a snapshot, or are structurally truncated /
+    /// inconsistent (bad magic, counts pointing past the end, indices
+    /// out of range, trailing garbage). The payload names the first
+    /// structural check that failed.
+    Corrupted(&'static str),
+    /// The snapshot declares a format version this build does not read.
+    UnsupportedVersion(u32),
+    /// The payload checksum does not match — the bytes were damaged
+    /// after writing.
+    ChecksumMismatch,
+    /// The snapshot stores a different item type than the restoring
+    /// cache (e.g. an [`ArcId`] snapshot read into an [`EdgeId`] cache).
+    ItemKindMismatch {
+        /// The item tag found in the snapshot header.
+        stored: u32,
+        /// The restoring cache's item tag.
+        expected: u32,
+    },
+    /// An entry's problem kind is not among the names the caller
+    /// recognizes — the snapshot was written by a build with problems
+    /// this one does not serve.
+    UnknownProblemKind(String),
+    /// An entry was recorded against a different graph than the one the
+    /// restoring engine serves, and the caller demanded a match.
+    GraphMismatch {
+        /// The graph fingerprint stored with the entry.
+        stored: u64,
+        /// The fingerprint of the serving graph.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Corrupted(what) => write!(f, "corrupted snapshot: {what}"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::ItemKindMismatch { stored, expected } => {
+                write!(
+                    f,
+                    "snapshot stores item kind {stored}, cache expects {expected}"
+                )
+            }
+            SnapshotError::UnknownProblemKind(kind) => {
+                write!(f, "snapshot entry for unknown problem kind {kind:?}")
+            }
+            SnapshotError::GraphMismatch { stored, expected } => {
+                write!(
+                    f,
+                    "snapshot recorded against graph {stored:#018x}, serving graph is {expected:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Item types a [`ResultCache`](crate::cache::ResultCache) snapshot can carry. The tag discriminates
+/// them in the header so an arc snapshot can never restore into an edge
+/// cache; the raw form is the id's dense `u32`.
+pub trait SnapshotItem: Copy {
+    /// Header tag for this item type (stable across versions).
+    const TAG: u32;
+    /// The id's dense index, as written to the snapshot.
+    fn to_raw(self) -> u32;
+    /// Rebuilds the id from its dense index.
+    fn from_raw(raw: u32) -> Self;
+}
+
+impl SnapshotItem for EdgeId {
+    const TAG: u32 = 1;
+    fn to_raw(self) -> u32 {
+        self.0
+    }
+    fn from_raw(raw: u32) -> Self {
+        EdgeId(raw)
+    }
+}
+
+impl SnapshotItem for ArcId {
+    const TAG: u32 = 2;
+    fn to_raw(self) -> u32 {
+        self.0
+    }
+    fn from_raw(raw: u32) -> Self {
+        ArcId(raw)
+    }
+}
+
+impl SnapshotItem for VertexId {
+    const TAG: u32 = 3;
+    fn to_raw(self) -> u32 {
+        self.0
+    }
+    fn from_raw(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+/// The kind names of the four paper problems, in a fixed order — the
+/// usual `kinds` argument to [`ResultCache::restore`](crate::cache::ResultCache::restore). (Restore only
+/// needs the names *present in the snapshot* to appear; passing all four
+/// is always safe, for either item type.)
+pub fn paper_problem_kinds() -> [&'static str; 4] {
+    use crate::problem::MinimalSteinerProblem;
+    [
+        <crate::improved::SteinerTree as MinimalSteinerProblem>::NAME,
+        <crate::forest::SteinerForest as MinimalSteinerProblem>::NAME,
+        <crate::terminal::TerminalSteinerTree as MinimalSteinerProblem>::NAME,
+        <crate::directed::DirectedSteinerTree as MinimalSteinerProblem>::NAME,
+    ]
+}
+
+/// FNV-1a 64 over `bytes` — a fixed, dependency-free digest (unlike
+/// `DefaultHasher`, whose keys are randomized per process) so snapshots
+/// written by one process verify in another.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Little-endian payload writer.
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Little-endian payload reader; every read is bounds-checked and fails
+/// with [`SnapshotError::Corrupted`] rather than panicking.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(SnapshotError::Corrupted("payload truncated"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupted("kind name is not UTF-8"))
+    }
+
+    /// Asserts the payload is fully consumed — trailing bytes mean the
+    /// counts and the length disagree.
+    pub(crate) fn finish(self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupted("trailing bytes after payload"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Reference vectors for the 64-bit FNV-1a parameters; a silent
+        // change here would invalidate every existing snapshot.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn reader_rejects_truncation_and_trailing_bytes() {
+        let mut w = Writer::new();
+        w.u32(7);
+        w.str("steiner");
+        let buf = w.buf;
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.str().unwrap(), "steiner");
+        r.finish().unwrap();
+
+        let mut truncated = Reader::new(&buf[..buf.len() - 1]);
+        assert_eq!(truncated.u32().unwrap(), 7);
+        assert_eq!(
+            truncated.str(),
+            Err(SnapshotError::Corrupted("payload truncated"))
+        );
+
+        let mut r = Reader::new(&buf);
+        let _ = r.u32().unwrap();
+        assert_eq!(
+            r.finish(),
+            Err(SnapshotError::Corrupted("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn item_tags_are_distinct_and_round_trip() {
+        assert_ne!(EdgeId::TAG, ArcId::TAG);
+        assert_ne!(EdgeId::TAG, VertexId::TAG);
+        assert_eq!(EdgeId::from_raw(EdgeId(9).to_raw()), EdgeId(9));
+        assert_eq!(ArcId::from_raw(ArcId(3).to_raw()), ArcId(3));
+        assert_eq!(VertexId::from_raw(VertexId(5).to_raw()), VertexId(5));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        for (err, needle) in [
+            (SnapshotError::Corrupted("bad magic"), "bad magic"),
+            (SnapshotError::UnsupportedVersion(9), "9"),
+            (SnapshotError::ChecksumMismatch, "checksum"),
+            (
+                SnapshotError::ItemKindMismatch {
+                    stored: 2,
+                    expected: 1,
+                },
+                "item kind 2",
+            ),
+            (
+                SnapshotError::UnknownProblemKind("mystery".into()),
+                "mystery",
+            ),
+            (
+                SnapshotError::GraphMismatch {
+                    stored: 1,
+                    expected: 2,
+                },
+                "graph",
+            ),
+        ] {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+        }
+    }
+}

@@ -37,7 +37,7 @@
 //! assert_eq!(trees.len(), 2);
 //! ```
 
-use crate::cache::{QueryKey, ResultCache};
+use crate::cache::{CachePressure, QueryKey, ResultCache};
 use crate::intern::{SolutionId, SolutionSet};
 use crate::problem::{
     MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, RootShard, SteinerError,
@@ -49,6 +49,7 @@ use std::cell::Cell;
 use std::hash::Hash;
 use std::ops::ControlFlow;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use steiner_paths::streaming::{self, MergeEvent, ShardMerge, ShardMsg};
 
 /// A shared, clonable handle to the statistics of one enumeration run,
@@ -209,6 +210,7 @@ pub struct Enumeration<P: MinimalSteinerProblem> {
     problem: P,
     queue: QueueOpt,
     limit: Option<u64>,
+    deadline: Option<Instant>,
     stats_handle: Option<StatsHandle>,
     threads: usize,
     interner: Option<SolutionSet<P::Item>>,
@@ -223,6 +225,7 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
             problem,
             queue: QueueOpt::Direct,
             limit: None,
+            deadline: None,
             stats_handle: None,
             threads: 1,
             interner: None,
@@ -297,6 +300,37 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     pub fn with_limit(mut self, n: u64) -> Self {
         self.limit = Some(n);
         self
+    }
+
+    /// **Per-query deadline.** Aborts the run once `deadline` passes,
+    /// returning [`SteinerError::DeadlineExceeded`] from the push
+    /// front-ends (or surfacing it through [`Solutions::error`] on the
+    /// pull front-end). Every solution delivered before the expiry is
+    /// valid — the stream is a correct *prefix* of the full answer in the
+    /// engine's deterministic order — but the run is incomplete, so a
+    /// [`Self::cached`] recording is rolled back exactly as for a sink
+    /// abort, and buffered [`Self::with_queue`] output is dropped rather
+    /// than flushed.
+    ///
+    /// The clock is checked at every delivery and every
+    /// [`DEADLINE_CHECK_INTERVAL`]-th engine tick (once per search-tree
+    /// node), so the overshoot past the deadline is bounded by a constant
+    /// number of node expansions — the same linear-delay granularity the
+    /// paper's guarantee is stated in. Under [`Self::with_threads`] the
+    /// check runs at the merge point; workers stop at their next
+    /// (bounded) channel send. A cache **hit** is never interrupted:
+    /// replay is O(output) with no search, and the stored stream is only
+    /// ever a complete answer.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// [`Self::with_deadline`] measured from now: the run aborts once
+    /// `timeout` has elapsed.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let deadline = Instant::now() + timeout;
+        self.with_deadline(deadline)
     }
 
     /// Publishes the run's [`EnumStats`] through a clonable handle —
@@ -496,17 +530,19 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
                 // the sink did not abort it, or when the abort coincided
                 // with the configured limit (the limit is part of the
                 // key, so the capped stream is the full answer for it).
-                if !user_broke || Some(delivered) == limit {
-                    cache.store_entry(qkey, ids);
+                let pressure = if !user_broke || Some(delivered) == limit {
+                    cache.store_entry(qkey, ids)
                 } else {
-                    cache.release_ids(&ids);
-                }
+                    cache.release_ids(&ids)
+                };
                 stats.cache_misses = 1;
+                stats.evicted_entries += pressure.evicted;
+                stats.compactions += pressure.compactions;
                 stats.interned_bytes = cache.bytes();
                 Ok(publish(stats))
             }
             Err(e) => {
-                cache.release_ids(&ids);
+                let _ = cache.release_ids(&ids);
                 Err(e)
             }
         }
@@ -532,20 +568,38 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
             let mut original = self.problem;
             let prepared = original.prepare()?;
             let root_log = record_root_log(&mut original, prepared, self.limit);
-            return run_sharded(
+            let (stats, expired) = run_sharded(
                 shards,
                 root_log,
                 queue,
                 self.limit,
+                self.deadline,
                 self.stats_handle.as_ref(),
                 sink,
-            );
+            )?;
+            if expired {
+                return Err(SteinerError::DeadlineExceeded);
+            }
+            return Ok(stats);
         }
         let prepared = self.problem.prepare()?;
         let queue = self.queue_config();
-        let stats = run_configured(&mut self.problem, prepared, queue, self.limit, sink);
+        let (stats, expired) = run_configured(
+            &mut self.problem,
+            prepared,
+            queue,
+            self.limit,
+            self.deadline,
+            sink,
+        );
         if let Some(handle) = &self.stats_handle {
             handle.set(stats);
+        }
+        if expired {
+            // The handle already carries the partial-run stats; the error
+            // is the caller-facing verdict (and triggers cache rollback
+            // in `for_each`'s recording path).
+            return Err(SteinerError::DeadlineExceeded);
         }
         Ok(stats)
     }
@@ -613,7 +667,11 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
         let cache = self.cache.take();
         let interner = self.interner.take();
         let limit = self.limit;
+        let deadline = self.deadline;
         let handle = self.stats_handle.clone();
+        // Terminal-error slot shared with the worker thread, surfaced
+        // through [`Solutions::error`] once the stream ends.
+        let error_slot: Arc<Mutex<Option<SteinerError>>> = Arc::new(Mutex::new(None));
         // Cache lookup first: a hit replays the interned stream without
         // preparing (or even validating) anything — the stored stream
         // proves the instance was valid.
@@ -661,7 +719,12 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
                                 handle.set(EnumStats::for_cache_hit(delivered, bytes));
                             }
                         });
-                        return Ok(Solutions { inner });
+                        // Replay never runs the engine, so it can neither
+                        // miss a deadline nor fail: the slot stays empty.
+                        return Ok(Solutions {
+                            inner,
+                            error: error_slot,
+                        });
                     }
                     recorder = Some(CacheRecorder::new(cache.clone(), qkey, limit));
                 }
@@ -681,20 +744,25 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
                 // coordinator thread, which records the shared root child
                 // log once before the workers prepare their own copies.
                 let mut original = self.problem;
+                let worker_error = Arc::clone(&error_slot);
                 let inner = streaming::Enumeration::spawn(move |send| {
                     let root_log = record_root_log(&mut original, Prepared::Search, limit);
                     let mut recorder = recorder;
-                    let stats = run_sharded(
+                    let (stats, expired) = run_sharded(
                         shards,
                         root_log,
                         queue,
                         limit,
+                        deadline,
                         None,
                         &mut |items: &[P::Item]| {
                             deliver_to_iterator(&mut recorder, &interner, items, send)
                         },
                     )
                     .expect("shard preparation failed although the original instance prepared");
+                    if expired {
+                        note_iterator_deadline(&mut recorder, &worker_error);
+                    }
                     finish_iterator_worker(
                         recorder,
                         keyless_miss,
@@ -703,24 +771,52 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
                         handle.as_ref(),
                     );
                 });
-                return Ok(Solutions { inner });
+                return Ok(Solutions {
+                    inner,
+                    error: error_slot,
+                });
             }
             (_, prepared) => prepared,
         };
         let mut problem = self.problem;
+        let worker_error = Arc::clone(&error_slot);
         let inner = steiner_paths::streaming::Enumeration::spawn(move |send| {
             let mut recorder = recorder;
-            let stats = run_configured(
+            let (stats, expired) = run_configured(
                 &mut problem,
                 prepared,
                 queue,
                 limit,
+                deadline,
                 &mut |items: &[P::Item]| deliver_to_iterator(&mut recorder, &interner, items, send),
             );
+            if expired {
+                note_iterator_deadline(&mut recorder, &worker_error);
+            }
             finish_iterator_worker(recorder, keyless_miss, &interner, stats, handle.as_ref());
         });
-        Ok(Solutions { inner })
+        Ok(Solutions {
+            inner,
+            error: error_slot,
+        })
     }
+}
+
+/// A deadline expired on the iterator front-end's worker: record the
+/// typed error for [`Solutions::error`] and mark a cold `cached()`
+/// recording as aborted so [`CacheRecorder::finish`] rolls it back — a
+/// deadline'd stream is a prefix, never the complete cacheable answer.
+fn note_iterator_deadline<Item: Copy + Eq + Hash>(
+    recorder: &mut Option<CacheRecorder<Item>>,
+    error: &Mutex<Option<SteinerError>>,
+) {
+    if let Some(r) = recorder.as_mut() {
+        r.broke = true;
+    }
+    error
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get_or_insert(SteinerError::DeadlineExceeded);
 }
 
 /// Records a cold `cached()` run's delivered stream on the iterator
@@ -752,15 +848,15 @@ impl<Item: Copy + Eq + Hash> CacheRecorder<Item> {
         self.delivered += 1;
     }
 
-    /// Stores or rolls back the recording; returns the cache for final
-    /// byte accounting.
-    fn finish(self) -> ResultCache<Item> {
-        if !self.broke || Some(self.delivered) == self.limit {
-            self.cache.store_entry(self.key, self.ids);
+    /// Stores or rolls back the recording; returns the cache (for final
+    /// byte accounting) and the pressure the settlement caused.
+    fn finish(self) -> (ResultCache<Item>, CachePressure) {
+        let pressure = if !self.broke || Some(self.delivered) == self.limit {
+            self.cache.store_entry(self.key, self.ids)
         } else {
-            self.cache.release_ids(&self.ids);
-        }
-        self.cache
+            self.cache.release_ids(&self.ids)
+        };
+        (self.cache, pressure)
     }
 }
 
@@ -801,8 +897,10 @@ fn finish_iterator_worker<Item: Copy + Eq + Hash>(
     handle: Option<&StatsHandle>,
 ) {
     if let Some(r) = recorder {
-        let cache = r.finish();
+        let (cache, pressure) = r.finish();
         stats.cache_misses = 1;
+        stats.evicted_entries += pressure.evicted;
+        stats.compactions += pressure.compactions;
         stats.interned_bytes = stats.interned_bytes.max(cache.bytes());
     } else if let Some(cache) = keyless_miss {
         stats.cache_misses = 1;
@@ -844,32 +942,109 @@ impl LimitCap {
     }
 }
 
-/// Assembles the sink chain (limit cap, optional output queue) and runs
-/// the prepared problem.
+/// Engine ticks between two deadline clock reads. A tick fires once per
+/// search-tree node, so the overshoot past an expired deadline is at most
+/// this many node expansions (each O(n + m) in the worst case) — bounded,
+/// and cheap enough that `Instant::now` stays invisible in profiles.
+pub const DEADLINE_CHECK_INTERVAL: u32 = 32;
+
+/// The outermost stage of the sink chain when a deadline is set: reads
+/// the clock at every solution and every [`DEADLINE_CHECK_INTERVAL`]-th
+/// tick, and aborts the run (plain `Break`, the queue is *not* flushed)
+/// once the deadline passes, latching the expiry in a shared flag the
+/// front-end converts into [`SteinerError::DeadlineExceeded`].
+struct DeadlineSink<'a, Item: Copy> {
+    deadline: Instant,
+    expired: &'a Cell<bool>,
+    ticks: u32,
+    inner: &'a mut dyn SolutionSink<Item>,
+}
+
+impl<'a, Item: Copy> DeadlineSink<'a, Item> {
+    fn new(
+        deadline: Instant,
+        expired: &'a Cell<bool>,
+        inner: &'a mut dyn SolutionSink<Item>,
+    ) -> Self {
+        DeadlineSink {
+            deadline,
+            expired,
+            ticks: 0,
+            inner,
+        }
+    }
+
+    fn check(&self) -> ControlFlow<()> {
+        if Instant::now() >= self.deadline {
+            self.expired.set(true);
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+impl<Item: Copy> SolutionSink<Item> for DeadlineSink<'_, Item> {
+    fn solution(&mut self, items: &[Item], work: u64) -> ControlFlow<()> {
+        self.check()?;
+        self.inner.solution(items, work)
+    }
+
+    fn tick(&mut self, work: u64) -> ControlFlow<()> {
+        self.ticks += 1;
+        if self.ticks >= DEADLINE_CHECK_INTERVAL {
+            self.ticks = 0;
+            self.check()?;
+        }
+        self.inner.tick(work)
+    }
+
+    fn finish(&mut self) -> ControlFlow<()> {
+        self.inner.finish()
+    }
+}
+
+/// Assembles the sink chain (deadline guard, optional output queue,
+/// limit cap) and runs the prepared problem. The second return value
+/// reports whether the deadline expired mid-run (the stats then describe
+/// the partial run).
 fn run_configured<P: MinimalSteinerProblem>(
     p: &mut P,
     prepared: Prepared<P::Item>,
     queue: Option<QueueConfig>,
     limit: Option<u64>,
+    deadline: Option<Instant>,
     sink: &mut dyn FnMut(&[P::Item]) -> ControlFlow<()>,
-) -> EnumStats {
+) -> (EnumStats, bool) {
     let mut cap = LimitCap::new(limit);
     let mut limited = |items: &[P::Item]| -> ControlFlow<()> { cap.deliver(|| sink(items)) };
     if limit == Some(0) {
-        // Nothing may be delivered; skip the search entirely.
+        // Nothing may be delivered; skip the search entirely (a deadline
+        // cannot expire on a run that never starts).
         p.stats_mut().note_end();
-        return *p.stats();
+        return (*p.stats(), false);
     }
-    match queue {
-        None => {
+    let expired = Cell::new(false);
+    let stats = match (queue, deadline) {
+        (None, None) => {
             let mut direct = DirectSink { sink: &mut limited };
             run_prepared(p, prepared, &mut direct)
         }
-        Some(config) => {
+        (None, Some(d)) => {
+            let mut direct = DirectSink { sink: &mut limited };
+            let mut guarded = DeadlineSink::new(d, &expired, &mut direct);
+            run_prepared(p, prepared, &mut guarded)
+        }
+        (Some(config), None) => {
             let mut queued = OutputQueue::new(config, &mut limited);
             run_prepared(p, prepared, &mut queued)
         }
-    }
+        (Some(config), Some(d)) => {
+            let mut queued = OutputQueue::new(config, &mut limited);
+            let mut guarded = DeadlineSink::new(d, &expired, &mut queued);
+            run_prepared(p, prepared, &mut guarded)
+        }
+    };
+    (stats, expired.get())
 }
 
 /// A block of consecutive solutions from one root child, stored flat
@@ -1182,16 +1357,22 @@ struct MergeOutcome {
     max_gap: u64,
     /// A worker reported `Failed` (its error is in the shared slot).
     failed: bool,
+    /// The deadline expired before the merged stream completed.
+    deadline_expired: bool,
 }
 
 /// Drains the shard merge on the calling thread, applying the limit cap
 /// and the optional output queue to the merged stream — the same sink
 /// chain as the sequential `run_configured`, driven by the merged work
-/// clock.
+/// clock. The deadline (when set) is checked per merge event — batches
+/// arrive at most [`BATCH_SOLUTIONS`] solutions apart and workers emit
+/// heartbeat ticks, so expiry is noticed promptly; the abort drops the
+/// merge, which hangs up every worker channel.
 fn run_merge<Item: Copy>(
     mut merge: ShardMerge<Batch<Item>>,
     queue: Option<QueueConfig>,
     limit: Option<u64>,
+    deadline: Option<Instant>,
     sink: &mut dyn FnMut(&[Item]) -> ControlFlow<()>,
 ) -> MergeOutcome {
     let mut delivered = 0u64;
@@ -1199,6 +1380,14 @@ fn run_merge<Item: Copy>(
     let mut last_emit = 0u64;
     let clock = Cell::new(0u64);
     let mut failed = false;
+    let mut deadline_expired = false;
+    // Completion beats expiry when both race to the same event: a
+    // `Finished` stream is the complete answer, deadline or not.
+    let mut expired_now = || {
+        let hit = matches!(deadline, Some(d) if Instant::now() >= d);
+        deadline_expired |= hit;
+        hit
+    };
     {
         let mut cap = LimitCap::new(limit);
         let mut deliver = |items: &[Item]| -> ControlFlow<()> {
@@ -1233,12 +1422,19 @@ fn run_merge<Item: Copy>(
             None => loop {
                 match merge.next_event() {
                     MergeEvent::Item(batch) => {
+                        if expired_now() {
+                            break;
+                        }
                         clock.set(merge.work());
                         if each_solution(&batch, &mut deliver).is_break() {
                             break;
                         }
                     }
-                    MergeEvent::Tick => {}
+                    MergeEvent::Tick => {
+                        if expired_now() {
+                            break;
+                        }
+                    }
                     MergeEvent::Finished => {
                         clock.set(merge.work());
                         break;
@@ -1254,6 +1450,12 @@ fn run_merge<Item: Copy>(
                 loop {
                     match merge.next_event() {
                         MergeEvent::Item(batch) => {
+                            if expired_now() {
+                                // Abort: buffered output is dropped, not
+                                // flushed — matching the sequential
+                                // deadline-abort semantics.
+                                break;
+                            }
                             clock.set(merge.work());
                             let work = merge.work();
                             if each_solution(&batch, |sol| q.solution(sol, work)).is_break() {
@@ -1261,6 +1463,9 @@ fn run_merge<Item: Copy>(
                             }
                         }
                         MergeEvent::Tick => {
+                            if expired_now() {
+                                break;
+                            }
                             clock.set(merge.work());
                             if q.tick(merge.work()).is_break() {
                                 break;
@@ -1288,6 +1493,7 @@ fn run_merge<Item: Copy>(
         delivered,
         max_gap,
         failed,
+        deadline_expired,
     }
 }
 
@@ -1300,9 +1506,10 @@ fn run_sharded<P>(
     root_log: Option<Vec<RootChildRecord<P::Item>>>,
     queue: Option<QueueConfig>,
     limit: Option<u64>,
+    deadline: Option<Instant>,
     stats_handle: Option<&StatsHandle>,
     sink: &mut dyn FnMut(&[P::Item]) -> ControlFlow<()>,
-) -> Result<EnumStats, SteinerError>
+) -> Result<(EnumStats, bool), SteinerError>
 where
     P: MinimalSteinerProblem + Send,
     P::Item: Send,
@@ -1313,12 +1520,23 @@ where
         if let Some(handle) = stats_handle {
             handle.set(stats);
         }
-        return Ok(stats);
+        return Ok((stats, false));
     }
     let k = shards.len() as u32;
     // One release per `budget` needs clock resolution no coarser than the
-    // budget itself; half of it keeps heartbeat traffic negligible.
-    let tick_every = queue.map(|c| (c.budget / 2).max(1));
+    // budget itself; half of it keeps heartbeat traffic negligible. A
+    // deadline without a queue also needs heartbeats — otherwise a long
+    // solution-free stretch leaves the merge blocked on `next_event` with
+    // no chance to read the clock — at the delay-budget granularity the
+    // queue would have used (4(n + m) work units).
+    let tick_every = match (queue, deadline) {
+        (Some(c), _) => Some((c.budget / 2).max(1)),
+        (None, Some(_)) => {
+            let (n, m) = shards[0].instance_size();
+            Some((4 * (n + m) as u64).max(1))
+        }
+        (None, None) => None,
+    };
     let error: Mutex<Option<SteinerError>> = Mutex::new(None);
     let merged: Mutex<EnumStats> = Mutex::new(EnumStats::default());
     // Modest per-worker runway: capacity × BATCH_SOLUTIONS solutions may
@@ -1380,7 +1598,7 @@ where
                 })
                 .expect("spawn shard worker");
         }
-        run_merge(ShardMerge::new(rxs), queue, limit, sink)
+        run_merge(ShardMerge::new(rxs), queue, limit, deadline, sink)
         // Dropping the merge hangs up every worker channel; the scope
         // then joins the workers (propagating any worker panic).
     });
@@ -1397,7 +1615,7 @@ where
     if let Some(handle) = stats_handle {
         handle.set(stats);
     }
-    Ok(stats)
+    Ok((stats, outcome.deadline_expired))
 }
 
 /// Iterator over the solutions of a background enumeration, returned by
@@ -1405,6 +1623,20 @@ where
 /// ids.
 pub struct Solutions<Item> {
     inner: steiner_paths::streaming::Enumeration<Vec<Item>>,
+    error: Arc<Mutex<Option<SteinerError>>>,
+}
+
+impl<Item> Solutions<Item> {
+    /// The run's terminal error, if any — today only
+    /// [`SteinerError::DeadlineExceeded`], recorded when the run's
+    /// [`Enumeration::with_deadline`] expired mid-stream (instance errors
+    /// are returned synchronously by [`Enumeration::into_iter`] instead).
+    /// The yielded prefix is still valid. Read it after the iterator is
+    /// exhausted: the worker publishes the verdict when the stream ends,
+    /// so a mid-stream read may race a just-expiring deadline.
+    pub fn error(&self) -> Option<SteinerError> {
+        self.error.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
 }
 
 impl<Item> Iterator for Solutions<Item> {

@@ -70,6 +70,15 @@ pub struct EnumStats {
     /// interner or result cache **after** this run — a gauge, not a
     /// per-run delta (0 when the run used neither).
     pub interned_bytes: u64,
+    /// [`ResultCache`](crate::cache::ResultCache) entries evicted (LRU)
+    /// by this run's recording — the cache pressure *this query* caused.
+    /// Sums under [`Self::merge`], so aggregated (e.g. per-tenant) stats
+    /// report total evictions attributable to the aggregate.
+    pub evicted_entries: u64,
+    /// Shared-arena compactions triggered by this run's cache traffic
+    /// (storing its recording, or rolling an aborted one back). Sums
+    /// under [`Self::merge`].
+    pub compactions: u64,
     /// `classify` calls answered from the incremental connectivity layer
     /// (trail-backed [`DynamicSpanning`](steiner_graph::spanning::DynamicSpanning)
     /// reads) instead of a fresh spanning-growth / contraction pass.
@@ -168,6 +177,9 @@ impl EnumStats {
         self.cache_misses += other.cache_misses;
         // A gauge over a shared arena, not a per-run cost: take the max.
         self.interned_bytes = self.interned_bytes.max(other.interned_bytes);
+        // Cache pressure is attributable per run: sum it.
+        self.evicted_entries += other.evicted_entries;
+        self.compactions += other.compactions;
         // Incremental-classification passes and repair work are real
         // per-thread costs: sum them. The repair span is a gauge.
         self.classify_incremental += other.classify_incremental;
@@ -252,6 +264,8 @@ mod tests {
             cache_hits: 1,
             cache_misses: 2,
             interned_bytes: 96,
+            evicted_entries: 3,
+            compactions: 1,
             ..Default::default()
         };
         b.note_emission();
@@ -271,6 +285,31 @@ mod tests {
         assert_eq!(a.cache_hits, 1, "cache counters sum");
         assert_eq!(a.cache_misses, 2);
         assert_eq!(a.interned_bytes, 96, "the shared-arena gauge takes the max");
+        assert_eq!(a.evicted_entries, 3, "cache pressure sums");
+        assert_eq!(a.compactions, 1);
+    }
+
+    #[test]
+    fn merge_folds_cache_pressure() {
+        // Per-run pressure counters are additive costs: each eviction and
+        // each compaction happened exactly once, on some run's behalf.
+        let mut a = EnumStats {
+            evicted_entries: 2,
+            compactions: 1,
+            ..Default::default()
+        };
+        let b = EnumStats {
+            evicted_entries: 5,
+            compactions: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.evicted_entries, 7);
+        assert_eq!(a.compactions, 4);
+        // Merging an idle run changes nothing.
+        let before = a;
+        a.merge(&EnumStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -1,0 +1,900 @@
+//! The long-lived engine: worker pool, admission control, fair
+//! scheduling, and warm-restart persistence.
+//!
+//! See the [crate docs](crate) for the architecture overview and an
+//! end-to-end example.
+
+use std::collections::{HashMap, VecDeque};
+use std::ops::ControlFlow;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use steiner_core::cache::{fingerprint_digraph, fingerprint_undirected};
+use steiner_core::snapshot::paper_problem_kinds;
+use steiner_core::{
+    CacheStats, DirectedSteinerTree, EnumStats, Enumeration, MinimalSteinerProblem, ResultCache,
+    SnapshotError, SnapshotItem, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
+};
+use steiner_graph::{ArcId, DiGraph, EdgeId, UndirectedGraph};
+
+use crate::query::{Query, QueryOptions, QueryOutcome, SolutionItems, Ticket};
+use crate::session::Session;
+
+/// Rejection reason for directed queries on an engine built without a
+/// directed graph view.
+pub(crate) const NO_DIGRAPH: &str =
+    "directed query on an engine built without a directed graph view";
+
+/// Rejection reason for submissions after the engine started shutting
+/// down.
+const SHUT_DOWN: &str = "engine is shut down";
+
+/// Stride-scheduling quantum: a tenant of weight `w` advances its pass
+/// by `STRIDE / w` per dispatched query, so dispatch frequency is
+/// proportional to weight.
+const STRIDE: u64 = 1 << 20;
+
+/// Sizing and admission knobs for an [`EnumerationEngine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads executing queries (at least 1). Each query runs
+    /// on one worker; a query may additionally shard itself via
+    /// [`QueryOptions::threads`](crate::QueryOptions::threads).
+    pub workers: usize,
+    /// Global cap on admitted-but-unfinished queries (queued plus
+    /// running, across all tenants). A submission beyond the cap is
+    /// rejected with [`SteinerError::AdmissionRejected`] — the engine
+    /// never queues unboundedly.
+    pub max_in_flight: usize,
+    /// Per-tenant cap on *queued* (not yet dispatched) queries. A
+    /// tenant at its cap is rejected with
+    /// [`SteinerError::AdmissionRejected`] even when the global pool
+    /// has room, so one tenant cannot squat the whole pool.
+    pub tenant_queue_depth: usize,
+    /// Byte capacity for each of the engine's two result caches
+    /// ([`ResultCache::with_capacity_bytes`]); `None` uses the cache's
+    /// default capacity.
+    pub cache_capacity_bytes: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            max_in_flight: 32,
+            tenant_queue_depth: 8,
+            cache_capacity_bytes: None,
+        }
+    }
+}
+
+/// One admitted, not-yet-executed query.
+struct Job {
+    query: Query,
+    opts: QueryOptions,
+    done: crossbeam_channel::Sender<QueryOutcome>,
+}
+
+/// Per-tenant scheduler state and lifetime counters.
+struct TenantState {
+    name: String,
+    weight: u32,
+    /// Stride-scheduling pass: the tenant with the smallest pass (ties
+    /// broken by name) is dispatched next.
+    pass: u64,
+    queue: VecDeque<Job>,
+    /// [`EnumStats::merge`]-fold of every completed query's counters.
+    stats: EnumStats,
+    completed: u64,
+    rejected: u64,
+    deadline_exceeded: u64,
+}
+
+/// State behind the engine's scheduler lock.
+struct Scheduler {
+    tenants: Vec<TenantState>,
+    by_name: HashMap<String, usize>,
+    /// Admitted and not yet finished (queued + running), all tenants.
+    in_flight: usize,
+    paused: bool,
+    shutdown: bool,
+}
+
+impl Scheduler {
+    /// Picks the queued job of the tenant with the minimum (pass, name)
+    /// and advances that tenant's pass — stride-scheduled weighted
+    /// round-robin, deterministic given the queue states.
+    fn next_job(&mut self) -> Option<(usize, Job)> {
+        let mut best: Option<usize> = None;
+        for i in 0..self.tenants.len() {
+            if self.tenants[i].queue.is_empty() {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    let (ti, tb) = (&self.tenants[i], &self.tenants[b]);
+                    if (ti.pass, ti.name.as_str()) < (tb.pass, tb.name.as_str()) {
+                        i
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let i = best?;
+        let weight = u64::from(self.tenants[i].weight.max(1));
+        self.tenants[i].pass = self.tenants[i].pass.saturating_add(STRIDE / weight);
+        let job = self.tenants[i]
+            .queue
+            .pop_front()
+            .expect("queue checked non-empty");
+        Some((i, job))
+    }
+
+    /// The smallest pass among registered tenants — the starting pass
+    /// for a newcomer, so joining late never grants catch-up credit.
+    fn min_pass(&self) -> u64 {
+        self.tenants.iter().map(|t| t.pass).min().unwrap_or(0)
+    }
+}
+
+/// State shared between the engine handle, its sessions, and the worker
+/// threads.
+pub(crate) struct Shared {
+    graph: UndirectedGraph,
+    digraph: Option<DiGraph>,
+    graph_fp: u64,
+    digraph_fp: Option<u64>,
+    config: EngineConfig,
+    edge_cache: ResultCache<EdgeId>,
+    arc_cache: ResultCache<ArcId>,
+    sched: Mutex<Scheduler>,
+    work_ready: Condvar,
+}
+
+impl Shared {
+    /// Scheduler lock, recovering from a poisoned mutex (a worker panic
+    /// must not wedge the whole engine).
+    fn lock(&self) -> MutexGuard<'_, Scheduler> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A lifetime snapshot of one tenant's scheduler state and counters.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// The tenant's name (unique within the engine).
+    pub name: String,
+    /// The tenant's scheduling weight (dispatch share).
+    pub weight: u32,
+    /// Queries queued right now (admitted, not yet dispatched).
+    pub queued: usize,
+    /// Queries completed over the engine's lifetime (including
+    /// deadline-expired ones — those delivered a valid prefix).
+    pub completed: u64,
+    /// Submissions refused by admission control.
+    pub rejected: u64,
+    /// Completed queries that hit their deadline.
+    pub deadline_exceeded: u64,
+    /// [`EnumStats::merge`]-fold of every completed query's counters.
+    pub stats: EnumStats,
+}
+
+/// A long-lived, multi-tenant enumeration engine.
+///
+/// Owns one undirected graph (and optionally its directed counterpart),
+/// two shared [`ResultCache`]s (edge-item and arc-item), and a pool of
+/// worker threads. Tenants attach via [`Self::session`] and submit
+/// [`Query`]s; admission control bounds in-flight work, a
+/// stride-scheduled weighted round-robin picks the next query, and
+/// every completed stream is byte-identical to a one-shot
+/// [`Enumeration`] run of the same query.
+///
+/// Dropping the engine drains gracefully: new submissions are refused,
+/// queued queries still execute, and every outstanding [`Ticket`]
+/// resolves before the worker threads exit.
+pub struct EnumerationEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EnumerationEngine {
+    /// An engine over `graph` with the default [`EngineConfig`] and no
+    /// directed view.
+    pub fn new(graph: UndirectedGraph) -> Self {
+        Self::with_graphs(graph, None, EngineConfig::default())
+    }
+
+    /// An engine over `graph` with an explicit configuration.
+    pub fn with_config(graph: UndirectedGraph, config: EngineConfig) -> Self {
+        Self::with_graphs(graph, None, config)
+    }
+
+    /// An engine serving both undirected queries on `graph` and
+    /// [`Query::DirectedSteinerTree`] on `digraph`.
+    pub fn with_graphs(
+        graph: UndirectedGraph,
+        digraph: Option<DiGraph>,
+        config: EngineConfig,
+    ) -> Self {
+        fn make_cache<Item: Copy + Eq + std::hash::Hash>(bytes: Option<u64>) -> ResultCache<Item> {
+            match bytes {
+                Some(b) => ResultCache::with_capacity_bytes(b),
+                None => ResultCache::new(),
+            }
+        }
+        let shared = Arc::new(Shared {
+            graph_fp: fingerprint_undirected(&graph),
+            digraph_fp: digraph.as_ref().map(fingerprint_digraph),
+            graph,
+            digraph,
+            config,
+            edge_cache: make_cache(config.cache_capacity_bytes),
+            arc_cache: make_cache(config.cache_capacity_bytes),
+            sched: Mutex::new(Scheduler {
+                tenants: Vec::new(),
+                by_name: HashMap::new(),
+                in_flight: 0,
+                paused: false,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("steiner-service-{i}"))
+                    .stack_size(steiner_paths::streaming::DEFAULT_STACK_BYTES)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        EnumerationEngine { shared, workers }
+    }
+
+    /// Attaches a tenant with scheduling weight 1. Attaching the same
+    /// name again returns a session for the *same* tenant (shared
+    /// queue, counters, and scheduling state).
+    pub fn session(&self, name: &str) -> Session {
+        self.session_with_weight(name, 1)
+    }
+
+    /// Attaches a tenant with an explicit scheduling weight: the
+    /// dispatch frequency of tenant `t` is proportional to
+    /// `weight(t)` among tenants with queued work. Re-attaching an
+    /// existing tenant updates its weight. A newly registered tenant
+    /// starts at the current minimum pass, so it gets its fair share
+    /// from now on but no retroactive catch-up burst.
+    pub fn session_with_weight(&self, name: &str, weight: u32) -> Session {
+        let mut sched = self.shared.lock();
+        let tenant = match sched.by_name.get(name) {
+            Some(&i) => {
+                sched.tenants[i].weight = weight.max(1);
+                i
+            }
+            None => {
+                let i = sched.tenants.len();
+                let pass = sched.min_pass();
+                sched.tenants.push(TenantState {
+                    name: name.to_string(),
+                    weight: weight.max(1),
+                    pass,
+                    queue: VecDeque::new(),
+                    stats: EnumStats::default(),
+                    completed: 0,
+                    rejected: 0,
+                    deadline_exceeded: 0,
+                });
+                sched.by_name.insert(name.to_string(), i);
+                i
+            }
+        };
+        Session::new(Arc::clone(&self.shared), tenant)
+    }
+
+    /// Holds back dispatch: admitted queries stay queued until
+    /// [`Self::resume`]. Running queries are unaffected. Useful for
+    /// deterministic tests of admission control and scheduling order —
+    /// and note that shutdown overrides a pause, so dropping a paused
+    /// engine still drains its queues.
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Resumes dispatch after [`Self::pause`].
+    pub fn resume(&self) {
+        self.shared.lock().paused = false;
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Blocks until no admitted query is queued or running.
+    pub fn wait_idle(&self) {
+        let mut sched = self.shared.lock();
+        while sched.in_flight > 0 {
+            sched = self
+                .shared
+                .work_ready
+                .wait(sched)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Admitted-but-unfinished queries right now (queued + running).
+    pub fn in_flight(&self) -> usize {
+        self.shared.lock().in_flight
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.shared.config
+    }
+
+    /// The undirected graph every undirected query runs against.
+    pub fn graph(&self) -> &UndirectedGraph {
+        &self.shared.graph
+    }
+
+    /// The directed view, when the engine was built with one.
+    pub fn digraph(&self) -> Option<&DiGraph> {
+        self.shared.digraph.as_ref()
+    }
+
+    /// Counters of the (edge-item, arc-item) result caches.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+        (
+            self.shared.edge_cache.stats(),
+            self.shared.arc_cache.stats(),
+        )
+    }
+
+    /// A [`TenantReport`] per registered tenant, sorted by name.
+    pub fn tenants(&self) -> Vec<TenantReport> {
+        let sched = self.shared.lock();
+        let mut reports: Vec<TenantReport> = sched
+            .tenants
+            .iter()
+            .map(|t| TenantReport {
+                name: t.name.clone(),
+                weight: t.weight,
+                queued: t.queue.len(),
+                completed: t.completed,
+                rejected: t.rejected,
+                deadline_exceeded: t.deadline_exceeded,
+                stats: t.stats,
+            })
+            .collect();
+        reports.sort_by(|a, b| a.name.cmp(&b.name));
+        reports
+    }
+
+    /// Serializes both result caches into one deterministic,
+    /// versioned, checksummed byte blob (the engine-level framing of
+    /// [`ResultCache::snapshot`]). Feed it to [`Self::restore`] on a
+    /// freshly constructed engine over the same graphs to answer warm
+    /// after a restart.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let edges = self.shared.edge_cache.snapshot();
+        let arcs = self.shared.arc_cache.snapshot();
+        let mut out = Vec::with_capacity(16 + edges.len() + arcs.len());
+        out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+        out.extend_from_slice(&edges);
+        out.extend_from_slice(&(arcs.len() as u64).to_le_bytes());
+        out.extend_from_slice(&arcs);
+        out
+    }
+
+    /// Loads a [`Self::snapshot`] blob into this engine's caches,
+    /// returning the number of cached query results restored.
+    ///
+    /// Every stored entry is validated against this engine's graph
+    /// fingerprints (and the directed entries against the directed
+    /// view's, when present) **before** anything is committed: a
+    /// corrupted, truncated, version-skewed, or wrong-graph snapshot is
+    /// rejected with a typed [`SnapshotError`] and the caches are left
+    /// untouched — a stale snapshot is never silently served.
+    pub fn restore(&self, bytes: &[u8]) -> Result<u64, SnapshotError> {
+        let (edges, rest) = take_frame(bytes)?;
+        let (arcs, rest) = take_frame(rest)?;
+        if !rest.is_empty() {
+            return Err(SnapshotError::Corrupted(
+                "trailing bytes after service frame",
+            ));
+        }
+        let kinds = paper_problem_kinds();
+        // Validate both parts before committing either, so a half-bad
+        // snapshot cannot leave the engine half-restored.
+        self.shared
+            .edge_cache
+            .validate_snapshot(edges, &kinds, Some(self.shared.graph_fp))?;
+        self.shared
+            .arc_cache
+            .validate_snapshot(arcs, &kinds, self.shared.digraph_fp)?;
+        let restored = self
+            .shared
+            .edge_cache
+            .restore(edges, &kinds, Some(self.shared.graph_fp))?
+            + self
+                .shared
+                .arc_cache
+                .restore(arcs, &kinds, self.shared.digraph_fp)?;
+        Ok(restored)
+    }
+}
+
+impl Drop for EnumerationEngine {
+    /// Graceful drain: refuse new submissions, execute everything
+    /// already admitted (resolving every outstanding [`Ticket`]), then
+    /// join the workers.
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Splits `bytes` into a `u64 LE` length-prefixed frame and the rest.
+fn take_frame(bytes: &[u8]) -> Result<(&[u8], &[u8]), SnapshotError> {
+    if bytes.len() < 8 {
+        return Err(SnapshotError::Corrupted("service frame truncated"));
+    }
+    let (len, rest) = bytes.split_at(8);
+    let len = u64::from_le_bytes(len.try_into().expect("split_at(8)")) as usize;
+    if rest.len() < len {
+        return Err(SnapshotError::Corrupted("service frame truncated"));
+    }
+    Ok(rest.split_at(len))
+}
+
+/// Admission control + enqueue. Called by [`Session::submit`].
+pub(crate) fn submit(
+    shared: &Shared,
+    tenant: usize,
+    query: Query,
+    opts: QueryOptions,
+) -> Result<Ticket, SteinerError> {
+    let mut sched = shared.lock();
+    if sched.shutdown {
+        return Err(SteinerError::Unsupported(SHUT_DOWN));
+    }
+    if query.is_directed() && shared.digraph.is_none() {
+        // Fail fast at submission: the query could never run.
+        return Err(SteinerError::Unsupported(NO_DIGRAPH));
+    }
+    if sched.in_flight >= shared.config.max_in_flight {
+        let in_flight = sched.in_flight;
+        sched.tenants[tenant].rejected += 1;
+        return Err(SteinerError::AdmissionRejected {
+            in_flight,
+            capacity: shared.config.max_in_flight,
+        });
+    }
+    let depth = sched.tenants[tenant].queue.len();
+    if depth >= shared.config.tenant_queue_depth {
+        sched.tenants[tenant].rejected += 1;
+        return Err(SteinerError::AdmissionRejected {
+            in_flight: depth,
+            capacity: shared.config.tenant_queue_depth,
+        });
+    }
+    let (done, rx) = crossbeam_channel::bounded(1);
+    sched.tenants[tenant]
+        .queue
+        .push_back(Job { query, opts, done });
+    sched.in_flight += 1;
+    drop(sched);
+    shared.work_ready.notify_all();
+    Ok(Ticket { rx })
+}
+
+/// One tenant's report, by index. Called by [`Session::report`].
+pub(crate) fn tenant_report(shared: &Shared, tenant: usize) -> TenantReport {
+    let sched = shared.lock();
+    let t = &sched.tenants[tenant];
+    TenantReport {
+        name: t.name.clone(),
+        weight: t.weight,
+        queued: t.queue.len(),
+        completed: t.completed,
+        rejected: t.rejected,
+        deadline_exceeded: t.deadline_exceeded,
+        stats: t.stats,
+    }
+}
+
+pub(crate) fn tenant_name(shared: &Shared, tenant: usize) -> String {
+    shared.lock().tenants[tenant].name.clone()
+}
+
+/// Worker thread body: pull the next stride-scheduled job, execute it,
+/// fold its stats into the tenant, resolve the ticket. Exits once
+/// shutdown is flagged and every queue is drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let dispatched = {
+            let mut sched = shared.lock();
+            loop {
+                // Shutdown overrides a pause: a paused engine still
+                // drains on drop.
+                if !sched.paused || sched.shutdown {
+                    if let Some(d) = sched.next_job() {
+                        break Some(d);
+                    }
+                }
+                if sched.shutdown {
+                    break None;
+                }
+                sched = shared
+                    .work_ready
+                    .wait(sched)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some((tenant, job)) = dispatched else {
+            return;
+        };
+        let outcome = execute(shared, &job.query, &job.opts);
+        {
+            let mut sched = shared.lock();
+            let t = &mut sched.tenants[tenant];
+            t.stats.merge(&outcome.stats);
+            t.completed += 1;
+            if matches!(outcome.status, Err(SteinerError::DeadlineExceeded)) {
+                t.deadline_exceeded += 1;
+            }
+            sched.in_flight -= 1;
+        }
+        // Wake both idle workers (more queued work may be dispatchable
+        // now that a slot freed) and `wait_idle` callers.
+        shared.work_ready.notify_all();
+        let _ = job.done.send(outcome);
+    }
+}
+
+/// Runs one query against the engine's graph and shared caches. The
+/// problem instance borrows the engine-owned graph — queries carry only
+/// terminals, so construction is O(|query|).
+fn execute(shared: &Shared, query: &Query, opts: &QueryOptions) -> QueryOutcome {
+    if let Some(deadline) = opts.deadline {
+        // The deadline is a caller promise: time spent queued counts.
+        if Instant::now() >= deadline {
+            let solutions = if query.is_directed() {
+                SolutionItems::Arcs(Vec::new())
+            } else {
+                SolutionItems::Edges(Vec::new())
+            };
+            return QueryOutcome {
+                solutions,
+                stats: EnumStats::default(),
+                status: Err(SteinerError::DeadlineExceeded),
+            };
+        }
+    }
+    match query {
+        Query::SteinerTree { terminals } => run(
+            SteinerTree::new(&shared.graph, terminals),
+            &shared.edge_cache,
+            opts,
+            SolutionItems::Edges,
+        ),
+        Query::SteinerForest { sets } => run(
+            SteinerForest::new(&shared.graph, sets),
+            &shared.edge_cache,
+            opts,
+            SolutionItems::Edges,
+        ),
+        Query::TerminalSteinerTree { terminals } => run(
+            TerminalSteinerTree::new(&shared.graph, terminals),
+            &shared.edge_cache,
+            opts,
+            SolutionItems::Edges,
+        ),
+        Query::DirectedSteinerTree { root, terminals } => match shared.digraph.as_ref() {
+            Some(d) => run(
+                DirectedSteinerTree::new(d, *root, terminals),
+                &shared.arc_cache,
+                opts,
+                SolutionItems::Arcs,
+            ),
+            // Submission already rejects this; kept for defence in
+            // depth (e.g. a job admitted through a future API).
+            None => QueryOutcome {
+                solutions: SolutionItems::Arcs(Vec::new()),
+                stats: EnumStats::default(),
+                status: Err(SteinerError::Unsupported(NO_DIGRAPH)),
+            },
+        },
+    }
+}
+
+/// Configures an [`Enumeration`] per `opts`, runs it, and wraps the
+/// delivered stream. The stream is byte-identical to a standalone run
+/// because this *is* a standalone run — the service layer adds nothing
+/// between the engine and the collection sink.
+fn run<P>(
+    problem: P,
+    cache: &ResultCache<P::Item>,
+    opts: &QueryOptions,
+    wrap: fn(Vec<Vec<P::Item>>) -> SolutionItems,
+) -> QueryOutcome
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send + SnapshotItem,
+{
+    let mut e = Enumeration::new(problem).cached(cache);
+    if let Some(n) = opts.limit {
+        e = e.with_limit(n);
+    }
+    if let Some(deadline) = opts.deadline {
+        e = e.with_deadline(deadline);
+    }
+    if opts.queue {
+        e = e.with_default_queue();
+    }
+    if opts.threads > 1 {
+        e = e.with_threads(opts.threads);
+    }
+    let (e, handle) = e.with_stats();
+    let mut solutions = Vec::new();
+    let status = e.for_each(|items| {
+        solutions.push(items.to_vec());
+        ControlFlow::Continue(())
+    });
+    match status {
+        Ok(stats) => QueryOutcome {
+            solutions: wrap(solutions),
+            stats,
+            status: Ok(()),
+        },
+        Err(SteinerError::DeadlineExceeded) => QueryOutcome {
+            // The prefix delivered before expiry is valid; the stats
+            // were published through the handle before the abort.
+            solutions: wrap(solutions),
+            stats: handle.get(),
+            status: Err(SteinerError::DeadlineExceeded),
+        },
+        Err(err) => QueryOutcome {
+            solutions: wrap(Vec::new()),
+            stats: handle.get(),
+            status: Err(err),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steiner_graph::VertexId;
+
+    fn square() -> UndirectedGraph {
+        UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    fn tree_query() -> Query {
+        Query::SteinerTree {
+            terminals: vec![VertexId(0), VertexId(2)],
+        }
+    }
+
+    /// A scheduler with `queued[i]` jobs waiting for tenant `i`.
+    fn scheduler(tenants: &[(&str, u32, usize)]) -> Scheduler {
+        let mut sched = Scheduler {
+            tenants: Vec::new(),
+            by_name: HashMap::new(),
+            in_flight: 0,
+            paused: false,
+            shutdown: false,
+        };
+        for &(name, weight, queued) in tenants {
+            let mut queue = VecDeque::new();
+            for _ in 0..queued {
+                let (done, _rx) = crossbeam_channel::bounded(1);
+                std::mem::forget(_rx); // keep the channel open for the dummy job
+                queue.push_back(Job {
+                    query: tree_query(),
+                    opts: QueryOptions::default(),
+                    done,
+                });
+            }
+            sched.in_flight += queued;
+            sched.by_name.insert(name.to_string(), sched.tenants.len());
+            sched.tenants.push(TenantState {
+                name: name.to_string(),
+                weight,
+                pass: 0,
+                queue,
+                stats: EnumStats::default(),
+                completed: 0,
+                rejected: 0,
+                deadline_exceeded: 0,
+            });
+        }
+        sched
+    }
+
+    #[test]
+    fn stride_dispatch_is_weight_proportional_and_deterministic() {
+        let mut sched = scheduler(&[("a", 2, 8), ("b", 1, 4)]);
+        let mut order = String::new();
+        while let Some((i, _job)) = sched.next_job() {
+            order.push_str(&sched.tenants[i].name);
+        }
+        // Weight 2:1 → `a` is dispatched twice as often; ties break by
+        // name, so the order is fully deterministic.
+        assert_eq!(order, "abaabaabaaba");
+    }
+
+    #[test]
+    fn equal_weights_round_robin() {
+        let mut sched = scheduler(&[("x", 1, 3), ("y", 1, 3)]);
+        let mut order = String::new();
+        while let Some((i, _job)) = sched.next_job() {
+            order.push_str(&sched.tenants[i].name);
+        }
+        assert_eq!(order, "xyxyxy");
+    }
+
+    #[test]
+    fn admission_rejects_beyond_tenant_queue_depth() {
+        let engine = EnumerationEngine::with_config(
+            square(),
+            EngineConfig {
+                workers: 1,
+                max_in_flight: 16,
+                tenant_queue_depth: 2,
+                cache_capacity_bytes: None,
+            },
+        );
+        engine.pause(); // hold jobs in the queue deterministically
+        let s = engine.session("t");
+        let t1 = s.submit(tree_query(), QueryOptions::default()).unwrap();
+        let t2 = s.submit(tree_query(), QueryOptions::default()).unwrap();
+        let err = s.submit(tree_query(), QueryOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SteinerError::AdmissionRejected {
+                in_flight: 2,
+                capacity: 2
+            }
+        );
+        assert_eq!(s.report().rejected, 1);
+        engine.resume();
+        assert!(t1.wait().is_complete());
+        assert!(t2.wait().is_complete());
+    }
+
+    #[test]
+    fn admission_rejects_beyond_global_pool() {
+        let engine = EnumerationEngine::with_config(
+            square(),
+            EngineConfig {
+                workers: 1,
+                max_in_flight: 2,
+                tenant_queue_depth: 8,
+                cache_capacity_bytes: None,
+            },
+        );
+        engine.pause();
+        let a = engine.session("a");
+        let b = engine.session("b");
+        let _t1 = a.submit(tree_query(), QueryOptions::default()).unwrap();
+        let _t2 = a.submit(tree_query(), QueryOptions::default()).unwrap();
+        let err = b.submit(tree_query(), QueryOptions::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SteinerError::AdmissionRejected {
+                in_flight: 2,
+                capacity: 2
+            }
+        );
+        engine.resume();
+        engine.wait_idle();
+        assert_eq!(engine.in_flight(), 0);
+    }
+
+    #[test]
+    fn directed_query_without_digraph_is_unsupported_at_submit() {
+        let engine = EnumerationEngine::new(square());
+        let s = engine.session("t");
+        let err = s
+            .submit(
+                Query::DirectedSteinerTree {
+                    root: VertexId(0),
+                    terminals: vec![VertexId(2)],
+                },
+                QueryOptions::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SteinerError::Unsupported(_)));
+    }
+
+    #[test]
+    fn drop_drains_queued_work() {
+        let engine = EnumerationEngine::with_config(
+            square(),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        engine.pause(); // nothing dispatches until drop flips shutdown
+        let s = engine.session("t");
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| s.submit(tree_query(), QueryOptions::default()).unwrap())
+            .collect();
+        drop(engine);
+        for t in tickets {
+            let outcome = t.wait();
+            assert!(outcome.is_complete());
+            assert_eq!(outcome.solutions.len(), 2);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_resolves_without_running() {
+        let engine = EnumerationEngine::new(square());
+        let s = engine.session("t");
+        let opts =
+            QueryOptions::default().deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let outcome = s.run(tree_query(), opts).unwrap();
+        assert_eq!(outcome.status, Err(SteinerError::DeadlineExceeded));
+        assert!(outcome.solutions.is_empty());
+        assert_eq!(s.report().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn snapshot_restores_into_fresh_engine_as_hits() {
+        let engine = EnumerationEngine::new(square());
+        let s = engine.session("t");
+        let cold = s.run(tree_query(), QueryOptions::default()).unwrap();
+        assert_eq!(cold.stats.cache_misses, 1);
+        let blob = engine.snapshot();
+
+        let restarted = EnumerationEngine::new(square());
+        assert_eq!(restarted.restore(&blob).unwrap(), 1);
+        let warm = restarted
+            .session("t")
+            .run(tree_query(), QueryOptions::default())
+            .unwrap();
+        assert_eq!(warm.stats.cache_hits, 1);
+        assert_eq!(warm.solutions, cold.solutions);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_graph_and_corruption_atomically() {
+        let engine = EnumerationEngine::new(square());
+        let s = engine.session("t");
+        s.run(tree_query(), QueryOptions::default()).unwrap();
+        let blob = engine.snapshot();
+
+        // Different graph → every entry's fingerprint mismatches.
+        let other =
+            EnumerationEngine::new(UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap());
+        assert!(matches!(
+            other.restore(&blob),
+            Err(SnapshotError::GraphMismatch { .. })
+        ));
+        let (edge_stats, _) = other.cache_stats();
+        assert_eq!(edge_stats.entries, 0, "rejected restore must not commit");
+
+        // Truncated frame.
+        let fresh = EnumerationEngine::new(square());
+        assert!(matches!(
+            fresh.restore(&blob[..blob.len() - 1]),
+            Err(SnapshotError::Corrupted(_) | SnapshotError::ChecksumMismatch)
+        ));
+        // Trailing junk.
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(matches!(
+            fresh.restore(&long),
+            Err(SnapshotError::Corrupted(_))
+        ));
+        let (edge_stats, _) = fresh.cache_stats();
+        assert_eq!(edge_stats.entries, 0);
+    }
+}

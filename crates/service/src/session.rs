@@ -1,0 +1,62 @@
+//! Tenant handles: the submission front-end of the engine.
+
+use std::sync::Arc;
+
+use steiner_core::SteinerError;
+
+use crate::engine::{self, Shared, TenantReport};
+use crate::query::{Query, QueryOptions, QueryOutcome, Ticket};
+
+/// A tenant's handle onto an [`EnumerationEngine`](crate::EnumerationEngine).
+///
+/// Sessions are cheap to clone and safe to use from any thread; every
+/// clone (and every [`session`](crate::EnumerationEngine::session) call
+/// with the same name) addresses the *same* tenant — one queue, one
+/// weight, one set of counters. A session stays usable after the engine
+/// handle is dropped, but submissions are then refused (the engine
+/// drains and shuts down).
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+    tenant: usize,
+}
+
+impl Session {
+    pub(crate) fn new(shared: Arc<Shared>, tenant: usize) -> Self {
+        Session { shared, tenant }
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> String {
+        engine::tenant_name(&self.shared, self.tenant)
+    }
+
+    /// Submits a query through admission control.
+    ///
+    /// Returns a [`Ticket`] once admitted — the query is queued behind
+    /// the tenant's earlier submissions and dispatched by the engine's
+    /// weighted round-robin. Rejections are immediate and typed:
+    /// [`SteinerError::AdmissionRejected`] when the global in-flight
+    /// pool or this tenant's queue is full,
+    /// [`SteinerError::Unsupported`] for a directed query on an engine
+    /// without a directed view (or after shutdown began). A rejected
+    /// query never ran and left no trace beyond the tenant's `rejected`
+    /// counter.
+    pub fn submit(&self, query: Query, opts: QueryOptions) -> Result<Ticket, SteinerError> {
+        engine::submit(&self.shared, self.tenant, query, opts)
+    }
+
+    /// [`Self::submit`] + [`Ticket::wait`]: blocks until the query
+    /// finishes and returns its outcome. Admission rejections surface
+    /// as the `Err` arm; execution-level errors (including
+    /// [`SteinerError::DeadlineExceeded`]) arrive inside the
+    /// [`QueryOutcome::status`] so the partial prefix stays accessible.
+    pub fn run(&self, query: Query, opts: QueryOptions) -> Result<QueryOutcome, SteinerError> {
+        Ok(self.submit(query, opts)?.wait())
+    }
+
+    /// This tenant's scheduler state and lifetime counters.
+    pub fn report(&self) -> TenantReport {
+        engine::tenant_report(&self.shared, self.tenant)
+    }
+}

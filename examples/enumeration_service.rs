@@ -1,0 +1,168 @@
+//! A long-lived enumeration service for keyword search.
+//!
+//! Builds a movie database as a data graph and stands up a
+//! `steiner-service` engine over it: two tenants (a high-priority
+//! interactive UI and a batch crawler) submit keyword-search-style
+//! Steiner queries concurrently, the engine's admission control pushes
+//! back when the pool fills, a deadline'd query returns its valid
+//! prefix, and a snapshot lets a restarted engine answer warm.
+//!
+//! Run with: `cargo run --example enumeration_service`
+
+use std::time::Duration;
+
+use minimal_steiner::kfragment::data_graph::DataGraph;
+use minimal_steiner::service::{EngineConfig, EnumerationEngine, Query, QueryOptions, Ticket};
+use minimal_steiner::SteinerError;
+
+/// A small movie database: movies, people, genres as nodes; roles as
+/// edges. Keyword queries become Steiner-tree enumerations over the
+/// terminals carrying the keywords.
+fn movie_db() -> DataGraph {
+    let mut db = DataGraph::new();
+    let heat = db.add_node(&["Heat", "1995"]);
+    let ronin = db.add_node(&["Ronin"]);
+    let deniro = db.add_node(&["DeNiro"]);
+    let pacino = db.add_node(&["Pacino"]);
+    let mann = db.add_node(&["Mann"]);
+    let crime = db.add_node(&["crime"]);
+    let thriller = db.add_node(&["thriller"]);
+    db.add_edge(heat, deniro).unwrap();
+    db.add_edge(heat, pacino).unwrap();
+    db.add_edge(heat, mann).unwrap();
+    db.add_edge(heat, crime).unwrap();
+    db.add_edge(ronin, deniro).unwrap();
+    db.add_edge(ronin, thriller).unwrap();
+    db.add_edge(crime, thriller).unwrap();
+    db
+}
+
+fn keyword_query(db: &DataGraph, keywords: &[&str]) -> Query {
+    Query::SteinerTree {
+        terminals: db.terminals_for(keywords).expect("keywords exist"),
+    }
+}
+
+fn main() {
+    let db = movie_db();
+    let engine = EnumerationEngine::with_config(
+        db.graph.clone(),
+        EngineConfig {
+            workers: 2,
+            max_in_flight: 4,
+            tenant_queue_depth: 2,
+            cache_capacity_bytes: None,
+        },
+    );
+
+    // Two tenants: the interactive UI gets three times the batch
+    // crawler's dispatch share.
+    let ui = engine.session_with_weight("ui", 3);
+    let crawler = engine.session_with_weight("crawler", 1);
+
+    println!("== concurrent keyword queries from two tenants ==");
+    let searches = [
+        (&ui, vec!["DeNiro", "Pacino"]),
+        (&crawler, vec!["Pacino", "thriller"]),
+        (&ui, vec!["DeNiro", "Mann"]),
+        (&crawler, vec!["crime", "Ronin"]),
+    ];
+    let tickets: Vec<(&str, Vec<&str>, Ticket)> = searches
+        .iter()
+        .map(|(session, keywords)| {
+            let ticket = session
+                .submit(keyword_query(&db, keywords), QueryOptions::default())
+                .expect("within admission limits");
+            (
+                if std::ptr::eq(*session, &ui) {
+                    "ui"
+                } else {
+                    "crawler"
+                },
+                keywords.clone(),
+                ticket,
+            )
+        })
+        .collect();
+    for (tenant, keywords, ticket) in tickets {
+        let outcome = ticket.wait();
+        println!(
+            "  [{tenant}] {keywords:?}: {} Steiner trees ({})",
+            outcome.solutions.len(),
+            if outcome.stats.cache_hits > 0 {
+                "cache hit"
+            } else {
+                "cold run"
+            },
+        );
+    }
+
+    println!("\n== admission control: a burst beyond the caps is refused ==");
+    engine.pause(); // hold dispatch so the burst deterministically queues
+    let query = keyword_query(&db, &["DeNiro", "Pacino"]);
+    let mut held = Vec::new();
+    for i in 0.. {
+        match crawler.submit(query.clone(), QueryOptions::default()) {
+            Ok(ticket) => held.push(ticket),
+            Err(SteinerError::AdmissionRejected {
+                in_flight,
+                capacity,
+            }) => {
+                println!("  submission #{i} rejected: {in_flight}/{capacity} in flight");
+                break;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    engine.resume();
+    for ticket in held {
+        assert!(ticket.wait().is_complete());
+    }
+
+    println!("\n== a deadline'd query returns its valid prefix ==");
+    // An already-expired deadline makes the outcome deterministic for
+    // this tiny graph; real deployments pass e.g. `.timeout(50ms)`.
+    let outcome = ui
+        .run(
+            keyword_query(&db, &["DeNiro", "thriller"]),
+            QueryOptions::default().timeout(Duration::ZERO),
+        )
+        .expect("admitted");
+    match outcome.status {
+        Err(SteinerError::DeadlineExceeded) => println!(
+            "  deadline exceeded after {} delivered solutions (a valid prefix)",
+            outcome.solutions.len()
+        ),
+        ref other => println!("  finished in time: {other:?}"),
+    }
+
+    println!("\n== warm restart from a snapshot ==");
+    let blob = engine.snapshot();
+    println!("  snapshot: {} bytes", blob.len());
+    for report in engine.tenants() {
+        println!(
+            "  tenant {:10} weight {} completed {:2} rejected {} deadline-expired {}",
+            report.name, report.weight, report.completed, report.rejected, report.deadline_exceeded
+        );
+    }
+    drop(engine); // graceful drain
+
+    let restarted = EnumerationEngine::new(db.graph.clone());
+    let restored = restarted
+        .restore(&blob)
+        .expect("same graph, valid snapshot");
+    println!("  restored {restored} cached queries into a fresh engine");
+    let warm = restarted
+        .session("ui")
+        .run(
+            keyword_query(&db, &["DeNiro", "Pacino"]),
+            QueryOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(warm.stats.cache_hits, 1);
+    println!(
+        "  repeated query answered warm: {} trees, {} cache hit(s), no search",
+        warm.solutions.len(),
+        warm.stats.cache_hits
+    );
+}

@@ -83,7 +83,11 @@
 //!   via the supergraph technique (paper §7);
 //! * [`hardness`] — the §6 hardness constructions, executable (minimal
 //!   transversals, group Steiner trees, internal Steiner trees);
-//! * [`kfragment`] — the keyword-search application layer (K-fragments).
+//! * [`kfragment`] — the keyword-search application layer (K-fragments);
+//! * [`service`] — a long-lived multi-tenant serving layer over the
+//!   engine: admission control, per-query deadlines, weighted
+//!   round-robin scheduling, and warm-restart cache persistence
+//!   ([`service::EnumerationEngine`]).
 //!
 //! # Migrating from the 0.1 free functions
 //!
@@ -110,6 +114,7 @@ pub use steiner_hardness as hardness;
 pub use steiner_induced as induced;
 pub use steiner_kfragment as kfragment;
 pub use steiner_paths as paths;
+pub use steiner_service as service;
 
 pub use steiner_core::{
     CacheKey, CacheStats, DirectedSteinerTree, EnumStats, Enumeration, MinimalSteinerProblem,

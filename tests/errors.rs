@@ -251,3 +251,123 @@ fn shims_still_panic_on_out_of_range_ids() {
         ControlFlow::Continue(())
     });
 }
+
+// ---------------------------------------------------------------------
+// Runtime conditions: deadlines and admission control. Unlike the
+// instance-validation errors above, these do not mean "no solutions" —
+// the instance may be fine; the *run* was bounded.
+
+/// Every front-end must surface an expired deadline as
+/// [`SteinerError::DeadlineExceeded`], and anything delivered before the
+/// abort must be a valid prefix of the full deterministic stream.
+fn check_deadline_surface<P>(make: impl Fn() -> P)
+where
+    P: minimal_steiner::MinimalSteinerProblem + Send + 'static,
+    P::Item: Send + PartialEq + std::fmt::Debug + 'static,
+{
+    use std::ops::ControlFlow;
+    let full = Enumeration::new(make()).collect_vec().unwrap();
+    let past = std::time::Instant::now();
+
+    // Push front-end: sequential and sharded, direct and queued.
+    for threads in [1, 2] {
+        for queued in [false, true] {
+            let mut e = Enumeration::new(make())
+                .with_deadline(past)
+                .with_threads(threads);
+            if queued {
+                e = e.with_default_queue();
+            }
+            let mut prefix = Vec::new();
+            let err = e
+                .for_each(|s| {
+                    prefix.push(s.to_vec());
+                    ControlFlow::Continue(())
+                })
+                .unwrap_err();
+            assert_eq!(err, SteinerError::DeadlineExceeded);
+            assert!(!err.means_no_solutions());
+            assert_eq!(
+                &prefix[..],
+                &full[..prefix.len()],
+                "the delivered prefix stays valid"
+            );
+        }
+    }
+
+    // Sink-less runner.
+    assert_eq!(
+        Enumeration::new(make())
+            .with_deadline(past)
+            .run()
+            .unwrap_err(),
+        SteinerError::DeadlineExceeded
+    );
+
+    // Pull front-end: the stream ends early and the error is readable
+    // after exhaustion.
+    let mut it = Enumeration::new(make())
+        .with_deadline(past)
+        .into_iter()
+        .unwrap();
+    let prefix: Vec<_> = it.by_ref().collect();
+    assert_eq!(it.error(), Some(SteinerError::DeadlineExceeded));
+    assert_eq!(&prefix[..], &full[..prefix.len()]);
+}
+
+#[test]
+fn expired_deadline_is_reported_by_every_problem_and_front_end() {
+    let g = path3();
+    let w = [VertexId(0), VertexId(2)];
+    check_deadline_surface({
+        let g = g.clone();
+        move || SteinerTree::from_graph(g.clone(), &w)
+    });
+    check_deadline_surface({
+        let g = g.clone();
+        move || SteinerForest::from_graph(g.clone(), &[w.to_vec()])
+    });
+    check_deadline_surface({
+        let g = g.clone();
+        move || TerminalSteinerTree::from_graph(g.clone(), &w)
+    });
+    let d = DiGraph::from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
+    check_deadline_surface(move || {
+        DirectedSteinerTree::from_graph(d.clone(), VertexId(0), &[VertexId(2)])
+    });
+}
+
+#[test]
+fn admission_rejection_is_typed_and_never_means_no_solutions() {
+    use minimal_steiner::service::{EngineConfig, EnumerationEngine, Query, QueryOptions};
+    let engine = EnumerationEngine::with_config(
+        path3(),
+        EngineConfig {
+            workers: 1,
+            max_in_flight: 8,
+            tenant_queue_depth: 1,
+            cache_capacity_bytes: None,
+        },
+    );
+    engine.pause(); // keep the first submission queued deterministically
+    let session = engine.session("tenant");
+    let q = Query::SteinerTree {
+        terminals: vec![VertexId(0), VertexId(2)],
+    };
+    let admitted = session.submit(q.clone(), QueryOptions::default()).unwrap();
+    let err = session.submit(q, QueryOptions::default()).unwrap_err();
+    assert_eq!(
+        err,
+        SteinerError::AdmissionRejected {
+            in_flight: 1,
+            capacity: 1
+        }
+    );
+    assert!(!err.means_no_solutions());
+    assert!(err.to_string().contains('1'), "display names the capacity");
+    engine.resume();
+    // The admitted query was unaffected by its sibling's rejection.
+    let outcome = admitted.wait();
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.solutions.len(), 1);
+}

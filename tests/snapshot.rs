@@ -1,0 +1,253 @@
+//! Snapshot persistence properties: snapshot → restore → replay is
+//! byte-identical for every paper problem on arbitrary instances, the
+//! byte format is deterministic and self-verifying, and corrupted or
+//! mismatched snapshots are rejected with typed errors — never
+//! silently served.
+
+use minimal_steiner::graph::{DiGraph, UndirectedGraph, VertexId};
+use minimal_steiner::steiner::cache::{fingerprint_digraph, fingerprint_undirected};
+use minimal_steiner::steiner::snapshot::{paper_problem_kinds, SnapshotError};
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, ResultCache, SteinerForest, SteinerTree, TerminalSteinerTree,
+};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+
+/// Strategy: a connected multigraph on `n ∈ [2, 7]` vertices — a path
+/// backbone plus random extra (possibly parallel) edges.
+fn connected_graph() -> impl Strategy<Value = UndirectedGraph> {
+    (2usize..=7).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n), 0..8);
+        extra.prop_map(move |pairs| {
+            let mut g = UndirectedGraph::new(n);
+            for i in 1..n {
+                g.add_edge_indices(i - 1, i).unwrap();
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge_indices(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+fn terminal_subset(n: usize, mask: u8, max: usize) -> Vec<VertexId> {
+    let mask = mask as u64;
+    let mut w: Vec<VertexId> = (0..n.min(63))
+        .filter(|i| mask & (1u64 << i) != 0)
+        .map(VertexId::new)
+        .collect();
+    w.truncate(max);
+    w
+}
+
+/// Runs `enumeration` against `cache` and returns the delivered stream,
+/// or `None` for invalid instances (nothing gets cached for those).
+fn run_cached<P>(e: Enumeration<P>, cache: &ResultCache<P::Item>) -> Option<Vec<Vec<P::Item>>>
+where
+    P: minimal_steiner::MinimalSteinerProblem + Send,
+    P::Item: Send,
+{
+    let mut out = Vec::new();
+    e.cached(cache)
+        .for_each(|s| {
+            out.push(s.to_vec());
+            ControlFlow::Continue(())
+        })
+        .ok()
+        .map(|_| out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three undirected problems cached into one store: snapshot,
+    /// restore into a fresh store, replay — same bytes, pure hits —
+    /// and re-snapshotting the restored store reproduces the blob.
+    #[test]
+    fn snapshot_roundtrip_replays_undirected_problems(
+        g in connected_graph(),
+        mask in 1u8..128,
+    ) {
+        prop_assume!(g.num_edges() <= 18);
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        prop_assume!(w.len() >= 2);
+
+        let cache = ResultCache::new();
+        let tree = run_cached(Enumeration::new(SteinerTree::new(&g, &w)), &cache);
+        let forest = run_cached(
+            Enumeration::new(SteinerForest::new(&g, std::slice::from_ref(&w))),
+            &cache,
+        );
+        let terminal = run_cached(
+            Enumeration::new(TerminalSteinerTree::new(&g, &w)),
+            &cache,
+        );
+        let stored = [&tree, &forest, &terminal]
+            .iter()
+            .filter(|r| r.is_some())
+            .count() as u64;
+        prop_assume!(stored > 0);
+
+        let blob = cache.snapshot();
+        prop_assert_eq!(&blob, &cache.snapshot(), "snapshot bytes are deterministic");
+
+        let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
+        let kinds = paper_problem_kinds();
+        let restored = fresh
+            .restore(&blob, &kinds, Some(fingerprint_undirected(&g)))
+            .expect("self-produced snapshot restores");
+        prop_assert_eq!(restored, stored);
+        prop_assert_eq!(&fresh.snapshot(), &blob, "restore is lossless");
+
+        // Replays are pure hits with byte-identical streams.
+        if let Some(cold) = &tree {
+            let warm = run_cached(Enumeration::new(SteinerTree::new(&g, &w)), &fresh).unwrap();
+            prop_assert_eq!(&warm, cold);
+        }
+        if let Some(cold) = &forest {
+            let warm =
+                run_cached(Enumeration::new(SteinerForest::new(&g, std::slice::from_ref(&w))), &fresh)
+                    .unwrap();
+            prop_assert_eq!(&warm, cold);
+        }
+        if let Some(cold) = &terminal {
+            let warm =
+                run_cached(Enumeration::new(TerminalSteinerTree::new(&g, &w)), &fresh).unwrap();
+            prop_assert_eq!(&warm, cold);
+        }
+        let stats = fresh.stats();
+        prop_assert_eq!(stats.hits, stored, "every replay was a hit");
+        prop_assert_eq!(stats.misses, 0);
+    }
+
+    /// The directed problem round-trips through its arc-item store.
+    #[test]
+    fn snapshot_roundtrip_replays_directed_problem(
+        n in 2usize..=6,
+        arcs in proptest::collection::vec((0usize..6, 0usize..6), 1..12),
+        mask in 1u8..128,
+    ) {
+        let mut d = DiGraph::new(n);
+        for i in 1..n {
+            d.add_arc_indices(i - 1, i).unwrap();
+        }
+        for (u, v) in arcs {
+            if u != v && u < n && v < n {
+                d.add_arc_indices(u, v).unwrap();
+            }
+        }
+        let w = terminal_subset(n, mask | 2, 3);
+        prop_assume!(!w.is_empty());
+        let root = VertexId(0);
+
+        let cache = ResultCache::new();
+        let cold = run_cached(
+            Enumeration::new(DirectedSteinerTree::new(&d, root, &w)),
+            &cache,
+        );
+        prop_assume!(cold.is_some());
+        let cold = cold.unwrap();
+
+        let blob = cache.snapshot();
+        let fresh = ResultCache::new();
+        let restored = fresh
+            .restore(&blob, &paper_problem_kinds(), Some(fingerprint_digraph(&d)))
+            .expect("self-produced snapshot restores");
+        prop_assert_eq!(restored, 1);
+        let warm = run_cached(
+            Enumeration::new(DirectedSteinerTree::new(&d, root, &w)),
+            &fresh,
+        )
+        .unwrap();
+        prop_assert_eq!(warm, cold);
+        prop_assert_eq!(fresh.stats().hits, 1);
+    }
+
+    /// Single-byte corruption anywhere in a snapshot is always caught:
+    /// the header fields are validated and the payload is checksummed,
+    /// so no flipped byte can smuggle a wrong answer into the store.
+    #[test]
+    fn any_single_byte_flip_is_rejected(seed in 0u64..1000, pos_seed in 0usize..100_000, flip in 1u8..255) {
+        let g = UndirectedGraph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        )
+        .unwrap();
+        let w = [VertexId(seed as u32 % 3), VertexId(3)];
+        prop_assume!(w[0] != w[1]);
+        let cache = ResultCache::new();
+        run_cached(Enumeration::new(SteinerTree::new(&g, &w)), &cache).unwrap();
+        let blob = cache.snapshot();
+        let pos = pos_seed % blob.len();
+
+        let mut bad = blob;
+        bad[pos] ^= flip;
+        let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
+        fresh
+            .restore(&bad, &paper_problem_kinds(), Some(fingerprint_undirected(&g)))
+            .expect_err("corruption must be detected");
+        prop_assert_eq!(fresh.stats().entries, 0, "nothing was committed");
+    }
+}
+
+/// Deterministic spot checks of every typed rejection.
+#[test]
+fn typed_rejections() {
+    let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+    let w = [VertexId(0), VertexId(2)];
+    let cache = ResultCache::new();
+    Enumeration::new(SteinerTree::new(&g, &w))
+        .cached(&cache)
+        .run()
+        .unwrap();
+    let blob = cache.snapshot();
+    let kinds = paper_problem_kinds();
+    let fp = fingerprint_undirected(&g);
+
+    // Truncations at every prefix length fail (never panic, never load).
+    for cut in 0..blob.len() {
+        let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
+        assert!(fresh.restore(&blob[..cut], &kinds, Some(fp)).is_err());
+        assert_eq!(fresh.stats().entries, 0);
+    }
+
+    // Version skew is named.
+    let mut skewed = blob.clone();
+    skewed[4] = 0xFF;
+    let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
+    assert!(matches!(
+        fresh.restore(&skewed, &kinds, Some(fp)),
+        Err(SnapshotError::UnsupportedVersion(_))
+    ));
+
+    // An edge-item snapshot cannot load into an arc-item cache.
+    let arc_cache: ResultCache<minimal_steiner::graph::ArcId> = ResultCache::new();
+    assert!(matches!(
+        arc_cache.restore(&blob, &kinds, None),
+        Err(SnapshotError::ItemKindMismatch { .. })
+    ));
+
+    // A different graph's fingerprint is refused entry-by-entry.
+    assert!(matches!(
+        ResultCache::<minimal_steiner::graph::EdgeId>::new().restore(&blob, &kinds, Some(fp ^ 1)),
+        Err(SnapshotError::GraphMismatch { .. })
+    ));
+
+    // An unknown problem kind (e.g. a future problem type) is refused.
+    assert!(matches!(
+        ResultCache::<minimal_steiner::graph::EdgeId>::new().restore(
+            &blob,
+            &["some other problem"],
+            Some(fp)
+        ),
+        Err(SnapshotError::UnknownProblemKind(_))
+    ));
+
+    // Every rejection implements Display + Error with useful text.
+    let err = SnapshotError::UnsupportedVersion(9);
+    assert!(err.to_string().contains('9'));
+    let _: &dyn std::error::Error = &err;
+}
