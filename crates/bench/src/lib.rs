@@ -12,5 +12,7 @@
 //! * `figure1` binary — prints the enumeration-tree shape and output-queue
 //!   trace that Figure 1 illustrates.
 
+#![deny(unsafe_code)]
+
 pub mod measure;
 pub mod workloads;

@@ -1207,7 +1207,7 @@ mod tests {
         let w = [VertexId(5), VertexId(6)];
         let direct = collect(&d, root, &w);
         let iterated: BTreeSet<Vec<ArcId>> =
-            Enumeration::new(DirectedSteinerTree::from_graph(d.clone(), root, &w))
+            Enumeration::new(DirectedSteinerTree::from_graph(d, root, &w))
                 .into_iter()
                 .unwrap()
                 .collect();

@@ -1242,11 +1242,10 @@ mod tests {
             vec![VertexId(2), VertexId(6)],
         ];
         let direct = collect(&g, &sets);
-        let iterated: BTreeSet<Vec<EdgeId>> =
-            Enumeration::new(SteinerForest::from_graph(g.clone(), &sets))
-                .into_iter()
-                .unwrap()
-                .collect();
+        let iterated: BTreeSet<Vec<EdgeId>> = Enumeration::new(SteinerForest::from_graph(g, &sets))
+            .into_iter()
+            .unwrap()
+            .collect();
         assert_eq!(direct, iterated);
     }
 

@@ -915,11 +915,10 @@ mod tests {
         let g = steiner_graph::generators::theta_chain(3, 3);
         let w = [VertexId(0), VertexId(3)];
         let (direct, _) = collect(&g, &w);
-        let iterated: BTreeSet<Vec<EdgeId>> =
-            Enumeration::new(SteinerTree::from_graph(g.clone(), &w))
-                .into_iter()
-                .unwrap()
-                .collect();
+        let iterated: BTreeSet<Vec<EdgeId>> = Enumeration::new(SteinerTree::from_graph(g, &w))
+            .into_iter()
+            .unwrap()
+            .collect();
         assert_eq!(direct, iterated);
     }
 

@@ -81,6 +81,7 @@
 //! [`SteinerError::DeadlineExceeded`] abort semantics.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod brute;
 pub mod cache;

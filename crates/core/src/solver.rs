@@ -171,6 +171,7 @@ pub(crate) fn run_sink_lenient<P: MinimalSteinerProblem>(
     match run_with_sink(p, emitter) {
         Ok(stats) => stats,
         Err(e) if e.means_no_solutions() => *p.stats(),
+        // lint:allow(panic) documented back-compat contract: the deprecated free functions panicked on invalid instances
         Err(e) => panic!("invalid {} instance: {e}", P::NAME),
     }
 }
@@ -329,6 +330,7 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     /// [`Self::with_deadline`] measured from now: the run aborts once
     /// `timeout` has elapsed.
     pub fn with_timeout(self, timeout: Duration) -> Self {
+        // lint:allow(clock) with_timeout anchors the caller's duration to the sanctioned deadline clock
         let deadline = Instant::now() + timeout;
         self.with_deadline(deadline)
     }
@@ -688,7 +690,6 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
                     let qkey = QueryKey { key, limit };
                     if let Some(ids) = cache.checkout(&qkey) {
                         let cache = cache.clone();
-                        let interner = interner.clone();
                         let inner = streaming::Enumeration::spawn(move |send| {
                             // One lock for the whole stream; sends (which
                             // may block on the bounded channel) and
@@ -975,6 +976,7 @@ impl<'a, Item: Copy> DeadlineSink<'a, Item> {
     }
 
     fn check(&self) -> ControlFlow<()> {
+        // lint:allow(clock) the sanctioned deadline clock: work-metered so Instant::now stays off the per-node path
         if Instant::now() >= self.deadline {
             self.expired.set(true);
             return ControlFlow::Break(());
@@ -1384,6 +1386,7 @@ fn run_merge<Item: Copy>(
     // Completion beats expiry when both race to the same event: a
     // `Finished` stream is the complete answer, deadline or not.
     let mut expired_now = || {
+        // lint:allow(clock) final deadline verdict for the DeadlineExceeded error path
         let hit = matches!(deadline, Some(d) if Instant::now() >= d);
         deadline_expired |= hit;
         hit

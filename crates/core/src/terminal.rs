@@ -1327,7 +1327,7 @@ mod tests {
         let w = [VertexId(0), VertexId(3), VertexId(8)];
         let direct = collect(&g, &w);
         let iterated: BTreeSet<Vec<EdgeId>> =
-            Enumeration::new(TerminalSteinerTree::from_graph(g.clone(), &w))
+            Enumeration::new(TerminalSteinerTree::from_graph(g, &w))
                 .into_iter()
                 .unwrap()
                 .collect();

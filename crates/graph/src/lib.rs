@@ -23,6 +23,8 @@
 //! Vertices and edges are dense `u32` indices wrapped in [`VertexId`] /
 //! [`EdgeId`]; all algorithms are index-based and allocation-conscious.
 
+#![deny(unsafe_code)]
+
 pub mod bridges;
 pub mod clawfree;
 pub mod connectivity;

@@ -14,6 +14,8 @@
 //!   **Theorem 37 equivalence** with `s`-`t` Hamiltonian paths
 //!   (`W = V ∖ {s, t}`), with a bitmask-DP Hamiltonian path solver.
 
+#![deny(unsafe_code)]
+
 pub mod group_steiner;
 pub mod hypergraph;
 pub mod internal;

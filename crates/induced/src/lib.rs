@@ -16,6 +16,8 @@
 //!   problem on line-graph-based instances;
 //! * [`brute`] / [`verify`] — oracles and checkers.
 
+#![deny(unsafe_code)]
+
 pub mod brute;
 pub mod mu;
 pub mod neighbors;

@@ -72,7 +72,10 @@ fn split_components(
         "claw-free + minimal X: deleting a cut vertex leaves exactly two components"
     );
     let mut it = comps.into_iter();
-    (it.next().unwrap(), it.next().unwrap())
+    (
+        it.next().expect("asserted exactly two components above"),
+        it.next().expect("asserted exactly two components above"),
+    )
 }
 
 /// The (deduplicated, sorted) neighbors of solution `x` in the supergraph.

@@ -15,6 +15,7 @@ fn lenient(result: Result<EnumStats, SteinerError>) -> EnumStats {
     match result {
         Ok(stats) => stats,
         Err(e) if e.means_no_solutions() => EnumStats::default(),
+        // lint:allow(panic) documented lenient contract: malformed keyword queries are caller bugs, not data
         Err(e) => panic!("invalid keyword-search instance: {e}"),
     }
 }

@@ -16,6 +16,8 @@
 //! keyword search systems want (the paper's companion work \[25\] does this
 //! in approximate weight order; we collect-and-rank exactly).
 
+#![deny(unsafe_code)]
+
 pub mod data_graph;
 pub mod fragments;
 pub mod ranking;

@@ -22,6 +22,8 @@
 //! module turns any push enumeration into a pull [`Iterator`] running on a
 //! dedicated large-stack thread.
 
+#![deny(unsafe_code)]
+
 pub mod enumerate;
 pub mod naive;
 pub mod streaming;

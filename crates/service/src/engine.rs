@@ -561,6 +561,7 @@ fn worker_loop(shared: &Shared) {
 fn execute(shared: &Shared, query: &Query, opts: &QueryOptions) -> QueryOutcome {
     if let Some(deadline) = opts.deadline {
         // The deadline is a caller promise: time spent queued counts.
+        // lint:allow(clock) admission-time deadline check against the sanctioned service clock
         if Instant::now() >= deadline {
             let solutions = if query.is_directed() {
                 SolutionItems::Arcs(Vec::new())
@@ -888,7 +889,7 @@ mod tests {
             Err(SnapshotError::Corrupted(_) | SnapshotError::ChecksumMismatch)
         ));
         // Trailing junk.
-        let mut long = blob.clone();
+        let mut long = blob;
         long.push(0);
         assert!(matches!(
             fresh.restore(&long),

@@ -79,6 +79,7 @@
 //! deadline'd query, and a warm restart.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 mod engine;
 mod query;

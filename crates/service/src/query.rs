@@ -102,6 +102,7 @@ impl QueryOptions {
 
     /// [`Self::deadline`] measured from now.
     pub fn timeout(self, timeout: Duration) -> Self {
+        // lint:allow(clock) deadline(timeout) anchors the caller's promise to the service clock
         let deadline = Instant::now() + timeout;
         self.deadline(deadline)
     }

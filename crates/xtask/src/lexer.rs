@@ -1,0 +1,491 @@
+//! A minimal Rust lexer: comment-, string-, and raw-string-aware, enough
+//! to walk token streams with positions and brace depths. Deliberately not
+//! a parser — the passes work on token shapes (`Ident :: Ident`, `. ident (`)
+//! plus brace-tracked item spans, which is exactly the granularity the
+//! project invariants need and keeps the tool dependency-free (no `syn`;
+//! the build environment is offline).
+
+/// One significant token of a source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text (identifier name, punctuation char, literal body).
+    pub text: String,
+    /// Coarse lexical class.
+    pub kind: TokKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+    /// Brace depth *at* the token (`{` itself is reported at the depth it
+    /// opens from; `}` at the depth it closes to).
+    pub depth: u32,
+}
+
+/// Coarse lexical classes — only what the passes distinguish.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`.`, `:`, `!`, `?`, braces, ...).
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); `text` is
+    /// the *contents* (delimiters stripped, escapes left as written).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal (coarse: `1.5` lexes as `1`, `.`, `5`).
+    Num,
+    /// Lifetime (`'a`, `'_`); `text` excludes the quote.
+    Lifetime,
+}
+
+/// A comment, kept out of the token stream but retained for the waiver and
+/// `SAFETY:` scanners.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text with the `//`, `///`, `//!`, or `/* */` delimiters
+    /// stripped (block comments keep interior newlines).
+    pub text: String,
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (differs from `line` for block comments).
+    pub end_line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in order.
+    pub toks: Vec<Tok>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated constructs are tolerated (the tail is eaten);
+/// the tool lints real, compiling code, so error recovery is moot.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize; // index into `b`
+    let mut byte = 0usize; // byte offset of b[i]
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut depth = 0u32;
+
+    // Advances one char, maintaining byte/line/col.
+    macro_rules! bump {
+        () => {{
+            let c = b[i];
+            byte += c.len_utf8();
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let (tline, tcol, tbyte) = (line, col, byte);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let mut j = i + 2;
+            // Strip any further leading slashes ("///") or "!".
+            while j < b.len() && (b[j] == '/' || b[j] == '!') {
+                j += 1;
+            }
+            let mut text = String::new();
+            while i < b.len() && b[i] != '\n' {
+                if i >= j {
+                    text.push(b[i]);
+                }
+                bump!();
+            }
+            out.comments.push(Comment {
+                text: text.trim().to_string(),
+                line: tline,
+                end_line: tline,
+            });
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            bump!();
+            bump!();
+            let mut nest = 1u32;
+            let mut text = String::new();
+            while i < b.len() && nest > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    nest += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    nest -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    if nest == 1 {
+                        text.push(b[i]);
+                    }
+                    bump!();
+                }
+            }
+            out.comments.push(Comment {
+                text: text.trim().to_string(),
+                line: tline,
+                end_line: line,
+            });
+            continue;
+        }
+
+        // Raw / byte string literals: r"…", r#"…"#, b"…", br#"…"#.
+        let raw_prefix = match c {
+            'r' if i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') => Some(1),
+            'b' if i + 1 < b.len() && b[i + 1] == '"' => Some(1),
+            'b' if i + 2 < b.len() && b[i + 1] == 'r' && (b[i + 2] == '"' || b[i + 2] == '#') => {
+                Some(2)
+            }
+            _ => None,
+        };
+        if let Some(skip) = raw_prefix {
+            let is_raw = b[i + skip - 1] == 'r' || b[i + skip] == '#';
+            for _ in 0..skip {
+                bump!();
+            }
+            if is_raw {
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == '#' {
+                    hashes += 1;
+                    bump!();
+                }
+                if i < b.len() && b[i] == '"' {
+                    bump!();
+                    let mut text = String::new();
+                    'raw: while i < b.len() {
+                        if b[i] == '"' {
+                            // Check for the closing hash run.
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                bump!();
+                                for _ in 0..hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        text.push(b[i]);
+                        bump!();
+                    }
+                    out.toks.push(Tok {
+                        text,
+                        kind: TokKind::Str,
+                        line: tline,
+                        col: tcol,
+                        start: tbyte,
+                        end: byte,
+                        depth,
+                    });
+                    continue;
+                }
+                // `r#ident` (raw identifier): fall through as ident below.
+                let mut text = String::from("r#");
+                let _ = &mut text;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    text.push(b[i]);
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    text,
+                    kind: TokKind::Ident,
+                    line: tline,
+                    col: tcol,
+                    start: tbyte,
+                    end: byte,
+                    depth,
+                });
+                continue;
+            }
+            // b"…": plain (escaped) string body.
+            debug_assert_eq!(b[i], '"');
+            lex_quoted(&b, &mut i, &mut byte, &mut line, &mut col, '"');
+            out.toks.push(Tok {
+                text: String::new(),
+                kind: TokKind::Str,
+                line: tline,
+                col: tcol,
+                start: tbyte,
+                end: byte,
+                depth,
+            });
+            continue;
+        }
+
+        // Byte char literal b'x'.
+        if c == 'b' && i + 1 < b.len() && b[i + 1] == '\'' {
+            bump!();
+            lex_quoted(&b, &mut i, &mut byte, &mut line, &mut col, '\'');
+            out.toks.push(Tok {
+                text: String::new(),
+                kind: TokKind::Char,
+                line: tline,
+                col: tcol,
+                start: tbyte,
+                end: byte,
+                depth,
+            });
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let from = i + 1;
+            lex_quoted(&b, &mut i, &mut byte, &mut line, &mut col, '"');
+            let to = i.saturating_sub(1).max(from);
+            out.toks.push(Tok {
+                text: b[from..to].iter().collect(),
+                kind: TokKind::Str,
+                line: tline,
+                col: tcol,
+                start: tbyte,
+                end: byte,
+                depth,
+            });
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let is_lifetime =
+                matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+            if is_lifetime {
+                bump!();
+                let mut text = String::new();
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    text.push(b[i]);
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    text,
+                    kind: TokKind::Lifetime,
+                    line: tline,
+                    col: tcol,
+                    start: tbyte,
+                    end: byte,
+                    depth,
+                });
+            } else {
+                lex_quoted(&b, &mut i, &mut byte, &mut line, &mut col, '\'');
+                out.toks.push(Tok {
+                    text: String::new(),
+                    kind: TokKind::Char,
+                    line: tline,
+                    col: tcol,
+                    start: tbyte,
+                    end: byte,
+                    depth,
+                });
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                text.push(b[i]);
+                bump!();
+            }
+            out.toks.push(Tok {
+                text,
+                kind: TokKind::Ident,
+                line: tline,
+                col: tcol,
+                start: tbyte,
+                end: byte,
+                depth,
+            });
+            continue;
+        }
+
+        // Number (coarse: suffix chars fold in, `.` stays punct).
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                text.push(b[i]);
+                bump!();
+            }
+            out.toks.push(Tok {
+                text,
+                kind: TokKind::Num,
+                line: tline,
+                col: tcol,
+                start: tbyte,
+                end: byte,
+                depth,
+            });
+            continue;
+        }
+
+        // Punctuation, one char at a time; braces adjust depth.
+        let tok_depth = if c == '}' {
+            depth.saturating_sub(1)
+        } else {
+            depth
+        };
+        if c == '{' {
+            depth += 1;
+        } else if c == '}' {
+            depth = depth.saturating_sub(1);
+        }
+        bump!();
+        out.toks.push(Tok {
+            text: c.to_string(),
+            kind: TokKind::Punct,
+            line: tline,
+            col: tcol,
+            start: tbyte,
+            end: byte,
+            depth: tok_depth,
+        });
+    }
+    out
+}
+
+/// Consumes a `'`- or `"`-delimited literal starting at the opening quote,
+/// honoring backslash escapes. Leaves the cursor one past the closing
+/// delimiter.
+fn lex_quoted(
+    b: &[char],
+    i: &mut usize,
+    byte: &mut usize,
+    line: &mut u32,
+    col: &mut u32,
+    quote: char,
+) {
+    let mut bump = |i: &mut usize| {
+        let c = b[*i];
+        *byte += c.len_utf8();
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    debug_assert_eq!(b[*i], quote);
+    bump(i);
+    while *i < b.len() {
+        let c = b[*i];
+        if c == '\\' {
+            bump(i);
+            if *i < b.len() {
+                bump(i);
+            }
+            continue;
+        }
+        bump(i);
+        if c == quote {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+            // Vec::new in a comment
+            /* unwrap() in /* a nested */ block */
+            let s = "Instant::now() inside a string";
+            let r = r#"panic!("raw")"#;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"Vec".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("Vec::new"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let lexed = lex("fn f() { if x { y(); } }");
+        let y = lexed.toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.depth, 2);
+        let f = lexed.toks.iter().find(|t| t.text == "f").unwrap();
+        assert_eq!(f.depth, 0);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex(r####"let x = r##"has "# inside"##; let y = 1;"####);
+        let strs: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("has \"# inside"));
+        assert!(lexed.toks.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  bb");
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+    }
+}

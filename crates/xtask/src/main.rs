@@ -1,0 +1,89 @@
+//! CLI for `steiner-lint`:
+//!
+//! - `cargo run -p xtask --release -- lint [--root DIR]` — lint the whole
+//!   workspace; exit 0 when clean, 1 with rustc-style diagnostics when not.
+//! - `cargo run -p xtask --release -- lint --fixture FILE` — lint one file
+//!   in fixture mode (every pass armed); prints the compact one-line form
+//!   the golden `.expected` files pin. Used by the fixture suite.
+
+#![deny(unsafe_code)]
+
+use xtask::{find_root, lint_fixture, lint_workspace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut fixture = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                root = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--fixture" => {
+                fixture = args.get(i + 1).cloned();
+                i += 2;
+            }
+            c if cmd.is_none() => {
+                cmd = Some(c.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage_exit();
+            }
+        }
+    }
+    if cmd.as_deref() != Some("lint") {
+        usage_exit();
+    }
+    if let Some(file) = fixture {
+        match lint_fixture(std::path::Path::new(&file)) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{}", d.compact());
+                }
+                if !diags.is_empty() {
+                    // lint:allow(nondet) CLI exit status is this tool's output contract
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("steiner-lint: cannot read fixture {file}: {e}");
+                // lint:allow(nondet) CLI exit status is this tool's output contract
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let root = find_root(root.as_deref());
+    match lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("steiner-lint: workspace clean");
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprint!("{d}");
+            }
+            eprintln!("steiner-lint: {} finding(s)", diags.len());
+            // lint:allow(nondet) CLI exit status is this tool's output contract
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!(
+                "steiner-lint: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            // lint:allow(nondet) CLI exit status is this tool's output contract
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: cargo run -p xtask --release -- lint [--root DIR] [--fixture FILE]");
+    // lint:allow(nondet) CLI exit status is this tool's output contract
+    std::process::exit(2);
+}

@@ -1,0 +1,160 @@
+//! Pass 3 — determinism & panic hygiene.
+//!
+//! The engine's streams must be byte-identical across runs, shards, and
+//! replays (PR 3/5/6 all assert this), so library code must not read clocks
+//! or the environment outside the sanctioned deadline plumbing; and the
+//! service layer turns errors into typed `SteinerError`s, so library code
+//! must not panic on recoverable paths.
+//!
+//! Rules (library targets only — tests, benches, and examples are exempt,
+//! as is the `bench` crate, whose whole purpose is timing):
+//!
+//! - `clock`: `Instant::now`, `SystemTime`, `thread::sleep` — waive the
+//!   sanctioned deadline/measurement sites with `// lint:allow(clock) <reason>`.
+//! - `nondet`: `env::var*`, `std::process`, `Command::new` — waive with
+//!   `// lint:allow(nondet) <reason>`.
+//! - `panic`: `.unwrap()`, `panic!`, `todo!`, `unimplemented!`, and
+//!   `.expect(...)` / `unreachable!(...)` *without a nonempty string-literal
+//!   message*. An `expect`/`unreachable` message is this rule's waiver
+//!   grammar: the literal documents the invariant that makes the panic
+//!   unreachable, exactly like a `SAFETY:` comment documents an `unsafe`
+//!   block. Macro panics are waived with `// lint:allow(panic) <reason>`.
+
+use super::{FileContext, FileKind};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Runs the pass.
+pub fn run(sf: &SourceFile, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if ctx.kind != FileKind::Lib || ctx.crate_name == "bench" {
+        return out;
+    }
+    let toks = &sf.lexed.toks;
+    for i in 0..toks.len() {
+        if sf.is_skipped(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = |k: usize| toks.get(i + k).map(|t| t.text.as_str());
+        let prev_is = |s: &str| i > 0 && toks[i - 1].text == s;
+        let path_sep = |k: usize| next(k) == Some(":") && next(k + 1) == Some(":");
+
+        // --- clock ---
+        let clock = match t.text.as_str() {
+            "Instant" if path_sep(1) && next(3) == Some("now") => Some("Instant::now"),
+            "SystemTime" => Some("SystemTime"),
+            "sleep" if prev_is(":") => Some("thread::sleep"),
+            _ => None,
+        };
+        if let Some(what) = clock {
+            if !sf.is_waived("clock", t.line) {
+                out.push(Diagnostic {
+                    path: sf.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    pass: "determinism",
+                    message: format!("`{what}` in library code"),
+                    hint: "wall-clock reads make streams nondeterministic; only the \
+                           sanctioned deadline/measurement sites may tell time — waive \
+                           those with // lint:allow(clock) <reason>"
+                        .to_string(),
+                });
+            }
+            continue;
+        }
+
+        // --- nondet ---
+        let nondet = match t.text.as_str() {
+            "env"
+                if path_sep(1)
+                    && matches!(next(3), Some("var") | Some("var_os") | Some("vars")) =>
+            {
+                Some("env::var")
+            }
+            "process" if path_sep(1) || prev_is(":") => Some("std::process"),
+            "Command" if path_sep(1) && next(3) == Some("new") => Some("Command::new"),
+            _ => None,
+        };
+        if let Some(what) = nondet {
+            if !sf.is_waived("nondet", t.line) {
+                out.push(Diagnostic {
+                    path: sf.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    pass: "determinism",
+                    message: format!("`{what}` in library code"),
+                    hint: "environment and process access belong to binaries and the \
+                           service edge, not the engine; waive with \
+                           // lint:allow(nondet) <reason>"
+                        .to_string(),
+                });
+            }
+            continue;
+        }
+
+        // --- panic hygiene ---
+        let finding = match t.text.as_str() {
+            "unwrap" if prev_is(".") && next(1) == Some("(") => Some((
+                "`.unwrap()` in library code".to_string(),
+                "convert to a typed SteinerError, or use .expect(\"<invariant>\") — \
+                 the message documents why the panic is unreachable",
+            )),
+            "expect" if prev_is(".") && next(1) == Some("(") => {
+                let msg_ok = toks
+                    .get(i + 2)
+                    .is_some_and(|m| m.kind == TokKind::Str && !m.text.trim().is_empty());
+                if msg_ok {
+                    None
+                } else {
+                    Some((
+                        "`.expect()` without a literal invariant message".to_string(),
+                        "the expect message is the waiver: state the invariant that \
+                         makes this panic unreachable",
+                    ))
+                }
+            }
+            "panic" if next(1) == Some("!") => Some((
+                "`panic!` in library code".to_string(),
+                "return a typed SteinerError, or waive with // lint:allow(panic) <reason>",
+            )),
+            "todo" | "unimplemented" if next(1) == Some("!") => Some((
+                format!("`{}!` in library code", t.text),
+                "finish the implementation or return SteinerError::Unsupported",
+            )),
+            "unreachable" if next(1) == Some("!") => {
+                let msg_ok = next(2) == Some("(")
+                    && toks
+                        .get(i + 3)
+                        .is_some_and(|m| m.kind == TokKind::Str && !m.text.trim().is_empty());
+                if msg_ok {
+                    None
+                } else {
+                    Some((
+                        "`unreachable!` without an invariant message".to_string(),
+                        "state the invariant that makes this arm unreachable: \
+                         unreachable!(\"<why>\")",
+                    ))
+                }
+            }
+            _ => None,
+        };
+        if let Some((message, hint)) = finding {
+            if !sf.is_waived("panic", t.line) {
+                out.push(Diagnostic {
+                    path: sf.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    pass: "panic-hygiene",
+                    message,
+                    hint: hint.to_string(),
+                });
+            }
+        }
+    }
+    out
+}

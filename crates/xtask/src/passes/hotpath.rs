@@ -1,0 +1,109 @@
+//! Pass 1 — hot-path allocation lint.
+//!
+//! The paper's linear-delay contract (Theorem 17) rests on classify/branch/
+//! descend/retract doing no mid-search allocation (PR 2's zero-allocation
+//! CSR hot path). This pass turns that invariant into a build-time failure:
+//! constructs that always take fresh heap (`Vec::new`, `vec!`, `format!`,
+//! `collect`, `clone`, ...) are flagged inside the designated hot-path
+//! functions. Growth of *reserved* scratch (`push` on preallocated buffers)
+//! is deliberately out of scope here — that is what the runtime
+//! `EnumStats::scratch_allocs` counter and the `alloc-audit` gate measure.
+//!
+//! `#[cfg(debug_assertions)]` and `#[cfg(test)]` blocks are exempt: the
+//! release hot path never runs them. Waive true-but-intended sites with
+//! `// lint:allow(alloc) <reason>`.
+
+use super::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Types whose associated constructors always allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "Rc", "Arc", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
+];
+
+/// Allocating associated functions on [`ALLOC_TYPES`].
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Method calls that hand back fresh heap.
+const ALLOC_METHODS: &[&str] = &[
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "into_owned",
+];
+
+/// Runs the pass over `sf`'s hot functions.
+pub fn run(sf: &SourceFile, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if ctx.hot_fns.is_empty() {
+        return out;
+    }
+    let toks = &sf.lexed.toks;
+    for f in &sf.fns {
+        if !ctx.hot_fns.contains(&f.name.as_str()) {
+            continue;
+        }
+        let (lo, hi) = sf.body_range(f);
+        let mut i = lo;
+        while i < hi {
+            let t = &toks[i];
+            if sf.is_skipped(i) || t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            // `Type::ctor` — but `Arc::clone`/`Rc::clone` is a refcount
+            // bump, not an allocation.
+            let construct = if ALLOC_TYPES.contains(&t.text.as_str())
+                && toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+                && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|m| ALLOC_CTORS.contains(&m.text.as_str()))
+            {
+                Some(format!("{}::{}", t.text, toks[i + 3].text))
+            } else if ALLOC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("!")
+            {
+                Some(format!("{}!", t.text))
+            } else if ALLOC_METHODS.contains(&t.text.as_str())
+                && i > lo
+                && toks[i - 1].text == "."
+                && matches!(
+                    toks.get(i + 1).map(|t| t.text.as_str()),
+                    Some("(") | Some(":")
+                )
+            {
+                Some(format!(".{}()", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = construct {
+                if !sf.is_waived("alloc", t.line) {
+                    out.push(Diagnostic {
+                        path: sf.path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        pass: "hotpath-alloc",
+                        message: format!(
+                            "allocating construct `{what}` in hot-path fn `{}`",
+                            f.name
+                        ),
+                        hint: "the search hot path must not allocate (Theorem 17's \
+                               linear-delay contract); reuse prepared scratch, or waive \
+                               with // lint:allow(alloc) <reason>"
+                            .to_string(),
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}

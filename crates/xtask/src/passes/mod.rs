@@ -1,0 +1,84 @@
+//! The four analysis passes plus waiver hygiene. Each pass is a pure
+//! function from an analyzed [`SourceFile`] (plus its [`FileContext`]) to
+//! diagnostics, so the golden-file fixtures can drive them directly.
+
+pub mod determinism;
+pub mod hotpath;
+pub mod trail;
+pub mod unsafety;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// What kind of target a file belongs to — several rules only bind library
+/// code (tests, benches, and examples may panic and tell the time).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of some crate.
+    Lib,
+    /// `tests/` integration tests.
+    Test,
+    /// `benches/`.
+    Bench,
+    /// `examples/`.
+    Example,
+}
+
+/// Per-file lint configuration, derived from the workspace layout (or set
+/// wholesale by the fixture driver).
+pub struct FileContext<'a> {
+    /// Crate directory name (`core`, `service`, ... ; `minimal-steiner`
+    /// for the facade, `fixture` under the golden tests).
+    pub crate_name: &'a str,
+    /// Target kind, by directory.
+    pub kind: FileKind,
+    /// Function names treated as hot-path in this file (pass 1 scope).
+    pub hot_fns: &'a [&'a str],
+    /// Whether to run the lock-discipline audit (the service crate and
+    /// fixtures).
+    pub lint_locks: bool,
+}
+
+/// Known waiver rules; anything else in `lint:allow(...)` is a finding.
+pub const RULES: &[&str] = &["alloc", "trail", "clock", "nondet", "panic", "lock"];
+
+/// Waiver hygiene: every waiver must name a known rule and carry a written
+/// reason (the acceptance bar for waivers living in the tree at all).
+pub fn check_waivers(sf: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for w in &sf.waivers {
+        if !RULES.contains(&w.rule.as_str()) {
+            out.push(Diagnostic {
+                path: sf.path.clone(),
+                line: w.line,
+                col: 1,
+                pass: "waiver",
+                message: format!("unknown waiver rule `{}`", w.rule),
+                hint: format!("known rules: {}", RULES.join(", ")),
+            });
+        } else if w.reason.is_empty() {
+            out.push(Diagnostic {
+                path: sf.path.clone(),
+                line: w.line,
+                col: 1,
+                pass: "waiver",
+                message: format!("waiver `lint:allow({})` has no reason", w.rule),
+                hint: "write the justification after the closing paren: \
+                       // lint:allow(rule) <why this site is exempt>"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Runs every applicable pass over one file.
+pub fn run_all(sf: &SourceFile, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(check_waivers(sf));
+    out.extend(hotpath::run(sf, ctx));
+    out.extend(trail::run(sf, ctx));
+    out.extend(determinism::run(sf, ctx));
+    out.extend(unsafety::run(sf, ctx));
+    out
+}

@@ -1,0 +1,219 @@
+//! Pass 4 — unsafe & lock-discipline audit.
+//!
+//! Two rules:
+//!
+//! - `safety`: every `unsafe` token must be justified by a `SAFETY:`
+//!   comment on the same line or within the three lines above (the
+//!   std-library convention). This applies to *all* targets — unsafe in a
+//!   test needs its reasoning written down too. There is no `lint:allow`
+//!   escape: the SAFETY comment *is* the waiver.
+//! - `lock`: in the service crate, a `Mutex`/`RwLock` guard binding must
+//!   not be live across a channel `send`/`recv` (a bounded channel blocks
+//!   while every other worker waits on the lock — the classic service
+//!   deadlock). `Condvar::wait(guard)` is the sanctioned guard-consuming
+//!   pattern and is exempt; `drop(guard)` ends the live range. Waive with
+//!   `// lint:allow(lock) <reason>`.
+//!
+//! The crate-level `#![deny(unsafe_code)]` requirement for unsafe-free
+//! crates is checked by the workspace driver (it needs the whole crate's
+//! file set), not here.
+
+use super::FileContext;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Channel operations that block (or publish) and must not run under a
+/// held guard.
+const CHANNEL_OPS: &[&str] = &[
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "send_timeout",
+    "recv_timeout",
+];
+
+/// Runs the pass.
+pub fn run(sf: &SourceFile, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &sf.lexed.toks;
+
+    // --- safety: unsafe needs a SAFETY: comment ---
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !sf.has_safety_comment(t.line, 3) {
+            out.push(Diagnostic {
+                path: sf.path.clone(),
+                line: t.line,
+                col: t.col,
+                pass: "unsafe-audit",
+                message: "`unsafe` without a SAFETY: comment".to_string(),
+                hint: "write // SAFETY: <why the invariants hold> directly above".to_string(),
+            });
+        }
+    }
+
+    if !ctx.lint_locks {
+        return out;
+    }
+
+    // --- lock: guards live across channel ops ---
+    for f in &sf.fns {
+        let (lo, hi) = sf.body_range(f);
+        let mut i = lo;
+        while i < hi {
+            if toks[i].kind == TokKind::Ident && toks[i].text == "let" && !sf.is_skipped(i) {
+                if let Some((name, stmt_end)) = guard_binding(sf, i, hi) {
+                    let live_end = live_range_end(sf, i, stmt_end, hi, &name);
+                    check_guard_range(sf, f, &name, stmt_end, live_end, &mut out);
+                    i = stmt_end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If the `let` at `i` binds a `.lock()`/`.read()`/`.write()` guard,
+/// returns the bound name and the token index one past the statement's `;`.
+fn guard_binding(sf: &SourceFile, i: usize, hi: usize) -> Option<(String, usize)> {
+    let toks = &sf.lexed.toks;
+    // Pattern tokens up to `=` (paren-free in this codebase beyond
+    // `Ok(name)` wrappers).
+    let mut j = i + 1;
+    let mut pattern_idents: Vec<&str> = Vec::new();
+    while j < hi && toks[j].text != "=" && toks[j].text != ";" {
+        if toks[j].kind == TokKind::Ident {
+            pattern_idents.push(&toks[j].text);
+        }
+        j += 1;
+    }
+    if j >= hi || toks[j].text != "=" {
+        return None;
+    }
+    let name = pattern_idents
+        .iter()
+        .rev()
+        .find(|s| !matches!(**s, "mut" | "Ok" | "Some" | "Err"))?
+        .to_string();
+    // A block-expression initializer (`let x = { ... };`) binds the block's
+    // *result*, not a guard — guards created inside die at the block end
+    // and are scanned by their own inner `let`.
+    if toks.get(j + 1).map(|t| t.text.as_str()) == Some("{") {
+        return None;
+    }
+    // Initializer up to the statement's `;` at the let's depth.
+    let depth = toks[i].depth;
+    let mut k = j + 1;
+    let mut is_guard = false;
+    while k < hi {
+        let t = &toks[k];
+        if t.text == ";" && t.depth == depth {
+            break;
+        }
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "lock" | "read" | "write")
+            && k > 0
+            && toks[k - 1].text == "."
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            is_guard = true;
+        }
+        k += 1;
+    }
+    if is_guard {
+        Some((name, k + 1))
+    } else {
+        None
+    }
+}
+
+/// The end of the guard's live range: `drop(name)` or the end of the
+/// enclosing block, whichever comes first.
+fn live_range_end(sf: &SourceFile, let_tok: usize, from: usize, hi: usize, name: &str) -> usize {
+    let toks = &sf.lexed.toks;
+    let depth = toks[let_tok].depth;
+    for k in from..hi {
+        let t = &toks[k];
+        // The enclosing block's close brace reports the depth it closes to.
+        if t.text == "}" && t.kind == TokKind::Punct && t.depth + 1 == depth {
+            return k;
+        }
+        if t.kind == TokKind::Ident
+            && t.text == "drop"
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+            && toks.get(k + 2).map(|t| t.text.as_str()) == Some(name)
+            && toks.get(k + 3).map(|t| t.text.as_str()) == Some(")")
+        {
+            return k;
+        }
+    }
+    hi
+}
+
+/// Flags channel ops (and non-consuming waits) inside the guard's live
+/// range.
+fn check_guard_range(
+    sf: &SourceFile,
+    f: &crate::source::FnSpan,
+    guard: &str,
+    from: usize,
+    to: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &sf.lexed.toks;
+    for k in from..to {
+        if sf.is_skipped(k) {
+            continue;
+        }
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || k == 0 || toks[k - 1].text != "." {
+            continue;
+        }
+        let is_channel = CHANNEL_OPS.contains(&t.text.as_str())
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(");
+        let is_wait = matches!(t.text.as_str(), "wait" | "wait_timeout" | "wait_while")
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(");
+        if !is_channel && !is_wait {
+            continue;
+        }
+        if is_wait {
+            // `condvar.wait(guard)` consumes the guard — the sanctioned
+            // blocking pattern. Only a wait that does NOT take this guard
+            // is a hazard.
+            let mut j = k + 2;
+            let mut depth = 1i64;
+            let mut takes_guard = false;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    s if s == guard && toks[j].kind == TokKind::Ident => takes_guard = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if takes_guard {
+                continue;
+            }
+        }
+        if !sf.is_waived("lock", t.line) {
+            out.push(Diagnostic {
+                path: sf.path.clone(),
+                line: t.line,
+                col: t.col,
+                pass: "lock-discipline",
+                message: format!(
+                    "`.{}()` while guard `{}` is live in fn `{}` (deadlock hazard)",
+                    t.text, guard, f.name
+                ),
+                hint: format!(
+                    "drop({guard}) before blocking on a channel, or narrow the \
+                     guard's scope; waive with // lint:allow(lock) <reason>"
+                ),
+            });
+        }
+    }
+}

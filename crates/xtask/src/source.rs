@@ -1,0 +1,409 @@
+//! Per-file analysis model: the lexed token stream plus the derived
+//! structure the passes share — function spans, `#[cfg(test)]` /
+//! `#[cfg(debug_assertions)]` skip spans, `lint:allow` waivers, and
+//! `SAFETY:` comments.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// A `// lint:allow(rule) reason` waiver. Waives findings of `rule` on its
+/// own line and the line directly below (so it can sit above a long
+/// statement).
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The waived rule (`alloc`, `trail`, `clock`, `nondet`, `panic`,
+    /// `lock`).
+    pub rule: String,
+    /// The written justification. Empty reasons are themselves findings.
+    pub reason: String,
+    /// 1-based line the waiver comment sits on.
+    pub line: u32,
+}
+
+/// One `fn` item: name, header start, body token range.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index of the body's `{` (body_open == body_close means a
+    /// bodyless trait declaration).
+    pub body_open: usize,
+    /// Token index of the body's matching `}`.
+    pub body_close: usize,
+}
+
+/// The analyzed form of one source file.
+pub struct SourceFile {
+    /// Workspace-relative path (or fixture-relative in tests).
+    pub path: String,
+    /// The token stream and comments.
+    pub lexed: Lexed,
+    /// Every `fn` item, in order, at any nesting depth.
+    pub fns: Vec<FnSpan>,
+    /// Token ranges `[start, end)` gated behind `#[cfg(test)]` or
+    /// `#[cfg(debug_assertions)]` (items and blocks): invariants about the
+    /// release hot path do not apply inside them.
+    pub skip_spans: Vec<(usize, usize)>,
+    /// Parsed `lint:allow` waivers.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Lexes and structures `src`.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let fns = scan_fns(&lexed.toks);
+        let skip_spans = scan_skip_spans(&lexed.toks);
+        let waivers = scan_waivers(&lexed.comments);
+        SourceFile {
+            path: path.to_string(),
+            lexed,
+            fns,
+            skip_spans,
+            waivers,
+        }
+    }
+
+    /// Whether token index `i` lies in a `cfg(test)` / `cfg(debug_assertions)`
+    /// span.
+    pub fn is_skipped(&self, i: usize) -> bool {
+        self.skip_spans.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// Whether a finding of `rule` on `line` is waived (waiver on the same
+    /// line or the line directly above).
+    pub fn is_waived(&self, rule: &str, line: u32) -> bool {
+        self.waivers.iter().any(|w| {
+            w.rule == rule && !w.reason.is_empty() && (w.line == line || w.line + 1 == line)
+        })
+    }
+
+    /// Whether a comment block ending on `line` or one of the `above` lines
+    /// before it carries a `SAFETY:` marker with a nonempty justification.
+    /// A run of contiguous `//` lines counts as one block, so a multi-line
+    /// justification whose `SAFETY:` sits on the first line still counts.
+    pub fn has_safety_comment(&self, line: u32, above: u32) -> bool {
+        let cs = &self.lexed.comments;
+        let justifies = |c: &Comment| {
+            c.text
+                .split("SAFETY:")
+                .nth(1)
+                .is_some_and(|rest| !rest.trim().is_empty())
+        };
+        let Some(mut k) = cs
+            .iter()
+            .rposition(|c| c.end_line <= line && c.end_line + above >= line)
+        else {
+            return false;
+        };
+        if justifies(&cs[k]) {
+            return true;
+        }
+        while k > 0 && cs[k - 1].end_line + 1 == cs[k].line {
+            k -= 1;
+            if justifies(&cs[k]) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The tokens of `f`'s body (empty for bodyless declarations).
+    pub fn body(&self, f: &FnSpan) -> &[Tok] {
+        if f.body_open >= f.body_close {
+            return &[];
+        }
+        &self.lexed.toks[f.body_open + 1..f.body_close]
+    }
+
+    /// Body token range of `f` as absolute token indices.
+    pub fn body_range(&self, f: &FnSpan) -> (usize, usize) {
+        (f.body_open + 1, f.body_close)
+    }
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`.
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    debug_assert_eq!(toks[open].text, "{");
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Scans `fn` items. The body `{` is the first brace after the name that is
+/// not nested in `(`/`[` (where-clauses and return types in this codebase
+/// contain no braces); a `;` first means a bodyless trait declaration.
+fn scan_fns(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 2;
+            let mut paren = 0i64;
+            let mut bracket = 0i64;
+            let mut body_open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        "[" => bracket += 1,
+                        "]" => bracket -= 1,
+                        "{" if paren == 0 && bracket == 0 => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        ";" if paren == 0 && bracket == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let (open, close) = match body_open {
+                Some(o) => (o, matching_brace(toks, o)),
+                None => (j, j),
+            };
+            fns.push(FnSpan {
+                name: name_tok.text.clone(),
+                line: toks[i].line,
+                fn_tok: i,
+                body_open: open,
+                body_close: close,
+            });
+            // Continue *inside* the body too: nested fns and closures with
+            // inner fns are rare but cheap to cover.
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    fns
+}
+
+/// Finds `#[cfg(test)]` / `#[cfg(debug_assertions)]` attributes and records
+/// the token span of the item or block they gate.
+fn scan_skip_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            // Parse one attribute; find its closing `]`.
+            let mut j = i + 2;
+            let mut bracket = 1i64;
+            let mut gated = false;
+            while j < toks.len() && bracket > 0 {
+                match toks[j].text.as_str() {
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    // Exact `cfg(test)` / `cfg(debug_assertions)` only —
+                    // `cfg(not(test))` code is live in release builds.
+                    "cfg"
+                        if toks[j].kind == TokKind::Ident
+                            && toks.get(j + 1).map(|t| t.text.as_str()) == Some("(")
+                            && matches!(
+                                toks.get(j + 2).map(|t| t.text.as_str()),
+                                Some("test") | Some("debug_assertions")
+                            )
+                            && toks.get(j + 3).map(|t| t.text.as_str()) == Some(")") =>
+                    {
+                        gated = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if gated {
+                // Skip over any further attributes to the gated item/block.
+                let mut k = j;
+                while k < toks.len()
+                    && toks[k].text == "#"
+                    && toks.get(k + 1).map(|t| t.text.as_str()) == Some("[")
+                {
+                    let mut depth2 = 0i64;
+                    k += 1;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "[" => depth2 += 1,
+                            "]" => {
+                                depth2 -= 1;
+                                if depth2 == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // The gated region ends at the matching `}` of the first
+                // brace at item level, or at the terminating `;` (e.g.
+                // `#[cfg(test)] use …;`).
+                let mut m = k;
+                let mut paren = 0i64;
+                let mut bracket2 = 0i64;
+                while m < toks.len() {
+                    match toks[m].text.as_str() {
+                        "(" => paren += 1,
+                        ")" => paren -= 1,
+                        "[" => bracket2 += 1,
+                        "]" => bracket2 -= 1,
+                        "{" if paren == 0 && bracket2 == 0 => {
+                            spans.push((i, matching_brace(toks, m) + 1));
+                            break;
+                        }
+                        ";" if paren == 0 && bracket2 == 0 => {
+                            spans.push((i, m + 1));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Parses `lint:allow(rule) reason` out of the comment list.
+fn scan_waivers(comments: &[Comment]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        out.push(Waiver {
+            rule: rest[..close].trim().to_string(),
+            reason: rest[close + 1..].trim().to_string(),
+            // Block-comment waivers apply where the comment *ends*.
+            line: c.end_line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spans_and_bodies() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "impl X { fn classify(&self) -> u32 { self.0 } fn decl(&self); }",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "classify");
+        assert!(f.body(&f.fns[0]).iter().any(|t| t.text == "self"));
+        assert_eq!(f.fns[1].name, "decl");
+        assert!(f.body(&f.fns[1]).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_skipped() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn gated() { x.unwrap(); } }",
+        );
+        let unwrap_idx = f
+            .lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .unwrap();
+        assert!(f.is_skipped(unwrap_idx));
+        let live_idx = f.lexed.toks.iter().position(|t| t.text == "live").unwrap();
+        assert!(!f.is_skipped(live_idx));
+    }
+
+    #[test]
+    fn debug_assertions_block_is_skipped() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "fn f() { #[cfg(debug_assertions)] { let c = v.clone(); } let d = 1; }",
+        );
+        let clone_idx = f.lexed.toks.iter().position(|t| t.text == "clone").unwrap();
+        assert!(f.is_skipped(clone_idx));
+        let d_idx = f.lexed.toks.iter().position(|t| t.text == "d").unwrap();
+        assert!(!f.is_skipped(d_idx));
+    }
+
+    #[test]
+    fn waiver_parsing_and_adjacency() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "// lint:allow(alloc) warm-up only: runs once per prepare\nfn f() {}\n// lint:allow(panic)\nfn g() {}",
+        );
+        assert_eq!(f.waivers.len(), 2);
+        assert!(f.is_waived("alloc", 1));
+        assert!(f.is_waived("alloc", 2));
+        assert!(!f.is_waived("alloc", 3));
+        // Reasonless waivers never waive.
+        assert!(!f.is_waived("panic", 4));
+    }
+
+    #[test]
+    fn safety_comments() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "// SAFETY: the index is bounds-checked above\nlet x = 1;\n// SAFETY:\nlet y = 2;",
+        );
+        assert!(f.has_safety_comment(2, 1));
+        assert!(
+            !f.has_safety_comment(4, 1),
+            "empty SAFETY text is not a justification"
+        );
+    }
+
+    #[test]
+    fn multiline_safety_block_counts_as_one() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "// SAFETY: the pointer came from a matching alloc and the\n\
+             // layout is forwarded verbatim, so System's contract\n\
+             // applies unchanged on every path.\n\
+             // (See the allocator docs for the full argument.)\n\
+             unsafe { dealloc(p, l) }",
+        );
+        assert!(
+            f.has_safety_comment(5, 3),
+            "SAFETY on the first line of a contiguous run justifies the block"
+        );
+        let g = SourceFile::parse(
+            "t.rs",
+            "// just prose, no marker\n// more prose\nunsafe { x() }",
+        );
+        assert!(!g.has_safety_comment(3, 3));
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-bad: wall-clock and sleep calls in library code.
+
+fn measure(work: impl FnOnce()) -> u64 {
+    let start = std::time::Instant::now();
+    work();
+    start.elapsed().as_nanos() as u64
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

@@ -1,0 +1,24 @@
+//! Known-bad: unwraps, empty expects, panics, and ambient environment reads.
+
+fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("")
+}
+
+fn reject() -> ! {
+    panic!("boom");
+}
+
+fn unfinished(x: u32) -> u32 {
+    match x {
+        0 => todo!(),
+        _ => unreachable!(),
+    }
+}
+
+fn configured() -> bool {
+    std::env::var("STEINER_MODE").is_ok()
+}

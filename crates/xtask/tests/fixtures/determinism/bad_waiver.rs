@@ -1,0 +1,9 @@
+//! Known-bad: malformed waivers — unknown rule name and missing reason.
+
+fn classify(v: &mut Vec<u32>) -> usize {
+    // lint:allow(alloc)
+    let scratch: Vec<u32> = v.iter().copied().collect();
+    // lint:allow(allocations) spelled wrong: the rule is `alloc`
+    let more = scratch.to_vec();
+    more.len()
+}

@@ -1,0 +1,26 @@
+//! Known-clean: waived clock use and message-bearing expects.
+
+fn deadline_from(timeout_ms: u64) -> std::time::Instant {
+    // lint:allow(clock) deadlines are anchored to the caller-visible service clock
+    std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms)
+}
+
+fn first(v: &[u32]) -> u32 {
+    *v.first().expect("caller guarantees a nonempty slice")
+}
+
+fn classify_bit(b: bool) -> u32 {
+    match b {
+        true => 1,
+        false => unreachable!("normalized upstream: false is filtered out"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

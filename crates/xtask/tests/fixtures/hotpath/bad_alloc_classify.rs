@@ -1,0 +1,17 @@
+//! Known-bad: allocating constructs inside a hot-path function.
+
+fn classify(out: &mut Vec<u32>) -> usize {
+    let mut scratch = Vec::new();
+    scratch.extend(out.iter().copied());
+    let doubled: Vec<u32> = out.iter().map(|x| x * 2).collect();
+    let label = format!("{}", doubled.len());
+    out.push(label.len() as u32);
+    scratch.len()
+}
+
+fn prepare(n: usize) -> Vec<u32> {
+    // Not a hot-path function: allocation here is fine.
+    let mut v = Vec::new();
+    v.resize(n, 0);
+    v
+}

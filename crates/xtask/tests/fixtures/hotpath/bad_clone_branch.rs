@@ -1,0 +1,19 @@
+//! Known-bad: heap clones and boxed nodes inside branch/descend.
+
+struct Frame {
+    edges: Vec<u32>,
+}
+
+fn branch(frames: &mut Vec<Frame>, current: &Frame) {
+    let snapshot = current.edges.clone();
+    let boxed = Box::new(snapshot.len());
+    frames.push(Frame {
+        edges: current.edges.to_vec(),
+    });
+    let _ = boxed;
+}
+
+fn descend(frames: &mut Vec<Frame>) -> String {
+    let names: Vec<String> = frames.iter().map(|f| f.edges.len().to_string()).collect();
+    names.join(",")
+}

@@ -1,0 +1,26 @@
+//! Known-clean: hot-path allocations that are waived or debug-gated.
+
+fn classify(out: &mut Vec<u32>) -> usize {
+    // lint:allow(alloc) one-time lazy growth of the reusable scratch pool
+    let mut scratch = Vec::new();
+    scratch.extend(out.iter().copied());
+    #[cfg(debug_assertions)]
+    {
+        let audit = out.clone();
+        debug_assert_eq!(audit.len(), out.len());
+    }
+    scratch.len()
+}
+
+fn retract_frame(out: &mut Vec<u32>) {
+    out.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocating_in_tests_is_fine() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! Known-bad: early exits between a retained mark and its unwind.
+
+fn classify(trail: &mut Trail, mask: &mut [bool], stop: bool) -> Result<u32, Error> {
+    let mark = trail.mark();
+    trail.set(mask, 1);
+    if stop {
+        return Ok(0);
+    }
+    let v = fallible()?;
+    trail.undo_to(mask, mark);
+    Ok(v)
+}

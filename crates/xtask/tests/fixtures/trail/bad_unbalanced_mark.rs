@@ -1,0 +1,7 @@
+//! Known-bad: a trail mark taken but never unwound.
+
+fn descend(trail: &mut Trail, mask: &mut [bool]) {
+    let mark = trail.mark();
+    trail.set(mask, 3);
+    let _ = mark;
+}

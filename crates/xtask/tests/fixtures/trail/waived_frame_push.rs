@@ -1,0 +1,27 @@
+//! Known-clean: marks that escape into frames, and a waived early exit.
+
+struct Frame {
+    trail: TrailMark,
+    choice: u32,
+}
+
+fn descend(search: &mut Search, choice: u32) {
+    let trail = search.trail.mark();
+    search.set(choice);
+    search.frames.push(Frame { trail, choice });
+}
+
+fn branch(search: &mut Search) -> Result<(), Error> {
+    let mark = search.trail.mark();
+    search.set(0);
+    if search.done() {
+        // lint:allow(trail) the caller retracts this frame via retract_all on Break
+        return Ok(());
+    }
+    search.trail.undo_to(&mut search.mask, mark);
+    Ok(())
+}
+
+fn checkpoint_of(search: &Search) -> TrailMark {
+    search.trail.mark()
+}

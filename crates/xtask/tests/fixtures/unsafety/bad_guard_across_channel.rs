@@ -1,0 +1,13 @@
+//! Known-bad: lock guards held live across channel operations.
+
+fn relay(shared: &Shared, tx: &Sender<u32>) {
+    let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+    sched.queued += 1;
+    tx.send(sched.queued).ok();
+}
+
+fn drain(shared: &Shared, rx: &Receiver<u32>) {
+    let sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = rx.recv();
+    drop(sched);
+}

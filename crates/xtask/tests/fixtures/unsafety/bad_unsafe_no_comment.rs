@@ -1,0 +1,10 @@
+//! Known-bad: unsafe blocks with no SAFETY justification.
+
+fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+fn transmute_bits(x: f64) -> u64 {
+    // This comment does not justify anything.
+    unsafe { std::mem::transmute(x) }
+}

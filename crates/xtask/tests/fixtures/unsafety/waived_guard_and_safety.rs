@@ -1,0 +1,30 @@
+//! Known-clean: justified unsafe, guards released before channel work,
+//! the condvar wait pattern, and one waived send-under-lock.
+
+fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: callers uphold v.len() >= 1; checked by the debug assert above.
+    unsafe { *v.get_unchecked(0) }
+}
+
+fn relay(shared: &Shared, tx: &Sender<u32>) {
+    let queued = {
+        let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+        sched.queued += 1;
+        sched.queued
+    };
+    tx.send(queued).ok();
+}
+
+fn park(shared: &Shared) {
+    let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+    while sched.queued == 0 {
+        sched = shared.cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn flush(shared: &Shared, tx: &Sender<u32>) {
+    let sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+    // lint:allow(lock) shutdown path: the channel is unbounded, send cannot block
+    tx.send(sched.queued).ok();
+    drop(sched);
+}

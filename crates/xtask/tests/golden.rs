@@ -1,0 +1,160 @@
+//! Golden-file validation of the `steiner-lint` passes, plus the
+//! workspace self-check.
+//!
+//! Every `tests/fixtures/<pass>/*.rs` file is linted in fixture mode
+//! (all passes armed, all hot-path function names active, lock auditing
+//! on) and its diagnostics — in [`xtask::Diagnostic`] compact
+//! `LINE:COL pass: message` form — must match the sibling `.expected`
+//! file byte-for-byte. `bad_*` fixtures must produce findings; `waived_*`
+//! fixtures must be clean. The same contract is exercised end-to-end
+//! through the CLI (`xtask lint --fixture FILE`), pinning the exit codes
+//! CI relies on.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// All fixture `.rs` files, sorted for deterministic iteration.
+fn fixture_files() -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for pass_dir in fs::read_dir(fixtures_dir()).expect("tests/fixtures exists") {
+        let pass_dir = pass_dir.expect("readable fixtures entry").path();
+        if !pass_dir.is_dir() {
+            continue;
+        }
+        for f in fs::read_dir(&pass_dir).expect("readable pass dir") {
+            let f = f.expect("readable fixture entry").path();
+            if f.extension().is_some_and(|e| e == "rs") {
+                files.push(f);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn compact_report(path: &Path) -> String {
+    let diags = xtask::lint_fixture(path).expect("fixture file is readable");
+    diags.iter().map(|d| format!("{}\n", d.compact())).collect()
+}
+
+#[test]
+fn fixtures_match_expected_output() {
+    let files = fixture_files();
+    assert!(
+        files.len() >= 12,
+        "expected >= 2 bad + 1 waived fixture per pass, found {}",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    for path in &files {
+        let got = compact_report(path);
+        let expected_path = path.with_extension("expected");
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "missing {} — every fixture pins its diagnostics",
+                expected_path.display()
+            )
+        });
+        if got.trim_end() != expected.trim_end() {
+            failures.push(format!(
+                "== {} ==\n-- expected --\n{}\n-- got --\n{}",
+                path.display(),
+                expected.trim_end(),
+                got.trim_end()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn bad_fixtures_fail_and_waived_fixtures_pass() {
+    for path in fixture_files() {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("fixture names are utf-8");
+        let report = compact_report(&path);
+        if name.starts_with("bad_") {
+            assert!(
+                !report.is_empty(),
+                "{} is a known-bad fixture but linted clean",
+                path.display()
+            );
+        } else if name.starts_with("waived_") {
+            assert!(
+                report.is_empty(),
+                "{} is a known-clean fixture but produced:\n{report}",
+                path.display()
+            );
+        } else {
+            panic!(
+                "{}: fixture names start with bad_ or waived_",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The CLI contract CI depends on: `lint --fixture FILE` exits 1 on every
+/// bad fixture (printing the pinned compact diagnostics on stdout) and 0
+/// on every waived fixture.
+#[test]
+fn cli_exit_codes_match_fixture_kind() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    for path in fixture_files() {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("fixture names are utf-8");
+        let out = Command::new(bin)
+            .args(["lint", "--fixture"])
+            .arg(&path)
+            .output()
+            .expect("xtask binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        if name.starts_with("bad_") {
+            assert_eq!(
+                out.status.code(),
+                Some(1),
+                "{}: bad fixture must exit 1 (stdout: {stdout})",
+                path.display()
+            );
+        } else {
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{}: waived fixture must exit 0 (stdout: {stdout})",
+                path.display()
+            );
+        }
+        let expected = fs::read_to_string(path.with_extension("expected"))
+            .expect("every fixture has an .expected file");
+        assert_eq!(
+            stdout.trim_end(),
+            expected.trim_end(),
+            "{}: CLI output drifted from the golden file",
+            path.display()
+        );
+    }
+}
+
+/// The self-check the whole PR hangs on: the real workspace lints clean.
+/// Every true finding has been fixed or carries a written waiver, so any
+/// diagnostic here is a regression (or a new unwaived violation).
+#[test]
+fn workspace_lints_clean() {
+    let root = xtask::find_root(None);
+    let diags = xtask::lint_workspace(&root).expect("workspace sources are readable");
+    let rendered: String = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "steiner-lint found {} violation(s) in the workspace:\n{rendered}",
+        diags.len()
+    );
+}

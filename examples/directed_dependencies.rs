@@ -45,8 +45,8 @@ fn main() {
     );
 
     // Streaming consumption on a worker thread: take 5 plans lazily. The
-    // problem owns a clone of the DAG so it can move to the worker.
-    let iter = Enumeration::new(DirectedSteinerTree::from_graph(d.clone(), root, &targets))
+    // problem owns the DAG so it can move to the worker.
+    let iter = Enumeration::new(DirectedSteinerTree::from_graph(d, root, &targets))
         .into_iter()
         .expect("targets are derivable from the root");
     println!("\nfirst 5 plans via the iterator front-end:");

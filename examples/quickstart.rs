@@ -81,7 +81,7 @@ fn main() {
 
     // 5. Pull front-end: a plain Iterator on a worker thread. The problem
     //    owns its graph (`from_graph`) so it can move to the worker.
-    let lazy: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g.clone(), &terminals))
+    let lazy: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g, &terminals))
         .into_iter()
         .expect("terminals are connected")
         .take(2)

@@ -108,6 +108,8 @@
 //! returns a [`SteinerError`] for those, so migrated code can distinguish
 //! "no solutions" from "invalid instance".
 
+#![deny(unsafe_code)]
+
 pub use steiner_core as steiner;
 pub use steiner_graph as graph;
 pub use steiner_hardness as hardness;

@@ -327,10 +327,7 @@ fn expired_deadline_is_reported_by_every_problem_and_front_end() {
         let g = g.clone();
         move || SteinerForest::from_graph(g.clone(), &[w.to_vec()])
     });
-    check_deadline_surface({
-        let g = g.clone();
-        move || TerminalSteinerTree::from_graph(g.clone(), &w)
-    });
+    check_deadline_surface(move || TerminalSteinerTree::from_graph(g.clone(), &w));
     let d = DiGraph::from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
     check_deadline_surface(move || {
         DirectedSteinerTree::from_graph(d.clone(), VertexId(0), &[VertexId(2)])

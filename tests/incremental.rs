@@ -121,7 +121,7 @@ fn iterator_front_end_matches_reference() {
     let g = generators::theta_chain(3, 3);
     let w = [VertexId(0), VertexId(3)];
     let reference = ordered(Enumeration::new(SteinerTree::new(&g, &w)).with_incremental(false));
-    let iterated: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g.clone(), &w))
+    let iterated: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g, &w))
         .into_iter()
         .expect("valid instance")
         .collect();
@@ -144,7 +144,7 @@ fn deep_backtrack_ladder_tree_and_forest() {
     // A pendant bridge path hanging off the chain keeps the skeleton
     // non-trivial at every depth (forced-path collection under deep
     // undo).
-    let mut gp = g.clone();
+    let mut gp = g;
     let n = gp.num_vertices();
     gp.add_vertex();
     gp.add_vertex();

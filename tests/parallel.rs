@@ -164,7 +164,7 @@ fn sharded_iterator_front_end_matches_and_stops_on_drop() {
     let g = generators::theta_chain(5, 3);
     let w = [VertexId(0), VertexId(5)];
     let sequential = ordered(Enumeration::new(SteinerTree::new(&g, &w)));
-    let pulled: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g.clone(), &w))
+    let pulled: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g, &w))
         .with_threads(4)
         .into_iter()
         .expect("valid instance")

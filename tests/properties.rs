@@ -234,7 +234,7 @@ proptest! {
 
         check_limit_queue_prefix(|| SteinerTree::new(&g, &w), k)?;
         check_limit_queue_prefix(|| TerminalSteinerTree::new(&g, &w), k)?;
-        let sets = vec![w.clone(), terminal_subset(n, mask.rotate_left(3), 3)];
+        let sets = vec![w, terminal_subset(n, mask.rotate_left(3), 3)];
         check_limit_queue_prefix(|| SteinerForest::new(&g, &sets), k)?;
         let root = VertexId(0);
         let mut dw = terminal_subset(d.num_vertices(), mask, 3);

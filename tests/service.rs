@@ -61,9 +61,7 @@ fn served_streams_are_byte_identical_to_one_shot_runs() {
         Query::SteinerForest {
             sets: vec![w.clone()],
         },
-        Query::TerminalSteinerTree {
-            terminals: w.clone(),
-        },
+        Query::TerminalSteinerTree { terminals: w },
         Query::DirectedSteinerTree {
             root,
             terminals: dw,
@@ -119,9 +117,7 @@ fn concurrent_tenants_complete_with_identical_answers() {
             cache_capacity_bytes: None,
         },
     );
-    let query = Query::SteinerTree {
-        terminals: w.clone(),
-    };
+    let query = Query::SteinerTree { terminals: w };
     let tickets: Vec<_> = ["a", "b", "c"]
         .iter()
         .flat_map(|name| {
@@ -167,9 +163,7 @@ fn global_pool_admission_control() {
     );
     engine.pause();
     let session = engine.session("tenant");
-    let query = Query::SteinerTree {
-        terminals: w.clone(),
-    };
+    let query = Query::SteinerTree { terminals: w };
     let admitted: Vec<_> = (0..3)
         .map(|_| {
             session
