@@ -17,7 +17,7 @@ use steiner_core::{
     DirectedSteinerTree, Enumeration, ResultCache, SteinerForest, SteinerTree, TerminalSteinerTree,
 };
 use steiner_graph::{EdgeId, VertexId};
-use steiner_service::{EnumerationEngine, Query, QueryOptions};
+use steiner_service::{EnumerationEngine, GraphMutation, Query, QueryOptions};
 
 const CAP: u64 = 20_000;
 
@@ -173,6 +173,125 @@ fn st_rows(rows: &mut Vec<Row>) {
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
         });
+        let query = Query::SteinerTree {
+            terminals: inst.terminals.clone(),
+        };
+        let opts = QueryOptions::default().limit(CAP);
+        // Epoch engine (PR 8): the serving graph gains a disjoint
+        // companion component, so the instance and the companion are
+        // separate regions. A mutation confined to the companion leaves
+        // the instance's cache entry live — replaying the query at the
+        // new epoch is pure cache delivery ("epoch replay (untouched
+        // region)"). Touching the instance's own region drops the entry;
+        // an insert-then-remove pair of batches restores the identical
+        // graph, so the forced re-enumeration ("cold after mutation")
+        // answers exactly the same workload cold. The paired rows record
+        // the gap exact invalidation buys.
+        let epoch_row = |pass: &str, delays: steiner_bench::measure::DelayStats| Row {
+            problem: "Steiner Tree (§4)".into(),
+            algorithm: format!("epoch {pass}"),
+            claimed: if pass.contains("replay") {
+                "O(1)/solution replay".into()
+            } else {
+                "O(n+m) amortized + record".into()
+            },
+            instance: inst.name.clone(),
+            n: inst.graph.num_vertices(),
+            m: inst.graph.num_edges(),
+            t: 4,
+            solutions: delays.solutions,
+            delays,
+            max_work_gap: None,
+            work_gap_over_nm: None,
+        };
+        let mut live_graph = inst.graph.clone();
+        let c0 = live_graph.add_vertex();
+        let c1 = live_graph.add_vertex();
+        let c2 = live_graph.add_vertex();
+        live_graph.add_edge(c0, c1).expect("fresh vertices");
+        live_graph.add_edge(c1, c2).expect("fresh vertices");
+        let live = EnumerationEngine::new(live_graph);
+        let session = live.session("bench");
+        let outcome = session.run(query.clone(), opts).expect("admitted");
+        assert!(outcome.is_complete(), "warm-up run populates the cache");
+        let out = live
+            .apply_mutation(GraphMutation::InsertEdge { u: c0, v: c2 })
+            .expect("companion edit is valid");
+        assert_eq!(
+            out.touched_regions,
+            vec![c0.0],
+            "the edit stays inside the companion region"
+        );
+        assert!(out.entries_retained >= 1, "the instance's entry survives");
+        // Both epoch rows take the fastest of several runs: each side is
+        // a one-shot `session.run`, so a single sample is at the mercy
+        // of transient scheduler/allocator noise. Replays are cheap, so
+        // they get more samples than the cold re-enumerations.
+        let min_of = |k: usize, mut one: Box<dyn FnMut() -> steiner_bench::measure::DelayStats>| {
+            (1..k).fold(one(), |best, _| {
+                let next = one();
+                if next.total < best.total {
+                    next
+                } else {
+                    best
+                }
+            })
+        };
+        let delays = min_of(
+            5,
+            Box::new(|| {
+                record_delays(CAP, |emit| {
+                    let outcome = session.run(query.clone(), opts).expect("admitted");
+                    assert_eq!(
+                        outcome.stats.cache_hits, 1,
+                        "untouched-region replay is a pure cache hit"
+                    );
+                    for _ in 0..outcome.solutions.len() {
+                        if !emit() {
+                            break;
+                        }
+                    }
+                })
+            }),
+        );
+        rows.push(epoch_row("replay (untouched region)", delays));
+        // Each cold sample re-invalidates first: an insert touching the
+        // instance's region drops its entry, and retracting the newest
+        // edge id (no renumbering) restores the identical graph, so the
+        // measured re-enumeration answers the same workload cold.
+        let delays = min_of(
+            3,
+            Box::new(|| {
+                let probe = GraphMutation::InsertEdge {
+                    u: inst.terminals[0],
+                    v: inst.terminals[1],
+                };
+                let out = live.apply_mutation(probe).expect("instance edit is valid");
+                assert!(out.entries_invalidated >= 1, "the instance's entry drops");
+                let last = EdgeId(live.graph().num_edges() as u32 - 1);
+                live.apply_mutation(GraphMutation::RemoveEdge(last))
+                    .expect("retracting the newest edge is valid");
+                record_delays(CAP, |emit| {
+                    let outcome = session.run(query.clone(), opts).expect("admitted");
+                    assert_eq!(
+                        outcome.stats.cache_hits, 0,
+                        "the touched-region entry was dropped, so this run is cold"
+                    );
+                    for _ in 0..outcome.solutions.len() {
+                        if !emit() {
+                            break;
+                        }
+                    }
+                })
+            }),
+        );
+        rows.push(epoch_row("cold after mutation", delays));
+        // Release the live engine (and its churned cache arenas) before
+        // the cached/service measurements below: holding them resident
+        // pushes the later engines' interned streams onto fresh pages
+        // and the page faults show up as per-solution replay cost.
+        drop(session);
+        drop(live);
         // Incremental-classification ablation: the default engine reads
         // trail-backed connectivity state across parent/child nodes; the
         // paired "(off)" row recomputes every node from scratch (the

@@ -60,28 +60,39 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::sync::{Arc, Mutex};
+use steiner_graph::epoch::{RegionMap, RegionSignature};
 use steiner_graph::{DiGraph, UndirectedGraph, VertexId};
 
 /// Compact the shared arena once dead bytes pass this share of it.
 const COMPACT_DEAD_FRACTION: f64 = 0.5;
 
 /// What a [`MinimalSteinerProblem`](crate::problem::MinimalSteinerProblem)
-/// reports about its identity for caching: the problem kind plus structure
-/// fingerprints of the instance graph and of the query parameters
-/// (terminals, terminal sets, root).
+/// reports about its identity for caching: the problem kind, the
+/// epoch-qualified **region signature** of the graph regions the query
+/// touches, and a fingerprint of the query parameters (terminals,
+/// terminal sets, root).
+///
+/// The region signature ([`RegionSignature`]) carries the `(region id,
+/// region fingerprint)` pairs of every connected component the query's
+/// vertices lie in. Because the signature is *part of the key*, an entry
+/// hits iff every region its query touched is unchanged on the serving
+/// graph — a mutation in one region leaves entries keyed to other regions
+/// hitting, with no explicit epoch comparison needed at lookup time.
 ///
 /// Two instances with equal keys must enumerate identical solution
 /// streams; the fingerprints are ordinary 64-bit hashes, so implementors
 /// hash every piece of state that influences the stream (collisions are
 /// astronomically unlikely but not impossible — the cache trades that for
 /// never retaining a copy of the graph).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheKey {
     /// The problem kind (its `NAME`), separating e.g. Steiner-tree from
     /// terminal-Steiner-tree streams over the same graph and terminals.
     pub kind: &'static str,
-    /// Fingerprint of the instance graph (vertex count + full edge list).
-    pub graph_fingerprint: u64,
+    /// Region signature of the instance graph restricted to the query's
+    /// vertices: which components the stream can mention, each pinned to
+    /// its exact edge-id/endpoint assignment.
+    pub regions: RegionSignature,
     /// Fingerprint of the query parameters (terminals / sets / root) in
     /// the problem's **canonical** form — the four paper problems hash
     /// sorted terminals (or the reduced pair list), since `prepare()`
@@ -92,7 +103,7 @@ pub struct CacheKey {
 /// The full lookup key: a [`CacheKey`] plus the builder's delivery limit
 /// (a `with_limit(10)` stream is a different — shorter — stream than the
 /// unlimited one over the same instance).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub(crate) struct QueryKey {
     pub(crate) key: CacheKey,
     pub(crate) limit: Option<u64>,
@@ -377,8 +388,11 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
                 // One LRU-ordered sweep, evicting until under the cap —
                 // O(N log N) per store instead of an O(N) scan per
                 // evicted entry, all under the same lock.
-                let mut by_age: Vec<(u64, QueryKey)> =
-                    inner.map.iter().map(|(k, e)| (e.last_used, *k)).collect();
+                let mut by_age: Vec<(u64, QueryKey)> = inner
+                    .map
+                    .iter()
+                    .map(|(k, e)| (e.last_used, k.clone()))
+                    .collect();
                 by_age.sort_unstable_by_key(|&(age, _)| age);
                 for (_, oldest) in by_age {
                     if inner.store.bytes() <= cap || inner.map.len() <= 1 {
@@ -418,6 +432,36 @@ impl<Item: Copy + Eq + Hash> ResultCache<Item> {
         self.lock().misses += 1;
     }
 
+    /// Drops every entry whose region signature intersects `touched`
+    /// (sorted region ids from a mutation report), releasing their
+    /// solutions. Entries keyed entirely to untouched regions are
+    /// retained — their keys still match the post-mutation graph, so they
+    /// keep hitting. Returns `(retained, invalidated)` entry counts.
+    ///
+    /// Hashed lookup already makes stale entries unreachable (their
+    /// signature no longer matches the serving graph's region map); this
+    /// pass additionally reclaims their bytes instead of waiting for LRU
+    /// pressure to age them out.
+    pub fn invalidate_regions(&self, touched: &[u32]) -> (u64, u64) {
+        let mut inner = self.lock();
+        let stale: Vec<QueryKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.key.regions.intersects(touched))
+            .cloned()
+            .collect();
+        let invalidated = stale.len() as u64;
+        for key in stale {
+            let entry = inner.map.remove(&key).expect("key from the scan");
+            for id in entry.ids {
+                inner.store.release(id);
+            }
+        }
+        inner.maybe_compact();
+        let retained = inner.map.len() as u64;
+        (retained, invalidated)
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<Item>> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -436,14 +480,7 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
     pub fn snapshot(&self) -> Vec<u8> {
         let inner = self.lock();
         let mut keys: Vec<&QueryKey> = inner.map.keys().collect();
-        keys.sort_unstable_by_key(|k| {
-            (
-                k.key.kind,
-                k.key.graph_fingerprint,
-                k.key.query_fingerprint,
-                k.limit,
-            )
-        });
+        keys.sort_unstable();
         let mut kinds: Vec<&'static str> = keys.iter().map(|k| k.key.kind).collect();
         kinds.sort_unstable();
         kinds.dedup();
@@ -480,7 +517,12 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
                 .position(|&name| name == k.key.kind)
                 .expect("kind collected from the same key set");
             w.u32(kind_idx as u32);
-            w.u64(k.key.graph_fingerprint);
+            let pairs = k.key.regions.pairs();
+            w.u32(pairs.len() as u32);
+            for &(region, fp) in pairs {
+                w.u32(region);
+                w.u64(fp);
+            }
             w.u64(k.key.query_fingerprint);
             match k.limit {
                 None => {
@@ -512,10 +554,12 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
     /// version, item tag, checksum, structure, problem kinds (matched
     /// against `kinds`, usually
     /// [`paper_problem_kinds`](crate::snapshot::paper_problem_kinds)),
-    /// and, when `expected_graph` is given, every entry's graph
-    /// fingerprint — **before** anything is mutated: a rejected snapshot
-    /// leaves the cache exactly as it was, and is never partially or
-    /// silently served.
+    /// and, when `expected` is given, every `(region, fingerprint)` pair
+    /// of every entry's signature against the serving graph's region map
+    /// — **before** anything is mutated: a rejected snapshot leaves the
+    /// cache exactly as it was, and is never partially or silently
+    /// served. Pre-epoch (v1) blobs are refused with
+    /// [`SnapshotError::VersionSkew`].
     ///
     /// Restored entries merge with existing contents (same-key entries
     /// are replaced; the streams are identical by construction when keys
@@ -526,9 +570,9 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
         &self,
         bytes: &[u8],
         kinds: &[&'static str],
-        expected_graph: Option<u64>,
+        expected: Option<&RegionMap>,
     ) -> Result<u64, SnapshotError> {
-        let parsed = Self::parse_snapshot(bytes, kinds, expected_graph)?;
+        let parsed = Self::parse_snapshot(bytes, kinds, expected)?;
         // Everything validated — commit under one lock.
         let mut inner = self.lock();
         let mut restored = 0u64;
@@ -554,7 +598,7 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
     }
 
     /// Runs [`Self::restore`]'s full validation — header, checksum,
-    /// structure, kinds, graph fingerprints — without committing
+    /// structure, kinds, region signatures — without committing
     /// anything. Callers composing several snapshots atomically (the
     /// `steiner-service` engine frames an edge and an arc snapshot
     /// together) validate every part first so a half-bad blob cannot
@@ -563,9 +607,9 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
         &self,
         bytes: &[u8],
         kinds: &[&'static str],
-        expected_graph: Option<u64>,
+        expected: Option<&RegionMap>,
     ) -> Result<(), SnapshotError> {
-        Self::parse_snapshot(bytes, kinds, expected_graph).map(|_| ())
+        Self::parse_snapshot(bytes, kinds, expected).map(|_| ())
     }
 
     /// Decodes and fully validates a snapshot without touching the
@@ -573,7 +617,7 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
     fn parse_snapshot(
         bytes: &[u8],
         kinds: &[&'static str],
-        expected_graph: Option<u64>,
+        expected: Option<&RegionMap>,
     ) -> Result<ParsedSnapshot<Item>, SnapshotError> {
         if bytes.len() < SNAPSHOT_HEADER_BYTES {
             return Err(SnapshotError::Corrupted("header truncated"));
@@ -583,7 +627,10 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
         if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
+            return Err(SnapshotError::VersionSkew {
+                stored: version,
+                supported: SNAPSHOT_VERSION,
+            });
         }
         let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
         if tag != Item::TAG {
@@ -632,21 +679,29 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
             let kind = *kind_names
                 .get(kind_idx)
                 .ok_or(SnapshotError::Corrupted("kind index out of range"))?;
-            let graph_fingerprint = r.u64()?;
+            let pair_count = r.u32()? as usize;
+            let mut pairs: Vec<(u32, u64)> = Vec::with_capacity(pair_count.min(prealloc_cap));
+            for _ in 0..pair_count {
+                let region = r.u32()?;
+                let fp = r.u64()?;
+                if let Some(map) = expected {
+                    let current = map.fingerprint(region);
+                    if current != Some(fp) {
+                        return Err(SnapshotError::GraphMismatch {
+                            stored: fp,
+                            expected: current.unwrap_or(0),
+                        });
+                    }
+                }
+                pairs.push((region, fp));
+            }
+            let regions = RegionSignature::from_pairs(pairs);
             let query_fingerprint = r.u64()?;
             let limit = match (r.u32()?, r.u64()?) {
                 (0, _) => None,
                 (1, l) => Some(l),
                 _ => return Err(SnapshotError::Corrupted("bad limit flag")),
             };
-            if let Some(expected) = expected_graph {
-                if graph_fingerprint != expected {
-                    return Err(SnapshotError::GraphMismatch {
-                        stored: graph_fingerprint,
-                        expected,
-                    });
-                }
-            }
             let n = r.u32()? as usize;
             let mut idxs: Vec<u32> = Vec::with_capacity(n.min(prealloc_cap));
             for _ in 0..n {
@@ -660,7 +715,7 @@ impl<Item: Copy + Eq + Hash + SnapshotItem> ResultCache<Item> {
                 QueryKey {
                     key: CacheKey {
                         kind,
-                        graph_fingerprint,
+                        regions,
                         query_fingerprint,
                     },
                     limit,
@@ -685,27 +740,21 @@ fn hasher() -> std::collections::hash_map::DefaultHasher {
     std::collections::hash_map::DefaultHasher::new()
 }
 
-/// Fingerprint of an undirected multigraph: vertex count plus the full
-/// ordered edge list (edge ids are dense and ordered, so this pins the
-/// exact id assignment the solution slices refer to).
+/// Fingerprint of an undirected multigraph: compatibility wrapper over
+/// the region machinery — the XOR fold of the graph's per-region
+/// fingerprints ([`RegionMap::fold`]). An
+/// [`EpochGraph`](steiner_graph::EpochGraph) answers the same figure from
+/// its maintained map with no rescan; this free function recomputes it
+/// for callers holding a bare graph. Pins the exact vertex count and
+/// edge-id/endpoint assignment the solution slices refer to.
 pub fn fingerprint_undirected(g: &UndirectedGraph) -> u64 {
-    let mut h = hasher();
-    g.num_vertices().hash(&mut h);
-    for e in g.edges() {
-        let (u, v) = g.endpoints(e);
-        (u.0, v.0).hash(&mut h);
-    }
-    h.finish()
+    RegionMap::of_undirected(g).fold()
 }
 
-/// Fingerprint of a digraph: vertex count plus the full ordered arc list.
+/// Fingerprint of a digraph: compatibility wrapper folding the weak-
+/// component region fingerprints (see [`fingerprint_undirected`]).
 pub fn fingerprint_digraph(d: &DiGraph) -> u64 {
-    let mut h = hasher();
-    d.num_vertices().hash(&mut h);
-    for a in d.arcs() {
-        (d.tail(a).0, d.head(a).0).hash(&mut h);
-    }
-    h.finish()
+    RegionMap::of_digraph(d).fold()
 }
 
 /// Fingerprint of a terminal list, order-sensitive. Problems whose
@@ -761,7 +810,7 @@ mod tests {
         QueryKey {
             key: CacheKey {
                 kind,
-                graph_fingerprint: 1,
+                regions: RegionSignature::from_pairs(vec![(0, 1)]),
                 query_fingerprint: q,
             },
             limit,
@@ -795,7 +844,7 @@ mod tests {
         let cache = ResultCache::new();
         let k = key("st", 7, None);
         let solutions = sols(&[3, 1, 2]);
-        record(&cache, k, &solutions);
+        record(&cache, k.clone(), &solutions);
         assert_eq!(replay_all(&cache, &k).unwrap(), solutions);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries, s.solutions), (1, 0, 1, 3));
@@ -871,7 +920,7 @@ mod tests {
     fn replay_sink_may_reenter_the_cache() {
         let cache = ResultCache::new();
         let k = key("st", 3, None);
-        record(&cache, k, &sols(&[2, 3]));
+        record(&cache, k.clone(), &sols(&[2, 3]));
         let mut seen = 0;
         cache
             .replay(&k, &mut |_| {

@@ -554,9 +554,13 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         sorted.sort_unstable();
         let mut query = crate::cache::fingerprint_terminals(&sorted);
         query ^= (self.root.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // Out-arborescences from the root stay inside the weak
+        // components of root ∪ terminals, so those regions are the key.
+        let regions = steiner_graph::RegionMap::of_digraph(&self.d)
+            .signature_of(sorted.iter().copied().chain(std::iter::once(self.root)));
         Some(crate::cache::CacheKey {
             kind: Self::NAME,
-            graph_fingerprint: crate::cache::fingerprint_digraph(&self.d),
+            regions,
             query_fingerprint: query,
         })
     }

@@ -661,10 +661,15 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         // set-level validity is equivalent to pair-level validity (a set
         // lies in one component iff every `(first, w)` pair does), so
         // the canonical pairs are a sound and maximally-sharing key.
+        let pairs = pairs_from_sets(&self.sets);
+        // A forest solution lives in the components of its demand
+        // vertices, so the key pins exactly those regions.
+        let regions = steiner_graph::RegionMap::of_undirected(&self.g)
+            .signature_of(pairs.iter().flat_map(|&(a, b)| [a, b]));
         Some(crate::cache::CacheKey {
             kind: Self::NAME,
-            graph_fingerprint: crate::cache::fingerprint_undirected(&self.g),
-            query_fingerprint: crate::cache::fingerprint_vertex_pairs(&pairs_from_sets(&self.sets)),
+            regions,
+            query_fingerprint: crate::cache::fingerprint_vertex_pairs(&pairs),
         })
     }
 

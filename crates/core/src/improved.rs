@@ -287,9 +287,14 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         // repeats of the same query share one cache entry.
         let mut sorted = self.terminals.clone();
         sorted.sort_unstable();
+        // Every solution lies in the terminals' connected components, so
+        // the key pins exactly those regions: mutations elsewhere leave
+        // the entry valid (and the cache retains it across epochs).
+        let regions =
+            steiner_graph::RegionMap::of_undirected(&self.g).signature_of(sorted.iter().copied());
         Some(crate::cache::CacheKey {
             kind: Self::NAME,
-            graph_fingerprint: crate::cache::fingerprint_undirected(&self.g),
+            regions,
             query_fingerprint: crate::cache::fingerprint_terminals(&sorted),
         })
     }

@@ -62,10 +62,11 @@ use steiner_graph::{ArcId, EdgeId, VertexId};
 /// Leading magic of every snapshot ("STeiner SNapshot").
 pub(crate) const MAGIC: [u8; 4] = *b"STSN";
 
-/// Current format version. Readers reject anything newer (or older, once
-/// the format evolves incompatibly) with
-/// [`SnapshotError::UnsupportedVersion`] instead of guessing.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current format version. Readers reject anything newer *or older* with
+/// [`SnapshotError::VersionSkew`] instead of guessing: version 2 replaced
+/// the per-entry whole-graph fingerprint with an epoch-qualified region
+/// signature, so v1 entries cannot be validated against a mutable graph.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot was rejected. Every variant is a *refusal to serve
 /// wrong answers*: a cache restored from a bad snapshot would replay
@@ -77,8 +78,15 @@ pub enum SnapshotError {
     /// out of range, trailing garbage). The payload names the first
     /// structural check that failed.
     Corrupted(&'static str),
-    /// The snapshot declares a format version this build does not read.
-    UnsupportedVersion(u32),
+    /// The snapshot declares a format version this build does not read —
+    /// either newer (written by a later build) or older (v1 blobs carry
+    /// whole-graph fingerprints that cannot be checked region-by-region).
+    VersionSkew {
+        /// The version found in the snapshot header.
+        stored: u32,
+        /// The single version this build reads ([`SNAPSHOT_VERSION`]).
+        supported: u32,
+    },
     /// The payload checksum does not match — the bytes were damaged
     /// after writing.
     ChecksumMismatch,
@@ -108,10 +116,10 @@ impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::Corrupted(what) => write!(f, "corrupted snapshot: {what}"),
-            SnapshotError::UnsupportedVersion(v) => {
+            SnapshotError::VersionSkew { stored, supported } => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                    "snapshot version skew: stored version {stored}, this build reads {supported}"
                 )
             }
             SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
@@ -335,7 +343,13 @@ mod tests {
     fn error_messages_are_informative() {
         for (err, needle) in [
             (SnapshotError::Corrupted("bad magic"), "bad magic"),
-            (SnapshotError::UnsupportedVersion(9), "9"),
+            (
+                SnapshotError::VersionSkew {
+                    stored: 9,
+                    supported: SNAPSHOT_VERSION,
+                },
+                "9",
+            ),
             (SnapshotError::ChecksumMismatch, "checksum"),
             (
                 SnapshotError::ItemKindMismatch {

@@ -79,6 +79,14 @@ pub struct EnumStats {
     /// (storing its recording, or rolling an aborted one back). Sums
     /// under [`Self::merge`].
     pub compactions: u64,
+    /// Cache entries that survived a graph mutation because their
+    /// region signature did not intersect the touched regions. Recorded
+    /// by the service layer's mutation path; sums under [`Self::merge`].
+    pub entries_retained: u64,
+    /// Cache entries reclaimed by a graph mutation because their
+    /// region signature intersected the touched regions. Sums under
+    /// [`Self::merge`].
+    pub entries_invalidated: u64,
     /// `classify` calls answered from the incremental connectivity layer
     /// (trail-backed [`DynamicSpanning`](steiner_graph::spanning::DynamicSpanning)
     /// reads) instead of a fresh spanning-growth / contraction pass.
@@ -180,6 +188,9 @@ impl EnumStats {
         // Cache pressure is attributable per run: sum it.
         self.evicted_entries += other.evicted_entries;
         self.compactions += other.compactions;
+        // Mutation-time invalidation accounting is additive per batch.
+        self.entries_retained += other.entries_retained;
+        self.entries_invalidated += other.entries_invalidated;
         // Incremental-classification passes and repair work are real
         // per-thread costs: sum them. The repair span is a gauge.
         self.classify_incremental += other.classify_incremental;

@@ -432,9 +432,14 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         // `SteinerTree::cache_key`).
         let mut sorted = self.terminals.clone();
         sorted.sort_unstable();
+        // Solutions stay inside the terminals' components (see
+        // `SteinerTree::cache_key` for why pinning only those regions is
+        // sound under mutation).
+        let regions =
+            steiner_graph::RegionMap::of_undirected(&self.g).signature_of(sorted.iter().copied());
         Some(crate::cache::CacheKey {
             kind: Self::NAME,
-            graph_fingerprint: crate::cache::fingerprint_undirected(&self.g),
+            regions,
             query_fingerprint: crate::cache::fingerprint_terminals(&sorted),
         })
     }

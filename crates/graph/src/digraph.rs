@@ -8,10 +8,24 @@ use crate::ids::{ArcId, EdgeId, VertexId};
 use crate::undirected::UndirectedGraph;
 use crate::{GraphError, Result};
 
+/// Outcome of [`DiGraph::remove_arc`]: the endpoints that were removed,
+/// plus the id reassignment (if any) the dense-id invariant forced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemovedArc {
+    /// `(tail, head)` of the arc that was removed.
+    pub endpoints: (VertexId, VertexId),
+    /// When the removed arc was not the last one, the previous last arc
+    /// takes over the freed id: `(old_id, tail, head)` of that relocated arc.
+    pub moved: Option<(ArcId, VertexId, VertexId)>,
+}
+
 /// A directed multigraph stored as out/in adjacency lists plus an endpoint
 /// table indexed by arc id.
 ///
-/// Invariants: no self-loops; arc ids are dense `0..num_arcs()`.
+/// Invariants: no self-loops; arc ids are dense `0..num_arcs()`; adjacency
+/// lists are sorted by arc id ([`Self::add_arc`] appends the largest id;
+/// [`Self::remove_arc`] repositions the renumbered arc), so the `≺_v`
+/// out-arc order is a pure function of the arc id assignment.
 #[derive(Clone, Debug, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DiGraph {
@@ -85,6 +99,61 @@ impl DiGraph {
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
         VertexId::new(self.out_adj.len() - 1)
+    }
+
+    /// Removes arc `a`, keeping arc ids dense: the arc with the largest id
+    /// takes over the freed id (`swap_remove` semantics), and its adjacency
+    /// entries are repositioned so lists stay sorted by arc id.
+    ///
+    /// Returns the removed endpoints plus the renumbering performed, so
+    /// delta-aware consumers can mirror the id reassignment.
+    pub fn remove_arc(&mut self, a: ArcId) -> Result<RemovedArc> {
+        let m = self.num_arcs();
+        if a.index() >= m {
+            return Err(GraphError::EdgeOutOfRange {
+                edge: a.index(),
+                num_edges: m,
+            });
+        }
+        let (tail, head) = self.endpoints[a.index()];
+        Self::drop_adj_entry(&mut self.out_adj[tail.index()], a);
+        Self::drop_adj_entry(&mut self.in_adj[head.index()], a);
+        let last = ArcId::new(m - 1);
+        self.endpoints.swap_remove(a.index());
+        let moved = if a != last {
+            let (t, h) = self.endpoints[a.index()];
+            Self::renumber_adj_entry(&mut self.out_adj[t.index()], last, a);
+            Self::renumber_adj_entry(&mut self.in_adj[h.index()], last, a);
+            Some((last, t, h))
+        } else {
+            None
+        };
+        Ok(RemovedArc {
+            endpoints: (tail, head),
+            moved,
+        })
+    }
+
+    /// Removes the entry for `a` from one adjacency list, preserving the
+    /// sorted-by-arc-id order of the remaining entries.
+    fn drop_adj_entry(list: &mut Vec<(VertexId, ArcId)>, a: ArcId) {
+        let pos = list
+            .binary_search_by_key(&a, |&(_, id)| id)
+            .expect("arc is present in its endpoint's adjacency");
+        list.remove(pos);
+    }
+
+    /// Rewrites the entry for `old` (the largest id in the list) to carry
+    /// id `new`, re-inserting it at its sorted position.
+    fn renumber_adj_entry(list: &mut Vec<(VertexId, ArcId)>, old: ArcId, new: ArcId) {
+        let pos = list
+            .binary_search_by_key(&old, |&(_, id)| id)
+            .expect("renumbered arc is present in its endpoint's adjacency");
+        let (nbr, _) = list.remove(pos);
+        let insert_at = list
+            .binary_search_by_key(&new, |&(_, id)| id)
+            .expect_err("freed id was just removed from this list");
+        list.insert(insert_at, (nbr, new));
     }
 
     /// Number of vertices `n`.

@@ -31,6 +31,7 @@ pub mod connectivity;
 pub mod contraction;
 pub mod csr;
 pub mod digraph;
+pub mod epoch;
 pub mod generators;
 pub mod ids;
 pub mod io;
@@ -43,6 +44,10 @@ pub mod union_find;
 
 pub use csr::{CsrDigraph, CsrUndirected};
 pub use digraph::DiGraph;
+pub use epoch::{
+    ArcMutation, EpochDigraph, EpochGraph, GraphMutation, MutationReport, RegionMap,
+    RegionSignature,
+};
 pub use ids::{ArcId, EdgeId, VertexId};
 pub use undirected::UndirectedGraph;
 

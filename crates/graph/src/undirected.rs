@@ -8,13 +8,28 @@
 use crate::ids::{EdgeId, VertexId};
 use crate::{GraphError, Result};
 
+/// Outcome of [`UndirectedGraph::remove_edge`]: the endpoints that were
+/// removed, plus the id reassignment (if any) the dense-id invariant forced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemovedEdge {
+    /// Endpoints of the edge that was removed.
+    pub endpoints: (VertexId, VertexId),
+    /// When the removed edge was not the last one, the previous last edge
+    /// takes over the freed id: `(old_id, u, v)` of that relocated edge.
+    pub moved: Option<(EdgeId, VertexId, VertexId)>,
+}
+
 /// An undirected multigraph stored as an adjacency list plus an endpoint
 /// table indexed by edge id.
 ///
 /// Invariants:
 /// * no self-loops,
 /// * edge ids are dense: `0..num_edges()`,
-/// * each edge `{u, v}` appears once in `adj[u]` and once in `adj[v]`.
+/// * each edge `{u, v}` appears once in `adj[u]` and once in `adj[v]`,
+/// * adjacency lists are sorted by edge id ([`Self::add_edge`] appends the
+///   largest id; [`Self::remove_edge`] repositions the renumbered edge) —
+///   the neighbor order every enumeration stream depends on is therefore a
+///   pure function of the edge id assignment.
 #[derive(Clone, Debug, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UndirectedGraph {
@@ -84,6 +99,63 @@ impl UndirectedGraph {
     pub fn add_vertex(&mut self) -> VertexId {
         self.adj.push(Vec::new());
         VertexId::new(self.adj.len() - 1)
+    }
+
+    /// Removes edge `e`, keeping edge ids dense: the edge with the
+    /// largest id takes over the freed id (`swap_remove` semantics), and
+    /// its adjacency entries are repositioned so lists stay sorted by
+    /// edge id. O(deg(u) + deg(v) + deg(moved endpoints)).
+    ///
+    /// Returns the removed endpoints plus the renumbering performed, so
+    /// delta-aware consumers (epoch logs, CSR views, caches) can mirror
+    /// the id reassignment without rescanning the graph.
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<RemovedEdge> {
+        let m = self.num_edges();
+        if e.index() >= m {
+            return Err(GraphError::EdgeOutOfRange {
+                edge: e.index(),
+                num_edges: m,
+            });
+        }
+        let (u, v) = self.endpoints[e.index()];
+        Self::drop_adj_entry(&mut self.adj[u.index()], e);
+        Self::drop_adj_entry(&mut self.adj[v.index()], e);
+        let last = EdgeId::new(m - 1);
+        self.endpoints.swap_remove(e.index());
+        let moved = if e != last {
+            let (a, b) = self.endpoints[e.index()];
+            Self::renumber_adj_entry(&mut self.adj[a.index()], last, e);
+            Self::renumber_adj_entry(&mut self.adj[b.index()], last, e);
+            Some((last, a, b))
+        } else {
+            None
+        };
+        Ok(RemovedEdge {
+            endpoints: (u, v),
+            moved,
+        })
+    }
+
+    /// Removes the entry for `e` from one adjacency list, preserving the
+    /// sorted-by-edge-id order of the remaining entries.
+    fn drop_adj_entry(list: &mut Vec<(VertexId, EdgeId)>, e: EdgeId) {
+        let pos = list
+            .binary_search_by_key(&e, |&(_, id)| id)
+            .expect("edge is present in its endpoint's adjacency");
+        list.remove(pos);
+    }
+
+    /// Rewrites the entry for `old` (the largest id in the list) to carry
+    /// id `new`, re-inserting it at its sorted position.
+    fn renumber_adj_entry(list: &mut Vec<(VertexId, EdgeId)>, old: EdgeId, new: EdgeId) {
+        let pos = list
+            .binary_search_by_key(&old, |&(_, id)| id)
+            .expect("renumbered edge is present in its endpoint's adjacency");
+        let (nbr, _) = list.remove(pos);
+        let insert_at = list
+            .binary_search_by_key(&new, |&(_, id)| id)
+            .expect_err("freed id was just removed from this list");
+        list.insert(insert_at, (nbr, new));
     }
 
     /// Number of vertices `n`.

@@ -1,22 +1,22 @@
 //! The long-lived engine: worker pool, admission control, fair
-//! scheduling, and warm-restart persistence.
+//! scheduling, live graph mutation, and warm-restart persistence.
 //!
 //! See the [crate docs](crate) for the architecture overview and an
 //! end-to-end example.
 
 use std::collections::{HashMap, VecDeque};
-use std::ops::ControlFlow;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::ops::{ControlFlow, Deref};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use steiner_core::cache::{fingerprint_digraph, fingerprint_undirected};
 use steiner_core::snapshot::paper_problem_kinds;
 use steiner_core::{
     CacheStats, DirectedSteinerTree, EnumStats, Enumeration, MinimalSteinerProblem, ResultCache,
     SnapshotError, SnapshotItem, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
 };
-use steiner_graph::{ArcId, DiGraph, EdgeId, UndirectedGraph};
+use steiner_graph::epoch::{ArcMutation, EpochDigraph, EpochGraph, GraphMutation};
+use steiner_graph::{ArcId, DiGraph, EdgeId, GraphError, UndirectedGraph};
 
 use crate::query::{Query, QueryOptions, QueryOutcome, SolutionItems, Ticket};
 use crate::session::Session;
@@ -34,6 +34,16 @@ const SHUT_DOWN: &str = "engine is shut down";
 /// by `STRIDE / w` per dispatched query, so dispatch frequency is
 /// proportional to weight.
 const STRIDE: u64 = 1 << 20;
+
+/// Leading magic of the engine-level snapshot frame ("STeiner
+/// SerVice"). Version-1 frames had no magic (they began with a raw
+/// length), so its absence identifies a v1 blob.
+const SERVICE_MAGIC: [u8; 4] = *b"STSV";
+
+/// Current engine-frame version. Version 2 added the magic, this
+/// version field, and the serving-epoch tag; readers reject anything
+/// else with [`SnapshotError::VersionSkew`].
+const SERVICE_VERSION: u32 = 2;
 
 /// Sizing and admission knobs for an [`EnumerationEngine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,10 +79,34 @@ impl Default for EngineConfig {
     }
 }
 
+/// What one mutation batch did to the engine, returned by
+/// [`EnumerationEngine::apply_mutations`] /
+/// [`EnumerationEngine::apply_arc_mutations`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The serving epoch *after* the batch: every query admitted from
+    /// now on runs against the mutated graph.
+    pub epoch: u64,
+    /// Canonical region ids (minimum vertex id per connected
+    /// component, pre- or post-mutation) whose fingerprint changed.
+    pub touched_regions: Vec<u32>,
+    /// Cache entries that survived the batch because their region
+    /// signature avoided every touched region.
+    pub entries_retained: u64,
+    /// Cache entries reclaimed because their region signature
+    /// intersected a touched region.
+    pub entries_invalidated: u64,
+}
+
 /// One admitted, not-yet-executed query.
 struct Job {
     query: Query,
     opts: QueryOptions,
+    /// The serving epoch the query was admitted under. A job only
+    /// dispatches while the engine is at exactly this epoch, so its
+    /// stream is byte-identical to a one-shot run against the graph as
+    /// of admission.
+    epoch: u64,
     done: crossbeam_channel::Sender<QueryOutcome>,
 }
 
@@ -97,6 +131,22 @@ struct Scheduler {
     by_name: HashMap<String, usize>,
     /// Admitted and not yet finished (queued + running), all tenants.
     in_flight: usize,
+    /// The serving epoch: queries admitted at this epoch may dispatch.
+    epoch: u64,
+    /// The epoch new submissions are admitted under. Equals `epoch`
+    /// except while a mutation batch is fencing, when it is
+    /// `epoch + 1` — submissions made during the fence run against the
+    /// *mutated* graph.
+    target_epoch: u64,
+    /// Jobs admitted at `epoch`, queued or running. A mutation batch
+    /// waits for this to reach zero before touching the graph.
+    current_unfinished: usize,
+    /// Jobs admitted at `target_epoch` while a fence is up; they
+    /// become `current_unfinished` when the mutation commits.
+    next_unfinished: usize,
+    /// [`EnumStats`] fold of every mutation batch's retained /
+    /// invalidated entry counts.
+    mutation_stats: EnumStats,
     paused: bool,
     shutdown: bool,
 }
@@ -104,11 +154,18 @@ struct Scheduler {
 impl Scheduler {
     /// Picks the queued job of the tenant with the minimum (pass, name)
     /// and advances that tenant's pass — stride-scheduled weighted
-    /// round-robin, deterministic given the queue states.
+    /// round-robin, deterministic given the queue states. Jobs admitted
+    /// under a future epoch (while a mutation fence is up) are held
+    /// back; per-tenant queues are FIFO and admission epochs are
+    /// monotone, so gating on the queue front is exact.
     fn next_job(&mut self) -> Option<(usize, Job)> {
         let mut best: Option<usize> = None;
         for i in 0..self.tenants.len() {
-            if self.tenants[i].queue.is_empty() {
+            let dispatchable = self.tenants[i]
+                .queue
+                .front()
+                .is_some_and(|j| j.epoch == self.epoch);
+            if !dispatchable {
                 continue;
             }
             best = Some(match best {
@@ -138,20 +195,30 @@ impl Scheduler {
     fn min_pass(&self) -> u64 {
         self.tenants.iter().map(|t| t.pass).min().unwrap_or(0)
     }
+
+    /// Whether any tenant still has a queued job (dispatchable or
+    /// epoch-gated). Workers must not exit while gated jobs remain: the
+    /// in-progress mutation that gated them will commit and make them
+    /// dispatchable.
+    fn any_queued(&self) -> bool {
+        self.tenants.iter().any(|t| !t.queue.is_empty())
+    }
 }
 
 /// State shared between the engine handle, its sessions, and the worker
 /// threads.
 pub(crate) struct Shared {
-    graph: UndirectedGraph,
-    digraph: Option<DiGraph>,
-    graph_fp: u64,
-    digraph_fp: Option<u64>,
+    graph: RwLock<EpochGraph>,
+    digraph: Option<RwLock<EpochDigraph>>,
     config: EngineConfig,
     edge_cache: ResultCache<EdgeId>,
     arc_cache: ResultCache<ArcId>,
     sched: Mutex<Scheduler>,
     work_ready: Condvar,
+    /// Serializes mutation batches against each other, so at most one
+    /// fence is up at a time and `target_epoch` never runs ahead of
+    /// `epoch` by more than one.
+    mutation_lock: Mutex<()>,
 }
 
 impl Shared {
@@ -159,6 +226,18 @@ impl Shared {
     /// must not wedge the whole engine).
     fn lock(&self) -> MutexGuard<'_, Scheduler> {
         self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Read access to the serving undirected graph.
+    fn read_graph(&self) -> RwLockReadGuard<'_, EpochGraph> {
+        self.graph.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Read access to the serving directed view, when present.
+    fn read_digraph(&self) -> Option<RwLockReadGuard<'_, EpochDigraph>> {
+        self.digraph
+            .as_ref()
+            .map(|d| d.read().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -182,6 +261,44 @@ pub struct TenantReport {
     pub stats: EnumStats,
 }
 
+/// Shared read access to the engine's serving undirected graph,
+/// returned by [`EnumerationEngine::graph`]. Derefs to the
+/// [`UndirectedGraph`]; holding it blocks mutation batches (they take
+/// the write side), so drop it promptly.
+pub struct GraphRef<'a>(RwLockReadGuard<'a, EpochGraph>);
+
+impl GraphRef<'_> {
+    /// The graph's mutation epoch (bumped once per committed batch).
+    pub fn epoch(&self) -> u64 {
+        self.0.epoch()
+    }
+}
+
+impl Deref for GraphRef<'_> {
+    type Target = UndirectedGraph;
+    fn deref(&self) -> &UndirectedGraph {
+        self.0.graph()
+    }
+}
+
+/// Shared read access to the engine's directed view, returned by
+/// [`EnumerationEngine::digraph`]. See [`GraphRef`].
+pub struct DigraphRef<'a>(RwLockReadGuard<'a, EpochDigraph>);
+
+impl DigraphRef<'_> {
+    /// The directed view's mutation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.0.epoch()
+    }
+}
+
+impl Deref for DigraphRef<'_> {
+    type Target = DiGraph;
+    fn deref(&self) -> &DiGraph {
+        self.0.digraph()
+    }
+}
+
 /// A long-lived, multi-tenant enumeration engine.
 ///
 /// Owns one undirected graph (and optionally its directed counterpart),
@@ -191,6 +308,13 @@ pub struct TenantReport {
 /// stride-scheduled weighted round-robin picks the next query, and
 /// every completed stream is byte-identical to a one-shot
 /// [`Enumeration`] run of the same query.
+///
+/// The graphs are **live**: [`Self::apply_mutations`] (and its directed
+/// sibling) inserts and removes edges between queries. Each batch is
+/// serialized against in-flight work — queries admitted before the
+/// batch finish against the old graph, queries admitted after it run
+/// against the new one — and the result caches drop exactly the
+/// entries whose touched regions changed ([`MutationOutcome`]).
 ///
 /// Dropping the engine drains gracefully: new submissions are refused,
 /// queued queries still execute, and every outstanding [`Ticket`]
@@ -226,10 +350,8 @@ impl EnumerationEngine {
             }
         }
         let shared = Arc::new(Shared {
-            graph_fp: fingerprint_undirected(&graph),
-            digraph_fp: digraph.as_ref().map(fingerprint_digraph),
-            graph,
-            digraph,
+            graph: RwLock::new(EpochGraph::new(graph)),
+            digraph: digraph.map(|d| RwLock::new(EpochDigraph::new(d))),
             config,
             edge_cache: make_cache(config.cache_capacity_bytes),
             arc_cache: make_cache(config.cache_capacity_bytes),
@@ -237,10 +359,16 @@ impl EnumerationEngine {
                 tenants: Vec::new(),
                 by_name: HashMap::new(),
                 in_flight: 0,
+                epoch: 0,
+                target_epoch: 0,
+                current_unfinished: 0,
+                next_unfinished: 0,
+                mutation_stats: EnumStats::default(),
                 paused: false,
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            mutation_lock: Mutex::new(()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -299,7 +427,9 @@ impl EnumerationEngine {
     /// [`Self::resume`]. Running queries are unaffected. Useful for
     /// deterministic tests of admission control and scheduling order —
     /// and note that shutdown overrides a pause, so dropping a paused
-    /// engine still drains its queues.
+    /// engine still drains its queues. A mutation batch submitted while
+    /// queries are held back blocks until [`Self::resume`] lets them
+    /// finish.
     pub fn pause(&self) {
         self.shared.lock().paused = true;
     }
@@ -332,14 +462,144 @@ impl EnumerationEngine {
         self.shared.config
     }
 
-    /// The undirected graph every undirected query runs against.
-    pub fn graph(&self) -> &UndirectedGraph {
-        &self.shared.graph
+    /// The serving epoch: the number of committed mutation batches
+    /// (undirected and directed combined). Every admitted query is
+    /// pinned to the epoch at its admission.
+    pub fn epoch(&self) -> u64 {
+        self.shared.lock().epoch
     }
 
-    /// The directed view, when the engine was built with one.
-    pub fn digraph(&self) -> Option<&DiGraph> {
-        self.shared.digraph.as_ref()
+    /// Read access to the undirected graph every undirected query runs
+    /// against. The returned guard blocks mutation batches while held.
+    pub fn graph(&self) -> GraphRef<'_> {
+        GraphRef(self.shared.read_graph())
+    }
+
+    /// Read access to the directed view, when the engine was built
+    /// with one. The returned guard blocks mutation batches while held.
+    pub fn digraph(&self) -> Option<DigraphRef<'_>> {
+        self.shared.read_digraph().map(DigraphRef)
+    }
+
+    /// Inserts and removes edges in the serving undirected graph as one
+    /// atomic batch, serialized against queries: the batch waits for
+    /// every query admitted before it, and every query admitted after
+    /// it (even mid-batch) runs against the mutated graph. Edge-item
+    /// cache entries whose region signature intersects a touched region
+    /// are dropped; all others are retained and keep replaying across
+    /// the epoch boundary. The arc-item cache is untouched — the
+    /// directed view is a separate graph.
+    ///
+    /// The batch is validated up front: on error nothing changes, no
+    /// fence goes up, and queries are not delayed.
+    pub fn apply_mutations(&self, batch: &[GraphMutation]) -> Result<MutationOutcome, GraphError> {
+        let _serial = self
+            .shared
+            .mutation_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        self.shared.read_graph().validate(batch)?;
+        self.fence()?;
+        let report = {
+            let mut g = self.shared.graph.write().unwrap_or_else(|e| e.into_inner());
+            g.batch_apply(batch).expect("batch was pre-validated")
+        };
+        let (retained, invalidated) = self.shared.edge_cache.invalidate_regions(&report.touched);
+        Ok(self.commit_epoch(report.touched, retained, invalidated))
+    }
+
+    /// [`Self::apply_mutations`] for a single edit.
+    pub fn apply_mutation(&self, edit: GraphMutation) -> Result<MutationOutcome, GraphError> {
+        self.apply_mutations(&[edit])
+    }
+
+    /// Inserts and removes arcs in the directed view as one atomic
+    /// batch — the directed sibling of [`Self::apply_mutations`],
+    /// invalidating arc-item cache entries by touched region. Fails
+    /// with [`GraphError::Precondition`] when the engine has no
+    /// directed view.
+    pub fn apply_arc_mutations(
+        &self,
+        batch: &[ArcMutation],
+    ) -> Result<MutationOutcome, GraphError> {
+        let _serial = self
+            .shared
+            .mutation_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let Some(digraph) = self.shared.digraph.as_ref() else {
+            return Err(GraphError::Precondition {
+                message: NO_DIGRAPH.to_string(),
+            });
+        };
+        digraph
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .validate(batch)?;
+        self.fence()?;
+        let report = {
+            let mut d = digraph.write().unwrap_or_else(|e| e.into_inner());
+            d.batch_apply(batch).expect("batch was pre-validated")
+        };
+        let (retained, invalidated) = self.shared.arc_cache.invalidate_regions(&report.touched);
+        Ok(self.commit_epoch(report.touched, retained, invalidated))
+    }
+
+    /// Routes new submissions to the next epoch and waits until every
+    /// query admitted at the current epoch has finished. Caller must
+    /// hold the mutation lock.
+    fn fence(&self) -> Result<(), GraphError> {
+        let mut sched = self.shared.lock();
+        if sched.shutdown {
+            return Err(GraphError::Precondition {
+                message: SHUT_DOWN.to_string(),
+            });
+        }
+        sched.target_epoch = sched.epoch + 1;
+        while sched.current_unfinished > 0 {
+            sched = self
+                .shared
+                .work_ready
+                .wait(sched)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        Ok(())
+    }
+
+    /// Commits a mutation batch: advances the serving epoch, promotes
+    /// fence-gated jobs to dispatchable, folds the invalidation
+    /// counters, and wakes the workers. Caller must hold the mutation
+    /// lock and have completed [`Self::fence`].
+    fn commit_epoch(
+        &self,
+        touched_regions: Vec<u32>,
+        entries_retained: u64,
+        entries_invalidated: u64,
+    ) -> MutationOutcome {
+        let epoch = {
+            let mut sched = self.shared.lock();
+            sched.epoch += 1;
+            sched.target_epoch = sched.epoch;
+            sched.current_unfinished = sched.next_unfinished;
+            sched.next_unfinished = 0;
+            sched.mutation_stats.entries_retained += entries_retained;
+            sched.mutation_stats.entries_invalidated += entries_invalidated;
+            sched.epoch
+        };
+        self.shared.work_ready.notify_all();
+        MutationOutcome {
+            epoch,
+            touched_regions,
+            entries_retained,
+            entries_invalidated,
+        }
+    }
+
+    /// [`EnumStats`] fold of every committed mutation batch — today
+    /// the [`EnumStats::entries_retained`] / [`EnumStats::entries_invalidated`]
+    /// counters.
+    pub fn mutation_stats(&self) -> EnumStats {
+        self.shared.lock().mutation_stats
     }
 
     /// Counters of the (edge-item, arc-item) result caches.
@@ -372,13 +632,17 @@ impl EnumerationEngine {
 
     /// Serializes both result caches into one deterministic,
     /// versioned, checksummed byte blob (the engine-level framing of
-    /// [`ResultCache::snapshot`]). Feed it to [`Self::restore`] on a
-    /// freshly constructed engine over the same graphs to answer warm
-    /// after a restart.
+    /// [`ResultCache::snapshot`]), tagged with the serving epoch it was
+    /// taken at. Feed it to [`Self::restore`] on a freshly constructed
+    /// engine over the same graphs to answer warm after a restart.
     pub fn snapshot(&self) -> Vec<u8> {
         let edges = self.shared.edge_cache.snapshot();
         let arcs = self.shared.arc_cache.snapshot();
-        let mut out = Vec::with_capacity(16 + edges.len() + arcs.len());
+        let epoch = self.epoch();
+        let mut out = Vec::with_capacity(32 + edges.len() + arcs.len());
+        out.extend_from_slice(&SERVICE_MAGIC);
+        out.extend_from_slice(&SERVICE_VERSION.to_le_bytes());
+        out.extend_from_slice(&epoch.to_le_bytes());
         out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
         out.extend_from_slice(&edges);
         out.extend_from_slice(&(arcs.len() as u64).to_le_bytes());
@@ -389,14 +653,40 @@ impl EnumerationEngine {
     /// Loads a [`Self::snapshot`] blob into this engine's caches,
     /// returning the number of cached query results restored.
     ///
-    /// Every stored entry is validated against this engine's graph
-    /// fingerprints (and the directed entries against the directed
-    /// view's, when present) **before** anything is committed: a
-    /// corrupted, truncated, version-skewed, or wrong-graph snapshot is
-    /// rejected with a typed [`SnapshotError`] and the caches are left
-    /// untouched — a stale snapshot is never silently served.
+    /// Every stored entry carries the region fingerprints it was
+    /// recorded against and is validated against the serving graph's
+    /// current region map (directed entries against the directed
+    /// view's) **before** anything is committed: a corrupted,
+    /// truncated, version-skewed, or wrong-graph snapshot is rejected
+    /// with a typed [`SnapshotError`] and the caches are left untouched
+    /// — a stale snapshot is never silently served. Version-1 blobs
+    /// (written before graphs were mutable) are refused with
+    /// [`SnapshotError::VersionSkew`]: their whole-graph fingerprints
+    /// cannot be checked region-by-region. The stored epoch tag is
+    /// informational — validity is decided by the region fingerprints,
+    /// so a snapshot restores into any engine whose graph regions
+    /// match, whatever its epoch counter reads.
     pub fn restore(&self, bytes: &[u8]) -> Result<u64, SnapshotError> {
-        let (edges, rest) = take_frame(bytes)?;
+        if bytes.len() < 4 || bytes[..4] != SERVICE_MAGIC {
+            // v1 frames began with a raw u64 length, not a magic.
+            return Err(SnapshotError::VersionSkew {
+                stored: 1,
+                supported: SERVICE_VERSION,
+            });
+        }
+        let rest = &bytes[4..];
+        if rest.len() < 12 {
+            return Err(SnapshotError::Corrupted("service frame truncated"));
+        }
+        let version = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        if version != SERVICE_VERSION {
+            return Err(SnapshotError::VersionSkew {
+                stored: version,
+                supported: SERVICE_VERSION,
+            });
+        }
+        let _epoch_tag = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let (edges, rest) = take_frame(&rest[12..])?;
         let (arcs, rest) = take_frame(rest)?;
         if !rest.is_empty() {
             return Err(SnapshotError::Corrupted(
@@ -405,21 +695,24 @@ impl EnumerationEngine {
         }
         let kinds = paper_problem_kinds();
         // Validate both parts before committing either, so a half-bad
-        // snapshot cannot leave the engine half-restored.
+        // snapshot cannot leave the engine half-restored. The read
+        // guards also hold mutations off until the restore commits.
+        let g = self.shared.read_graph();
+        let d = self.shared.read_digraph();
         self.shared
             .edge_cache
-            .validate_snapshot(edges, &kinds, Some(self.shared.graph_fp))?;
+            .validate_snapshot(edges, &kinds, Some(g.regions()))?;
         self.shared
             .arc_cache
-            .validate_snapshot(arcs, &kinds, self.shared.digraph_fp)?;
+            .validate_snapshot(arcs, &kinds, d.as_ref().map(|d| d.regions()))?;
         let restored = self
             .shared
             .edge_cache
-            .restore(edges, &kinds, Some(self.shared.graph_fp))?
+            .restore(edges, &kinds, Some(g.regions()))?
             + self
                 .shared
                 .arc_cache
-                .restore(arcs, &kinds, self.shared.digraph_fp)?;
+                .restore(arcs, &kinds, d.as_ref().map(|d| d.regions()))?;
         Ok(restored)
     }
 }
@@ -482,9 +775,21 @@ pub(crate) fn submit(
         });
     }
     let (done, rx) = crossbeam_channel::bounded(1);
-    sched.tenants[tenant]
-        .queue
-        .push_back(Job { query, opts, done });
+    // Pin the query to the admission epoch: during a mutation fence,
+    // `target_epoch` is one ahead and the job only dispatches once the
+    // batch commits — the stream always reflects the graph as admitted.
+    let epoch = sched.target_epoch;
+    if epoch == sched.epoch {
+        sched.current_unfinished += 1;
+    } else {
+        sched.next_unfinished += 1;
+    }
+    sched.tenants[tenant].queue.push_back(Job {
+        query,
+        opts,
+        epoch,
+        done,
+    });
     sched.in_flight += 1;
     drop(sched);
     shared.work_ready.notify_all();
@@ -512,7 +817,8 @@ pub(crate) fn tenant_name(shared: &Shared, tenant: usize) -> String {
 
 /// Worker thread body: pull the next stride-scheduled job, execute it,
 /// fold its stats into the tenant, resolve the ticket. Exits once
-/// shutdown is flagged and every queue is drained.
+/// shutdown is flagged and every queue is drained — including
+/// epoch-gated jobs, which an in-progress mutation batch will release.
 fn worker_loop(shared: &Shared) {
     loop {
         let dispatched = {
@@ -525,7 +831,7 @@ fn worker_loop(shared: &Shared) {
                         break Some(d);
                     }
                 }
-                if sched.shutdown {
+                if sched.shutdown && !sched.any_queued() {
                     break None;
                 }
                 sched = shared
@@ -547,16 +853,23 @@ fn worker_loop(shared: &Shared) {
                 t.deadline_exceeded += 1;
             }
             sched.in_flight -= 1;
+            // The job was dispatchable, so it was admitted at the
+            // serving epoch; its completion is what a mutation fence
+            // waits for.
+            sched.current_unfinished -= 1;
         }
-        // Wake both idle workers (more queued work may be dispatchable
-        // now that a slot freed) and `wait_idle` callers.
+        // Wake idle workers (more queued work may be dispatchable now
+        // that a slot freed), `wait_idle` callers, and fencing
+        // mutation batches.
         shared.work_ready.notify_all();
         let _ = job.done.send(outcome);
     }
 }
 
-/// Runs one query against the engine's graph and shared caches. The
-/// problem instance borrows the engine-owned graph — queries carry only
+/// Runs one query against the engine's serving graph and shared caches.
+/// The problem instance borrows the graph through a read guard held for
+/// the duration of the run — a mutation batch can only interleave
+/// between queries, never inside one. The problem instance carries only
 /// terminals, so construction is O(|query|).
 fn execute(shared: &Shared, query: &Query, opts: &QueryOptions) -> QueryOutcome {
     if let Some(deadline) = opts.deadline {
@@ -576,27 +889,36 @@ fn execute(shared: &Shared, query: &Query, opts: &QueryOptions) -> QueryOutcome 
         }
     }
     match query {
-        Query::SteinerTree { terminals } => run(
-            SteinerTree::new(&shared.graph, terminals),
-            &shared.edge_cache,
-            opts,
-            SolutionItems::Edges,
-        ),
-        Query::SteinerForest { sets } => run(
-            SteinerForest::new(&shared.graph, sets),
-            &shared.edge_cache,
-            opts,
-            SolutionItems::Edges,
-        ),
-        Query::TerminalSteinerTree { terminals } => run(
-            TerminalSteinerTree::new(&shared.graph, terminals),
-            &shared.edge_cache,
-            opts,
-            SolutionItems::Edges,
-        ),
-        Query::DirectedSteinerTree { root, terminals } => match shared.digraph.as_ref() {
+        Query::SteinerTree { terminals } => {
+            let g = shared.read_graph();
+            run(
+                SteinerTree::new(g.graph(), terminals),
+                &shared.edge_cache,
+                opts,
+                SolutionItems::Edges,
+            )
+        }
+        Query::SteinerForest { sets } => {
+            let g = shared.read_graph();
+            run(
+                SteinerForest::new(g.graph(), sets),
+                &shared.edge_cache,
+                opts,
+                SolutionItems::Edges,
+            )
+        }
+        Query::TerminalSteinerTree { terminals } => {
+            let g = shared.read_graph();
+            run(
+                TerminalSteinerTree::new(g.graph(), terminals),
+                &shared.edge_cache,
+                opts,
+                SolutionItems::Edges,
+            )
+        }
+        Query::DirectedSteinerTree { root, terminals } => match shared.read_digraph() {
             Some(d) => run(
-                DirectedSteinerTree::new(d, *root, terminals),
+                DirectedSteinerTree::new(d.digraph(), *root, terminals),
                 &shared.arc_cache,
                 opts,
                 SolutionItems::Arcs,
@@ -687,6 +1009,11 @@ mod tests {
             tenants: Vec::new(),
             by_name: HashMap::new(),
             in_flight: 0,
+            epoch: 0,
+            target_epoch: 0,
+            current_unfinished: 0,
+            next_unfinished: 0,
+            mutation_stats: EnumStats::default(),
             paused: false,
             shutdown: false,
         };
@@ -698,10 +1025,12 @@ mod tests {
                 queue.push_back(Job {
                     query: tree_query(),
                     opts: QueryOptions::default(),
+                    epoch: 0,
                     done,
                 });
             }
             sched.in_flight += queued;
+            sched.current_unfinished += queued;
             sched.by_name.insert(name.to_string(), sched.tenants.len());
             sched.tenants.push(TenantState {
                 name: name.to_string(),
@@ -737,6 +1066,22 @@ mod tests {
             order.push_str(&sched.tenants[i].name);
         }
         assert_eq!(order, "xyxyxy");
+    }
+
+    #[test]
+    fn next_job_gates_jobs_pinned_to_a_future_epoch() {
+        let mut sched = scheduler(&[("a", 1, 2)]);
+        // Simulate a fence: the queued jobs belong to epoch 1, the
+        // engine still serves epoch 0.
+        for job in sched.tenants[0].queue.iter_mut() {
+            job.epoch = 1;
+        }
+        assert!(sched.next_job().is_none(), "future-epoch jobs are held");
+        sched.epoch = 1;
+        assert!(
+            sched.next_job().is_some(),
+            "released once the epoch commits"
+        );
     }
 
     #[test]
@@ -872,9 +1217,10 @@ mod tests {
         s.run(tree_query(), QueryOptions::default()).unwrap();
         let blob = engine.snapshot();
 
-        // Different graph → every entry's fingerprint mismatches.
-        let other =
-            EnumerationEngine::new(UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap());
+        // Different graph → every entry's region fingerprint mismatches.
+        let other = EnumerationEngine::new(
+            UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]).unwrap(),
+        );
         assert!(matches!(
             other.restore(&blob),
             Err(SnapshotError::GraphMismatch { .. })
@@ -897,5 +1243,172 @@ mod tests {
         ));
         let (edge_stats, _) = fresh.cache_stats();
         assert_eq!(edge_stats.entries, 0);
+    }
+
+    #[test]
+    fn restore_refuses_v1_blobs_with_version_skew() {
+        let engine = EnumerationEngine::new(square());
+        let s = engine.session("t");
+        s.run(tree_query(), QueryOptions::default()).unwrap();
+        let v2 = engine.snapshot();
+
+        // A v1 engine frame: two raw length-prefixed cache frames with
+        // no magic, version, or epoch tag — exactly the v2 payload
+        // minus its 16-byte header.
+        let v1 = v2[16..].to_vec();
+        let fresh = EnumerationEngine::new(square());
+        assert_eq!(
+            fresh.restore(&v1),
+            Err(SnapshotError::VersionSkew {
+                stored: 1,
+                supported: SERVICE_VERSION
+            })
+        );
+
+        // A future version is refused symmetrically.
+        let mut v3 = v2;
+        v3[4..8].copy_from_slice(&3u32.to_le_bytes());
+        assert_eq!(
+            fresh.restore(&v3),
+            Err(SnapshotError::VersionSkew {
+                stored: 3,
+                supported: SERVICE_VERSION
+            })
+        );
+        let (edge_stats, _) = fresh.cache_stats();
+        assert_eq!(edge_stats.entries, 0, "nothing was committed");
+    }
+
+    #[test]
+    fn mutations_serialize_against_queries_and_advance_the_epoch() {
+        let engine = EnumerationEngine::with_config(
+            square(),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.epoch(), 0);
+        let s = engine.session("t");
+        let before = s.run(tree_query(), QueryOptions::default()).unwrap();
+
+        // Remove edge {2,3}: the square loses one of the two minimal
+        // Steiner trees between 0 and 2.
+        let out = engine
+            .apply_mutation(GraphMutation::RemoveEdge(EdgeId(2)))
+            .unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(out.entries_invalidated, 1, "the square entry died");
+        assert_eq!(out.entries_retained, 0);
+
+        let after = s.run(tree_query(), QueryOptions::default()).unwrap();
+        assert_eq!(before.solutions.len(), 2);
+        assert_eq!(after.solutions.len(), 1, "one tree survives the removal");
+        assert_eq!(engine.mutation_stats().entries_invalidated, 1);
+
+        // An invalid batch changes nothing — no epoch bump, no fence.
+        let err = engine
+            .apply_mutation(GraphMutation::RemoveEdge(EdgeId(99)))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::EdgeOutOfRange { .. }));
+        assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn queries_admitted_before_a_mutation_run_against_the_old_graph() {
+        let engine = EnumerationEngine::with_config(
+            square(),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let s = engine.session("t");
+        // Admit at epoch 0, then race a mutation: the fence must wait
+        // for the admitted query, so its stream matches the original
+        // square no matter when the worker gets to it.
+        let ticket = s.submit(tree_query(), QueryOptions::default()).unwrap();
+        let out = engine
+            .apply_mutation(GraphMutation::RemoveEdge(EdgeId(2)))
+            .unwrap();
+        assert_eq!(out.epoch, 1);
+        let outcome = ticket.wait();
+        assert!(outcome.is_complete());
+        assert_eq!(
+            outcome.solutions.len(),
+            2,
+            "the pinned-epoch stream saw both square trees"
+        );
+        // And a fresh query sees the mutated graph.
+        let after = s.run(tree_query(), QueryOptions::default()).unwrap();
+        assert_eq!(after.solutions.len(), 1);
+    }
+
+    #[test]
+    fn untouched_region_entries_survive_mutations() {
+        // Two components: the square {0..3} and a path {4,5,6}.
+        let g = UndirectedGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6)])
+            .unwrap();
+        let engine = EnumerationEngine::new(g);
+        let s = engine.session("t");
+        let square_q = tree_query();
+        let path_q = Query::SteinerTree {
+            terminals: vec![VertexId(4), VertexId(6)],
+        };
+        s.run(square_q.clone(), QueryOptions::default()).unwrap();
+        s.run(path_q.clone(), QueryOptions::default()).unwrap();
+
+        // Mutate the path component only: insert a chord 4–6. The
+        // square's entry must survive; the path's must die.
+        let out = engine
+            .apply_mutation(GraphMutation::InsertEdge {
+                u: VertexId(4),
+                v: VertexId(6),
+            })
+            .unwrap();
+        assert_eq!(out.touched_regions, vec![4]);
+        assert_eq!(out.entries_retained, 1);
+        assert_eq!(out.entries_invalidated, 1);
+
+        let warm = s.run(square_q, QueryOptions::default()).unwrap();
+        assert_eq!(warm.stats.cache_hits, 1, "untouched region replays");
+        let cold = s.run(path_q, QueryOptions::default()).unwrap();
+        assert_eq!(cold.stats.cache_misses, 1, "touched region re-enumerates");
+        assert_eq!(cold.solutions.len(), 2, "the chord added a second tree");
+    }
+
+    #[test]
+    fn arc_mutations_require_a_directed_view_and_invalidate_arc_entries() {
+        let engine = EnumerationEngine::new(square());
+        let err = engine
+            .apply_arc_mutations(&[ArcMutation::InsertArc {
+                tail: VertexId(0),
+                head: VertexId(1),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Precondition { .. }));
+
+        let mut d = DiGraph::new(3);
+        d.add_arc_indices(0, 1).unwrap();
+        d.add_arc_indices(1, 2).unwrap();
+        let engine = EnumerationEngine::with_graphs(square(), Some(d), EngineConfig::default());
+        let s = engine.session("t");
+        let q = Query::DirectedSteinerTree {
+            root: VertexId(0),
+            terminals: vec![VertexId(2)],
+        };
+        s.run(q.clone(), QueryOptions::default()).unwrap();
+        let out = engine
+            .apply_arc_mutations(&[ArcMutation::InsertArc {
+                tail: VertexId(0),
+                head: VertexId(2),
+            }])
+            .unwrap();
+        assert_eq!(out.entries_invalidated, 1);
+        assert_eq!(out.epoch, 1);
+        let cold = s.run(q, QueryOptions::default()).unwrap();
+        assert_eq!(cold.stats.cache_misses, 1);
+        assert_eq!(cold.solutions.len(), 2, "the shortcut arc adds a solution");
     }
 }

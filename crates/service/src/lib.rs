@@ -13,7 +13,7 @@
 //! the service adds scheduling and sharing around the engine, never
 //! between the engine and the output.
 //!
-//! Four concerns make it a service rather than a function call:
+//! Five concerns make it a service rather than a function call:
 //!
 //! - **Admission control** — a global in-flight cap plus a per-tenant
 //!   queue-depth cap ([`EngineConfig`]). A submission beyond either cap
@@ -29,6 +29,18 @@
 //!   round-robin across tenants with queued work: deterministic, and
 //!   proportional to each tenant's weight
 //!   ([`EnumerationEngine::session_with_weight`]).
+//! - **Live mutation** — the serving graph is not frozen:
+//!   [`EnumerationEngine::apply_mutations`] (and
+//!   [`apply_arc_mutations`](EnumerationEngine::apply_arc_mutations) for
+//!   the directed view) applies a [`GraphMutation`] batch atomically,
+//!   serialized against in-flight queries by an epoch fence — every
+//!   query is pinned to the serving epoch at admission and streams
+//!   exactly what a one-shot run on that graph version streams. Each
+//!   committed batch advances [`EnumerationEngine::epoch`] and
+//!   invalidates exactly the cache entries whose graph *regions* it
+//!   touched; the returned [`MutationOutcome`] reports the touched
+//!   regions and the retained/invalidated counters (accumulated in
+//!   [`EnumerationEngine::mutation_stats`]).
 //! - **Warm restart** — [`EnumerationEngine::snapshot`] persists both
 //!   caches in a versioned, checksummed format;
 //!   [`EnumerationEngine::restore`] on a fresh engine over the same
@@ -85,6 +97,11 @@ mod engine;
 mod query;
 mod session;
 
-pub use engine::{EngineConfig, EnumerationEngine, TenantReport};
+pub use engine::{
+    DigraphRef, EngineConfig, EnumerationEngine, GraphRef, MutationOutcome, TenantReport,
+};
 pub use query::{Query, QueryOptions, QueryOutcome, SolutionItems, Ticket};
 pub use session::Session;
+// The mutation vocabulary is defined by the graph layer; re-exported so
+// service callers can drive a live graph without a direct dependency.
+pub use steiner_graph::epoch::{ArcMutation, GraphMutation};

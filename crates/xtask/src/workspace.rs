@@ -14,9 +14,27 @@ use crate::source::SourceFile;
 
 /// The designated hot-path functions, per file: the `classify`/`branch`/
 /// `descend`/`retract` impls of the four improved enumerators (PR 2's
-/// zero-allocation invariant) and the Lemma-11/Theorem-12 path enumerator
-/// that dominates their inner loop.
+/// zero-allocation invariant), the Lemma-11/Theorem-12 path enumerator
+/// that dominates their inner loop, and the epoch-engine mutation paths
+/// (graph edits, delta replay, and cross-epoch skeleton carry-over)
+/// that run between queries on the serving graph.
 pub const HOT: &[(&str, &[&str])] = &[
+    (
+        "crates/graph/src/epoch.rs",
+        &[
+            "insert_edge",
+            "remove_edge",
+            "insert_arc",
+            "remove_arc",
+            "batch_apply",
+            "apply_insert_fp",
+        ],
+    ),
+    ("crates/graph/src/spanning.rs", &["carry_over"]),
+    (
+        "crates/graph/src/csr.rs",
+        &["apply_delta", "apply_delta_doubled"],
+    ),
     (
         "crates/core/src/improved.rs",
         &["classify", "branch", "descend", "retract_frame"],

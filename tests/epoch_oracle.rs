@@ -1,0 +1,436 @@
+//! Proptest oracle suite for the mutable-graph epoch engine: random
+//! mutation/query interleavings over a two-component serving graph,
+//! across all four paper problems, asserting that
+//!
+//! - every query the engine answers — cache hit or cold — is
+//!   byte-identical to a fresh one-shot [`Enumeration`] run against the
+//!   graph at the current epoch, and
+//! - invalidation is exact in both directions: a mutation confined to
+//!   one component leaves the other component's cache entries live
+//!   ([`MutationOutcome::entries_retained`] nonzero, replay is a hit
+//!   with the same bytes), while entries keyed to touched regions are
+//!   re-enumerated rather than served stale.
+//!
+//! Mutations are restricted so they provably stay inside the component
+//! they target: edge inserts between two vertices of the component, and
+//! removals only of the *last* edge id (no renumbering) when that edge
+//! lies in the component. Under that discipline, every region id a
+//! batch touches must fall in the component's vertex range — asserted
+//! on every [`MutationOutcome`].
+
+use minimal_steiner::graph::{DiGraph, UndirectedGraph, VertexId};
+use minimal_steiner::service::{
+    ArcMutation, EngineConfig, EnumerationEngine, GraphMutation, Query, QueryOptions, QueryOutcome,
+    SolutionItems,
+};
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, SteinerForest, SteinerTree, TerminalSteinerTree,
+};
+use proptest::prelude::*;
+
+/// One step of a randomized interleaving. `comp` selects component A
+/// (`false`) or B (`true`); the remaining fields are raw entropy the
+/// executor maps onto valid vertices of that component.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Run one of the three undirected problems (or the directed one in
+    /// the digraph suite) with terminals drawn from `mask`.
+    Query { comp: bool, kind: u8, mask: u8 },
+    /// Apply a single-edit mutation batch confined to `comp`.
+    Mutate {
+        comp: bool,
+        remove: bool,
+        a: u8,
+        b: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        (any::<u8>(), any::<bool>(), any::<u8>()),
+        (any::<u8>(), any::<u8>()),
+    )
+        .prop_map(|((sel, comp, x), (y, z))| {
+            if sel % 2 == 0 {
+                Op::Query {
+                    comp,
+                    kind: x % 3,
+                    mask: y,
+                }
+            } else {
+                Op::Mutate {
+                    comp,
+                    remove: x % 2 == 0,
+                    a: y,
+                    b: z,
+                }
+            }
+        })
+}
+
+/// The vertex range `[base, base + len)` of one component.
+#[derive(Clone, Copy, Debug)]
+struct Comp {
+    base: u32,
+    len: u32,
+}
+
+impl Comp {
+    fn contains(self, v: u32) -> bool {
+        v >= self.base && v < self.base + self.len
+    }
+
+    /// Maps raw entropy onto a vertex of this component.
+    fn vertex(self, raw: u8) -> VertexId {
+        VertexId(self.base + raw as u32 % self.len)
+    }
+
+    /// At least two distinct terminals of this component, drawn from the
+    /// low bits of `mask`.
+    fn terminals(self, mask: u8) -> Vec<VertexId> {
+        let mut w: Vec<VertexId> = (0..self.len)
+            .filter(|i| mask & (1 << (i % 8)) != 0)
+            .map(|i| VertexId(self.base + i))
+            .collect();
+        if w.len() < 2 {
+            w = vec![VertexId(self.base), VertexId(self.base + self.len - 1)];
+        }
+        w
+    }
+}
+
+/// Builds the undirected query for `kind` over `terminals`.
+fn undirected_query(kind: u8, terminals: Vec<VertexId>) -> Query {
+    match kind {
+        0 => Query::SteinerTree { terminals },
+        1 => Query::SteinerForest {
+            sets: vec![terminals],
+        },
+        _ => Query::TerminalSteinerTree { terminals },
+    }
+}
+
+/// A fresh, uncached one-shot run of `q` against `g` — the oracle every
+/// engine answer is compared to.
+fn cold_undirected(
+    g: &UndirectedGraph,
+    q: &Query,
+) -> Result<Vec<Vec<minimal_steiner::graph::EdgeId>>, minimal_steiner::SteinerError> {
+    match q {
+        Query::SteinerTree { terminals } => {
+            Enumeration::new(SteinerTree::new(g, terminals)).collect_vec()
+        }
+        Query::SteinerForest { sets } => {
+            Enumeration::new(SteinerForest::new(g, sets)).collect_vec()
+        }
+        Query::TerminalSteinerTree { terminals } => {
+            Enumeration::new(TerminalSteinerTree::new(g, terminals)).collect_vec()
+        }
+        Query::DirectedSteinerTree { .. } => unreachable!("undirected suite"),
+    }
+}
+
+/// Asserts the engine's answer matches the cold oracle byte for byte
+/// (or that both reject the instance).
+fn assert_matches_cold_undirected(
+    engine: &EnumerationEngine,
+    outcome: &QueryOutcome,
+    q: &Query,
+) -> Result<(), TestCaseError> {
+    let g = {
+        let guard = engine.graph();
+        (*guard).clone()
+    };
+    match cold_undirected(&g, q) {
+        Ok(expected) => {
+            prop_assert!(
+                outcome.status.is_ok(),
+                "engine rejected an instance the oracle accepts: {:?}",
+                outcome.status
+            );
+            prop_assert_eq!(
+                outcome.solutions.edges().expect("undirected query"),
+                &expected[..],
+                "served stream differs from a cold run at the current epoch"
+            );
+        }
+        Err(_) => prop_assert!(
+            outcome.status.is_err(),
+            "engine accepted an instance the oracle rejects"
+        ),
+    }
+    Ok(())
+}
+
+/// Executes one randomized interleaving against an engine serving a
+/// two-component undirected graph.
+fn run_undirected_interleaving(na: u32, nb: u32, ops: &[Op]) -> Result<(), TestCaseError> {
+    let comps = [Comp { base: 0, len: na }, Comp { base: na, len: nb }];
+    // Two disjoint paths: component A on 0..na, component B on na..na+nb.
+    let n = (na + nb) as usize;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for c in comps {
+        for i in c.base..c.base + c.len - 1 {
+            edges.push((i as usize, i as usize + 1));
+        }
+    }
+    let g = UndirectedGraph::from_edges(n, &edges).expect("valid seed graph");
+    let engine = EnumerationEngine::with_config(
+        g,
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let session = engine.session("oracle");
+
+    // Seed one live cache entry per component so every mutation has a
+    // cross-component survivor to check.
+    let mut live: [Option<(Query, SolutionItems)>; 2] = [None, None];
+    for (i, c) in comps.iter().enumerate() {
+        let q = undirected_query(0, c.terminals(0));
+        let out = session.run(q.clone(), QueryOptions::default()).unwrap();
+        assert_matches_cold_undirected(&engine, &out, &q)?;
+        prop_assert!(out.status.is_ok(), "seed paths are connected");
+        live[i] = Some((q, out.solutions));
+    }
+
+    for &op in ops {
+        match op {
+            Op::Query { comp, kind, mask } => {
+                let i = comp as usize;
+                let q = undirected_query(kind, comps[i].terminals(mask));
+                let out = session.run(q.clone(), QueryOptions::default()).unwrap();
+                // (a) Hit or miss, the answer equals a fresh cold run at
+                // the current epoch.
+                assert_matches_cold_undirected(&engine, &out, &q)?;
+                if out.status.is_ok() {
+                    live[i] = Some((q, out.solutions));
+                }
+            }
+            Op::Mutate { comp, remove, a, b } => {
+                let i = comp as usize;
+                let c = comps[i];
+                // Removals only of the last edge id (no renumbering) and
+                // only when that edge lies in the target component;
+                // otherwise fall back to an in-component insert.
+                let edit = {
+                    let guard = engine.graph();
+                    let last = minimal_steiner::graph::EdgeId(guard.num_edges() as u32 - 1);
+                    let (u, v) = guard.endpoints(last);
+                    if remove && c.contains(u.0) && c.contains(v.0) {
+                        GraphMutation::RemoveEdge(last)
+                    } else {
+                        let u = c.vertex(a);
+                        let mut v = c.vertex(b);
+                        if u == v {
+                            v = VertexId(c.base + (v.0 - c.base + 1) % c.len);
+                        }
+                        GraphMutation::InsertEdge { u, v }
+                    }
+                };
+                let before = engine.epoch();
+                let out = engine.apply_mutations(&[edit]).expect("edit is valid");
+                prop_assert_eq!(out.epoch, before + 1, "each batch advances the epoch");
+                for &r in &out.touched_regions {
+                    prop_assert!(
+                        c.contains(r),
+                        "mutation confined to component {:?} touched region {}",
+                        c,
+                        r
+                    );
+                }
+                // (b1) The untouched component's entry survives: the
+                // retained counter sees it and a replay is a pure hit
+                // with the same bytes.
+                if let Some((q, sol)) = &live[1 - i] {
+                    prop_assert!(
+                        out.entries_retained >= 1,
+                        "cross-component entry should be retained, outcome {:?}",
+                        out
+                    );
+                    let replay = session.run(q.clone(), QueryOptions::default()).unwrap();
+                    prop_assert_eq!(
+                        replay.stats.cache_hits,
+                        1,
+                        "untouched entry replays as a hit"
+                    );
+                    prop_assert_eq!(&replay.solutions, sol, "retained entry is byte-identical");
+                }
+                // (b2) The touched component is never served stale: its
+                // entry misses and the re-enumeration matches a cold run
+                // on the mutated graph.
+                if let Some((q, _)) = live[i].take() {
+                    let rerun = session.run(q.clone(), QueryOptions::default()).unwrap();
+                    prop_assert_eq!(
+                        rerun.stats.cache_hits,
+                        0,
+                        "touched-region entry must not hit after the mutation"
+                    );
+                    assert_matches_cold_undirected(&engine, &rerun, &q)?;
+                    if rerun.status.is_ok() {
+                        live[i] = Some((q, rerun.solutions));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Directed mirror of the undirected interleaving: two weakly-connected
+/// components (directed paths), arc mutations, and the rooted directed
+/// Steiner tree problem.
+fn run_directed_interleaving(na: u32, nb: u32, ops: &[Op]) -> Result<(), TestCaseError> {
+    let comps = [Comp { base: 0, len: na }, Comp { base: na, len: nb }];
+    let n = (na + nb) as usize;
+    let mut arcs: Vec<(usize, usize)> = Vec::new();
+    for c in comps {
+        for i in c.base..c.base + c.len - 1 {
+            arcs.push((i as usize, i as usize + 1));
+        }
+    }
+    let d = DiGraph::from_arcs(n, &arcs).expect("valid seed digraph");
+    // The undirected serving graph is unused by this suite; a minimal
+    // placeholder keeps the engine well-formed.
+    let g = UndirectedGraph::from_edges(2, &[(0, 1)]).expect("placeholder");
+    let engine = EnumerationEngine::with_graphs(
+        g,
+        Some(d),
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let session = engine.session("oracle");
+
+    let query_for = |c: Comp, mask: u8| Query::DirectedSteinerTree {
+        root: VertexId(c.base),
+        terminals: c
+            .terminals(mask)
+            .into_iter()
+            .filter(|v| v.0 != c.base)
+            .collect(),
+    };
+    let check_cold = |out: &QueryOutcome, q: &Query| -> Result<(), TestCaseError> {
+        let d = {
+            let guard = engine.digraph().expect("engine has a directed view");
+            (*guard).clone()
+        };
+        let (root, terminals) = match q {
+            Query::DirectedSteinerTree { root, terminals } => (*root, terminals.clone()),
+            _ => unreachable!("directed suite"),
+        };
+        match Enumeration::new(DirectedSteinerTree::new(&d, root, &terminals)).collect_vec() {
+            Ok(expected) => {
+                prop_assert!(out.status.is_ok(), "oracle accepts, engine rejected");
+                prop_assert_eq!(
+                    out.solutions.arcs().expect("directed query"),
+                    &expected[..],
+                    "served arc stream differs from a cold run"
+                );
+            }
+            Err(_) => prop_assert!(out.status.is_err(), "oracle rejects, engine accepted"),
+        }
+        Ok(())
+    };
+
+    let mut live: [Option<(Query, SolutionItems)>; 2] = [None, None];
+    for (i, c) in comps.iter().enumerate() {
+        let q = query_for(*c, 0);
+        let out = session.run(q.clone(), QueryOptions::default()).unwrap();
+        check_cold(&out, &q)?;
+        prop_assert!(out.status.is_ok(), "seed paths reach every terminal");
+        live[i] = Some((q, out.solutions));
+    }
+
+    for &op in ops {
+        match op {
+            Op::Query {
+                comp,
+                kind: _,
+                mask,
+            } => {
+                let i = comp as usize;
+                let q = query_for(comps[i], mask);
+                let out = session.run(q.clone(), QueryOptions::default()).unwrap();
+                check_cold(&out, &q)?;
+                if out.status.is_ok() {
+                    live[i] = Some((q, out.solutions));
+                }
+            }
+            Op::Mutate { comp, remove, a, b } => {
+                let i = comp as usize;
+                let c = comps[i];
+                let edit = {
+                    let guard = engine.digraph().expect("engine has a directed view");
+                    let last = minimal_steiner::graph::ArcId(guard.num_arcs() as u32 - 1);
+                    let (tail, head) = guard.arc(last);
+                    if remove && c.contains(tail.0) && c.contains(head.0) {
+                        ArcMutation::RemoveArc(last)
+                    } else {
+                        let tail = c.vertex(a);
+                        let mut head = c.vertex(b);
+                        if tail == head {
+                            head = VertexId(c.base + (head.0 - c.base + 1) % c.len);
+                        }
+                        ArcMutation::InsertArc { tail, head }
+                    }
+                };
+                let before = engine.epoch();
+                let out = engine.apply_arc_mutations(&[edit]).expect("edit is valid");
+                prop_assert_eq!(out.epoch, before + 1, "each arc batch advances the epoch");
+                for &r in &out.touched_regions {
+                    prop_assert!(c.contains(r), "arc mutation escaped its component");
+                }
+                if let Some((q, sol)) = &live[1 - i] {
+                    prop_assert!(
+                        out.entries_retained >= 1,
+                        "cross-component arc entry should be retained, outcome {:?}",
+                        out
+                    );
+                    let replay = session.run(q.clone(), QueryOptions::default()).unwrap();
+                    prop_assert_eq!(replay.stats.cache_hits, 1, "untouched arc entry hits");
+                    prop_assert_eq!(&replay.solutions, sol, "retained arc entry byte-identical");
+                }
+                if let Some((q, _)) = live[i].take() {
+                    let rerun = session.run(q.clone(), QueryOptions::default()).unwrap();
+                    prop_assert_eq!(rerun.stats.cache_hits, 0, "touched arc entry must miss");
+                    check_cold(&rerun, &q)?;
+                    if rerun.status.is_ok() {
+                        live[i] = Some((q, rerun.solutions));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random mutation/query interleavings across the three undirected
+    /// problems: every answer equals a cold run at the current epoch,
+    /// untouched-component entries survive every mutation, touched ones
+    /// never serve stale bytes.
+    #[test]
+    fn undirected_interleavings_match_the_cold_oracle(
+        na in 3u32..6,
+        nb in 3u32..6,
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        run_undirected_interleaving(na, nb, &ops)?;
+    }
+
+    /// The same discipline for the rooted directed problem over a
+    /// two-weak-component digraph under arc mutations.
+    #[test]
+    fn directed_interleavings_match_the_cold_oracle(
+        na in 3u32..6,
+        nb in 3u32..6,
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        run_directed_interleaving(na, nb, &ops)?;
+    }
+}

@@ -4,8 +4,7 @@
 //! mismatched snapshots are rejected with typed errors — never
 //! silently served.
 
-use minimal_steiner::graph::{DiGraph, UndirectedGraph, VertexId};
-use minimal_steiner::steiner::cache::{fingerprint_digraph, fingerprint_undirected};
+use minimal_steiner::graph::{DiGraph, RegionMap, UndirectedGraph, VertexId};
 use minimal_steiner::steiner::snapshot::{paper_problem_kinds, SnapshotError};
 use minimal_steiner::{
     DirectedSteinerTree, Enumeration, ResultCache, SteinerForest, SteinerTree, TerminalSteinerTree,
@@ -96,8 +95,9 @@ proptest! {
 
         let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
         let kinds = paper_problem_kinds();
+        let regions = RegionMap::of_undirected(&g);
         let restored = fresh
-            .restore(&blob, &kinds, Some(fingerprint_undirected(&g)))
+            .restore(&blob, &kinds, Some(&regions))
             .expect("self-produced snapshot restores");
         prop_assert_eq!(restored, stored);
         prop_assert_eq!(&fresh.snapshot(), &blob, "restore is lossless");
@@ -153,8 +153,9 @@ proptest! {
 
         let blob = cache.snapshot();
         let fresh = ResultCache::new();
+        let regions = RegionMap::of_digraph(&d);
         let restored = fresh
-            .restore(&blob, &paper_problem_kinds(), Some(fingerprint_digraph(&d)))
+            .restore(&blob, &paper_problem_kinds(), Some(&regions))
             .expect("self-produced snapshot restores");
         prop_assert_eq!(restored, 1);
         let warm = run_cached(
@@ -187,7 +188,7 @@ proptest! {
         bad[pos] ^= flip;
         let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
         fresh
-            .restore(&bad, &paper_problem_kinds(), Some(fingerprint_undirected(&g)))
+            .restore(&bad, &paper_problem_kinds(), Some(&RegionMap::of_undirected(&g)))
             .expect_err("corruption must be detected");
         prop_assert_eq!(fresh.stats().entries, 0, "nothing was committed");
     }
@@ -205,23 +206,35 @@ fn typed_rejections() {
         .unwrap();
     let blob = cache.snapshot();
     let kinds = paper_problem_kinds();
-    let fp = fingerprint_undirected(&g);
+    let regions = RegionMap::of_undirected(&g);
 
     // Truncations at every prefix length fail (never panic, never load).
     for cut in 0..blob.len() {
         let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
-        assert!(fresh.restore(&blob[..cut], &kinds, Some(fp)).is_err());
+        assert!(fresh.restore(&blob[..cut], &kinds, Some(&regions)).is_err());
         assert_eq!(fresh.stats().entries, 0);
     }
 
-    // Version skew is named.
+    // Version skew is named in both directions: a foreign (future)
+    // version and an old v1 blob are each refused with the stored and
+    // supported versions spelled out.
     let mut skewed = blob.clone();
     skewed[4] = 0xFF;
     let fresh: ResultCache<minimal_steiner::graph::EdgeId> = ResultCache::new();
     assert!(matches!(
-        fresh.restore(&skewed, &kinds, Some(fp)),
-        Err(SnapshotError::UnsupportedVersion(_))
+        fresh.restore(&skewed, &kinds, Some(&regions)),
+        Err(SnapshotError::VersionSkew { stored: 255, .. })
     ));
+    let mut v1 = blob.clone();
+    v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        fresh.restore(&v1, &kinds, Some(&regions)),
+        Err(SnapshotError::VersionSkew {
+            stored: 1,
+            supported: 2
+        })
+    ));
+    assert_eq!(fresh.stats().entries, 0);
 
     // An edge-item snapshot cannot load into an arc-item cache.
     let arc_cache: ResultCache<minimal_steiner::graph::ArcId> = ResultCache::new();
@@ -230,9 +243,14 @@ fn typed_rejections() {
         Err(SnapshotError::ItemKindMismatch { .. })
     ));
 
-    // A different graph's fingerprint is refused entry-by-entry.
+    // A different graph's region fingerprints are refused entry-by-entry.
+    let other = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
     assert!(matches!(
-        ResultCache::<minimal_steiner::graph::EdgeId>::new().restore(&blob, &kinds, Some(fp ^ 1)),
+        ResultCache::<minimal_steiner::graph::EdgeId>::new().restore(
+            &blob,
+            &kinds,
+            Some(&RegionMap::of_undirected(&other))
+        ),
         Err(SnapshotError::GraphMismatch { .. })
     ));
 
@@ -241,13 +259,16 @@ fn typed_rejections() {
         ResultCache::<minimal_steiner::graph::EdgeId>::new().restore(
             &blob,
             &["some other problem"],
-            Some(fp)
+            Some(&regions)
         ),
         Err(SnapshotError::UnknownProblemKind(_))
     ));
 
     // Every rejection implements Display + Error with useful text.
-    let err = SnapshotError::UnsupportedVersion(9);
+    let err = SnapshotError::VersionSkew {
+        stored: 9,
+        supported: 2,
+    };
     assert!(err.to_string().contains('9'));
     let _: &dyn std::error::Error = &err;
 }
