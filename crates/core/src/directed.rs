@@ -20,7 +20,7 @@
 //!    paths — branch on it. Otherwise `T + T*` is the unique completion:
 //!    emit it as a leaf.
 
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError, SubtreeRecord};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
@@ -796,18 +796,18 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
         }
     }
 
-    fn record_root_child(&self) -> Option<RootChildRecord<ArcId>> {
+    fn record_subtree(&self) -> Option<SubtreeRecord<ArcId>> {
         let search = self.search.as_ref()?;
-        Some(RootChildRecord {
+        Some(SubtreeRecord {
             vertices: search.tree_vertices.clone(),
             items: search.tree_arcs.clone(),
             meta: 0,
         })
     }
 
-    fn replay_root_child(
+    fn replay_subtree(
         &mut self,
-        record: &RootChildRecord<ArcId>,
+        record: &SubtreeRecord<ArcId>,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         self.stats.work += (self.d.num_vertices() + self.d.num_arcs()) as u64;

@@ -16,7 +16,7 @@
 //! contains the unique minimal completion, which is extracted with the
 //! LCA-based marking procedure in linear time.
 
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError, SubtreeRecord};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::solver::run_sink_lenient;
 use crate::stats::EnumStats;
@@ -916,18 +916,18 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         }
     }
 
-    fn record_root_child(&self) -> Option<RootChildRecord<EdgeId>> {
+    fn record_subtree(&self) -> Option<SubtreeRecord<EdgeId>> {
         let search = self.search.as_ref()?;
-        Some(RootChildRecord {
+        Some(SubtreeRecord {
             vertices: Vec::new(),
             items: search.forest_edges.clone(),
             meta: 0,
         })
     }
 
-    fn replay_root_child(
+    fn replay_subtree(
         &mut self,
-        record: &RootChildRecord<EdgeId>,
+        record: &SubtreeRecord<EdgeId>,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;

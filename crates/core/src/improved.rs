@@ -26,7 +26,7 @@
 //! points, kept as deprecated shims.
 
 use crate::partial::{Extension, PartialTree};
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError, SubtreeRecord};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
 use crate::solver::run_sink_lenient;
@@ -517,18 +517,18 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         }
     }
 
-    fn record_root_child(&self) -> Option<RootChildRecord<EdgeId>> {
+    fn record_subtree(&self) -> Option<SubtreeRecord<EdgeId>> {
         let search = self.search.as_ref()?;
-        Some(RootChildRecord {
+        Some(SubtreeRecord {
             vertices: search.t.vertices.clone(),
             items: search.t.edges.clone(),
             meta: 0,
         })
     }
 
-    fn replay_root_child(
+    fn replay_subtree(
         &mut self,
-        record: &RootChildRecord<EdgeId>,
+        record: &SubtreeRecord<EdgeId>,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;

@@ -97,6 +97,7 @@ pub mod simple;
 pub mod snapshot;
 pub mod solver;
 pub mod stats;
+pub mod steal;
 pub mod terminal;
 pub mod trail;
 pub mod verify;
@@ -111,6 +112,7 @@ pub use queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 pub use snapshot::{SnapshotError, SnapshotItem};
 pub use solver::{Enumeration, Solutions, StatsHandle};
 pub use stats::EnumStats;
+pub use steal::{StealObserver, StealRule, StealSchedule};
 pub use terminal::TerminalSteinerTree;
 pub use trail::{ScratchUsage, Trail, TrailMark};
 

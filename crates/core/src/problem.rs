@@ -193,25 +193,32 @@ impl RootShard {
     }
 }
 
-/// A replayable record of one root-branch child: the delta its descent
-/// applies to a freshly prepared instance.
+/// A replayable checkpoint of one enumeration-tree node: the **absolute**
+/// partial state its root-to-node descent applies to a freshly prepared
+/// instance.
 ///
-/// Produced by [`MinimalSteinerProblem::record_root_child`] on a recording
-/// pass over the root node and consumed by
-/// [`MinimalSteinerProblem::replay_root_child`] inside shard workers — the
-/// sharded front-end records the root's child generation **once** and
-/// replays it into each worker, instead of every worker re-enumerating all
-/// root children (O(n + m) per child per worker) only to descend into its
-/// own residue class.
+/// Produced by [`MinimalSteinerProblem::record_subtree`] from inside a
+/// `branch` callback at any depth and consumed by
+/// [`MinimalSteinerProblem::replay_subtree`] on another worker's freshly
+/// prepared instance copy. Two consumers exist: the sharded front-end's
+/// root child log (the root's child generation is recorded **once** and
+/// replayed into each worker, instead of every worker re-enumerating all
+/// root children only to descend into its own residue class), and the
+/// work-stealing pool (a busy worker publishes a deep branch child as a
+/// record; an idle worker — or the merge coordinator — replays it and
+/// enumerates the subtree). Because the captured state is absolute, not a
+/// delta against the recorder's stack, replay is a *single* descent
+/// regardless of the recorded node's depth.
 #[derive(Clone, Debug)]
-pub struct RootChildRecord<Item> {
-    /// Path vertices of the child's extension, in application order
-    /// (empty for problems whose delta is item-only, like forests).
+pub struct SubtreeRecord<Item> {
+    /// Path vertices of the partial solution, in application order
+    /// (empty for problems whose state is item-only, like forests).
     pub vertices: Vec<VertexId>,
-    /// Solution items (edges or arcs) the child's extension adds.
+    /// Solution items (edges or arcs) of the partial solution.
     pub items: Vec<Item>,
     /// Problem-specific tag — the terminal variant stores the admissible
-    /// component index the child belongs to; other problems leave it 0.
+    /// component index the recorded node belongs to; other problems leave
+    /// it 0.
     pub meta: u64,
 }
 
@@ -382,37 +389,42 @@ pub trait MinimalSteinerProblem {
         let _ = on;
     }
 
-    /// Captures the root-branch child currently applied to the search
-    /// state as a replayable [`RootChildRecord`] — called by the sharded
-    /// front-end's recording pass from inside the root `branch` callback.
+    /// Captures the partial solution currently applied to the search
+    /// state as a replayable [`SubtreeRecord`] — called from inside a
+    /// `branch` callback at **any** depth: by the sharded front-end's
+    /// root-child recording pass (depth 1) and by the work-stealing
+    /// engine at arbitrary branch nodes. The captured state must be
+    /// absolute (reproducible on a freshly prepared copy), not relative
+    /// to the recorder's current descent.
     ///
-    /// The default returns `None`, meaning the problem does not support
-    /// root-child replay and every shard worker regenerates the root's
-    /// children itself (the pre-0.5 behavior).
-    fn record_root_child(&self) -> Option<RootChildRecord<Self::Item>> {
+    /// The default returns `None`, meaning the problem supports neither
+    /// root-child replay nor work stealing: every shard worker
+    /// regenerates the root's children itself (the pre-0.5 behavior) and
+    /// subtrees never migrate.
+    fn record_subtree(&self) -> Option<SubtreeRecord<Self::Item>> {
         None
     }
 
-    /// Applies a recorded root-child delta to a freshly prepared
-    /// instance, invokes `child` on the resulting state, and retracts the
-    /// delta — the worker-side half of the shared root child log. Must
-    /// leave the search state exactly as a locally generated root child
-    /// would (the sharded streams are asserted byte-identical either
-    /// way).
+    /// Applies a recorded partial solution to a freshly prepared
+    /// instance, invokes `child` on the resulting state, and retracts it
+    /// — the replay half shared by the root child log and the
+    /// work-stealing pool. Must leave the search state exactly as a
+    /// locally generated descent to the recorded node would (the sharded
+    /// and stolen streams are asserted byte-identical either way).
     ///
-    /// Only called with records produced by
-    /// [`Self::record_root_child`] on an identically prepared instance;
-    /// the default therefore never runs.
-    fn replay_root_child(
+    /// Only called with records produced by [`Self::record_subtree`] on
+    /// an identically prepared instance; the default therefore never
+    /// runs.
+    fn replay_subtree(
         &mut self,
-        record: &RootChildRecord<Self::Item>,
+        record: &SubtreeRecord<Self::Item>,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> ControlFlow<()>
     where
         Self: Sized,
     {
         let _ = (record, child);
-        unreachable!("replay_root_child requires record_root_child support")
+        unreachable!("replay_subtree requires record_subtree support")
     }
 
     /// Caps the number of per-level path-enumeration BFS caches the

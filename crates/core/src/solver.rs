@@ -23,7 +23,12 @@
 //! ([`steiner_paths::streaming::ShardMerge`]) re-interleaves the
 //! per-worker streams so the delivered sequence is **identical to the
 //! sequential front-end**, including under limits, queues, and early
-//! termination.
+//! termination. [`Enumeration::with_stealing`] adds a second level of
+//! parallelism on top: workers that drain their residue class early
+//! claim whole subtrees published at deeper branch nodes (see
+//! [`crate::steal`]), and the merge splices each stolen subtree's stream
+//! back in at its exact tree position, so the delivered order still
+//! matches the sequential engine byte for byte.
 //!
 //! ```
 //! use steiner_core::{Enumeration, SteinerTree};
@@ -40,10 +45,11 @@
 use crate::cache::{CachePressure, QueryKey, ResultCache};
 use crate::intern::{SolutionId, SolutionSet};
 use crate::problem::{
-    MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, RootShard, SteinerError,
+    MinimalSteinerProblem, NodeStep, Prepared, RootShard, SteinerError, SubtreeRecord,
 };
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::stats::EnumStats;
+use crate::steal::{PendingTask, StealObserver, StealPool, StealSchedule};
 use crossbeam_channel::Sender;
 use std::cell::Cell;
 use std::hash::Hash;
@@ -214,6 +220,8 @@ pub struct Enumeration<P: MinimalSteinerProblem> {
     deadline: Option<Instant>,
     stats_handle: Option<StatsHandle>,
     threads: usize,
+    stealing: bool,
+    steal_schedule: Option<StealSchedule>,
     interner: Option<SolutionSet<P::Item>>,
     cache: Option<ResultCache<P::Item>>,
 }
@@ -229,6 +237,8 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
             deadline: None,
             stats_handle: None,
             threads: 1,
+            stealing: false,
+            steal_schedule: None,
             interner: None,
             cache: None,
         }
@@ -370,6 +380,52 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     pub fn with_threads(mut self, k: usize) -> Self {
         self.threads = k.max(1);
         self
+    }
+
+    /// **Second-level work stealing** for [`Self::with_threads`] runs.
+    ///
+    /// Root-only sharding load-balances poorly when the root has few
+    /// children or one subtree dominates. With stealing on, a worker
+    /// reaching a branch child while the shared [`crate::steal`] pool is
+    /// hungry *publishes* the child as a replayable checkpoint instead
+    /// of descending; an idle worker (or the merge point itself) claims
+    /// and executes it, and the merge splices the subtree's stream back
+    /// in at its exact position — the delivered stream stays
+    /// **byte-identical to the sequential engine** regardless of which
+    /// worker executed which subtree (asserted across every front-end in
+    /// `tests/stealing.rs`).
+    ///
+    /// Accepted steals and refused offers are reported in
+    /// [`EnumStats::subtrees_stolen`] / [`EnumStats::steal_failures`].
+    /// No effect without `with_threads(k ≥ 2)`, and problems that do not
+    /// support subtree checkpoints
+    /// ([`MinimalSteinerProblem::record_subtree`]) silently fall back to
+    /// root-only sharding. Off by default here; the service layer turns
+    /// it on for pooled queries.
+    pub fn with_stealing(mut self, on: bool) -> Self {
+        self.stealing = on;
+        self
+    }
+
+    /// **Scripted stealing** (test instrument): replaces the adaptive
+    /// spawn policy with a deterministic [`StealSchedule`], so steal
+    /// interleavings replay exactly — even on a single-core CI machine.
+    /// Implies [`Self::with_stealing`]. Scripted runs widen the shard
+    /// channels to [`SCRIPTED_CHANNEL_CAPACITY`] so adversarial scripts
+    /// cannot wedge the pipeline; that sizing makes schedules unsuitable
+    /// as a production policy.
+    pub fn with_steal_schedule(mut self, schedule: StealSchedule) -> Self {
+        self.stealing = true;
+        self.steal_schedule = Some(schedule);
+        self
+    }
+
+    fn steal_mode(&self) -> StealMode {
+        match (&self.steal_schedule, self.stealing) {
+            (Some(s), _) => StealMode::Scripted(s.clone()),
+            (None, true) => StealMode::Auto,
+            (None, false) => StealMode::Off,
+        }
     }
 
     /// Enables or disables **incremental classification** (default: on
@@ -564,6 +620,7 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     {
         if let Some(shards) = self.split_shards() {
             let queue = self.queue_config();
+            let steal = self.steal_mode();
             // The original instance becomes the recorder: its root branch
             // runs once here, producing the shared child log the workers
             // replay instead of each re-generating every root child.
@@ -571,8 +628,10 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
             let prepared = original.prepare()?;
             let root_log = record_root_log(&mut original, prepared, self.limit);
             let (stats, expired) = run_sharded(
+                &mut original,
                 shards,
                 root_log,
+                steal,
                 queue,
                 self.limit,
                 self.deadline,
@@ -744,14 +803,17 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
                 // a real search hands the prepared original over to the
                 // coordinator thread, which records the shared root child
                 // log once before the workers prepare their own copies.
+                let steal = self.steal_mode();
                 let mut original = self.problem;
                 let worker_error = Arc::clone(&error_slot);
                 let inner = streaming::Enumeration::spawn(move |send| {
                     let root_log = record_root_log(&mut original, Prepared::Search, limit);
                     let mut recorder = recorder;
                     let (stats, expired) = run_sharded(
+                        &mut original,
                         shards,
                         root_log,
+                        steal,
                         queue,
                         limit,
                         deadline,
@@ -1133,6 +1195,247 @@ impl<Item: Copy> SolutionSink<Item> for ShardSink<'_, Item> {
     }
 }
 
+/// How a sharded run participates in subtree work stealing.
+enum StealMode {
+    /// Root-only sharding (the default, and the A/B reference stream).
+    Off,
+    /// Adaptive stealing: publish subtrees while the pool is hungry.
+    Auto,
+    /// Deterministic scripted stealing (test instrument).
+    Scripted(StealSchedule),
+}
+
+/// Shard- and task-channel capacity under a scripted
+/// [`StealSchedule`]. Adaptive stealing keeps the production capacities
+/// (workers ahead of the merge must block, not buffer), and stays
+/// deadlock-free because the merge point inline-executes any unclaimed
+/// task it reaches. A script, by contrast, may pin claims or publish
+/// adversarially many subtrees, so scripted runs buy determinism with
+/// buffer space instead: channels are sized far above any test
+/// workload's message count, making every worker send non-blocking.
+pub const SCRIPTED_CHANNEL_CAPACITY: usize = 8192;
+
+/// Pending-deque backstop for the adaptive pool (the hungry-pool policy
+/// keeps the live depth near the worker count; the cap only bounds the
+/// burst while every worker publishes its first offers).
+const STEAL_PENDING_CAPACITY: usize = 1024;
+
+/// Pending-deque capacity under a scripted schedule, which may publish
+/// every branch child of a test instance at once. Scripts exceeding it
+/// degrade gracefully (refused offers descend locally) but lose
+/// spawn-set determinism; test instances stay far below it.
+const SCRIPTED_PENDING_CAPACITY: usize = 4096;
+
+/// Everything a shard worker needs to participate in stealing.
+struct StealRuntime<'a, Item> {
+    pool: &'a StealPool<Item, Batch<Item>>,
+    /// `None` = adaptive policy.
+    schedule: Option<&'a StealSchedule>,
+    observer: Option<&'a StealObserver>,
+    /// This worker's index (observer slot and pinned-claim residue).
+    worker: usize,
+    /// Tick granularity for stolen-task sinks (same as the root sink's).
+    tick_every: Option<u64>,
+}
+
+/// The per-worker stealing state threaded through [`recurse_stealing`]:
+/// the shared pool, the optional script, the tree address of the node
+/// currently being considered, and the per-worker opportunity counter
+/// for [`crate::steal::StealRule::EveryNth`].
+struct StealContext<'a, Item> {
+    pool: &'a StealPool<Item, Batch<Item>>,
+    schedule: Option<&'a StealSchedule>,
+    /// Child-index path from the engine root to the current child.
+    path: Vec<u64>,
+    /// Spawn opportunities seen so far by this worker.
+    chances: u64,
+    /// Cleared the first time
+    /// [`record_subtree`](MinimalSteinerProblem::record_subtree)
+    /// declines: the problem cannot checkpoint mid-descent, so stealing
+    /// is disabled for the rest of the run.
+    supported: bool,
+}
+
+impl<Item: Copy> StealContext<'_, Item> {
+    /// Consults the steal policy for the child at `self.path`. Counts an
+    /// opportunity either way (the `EveryNth` counter must not depend on
+    /// earlier outcomes).
+    fn should_spawn(&mut self) -> bool {
+        if !self.supported {
+            return false;
+        }
+        self.chances += 1;
+        match self.schedule {
+            Some(schedule) => schedule.matches(&self.path, self.chances),
+            None => self.pool.wants_task(),
+        }
+    }
+}
+
+/// Result of an attempted subtree publication.
+enum SpawnOutcome<Item> {
+    /// Published; the `Spawned` marker is in the stream — skip descent.
+    Spawned,
+    /// The pool refused (full or closed); the checkpoint comes back so
+    /// the caller descends (or replays) locally.
+    Declined(SubtreeRecord<Item>),
+    /// The merge hung up while the marker was being sent: unwind.
+    Hangup,
+}
+
+/// Publishes `record` (the subtree at `ctx.path`) to the steal pool and
+/// plants the `Spawned` marker in `sink`'s stream — flushing pending
+/// solutions first, so the marker lands at exactly the subtree's
+/// position. Accepted offers count as
+/// [`EnumStats::subtrees_stolen`] (on the *spawning* worker), refused
+/// ones as [`EnumStats::steal_failures`].
+fn publish_subtree<P: MinimalSteinerProblem>(
+    p: &mut P,
+    ctx: &mut StealContext<'_, P::Item>,
+    sink: &mut ShardSink<'_, P::Item>,
+    record: SubtreeRecord<P::Item>,
+) -> SpawnOutcome<P::Item> {
+    match ctx.pool.offer(ctx.path.clone(), record) {
+        Ok((task, rx)) => {
+            p.stats_mut().subtrees_stolen += 1;
+            if sink.flush(p.stats().work).is_break() {
+                return SpawnOutcome::Hangup;
+            }
+            if sink.tx.send(ShardMsg::Spawned { task, rx }).is_err() {
+                return SpawnOutcome::Hangup;
+            }
+            SpawnOutcome::Spawned
+        }
+        Err(record) => {
+            p.stats_mut().steal_failures += 1;
+            SpawnOutcome::Declined(record)
+        }
+    }
+}
+
+/// [`recurse`] with steal points: before descending into a branch
+/// child, consult the steal policy and either publish the child as a
+/// pool task (leaving a `Spawned` marker at its stream position) or
+/// descend locally. Leaf handling is identical to `recurse`; a spawned
+/// child's own node is expanded (and counted) by its executor, never by
+/// the spawner.
+fn recurse_stealing<P: MinimalSteinerProblem>(
+    p: &mut P,
+    depth: u32,
+    sink: &mut ShardSink<'_, P::Item>,
+    scratch: &mut Vec<P::Item>,
+    ctx: &mut StealContext<'_, P::Item>,
+) -> ControlFlow<()> {
+    sink.tick(p.stats().work)?;
+    scratch.clear();
+    match p.classify(scratch) {
+        NodeStep::Complete => {
+            p.stats_mut().note_node(0, depth);
+            scratch.clear();
+            p.solution(scratch);
+            emit(p, sink, scratch)
+        }
+        NodeStep::Unique => {
+            p.stats_mut().note_node(0, depth);
+            emit(p, sink, scratch)
+        }
+        NodeStep::Branch(at) => {
+            let mut next_child = 0u64;
+            let (children, flow) = p.branch(at, &mut |q| {
+                let this = next_child;
+                next_child += 1;
+                ctx.path.push(this);
+                let flow = (|| {
+                    if ctx.should_spawn() {
+                        match q.record_subtree() {
+                            Some(record) => match publish_subtree(q, ctx, sink, record) {
+                                SpawnOutcome::Spawned => return ControlFlow::Continue(()),
+                                SpawnOutcome::Hangup => return ControlFlow::Break(()),
+                                SpawnOutcome::Declined(_) => {}
+                            },
+                            None => ctx.supported = false,
+                        }
+                    }
+                    recurse_stealing(q, depth + 1, sink, scratch, ctx)
+                })();
+                ctx.path.pop();
+                flow
+            });
+            p.stats_mut().note_node(children, depth);
+            flow
+        }
+    }
+}
+
+/// Executes one claimed pool task on a worker's instance copy: replays
+/// the checkpoint and streams the subtree over the task's dedicated
+/// channel, terminated by a `Done { children: 0 }` marker. Nested
+/// publications are allowed — a stolen subtree's own branch children go
+/// through the same steal points.
+fn execute_stolen_task<P: MinimalSteinerProblem>(
+    p: &mut P,
+    task: &PendingTask<P::Item, Batch<P::Item>>,
+    tick_every: Option<u64>,
+    scratch: &mut Vec<P::Item>,
+    ctx: &mut StealContext<'_, P::Item>,
+) -> ControlFlow<()> {
+    let mut tsink = ShardSink {
+        tx: &task.tx,
+        child: 0,
+        batch: Batch {
+            flat: Vec::new(),
+            lens: Vec::new(),
+        },
+        tick_every,
+        // No catch-up tick: the task stream's clock baselines at its
+        // first message.
+        last_tick: p.stats().work,
+    };
+    let depth = task.addr.len() as u32;
+    debug_assert!(ctx.path.is_empty(), "steal loop runs between descents");
+    ctx.path.extend_from_slice(&task.addr);
+    let flow = p.replay_subtree(&task.record, &mut |q| {
+        recurse_stealing(q, depth, &mut tsink, scratch, ctx)?;
+        tsink.flush(q.stats().work)
+    });
+    ctx.path.clear();
+    flow?;
+    if task
+        .tx
+        .send(ShardMsg::Done {
+            children: 0,
+            work: p.stats().work,
+        })
+        .is_err()
+    {
+        return ControlFlow::Break(());
+    }
+    ControlFlow::Continue(())
+}
+
+/// A worker's post-root steal phase: claim and execute pool tasks until
+/// the pool closes. A hangup (the merge dropped its channels) closes
+/// the pool for everyone — without the merge, no pending task's stream
+/// can ever be drained.
+fn run_steal_loop<P: MinimalSteinerProblem>(
+    p: &mut P,
+    rt: &StealRuntime<'_, P::Item>,
+    ctx: &mut StealContext<'_, P::Item>,
+    scratch: &mut Vec<P::Item>,
+) {
+    while let Some(task) = rt.pool.take(rt.worker as u64) {
+        let flow = execute_stolen_task(p, &task, rt.tick_every, scratch, ctx);
+        rt.pool.task_done();
+        if flow.is_break() {
+            rt.pool.shutdown();
+            return;
+        }
+        if let Some(observer) = rt.observer {
+            observer.note(rt.worker);
+        }
+    }
+}
+
 /// Cap on the shared root child log. Root fanout can be exponential in
 /// the instance (every `V(T)`-`w` path is a child), and the workers'
 /// own generation is *lazy* — it stops the moment the merge hangs up —
@@ -1162,7 +1465,7 @@ fn record_root_log<P: MinimalSteinerProblem>(
     p: &mut P,
     prepared: Prepared<P::Item>,
     limit: Option<u64>,
-) -> Option<Vec<RootChildRecord<P::Item>>> {
+) -> Option<Vec<SubtreeRecord<P::Item>>> {
     if !matches!(prepared, Prepared::Search) {
         return None;
     }
@@ -1187,9 +1490,9 @@ fn record_root_log<P: MinimalSteinerProblem>(
         // A Complete/Unique root is trivial per worker; no log needed.
         _ => return None,
     };
-    let mut log: Option<Vec<RootChildRecord<P::Item>>> = Some(Vec::new());
+    let mut log: Option<Vec<SubtreeRecord<P::Item>>> = Some(Vec::new());
     let (_children, _flow) = p.branch(at, &mut |q| {
-        match (&mut log, q.record_root_child()) {
+        match (&mut log, q.record_subtree()) {
             (Some(records), Some(record)) if records.len() < cap => {
                 records.push(record);
                 ControlFlow::Continue(())
@@ -1212,7 +1515,16 @@ struct WorkerRootLog<Item> {
     /// Total number of recorded root children across all workers.
     total: u64,
     /// Owned children in ascending global index order.
-    owned: Vec<(u64, RootChildRecord<Item>)>,
+    owned: Vec<(u64, SubtreeRecord<Item>)>,
+}
+
+/// Closes one owned root child's slot in the worker stream.
+fn send_child_done<Item>(sink: &ShardSink<'_, Item>, child: u64, work: u64) -> ControlFlow<()> {
+    let done = ShardMsg::ChildDone { child, work };
+    if sink.tx.send(done).is_err() {
+        return ControlFlow::Break(());
+    }
+    ControlFlow::Continue(())
 }
 
 /// One shard worker: prepares its own problem copy and runs the engine's
@@ -1222,29 +1534,52 @@ struct WorkerRootLog<Item> {
 /// child order) and the worker descends into its residue class,
 /// reporting a `ChildDone` boundary after each owned child. Returns the
 /// worker's final statistics.
+///
+/// With `steal`, owned children and their descendants pass through
+/// steal points ([`recurse_stealing`]), and after the root phase the
+/// worker becomes a pool executor ([`run_steal_loop`]). The worker's
+/// own `Done` is sent **before** the steal phase: the merge must be able
+/// to finish this worker's stream while the worker produces into task
+/// channels that only the merge drains — deferring `Done` to the end
+/// would deadlock the pipeline.
 fn run_shard_worker<P: MinimalSteinerProblem>(
     p: &mut P,
     shard: RootShard,
     root_log: Option<WorkerRootLog<P::Item>>,
+    steal: Option<&StealRuntime<'_, P::Item>>,
     sink: &mut ShardSink<'_, P::Item>,
 ) -> Result<EnumStats, SteinerError> {
     let prepared = match p.prepare() {
         Ok(prepared) => prepared,
         Err(e) => {
             let _ = sink.tx.send(ShardMsg::Failed);
+            if let Some(rt) = steal {
+                // This root phase is over before it began; without the
+                // hand-off the pool would wait for it forever.
+                rt.pool.root_done();
+            }
             return Err(e);
         }
     };
+    let mut ctx = steal.map(|rt| StealContext {
+        pool: rt.pool,
+        schedule: rt.schedule,
+        path: Vec::new(),
+        chances: 0,
+        supported: true,
+    });
+    let (n, _) = p.instance_size();
+    let mut scratch: Vec<P::Item> = Vec::with_capacity(n + 1);
     let mut children_total = 0u64;
     let flow = match prepared {
         Prepared::Empty => ControlFlow::Continue(()),
         Prepared::Single(items) => {
             // Exactly one solution, found without search: shard 0 owns it.
             if shard.index == 0 {
-                let mut scratch = items;
-                scratch.sort_unstable();
+                let mut single = items;
+                single.sort_unstable();
                 p.stats_mut().note_emission();
-                sink.solution(&scratch, p.stats().work)
+                sink.solution(&single, p.stats().work)
             } else {
                 ControlFlow::Continue(())
             }
@@ -1254,37 +1589,69 @@ fn run_shard_worker<P: MinimalSteinerProblem>(
             // once by the coordinator, so skip the local classify/branch
             // and replay exactly the owned residue class.
             let log = root_log.expect("guarded by the match arm");
-            let (n, _) = p.instance_size();
-            let mut scratch: Vec<P::Item> = Vec::with_capacity(n + 1);
+            let total = log.total;
             let mut flow = ControlFlow::Continue(());
-            for (this, record) in &log.owned {
-                let this = *this;
+            for (this, record) in log.owned {
                 debug_assert!(shard.owns(this), "the coordinator partitions by shard");
                 sink.child = this;
-                let f = p.replay_root_child(record, &mut |q| {
-                    recurse(q, 1, sink, &mut scratch)?;
-                    sink.flush(q.stats().work)?;
-                    let done = ShardMsg::ChildDone {
-                        child: this,
-                        work: q.stats().work,
-                    };
-                    if sink.tx.send(done).is_err() {
-                        return ControlFlow::Break(());
+                // Depth-1 steal point: the child's checkpoint is already
+                // in hand (it *is* the log entry), so a hungry pool can
+                // take the whole root child without a replay — exactly
+                // the skewed-root case root-only sharding loses on.
+                let record = match ctx.as_mut() {
+                    Some(ctx) => {
+                        ctx.path.push(this);
+                        let spawn = if ctx.should_spawn() {
+                            publish_subtree(p, ctx, sink, record)
+                        } else {
+                            SpawnOutcome::Declined(record)
+                        };
+                        ctx.path.pop();
+                        match spawn {
+                            SpawnOutcome::Spawned => {
+                                if send_child_done(sink, this, p.stats().work).is_break() {
+                                    flow = ControlFlow::Break(());
+                                    break;
+                                }
+                                continue;
+                            }
+                            SpawnOutcome::Hangup => {
+                                flow = ControlFlow::Break(());
+                                break;
+                            }
+                            SpawnOutcome::Declined(record) => record,
+                        }
                     }
-                    ControlFlow::Continue(())
+                    None => record,
+                };
+                let f = p.replay_subtree(&record, &mut |q| {
+                    match ctx.as_mut() {
+                        Some(ctx) => {
+                            ctx.path.push(this);
+                            let f = recurse_stealing(q, 1, sink, &mut scratch, ctx);
+                            ctx.path.pop();
+                            f?;
+                        }
+                        None => recurse(q, 1, sink, &mut scratch)?,
+                    }
+                    sink.flush(q.stats().work)?;
+                    send_child_done(sink, this, q.stats().work)
                 });
                 if f.is_break() {
                     flow = ControlFlow::Break(());
                     break;
                 }
+                if let Some(rt) = steal {
+                    if let Some(observer) = rt.observer {
+                        observer.note(rt.worker);
+                    }
+                }
             }
-            p.stats_mut().note_node(log.total, 0);
-            children_total = log.total;
+            p.stats_mut().note_node(total, 0);
+            children_total = total;
             flow
         }
         Prepared::Search => {
-            let (n, _) = p.instance_size();
-            let mut scratch: Vec<P::Item> = Vec::with_capacity(n + 1);
             match p.classify(&mut scratch) {
                 NodeStep::Complete => {
                     p.stats_mut().note_node(0, 0);
@@ -1306,6 +1673,7 @@ fn run_shard_worker<P: MinimalSteinerProblem>(
                 }
                 NodeStep::Branch(at) => {
                     let mut next_child = 0u64;
+                    let steal_rt = steal;
                     let (children, flow) = p.branch(at, &mut |q| {
                         let this = next_child;
                         next_child += 1;
@@ -1316,16 +1684,49 @@ fn run_shard_worker<P: MinimalSteinerProblem>(
                             return ControlFlow::Continue(());
                         }
                         sink.child = this;
-                        recurse(q, 1, sink, &mut scratch)?;
-                        sink.flush(q.stats().work)?;
-                        let done = ShardMsg::ChildDone {
-                            child: this,
-                            work: q.stats().work,
-                        };
-                        if sink.tx.send(done).is_err() {
-                            return ControlFlow::Break(());
+                        match ctx.as_mut() {
+                            Some(ctx) => {
+                                ctx.path.push(this);
+                                let f = (|| {
+                                    if ctx.should_spawn() {
+                                        match q.record_subtree() {
+                                            Some(record) => {
+                                                match publish_subtree(q, ctx, sink, record) {
+                                                    SpawnOutcome::Spawned => {
+                                                        return send_child_done(
+                                                            sink,
+                                                            this,
+                                                            q.stats().work,
+                                                        );
+                                                    }
+                                                    SpawnOutcome::Hangup => {
+                                                        return ControlFlow::Break(());
+                                                    }
+                                                    SpawnOutcome::Declined(_) => {}
+                                                }
+                                            }
+                                            None => ctx.supported = false,
+                                        }
+                                    }
+                                    recurse_stealing(q, 1, sink, &mut scratch, ctx)?;
+                                    sink.flush(q.stats().work)?;
+                                    send_child_done(sink, this, q.stats().work)?;
+                                    if let Some(rt) = steal_rt {
+                                        if let Some(observer) = rt.observer {
+                                            observer.note(rt.worker);
+                                        }
+                                    }
+                                    ControlFlow::Continue(())
+                                })();
+                                ctx.path.pop();
+                                f
+                            }
+                            None => {
+                                recurse(q, 1, sink, &mut scratch)?;
+                                sink.flush(q.stats().work)?;
+                                send_child_done(sink, this, q.stats().work)
+                            }
                         }
-                        ControlFlow::Continue(())
                     });
                     p.stats_mut().note_node(children, 0);
                     children_total = next_child;
@@ -1334,20 +1735,43 @@ fn run_shard_worker<P: MinimalSteinerProblem>(
             }
         }
     };
-    p.seal_stats();
-    p.stats_mut().note_end();
     let flow = if flow.is_continue() {
         // Root-leaf / `Single` emissions may still sit in the batch.
         sink.flush(p.stats().work)
     } else {
         flow
     };
-    if flow.is_continue() {
-        let _ = sink.tx.send(ShardMsg::Done {
-            children: children_total,
-            work: p.stats().work,
-        });
+    let flow = if flow.is_continue() {
+        if sink
+            .tx
+            .send(ShardMsg::Done {
+                children: children_total,
+                work: p.stats().work,
+            })
+            .is_err()
+        {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    } else {
+        flow
+    };
+    if let Some(rt) = steal {
+        rt.pool.root_done();
+        match (&mut ctx, flow) {
+            (Some(ctx), ControlFlow::Continue(())) => {
+                run_steal_loop(p, rt, ctx, &mut scratch);
+            }
+            _ => {
+                // The merge hung up mid-root-phase: nothing will drain
+                // the pending task channels, so close the pool now.
+                rt.pool.shutdown();
+            }
+        }
     }
+    p.seal_stats();
+    p.stats_mut().note_end();
     Ok(*p.stats())
 }
 
@@ -1363,6 +1787,96 @@ struct MergeOutcome {
     deadline_expired: bool,
 }
 
+/// Unpacks one flat batch, handing each solution onward in order.
+fn each_solution<Item>(
+    batch: &Batch<Item>,
+    mut f: impl FnMut(&[Item]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut start = 0usize;
+    for &len in &batch.lens {
+        let end = start + len as usize;
+        f(&batch.flat[start..end])?;
+        start = end;
+    }
+    ControlFlow::Continue(())
+}
+
+/// The merge point's sink for **inline** execution of a claimed pool
+/// task: translates the executing instance's private work counter into
+/// merged-clock advances ([`ShardMerge::advance_external`]) and forwards
+/// solutions and ticks into the merge's emitter chain, so an inlined
+/// subtree is indistinguishable — stream *and* clock — from one
+/// delivered over a task channel.
+struct InlineBridge<'a, Item: Copy> {
+    merge: &'a mut ShardMerge<Batch<Item>>,
+    emitter: &'a mut dyn SolutionSink<Item>,
+    clock: &'a Cell<u64>,
+    /// The executing instance's work at the previous callback.
+    last: u64,
+}
+
+impl<Item: Copy> InlineBridge<'_, Item> {
+    fn advance(&mut self, work: u64) {
+        let delta = work.saturating_sub(self.last);
+        if delta > 0 {
+            self.merge.advance_external(delta);
+            self.last = work;
+        }
+        self.clock.set(self.merge.work());
+    }
+}
+
+impl<Item: Copy> SolutionSink<Item> for InlineBridge<'_, Item> {
+    fn solution(&mut self, items: &[Item], work: u64) -> ControlFlow<()> {
+        self.advance(work);
+        self.emitter.solution(items, self.merge.work())
+    }
+
+    fn tick(&mut self, work: u64) -> ControlFlow<()> {
+        self.advance(work);
+        self.emitter.tick(self.merge.work())
+    }
+}
+
+/// Inline execution of a claimed pool task at the merge point, on the
+/// coordinator's original instance: the subtree's solutions flow
+/// straight into the emitter chain (no channel round-trip), at exactly
+/// the position its `Spawned` marker holds in the merged stream. This is
+/// what keeps the adaptive mode deadlock-free: a marker whose task
+/// nobody claimed can never leave the merge waiting on a channel nobody
+/// fills. No nested spawning — a subtree the merge executes must
+/// terminate on its own.
+#[allow(clippy::too_many_arguments)]
+fn run_inline_task<P: MinimalSteinerProblem>(
+    original: &mut P,
+    task: &PendingTask<P::Item, Batch<P::Item>>,
+    merge: &mut ShardMerge<Batch<P::Item>>,
+    emitter: &mut dyn SolutionSink<P::Item>,
+    deadline: Option<Instant>,
+    expired: &Cell<bool>,
+    clock: &Cell<u64>,
+    scratch: &mut Vec<P::Item>,
+) -> ControlFlow<()> {
+    let depth = task.addr.len() as u32;
+    let mut bridge = InlineBridge {
+        merge,
+        emitter,
+        clock,
+        last: original.stats().work,
+    };
+    match deadline {
+        Some(d) => {
+            let mut guarded = DeadlineSink::new(d, expired, &mut bridge);
+            original.replay_subtree(&task.record, &mut |q| {
+                recurse(q, depth, &mut guarded, scratch)
+            })
+        }
+        None => original.replay_subtree(&task.record, &mut |q| {
+            recurse(q, depth, &mut bridge, scratch)
+        }),
+    }
+}
+
 /// Drains the shard merge on the calling thread, applying the limit cap
 /// and the optional output queue to the merged stream — the same sink
 /// chain as the sequential `run_configured`, driven by the merged work
@@ -1370,30 +1884,39 @@ struct MergeOutcome {
 /// arrive at most [`BATCH_SOLUTIONS`] solutions apart and workers emit
 /// heartbeat ticks, so expiry is noticed promptly; the abort drops the
 /// merge, which hangs up every worker channel.
-fn run_merge<Item: Copy>(
-    mut merge: ShardMerge<Batch<Item>>,
+///
+/// `Spawned` markers (work stealing) splice a subtree's stream in at
+/// the marker position: a task already claimed by a worker is awaited on
+/// its channel ([`ShardMerge::enter_subtree`]), an unclaimed one is
+/// executed inline on `original` ([`run_inline_task`]).
+fn run_merge<P: MinimalSteinerProblem>(
+    mut merge: ShardMerge<Batch<P::Item>>,
+    original: &mut P,
+    pool: Option<&StealPool<P::Item, Batch<P::Item>>>,
     queue: Option<QueueConfig>,
     limit: Option<u64>,
     deadline: Option<Instant>,
-    sink: &mut dyn FnMut(&[Item]) -> ControlFlow<()>,
+    sink: &mut dyn FnMut(&[P::Item]) -> ControlFlow<()>,
 ) -> MergeOutcome {
     let mut delivered = 0u64;
     let mut max_gap = 0u64;
     let mut last_emit = 0u64;
     let clock = Cell::new(0u64);
     let mut failed = false;
-    let mut deadline_expired = false;
+    let deadline_expired = Cell::new(false);
     // Completion beats expiry when both race to the same event: a
     // `Finished` stream is the complete answer, deadline or not.
-    let mut expired_now = || {
+    let expired_now = || {
         // lint:allow(clock) final deadline verdict for the DeadlineExceeded error path
         let hit = matches!(deadline, Some(d) if Instant::now() >= d);
-        deadline_expired |= hit;
+        if hit {
+            deadline_expired.set(true);
+        }
         hit
     };
     {
         let mut cap = LimitCap::new(limit);
-        let mut deliver = |items: &[Item]| -> ControlFlow<()> {
+        let mut deliver = |items: &[P::Item]| -> ControlFlow<()> {
             cap.deliver(|| {
                 let now = clock.get();
                 if delivered > 0 {
@@ -1408,82 +1931,76 @@ fn run_merge<Item: Copy>(
                 sink(items)
             })
         };
-        // Unpacks one flat batch, handing each solution onward in order.
-        fn each_solution<Item>(
-            batch: &Batch<Item>,
-            mut f: impl FnMut(&[Item]) -> ControlFlow<()>,
-        ) -> ControlFlow<()> {
-            let mut start = 0usize;
-            for &len in &batch.lens {
-                let end = start + len as usize;
-                f(&batch.flat[start..end])?;
-                start = end;
+        let mut direct;
+        let mut queued;
+        let emitter: &mut dyn SolutionSink<P::Item> = match queue {
+            None => {
+                direct = DirectSink { sink: &mut deliver };
+                &mut direct
             }
-            ControlFlow::Continue(())
-        }
-        match queue {
-            None => loop {
-                match merge.next_event() {
-                    MergeEvent::Item(batch) => {
-                        if expired_now() {
-                            break;
-                        }
-                        clock.set(merge.work());
-                        if each_solution(&batch, &mut deliver).is_break() {
-                            break;
-                        }
-                    }
-                    MergeEvent::Tick => {
-                        if expired_now() {
-                            break;
-                        }
-                    }
-                    MergeEvent::Finished => {
-                        clock.set(merge.work());
+            Some(config) => {
+                queued = OutputQueue::new(config, &mut deliver);
+                &mut queued
+            }
+        };
+        let (n, _) = original.instance_size();
+        let mut scratch: Vec<P::Item> = Vec::with_capacity(n + 1);
+        loop {
+            match merge.next_event() {
+                MergeEvent::Item(batch) => {
+                    if expired_now() {
+                        // Abort: buffered queue output is dropped, not
+                        // flushed — matching the sequential
+                        // deadline-abort semantics.
                         break;
                     }
-                    MergeEvent::Failed => {
-                        failed = true;
+                    clock.set(merge.work());
+                    let work = merge.work();
+                    if each_solution(&batch, |sol| emitter.solution(sol, work)).is_break() {
                         break;
                     }
                 }
-            },
-            Some(config) => {
-                let mut q = OutputQueue::new(config, &mut deliver);
-                loop {
-                    match merge.next_event() {
-                        MergeEvent::Item(batch) => {
-                            if expired_now() {
-                                // Abort: buffered output is dropped, not
-                                // flushed — matching the sequential
-                                // deadline-abort semantics.
-                                break;
-                            }
-                            clock.set(merge.work());
-                            let work = merge.work();
-                            if each_solution(&batch, |sol| q.solution(sol, work)).is_break() {
-                                break;
-                            }
-                        }
-                        MergeEvent::Tick => {
-                            if expired_now() {
-                                break;
-                            }
-                            clock.set(merge.work());
-                            if q.tick(merge.work()).is_break() {
-                                break;
-                            }
-                        }
-                        MergeEvent::Finished => {
-                            clock.set(merge.work());
-                            let _ = q.finish();
-                            break;
-                        }
-                        MergeEvent::Failed => {
-                            failed = true;
-                            break;
-                        }
+                MergeEvent::Tick => {
+                    if expired_now() {
+                        break;
                     }
+                    clock.set(merge.work());
+                    if emitter.tick(merge.work()).is_break() {
+                        break;
+                    }
+                }
+                MergeEvent::Subtree { task, rx } => {
+                    match pool.and_then(|pool| pool.claim_for_merge(task)) {
+                        Some(claimed) => {
+                            let flow = run_inline_task(
+                                original,
+                                &claimed,
+                                &mut merge,
+                                &mut *emitter,
+                                deadline,
+                                &deadline_expired,
+                                &clock,
+                                &mut scratch,
+                            );
+                            pool.expect("claimed from this pool").task_done();
+                            if flow.is_break() {
+                                break;
+                            }
+                        }
+                        // Claimed by a worker (or claims are pinned):
+                        // suspend the enclosing stream and await the
+                        // subtree on its own channel.
+                        None => merge.enter_subtree(rx),
+                    }
+                }
+                MergeEvent::Finished => {
+                    clock.set(merge.work());
+                    let _ = emitter.finish();
+                    break;
+                }
+                MergeEvent::Failed => {
+                    failed = true;
+                    break;
                 }
             }
         }
@@ -1496,7 +2013,21 @@ fn run_merge<Item: Copy>(
         delivered,
         max_gap,
         failed,
-        deadline_expired,
+        deadline_expired: deadline_expired.get(),
+    }
+}
+
+/// Closes the steal pool when dropped — normally right after the merge
+/// returns, but also on panic-unwind through the merge — so workers
+/// blocked in [`StealPool::take`] always wake and the thread scope can
+/// join.
+struct PoolShutdownGuard<'a, Item, M>(Option<&'a StealPool<Item, M>>);
+
+impl<Item, M> Drop for PoolShutdownGuard<'_, Item, M> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.0 {
+            pool.shutdown();
+        }
     }
 }
 
@@ -1504,9 +2035,17 @@ fn run_merge<Item: Copy>(
 /// stack), merges deterministically on the calling thread, and publishes
 /// the merged statistics. The sequential and sharded front-ends share
 /// the limit/queue sink chain, so the delivered stream is identical.
+///
+/// `original` is the coordinator's own prepared instance (the one that
+/// recorded `root_log`); under stealing it doubles as the executor for
+/// inline-claimed subtrees, and its statistics are folded into the
+/// merged totals.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded<P>(
+    original: &mut P,
     shards: Vec<P>,
-    root_log: Option<Vec<RootChildRecord<P::Item>>>,
+    root_log: Option<Vec<SubtreeRecord<P::Item>>>,
+    steal: StealMode,
     queue: Option<QueueConfig>,
     limit: Option<u64>,
     deadline: Option<Instant>,
@@ -1542,17 +2081,42 @@ where
     };
     let error: Mutex<Option<SteinerError>> = Mutex::new(None);
     let merged: Mutex<EnumStats> = Mutex::new(EnumStats::default());
+    let scripted = matches!(steal, StealMode::Scripted(_));
+    let (schedule, pool) = match &steal {
+        StealMode::Off => (None, None),
+        StealMode::Auto => (
+            None,
+            Some(StealPool::new(k as usize, STEAL_PENDING_CAPACITY, 8, false)),
+        ),
+        StealMode::Scripted(s) => (
+            Some(s),
+            Some(StealPool::new(
+                k as usize,
+                SCRIPTED_PENDING_CAPACITY,
+                SCRIPTED_CHANNEL_CAPACITY,
+                s.pins_claims(),
+            )),
+        ),
+    };
+    let observer = schedule.and_then(|s| s.observer());
     // Modest per-worker runway: capacity × BATCH_SOLUTIONS solutions may
     // be in flight per worker, which decouples the pool from the merge
     // point without letting workers burn far past an early termination.
-    let (txs, rxs) = streaming::shard_channels(k as usize, 8);
+    // Scripted steal runs instead buy determinism with buffer space (see
+    // SCRIPTED_CHANNEL_CAPACITY).
+    let chan_cap = if scripted {
+        SCRIPTED_CHANNEL_CAPACITY
+    } else {
+        8
+    };
+    let (txs, rxs) = streaming::shard_channels(k as usize, chan_cap);
     // Partition the recorded root children into per-worker residue
     // classes up front: worker i receives exactly the children it owns,
     // so nothing is re-generated and nothing is duplicated.
     let mut worker_logs: Vec<Option<WorkerRootLog<P::Item>>> = match root_log {
         Some(records) => {
             let total = records.len() as u64;
-            let mut per: Vec<Vec<(u64, RootChildRecord<P::Item>)>> =
+            let mut per: Vec<Vec<(u64, SubtreeRecord<P::Item>)>> =
                 (0..k).map(|_| Vec::new()).collect();
             for (i, record) in records.into_iter().enumerate() {
                 per[i % k as usize].push((i as u64, record));
@@ -1567,6 +2131,7 @@ where
         for (i, (mut problem, tx)) in shards.into_iter().zip(txs).enumerate() {
             let error = &error;
             let merged = &merged;
+            let pool_ref = pool.as_ref();
             let root_log = worker_logs[i].take();
             std::thread::Builder::new()
                 .name(format!("steiner-shard-{i}"))
@@ -1576,6 +2141,13 @@ where
                         index: i as u32,
                         modulus: k,
                     };
+                    let steal_rt = pool_ref.map(|pool| StealRuntime {
+                        pool,
+                        schedule,
+                        observer,
+                        worker: i,
+                        tick_every,
+                    });
                     let mut shard_sink = ShardSink {
                         tx: &tx,
                         child: 0,
@@ -1586,7 +2158,13 @@ where
                         tick_every,
                         last_tick: 0,
                     };
-                    match run_shard_worker(&mut problem, shard, root_log, &mut shard_sink) {
+                    match run_shard_worker(
+                        &mut problem,
+                        shard,
+                        root_log,
+                        steal_rt.as_ref(),
+                        &mut shard_sink,
+                    ) {
                         Ok(stats) => merged
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
@@ -1601,7 +2179,19 @@ where
                 })
                 .expect("spawn shard worker");
         }
-        run_merge(ShardMerge::new(rxs), queue, limit, deadline, sink)
+        // Close the pool however the merge exits (completion, early
+        // break, or panic): workers blocked in `take` must wake or the
+        // scope never joins.
+        let _shutdown = PoolShutdownGuard(pool.as_ref());
+        run_merge(
+            ShardMerge::new(rxs),
+            original,
+            pool.as_ref(),
+            queue,
+            limit,
+            deadline,
+            sink,
+        )
         // Dropping the merge hangs up every worker channel; the scope
         // then joins the workers (propagating any worker panic).
     });
@@ -1610,6 +2200,13 @@ where
     }
     debug_assert!(!outcome.failed, "failure without a recorded error");
     let mut stats = *merged.lock().unwrap_or_else(|e| e.into_inner());
+    if pool.is_some() {
+        // Inline-claimed subtrees (and the root-log recording) ran on
+        // the coordinator's original instance: fold its counters in so
+        // stolen work is accounted exactly once.
+        original.seal_stats();
+        stats.merge(original.stats());
+    }
     // The user-facing view: what was delivered, and the gap actually
     // observed on the merged clock (worker-local gaps are meaningless
     // across clocks).

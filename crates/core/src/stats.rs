@@ -107,6 +107,16 @@ pub struct EnumStats {
     /// — a gauge for the worst-case affected-component size, merged by
     /// maximum across shards.
     pub max_repair_span: u64,
+    /// Subtrees this run handed to the steal pool (work-stealing sharded
+    /// front-end): each is one branch child whose execution migrated to
+    /// an idle worker (or, when the coordinator had to keep the merge
+    /// moving, was replayed inline by the coordinator itself). Counted by
+    /// the *spawning* worker at hand-off time; sums under [`Self::merge`].
+    pub subtrees_stolen: u64,
+    /// Steal offers rejected because the pool's bounded pending deque was
+    /// full (the subtree was then executed locally, exactly as without
+    /// stealing). Sums under [`Self::merge`].
+    pub steal_failures: u64,
     /// Work units at the last emission (internal bookkeeping for the gap).
     last_emission_work: u64,
     /// Whether anything was emitted yet (the first gap counts from zero).
@@ -197,6 +207,10 @@ impl EnumStats {
         self.classify_rebuilds += other.classify_rebuilds;
         self.connectivity_repairs += other.connectivity_repairs;
         self.max_repair_span = self.max_repair_span.max(other.max_repair_span);
+        // Steal accounting is per-event and attributable to exactly one
+        // worker: sum both the hand-offs and the rejected offers.
+        self.subtrees_stolen += other.subtrees_stolen;
+        self.steal_failures += other.steal_failures;
         self.emitted_any |= other.emitted_any;
     }
 
@@ -358,6 +372,35 @@ mod tests {
         let mut d = a;
         d.merge(&EnumStats::default());
         assert_eq!(d, a);
+    }
+
+    #[test]
+    fn merge_folds_steal_counters() {
+        // Every hand-off and every rejected offer happened exactly once,
+        // on exactly one worker's behalf: the fold sums both.
+        let a0 = EnumStats {
+            subtrees_stolen: 4,
+            steal_failures: 1,
+            ..Default::default()
+        };
+        let b = EnumStats {
+            subtrees_stolen: 3,
+            steal_failures: 2,
+            ..Default::default()
+        };
+        let mut a = a0;
+        a.merge(&b);
+        assert_eq!(a.subtrees_stolen, 7, "hand-offs sum");
+        assert_eq!(a.steal_failures, 3, "rejected offers sum");
+        // The fold is order-insensitive.
+        let mut c = b;
+        c.merge(&a0);
+        assert_eq!(c.subtrees_stolen, a.subtrees_stolen);
+        assert_eq!(c.steal_failures, a.steal_failures);
+        // Merging an idle worker (no steal traffic) changes nothing.
+        let before = a;
+        a.merge(&EnumStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

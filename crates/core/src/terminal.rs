@@ -36,7 +36,7 @@
 
 use crate::improved::{find_terminal_beyond_csr, BeyondScratch, BranchScratch};
 use crate::partial::{Extension, PartialTree};
-use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, RootChildRecord, SteinerError};
+use crate::problem::{MinimalSteinerProblem, NodeStep, Prepared, SteinerError, SubtreeRecord};
 use crate::queue::{DirectSink, OutputQueue, QueueConfig, SolutionSink};
 use crate::simple::normalize_terminals;
 use crate::solver::run_sink_lenient;
@@ -794,24 +794,24 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
         }
     }
 
-    fn record_root_child(&self) -> Option<RootChildRecord<EdgeId>> {
+    fn record_subtree(&self) -> Option<SubtreeRecord<EdgeId>> {
         match self.search.as_ref()? {
-            TerminalSearch::TwoTerminals(ts) => Some(RootChildRecord {
+            TerminalSearch::TwoTerminals(ts) => Some(SubtreeRecord {
                 vertices: Vec::new(),
                 items: ts.current.clone(),
                 meta: 0,
             }),
-            TerminalSearch::Components(cs) => Some(RootChildRecord {
+            TerminalSearch::Components(cs) => Some(SubtreeRecord {
                 vertices: cs.t.vertices.clone(),
                 items: cs.t.edges.clone(),
-                meta: cs.active.expect("recording inside the root branch") as u64,
+                meta: cs.active.expect("recording inside a branch descent") as u64,
             }),
         }
     }
 
-    fn replay_root_child(
+    fn replay_subtree(
         &mut self,
-        record: &RootChildRecord<EdgeId>,
+        record: &SubtreeRecord<EdgeId>,
         child: &mut dyn FnMut(&mut Self) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         self.stats.work += (self.g.num_vertices() + self.g.num_edges()) as u64;

@@ -164,6 +164,86 @@ impl<F> FrameLog<F> {
     }
 }
 
+/// A bounded FIFO over checkpoint frames — the steal pool's pending
+/// deque.
+///
+/// Where [`FrameLog`] holds the checkpoints of one worker's *own*
+/// descent (strictly LIFO, popped on backtrack), a `BoundedFrameDeque`
+/// holds frames a worker has *published* for someone else: each entry is
+/// a self-contained subtree checkpoint
+/// ([`SubtreeRecord`](crate::problem::SubtreeRecord) plus routing
+/// metadata) that any idle worker may claim and replay. The bound is
+/// load-bearing twice over — it caps the memory pinned by published
+/// checkpoints, and it makes hand-off refusal an explicit, countable
+/// event ([`EnumStats::steal_failures`](crate::stats::EnumStats::steal_failures))
+/// instead of unbounded queue growth.
+#[derive(Clone, Debug)]
+pub struct BoundedFrameDeque<F> {
+    frames: std::collections::VecDeque<F>,
+    cap: usize,
+    rejected: u64,
+}
+
+impl<F> BoundedFrameDeque<F> {
+    /// An empty deque admitting at most `cap` pending frames (`cap` is
+    /// clamped to at least 1 so a deque can always make progress).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        BoundedFrameDeque {
+            frames: std::collections::VecDeque::with_capacity(cap),
+            cap,
+            rejected: 0,
+        }
+    }
+
+    /// Publishes a frame, or hands it back (counting the rejection) when
+    /// the deque is at capacity.
+    pub fn offer(&mut self, frame: F) -> Result<(), F> {
+        if self.frames.len() >= self.cap {
+            self.rejected += 1;
+            return Err(frame);
+        }
+        self.frames.push_back(frame);
+        Ok(())
+    }
+
+    /// Claims the oldest pending frame (FIFO: oldest frames sit highest
+    /// in the enumeration tree, so claiming them first hands out the
+    /// largest remaining subtrees).
+    pub fn take_front(&mut self) -> Option<F> {
+        self.frames.pop_front()
+    }
+
+    /// Claims the oldest pending frame satisfying `pred` — the pinned
+    /// claim path of the scripted steal scheduler, and the coordinator's
+    /// claim-by-task-id lookup.
+    pub fn take_first(&mut self, pred: impl FnMut(&F) -> bool) -> Option<F> {
+        let at = self.frames.iter().position(pred)?;
+        self.frames.remove(at)
+    }
+
+    /// Number of pending frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frame is pending.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether the deque is at capacity (the next [`Self::offer`] would
+    /// be rejected).
+    pub fn is_full(&self) -> bool {
+        self.frames.len() >= self.cap
+    }
+
+    /// Offers rejected at capacity since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
 /// Scratch accounting: buffer-growth events plus capacity footprint.
 /// Summed across a problem's scratch structures by `seal_stats`.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -266,6 +346,43 @@ mod tests {
     fn frame_log_pop_underflow_panics() {
         let mut log: FrameLog<u32> = FrameLog::new();
         let _ = log.pop();
+    }
+
+    #[test]
+    fn bounded_deque_is_fifo_and_rejects_at_capacity() {
+        let mut q: BoundedFrameDeque<u32> = BoundedFrameDeque::new(2);
+        assert!(q.is_empty() && !q.is_full());
+        assert_eq!(q.offer(10), Ok(()));
+        assert_eq!(q.offer(20), Ok(()));
+        assert!(q.is_full());
+        assert_eq!(q.offer(30), Err(30), "at capacity: the frame comes back");
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.take_front(), Some(10), "FIFO: oldest frame first");
+        assert_eq!(q.offer(30), Ok(()), "claiming frees a slot");
+        assert_eq!(q.take_front(), Some(20));
+        assert_eq!(q.take_front(), Some(30));
+        assert_eq!(q.take_front(), None);
+        assert_eq!(q.rejected(), 1, "rejections are cumulative");
+    }
+
+    #[test]
+    fn bounded_deque_filtered_claim_preserves_order() {
+        let mut q: BoundedFrameDeque<u32> = BoundedFrameDeque::new(8);
+        for f in [1u32, 2, 3, 4] {
+            q.offer(f).unwrap();
+        }
+        assert_eq!(q.take_first(|&f| f % 2 == 0), Some(2), "oldest match");
+        assert_eq!(q.take_first(|&f| f > 100), None);
+        assert_eq!(q.take_front(), Some(1), "non-matching frames keep order");
+        assert_eq!(q.take_front(), Some(3));
+        assert_eq!(q.take_front(), Some(4));
+    }
+
+    #[test]
+    fn bounded_deque_clamps_zero_capacity() {
+        let mut q: BoundedFrameDeque<u32> = BoundedFrameDeque::new(0);
+        assert_eq!(q.offer(7), Ok(()), "cap clamps to 1");
+        assert_eq!(q.offer(8), Err(8));
     }
 
     #[test]

@@ -149,6 +149,22 @@ pub enum ShardMsg<T> {
         /// The worker's final work counter.
         work: u64,
     },
+    /// A subtree hand-off marker (work-stealing shard pools): the sending
+    /// worker reached a branch child it will *not* execute itself, and
+    /// whoever does execute it will send that subtree's messages — the
+    /// same `Item`/`Tick`/`Spawned` grammar, terminated by a
+    /// [`ShardMsg::Done`] with `children: 0` — over the dedicated `rx`
+    /// channel. Because the marker sits in the sender's stream at exactly
+    /// the position where the subtree's solutions belong, the merger
+    /// reproduces the sequential order by simply draining `rx` to
+    /// completion (recursively, since stolen subtrees may themselves
+    /// spawn) before reading the next message of the current stream.
+    Spawned {
+        /// Pool-wide task id, for coordinator claim-by-id bookkeeping.
+        task: u64,
+        /// The channel the subtree's executor sends the subtree on.
+        rx: Receiver<ShardMsg<T>>,
+    },
     /// The worker's preparation failed; the error itself travels out of
     /// band (this crate does not know the caller's error type).
     Failed,
@@ -174,6 +190,18 @@ pub enum MergeEvent<T> {
     /// or a child boundary) — drive any release schedule from
     /// [`ShardMerge::work`].
     Tick,
+    /// The stream being drained handed off the subtree at the current
+    /// position to task `task`, to be delivered over `rx`. The caller
+    /// either claims the task itself (executing the subtree inline and
+    /// reporting its cost through [`ShardMerge::advance_external`]) or
+    /// pushes `rx` with [`ShardMerge::enter_subtree`] so the merge drains
+    /// the executor's channel next.
+    Subtree {
+        /// Pool-wide task id.
+        task: u64,
+        /// The subtree's delivery channel.
+        rx: Receiver<ShardMsg<T>>,
+    },
     /// All root children have been drained; the merge is complete.
     Finished,
     /// A worker reported failure or hung up without finishing. The
@@ -186,6 +214,15 @@ pub enum MergeEvent<T> {
 /// owned by worker `c % k`, and the merger only ever reads the channel of
 /// the child it is currently draining, so per-channel FIFO order plus the
 /// child rotation reproduce the sequential emission order exactly.
+///
+/// With work stealing, "the channel of the child it is currently
+/// draining" generalizes to a *stack* of channels: a
+/// [`ShardMsg::Spawned`] marker suspends the current stream and (via
+/// [`Self::enter_subtree`]) pushes the spawned task's channel, which is
+/// drained to its `Done` before the suspended stream resumes — a DFS
+/// walk over the hand-off tree that lands every solution at exactly its
+/// sequential position, regardless of which worker executed which
+/// subtree.
 pub struct ShardMerge<T> {
     rxs: Vec<Receiver<ShardMsg<T>>>,
     /// Last observed per-worker work counters.
@@ -195,6 +232,21 @@ pub struct ShardMerge<T> {
     next_child: u64,
     /// Total child count, once some worker's `Done` established it.
     total: Option<u64>,
+    /// Suspended-stream stack: the top entry is the task channel being
+    /// drained right now (empty = draining worker channels).
+    tasks: Vec<TaskStream<T>>,
+}
+
+/// One entered subtree channel plus its clock baseline. A task's
+/// executor reports its *own* absolute work counter (which may already
+/// include earlier root-phase and stolen-task work), so the first
+/// message of each task stream establishes a baseline contributing 0 to
+/// the merged clock and later messages contribute their delta — the
+/// merged clock stays monotone and never double-counts an executor that
+/// delivers several task streams.
+struct TaskStream<T> {
+    rx: Receiver<ShardMsg<T>>,
+    baseline: Option<u64>,
 }
 
 impl<T> ShardMerge<T> {
@@ -207,6 +259,7 @@ impl<T> ShardMerge<T> {
             clock: 0,
             next_child: 0,
             total: None,
+            tasks: Vec::new(),
         }
     }
 
@@ -224,10 +277,69 @@ impl<T> ShardMerge<T> {
         }
     }
 
+    /// Advances the merged clock by an externally measured amount of work
+    /// — the inline-execution path, where the caller itself replays a
+    /// claimed subtree instead of entering its channel.
+    pub fn advance_external(&mut self, delta: u64) {
+        self.clock += delta;
+    }
+
+    /// Suspends the current stream and drains `rx` (a
+    /// [`MergeEvent::Subtree`] channel) until its executor's `Done`.
+    pub fn enter_subtree(&mut self, rx: Receiver<ShardMsg<T>>) {
+        self.tasks.push(TaskStream { rx, baseline: None });
+    }
+
+    /// Baseline-and-delta clock advance for the top task stream.
+    fn advance_task(clock: &mut u64, top: &mut TaskStream<T>, work: u64) {
+        match top.baseline {
+            None => top.baseline = Some(work),
+            Some(prev) if work > prev => {
+                *clock += work - prev;
+                top.baseline = Some(work);
+            }
+            Some(_) => {}
+        }
+    }
+
     /// Blocks for the next merged event. After [`MergeEvent::Finished`]
     /// or [`MergeEvent::Failed`], drop the merge to hang up the workers.
     pub fn next_event(&mut self) -> MergeEvent<T> {
         loop {
+            // A suspended-stream stack entry always has priority: the
+            // subtree it carries sits *before* everything still queued on
+            // the worker channels.
+            if let Some(top) = self.tasks.last_mut() {
+                let Ok(msg) = top.rx.recv() else {
+                    // The executor hung up mid-subtree.
+                    return MergeEvent::Failed;
+                };
+                match msg {
+                    ShardMsg::Item { item, work, .. } => {
+                        Self::advance_task(&mut self.clock, top, work);
+                        return MergeEvent::Item(item);
+                    }
+                    ShardMsg::Tick { work } => {
+                        Self::advance_task(&mut self.clock, top, work);
+                        return MergeEvent::Tick;
+                    }
+                    ShardMsg::Spawned { task, rx } => {
+                        // A stolen subtree stole a deeper subtree.
+                        return MergeEvent::Subtree { task, rx };
+                    }
+                    ShardMsg::Done { children, work } => {
+                        debug_assert_eq!(children, 0, "task streams have no root children");
+                        Self::advance_task(&mut self.clock, top, work);
+                        self.tasks.pop();
+                        return MergeEvent::Tick;
+                    }
+                    ShardMsg::ChildDone { .. } => {
+                        debug_assert!(false, "ChildDone is a worker-channel message");
+                        return MergeEvent::Failed;
+                    }
+                    ShardMsg::Failed => return MergeEvent::Failed,
+                }
+            }
             if let Some(total) = self.total {
                 if self.next_child >= total {
                     return MergeEvent::Finished;
@@ -254,6 +366,9 @@ impl<T> ShardMerge<T> {
                 ShardMsg::Tick { work } => {
                     self.advance(owner, work);
                     return MergeEvent::Tick;
+                }
+                ShardMsg::Spawned { task, rx } => {
+                    return MergeEvent::Subtree { task, rx };
                 }
                 ShardMsg::Done { children, work } => {
                     // The owner is out of children entirely, so the
@@ -302,6 +417,98 @@ mod tests {
         assert!(iter.next().is_some());
         assert!(iter.next().is_some());
         drop(iter); // must not hang
+    }
+
+    #[test]
+    fn subtree_stack_merges_in_position_with_baselined_clock() {
+        // One worker, one root child containing [1, <spawned: 2, 3>, 4]:
+        // the merged stream must interleave the task channel at exactly
+        // the marker's position, and the executor's absolute counter
+        // (starting at 1000, far above the worker's) must contribute only
+        // deltas after its baseline.
+        let (txs, rxs) = shard_channels::<u32>(1, 16);
+        let (task_tx, task_rx) = bounded(16);
+        let w = &txs[0];
+        w.send(ShardMsg::Item {
+            child: 0,
+            item: 1,
+            work: 10,
+        })
+        .unwrap();
+        w.send(ShardMsg::Spawned {
+            task: 7,
+            rx: task_rx,
+        })
+        .unwrap();
+        w.send(ShardMsg::Item {
+            child: 0,
+            item: 4,
+            work: 30,
+        })
+        .unwrap();
+        w.send(ShardMsg::ChildDone { child: 0, work: 31 }).unwrap();
+        w.send(ShardMsg::Done {
+            children: 1,
+            work: 31,
+        })
+        .unwrap();
+        task_tx
+            .send(ShardMsg::Item {
+                child: 0,
+                item: 2,
+                work: 1000,
+            })
+            .unwrap();
+        task_tx
+            .send(ShardMsg::Item {
+                child: 0,
+                item: 3,
+                work: 1005,
+            })
+            .unwrap();
+        task_tx
+            .send(ShardMsg::Done {
+                children: 0,
+                work: 1006,
+            })
+            .unwrap();
+        drop(task_tx);
+        drop(txs);
+
+        let mut merge = ShardMerge::new(rxs);
+        let mut items = Vec::new();
+        loop {
+            match merge.next_event() {
+                MergeEvent::Item(x) => items.push(x),
+                MergeEvent::Tick => {}
+                MergeEvent::Subtree { task, rx } => {
+                    assert_eq!(task, 7);
+                    merge.enter_subtree(rx);
+                }
+                MergeEvent::Finished => break,
+                MergeEvent::Failed => panic!("merge failed"),
+            }
+        }
+        assert_eq!(items, vec![1, 2, 3, 4], "subtree lands at its marker");
+        // Clock: worker contributes 31; the task stream's first message
+        // baselines at 1000 (contributing 0) and then adds 5 + 1 = 6.
+        assert_eq!(merge.work(), 31 + 6);
+    }
+
+    #[test]
+    fn advance_external_moves_the_merged_clock() {
+        let (txs, rxs) = shard_channels::<u32>(1, 4);
+        txs[0]
+            .send(ShardMsg::Done {
+                children: 0,
+                work: 0,
+            })
+            .unwrap();
+        drop(txs);
+        let mut merge = ShardMerge::new(rxs);
+        merge.advance_external(17);
+        assert_eq!(merge.work(), 17);
+        assert!(matches!(merge.next_event(), MergeEvent::Finished));
     }
 
     #[test]

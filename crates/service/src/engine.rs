@@ -959,7 +959,13 @@ where
         e = e.with_default_queue();
     }
     if opts.threads > 1 {
-        e = e.with_threads(opts.threads);
+        // Stealing defaults on for pooled queries: a multi-tenant engine
+        // cannot afford a sharded run collapsing to one worker on a
+        // skew-rooted instance; `stealing(false)` keeps the root-only
+        // path available as an A/B reference.
+        e = e
+            .with_threads(opts.threads)
+            .with_stealing(opts.stealing.unwrap_or(true));
     }
     let (e, handle) = e.with_stats();
     let mut solutions = Vec::new();

@@ -85,6 +85,13 @@ pub struct QueryOptions {
     /// ([`Enumeration::with_default_queue`](steiner_core::Enumeration::with_default_queue))
     /// for a worst-case (rather than amortized) delay bound.
     pub queue: bool,
+    /// Second-level subtree work stealing for sharded runs
+    /// ([`Enumeration::with_stealing`](steiner_core::Enumeration::with_stealing)).
+    /// `None` (the default) enables stealing whenever `threads > 1` —
+    /// pooled queries should not collapse to one worker on skewed
+    /// roots; `Some(false)` pins the root-only A/B reference path.
+    /// Ignored for sequential runs.
+    pub stealing: Option<bool>,
 }
 
 impl QueryOptions {
@@ -116,6 +123,13 @@ impl QueryOptions {
     /// Route emissions through the Theorem-20 output queue.
     pub fn queued(mut self) -> Self {
         self.queue = true;
+        self
+    }
+
+    /// Explicitly enable or disable subtree work stealing for sharded
+    /// runs (see [`Self::stealing`]).
+    pub fn stealing(mut self, on: bool) -> Self {
+        self.stealing = Some(on);
         self
     }
 }

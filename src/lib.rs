@@ -39,7 +39,9 @@
 //! * **sharded** — [`Enumeration::with_threads`] splits the root's
 //!   children across a worker pool and merges deterministically, so the
 //!   delivered stream is identical to the sequential one (composable
-//!   with all of the above).
+//!   with all of the above); [`Enumeration::with_stealing`] adds
+//!   second-level subtree work stealing for skew-rooted instances
+//!   without changing a byte of the stream.
 //!
 //! ```
 //! use minimal_steiner::graph::{generators, VertexId};
@@ -121,5 +123,6 @@ pub use steiner_service as service;
 pub use steiner_core::{
     CacheKey, CacheStats, DirectedSteinerTree, EnumStats, Enumeration, MinimalSteinerProblem,
     QueueConfig, ResultCache, SolutionId, SolutionInterner, SolutionSet, SolutionSink, Solutions,
-    StatsHandle, SteinerError, SteinerForest, SteinerTree, TerminalSteinerTree,
+    StatsHandle, StealObserver, StealRule, StealSchedule, SteinerError, SteinerForest, SteinerTree,
+    TerminalSteinerTree,
 };

@@ -289,6 +289,52 @@ fn sharded_queue_bounds_maximum_delivery_gap() {
 }
 
 #[test]
+fn stealing_queue_bounds_maximum_delivery_gap() {
+    // The work-stealing analogue of the sharded max-gap bound: a
+    // scripted schedule forces subtrees to be published mid-stream, so
+    // parts of the delivered stream arrive over dedicated task channels
+    // spliced in at their `Spawned` markers. The merged work clock
+    // baselines each task stream at its first message and adds deltas
+    // from then on, so the delivery-gap bound must survive unchanged —
+    // same budget, heartbeat, and slack terms as the root-only sharded
+    // test above.
+    use minimal_steiner::StealSchedule;
+    let g = generators::theta_chain(14, 2);
+    let w = [VertexId(0), VertexId(14)];
+    let nm = (g.num_vertices() + g.num_edges()) as u64;
+    let budget = 4 * nm;
+    let config = QueueConfig {
+        warmup: g.num_vertices(),
+        budget,
+        max_buffer: 1 << 20,
+    };
+    let sequential_count = run_tree(&g, &w).solutions;
+    for k in [2usize, 4] {
+        let stats = Enumeration::new(SteinerTree::new(&g, &w))
+            .with_threads(k)
+            .with_steal_schedule(StealSchedule::new().steal_every(5))
+            .with_queue(config)
+            .run()
+            .expect("valid instance");
+        assert_eq!(stats.solutions, sequential_count, "the queue loses nothing");
+        assert!(
+            stats.subtrees_stolen > 0,
+            "threads({k}): the script must force mid-stream steals"
+        );
+        let slack = (4 + 4 * k as u64) * nm;
+        let max_allowed = budget + budget / 2 + slack;
+        assert!(
+            stats.max_emission_gap <= max_allowed,
+            "threads({k}): stolen-stream delivery gap {} exceeds budget {} + heartbeat {} + slack {}",
+            stats.max_emission_gap,
+            budget,
+            budget / 2,
+            slack
+        );
+    }
+}
+
+#[test]
 fn simple_vs_improved_delay_grows_with_terminals() {
     // The qualitative Table 1 comparison: on a path-of-gadgets instance
     // with many terminals, the simple algorithm's enumeration tree is much

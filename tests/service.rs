@@ -100,6 +100,43 @@ fn served_streams_are_byte_identical_to_one_shot_runs() {
     assert_eq!(edge_stats.hits + arc_stats.hits, 4 * 2 * 4 - 4);
 }
 
+/// Pooled sharded queries steal by default; `stealing(false)` keeps the
+/// root-only reference path, and both deliver the sequential stream.
+#[test]
+fn pooled_queries_steal_by_default_and_match_the_reference() {
+    // A multi-terminal grid: the enumeration tree has depth, so the
+    // adaptive steal points are actually reachable.
+    let g = generators::grid(3, 4);
+    let w = vec![VertexId(0), VertexId(5), VertexId(11)];
+    let want = Enumeration::new(SteinerTree::new(&g, &w))
+        .collect_vec()
+        .unwrap();
+    let query = Query::SteinerTree { terminals: w };
+    let engine = EnumerationEngine::new(g);
+    let session = engine.session("ab-test");
+    // Fresh cache entries per option set would mask differences — the
+    // cache key ignores execution options, so each run below would
+    // replay the first one's stream. That is exactly what the test
+    // wants to rule out, so the *first* run uses the reference path and
+    // the stealing runs must reproduce it bit for bit.
+    let reference = session
+        .run(
+            query.clone(),
+            QueryOptions::default().threads(4).stealing(false),
+        )
+        .unwrap();
+    assert_eq!(reference.solutions.edges().unwrap(), &want[..]);
+    for opts in [
+        QueryOptions::default().threads(4), // stealing defaults on
+        QueryOptions::default().threads(4).stealing(true),
+        QueryOptions::default().threads(2).queued(),
+    ] {
+        let outcome = session.run(query.clone(), opts).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.solutions.edges().unwrap(), &want[..]);
+    }
+}
+
 /// Concurrent submissions from several tenants all complete, all match
 /// the one-shot stream, and the engine drains to idle.
 #[test]

@@ -24,6 +24,20 @@ impl<T> Clone for Sender<T> {
     }
 }
 
+// The real crate's opaque `Debug` (channels appear in message enums that
+// themselves derive `Debug`).
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Sender { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Receiver { .. }")
+    }
+}
+
 impl<T> Sender<T> {
     /// Blocks until the message is queued; errors when the channel is
     /// disconnected (all receivers dropped).
