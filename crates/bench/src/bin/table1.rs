@@ -54,6 +54,7 @@ fn paths_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
         let delays = record_delays(CAP, |emit| {
             steiner_paths::undirected::enumerate_st_paths_naive(
@@ -76,6 +77,7 @@ fn paths_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
 }
@@ -105,6 +107,7 @@ fn st_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+            path_gen_fraction: None,
         });
         let mut stats_holder = None;
         let delays = record_delays(CAP, |emit| {
@@ -127,6 +130,7 @@ fn st_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+            path_gen_fraction: None,
         });
         let run =
             Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals)).with_default_queue();
@@ -145,6 +149,7 @@ fn st_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
     // n+m sweep at fixed |W|: delay should grow roughly linearly. Each
@@ -154,25 +159,41 @@ fn st_rows(rows: &mut Vec<Row>) {
     for (n, m) in [(60, 90), (120, 180), (240, 360)] {
         let inst = workloads::random_instance(n, m, 4, 42);
         let nm = (inst.graph.num_vertices() + inst.graph.num_edges()) as f64;
-        let (run, stats) =
-            Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals)).with_stats();
-        let delays = record_delays(CAP, |emit| {
-            run.for_each(|_| flow(emit())).expect("valid instance");
-        });
-        let stats = stats.get();
-        rows.push(Row {
-            problem: "Steiner Tree (§4)".into(),
-            algorithm: "improved (Thm 17)".into(),
-            claimed: "O(n+m) amortized".into(),
-            instance: inst.name.clone(),
-            n: inst.graph.num_vertices(),
-            m: inst.graph.num_edges(),
-            t: 4,
-            solutions: delays.solutions,
-            delays,
-            max_work_gap: Some(stats.max_emission_gap),
-            work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
-        });
+        // Paired packed/reference path generation: the default "improved
+        // (Thm 17)" row runs the word-packed enumerator (bitset F-STP
+        // frontiers + cross-branch BFS-cache reuse); the "(reference)"
+        // row pins the per-vertex A/B engine. Both carry the share of
+        // work spent in path generation so the bottleneck claim lives in
+        // BENCH_core.json, not PR prose. (The share is computed against
+        // each row's own mode: a served cache hit skips work a
+        // recomputation would count.)
+        for (label, packed) in [
+            ("improved (Thm 17)", true),
+            ("improved (Thm 17, reference)", false),
+        ] {
+            let (run, stats) = Enumeration::new(SteinerTree::new(&inst.graph, &inst.terminals))
+                .with_packed_frontiers(packed)
+                .with_stats();
+            let delays = record_delays(CAP, |emit| {
+                run.for_each(|_| flow(emit())).expect("valid instance");
+            });
+            let stats = stats.get();
+            rows.push(Row {
+                problem: "Steiner Tree (§4)".into(),
+                algorithm: label.into(),
+                claimed: "O(n+m) amortized".into(),
+                instance: inst.name.clone(),
+                n: inst.graph.num_vertices(),
+                m: inst.graph.num_edges(),
+                t: 4,
+                solutions: delays.solutions,
+                delays,
+                max_work_gap: Some(stats.max_emission_gap),
+                work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+                path_gen_fraction: (stats.work > 0)
+                    .then(|| stats.path_gen_work as f64 / stats.work as f64),
+            });
+        }
         let query = Query::SteinerTree {
             terminals: inst.terminals.clone(),
         };
@@ -203,6 +224,7 @@ fn st_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         };
         let mut live_graph = inst.graph.clone();
         let c0 = live_graph.add_vertex();
@@ -323,6 +345,7 @@ fn st_rows(rows: &mut Vec<Row>) {
                 delays,
                 max_work_gap: None,
                 work_gap_over_nm: None,
+                path_gen_fraction: None,
             });
         }
         // Sharded A/B pair: root-only child distribution vs second-level
@@ -352,6 +375,7 @@ fn st_rows(rows: &mut Vec<Row>) {
                 delays,
                 max_work_gap: None,
                 work_gap_over_nm: None,
+                path_gen_fraction: None,
             });
         }
         // Cached replay: the identical query twice through a ResultCache.
@@ -383,6 +407,7 @@ fn st_rows(rows: &mut Vec<Row>) {
                 delays,
                 max_work_gap: None,
                 work_gap_over_nm: None,
+                path_gen_fraction: None,
             });
         }
         assert_eq!(
@@ -415,6 +440,7 @@ fn st_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         };
         let cold_engine = EnumerationEngine::new(inst.graph.clone());
         let session = cold_engine.session("bench");
@@ -481,6 +507,7 @@ fn st_rows(rows: &mut Vec<Row>) {
                 delays,
                 max_work_gap: None,
                 work_gap_over_nm: None,
+                path_gen_fraction: None,
             });
         }
     }
@@ -514,6 +541,7 @@ fn minimum_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
 }
@@ -540,6 +568,7 @@ fn forest_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+            path_gen_fraction: None,
         });
         let run = Enumeration::new(SteinerForest::new(&g, &sets)).with_default_queue();
         let delays = record_delays(CAP, |emit| {
@@ -557,6 +586,7 @@ fn forest_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
 }
@@ -584,6 +614,7 @@ fn terminal_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+            path_gen_fraction: None,
         });
         let run = Enumeration::new(TerminalSteinerTree::new(&inst.graph, &inst.terminals))
             .with_default_queue();
@@ -602,6 +633,7 @@ fn terminal_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
 }
@@ -628,6 +660,7 @@ fn directed_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: Some(stats.max_emission_gap),
             work_gap_over_nm: Some(stats.max_emission_gap as f64 / nm),
+            path_gen_fraction: None,
         });
         let run = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).with_default_queue();
         let delays = record_delays(CAP, |emit| {
@@ -645,6 +678,7 @@ fn directed_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
 }
@@ -673,6 +707,7 @@ fn induced_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
 }
@@ -698,6 +733,7 @@ fn hardness_rows(rows: &mut Vec<Row>) {
             delays,
             max_work_gap: None,
             work_gap_over_nm: None,
+            path_gen_fraction: None,
         });
     }
     // The Theorem 38 star reduction, end to end.
@@ -723,6 +759,7 @@ fn hardness_rows(rows: &mut Vec<Row>) {
         delays,
         max_work_gap: None,
         work_gap_over_nm: None,
+        path_gen_fraction: None,
     });
     let _ = VertexId(0);
 }

@@ -72,6 +72,11 @@ pub struct Row {
     pub max_work_gap: Option<u64>,
     /// Work-gap bound `c` such that max gap ≤ c·(n+m), if known.
     pub work_gap_over_nm: Option<f64>,
+    /// Share of `stats.work` attributed to the path-generation core
+    /// (`path_gen_work / work`), if known — the bottleneck the packed
+    /// frontiers target, recorded on the size-sweep rows so the claim is
+    /// visible in `BENCH_core.json`.
+    pub path_gen_fraction: Option<f64>,
 }
 
 /// Renders rows as a markdown table in the shape of the paper's Table 1,
@@ -131,7 +136,7 @@ pub fn render_json(rows: &[Row], criterion_reference: &[(String, f64, Option<f64
             "    {{\"problem\": \"{}\", \"algorithm\": \"{}\", \"instance\": \"{}\", \
              \"n\": {}, \"m\": {}, \"t\": {}, \"solutions\": {}, \"total_secs\": {:.6}, \
              \"solutions_per_sec\": {:.1}, \"mean_delay_us\": {:.3}, \"max_delay_us\": {:.3}, \
-             \"max_work_gap\": {}, \"work_gap_over_nm\": {}}}{}\n",
+             \"max_work_gap\": {}, \"work_gap_over_nm\": {}, \"path_gen_fraction\": {}}}{}\n",
             esc(&r.problem),
             esc(&r.algorithm),
             esc(&r.instance),
@@ -145,6 +150,8 @@ pub fn render_json(rows: &[Row], criterion_reference: &[(String, f64, Option<f64
             r.delays.max_gap.as_secs_f64() * 1e6,
             r.max_work_gap.map_or("null".to_string(), |v| v.to_string()),
             r.work_gap_over_nm
+                .map_or("null".to_string(), |v| format!("{v:.3}")),
+            r.path_gen_fraction
                 .map_or("null".to_string(), |v| format!("{v:.3}")),
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -189,6 +196,7 @@ mod tests {
             delays: DelayStats::default(),
             max_work_gap: Some(30),
             work_gap_over_nm: Some(1.0),
+            path_gen_fraction: Some(0.5),
         };
         let json = render_json(
             &[row],
@@ -197,6 +205,7 @@ mod tests {
         assert!(json.contains("\"schema\": \"BENCH_core/v1\""));
         assert!(json.contains("\"solutions\": 5"));
         assert!(json.contains("\"pre_pr_median_ms\": 3.580"));
+        assert!(json.contains("\"path_gen_fraction\": 0.500"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -231,6 +240,7 @@ mod tests {
             delays: DelayStats::default(),
             max_work_gap: Some(30),
             work_gap_over_nm: Some(1.0),
+            path_gen_fraction: Some(0.5),
         };
         let md = render_markdown(&[row.clone(), row]);
         assert_eq!(md.lines().count(), 4);

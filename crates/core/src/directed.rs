@@ -64,6 +64,7 @@ pub struct DirectedSteinerTree<'g> {
     search: Option<DirectedSearch>,
     level_cache_cap: Option<usize>,
     incremental: bool,
+    packed: bool,
 }
 
 /// The typed checkpoint frame of one descent: tree-vertex and tree-arc
@@ -357,6 +358,7 @@ impl<'g> DirectedSteinerTree<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -374,6 +376,7 @@ impl<'g> DirectedSteinerTree<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -388,6 +391,7 @@ impl<'g> DirectedSteinerTree<'g> {
             search: self.search,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         }
     }
 }
@@ -534,6 +538,7 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             search: None,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         })
     }
 
@@ -543,6 +548,10 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
 
     fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
+    }
+
+    fn set_packed_frontiers(&mut self, on: bool) {
+        self.packed = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -846,7 +855,9 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             let mut bs = std::mem::take(&mut search.pool[depth]);
             bs.sources.clear();
             bs.sources.extend_from_slice(&search.tree_vertices);
-            bs.path.begin(search.csr.num_vertices() + 1);
+            // Same prepared CSR on every branch of this search: keep
+            // the packed per-level BFS caches across branch nodes.
+            bs.path.begin_same_graph(search.csr.num_vertices() + 1);
             (bs, Arc::clone(&search.csr), depth)
         };
         let mut children = 0u64;
@@ -856,11 +867,14 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
             boundary,
             sources,
         } = &mut bs;
-        let _pstats = enumerate_source_set_paths_csr(
+        let pstats = enumerate_source_set_paths_csr(
             &csr,
             sources,
             w,
-            EnumerateOptions::default(),
+            EnumerateOptions {
+                packed_frontiers: self.packed,
+                ..EnumerateOptions::default()
+            },
             path,
             boundary,
             &mut |p| {
@@ -875,6 +889,9 @@ impl MinimalSteinerProblem for DirectedSteinerTree<'_> {
                 f
             },
         );
+        self.stats.path_gen_work += pstats.work;
+        self.stats.fstp_cache_hits += pstats.fstp_cache_hits;
+        self.stats.fstp_cache_misses += pstats.fstp_cache_misses;
         let search = self.search.as_mut().expect("search state");
         search.pool[depth] = bs;
         search.depth = depth;

@@ -72,6 +72,7 @@ pub struct SteinerForest<'g> {
     search: Option<ForestSearch>,
     level_cache_cap: Option<usize>,
     incremental: bool,
+    packed: bool,
 }
 
 /// The typed checkpoint frame of one descent: forest-edge stack length,
@@ -431,6 +432,7 @@ impl<'g> SteinerForest<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -443,6 +445,7 @@ impl<'g> SteinerForest<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -456,6 +459,7 @@ impl<'g> SteinerForest<'g> {
             search: self.search,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         }
     }
 }
@@ -644,6 +648,7 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             search: None,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         })
     }
 
@@ -653,6 +658,10 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
 
     fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
+    }
+
+    fn set_packed_frontiers(&mut self, on: bool) {
+        self.packed = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -969,6 +978,9 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
         let (w, w2) = pair;
         let (cw, cw2) = (ds.vertex_map[w.index()], ds.vertex_map[w2.index()]);
         ds.doubled.rebuild_doubled_from_csr(&ds.cg);
+        // The doubled graph was just rebuilt from this branch's
+        // contraction, so stale BFS trees from other contractions must
+        // not survive: full `begin`, not `begin_same_graph`.
         ds.path.begin(ds.doubled.num_vertices());
         let mut children = 0u64;
         let mut flow = ControlFlow::Continue(());
@@ -979,11 +991,14 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
             edges,
             ..
         } = &mut ds;
-        let _pstats = enumerate_paths_view(
+        let pstats = enumerate_paths_view(
             doubled,
             cw,
             cw2,
-            EnumerateOptions::default(),
+            EnumerateOptions {
+                packed_frontiers: self.packed,
+                ..EnumerateOptions::default()
+            },
             false,
             path,
             &mut |p| {
@@ -1001,6 +1016,9 @@ impl MinimalSteinerProblem for SteinerForest<'_> {
                 f
             },
         );
+        self.stats.path_gen_work += pstats.work;
+        self.stats.fstp_cache_hits += pstats.fstp_cache_hits;
+        self.stats.fstp_cache_misses += pstats.fstp_cache_misses;
         let search = self.search.as_mut().expect("search state");
         search.pool[depth] = ds;
         search.depth = depth;

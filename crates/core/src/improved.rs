@@ -66,6 +66,7 @@ pub struct SteinerTree<'g> {
     search: Option<TreeSearch>,
     level_cache_cap: Option<usize>,
     incremental: bool,
+    packed: bool,
 }
 
 /// The typed checkpoint frame of one descent: partial-tree extension,
@@ -75,6 +76,9 @@ struct TreeFrame {
     ext: Extension,
     trail: TrailMark,
     span: SpanMark,
+    /// `E(T)` stack length before this descent — the frame's edges are
+    /// the stack suffix from here, used to roll back `edge_words`.
+    edges_mark: usize,
 }
 
 /// Mutable search state installed by `prepare`. Everything the hot path
@@ -83,6 +87,11 @@ struct TreeSearch {
     t: PartialTree,
     /// Edge membership in `E(T)`, maintained through the [`Trail`].
     edge_in_t: Vec<bool>,
+    /// Word-packed mirror of `edge_in_t`, kept in sync by
+    /// `descend`/`retract_frame`: iterating its set bits in word order
+    /// delivers `E(T)` already sorted, which is what lets `solution`
+    /// skip the per-emission O(k log k) canonicalizing sort.
+    edge_words: Vec<u64>,
     /// Undo log for `edge_in_t` (rolled back per child).
     trail: Trail,
     /// Bridges of `G`, precomputed once (Lemma 16 is a property of `G`).
@@ -221,6 +230,7 @@ impl<'g> SteinerTree<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -233,6 +243,7 @@ impl<'g> SteinerTree<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -246,6 +257,7 @@ impl<'g> SteinerTree<'g> {
             search: self.search,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         }
     }
 }
@@ -255,6 +267,12 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
     type Branch = VertexId;
 
     const NAME: &'static str = "minimal Steiner tree";
+
+    /// `solution` scans the `edge_words` membership bitset in word
+    /// order (or sorts the rare stack-copy fallback itself), so every
+    /// branch delivers ascending edge ids and the engine's per-emission
+    /// canonicalizing sort is a no-op worth skipping.
+    const SORTED_SOLUTIONS: bool = true;
 
     fn validate(&self) -> Result<(), SteinerError> {
         crate::problem::validate_terminal_list(&self.terminals, self.g.num_vertices())
@@ -270,6 +288,7 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             search: None,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         })
     }
 
@@ -279,6 +298,10 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
 
     fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
+    }
+
+    fn set_packed_frontiers(&mut self, on: bool) {
+        self.packed = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -352,6 +375,7 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
         let mut search = TreeSearch {
             t,
             edge_in_t: vec![false; m],
+            edge_words: vec![0u64; m.div_ceil(64)],
             trail,
             bridge,
             span,
@@ -503,7 +527,27 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             .search
             .as_ref()
             .expect("prepare() runs before the search");
-        out.extend_from_slice(&search.t.edges);
+        // `edge_words` is an exact membership bitset of `E(T)`, so
+        // iterating its set bits in word order delivers the solution
+        // already sorted and the driver's canonicalizing sort degenerates
+        // to one linear ascending-run pass. An O(k log k) sort of k
+        // unordered tree edges costs more than the O(m/64 + k) scan
+        // unless the tree is much smaller than the graph, so fall back to
+        // the plain stack copy (and the driver's real sort) there.
+        let k = search.t.edges.len();
+        if search.edge_words.len() <= 8 * k.max(1) {
+            for (wi, &w0) in search.edge_words.iter().enumerate() {
+                let mut w = w0;
+                while w != 0 {
+                    out.push(EdgeId::new((wi << 6) + w.trailing_zeros() as usize));
+                    w &= w - 1;
+                }
+            }
+            debug_assert_eq!(out.len(), k);
+        } else {
+            out.extend_from_slice(&search.t.edges);
+            out.sort_unstable();
+        }
     }
 
     fn seal_stats(&mut self) {
@@ -570,7 +614,10 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             // before the children mutate it.
             bs.sources.clear();
             bs.sources.extend_from_slice(&search.t.vertices);
-            bs.path.begin(search.csr.num_vertices() + 1);
+            // Same prepared CSR on every branch of this search, so the
+            // packed per-level BFS caches may survive across branch
+            // nodes (the cross-branch reuse the packed mode is for).
+            bs.path.begin_same_graph(search.csr.num_vertices() + 1);
             (bs, Arc::clone(&search.doubled), depth)
         };
         let mut children = 0u64;
@@ -581,11 +628,14 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
             sources,
             edges,
         } = &mut bs;
-        let _pstats = enumerate_source_set_paths_csr(
+        let pstats = enumerate_source_set_paths_csr(
             &doubled,
             sources,
             w,
-            EnumerateOptions::default(),
+            EnumerateOptions {
+                packed_frontiers: self.packed,
+                ..EnumerateOptions::default()
+            },
             path,
             boundary,
             &mut |p| {
@@ -605,6 +655,9 @@ impl MinimalSteinerProblem for SteinerTree<'_> {
                 f
             },
         );
+        self.stats.path_gen_work += pstats.work;
+        self.stats.fstp_cache_hits += pstats.fstp_cache_hits;
+        self.stats.fstp_cache_misses += pstats.fstp_cache_misses;
         let search = self.search.as_mut().expect("search state");
         search.pool[depth] = bs;
         search.depth = depth;
@@ -625,22 +678,32 @@ impl SteinerTree<'_> {
     /// paths byte-identical.
     fn descend(&mut self, path_vertices: &[VertexId], path_edges: &[EdgeId]) {
         let search = self.search.as_mut().expect("search state");
+        let edges_mark = search.t.edges.len();
         let ext = search.t.extend_path(path_vertices, path_edges);
         let trail = search.trail.mark();
         for &e in path_edges {
             search.trail.set(&mut search.edge_in_t, e.index());
+            steiner_graph::csr::bit_set(&mut search.edge_words, e.index());
         }
         // The partial-tree mask updated above doubles as the
         // connectivity layer's source oracle, so the descent itself
         // costs the incremental layer nothing.
         let span = search.span.mark();
-        search.frames.push(TreeFrame { ext, trail, span });
+        search.frames.push(TreeFrame {
+            ext,
+            trail,
+            span,
+            edges_mark,
+        });
     }
 
     /// The undo half: pops the innermost frame and restores every layer.
     fn retract_frame(&mut self) {
         let search = self.search.as_mut().expect("search state");
         let frame = search.frames.pop();
+        for &e in &search.t.edges[frame.edges_mark..] {
+            steiner_graph::csr::bit_clear(&mut search.edge_words, e.index());
+        }
         search.span.undo_to(frame.span);
         search.trail.undo_to(&mut search.edge_in_t, frame.trail);
         search.t.retract(frame.ext);

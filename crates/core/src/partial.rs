@@ -90,16 +90,20 @@ impl PartialTree {
 
     /// Undoes the matching [`Self::extend_path`] call (LIFO discipline).
     pub fn retract(&mut self, ext: Extension) {
-        for _ in 0..ext.added_edges {
-            self.edges.pop().expect("edge stack underflow");
-        }
-        for _ in 0..ext.added_vertices {
-            let v = self.vertices.pop().expect("vertex stack underflow");
+        assert!(ext.added_edges <= self.edges.len(), "edge stack underflow");
+        self.edges.truncate(self.edges.len() - ext.added_edges);
+        assert!(
+            ext.added_vertices <= self.vertices.len(),
+            "vertex stack underflow"
+        );
+        let keep = self.vertices.len() - ext.added_vertices;
+        for &v in &self.vertices[keep..] {
             self.in_tree[v.index()] = false;
             if self.is_terminal[v.index()] {
                 self.missing_terminals += 1;
             }
         }
+        self.vertices.truncate(keep);
     }
 
     /// Whether `T` already spans all terminals (and is thus a minimal

@@ -286,6 +286,14 @@ pub trait MinimalSteinerProblem {
     /// Problem name for diagnostics and reports.
     const NAME: &'static str;
 
+    /// Whether [`Self::solution`] already writes its items in ascending
+    /// order. When `true`, the engine's `Complete` emission path skips
+    /// its canonicalizing sort (the `Unique` path still sorts —
+    /// [`Self::classify`] fills the buffer in discovery order). An
+    /// implementation returning `true` must deliver sorted output from
+    /// **every** branch of its `solution`.
+    const SORTED_SOLUTIONS: bool = false;
+
     /// Checks the structural preconditions (terminal list shape, id
     /// ranges) without touching the graph structure. Cheap; called by
     /// [`Self::prepare`].
@@ -386,6 +394,23 @@ pub trait MinimalSteinerProblem {
     /// only changes how the same verdicts are computed. Must be called
     /// before [`Self::prepare`]. The default ignores the hint.
     fn set_incremental(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Enables or disables **word-packed path generation**
+    /// ([`Enumeration::with_packed_frontiers`](crate::solver::Enumeration::with_packed_frontiers)).
+    ///
+    /// When enabled (the default for the four paper problems), the
+    /// per-branch-node path enumerator runs its `F-STP` reverse BFS over
+    /// `u64`-word bitsets, reuses cached per-level BFS trees across
+    /// branch nodes whose removed-mask signature matches (counted in
+    /// [`EnumStats::fstp_cache_hits`](crate::EnumStats::fstp_cache_hits)),
+    /// and reconstructs all child paths of a branch node in one flat
+    /// batch; when disabled, the per-vertex stamp/`Vec<bool>` reference
+    /// enumerator runs instead. **Both modes must deliver byte-identical
+    /// solution streams** — only the constant factor changes. Must be
+    /// called before [`Self::prepare`]. The default ignores the hint.
+    fn set_packed_frontiers(&mut self, on: bool) {
         let _ = on;
     }
 

@@ -98,12 +98,12 @@ fn recurse<P: MinimalSteinerProblem>(
             p.stats_mut().note_node(0, depth);
             scratch.clear();
             p.solution(scratch);
-            emit(p, emitter, scratch)
+            emit(p, emitter, scratch, P::SORTED_SOLUTIONS)
         }
         NodeStep::Unique => {
             // classify filled `scratch` with the unique completion.
             p.stats_mut().note_node(0, depth);
-            emit(p, emitter, scratch)
+            emit(p, emitter, scratch, false)
         }
         NodeStep::Branch(at) => {
             let (children, flow) = p.branch(at, &mut |q| recurse(q, depth + 1, emitter, scratch));
@@ -117,8 +117,13 @@ fn emit<P: MinimalSteinerProblem>(
     p: &mut P,
     emitter: &mut dyn SolutionSink<P::Item>,
     scratch: &mut [P::Item],
+    presorted: bool,
 ) -> ControlFlow<()> {
-    scratch.sort_unstable();
+    if presorted {
+        debug_assert!(scratch.is_sorted(), "SORTED_SOLUTIONS contract broken");
+    } else {
+        scratch.sort_unstable();
+    }
     p.stats_mut().note_emission();
     emitter.solution(scratch, p.stats().work)
 }
@@ -459,6 +464,40 @@ impl<P: MinimalSteinerProblem> Enumeration<P> {
     /// ```
     pub fn with_incremental(mut self, on: bool) -> Self {
         self.problem.set_incremental(on);
+        self
+    }
+
+    /// Enables or disables **word-packed path generation** (default: on
+    /// for the four paper problems).
+    ///
+    /// On, each branch node's child paths come from the packed
+    /// enumerator: the `F-STP` reverse BFS sweeps `u64`-word bitset
+    /// frontiers instead of per-vertex stamps, per-level BFS trees are
+    /// reused across branch nodes whose removed-mask signature matches
+    /// (counted in [`EnumStats::fstp_cache_hits`] /
+    /// [`EnumStats::fstp_cache_misses`]), and all child paths of a
+    /// branch node are reconstructed in one flat batch; off, the
+    /// per-vertex reference enumerator runs — kept as the A/B
+    /// conformance path. **The delivered stream is byte-identical either
+    /// way** (asserted across all four problems and every front-end in
+    /// `tests/packed_frontiers.rs`); the difference is visible only in
+    /// wall-clock time and the cache counters.
+    ///
+    /// ```
+    /// use steiner_core::{Enumeration, SteinerTree};
+    /// use steiner_graph::{UndirectedGraph, VertexId};
+    ///
+    /// let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+    /// let w = [VertexId(0), VertexId(2)];
+    /// let packed = Enumeration::new(SteinerTree::new(&g, &w)).collect_vec().unwrap();
+    /// let reference = Enumeration::new(SteinerTree::new(&g, &w))
+    ///     .with_packed_frontiers(false)
+    ///     .collect_vec()
+    ///     .unwrap();
+    /// assert_eq!(packed, reference);
+    /// ```
+    pub fn with_packed_frontiers(mut self, on: bool) -> Self {
+        self.problem.set_packed_frontiers(on);
         self
     }
 
@@ -1333,11 +1372,11 @@ fn recurse_stealing<P: MinimalSteinerProblem>(
             p.stats_mut().note_node(0, depth);
             scratch.clear();
             p.solution(scratch);
-            emit(p, sink, scratch)
+            emit(p, sink, scratch, P::SORTED_SOLUTIONS)
         }
         NodeStep::Unique => {
             p.stats_mut().note_node(0, depth);
-            emit(p, sink, scratch)
+            emit(p, sink, scratch, false)
         }
         NodeStep::Branch(at) => {
             let mut next_child = 0u64;
@@ -1658,7 +1697,7 @@ fn run_shard_worker<P: MinimalSteinerProblem>(
                     scratch.clear();
                     p.solution(&mut scratch);
                     if shard.index == 0 {
-                        emit(p, sink, &mut scratch)
+                        emit(p, sink, &mut scratch, P::SORTED_SOLUTIONS)
                     } else {
                         ControlFlow::Continue(())
                     }
@@ -1666,7 +1705,7 @@ fn run_shard_worker<P: MinimalSteinerProblem>(
                 NodeStep::Unique => {
                     p.stats_mut().note_node(0, 0);
                     if shard.index == 0 {
-                        emit(p, sink, &mut scratch)
+                        emit(p, sink, &mut scratch, false)
                     } else {
                         ControlFlow::Continue(())
                     }

@@ -117,6 +117,24 @@ pub struct EnumStats {
     /// full (the subtree was then executed locally, exactly as without
     /// stealing). Sums under [`Self::merge`].
     pub steal_failures: u64,
+    /// Work units spent inside the path-generation core (`steiner-paths`'
+    /// `E-STP`/`F-STP` enumerator) across all branch-node calls — a
+    /// subset of [`Self::work`], surfaced so the size-sweep bench can
+    /// report the path-generation share directly. Sums under
+    /// [`Self::merge`]. Note the packed and reference path generators
+    /// count slightly different unit totals for the same stream (a
+    /// served cache hit skips the BFS work a recomputation would count),
+    /// so this figure is comparable within one mode, not across modes.
+    pub path_gen_work: u64,
+    /// Per-level `F-STP` reverse-BFS trees served from the packed
+    /// signature cache instead of recomputed (see
+    /// [`with_packed_frontiers`](crate::Enumeration::with_packed_frontiers)).
+    /// Zero when packed frontiers are disabled. Sums under [`Self::merge`].
+    pub fstp_cache_hits: u64,
+    /// Per-level `F-STP` reverse-BFS recomputations under packed
+    /// frontiers (signature mismatch or cold level). Zero when packed
+    /// frontiers are disabled. Sums under [`Self::merge`].
+    pub fstp_cache_misses: u64,
     /// Work units at the last emission (internal bookkeeping for the gap).
     last_emission_work: u64,
     /// Whether anything was emitted yet (the first gap counts from zero).
@@ -211,6 +229,10 @@ impl EnumStats {
         // worker: sum both the hand-offs and the rejected offers.
         self.subtrees_stolen += other.subtrees_stolen;
         self.steal_failures += other.steal_failures;
+        // Path-generation accounting is per-call and additive.
+        self.path_gen_work += other.path_gen_work;
+        self.fstp_cache_hits += other.fstp_cache_hits;
+        self.fstp_cache_misses += other.fstp_cache_misses;
         self.emitted_any |= other.emitted_any;
     }
 
@@ -401,6 +423,30 @@ mod tests {
         let before = a;
         a.merge(&EnumStats::default());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_folds_path_generation_counters() {
+        let a0 = EnumStats {
+            path_gen_work: 120,
+            fstp_cache_hits: 5,
+            fstp_cache_misses: 9,
+            ..Default::default()
+        };
+        let b = EnumStats {
+            path_gen_work: 30,
+            fstp_cache_hits: 2,
+            fstp_cache_misses: 1,
+            ..Default::default()
+        };
+        let mut a = a0;
+        a.merge(&b);
+        assert_eq!(a.path_gen_work, 150, "path work sums");
+        assert_eq!(a.fstp_cache_hits, 7, "hits sum");
+        assert_eq!(a.fstp_cache_misses, 10, "misses sum");
+        let mut c = b;
+        c.merge(&a0);
+        assert_eq!(c.path_gen_work, a.path_gen_work, "order-insensitive");
     }
 
     #[test]

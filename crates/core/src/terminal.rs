@@ -88,6 +88,7 @@ pub struct TerminalSteinerTree<'g> {
     search: Option<TerminalSearch>,
     level_cache_cap: Option<usize>,
     incremental: bool,
+    packed: bool,
 }
 
 /// The typed checkpoint frame of one descent in component mode.
@@ -254,6 +255,7 @@ impl<'g> TerminalSteinerTree<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -266,6 +268,7 @@ impl<'g> TerminalSteinerTree<'g> {
             search: None,
             level_cache_cap: None,
             incremental: true,
+            packed: true,
         }
     }
 
@@ -279,6 +282,7 @@ impl<'g> TerminalSteinerTree<'g> {
             search: self.search,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         }
     }
 }
@@ -416,6 +420,7 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
             search: None,
             level_cache_cap: self.level_cache_cap,
             incremental: self.incremental,
+            packed: self.packed,
         })
     }
 
@@ -425,6 +430,10 @@ impl MinimalSteinerProblem for TerminalSteinerTree<'_> {
 
     fn set_incremental(&mut self, on: bool) {
         self.incremental = on;
+    }
+
+    fn set_packed_frontiers(&mut self, on: bool) {
+        self.packed = on;
     }
 
     fn cache_key(&self) -> Option<crate::cache::CacheKey> {
@@ -977,13 +986,18 @@ impl TerminalSteinerTree<'_> {
                         Arc::clone(&ts.doubled),
                     )
                 };
-                path.begin(doubled.num_vertices() + 1);
+                // The search's doubled CSR is fixed, so packed BFS
+                // caches may survive across root replays.
+                path.begin_same_graph(doubled.num_vertices() + 1);
                 let sources = [w0];
-                let _pstats = enumerate_source_set_paths_csr(
+                let pstats = enumerate_source_set_paths_csr(
                     &doubled,
                     &sources,
                     w1,
-                    EnumerateOptions::default(),
+                    EnumerateOptions {
+                        packed_frontiers: self.packed,
+                        ..EnumerateOptions::default()
+                    },
                     &mut path,
                     &mut boundary,
                     &mut |p| {
@@ -1002,6 +1016,9 @@ impl TerminalSteinerTree<'_> {
                         f
                     },
                 );
+                self.stats.path_gen_work += pstats.work;
+                self.stats.fstp_cache_hits += pstats.fstp_cache_hits;
+                self.stats.fstp_cache_misses += pstats.fstp_cache_misses;
                 let ts = self.two_terminal_mut();
                 ts.path = path;
                 ts.boundary = boundary;
@@ -1017,7 +1034,9 @@ impl TerminalSteinerTree<'_> {
                     // using the component's precomputed mask.
                     {
                         let cs = self.components_mut();
-                        let removed = bs.path.begin(n + 1);
+                        // Same contracted doubled CSR for every
+                        // component and depth: keep the packed caches.
+                        let removed = bs.path.begin_same_graph(n + 1);
                         for (v, r) in removed.iter_mut().enumerate().take(n) {
                             *r = !cs.comps[ci].allowed01[v];
                         }
@@ -1031,11 +1050,14 @@ impl TerminalSteinerTree<'_> {
                         sources,
                         edges,
                     } = &mut bs;
-                    let _pstats = enumerate_source_set_paths_csr(
+                    let pstats = enumerate_source_set_paths_csr(
                         &doubled,
                         sources,
                         w1,
-                        EnumerateOptions::default(),
+                        EnumerateOptions {
+                            packed_frontiers: self.packed,
+                            ..EnumerateOptions::default()
+                        },
                         path,
                         boundary,
                         &mut |p| {
@@ -1052,6 +1074,9 @@ impl TerminalSteinerTree<'_> {
                             f
                         },
                     );
+                    self.stats.path_gen_work += pstats.work;
+                    self.stats.fstp_cache_hits += pstats.fstp_cache_hits;
+                    self.stats.fstp_cache_misses += pstats.fstp_cache_misses;
                     if flow.is_break() {
                         break;
                     }
@@ -1076,7 +1101,9 @@ impl TerminalSteinerTree<'_> {
             let ctx = &cs.comps[cs.active.expect("active component set by the root branch")];
             let n = cs.gc.num_vertices();
             // Sources: V(T) ∩ C; excluded vertices: outside C ∪ {w}.
-            let removed = bs.path.begin(n + 1);
+            // Same contracted doubled CSR on every branch of this
+            // search: keep the packed caches.
+            let removed = bs.path.begin_same_graph(n + 1);
             for (v, r) in removed.iter_mut().enumerate().take(n) {
                 *r = !(ctx.comp_mask[v] || VertexId::new(v) == w);
             }
@@ -1098,11 +1125,14 @@ impl TerminalSteinerTree<'_> {
             sources,
             edges,
         } = &mut bs;
-        let _pstats = enumerate_source_set_paths_csr(
+        let pstats = enumerate_source_set_paths_csr(
             &doubled,
             sources,
             w,
-            EnumerateOptions::default(),
+            EnumerateOptions {
+                packed_frontiers: self.packed,
+                ..EnumerateOptions::default()
+            },
             path,
             boundary,
             &mut |p| {
@@ -1119,6 +1149,9 @@ impl TerminalSteinerTree<'_> {
                 f
             },
         );
+        self.stats.path_gen_work += pstats.work;
+        self.stats.fstp_cache_hits += pstats.fstp_cache_hits;
+        self.stats.fstp_cache_misses += pstats.fstp_cache_misses;
         self.put_branch_scratch(bs, depth);
         debug_assert!(
             children >= 2 || flow.is_break(),

@@ -33,7 +33,20 @@ pub const HOT: &[(&str, &[&str])] = &[
     ("crates/graph/src/spanning.rs", &["carry_over"]),
     (
         "crates/graph/src/csr.rs",
-        &["apply_delta", "apply_delta_doubled"],
+        &[
+            "apply_delta",
+            "apply_delta_doubled",
+            "bit_test",
+            "bit_set",
+            "bit_clear",
+            "bit_assign",
+            "bit_take",
+            "bits_clear",
+            "bits_and_not",
+            "bits_not",
+            "bits_not_or",
+            "mix64",
+        ],
     ),
     (
         "crates/core/src/improved.rs",
@@ -73,6 +86,12 @@ pub const HOT: &[(&str, &[&str])] = &[
             "push_ext",
             "qv",
             "qa",
+            "level_mut",
+            "mask_removed",
+            "fstp_prepare_packed",
+            "e_stp_packed",
+            "extendible_indices_packed",
+            "settle_deferred",
         ],
     ),
 ];

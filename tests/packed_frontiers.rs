@@ -1,0 +1,328 @@
+//! Packed path-generation equivalence suite.
+//!
+//! The contract under test: the word-packed path generator (bitset
+//! `F-STP` frontiers, signature-keyed cross-branch BFS-cache reuse, flat
+//! child-run emission — `with_packed_frontiers(true)`, the default)
+//! delivers a solution stream **byte-identical** to the per-vertex
+//! reference enumerator (`with_packed_frontiers(false)`) — for all four
+//! problems, under every front-end (direct / queued / limit / iterator /
+//! `with_threads(k)` for k ∈ {1, 2, 4} / stealing / cached replay).
+//!
+//! Packing changes only how each branch node's child paths are computed:
+//! the same `E-STP` recursion tree is walked in the same order, so a
+//! single diverging child path (or child order) would change the stream.
+//! Exact stream equality therefore pins the packed engine's BFS trees,
+//! admissibility masks, and batch reconstruction to the reference at
+//! every branch node.
+
+use minimal_steiner::graph::{generators, DiGraph, UndirectedGraph, VertexId};
+use minimal_steiner::ResultCache;
+use minimal_steiner::{
+    DirectedSteinerTree, Enumeration, MinimalSteinerProblem, SteinerForest, SteinerTree,
+    TerminalSteinerTree,
+};
+use proptest::prelude::*;
+
+/// Collects the full ordered stream of an enumeration.
+fn ordered<P>(e: Enumeration<P>) -> Vec<Vec<P::Item>>
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send,
+{
+    e.collect_vec().expect("valid instance")
+}
+
+/// Asserts byte-identical streams between packed-on (the default) and
+/// packed-off (the per-vertex reference enumerator), across the direct,
+/// queued, limited, sharded, and stealing front-ends.
+fn assert_packed_matches<P, F>(make: F)
+where
+    P: MinimalSteinerProblem + Send,
+    P::Item: Send + std::fmt::Debug + PartialEq,
+    F: Fn() -> P,
+{
+    let reference = ordered(Enumeration::new(make()).with_packed_frontiers(false));
+    let on = ordered(Enumeration::new(make()));
+    assert_eq!(on, reference, "direct stream");
+    let queued = ordered(Enumeration::new(make()).with_default_queue());
+    assert_eq!(queued, reference, "queued stream");
+    for k in [1usize, 2, 4] {
+        let sharded = ordered(Enumeration::new(make()).with_threads(k));
+        assert_eq!(sharded, reference, "threads({k}) stream");
+        let stealing = ordered(Enumeration::new(make()).with_threads(k).with_stealing(true));
+        assert_eq!(stealing, reference, "threads({k}) stealing stream");
+    }
+    // Limit cuts exercise mid-run termination (Break propagation through
+    // the packed frame queue).
+    let total = reference.len() as u64;
+    for limit in [1, 2, total / 2, total] {
+        let capped = ordered(Enumeration::new(make()).with_limit(limit));
+        let want = &reference[..(limit.min(total)) as usize];
+        assert_eq!(capped, want, "limit({limit}) prefix");
+    }
+}
+
+/// Cached replay: a cold packed run records the stream, the replay must
+/// equal the packed-off reference byte for byte.
+fn assert_cached_replay_matches<P, F>(make: F)
+where
+    P: MinimalSteinerProblem + Send + 'static,
+    P::Item: Send + std::fmt::Debug + PartialEq + 'static,
+    F: Fn() -> P,
+{
+    let reference = ordered(Enumeration::new(make()).with_packed_frontiers(false));
+    let cache: ResultCache<P::Item> = ResultCache::new();
+    let cold = ordered(Enumeration::new(make()).cached(&cache));
+    let replay = ordered(Enumeration::new(make()).cached(&cache));
+    assert_eq!(cold, reference, "cold cached stream");
+    assert_eq!(replay, reference, "cached replay stream");
+    assert_eq!(cache.stats().hits, 1, "the second run was a replay");
+}
+
+#[test]
+fn steiner_tree_grid_all_front_ends() {
+    let g = generators::grid(3, 4);
+    let w = vec![VertexId(0), VertexId(11), VertexId(5)];
+    assert_packed_matches(|| SteinerTree::new(&g, &w));
+    assert_cached_replay_matches(|| SteinerTree::from_graph(g.clone(), &w));
+}
+
+#[test]
+fn steiner_forest_grid_all_front_ends() {
+    let g = generators::grid(3, 4);
+    let sets = vec![
+        vec![VertexId(0), VertexId(11)],
+        vec![VertexId(3), VertexId(8)],
+    ];
+    assert_packed_matches(|| SteinerForest::new(&g, &sets));
+    assert_cached_replay_matches(|| SteinerForest::from_graph(g.clone(), &sets));
+}
+
+#[test]
+fn terminal_steiner_grid_all_front_ends() {
+    let g = generators::grid(3, 4);
+    let w = vec![VertexId(0), VertexId(3), VertexId(8)];
+    assert_packed_matches(|| TerminalSteinerTree::new(&g, &w));
+    assert_cached_replay_matches(|| TerminalSteinerTree::from_graph(g.clone(), &w));
+}
+
+#[test]
+fn directed_steiner_layered_all_front_ends() {
+    let (d, root) = generators::layered_digraph(3, 3);
+    let w = vec![VertexId(7), VertexId(8), VertexId(9)];
+    assert_packed_matches(|| DirectedSteinerTree::new(&d, root, &w));
+    assert_cached_replay_matches(|| DirectedSteinerTree::from_graph(d.clone(), root, &w));
+}
+
+#[test]
+fn iterator_front_end_matches_reference() {
+    let g = generators::theta_chain(3, 3);
+    let w = [VertexId(0), VertexId(3)];
+    let reference =
+        ordered(Enumeration::new(SteinerTree::new(&g, &w)).with_packed_frontiers(false));
+    let iterated: Vec<Vec<_>> = Enumeration::new(SteinerTree::from_graph(g, &w))
+        .into_iter()
+        .expect("valid instance")
+        .collect();
+    assert_eq!(iterated, reference, "pull iterator stream");
+}
+
+/// Deep-backtrack ladder: theta chains drive the `E-STP` recursion
+/// `blocks` levels deep with `width`-way branching at every level, so
+/// every packed level cache is overwritten and revalidated many times
+/// under a deep prefix trail. Any stale BFS tree served past a mask
+/// change shows up as a diverging stream.
+#[test]
+fn deep_backtrack_ladder_tree_and_forest() {
+    let g = generators::theta_chain(6, 3);
+    let w = [VertexId(0), VertexId(6)];
+    assert_packed_matches(|| SteinerTree::new(&g, &w));
+    let sets = vec![vec![VertexId(0), VertexId(6)]];
+    assert_packed_matches(|| SteinerForest::new(&g, &sets));
+}
+
+/// A sibling-heavy theta multigraph drives repeated branch calls whose
+/// removed-mask signature repeats: the two parallel `0`–`1` edges give
+/// two root children spanning the *same* vertex set `{0, 1}`, so both
+/// descend into a `branch(w = 3)` call with an identical mask, target,
+/// and depth — the second must replay the first's cached reverse BFS.
+/// None when packing is off.
+#[test]
+fn theta_instance_reports_cache_hits() {
+    // 0 ═ 1 (parallel pair), then a width-2 theta block 1–{2,4}–3.
+    let g = UndirectedGraph::from_edges(5, &[(0, 1), (0, 1), (1, 2), (2, 3), (1, 4), (4, 3)])
+        .expect("valid edge list");
+    let w = [VertexId(0), VertexId(1), VertexId(3)];
+    let (run, stats) = Enumeration::new(SteinerTree::new(&g, &w)).with_stats();
+    run.run().expect("valid instance");
+    let stats = stats.get();
+    assert!(stats.solutions > 0);
+    assert!(
+        stats.fstp_cache_hits >= 1,
+        "sibling-heavy instance replays cached BFS trees (hits {}, misses {})",
+        stats.fstp_cache_hits,
+        stats.fstp_cache_misses
+    );
+    assert!(stats.fstp_cache_misses >= 1, "cold levels still compute");
+    assert!(stats.path_gen_work > 0, "path work is attributed");
+
+    let (run, stats) = Enumeration::new(SteinerTree::new(&g, &w))
+        .with_packed_frontiers(false)
+        .with_stats();
+    run.run().expect("valid instance");
+    let stats = stats.get();
+    assert_eq!(stats.fstp_cache_hits, 0, "reference mode never hits");
+    assert_eq!(stats.fstp_cache_misses, 0, "reference mode never counts");
+    assert!(stats.path_gen_work > 0, "reference work is attributed too");
+}
+
+/// The no-allocator-traffic claim holds with packing on: after
+/// `prepare()`'s preallocation, a run on a conformance-sized instance
+/// performs zero scratch-growth events (bitset words, frame arenas, and
+/// flat `qv`/`qa` runs included).
+#[test]
+fn packed_run_reports_zero_scratch_allocs() {
+    let g = generators::grid(4, 5);
+    let w = vec![VertexId(0), VertexId(19), VertexId(7)];
+    let (run, stats) = Enumeration::new(SteinerTree::new(&g, &w)).with_stats();
+    run.run().expect("valid instance");
+    let stats = stats.get();
+    assert!(stats.solutions > 0);
+    assert_eq!(
+        stats.scratch_allocs, 0,
+        "packed scratch is fully preallocated by prepare()"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random connected multigraphs: the packed Steiner-tree stream
+    /// equals the reference stream exactly.
+    #[test]
+    fn tree_packed_equals_reference(g in connected_graph(), mask in 1u8..128) {
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        if w.is_empty() {
+            return Ok(());
+        }
+        let on = Enumeration::new(SteinerTree::new(&g, &w)).collect_vec();
+        let off = Enumeration::new(SteinerTree::new(&g, &w))
+            .with_packed_frontiers(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Random instances for the forest enumerator (per-branch contracted
+    /// doubled graphs, so the packed caches are rebuilt per branch).
+    #[test]
+    fn forest_packed_equals_reference(g in connected_graph(), m1 in 1u8..128, m2 in 1u8..128) {
+        let n = g.num_vertices();
+        let sets = vec![
+            terminal_subset(n, m1, 3),
+            terminal_subset(n, m2, 3),
+        ];
+        let on = Enumeration::new(SteinerForest::new(&g, &sets)).collect_vec();
+        let off = Enumeration::new(SteinerForest::new(&g, &sets))
+            .with_packed_frontiers(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Random instances for the terminal variant (component masks layer
+    /// extra removals on top of the source set).
+    #[test]
+    fn terminal_packed_equals_reference(g in connected_graph(), mask in 1u8..128) {
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        if w.len() < 2 {
+            return Ok(());
+        }
+        let on = Enumeration::new(TerminalSteinerTree::new(&g, &w)).collect_vec();
+        let off = Enumeration::new(TerminalSteinerTree::new(&g, &w))
+            .with_packed_frontiers(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Random digraphs (cycles included) for the directed variant.
+    #[test]
+    fn directed_packed_equals_reference(d in digraph(), mask in 1u8..64) {
+        let w = terminal_subset(d.num_vertices(), mask, 3);
+        let root = VertexId(0);
+        let w: Vec<VertexId> = w.into_iter().filter(|&v| v != root).collect();
+        if w.is_empty() {
+            return Ok(());
+        }
+        let on = Enumeration::new(DirectedSteinerTree::new(&d, root, &w)).collect_vec();
+        let off = Enumeration::new(DirectedSteinerTree::new(&d, root, &w))
+            .with_packed_frontiers(false)
+            .collect_vec();
+        prop_assert_eq!(on, off);
+    }
+
+    /// Sharded + stealing with packing on: the merged stream equals the
+    /// sequential packed-off reference for k ∈ {2, 4}.
+    #[test]
+    fn sharded_packed_equals_reference(g in connected_graph(), mask in 1u8..128) {
+        let w = terminal_subset(g.num_vertices(), mask, 4);
+        if w.is_empty() {
+            return Ok(());
+        }
+        let reference = Enumeration::new(SteinerTree::new(&g, &w))
+            .with_packed_frontiers(false)
+            .collect_vec();
+        for k in [2usize, 4] {
+            let sharded = Enumeration::new(SteinerTree::new(&g, &w))
+                .with_threads(k)
+                .with_stealing(true)
+                .collect_vec();
+            prop_assert_eq!(&sharded, &reference, "threads({})", k);
+        }
+    }
+}
+
+/// Strategy: a connected graph on `n ∈ [2, 7]` vertices — a path backbone
+/// plus up to 8 random extra edges (parallel edges allowed, exercising
+/// the multigraph code paths).
+fn connected_graph() -> impl Strategy<Value = UndirectedGraph> {
+    (2usize..=7).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n), 0..8);
+        extra.prop_map(move |pairs| {
+            let mut g = UndirectedGraph::new(n);
+            for i in 1..n {
+                g.add_edge_indices(i - 1, i).unwrap();
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge_indices(u, v).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a digraph on `n ∈ [2, 6]` vertices with random arcs.
+fn digraph() -> impl Strategy<Value = DiGraph> {
+    (2usize..=6).prop_flat_map(|n| {
+        let arcs = proptest::collection::vec((0..n, 0..n), 0..12);
+        arcs.prop_map(move |pairs| {
+            let mut d = DiGraph::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    d.add_arc_indices(u, v).unwrap();
+                }
+            }
+            d
+        })
+    })
+}
+
+fn terminal_subset(n: usize, mask: u8, max: usize) -> Vec<VertexId> {
+    let mask = mask as u64;
+    let mut w: Vec<VertexId> = (0..n.min(63))
+        .filter(|i| mask & (1u64 << i) != 0)
+        .map(VertexId::new)
+        .collect();
+    w.truncate(max);
+    w
+}
